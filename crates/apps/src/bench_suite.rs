@@ -1,0 +1,289 @@
+//! The six estimator benchmark applications of paper Table 1.
+//!
+//! Each application defines a parameter space and a device-time model used
+//! to generate phase-one benchmark profiles (30 jobs, CPU + GPU times).
+//! CPU times follow analytic complexity models with multiplicative
+//! measurement noise; GPU times divide them by a parameter-dependent
+//! relative speedup with its own (smaller) noise — the paper's central
+//! premise that relative fitness is smoother than absolute time. Every
+//! application also has a *real* CPU kernel ([`BenchApp::execute_cpu`])
+//! from `anthill-kernels`, so profiles can alternatively be measured
+//! rather than modeled.
+
+use anthill_estimator::{ProfileStore, TaskParams};
+use anthill_hetsim::{GpuParams, NbiaCostModel};
+use anthill_simkit::SimRng;
+
+/// One of the paper's six benchmark applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchApp {
+    /// European option pricing (CUDA SDK).
+    BlackScholes,
+    /// All-pairs N-body iteration (CUDA SDK).
+    NBody,
+    /// Electrical heart-activity simulation (Rocha et al.).
+    HeartSim,
+    /// k-nearest-neighbour classification (Anthill).
+    Knn,
+    /// Frequent-itemset mining (Anthill).
+    Eclat,
+    /// The NBIA tile component (Section 2).
+    NbiaComponent,
+}
+
+impl BenchApp {
+    /// All six applications, in Table 1 order.
+    pub const ALL: [BenchApp; 6] = [
+        BenchApp::BlackScholes,
+        BenchApp::NBody,
+        BenchApp::HeartSim,
+        BenchApp::Knn,
+        BenchApp::Eclat,
+        BenchApp::NbiaComponent,
+    ];
+
+    /// Display name as used in Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            BenchApp::BlackScholes => "Black-Scholes",
+            BenchApp::NBody => "N-body",
+            BenchApp::HeartSim => "Heart Simulation",
+            BenchApp::Knn => "kNN",
+            BenchApp::Eclat => "Eclat",
+            BenchApp::NbiaComponent => "NBIA-component",
+        }
+    }
+
+    /// Draw one job: `(params, cpu_seconds, gpu_seconds)`.
+    fn sample(self, rng: &mut SimRng) -> (TaskParams, f64, f64) {
+        match self {
+            BenchApp::BlackScholes => {
+                // The option count spans two decades while spot, volatility
+                // and expiry are nuisance dimensions: they dominate the kNN
+                // distance but barely touch the runtime, so neighbours are
+                // nearly random in `n` — absolute-time prediction collapses
+                // while the (saturated, flat) speedup stays accurate:
+                // Table 1's 2.5% vs 70.5%.
+                let n = 10f64.powf(rng.uniform_range(4.0, 6.3));
+                let spot = rng.uniform_range(50.0, 150.0);
+                let vol = rng.uniform_range(0.1, 0.6);
+                let expiry = rng.uniform_range(0.1, 2.0);
+                let cpu = 45e-9 * n * rng.lognormal_noise(0.05);
+                // Embarrassingly parallel and compute-dense: the GPU
+                // advantage is saturated across the whole realistic range.
+                let speedup = 11.5 * rng.lognormal_noise(0.025);
+                (
+                    TaskParams::nums(&[n, spot, vol, expiry]),
+                    cpu,
+                    cpu / speedup,
+                )
+            }
+            BenchApp::NBody => {
+                // Quadratic in body count over a narrow range: times are
+                // predictable, speedup noisier (7.3 / 11.6).
+                let n = rng.uniform_range(4_000.0, 14_000.0);
+                let cpu = 9e-9 * n * n * rng.lognormal_noise(0.09);
+                let speedup = 25.0 * n / (n + 2_000.0) * rng.lognormal_noise(0.07);
+                (TaskParams::nums(&[n]), cpu, cpu / speedup)
+            }
+            BenchApp::HeartSim => {
+                // Grid side and step count; stiff-solver behaviour makes
+                // both predictions noisy (13.8 / 42.0).
+                let side = rng.uniform_range(64.0, 512.0);
+                let steps = rng.uniform_range(100.0, 2_000.0);
+                let cpu = 2.2e-8 * side * side * steps * rng.lognormal_noise(0.20);
+                let speedup =
+                    (4.0 + 14.0 * side / (side + 256.0)) * rng.lognormal_noise(0.12);
+                (TaskParams::nums(&[side, steps]), cpu, cpu / speedup)
+            }
+            BenchApp::Knn => {
+                // Training size, query count and k (8.8 / 21.2).
+                let train = rng.uniform_range(5e4, 2e5);
+                let queries = rng.uniform_range(100.0, 2_000.0);
+                let k = rng.uniform_range(4.0, 16.0);
+                let cpu =
+                    6e-9 * train * queries * (1.0 + k / 16.0) * rng.lognormal_noise(0.08);
+                let speedup = 15.0 * train / (train + 1e4) * rng.lognormal_noise(0.075);
+                (TaskParams::nums(&[train, queries, k]), cpu, cpu / speedup)
+            }
+            BenchApp::Eclat => {
+                // Support-threshold-driven search: runtime is exponential-
+                // ish in the inverse support — absolute times are wildly
+                // unpredictable (11.3 / 102.6).
+                let transactions = rng.uniform_range(1e4, 1e5);
+                let items = rng.uniform_range(20.0, 120.0);
+                let support = rng.uniform_range(0.01, 0.20);
+                let blowup = (0.22 / support).powf(2.0);
+                let cpu = 4e-8 * transactions * items * blowup * rng.lognormal_noise(0.25);
+                let speedup = (3.0 + 6.0 * (1.0 - support * 4.0).max(0.0))
+                    * rng.lognormal_noise(0.10);
+                (
+                    TaskParams::nums(&[transactions, items, support]),
+                    cpu,
+                    cpu / speedup,
+                )
+            }
+            BenchApp::NbiaComponent => {
+                // The calibrated NBIA tile model over the pyramid's
+                // discrete resolution levels. Tile *content* makes the
+                // per-tile CPU time noisy (early-exit classification, cache
+                // behaviour) while the relative speedup per level is stable
+                // (7.4 / 30.4).
+                let side = *rng.pick(&[32.0f64, 64.0, 128.0, 256.0, 512.0]);
+                let model = NbiaCostModel::paper_calibrated();
+                let gpu_params = GpuParams::geforce_8800gt();
+                let shape = model.tile(side as u32);
+                let content = rng.lognormal_noise(0.28);
+                let cpu = shape.cpu.as_secs_f64() * content;
+                let gpu = gpu_params
+                    .sync_task_time(shape.bytes_in, shape.gpu_kernel, shape.bytes_out)
+                    .as_secs_f64()
+                    * content
+                    * rng.lognormal_noise(0.065);
+                (TaskParams::nums(&[side]), cpu, gpu)
+            }
+        }
+    }
+
+    /// Generate a phase-one benchmark profile of `jobs` jobs.
+    pub fn generate_profile(self, seed: u64, jobs: usize) -> ProfileStore {
+        let mut rng = SimRng::new(seed).fork(self.name());
+        let mut store = ProfileStore::new(self.name());
+        for _ in 0..jobs {
+            let (params, cpu, gpu) = self.sample(&mut rng);
+            store.add_cpu_gpu(params, cpu, gpu);
+        }
+        store
+    }
+
+    /// Run the application's real CPU kernel for a small, fixed workload
+    /// derived from `scale` in `(0, 1]`. Returns an opaque checksum so the
+    /// computation cannot be optimized away.
+    pub fn execute_cpu(self, scale: f64) -> f64 {
+        let scale = scale.clamp(0.05, 1.0);
+        match self {
+            BenchApp::BlackScholes => {
+                let n = (2_000.0 * scale) as usize;
+                let opts: Vec<_> = (0..n)
+                    .map(|i| anthill_kernels::black_scholes::Option_ {
+                        spot: 80.0 + (i % 40) as f64,
+                        strike: 100.0,
+                        expiry: 0.5 + (i % 10) as f64 * 0.1,
+                        rate: 0.03,
+                        volatility: 0.2 + (i % 5) as f64 * 0.05,
+                    })
+                    .collect();
+                anthill_kernels::black_scholes::price_batch(&opts)
+                    .iter()
+                    .map(|p| p.call + p.put)
+                    .sum()
+            }
+            BenchApp::NBody => {
+                let mut sys = anthill_kernels::nbody::System::disc((128.0 * scale) as usize);
+                sys.step(1e-3);
+                sys.energy()
+            }
+            BenchApp::HeartSim => {
+                let side = (40.0 * scale) as usize + 8;
+                let mut g = anthill_kernels::heart::HeartGrid::new(
+                    side,
+                    side,
+                    anthill_kernels::heart::FhnParams::default(),
+                );
+                g.stimulate(0, 0, 4, 1.0);
+                g.run(200, 0.005);
+                g.mean_activation()
+            }
+            BenchApp::Knn => {
+                let n = (500.0 * scale) as usize + 10;
+                let training: Vec<_> = (0..n)
+                    .map(|i| anthill_kernels::knn::LabelledPoint {
+                        coords: vec![(i % 17) as f64, (i % 29) as f64],
+                        label: (i % 3) as u32,
+                    })
+                    .collect();
+                let queries: Vec<Vec<f64>> =
+                    (0..20).map(|i| vec![i as f64, (i * 2) as f64]).collect();
+                anthill_kernels::knn::classify_batch(&training, &queries, 5)
+                    .iter()
+                    .map(|&l| f64::from(l))
+                    .sum()
+            }
+            BenchApp::Eclat => {
+                let rows = (200.0 * scale) as u64 + 10;
+                let db = anthill_kernels::eclat::Transactions {
+                    rows: (0..rows)
+                        .map(|i| (0..8).filter(|j| (i + j) % 3 != 0).map(|j| j as u32).collect())
+                        .collect(),
+                };
+                anthill_kernels::eclat::mine(&db, 2).len() as f64
+            }
+            BenchApp::NbiaComponent => {
+                let side = (64.0 * scale) as u32 + 8;
+                let mut gen = anthill_kernels::tiles::TileGenerator::new(7);
+                let px = gen.generate(anthill_kernels::tiles::TileClass::StromaPoor, side);
+                anthill_kernels::tiles::tile_features(&px, side).iter().sum()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anthill_estimator::cross_validate;
+
+    #[test]
+    fn profiles_have_requested_size_and_both_devices() {
+        for app in BenchApp::ALL {
+            let p = app.generate_profile(1, 30);
+            assert_eq!(p.len(), 30, "{}", app.name());
+            for s in p.samples() {
+                assert!(s.time_on(anthill_estimator::DeviceClass::CPU).unwrap() > 0.0);
+                assert!(s.time_on(anthill_estimator::DeviceClass::GPU).unwrap() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_are_seed_deterministic() {
+        let a = BenchApp::Eclat.generate_profile(9, 10);
+        let b = BenchApp::Eclat.generate_profile(9, 10);
+        for (x, y) in a.samples().iter().zip(b.samples()) {
+            assert_eq!(
+                x.time_on(anthill_estimator::DeviceClass::CPU),
+                y.time_on(anthill_estimator::DeviceClass::CPU)
+            );
+        }
+    }
+
+    #[test]
+    fn speedup_error_is_smaller_than_time_error_for_every_app() {
+        // Table 1's central finding, app by app.
+        for app in BenchApp::ALL {
+            let p = app.generate_profile(42, 30);
+            let r = cross_validate(&p, 2, 10);
+            assert!(
+                r.speedup_mape < r.cpu_time_mape,
+                "{}: speedup {:.1}% !< time {:.1}%",
+                app.name(),
+                r.speedup_mape,
+                r.cpu_time_mape
+            );
+            assert!(
+                r.speedup_mape < 25.0,
+                "{}: speedup error too high: {:.1}%",
+                app.name(),
+                r.speedup_mape
+            );
+        }
+    }
+
+    #[test]
+    fn real_kernels_execute_and_return_finite_checksums() {
+        for app in BenchApp::ALL {
+            let x = app.execute_cpu(0.3);
+            assert!(x.is_finite(), "{}: {x}", app.name());
+        }
+    }
+}

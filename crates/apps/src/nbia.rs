@@ -1,0 +1,294 @@
+//! NBIA — the Neuroblastoma Image Analysis System (paper Section 2) on the
+//! anthill runtime.
+//!
+//! Two deployments:
+//!
+//! * [`simulated`] — the paper-scale cluster configuration on the
+//!   virtual-time executor (what the evaluation harness runs); thin
+//!   conveniences over [`anthill::sim`].
+//! * [`NbiaLocal`](run_local) — the real pipeline on the native threaded
+//!   runtime: it generates synthetic tissue tiles, builds their
+//!   multi-resolution pyramids, converts RGB → La\*b\*, extracts GLCM/LBP
+//!   features, classifies stromal development with a hypothesis test, and
+//!   recirculates low-confidence tiles at the next pyramid level — the
+//!   full control flow of the paper's Figure 1, computing real values.
+//!
+//! The heavy filters (color conversion + statistical features) are fused
+//! with the classifier into one stage, as the paper's optimized GPU
+//! configuration fuses them to avoid unnecessary transfers
+//! (`repro fusion` quantifies that choice).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use anthill::buffer::{BufferId, DataBuffer};
+use anthill::local::{Emitter, ExecMode, LocalFilter, LocalTask, Pipeline, WorkerSpec};
+use anthill::policy::PolicyKind;
+use anthill::weights::WeightProvider;
+use anthill_estimator::TaskParams;
+use anthill_hetsim::{DeviceKind, NbiaCostModel};
+use anthill_kernels::pyramid::TilePyramid;
+use anthill_kernels::tiles::{tile_features, TileClass, TileClassifier, TileGenerator};
+
+/// Re-exports and helpers for the simulated (paper-scale) deployment.
+pub mod simulated {
+    pub use anthill::sim::{run_nbia, SimConfig, SimReport, WorkloadSpec};
+}
+
+/// Configuration of a native-runtime NBIA run.
+#[derive(Debug, Clone)]
+pub struct NbiaLocalConfig {
+    /// Number of tiles to analyze.
+    pub tiles: u64,
+    /// Low-resolution (starting) tile side in pixels.
+    pub low_side: u32,
+    /// Full-resolution tile side in pixels (a power-of-two multiple of
+    /// `low_side`; the pyramid holds every level in between).
+    pub high_side: u32,
+    /// Classification confidence threshold of the hypothesis test; tiles
+    /// below it climb to the next pyramid level.
+    pub confidence_threshold: f64,
+    /// RNG seed for tile synthesis.
+    pub seed: u64,
+    /// Scheduling policy.
+    pub policy: PolicyKind,
+    /// Worker slots of the analysis stage.
+    pub workers: Vec<WorkerSpec>,
+}
+
+impl Default for NbiaLocalConfig {
+    fn default() -> Self {
+        NbiaLocalConfig {
+            tiles: 48,
+            low_side: 32,
+            high_side: 128,
+            confidence_threshold: 0.25,
+            seed: 0xB10,
+            policy: PolicyKind::DdWrr,
+            workers: vec![
+                WorkerSpec {
+                    kind: DeviceKind::Cpu,
+                    mode: ExecMode::Native,
+                },
+                WorkerSpec {
+                    kind: DeviceKind::Gpu,
+                    mode: ExecMode::Emulated { scale: 1e-4 },
+                },
+            ],
+        }
+    }
+}
+
+/// One classified tile in the run output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileResult {
+    /// Tile index.
+    pub tile: u64,
+    /// The true (generated) class.
+    pub truth: TileClass,
+    /// The predicted class.
+    pub predicted: TileClass,
+    /// Pyramid level the decision was accepted at (0 = lowest resolution).
+    pub level: u8,
+    /// Decision confidence.
+    pub confidence: f64,
+}
+
+/// Payload carried through the pipeline: the tile's whole pyramid (shared,
+/// as the decomposition step stores every resolution) and its identity.
+struct TilePayload {
+    tile: u64,
+    truth: TileClass,
+    pyramid: Arc<TilePyramid>,
+}
+
+/// The fused analysis filter: color conversion + features + classifier +
+/// the multi-resolution hypothesis-test loop over the pyramid.
+struct AnalysisFilter {
+    classifier: TileClassifier,
+    cost: NbiaCostModel,
+    threshold: f64,
+    next_id: AtomicU64,
+}
+
+impl LocalFilter for AnalysisFilter {
+    fn handle(&self, _device: DeviceKind, task: LocalTask, out: &mut Emitter<'_>) {
+        let payload = task
+            .payload
+            .downcast::<TilePayload>()
+            .expect("NBIA tile payload");
+        let level = task.buffer.level as usize;
+        let (side, pixels) = payload.pyramid.level(level);
+        let features = tile_features(pixels, side);
+        let (decision, accepted) = self.classifier.accept(&features, self.threshold);
+        let at_top = level + 1 >= payload.pyramid.depth();
+        if accepted || at_top {
+            out.forward(LocalTask::new(
+                task.buffer.clone(),
+                TileResult {
+                    tile: payload.tile,
+                    truth: payload.truth,
+                    predicted: decision.class,
+                    level: task.buffer.level,
+                    confidence: decision.confidence,
+                },
+            ));
+        } else {
+            // Hypothesis test failed: climb one pyramid level and
+            // recirculate (Figure 1's feedback edge).
+            let next_level = (level + 1) as u8;
+            let next_side = payload.pyramid.side(next_level as usize);
+            let buffer = DataBuffer {
+                id: BufferId(self.next_id.fetch_add(1, Ordering::Relaxed)),
+                params: TaskParams::nums(&[f64::from(next_side)]),
+                shape: self.cost.tile(next_side),
+                level: next_level,
+                task: payload.tile,
+            };
+            out.recirculate(LocalTask::new(
+                buffer,
+                TilePayload {
+                    tile: payload.tile,
+                    truth: payload.truth,
+                    pyramid: payload.pyramid,
+                },
+            ));
+        }
+    }
+}
+
+/// Run NBIA end-to-end on the native threaded runtime.
+///
+/// Returns the classified tiles (sorted by tile index) and the runtime's
+/// execution report.
+pub fn run_local<W: WeightProvider + Sync>(
+    config: &NbiaLocalConfig,
+    weights: &W,
+) -> (Vec<TileResult>, anthill::local::LocalReport) {
+    let cost = NbiaCostModel::paper_calibrated();
+    let classifier = TileClassifier::train(config.seed ^ 0x7EAC, 6, config.low_side);
+    let mut gen = TileGenerator::new(config.seed);
+
+    let filter = Arc::new(AnalysisFilter {
+        classifier,
+        cost: cost.clone(),
+        threshold: config.confidence_threshold,
+        next_id: AtomicU64::new(1_000_000),
+    });
+
+    // The decomposition step: read each full-resolution tile and build its
+    // pyramid; the analysis starts at the coarsest level.
+    let mut sources = Vec::with_capacity(config.tiles as usize);
+    for tile in 0..config.tiles {
+        let truth = TileClass::ALL[(tile % 3) as usize];
+        let full = gen.generate(truth, config.high_side);
+        let pyramid = Arc::new(TilePyramid::build(full, config.high_side, config.low_side));
+        sources.push(LocalTask::new(
+            DataBuffer {
+                id: BufferId(tile),
+                params: TaskParams::nums(&[f64::from(config.low_side)]),
+                shape: cost.tile(config.low_side),
+                level: 0,
+                task: tile,
+            },
+            TilePayload {
+                tile,
+                truth,
+                pyramid,
+            },
+        ));
+    }
+
+    let mut pipeline = Pipeline::new(config.policy);
+    pipeline.add_stage(filter, config.workers.clone());
+    let (outputs, report) = pipeline.run(sources, weights);
+
+    let mut results: Vec<TileResult> = outputs
+        .into_iter()
+        .map(|t| {
+            *t.payload
+                .downcast::<TileResult>()
+                .expect("NBIA result payload")
+        })
+        .collect();
+    results.sort_by_key(|r| r.tile);
+    (results, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anthill::weights::OracleWeights;
+    use anthill_hetsim::GpuParams;
+
+    fn oracle() -> OracleWeights {
+        OracleWeights::new(GpuParams::geforce_8800gt(), true)
+    }
+
+    #[test]
+    fn classifies_every_tile_exactly_once() {
+        let config = NbiaLocalConfig {
+            tiles: 30,
+            ..NbiaLocalConfig::default()
+        };
+        let (results, report) = run_local(&config, &oracle());
+        assert_eq!(results.len(), 30);
+        let tiles: Vec<u64> = results.iter().map(|r| r.tile).collect();
+        assert_eq!(tiles, (0..30).collect::<Vec<_>>());
+        assert!(report.total() >= 30);
+    }
+
+    #[test]
+    fn classification_is_mostly_correct() {
+        let config = NbiaLocalConfig {
+            tiles: 30,
+            ..NbiaLocalConfig::default()
+        };
+        let (results, _) = run_local(&config, &oracle());
+        let correct = results.iter().filter(|r| r.predicted == r.truth).count();
+        assert!(correct * 10 >= results.len() * 8, "correct {correct}/30");
+    }
+
+    #[test]
+    fn low_threshold_accepts_everything_at_level_zero() {
+        let config = NbiaLocalConfig {
+            tiles: 12,
+            confidence_threshold: 0.0,
+            ..NbiaLocalConfig::default()
+        };
+        let (results, report) = run_local(&config, &oracle());
+        assert!(results.iter().all(|r| r.level == 0));
+        assert_eq!(report.total(), 12);
+    }
+
+    #[test]
+    fn impossible_threshold_climbs_the_whole_pyramid() {
+        let config = NbiaLocalConfig {
+            tiles: 10,
+            low_side: 32,
+            high_side: 128, // pyramid depth 3: 32, 64, 128
+            confidence_threshold: 1.5,
+            ..NbiaLocalConfig::default()
+        };
+        let (results, report) = run_local(&config, &oracle());
+        assert_eq!(results.len(), 10);
+        assert!(results.iter().all(|r| r.level == 2), "{results:?}");
+        // Every tile handled once per pyramid level.
+        assert_eq!(report.total(), 30);
+    }
+
+    #[test]
+    fn higher_levels_reuse_the_same_tissue() {
+        // The pyramid means reprocessing sees a higher-resolution view of
+        // the *same* tile — classification at the top should still match
+        // the generated truth most of the time.
+        let config = NbiaLocalConfig {
+            tiles: 15,
+            confidence_threshold: 1.5, // force everything to the top
+            ..NbiaLocalConfig::default()
+        };
+        let (results, _) = run_local(&config, &oracle());
+        let correct = results.iter().filter(|r| r.predicted == r.truth).count();
+        assert!(correct * 10 >= results.len() * 7, "correct {correct}/15");
+    }
+}

@@ -1,0 +1,48 @@
+//! Benchmarks of the full simulated cluster runtime: one reduced NBIA run
+//! per scheduling policy (the engine behind Figures 8–14), plus an
+//! ablation of estimator-backed vs oracle weights.
+
+use anthill::policy::Policy;
+use anthill::sim::{run_nbia, SimConfig, WorkloadSpec};
+use anthill_hetsim::ClusterSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn cluster_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_sim");
+    g.sample_size(10);
+    let w = WorkloadSpec {
+        tiles: 4_000,
+        ..WorkloadSpec::paper_base(0.08)
+    };
+    for (name, policy) in [
+        ("ddfcfs", Policy::ddfcfs(8)),
+        ("ddwrr", Policy::ddwrr(30)),
+        ("odds", Policy::odds()),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("hetero_2node_4k_tiles", name),
+            &policy,
+            |b, &policy| {
+                let cfg = SimConfig::new(ClusterSpec::heterogeneous(1, 1), policy);
+                b.iter(|| black_box(run_nbia(&cfg, &w)))
+            },
+        );
+    }
+    // Ablation: oracle weights skip the kNN queries.
+    for (name, use_est) in [("estimator", true), ("oracle", false)] {
+        g.bench_with_input(
+            BenchmarkId::new("weights", name),
+            &use_est,
+            |b, &use_est| {
+                let mut cfg = SimConfig::new(ClusterSpec::homogeneous(1), Policy::odds());
+                cfg.use_estimator = use_est;
+                b.iter(|| black_box(run_nbia(&cfg, &w)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, cluster_policies);
+criterion_main!(benches);

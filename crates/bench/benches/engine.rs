@@ -1,0 +1,81 @@
+//! Microbenchmarks of the discrete-event engine and RNG — the substrate
+//! every cluster experiment runs on. Event throughput bounds how large a
+//! simulated cluster/workload is practical.
+
+use anthill_simkit::{Engine, Scheduler, SimDuration, SimRng, SimTime, World};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+struct Chain {
+    remaining: u64,
+}
+
+enum Ev {
+    Tick,
+}
+
+impl World for Chain {
+    type Event = Ev;
+    fn handle(&mut self, _now: SimTime, _ev: Ev, sched: &mut Scheduler<Ev>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            sched.after(SimDuration::from_nanos(10), Ev::Tick);
+        }
+    }
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    for &n in &[1_000u64, 100_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("chained_events", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut eng = Engine::new(Chain { remaining: n });
+                eng.schedule(SimTime::ZERO, Ev::Tick);
+                eng.run();
+                black_box(eng.steps())
+            })
+        });
+    }
+    // Fan: many events pre-scheduled at distinct times.
+    g.bench_function("heap_100k_preloaded", |b| {
+        b.iter(|| {
+            let mut eng = Engine::new(Chain { remaining: 0 });
+            for i in 0..100_000u64 {
+                eng.schedule(SimTime(i * 7 % 1_000_003), Ev::Tick);
+            }
+            eng.run();
+            black_box(eng.steps())
+        })
+    });
+    g.finish();
+}
+
+fn rng_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("next_u64_x1000", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000 {
+                acc ^= rng.next_u64();
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("gaussian_x1000", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1_000 {
+                acc += rng.gaussian();
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, engine_throughput, rng_throughput);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Microbenchmarks of the performance estimator: kNN query cost vs
+//! profile size, and fit cost. The paper asserts the on-line estimation
+//! overhead is negligible relative to task granularity (~1 ms tasks).
+
+use anthill_apps::bench_suite::BenchApp;
+use anthill_estimator::{DeviceClass, KnnEstimator, TaskParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn estimator_query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("estimator");
+    for &jobs in &[30usize, 300] {
+        let profile = BenchApp::HeartSim.generate_profile(7, jobs);
+        let est = KnnEstimator::fit_default(profile);
+        let query = TaskParams::nums(&[200.0, 900.0]);
+        g.bench_with_input(BenchmarkId::new("predict_speedup", jobs), &est, |b, est| {
+            b.iter(|| {
+                black_box(est.predict_speedup(DeviceClass::GPU, DeviceClass::CPU, &query))
+            })
+        });
+    }
+    g.bench_function("fit_30_jobs", |b| {
+        let profile = BenchApp::HeartSim.generate_profile(7, 30);
+        b.iter(|| black_box(KnnEstimator::fit_default(profile.clone())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, estimator_query);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Microbenchmarks of the real computational kernels (the NBIA filter
+//! bodies and the estimator benchmark applications).
+
+use anthill_kernels::black_scholes::{price_batch, Option_};
+use anthill_kernels::color::convert_tile;
+use anthill_kernels::tiles::{tile_features, TileClass, TileGenerator};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn nbia_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nbia_kernels");
+    for &side in &[32u32, 128] {
+        let mut gen = TileGenerator::new(1);
+        let tile = gen.generate(TileClass::StromaPoor, side);
+        g.throughput(Throughput::Elements(u64::from(side) * u64::from(side)));
+        g.bench_with_input(
+            BenchmarkId::new("color_conversion", side),
+            &tile,
+            |b, tile| b.iter(|| black_box(convert_tile(tile))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("full_feature_vector", side),
+            &tile,
+            |b, tile| b.iter(|| black_box(tile_features(tile, side))),
+        );
+    }
+    g.finish();
+}
+
+fn finance_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("black_scholes");
+    let opts: Vec<Option_> = (0..10_000)
+        .map(|i| Option_ {
+            spot: 80.0 + (i % 40) as f64,
+            strike: 100.0,
+            expiry: 0.25 + (i % 8) as f64 * 0.25,
+            rate: 0.02,
+            volatility: 0.15 + (i % 6) as f64 * 0.05,
+        })
+        .collect();
+    g.throughput(Throughput::Elements(opts.len() as u64));
+    g.bench_function("price_10k", |b| b.iter(|| black_box(price_batch(&opts))));
+    g.finish();
+}
+
+criterion_group!(benches, nbia_kernels, finance_kernels);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Benchmarks of the GPU transfer pipeline simulator (the engine behind
+//! Figures 6–7 and Table 2): sync vs async-static vs adaptive, per
+//! workload.
+
+use anthill::transfer::pipeline;
+use anthill_apps::vi::ViWorkload;
+use anthill_hetsim::{GpuParams, NbiaCostModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn pipeline_modes(c: &mut Criterion) {
+    let gpu = GpuParams::geforce_8800gt();
+    let mut g = c.benchmark_group("transfer_pipeline");
+    let tiles = vec![NbiaCostModel::paper_calibrated().tile(512); 1_000];
+    g.bench_function("nbia512_sync_1k", |b| {
+        b.iter(|| black_box(pipeline::run_sync(&gpu, &tiles)))
+    });
+    g.bench_function("nbia512_async8_1k", |b| {
+        b.iter(|| black_box(pipeline::run_async_static(&gpu, &tiles, 8)))
+    });
+    g.bench_function("nbia512_adaptive_1k", |b| {
+        b.iter(|| black_box(pipeline::run_async_adaptive(&gpu, &tiles)))
+    });
+    let vi = ViWorkload {
+        vector_len: 36_000_000,
+        ..ViWorkload::paper(100_000)
+    }
+    .shapes();
+    g.bench_function("vi_adaptive_360_chunks", |b| {
+        b.iter(|| black_box(pipeline::run_async_adaptive(&gpu, &vi)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, pipeline_modes);
+criterion_main!(benches);

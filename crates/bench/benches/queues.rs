@@ -1,0 +1,87 @@
+//! Microbenchmarks of the shared ready queue: FIFO (DDFCFS) vs sorted
+//! per-device pops (DDWRR/ODDS). The paper reports the scheduling-policy
+//! overhead "including on-line performance estimation" as negligible —
+//! these benches quantify ours.
+
+use anthill::buffer::{BufferId, DataBuffer};
+use anthill::queue::SharedQueue;
+use anthill_estimator::TaskParams;
+use anthill_hetsim::{DeviceKind, NbiaCostModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn buffers(n: u64) -> Vec<(DataBuffer, [f64; 2])> {
+    let model = NbiaCostModel::paper_calibrated();
+    (0..n)
+        .map(|i| {
+            let side = if i % 8 == 0 { 512 } else { 32 };
+            let b = DataBuffer {
+                id: BufferId(i),
+                params: TaskParams::nums(&[f64::from(side)]),
+                shape: model.tile(side),
+                level: u8::from(side > 32),
+                task: i,
+            };
+            let w = if side > 32 { [0.03, 33.0] } else { [1.0, 1.0] };
+            (b, w)
+        })
+        .collect()
+}
+
+fn queue_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shared_queue");
+    for &n in &[1_000u64, 30_000] {
+        let items = buffers(n);
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("insert_pop_fifo", n), &items, |b, items| {
+            b.iter(|| {
+                let mut q = SharedQueue::new();
+                for (buf, w) in items.iter().cloned() {
+                    q.insert(buf, w, None);
+                }
+                while let Some(x) = q.pop_fifo() {
+                    black_box(&x);
+                }
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new("insert_pop_best_gpu", n),
+            &items,
+            |b, items| {
+                b.iter(|| {
+                    let mut q = SharedQueue::new();
+                    for (buf, w) in items.iter().cloned() {
+                        q.insert(buf, w, None);
+                    }
+                    while let Some(x) = q.pop_best(DeviceKind::Gpu) {
+                        black_box(&x);
+                    }
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("mixed_consumers", n),
+            &items,
+            |b, items| {
+                b.iter(|| {
+                    let mut q = SharedQueue::new();
+                    for (buf, w) in items.iter().cloned() {
+                        q.insert(buf, w, None);
+                    }
+                    loop {
+                        let a = q.pop_best(DeviceKind::Gpu);
+                        let b2 = q.pop_best(DeviceKind::Cpu);
+                        if a.is_none() && b2.is_none() {
+                            break;
+                        }
+                        black_box((&a, &b2));
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, queue_ops);
+criterion_main!(benches);

@@ -1,0 +1,418 @@
+//! Sections 6.3–6.4 — the cluster experiments: intra-filter policies
+//! (Figure 8, Tables 3–4), the stream policies on the homogeneous and
+//! heterogeneous base cases (Figures 9–12, Table 6), and scaling
+//! (Figures 13–14). All run on the virtual-time cluster executor.
+
+use anthill::policy::Policy;
+use anthill::sim::{run_nbia, SimConfig, SimReport, WorkloadSpec};
+use anthill_hetsim::{ClusterSpec, DeviceKind, NodeSpec};
+use anthill_simkit::SimTime;
+
+/// Static request window used for DDFCFS when not swept (a small window
+/// minimizes its load imbalance, per Figure 11's discussion).
+pub const DDFCFS_WINDOW: usize = 8;
+/// Static request window used for DDWRR when not swept (a large window
+/// creates intra-filter scheduling opportunity, per Figure 11).
+pub const DDWRR_WINDOW: usize = 30;
+
+fn config(cluster: ClusterSpec, policy: Policy) -> SimConfig {
+    SimConfig::new(cluster, policy)
+}
+
+/// Run one configuration of the NBIA workload.
+pub fn run(
+    cluster: ClusterSpec,
+    policy: Policy,
+    gpu_only: bool,
+    async_transfers: bool,
+    workload: &WorkloadSpec,
+) -> SimReport {
+    let mut c = config(cluster, policy);
+    c.gpu_only = gpu_only;
+    c.async_transfers = async_transfers;
+    run_nbia(&c, workload)
+}
+
+/// Table 3: CPU-only execution time (one core) vs recalculation rate.
+pub fn table3(rates: &[f64], tiles: u64) -> Vec<(f64, f64)> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let w = WorkloadSpec {
+                tiles,
+                ..WorkloadSpec::paper_base(rate)
+            };
+            let cluster = ClusterSpec::new(vec![NodeSpec {
+                cpu_cores: 1,
+                gpus: 0,
+            }]);
+            let r = run(cluster, Policy::ddfcfs(DDFCFS_WINDOW), false, false, &w);
+            (rate, r.makespan.as_secs_f64())
+        })
+        .collect()
+}
+
+/// One point of Figure 8: the intra-filter policies on one CPU+GPU node.
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    /// Tile recalculation rate.
+    pub rate: f64,
+    /// GPU-only speedup.
+    pub gpu_only: f64,
+    /// CPU+GPU speedup under DDFCFS.
+    pub ddfcfs: f64,
+    /// CPU+GPU speedup under DDWRR.
+    pub ddwrr: f64,
+}
+
+/// Reproduce Figure 8 (synchronous copies, as in Section 6.3).
+pub fn fig8(rates: &[f64], tiles: u64) -> Vec<Fig8Row> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let w = WorkloadSpec {
+                tiles,
+                ..WorkloadSpec::paper_base(rate)
+            };
+            let one = || ClusterSpec::homogeneous(1);
+            Fig8Row {
+                rate,
+                gpu_only: run(one(), Policy::ddfcfs(DDFCFS_WINDOW), true, false, &w).speedup(),
+                ddfcfs: run(one(), Policy::ddfcfs(DDFCFS_WINDOW), false, false, &w).speedup(),
+                ddwrr: run(one(), Policy::ddwrr(DDWRR_WINDOW), false, false, &w).speedup(),
+            }
+        })
+        .collect()
+}
+
+/// Table 4: percent of tiles of each resolution processed by the CPU at a
+/// 16% recalculation rate, per policy. Returns `(policy name, low%, high%)`.
+pub fn table4(tiles: u64) -> Vec<(&'static str, f64, f64)> {
+    let w = WorkloadSpec {
+        tiles,
+        ..WorkloadSpec::paper_base(0.16)
+    };
+    [
+        ("DDFCFS", Policy::ddfcfs(DDFCFS_WINDOW)),
+        ("DDWRR", Policy::ddwrr(DDWRR_WINDOW)),
+    ]
+    .into_iter()
+    .map(|(name, policy)| {
+        let r = run(ClusterSpec::homogeneous(1), policy, false, false, &w);
+        (
+            name,
+            r.share_pct(DeviceKind::Cpu, 0),
+            r.share_pct(DeviceKind::Cpu, 1),
+        )
+    })
+    .collect()
+}
+
+/// One point of Figures 9/10: the stream policies on a base-case cluster.
+#[derive(Debug, Clone)]
+pub struct StreamPolicyRow {
+    /// Tile recalculation rate.
+    pub rate: f64,
+    /// Speedup under DDFCFS.
+    pub ddfcfs: f64,
+    /// Speedup under DDWRR.
+    pub ddwrr: f64,
+    /// Speedup under ODDS (with asynchronous transfers).
+    pub odds: f64,
+}
+
+fn stream_policy_rows(cluster: impl Fn() -> ClusterSpec, rates: &[f64], tiles: u64) -> Vec<StreamPolicyRow> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let w = WorkloadSpec {
+                tiles,
+                ..WorkloadSpec::paper_base(rate)
+            };
+            StreamPolicyRow {
+                rate,
+                ddfcfs: run(cluster(), Policy::ddfcfs(DDFCFS_WINDOW), false, true, &w).speedup(),
+                ddwrr: run(cluster(), Policy::ddwrr(DDWRR_WINDOW), false, true, &w).speedup(),
+                odds: run(cluster(), Policy::odds(), false, true, &w).speedup(),
+            }
+        })
+        .collect()
+}
+
+/// Figure 9: the homogeneous base case (one CPU+GPU node), asynchronous
+/// copies, recalculation rate swept.
+pub fn fig9(rates: &[f64], tiles: u64) -> Vec<StreamPolicyRow> {
+    stream_policy_rows(|| ClusterSpec::homogeneous(1), rates, tiles)
+}
+
+/// Figure 10: the heterogeneous base case (one CPU+GPU node plus one
+/// dual-core CPU-only node).
+pub fn fig10(rates: &[f64], tiles: u64) -> Vec<StreamPolicyRow> {
+    stream_policy_rows(|| ClusterSpec::heterogeneous(1, 1), rates, tiles)
+}
+
+/// Table 6: percent of tiles processed by the GPU per resolution, for each
+/// stream policy on each base case. Returns
+/// `(config, policy, gpu low%, gpu high%)`.
+pub fn table6(tiles: u64) -> Vec<(&'static str, &'static str, f64, f64)> {
+    let w = WorkloadSpec {
+        tiles,
+        ..WorkloadSpec::paper_base(0.08)
+    };
+    let mut out = Vec::new();
+    for (cname, cluster) in [
+        ("Homogeneous", ClusterSpec::homogeneous(1)),
+        ("Heterogeneous", ClusterSpec::heterogeneous(1, 1)),
+    ] {
+        for (pname, policy) in [
+            ("DDFCFS", Policy::ddfcfs(DDFCFS_WINDOW)),
+            ("DDWRR", Policy::ddwrr(DDWRR_WINDOW)),
+            ("ODDS", Policy::odds()),
+        ] {
+            let r = run(cluster.clone(), policy, false, true, &w);
+            out.push((
+                cname,
+                pname,
+                r.share_pct(DeviceKind::Gpu, 0),
+                r.share_pct(DeviceKind::Gpu, 1),
+            ));
+        }
+    }
+    out
+}
+
+/// Figure 11: for each static policy and recalculation rate, the request
+/// window that minimizes execution time (exhaustive search), plus ODDS's
+/// run-mean adapted window for reference. Returns
+/// `(rate, best DDFCFS window, best DDWRR window, ODDS mean window)`.
+pub fn fig11(rates: &[f64], windows: &[usize], tiles: u64) -> Vec<(f64, usize, usize, f64)> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let w = WorkloadSpec {
+                tiles,
+                ..WorkloadSpec::paper_base(rate)
+            };
+            let best = |mk: &dyn Fn(usize) -> Policy| {
+                windows
+                    .iter()
+                    .map(|&win| {
+                        let r = run(ClusterSpec::heterogeneous(1, 1), mk(win), false, true, &w);
+                        (r.makespan, win)
+                    })
+                    .min_by_key(|&(t, _)| t)
+                    .map(|(_, win)| win)
+                    .expect("non-empty window sweep")
+            };
+            let fcfs = best(&Policy::ddfcfs);
+            let wrr = best(&Policy::ddwrr);
+            let odds = run(ClusterSpec::heterogeneous(1, 1), Policy::odds(), false, true, &w);
+            // The paper's streamRequestSize counts buffers requested plus
+            // received *per filter instance*: sum the per-thread window
+            // means within each node, then average over nodes.
+            let mean_window = {
+                let mut per_node: std::collections::HashMap<usize, f64> =
+                    std::collections::HashMap::new();
+                for (dev, t) in &odds.request_traces {
+                    if t.is_empty() {
+                        continue;
+                    }
+                    let m = t.iter().map(|&(_, v)| v as f64).sum::<f64>() / t.len() as f64;
+                    *per_node.entry(dev.node).or_insert(0.0) += m;
+                }
+                if per_node.is_empty() {
+                    0.0
+                } else {
+                    per_node.values().sum::<f64>() / per_node.len() as f64
+                }
+            };
+            (rate, fcfs, wrr, mean_window)
+        })
+        .collect()
+}
+
+/// Figure 12 data: (a) per-device utilization traces and (b) request-window
+/// traces of one ODDS run on the heterogeneous base case at 10% recalc.
+pub fn fig12(tiles: u64, buckets: usize) -> SimReport {
+    let w = WorkloadSpec {
+        tiles,
+        ..WorkloadSpec::paper_base(0.10)
+    };
+    let mut c = config(ClusterSpec::heterogeneous(1, 1), Policy::odds());
+    c.trace_buckets = buckets;
+    run_nbia(&c, &w)
+}
+
+/// One point of Figures 13/14: scaling a cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// GPU-only speedup.
+    pub gpu_only: f64,
+    /// DDFCFS speedup.
+    pub ddfcfs: f64,
+    /// DDWRR speedup.
+    pub ddwrr: f64,
+    /// ODDS speedup.
+    pub odds: f64,
+}
+
+fn scaling(mk: impl Fn(usize) -> ClusterSpec, sizes: &[usize], tiles: u64, rate: f64) -> Vec<ScalingRow> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let w = WorkloadSpec {
+                tiles,
+                ..WorkloadSpec::paper_base(rate)
+            };
+            ScalingRow {
+                nodes: n,
+                gpu_only: run(mk(n), Policy::ddfcfs(DDFCFS_WINDOW), true, true, &w).speedup(),
+                ddfcfs: run(mk(n), Policy::ddfcfs(DDFCFS_WINDOW), false, true, &w).speedup(),
+                ddwrr: run(mk(n), Policy::ddwrr(DDWRR_WINDOW), false, true, &w).speedup(),
+                odds: run(mk(n), Policy::odds(), false, true, &w).speedup(),
+            }
+        })
+        .collect()
+}
+
+/// Figure 13: scaling the homogeneous cluster (every node CPU+GPU),
+/// 8% recalculation, the paper's large workload by default.
+pub fn fig13(sizes: &[usize], tiles: u64) -> Vec<ScalingRow> {
+    scaling(ClusterSpec::homogeneous, sizes, tiles, 0.08)
+}
+
+/// Figure 14: scaling the heterogeneous cluster (half the nodes GPU-less).
+pub fn fig14(sizes: &[usize], tiles: u64) -> Vec<ScalingRow> {
+    scaling(
+        |n| ClusterSpec::heterogeneous(n / 2, n - n / 2),
+        sizes,
+        tiles,
+        0.08,
+    )
+}
+
+/// One row of the slow-node perturbation extension.
+#[derive(Debug, Clone)]
+pub struct PerturbRow {
+    /// Speed factor of the perturbed CPU-only node (1.0 = healthy).
+    pub speed: f64,
+    /// DDWRR speedup.
+    pub ddwrr: f64,
+    /// ODDS speedup.
+    pub odds: f64,
+}
+
+/// Extension: heterogeneity beyond GPU presence. One of the CPU-only
+/// node's cores runs at a reduced speed (an aged or contended machine);
+/// DQAA's latency/processing feedback lets ODDS rebalance automatically,
+/// while DDWRR's static windows keep over-committing the slow node.
+pub fn perturb_slow_node(speeds: &[f64], tiles: u64) -> Vec<PerturbRow> {
+    let w = WorkloadSpec {
+        tiles,
+        ..WorkloadSpec::paper_base(0.08)
+    };
+    speeds
+        .iter()
+        .map(|&speed| {
+            let mk = |policy| {
+                let mut c = config(ClusterSpec::heterogeneous(1, 1), policy);
+                c.cpu_speed = vec![1.0, speed]; // node 1 = the CPU-only node
+                run_nbia(&c, &w).speedup()
+            };
+            PerturbRow {
+                speed,
+                ddwrr: mk(Policy::ddwrr(DDWRR_WINDOW)),
+                odds: mk(Policy::odds()),
+            }
+        })
+        .collect()
+}
+
+/// Helper: end time of a report's utilization traces (for plotting).
+pub fn trace_horizon(report: &SimReport) -> SimTime {
+    report
+        .util_traces
+        .iter()
+        .flat_map(|(_, t)| t.last().map(|&(at, _)| at))
+        .max()
+        .unwrap_or(SimTime::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: u64 = 2_000; // reduced tile count for unit tests
+
+    #[test]
+    fn table3_grows_linearly_with_rate() {
+        let rows = table3(&[0.0, 0.08, 0.16], T);
+        assert!(rows[1].1 > 5.0 * rows[0].1);
+        let slope1 = rows[1].1 - rows[0].1;
+        let slope2 = rows[2].1 - rows[1].1;
+        assert!((slope2 / slope1 - 1.0).abs() < 0.15, "{rows:?}");
+    }
+
+    #[test]
+    fn fig8_ddwrr_roughly_doubles_gpu_only() {
+        let rows = fig8(&[0.16], T);
+        let r = &rows[0];
+        assert!(r.ddwrr > 1.5 * r.gpu_only, "{r:?}");
+        assert!(r.ddfcfs < 1.4 * r.gpu_only, "{r:?}");
+    }
+
+    #[test]
+    fn table4_policies_differ_as_in_the_paper() {
+        let rows = table4(T);
+        let (_, fcfs_low, _fcfs_high) = rows[0];
+        let (_, wrr_low, wrr_high) = rows[1];
+        assert!(wrr_low > 60.0, "DDWRR CPU low share {wrr_low}");
+        assert!(wrr_high < 5.0, "DDWRR CPU high share {wrr_high}");
+        assert!(fcfs_low < wrr_low, "{rows:?}");
+    }
+
+    #[test]
+    fn fig10_odds_dominates_heterogeneous() {
+        // At this reduced scale DDWRR's static windows misplace a visible
+        // fraction of the few high-res tiles (an end-game imbalance the
+        // paper also discusses); the stable property is ODDS's dominance.
+        let rows = fig10(&[0.08], T);
+        let r = &rows[0];
+        assert!(r.odds > 1.3 * r.ddwrr, "{r:?}");
+        assert!(r.odds > 1.3 * r.ddfcfs, "{r:?}");
+    }
+
+    #[test]
+    fn odds_degrades_more_gracefully_on_a_slow_node() {
+        let rows = perturb_slow_node(&[1.0, 0.25], T);
+        let odds_loss = rows[0].odds / rows[1].odds;
+        let ddwrr_loss = rows[0].ddwrr / rows[1].ddwrr;
+        // Both lose capacity, but ODDS must keep a clear advantage at the
+        // perturbed point and lose no more (proportionally) than DDWRR.
+        assert!(rows[1].odds > rows[1].ddwrr, "{rows:?}");
+        assert!(odds_loss < ddwrr_loss * 1.25, "{rows:?}");
+    }
+
+    #[test]
+    fn fig12_produces_traces() {
+        let r = fig12(T, 25);
+        assert!(!r.util_traces.is_empty());
+        assert!(r
+            .request_traces
+            .iter()
+            .any(|(_, t)| t.iter().any(|&(_, v)| v > 1)));
+        assert!(trace_horizon(&r) > SimTime::ZERO);
+    }
+
+    #[test]
+    fn fig13_scales_with_nodes() {
+        let rows = fig13(&[1, 2, 4], T * 4);
+        assert!(rows[1].odds > 1.4 * rows[0].odds, "{rows:?}");
+        assert!(rows[2].odds > 1.3 * rows[1].odds, "{rows:?}");
+        for r in &rows {
+            assert!(r.odds >= r.ddfcfs * 0.95, "{r:?}");
+        }
+    }
+}

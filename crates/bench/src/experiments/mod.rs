@@ -1,0 +1,6 @@
+//! One module per evaluation area of the paper; each public function
+//! regenerates one table or figure and returns structured rows.
+
+pub mod cluster;
+pub mod estimator;
+pub mod transfer;

@@ -1,0 +1,191 @@
+//! Terminal line charts for the regenerated figures: the `repro` binary
+//! prints each figure both as the paper's data table and as an ASCII
+//! chart so the *shape* (crossovers, saturation, dips) is visible at a
+//! glance.
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points (x ascending).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Build a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Chart geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct ChartSpec {
+    /// Plot width in columns (excluding the y-axis gutter).
+    pub width: usize,
+    /// Plot height in rows.
+    pub height: usize,
+    /// Force the y-axis to start at zero.
+    pub zero_y: bool,
+}
+
+impl Default for ChartSpec {
+    fn default() -> Self {
+        ChartSpec {
+            width: 60,
+            height: 16,
+            zero_y: true,
+        }
+    }
+}
+
+const MARKS: [char; 6] = ['o', '+', 'x', '*', '#', '@'];
+
+/// Render the series into a multi-line string.
+pub fn render(series: &[Series], spec: ChartSpec) -> String {
+    let pts: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if pts.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    if spec.zero_y {
+        y_min = y_min.min(0.0);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    let w = spec.width.max(8);
+    let h = spec.height.max(4);
+    let mut grid = vec![vec![' '; w]; h];
+
+    let to_col = |x: f64| (((x - x_min) / (x_max - x_min)) * (w - 1) as f64).round() as usize;
+    let to_row = |y: f64| {
+        let r = ((y - y_min) / (y_max - y_min)) * (h - 1) as f64;
+        h - 1 - (r.round() as usize).min(h - 1)
+    };
+
+    for (si, s) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        // Connect consecutive points with interpolated cells, then stamp
+        // the marker at the data points.
+        for pair in s.points.windows(2) {
+            let (x0, y0) = pair[0];
+            let (x1, y1) = pair[1];
+            let (c0, c1) = (to_col(x0), to_col(x1));
+            let steps = c1.abs_diff(c0).max(1);
+            for step in 0..=steps {
+                let f = step as f64 / steps as f64;
+                let x = x0 + (x1 - x0) * f;
+                let y = y0 + (y1 - y0) * f;
+                let (row, col) = (to_row(y), to_col(x));
+                if grid[row][col] == ' ' {
+                    grid[row][col] = '.';
+                }
+            }
+        }
+        for &(x, y) in &s.points {
+            grid[to_row(y)][to_col(x)] = mark;
+        }
+    }
+
+    let mut out = String::new();
+    let gutter = 9;
+    for (ri, row) in grid.iter().enumerate() {
+        let label = if ri == 0 {
+            format!("{y_max:>8.1}")
+        } else if ri == h - 1 {
+            format!("{y_min:>8.1}")
+        } else {
+            " ".repeat(8)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(gutter - 1));
+    out.push('+');
+    out.push_str(&"-".repeat(w));
+    out.push('\n');
+    out.push_str(&" ".repeat(gutter));
+    let left = format!("{x_min:.0}");
+    let right = format!("{x_max:.0}");
+    out.push_str(&left);
+    let pad = w.saturating_sub(left.len() + right.len());
+    out.push_str(&" ".repeat(pad));
+    out.push_str(&right);
+    out.push('\n');
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>gutter$}{} = {}\n",
+            "",
+            MARKS[si % MARKS.len()],
+            s.label
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(label: &str, f: impl Fn(f64) -> f64) -> Series {
+        Series::new(label, (0..=10).map(|i| (i as f64, f(i as f64))).collect())
+    }
+
+    #[test]
+    fn renders_axes_and_legend() {
+        let chart = render(&[line("up", |x| x), line("down", |x| 10.0 - x)], ChartSpec::default());
+        assert!(chart.contains("o = up"));
+        assert!(chart.contains("+ = down"));
+        assert!(chart.contains("+---"));
+        // Y labels at the extremes.
+        assert!(chart.contains("10.0"));
+        assert!(chart.contains("0.0"));
+    }
+
+    #[test]
+    fn increasing_series_puts_last_point_at_top_right() {
+        let chart = render(&[line("up", |x| x)], ChartSpec { width: 20, height: 8, zero_y: true });
+        let rows: Vec<&str> = chart.lines().collect();
+        // First plotted row (top) should contain the marker near its end.
+        let top = rows[0];
+        assert!(top.trim_end().ends_with('o'), "top row: {top:?}");
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        assert_eq!(render(&[], ChartSpec::default()), "(no data)\n");
+        let s = Series::new("empty", vec![]);
+        assert_eq!(render(&[s], ChartSpec::default()), "(no data)\n");
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = Series::new("flat", vec![(1.0, 5.0), (2.0, 5.0)]);
+        let chart = render(&[s], ChartSpec::default());
+        assert!(chart.contains('o'));
+    }
+
+    #[test]
+    fn single_point_renders() {
+        let s = Series::new("dot", vec![(3.0, 7.0)]);
+        let chart = render(&[s], ChartSpec::default());
+        assert!(chart.contains('o'));
+    }
+}

@@ -1,0 +1,652 @@
+//! The native intra-node runtime: real worker threads, shared event
+//! queues, and the demand-driven scheduling policies, executing actual
+//! computation.
+//!
+//! This is the threaded counterpart of the virtual-time executor in
+//! [`crate::sim`]: the same policy data structures ([`SharedQueue`],
+//! per-device weights) drive OS threads instead of simulated devices. It
+//! demonstrates the filter-stream programming model end to end — filters
+//! with per-device handlers, transparent replication as worker threads,
+//! recirculation for multi-resolution loops — on hardware that exists
+//! everywhere (CPU cores), with accelerator speed differences optionally
+//! *emulated* by calibrated busy-waits (see [`ExecMode`]).
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use crate::buffer::DataBuffer;
+use crate::policy::PolicyKind;
+use crate::queue::SharedQueue;
+use crate::weights::WeightProvider;
+use anthill_hetsim::DeviceKind;
+
+/// A work item in the local runtime: scheduling metadata plus an opaque
+/// application payload.
+pub struct LocalTask {
+    /// Scheduling metadata (parameters, cost shape, level).
+    pub buffer: DataBuffer,
+    /// Application payload, downcast by the filter.
+    pub payload: Box<dyn Any + Send>,
+}
+
+impl LocalTask {
+    /// Build a task from metadata and any sendable payload.
+    pub fn new(buffer: DataBuffer, payload: impl Any + Send) -> LocalTask {
+        LocalTask {
+            buffer,
+            payload: Box::new(payload),
+        }
+    }
+}
+
+/// Where a handler sends a produced task.
+pub struct Emitter<'a> {
+    forward: &'a mut Vec<LocalTask>,
+    back: &'a mut Vec<LocalTask>,
+}
+
+impl Emitter<'_> {
+    /// Send a task downstream (to the next filter, or the run output if
+    /// this is the last filter).
+    pub fn forward(&mut self, task: LocalTask) {
+        self.forward.push(task);
+    }
+
+    /// Recirculate a task into this filter's own input queue (the
+    /// multi-resolution reprocessing loop of NBIA's Figure 1).
+    pub fn recirculate(&mut self, task: LocalTask) {
+        self.back.push(task);
+    }
+}
+
+/// A filter: per-device event handlers invoked by the runtime. Handlers
+/// run concurrently on multiple worker threads, so filters hold only
+/// shared state.
+pub trait LocalFilter: Send + Sync + 'static {
+    /// Handle one event on a device of the given kind.
+    fn handle(&self, device: DeviceKind, task: LocalTask, out: &mut Emitter<'_>);
+}
+
+/// How a worker executes tasks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecMode {
+    /// Run the handler; its real duration is the task's cost.
+    Native,
+    /// Busy-wait the task's modeled device time scaled by the factor, then
+    /// run the handler. Lets a CPU thread stand in for a faster or slower
+    /// device while still computing real results.
+    Emulated {
+        /// Multiplier applied to the modeled time (use ≤1e-3 in tests).
+        scale: f64,
+    },
+}
+
+/// One worker slot of a stage: a device identity plus its execution mode.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerSpec {
+    /// The device class this thread represents.
+    pub kind: DeviceKind,
+    /// Execution mode.
+    pub mode: ExecMode,
+}
+
+struct StageQueue {
+    queue: Mutex<SharedQueue>,
+    cv: Condvar,
+    /// Signalled when the queue drops below capacity (backpressure).
+    space: Condvar,
+}
+
+impl StageQueue {
+    fn new() -> StageQueue {
+        StageQueue {
+            queue: Mutex::new(SharedQueue::new()),
+            cv: Condvar::new(),
+            space: Condvar::new(),
+        }
+    }
+}
+
+/// Per-stage, per-device execution counters.
+#[derive(Debug, Clone, Default)]
+pub struct LocalReport {
+    /// `(stage, device kind, level) -> tasks handled`.
+    pub handled: HashMap<(usize, DeviceKind, u8), u64>,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl LocalReport {
+    /// Tasks of `level` handled by `kind` workers on `stage`.
+    pub fn count(&self, stage: usize, kind: DeviceKind, level: u8) -> u64 {
+        self.handled
+            .get(&(stage, kind, level))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total tasks handled across all stages and devices.
+    pub fn total(&self) -> u64 {
+        self.handled.values().sum()
+    }
+}
+
+struct Stage {
+    filter: Arc<dyn LocalFilter>,
+    workers: Vec<WorkerSpec>,
+}
+
+/// A linear pipeline of filters with optional recirculation, executed by
+/// real threads under a chosen scheduling policy.
+pub struct Pipeline {
+    stages: Vec<Stage>,
+    policy: PolicyKind,
+    capacity: Option<usize>,
+}
+
+impl Pipeline {
+    /// An empty pipeline under the given receiver-side policy (DDFCFS pops
+    /// FIFO; DDWRR/ODDS pop best-per-device).
+    pub fn new(policy: PolicyKind) -> Pipeline {
+        Pipeline {
+            stages: Vec::new(),
+            policy,
+            capacity: None,
+        }
+    }
+
+    /// Bound every stage queue to `capacity` buffers: a producer thread
+    /// blocks in `forward` until the downstream queue has space — the
+    /// demand-driven behaviour of the paper's streams, where consumers
+    /// pull only as much as their request window admits. Source injection
+    /// and recirculation bypass the bound (a worker must never block on
+    /// its own stage's queue).
+    pub fn with_capacity(mut self, capacity: usize) -> Pipeline {
+        self.capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// Append a filter stage with its worker slots. Returns the stage id.
+    pub fn add_stage(
+        &mut self,
+        filter: Arc<dyn LocalFilter>,
+        workers: Vec<WorkerSpec>,
+    ) -> usize {
+        assert!(!workers.is_empty(), "a stage needs at least one worker");
+        self.stages.push(Stage { filter, workers });
+        self.stages.len() - 1
+    }
+
+    /// Run the pipeline to completion on the given source tasks; returns
+    /// the tasks emitted by the final stage and the execution report.
+    ///
+    /// Termination: the runtime counts in-flight tasks (queued plus being
+    /// handled); when the count reaches zero every queue is closed and the
+    /// workers join.
+    pub fn run<W: WeightProvider + Sync>(
+        &self,
+        sources: Vec<LocalTask>,
+        weights: &W,
+    ) -> (Vec<LocalTask>, LocalReport) {
+        assert!(!self.stages.is_empty(), "pipeline has no stages");
+        let started = Instant::now();
+        let n_stages = self.stages.len();
+        let queues: Vec<Arc<StageQueue>> =
+            (0..n_stages).map(|_| Arc::new(StageQueue::new())).collect();
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new(AtomicUsizeFlag::new());
+        let (out_tx, out_rx): (Sender<LocalTask>, Receiver<LocalTask>) = unbounded();
+        type Counters = HashMap<(usize, DeviceKind, u8), u64>;
+        let counters: Arc<Mutex<Counters>> = Arc::new(Mutex::new(HashMap::new()));
+
+        // Payload storage: SharedQueue holds only metadata, so payloads are
+        // parked in a side table keyed by buffer id.
+        type PayloadTable = HashMap<u64, Box<dyn Any + Send>>;
+        let payloads: Arc<Mutex<PayloadTable>> = Arc::new(Mutex::new(HashMap::new()));
+
+        let capacity = self.capacity;
+        let enqueue = |stage: usize, task: LocalTask, queues: &[Arc<StageQueue>], bounded: bool| {
+            let w = [
+                weights.weight(&task.buffer, DeviceKind::Cpu),
+                weights.weight(&task.buffer, DeviceKind::Gpu),
+            ];
+            let id = task.buffer.id.0;
+            payloads.lock().insert(id, task.payload);
+            let sq = &queues[stage];
+            let mut q = sq.queue.lock();
+            if bounded {
+                if let Some(cap) = capacity {
+                    while q.len() >= cap && !done.is_set() {
+                        sq.space.wait(&mut q);
+                    }
+                }
+            }
+            q.insert(task.buffer, w, None);
+            drop(q);
+            sq.cv.notify_one();
+        };
+
+        in_flight.store(sources.len(), Ordering::SeqCst);
+        for t in sources {
+            enqueue(0, t, &queues, false);
+        }
+        if in_flight.load(Ordering::SeqCst) == 0 {
+            return (Vec::new(), LocalReport {
+                handled: HashMap::new(),
+                elapsed: started.elapsed(),
+            });
+        }
+
+        std::thread::scope(|scope| {
+            for (si, stage) in self.stages.iter().enumerate() {
+                for spec in &stage.workers {
+                    let spec = *spec;
+                    let filter = Arc::clone(&stage.filter);
+                    let queues = &queues;
+                    let in_flight = Arc::clone(&in_flight);
+                    let done = Arc::clone(&done);
+                    let out_tx = out_tx.clone();
+                    let counters = Arc::clone(&counters);
+                    let payloads = &payloads;
+                    let policy = self.policy;
+                    let enqueue_ref = &enqueue;
+                    scope.spawn(move || {
+                        loop {
+                            // Pull the next buffer per the policy.
+                            let popped = {
+                                let sq = &queues[si];
+                                let mut q = sq.queue.lock();
+                                loop {
+                                    if done.is_set() {
+                                        return;
+                                    }
+                                    let item = if policy.receiver_sorted() {
+                                        q.pop_best(spec.kind)
+                                    } else {
+                                        q.pop_fifo()
+                                    };
+                                    match item {
+                                        Some((buffer, _)) => {
+                                            sq.space.notify_one();
+                                            break buffer;
+                                        }
+                                        None => sq.cv.wait(&mut q),
+                                    }
+                                }
+                            };
+                            let payload = payloads
+                                .lock()
+                                .remove(&popped.id.0)
+                                .expect("payload parked for queued buffer");
+                            let task = LocalTask {
+                                buffer: popped,
+                                payload,
+                            };
+                            if let ExecMode::Emulated { scale } = spec.mode {
+                                let modeled = match spec.kind {
+                                    DeviceKind::Cpu => task.buffer.shape.cpu,
+                                    DeviceKind::Gpu => task.buffer.shape.gpu_kernel,
+                                };
+                                spin_for(Duration::from_secs_f64(
+                                    modeled.as_secs_f64() * scale,
+                                ));
+                            }
+                            let mut fwd = Vec::new();
+                            let mut back = Vec::new();
+                            let level = task.buffer.level;
+                            // A panicking handler must not strand the other
+                            // workers: shut the pipeline down, then let the
+                            // panic propagate through the scope.
+                            let handled = std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(|| {
+                                    filter.handle(
+                                        spec.kind,
+                                        task,
+                                        &mut Emitter {
+                                            forward: &mut fwd,
+                                            back: &mut back,
+                                        },
+                                    );
+                                }),
+                            );
+                            if let Err(payload) = handled {
+                                done.set();
+                                for q in queues.iter() {
+                                    let _guard = q.queue.lock();
+                                    q.cv.notify_all();
+                                    q.space.notify_all();
+                                }
+                                std::panic::resume_unwind(payload);
+                            }
+                            *counters
+                                .lock()
+                                .entry((si, spec.kind, level))
+                                .or_insert(0) += 1;
+                            // Account emissions before retiring this task so
+                            // the in-flight count can never dip to zero early.
+                            let emitted = fwd.len() + back.len();
+                            if emitted > 0 {
+                                in_flight.fetch_add(emitted, Ordering::SeqCst);
+                            }
+                            for t in back {
+                                // Recirculation bypasses the bound: a worker
+                                // must not block on its own stage's queue.
+                                enqueue_ref(si, t, queues, false);
+                            }
+                            for t in fwd {
+                                if si + 1 < n_stages {
+                                    enqueue_ref(si + 1, t, queues, true);
+                                } else {
+                                    // Terminal emission: leaves the pipeline.
+                                    let _ = out_tx.send(t);
+                                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                                }
+                            }
+                            if in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
+                                // Last task retired: wake everyone to exit.
+                                // Taking each queue lock before notifying
+                                // closes the missed-wakeup window against
+                                // workers between their done-check and wait.
+                                done.set();
+                                for q in queues.iter() {
+                                    let _guard = q.queue.lock();
+                                    q.cv.notify_all();
+                                    q.space.notify_all();
+                                }
+                            }
+                        }
+                    });
+                }
+            }
+        });
+
+        drop(out_tx);
+        let outputs: Vec<LocalTask> = out_rx.try_iter().collect();
+        let handled = counters.lock().clone();
+        (
+            outputs,
+            LocalReport {
+                handled,
+                elapsed: started.elapsed(),
+            },
+        )
+    }
+}
+
+/// A tiny settable flag (Condvar-friendly shutdown signal).
+struct AtomicUsizeFlag(AtomicUsize);
+
+impl AtomicUsizeFlag {
+    fn new() -> AtomicUsizeFlag {
+        AtomicUsizeFlag(AtomicUsize::new(0))
+    }
+    fn set(&self) {
+        self.0.store(1, Ordering::SeqCst);
+    }
+    fn is_set(&self) -> bool {
+        self.0.load(Ordering::SeqCst) == 1
+    }
+}
+
+/// Busy-wait for a duration (models device occupancy without yielding the
+/// core, as a real device-managing thread would).
+fn spin_for(d: Duration) {
+    let end = Instant::now() + d;
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferId;
+    use crate::weights::OracleWeights;
+    use anthill_estimator::TaskParams;
+    use anthill_hetsim::{GpuParams, NbiaCostModel, TaskShape};
+    use anthill_simkit::SimDuration;
+
+    fn tiny_shape() -> TaskShape {
+        TaskShape {
+            cpu: SimDuration::from_micros(50),
+            gpu_kernel: SimDuration::from_micros(50),
+            bytes_in: 64,
+            bytes_out: 64,
+        }
+    }
+
+    fn task(id: u64, value: impl std::any::Any + Send) -> LocalTask {
+        LocalTask::new(
+            DataBuffer {
+                id: BufferId(id),
+                params: TaskParams::nums(&[id as f64]),
+                shape: tiny_shape(),
+                level: 0,
+                task: id,
+            },
+            value,
+        )
+    }
+
+    fn oracle() -> OracleWeights {
+        OracleWeights::new(GpuParams::geforce_8800gt(), true)
+    }
+
+    /// Doubles the payload integer and forwards it.
+    struct Doubler;
+    impl LocalFilter for Doubler {
+        fn handle(&self, _d: DeviceKind, task: LocalTask, out: &mut Emitter<'_>) {
+            let v = *task.payload.downcast::<u64>().expect("u64 payload");
+            out.forward(LocalTask::new(task.buffer, v * 2));
+        }
+    }
+
+    #[test]
+    fn single_stage_processes_everything() {
+        let mut p = Pipeline::new(PolicyKind::DdFcfs);
+        p.add_stage(
+            Arc::new(Doubler),
+            vec![WorkerSpec {
+                kind: DeviceKind::Cpu,
+                mode: ExecMode::Native,
+            }],
+        );
+        let (out, report) = p.run((0..100).map(|i| task(i, i)).collect(), &oracle());
+        assert_eq!(out.len(), 100);
+        assert_eq!(report.total(), 100);
+        let mut values: Vec<u64> = out
+            .into_iter()
+            .map(|t| *t.payload.downcast::<u64>().unwrap())
+            .collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn two_stages_chain() {
+        let mut p = Pipeline::new(PolicyKind::DdFcfs);
+        let workers = vec![
+            WorkerSpec {
+                kind: DeviceKind::Cpu,
+                mode: ExecMode::Native,
+            };
+            2
+        ];
+        p.add_stage(Arc::new(Doubler), workers.clone());
+        p.add_stage(Arc::new(Doubler), workers);
+        let (out, report) = p.run((0..50).map(|i| task(i, 1u64)).collect(), &oracle());
+        assert_eq!(out.len(), 50);
+        assert!(out
+            .iter()
+            .all(|t| *t.payload.downcast_ref::<u64>().unwrap() == 4));
+        assert_eq!(report.total(), 100);
+    }
+
+    /// Recirculates level-0 tasks once at level 1, then forwards.
+    struct Recirculator;
+    impl LocalFilter for Recirculator {
+        fn handle(&self, _d: DeviceKind, task: LocalTask, out: &mut Emitter<'_>) {
+            if task.buffer.level == 0 {
+                let mut buffer = task.buffer.clone();
+                buffer.level = 1;
+                buffer.id = BufferId(buffer.id.0 + 1_000_000);
+                out.recirculate(LocalTask::new(buffer, ()));
+            } else {
+                out.forward(LocalTask::new(task.buffer, ()));
+            }
+        }
+    }
+
+    #[test]
+    fn recirculation_reprocesses_at_next_level() {
+        let mut p = Pipeline::new(PolicyKind::DdFcfs);
+        p.add_stage(
+            Arc::new(Recirculator),
+            vec![
+                WorkerSpec {
+                    kind: DeviceKind::Cpu,
+                    mode: ExecMode::Native,
+                };
+                3
+            ],
+        );
+        let (out, report) = p.run((0..40).map(|i| task(i, ())).collect(), &oracle());
+        assert_eq!(out.len(), 40);
+        assert!(out.iter().all(|t| t.buffer.level == 1));
+        assert_eq!(report.count(0, DeviceKind::Cpu, 0), 40);
+        assert_eq!(report.count(0, DeviceKind::Cpu, 1), 40);
+    }
+
+    /// Forwards tasks unchanged (identity filter).
+    struct Identity;
+    impl LocalFilter for Identity {
+        fn handle(&self, _d: DeviceKind, task: LocalTask, out: &mut Emitter<'_>) {
+            out.forward(task);
+        }
+    }
+
+    #[test]
+    fn ddwrr_steers_big_tasks_to_the_emulated_gpu() {
+        // Mixed workload: many small tiles, some large. With sorted pops
+        // the GPU worker should end up with the large ones.
+        let model = NbiaCostModel::paper_calibrated();
+        let mk = |id: u64, side: u32| {
+            LocalTask::new(
+                DataBuffer {
+                    id: BufferId(id),
+                    params: TaskParams::nums(&[f64::from(side)]),
+                    shape: model.tile(side),
+                    level: if side > 32 { 1 } else { 0 },
+                    task: id,
+                },
+                (),
+            )
+        };
+        let mut sources = Vec::new();
+        for i in 0..60 {
+            sources.push(mk(i, 32));
+        }
+        for i in 60..72 {
+            sources.push(mk(i, 512));
+        }
+        // Scale keeps per-task times well above thread-spawn jitter so the
+        // policy, not the OS scheduler, decides the assignment.
+        let mut p = Pipeline::new(PolicyKind::DdWrr);
+        p.add_stage(
+            Arc::new(Identity),
+            vec![
+                WorkerSpec {
+                    kind: DeviceKind::Cpu,
+                    mode: ExecMode::Emulated { scale: 0.05 },
+                },
+                WorkerSpec {
+                    kind: DeviceKind::Gpu,
+                    mode: ExecMode::Emulated { scale: 0.05 },
+                },
+            ],
+        );
+        let (out, report) = p.run(sources, &oracle());
+        assert_eq!(out.len(), 72);
+        let gpu_high = report.count(0, DeviceKind::Gpu, 1);
+        let cpu_high = report.count(0, DeviceKind::Cpu, 1);
+        assert!(
+            gpu_high >= 10 && cpu_high <= 2,
+            "high-res: gpu {gpu_high}, cpu {cpu_high}"
+        );
+    }
+
+    /// Panics on a poison value.
+    struct Poison;
+    impl LocalFilter for Poison {
+        fn handle(&self, _d: DeviceKind, task: LocalTask, out: &mut Emitter<'_>) {
+            let v = *task.payload.downcast_ref::<u64>().expect("u64");
+            assert!(v != 13, "poison task");
+            out.forward(task);
+        }
+    }
+
+    #[test]
+    fn panicking_filter_propagates_instead_of_hanging() {
+        let mut p = Pipeline::new(PolicyKind::DdFcfs);
+        p.add_stage(
+            Arc::new(Poison),
+            vec![
+                WorkerSpec {
+                    kind: DeviceKind::Cpu,
+                    mode: ExecMode::Native,
+                };
+                2
+            ],
+        );
+        let sources: Vec<LocalTask> = (0..40).map(|i| task(i, i)).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.run(sources, &oracle())
+        }));
+        assert!(result.is_err(), "the poison panic must propagate");
+    }
+
+    #[test]
+    fn bounded_queues_still_process_everything() {
+        let mut p = Pipeline::new(PolicyKind::DdFcfs).with_capacity(2);
+        let workers = vec![
+            WorkerSpec {
+                kind: DeviceKind::Cpu,
+                mode: ExecMode::Native,
+            };
+            2
+        ];
+        p.add_stage(Arc::new(Doubler), workers.clone());
+        p.add_stage(Arc::new(Doubler), workers.clone());
+        p.add_stage(Arc::new(Doubler), workers);
+        let (out, report) = p.run((0..200u64).map(|i| task(i, i)).collect(), &oracle());
+        assert_eq!(out.len(), 200);
+        assert_eq!(report.total(), 600);
+        let mut values: Vec<u64> = out
+            .into_iter()
+            .map(|t| *t.payload.downcast::<u64>().unwrap())
+            .collect();
+        values.sort_unstable();
+        assert_eq!(values, (0..200).map(|i| i * 8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_source_returns_immediately() {
+        let mut p = Pipeline::new(PolicyKind::DdFcfs);
+        p.add_stage(
+            Arc::new(Identity),
+            vec![WorkerSpec {
+                kind: DeviceKind::Cpu,
+                mode: ExecMode::Native,
+            }],
+        );
+        let (out, report) = p.run(Vec::new(), &oracle());
+        assert!(out.is_empty());
+        assert_eq!(report.total(), 0);
+    }
+}

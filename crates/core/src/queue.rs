@@ -1,0 +1,297 @@
+//! The shared ready-buffer queue with per-device sorted views.
+//!
+//! Both ends of an ODDS stream, and the receiver side of DDWRR, keep a
+//! single pool of queued data buffers plus one *view* per processor type,
+//! sorted by the buffer's weight for that type (paper Sections 5.2–5.3).
+//! Popping the best buffer for one device removes it from every view —
+//! that removal is the heart of DBSA ("it removes the same buffer from all
+//! other sorted queues").
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::buffer::{BufferId, DataBuffer};
+use anthill_hetsim::DeviceKind;
+
+/// Totally ordered f64 wrapper (NaN treated as the lowest weight).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdWeight(f64);
+
+impl Eq for OrdWeight {}
+impl PartialOrd for OrdWeight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdWeight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let a = if self.0.is_nan() { f64::NEG_INFINITY } else { self.0 };
+        let b = if other.0.is_nan() { f64::NEG_INFINITY } else { other.0 };
+        a.partial_cmp(&b).expect("sanitized weights compare")
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    buffer: DataBuffer,
+    /// Arrival sequence (FIFO order; also the deterministic tie-breaker).
+    seq: u64,
+    /// FIFO priority band (lower pops first; bands only affect FIFO order).
+    band: u8,
+    /// Weight per device kind, in `DeviceKind::ALL` order.
+    weights: [f64; 2],
+    /// Requesting thread tag, if any (ODDS request accounting).
+    tag: Option<u64>,
+}
+
+/// A pool of ready buffers with FIFO and per-device sorted views.
+///
+/// ```
+/// use anthill::buffer::{BufferId, DataBuffer};
+/// use anthill::queue::SharedQueue;
+/// use anthill_estimator::TaskParams;
+/// use anthill_hetsim::{DeviceKind, NbiaCostModel};
+///
+/// let model = NbiaCostModel::paper_calibrated();
+/// let tile = |id: u64, side: u32| DataBuffer {
+///     id: BufferId(id),
+///     params: TaskParams::nums(&[f64::from(side)]),
+///     shape: model.tile(side),
+///     level: u8::from(side > 32),
+///     task: id,
+/// };
+/// let mut q = SharedQueue::new();
+/// q.insert(tile(1, 32), [1.0, 1.0], None);   // [cpu weight, gpu weight]
+/// q.insert(tile(2, 512), [0.03, 33.0], None);
+/// // The GPU takes the 512² tile; the CPU view no longer offers it.
+/// assert_eq!(q.pop_best(DeviceKind::Gpu).unwrap().0.id.0, 2);
+/// assert_eq!(q.pop_best(DeviceKind::Cpu).unwrap().0.id.0, 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct SharedQueue {
+    entries: HashMap<BufferId, Entry>,
+    fifo: BTreeMap<(u8, u64), BufferId>,
+    /// Per device kind: (weight, seq) -> buffer. Max key = best buffer;
+    /// older buffers win weight ties (seq stored negated via `u64::MAX -`).
+    sorted: [BTreeMap<(OrdWeight, u64), BufferId>; 2],
+    next_seq: u64,
+}
+
+impl SharedQueue {
+    /// An empty queue.
+    pub fn new() -> SharedQueue {
+        SharedQueue::default()
+    }
+
+    fn kind_index(kind: DeviceKind) -> usize {
+        match kind {
+            DeviceKind::Cpu => 0,
+            DeviceKind::Gpu => 1,
+        }
+    }
+
+    /// Number of queued buffers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no buffers are queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert a buffer with its per-device weights. `tag` optionally
+    /// records which worker thread's request fetched it.
+    pub fn insert(&mut self, buffer: DataBuffer, weights: [f64; 2], tag: Option<u64>) {
+        self.insert_banded(buffer, weights, tag, 0);
+    }
+
+    /// Insert with an explicit FIFO priority band: buffers in a lower band
+    /// pop first in FIFO order regardless of arrival time. Used by readers
+    /// to keep recirculated (recalculation) work ahead of not-yet-started
+    /// tiles, modeling the demand-driven Start→Reader loop. Bands do not
+    /// affect the weight-sorted views.
+    pub fn insert_banded(
+        &mut self,
+        buffer: DataBuffer,
+        weights: [f64; 2],
+        tag: Option<u64>,
+        band: u8,
+    ) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = buffer.id;
+        for (k, w) in weights.iter().enumerate() {
+            self.sorted[k].insert((OrdWeight(*w), u64::MAX - seq), id);
+        }
+        self.fifo.insert((band, seq), id);
+        let prev = self.entries.insert(
+            id,
+            Entry {
+                buffer,
+                seq,
+                band,
+                weights,
+                tag,
+            },
+        );
+        assert!(prev.is_none(), "duplicate buffer id {id:?}");
+    }
+
+    fn remove_entry(&mut self, id: BufferId) -> Option<(DataBuffer, Option<u64>)> {
+        let e = self.entries.remove(&id)?;
+        self.fifo.remove(&(e.band, e.seq));
+        for (k, w) in e.weights.iter().enumerate() {
+            self.sorted[k].remove(&(OrdWeight(*w), u64::MAX - e.seq));
+        }
+        Some((e.buffer, e.tag))
+    }
+
+    /// Pop the oldest buffer (DDFCFS order). Returns the buffer and its
+    /// requesting-thread tag.
+    pub fn pop_fifo(&mut self) -> Option<(DataBuffer, Option<u64>)> {
+        let (&_, &id) = self.fifo.iter().next()?;
+        self.remove_entry(id)
+    }
+
+    /// Pop the highest-weighted buffer for `kind` (DDWRR/ODDS order),
+    /// removing it from every view.
+    pub fn pop_best(&mut self, kind: DeviceKind) -> Option<(DataBuffer, Option<u64>)> {
+        let k = Self::kind_index(kind);
+        let (&_, &id) = self.sorted[k].iter().next_back()?;
+        self.remove_entry(id)
+    }
+
+    /// Remove a specific buffer (e.g. chosen externally).
+    pub fn remove(&mut self, id: BufferId) -> Option<(DataBuffer, Option<u64>)> {
+        self.remove_entry(id)
+    }
+
+    /// Peek the weight of the best buffer for `kind`.
+    pub fn best_weight(&self, kind: DeviceKind) -> Option<f64> {
+        let k = Self::kind_index(kind);
+        self.sorted[k].keys().next_back().map(|(w, _)| w.0)
+    }
+
+    /// Iterate over queued buffers in FIFO order.
+    pub fn iter_fifo(&self) -> impl Iterator<Item = &DataBuffer> + '_ {
+        self.fifo.values().map(move |id| &self.entries[id].buffer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anthill_estimator::TaskParams;
+    use anthill_hetsim::TaskShape;
+    use anthill_simkit::SimDuration;
+
+    fn buf(id: u64) -> DataBuffer {
+        DataBuffer {
+            id: BufferId(id),
+            params: TaskParams::nums(&[id as f64]),
+            shape: TaskShape {
+                cpu: SimDuration::from_millis(1),
+                gpu_kernel: SimDuration::from_millis(1),
+                bytes_in: 100,
+                bytes_out: 10,
+            },
+            level: 0,
+            task: id,
+        }
+    }
+
+    #[test]
+    fn fifo_preserves_arrival_order() {
+        let mut q = SharedQueue::new();
+        for id in 0..5 {
+            q.insert(buf(id), [1.0, 1.0], None);
+        }
+        let ids: Vec<u64> = (0..5).map(|_| q.pop_fifo().unwrap().0.id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert!(q.pop_fifo().is_none());
+    }
+
+    #[test]
+    fn pop_best_returns_highest_weight_per_device() {
+        let mut q = SharedQueue::new();
+        q.insert(buf(1), [1.0, 33.0], None);
+        q.insert(buf(2), [1.0, 1.0], None);
+        q.insert(buf(3), [2.0, 0.5], None);
+        assert_eq!(q.pop_best(DeviceKind::Gpu).unwrap().0.id.0, 1);
+        assert_eq!(q.pop_best(DeviceKind::Cpu).unwrap().0.id.0, 3);
+        assert_eq!(q.pop_best(DeviceKind::Gpu).unwrap().0.id.0, 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn popping_for_one_device_removes_from_all_views() {
+        let mut q = SharedQueue::new();
+        q.insert(buf(1), [9.0, 9.0], None);
+        q.insert(buf(2), [1.0, 1.0], None);
+        let (b, _) = q.pop_best(DeviceKind::Gpu).unwrap();
+        assert_eq!(b.id.0, 1);
+        // The CPU view must not still offer buffer 1.
+        assert_eq!(q.pop_best(DeviceKind::Cpu).unwrap().0.id.0, 2);
+        assert!(q.pop_best(DeviceKind::Cpu).is_none());
+    }
+
+    #[test]
+    fn weight_ties_break_fifo() {
+        let mut q = SharedQueue::new();
+        for id in 0..4 {
+            q.insert(buf(id), [5.0, 5.0], None);
+        }
+        let ids: Vec<u64> = (0..4)
+            .map(|_| q.pop_best(DeviceKind::Gpu).unwrap().0.id.0)
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn lower_band_pops_first_in_fifo_only() {
+        let mut q = SharedQueue::new();
+        q.insert_banded(buf(1), [1.0, 1.0], None, 1);
+        q.insert_banded(buf(2), [9.0, 9.0], None, 1);
+        q.insert_banded(buf(3), [1.0, 1.0], None, 0); // arrives last, band 0
+        assert_eq!(q.pop_fifo().unwrap().0.id.0, 3);
+        assert_eq!(q.pop_fifo().unwrap().0.id.0, 1);
+        // Sorted views ignore bands entirely.
+        assert_eq!(q.pop_best(DeviceKind::Gpu).unwrap().0.id.0, 2);
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        let mut q = SharedQueue::new();
+        q.insert(buf(1), [1.0, 1.0], Some(42));
+        let (_, tag) = q.pop_fifo().unwrap();
+        assert_eq!(tag, Some(42));
+    }
+
+    #[test]
+    fn nan_weight_sorts_last_not_panics() {
+        let mut q = SharedQueue::new();
+        q.insert(buf(1), [f64::NAN, f64::NAN], None);
+        q.insert(buf(2), [1.0, 1.0], None);
+        assert_eq!(q.pop_best(DeviceKind::Gpu).unwrap().0.id.0, 2);
+        assert_eq!(q.pop_best(DeviceKind::Gpu).unwrap().0.id.0, 1);
+    }
+
+    #[test]
+    fn remove_specific_buffer() {
+        let mut q = SharedQueue::new();
+        q.insert(buf(1), [1.0, 1.0], None);
+        q.insert(buf(2), [2.0, 2.0], None);
+        assert!(q.remove(BufferId(1)).is_some());
+        assert!(q.remove(BufferId(1)).is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.iter_fifo().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate buffer id")]
+    fn duplicate_ids_rejected() {
+        let mut q = SharedQueue::new();
+        q.insert(buf(1), [1.0, 1.0], None);
+        q.insert(buf(1), [1.0, 1.0], None);
+    }
+}

@@ -1,0 +1,809 @@
+//! The simulated cluster executor: the Anthill runtime's demand-driven
+//! streams, event scheduler and device workers, driven in virtual time over
+//! the hardware models of `anthill-hetsim`.
+//!
+//! Topology (matching the paper's NBIA deployment, Section 6): every node
+//! hosts one *reader* instance (the tiles are declustered round-robin over
+//! the nodes' local disks) and one *worker* instance (the fused NBIA
+//! filter) with one worker thread per CPU core and one manager thread per
+//! GPU. The reader→worker stream is the n×m demand-driven channel the
+//! three policies configure:
+//!
+//! * request windows are static (DDFCFS/DDWRR) or DQAA-adapted (ODDS);
+//! * the reader answers requests FIFO (DDFCFS/DDWRR) or via DBSA (ODDS);
+//! * workers consume their shared queue FIFO (DDFCFS) or best-fit
+//!   per device (DDWRR/ODDS).
+//!
+//! Recalculated tiles loop back to the owning reader through a small
+//! control message, reproducing the Classifier→Start→Reader cycle of
+//! Figure 1.
+
+use std::collections::HashMap;
+
+use anthill_estimator::ProfileStore;
+use anthill_hetsim::{
+    ClusterSpec, DeviceId, DeviceKind, GpuEngines, GpuParams, NetParams, Network,
+};
+use anthill_simkit::{
+    DurationHistogram, Engine, Scheduler, SimDuration, SimRng, SimTime, UtilizationTracker,
+    World,
+};
+
+use crate::buffer::DataBuffer;
+use crate::dqaa::Dqaa;
+use crate::policy::Policy;
+use crate::queue::SharedQueue;
+use crate::sim::report::SimReport;
+use crate::sim::workload::WorkloadSpec;
+use crate::transfer::{pipeline, AdaptiveStreams};
+use crate::weights::{EstimatorWeights, OracleWeights, WeightProvider};
+
+/// Bytes of a data-request control message.
+const REQUEST_BYTES: u64 = 64;
+/// Bytes of a recalculation notification message.
+const RECALC_BYTES: u64 = 128;
+
+/// Configuration of one simulated run.
+#[derive(Clone)]
+pub struct SimConfig {
+    /// The cluster topology.
+    pub cluster: ClusterSpec,
+    /// The stream scheduling policy.
+    pub policy: Policy,
+    /// Use the asynchronous transfer pipeline (Algorithm 1) on GPUs.
+    pub async_transfers: bool,
+    /// Disable CPU worker threads (GPU-only configurations).
+    pub gpu_only: bool,
+    /// Weight buffers with the kNN estimator (vs the oracle cost model).
+    pub use_estimator: bool,
+    /// Root RNG seed (estimator profile noise).
+    pub seed: u64,
+    /// GPU timing parameters.
+    pub gpu: GpuParams,
+    /// Network timing parameters.
+    pub net: NetParams,
+    /// Upper bound on any worker's request window.
+    pub max_request_window: usize,
+    /// Buckets for utilization traces (0 disables trace collection).
+    pub trace_buckets: usize,
+    /// Per-node CPU speed factors (1.0 = the calibrated core; 0.5 = half
+    /// speed). Nodes beyond the vector's length use 1.0. Models aged or
+    /// contended machines — heterogeneity beyond GPU presence.
+    pub cpu_speed: Vec<f64>,
+}
+
+impl SimConfig {
+    /// Defaults matching the paper's testbed.
+    pub fn new(cluster: ClusterSpec, policy: Policy) -> SimConfig {
+        SimConfig {
+            cluster,
+            policy,
+            async_transfers: true,
+            gpu_only: false,
+            use_estimator: true,
+            seed: 0x5EED,
+            gpu: GpuParams::geforce_8800gt(),
+            net: NetParams::gigabit_ethernet(),
+            max_request_window: 256,
+            trace_buckets: 0,
+            cpu_speed: Vec::new(),
+        }
+    }
+}
+
+enum Ev {
+    /// A data request arriving at a reader.
+    Request {
+        reader: usize,
+        wnode: usize,
+        thread: usize,
+        proctype: DeviceKind,
+        req_id: u64,
+    },
+    /// A data (or empty) reply arriving at a worker.
+    Data {
+        wnode: usize,
+        thread: usize,
+        req_id: u64,
+        buffer: Option<DataBuffer>,
+    },
+    /// A recalculation buffer materializing at its owning reader.
+    Recalc { reader: usize, buffer: DataBuffer },
+    /// A task finished on a device. `idle_after` marks one-at-a-time
+    /// execution (CPU / sync GPU) where completion frees the thread.
+    TaskDone {
+        node: usize,
+        thread: usize,
+        buffer: DataBuffer,
+        proc_time: SimDuration,
+        idle_after: bool,
+    },
+    /// An asynchronous GPU batch completed (frees the GPU manager thread).
+    RoundDone {
+        node: usize,
+        thread: usize,
+        started: SimTime,
+        k: usize,
+    },
+}
+
+struct ThreadState {
+    device: DeviceId,
+    dqaa: Dqaa,
+    static_target: usize,
+    dynamic: bool,
+    /// Buffers requested but not yet popped from the shared queue.
+    outstanding: usize,
+    busy: bool,
+    starved: bool,
+    /// In-flight request send times, keyed by request id.
+    sent: HashMap<u64, SimTime>,
+    /// GPU state (engines + Algorithm 1 controller) for GPU threads.
+    gpu: Option<(GpuEngines, AdaptiveStreams)>,
+    util: UtilizationTracker,
+    /// Target-window trace.
+    req_trace: Vec<(SimTime, usize)>,
+    /// Request round-trip latencies observed by this thread.
+    latency_hist: DurationHistogram,
+    /// Per-buffer service times on this device.
+    service_hist: DurationHistogram,
+    rr_cursor: usize,
+}
+
+impl ThreadState {
+    fn target(&self) -> usize {
+        if self.dynamic {
+            // A batched GPU manager must hold the in-service batch *plus*
+            // the DQAA window that hides the request latency; a
+            // one-at-a-time worker needs only the DQAA window.
+            let batch = self
+                .gpu
+                .as_ref()
+                .map(|(_, ctl)| ctl.concurrent_events())
+                .unwrap_or(0);
+            self.dqaa.target() + batch
+        } else {
+            self.static_target
+        }
+    }
+}
+
+struct NodeState {
+    /// Reader-side outgoing queue (sorted iff the policy selects at the
+    /// sender).
+    reader: SharedQueue,
+    /// Worker-side shared ready queue.
+    ready: SharedQueue,
+    threads: Vec<ThreadState>,
+}
+
+struct NbiaWorld {
+    policy: Policy,
+    async_transfers: bool,
+    max_window: usize,
+    /// Per-node CPU slowdown-adjusted service multiplier (1.0 default).
+    cpu_inv_speed: Vec<f64>,
+    workload: WorkloadSpec,
+    weights: Box<dyn WeightProvider>,
+    net: Network,
+    nodes: Vec<NodeState>,
+    next_req_id: u64,
+    finals_done: u64,
+    finish: SimTime,
+    tasks_by: HashMap<(DeviceKind, u8), u64>,
+    total_done: u64,
+}
+
+impl NbiaWorld {
+    fn weights_for(&self, buf: &DataBuffer) -> [f64; 2] {
+        [
+            self.weights.weight(buf, DeviceKind::Cpu),
+            self.weights.weight(buf, DeviceKind::Gpu),
+        ]
+    }
+
+    /// ThreadRequester: keep `outstanding` at the target window by sending
+    /// requests to readers that currently have data (round-robin).
+    fn pump_requests(&mut self, now: SimTime, node: usize, thread: usize, sched: &mut Scheduler<Ev>) {
+        let n_nodes = self.nodes.len();
+        loop {
+            let t = &self.nodes[node].threads[thread];
+            if t.outstanding >= t.target().min(self.max_window) {
+                return;
+            }
+            // Choose a sender: round-robin over readers with queued data.
+            let start = self.nodes[node].threads[thread].rr_cursor;
+            let mut chosen = None;
+            for off in 0..n_nodes {
+                let r = (start + off) % n_nodes;
+                if !self.nodes[r].reader.is_empty() {
+                    chosen = Some(r);
+                    break;
+                }
+            }
+            let Some(reader) = chosen else {
+                // Nothing anywhere: wait for a recalculation to materialize.
+                self.nodes[node].threads[thread].starved = true;
+                return;
+            };
+            let req_id = self.next_req_id;
+            self.next_req_id += 1;
+            let proctype = self.nodes[node].threads[thread].device.kind;
+            let arrival = self.net.send(now, node, reader, REQUEST_BYTES);
+            {
+                let t = &mut self.nodes[node].threads[thread];
+                t.rr_cursor = (reader + 1) % n_nodes;
+                t.outstanding += 1;
+                t.starved = false;
+                t.sent.insert(req_id, now);
+            }
+            sched.at(
+                arrival,
+                Ev::Request {
+                    reader,
+                    wnode: node,
+                    thread,
+                    proctype,
+                    req_id,
+                },
+            );
+        }
+    }
+
+    /// Wake every starved thread (a reader just became non-empty).
+    fn wake_starved(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        let idx: Vec<(usize, usize)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .flat_map(|(n, ns)| {
+                ns.threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.starved)
+                    .map(move |(i, _)| (n, i))
+            })
+            .collect();
+        for (n, t) in idx {
+            self.pump_requests(now, n, t, sched);
+        }
+    }
+
+    /// Pop one buffer from a node's ready queue per the policy, for a
+    /// device of `kind`; settles the request-window accounting of the
+    /// thread whose request fetched it.
+    fn pop_ready(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        kind: DeviceKind,
+        sched: &mut Scheduler<Ev>,
+    ) -> Option<DataBuffer> {
+        let popped = if self.policy.kind.receiver_sorted() {
+            self.nodes[node].ready.pop_best(kind)
+        } else {
+            self.nodes[node].ready.pop_fifo()
+        };
+        let (buffer, tag) = popped?;
+        if let Some(owner) = tag {
+            let owner = owner as usize;
+            if owner < self.nodes[node].threads.len() {
+                let t = &mut self.nodes[node].threads[owner];
+                t.outstanding = t.outstanding.saturating_sub(1);
+            }
+            self.pump_requests(now, node, owner, sched);
+        }
+        Some(buffer)
+    }
+
+    /// Try to hand ready buffers to every idle thread of a node.
+    fn dispatch(&mut self, now: SimTime, node: usize, sched: &mut Scheduler<Ev>) {
+        // GPUs first: they drain the queue fastest.
+        let order: Vec<usize> = {
+            let ts = &self.nodes[node].threads;
+            let mut idx: Vec<usize> = (0..ts.len()).collect();
+            idx.sort_by_key(|&i| match ts[i].device.kind {
+                DeviceKind::Gpu => 0,
+                DeviceKind::Cpu => 1,
+            });
+            idx
+        };
+        for ti in order {
+            if self.nodes[node].threads[ti].busy {
+                continue;
+            }
+            if self.nodes[node].ready.is_empty() {
+                break;
+            }
+            match self.nodes[node].threads[ti].device.kind {
+                DeviceKind::Cpu => {
+                    let Some(buffer) = self.pop_ready(now, node, DeviceKind::Cpu, sched) else {
+                        continue;
+                    };
+                    let inv = self.cpu_inv_speed.get(node).copied().unwrap_or(1.0);
+                    let t = &mut self.nodes[node].threads[ti];
+                    t.busy = true;
+                    t.util.set_busy(now);
+                    let dt = buffer.shape.cpu.mul_f64(inv);
+                    sched.after(
+                        dt,
+                        Ev::TaskDone {
+                            node,
+                            thread: ti,
+                            buffer,
+                            proc_time: dt,
+                            idle_after: true,
+                        },
+                    );
+                }
+                DeviceKind::Gpu => {
+                    if self.async_transfers {
+                        self.start_gpu_round(now, node, ti, sched);
+                    } else {
+                        let Some(buffer) = self.pop_ready(now, node, DeviceKind::Gpu, sched)
+                        else {
+                            continue;
+                        };
+                        let t = &mut self.nodes[node].threads[ti];
+                        t.busy = true;
+                        t.util.set_busy(now);
+                        let (gpu, _) = t.gpu.as_mut().expect("GPU thread has engines");
+                        let (_, fin) =
+                            gpu.run_sync(now, buffer.shape.bytes_in, buffer.shape.gpu_kernel, buffer.shape.bytes_out);
+                        let dt = fin.since(now);
+                        sched.at(
+                            fin,
+                            Ev::TaskDone {
+                                node,
+                                thread: ti,
+                                buffer,
+                                proc_time: dt,
+                                idle_after: true,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Start one asynchronous GPU batch (Algorithm 1's loop body).
+    fn start_gpu_round(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        ti: usize,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let k_target = {
+            let t = &self.nodes[node].threads[ti];
+            let (_, ctl) = t.gpu.as_ref().expect("GPU thread has a controller");
+            ctl.concurrent_events().max(1)
+        };
+        let mut batch = Vec::with_capacity(k_target);
+        while batch.len() < k_target {
+            match self.pop_ready(now, node, DeviceKind::Gpu, sched) {
+                Some(b) => batch.push(b),
+                None => break,
+            }
+        }
+        if batch.is_empty() {
+            return;
+        }
+        let shapes: Vec<_> = batch.iter().map(|b| b.shape).collect();
+        let t = &mut self.nodes[node].threads[ti];
+        t.busy = true;
+        t.util.set_busy(now);
+        let (gpu, _) = t.gpu.as_mut().expect("GPU thread has engines");
+        let (completions, end) = pipeline::execute_batch(gpu, now, &shapes);
+        let k = batch.len();
+        let round = end.since(now);
+        let per_task = round / k as u64;
+        for (buffer, &fin) in batch.into_iter().zip(&completions) {
+            sched.at(
+                fin,
+                Ev::TaskDone {
+                    node,
+                    thread: ti,
+                    buffer,
+                    proc_time: per_task,
+                    idle_after: false,
+                },
+            );
+        }
+        sched.at(
+            end,
+            Ev::RoundDone {
+                node,
+                thread: ti,
+                started: now,
+                k,
+            },
+        );
+    }
+
+    /// Completion-side bookkeeping shared by all devices.
+    fn complete_task(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        thread: usize,
+        buffer: &DataBuffer,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let kind = self.nodes[node].threads[thread].device.kind;
+        *self.tasks_by.entry((kind, buffer.level)).or_insert(0) += 1;
+        self.total_done += 1;
+        if buffer.level == 0 && self.workload.is_recalc(buffer.task) {
+            // Classifier rejected the low-resolution result: loop the tile
+            // back to its owning reader at the next resolution.
+            let owner = (buffer.task % self.nodes.len() as u64) as usize;
+            let arrival = self.net.send(now, node, owner, RECALC_BYTES);
+            let high = self.workload.high_buffer(buffer.task);
+            sched.at(
+                arrival,
+                Ev::Recalc {
+                    reader: owner,
+                    buffer: high,
+                },
+            );
+        } else {
+            self.finals_done += 1;
+            if now > self.finish {
+                self.finish = now;
+            }
+        }
+    }
+
+    /// Idle-side bookkeeping: DQAA update, re-request, re-dispatch.
+    fn thread_idle(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        thread: usize,
+        processed: &[SimDuration],
+        sched: &mut Scheduler<Ev>,
+    ) {
+        {
+            let t = &mut self.nodes[node].threads[thread];
+            t.busy = false;
+            t.util.set_idle(now);
+            for &dt in processed {
+                t.dqaa.observe_processing(dt);
+                t.service_hist.record(dt);
+            }
+            let target = t.target();
+            t.req_trace.push((now, target));
+        }
+        self.pump_requests(now, node, thread, sched);
+        self.dispatch(now, node, sched);
+    }
+}
+
+impl World for NbiaWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::Request {
+                reader,
+                wnode,
+                thread,
+                proctype,
+                req_id,
+            } => {
+                let popped = if self.policy.kind.sender_selects() {
+                    self.nodes[reader].reader.pop_best(proctype)
+                } else {
+                    self.nodes[reader].reader.pop_fifo()
+                };
+                let buffer = popped.map(|(b, _)| b);
+                let bytes = buffer
+                    .as_ref()
+                    .map(DataBuffer::wire_bytes)
+                    .unwrap_or(REQUEST_BYTES);
+                let arrival = self.net.send(now, reader, wnode, bytes);
+                sched.at(
+                    arrival,
+                    Ev::Data {
+                        wnode,
+                        thread,
+                        req_id,
+                        buffer,
+                    },
+                );
+            }
+            Ev::Data {
+                wnode,
+                thread,
+                req_id,
+                buffer,
+            } => {
+                let latency = {
+                    let t = &mut self.nodes[wnode].threads[thread];
+                    t.sent.remove(&req_id).map(|sent| now.since(sent))
+                };
+                if let Some(lat) = latency {
+                    let t = &mut self.nodes[wnode].threads[thread];
+                    t.dqaa.observe_latency(lat);
+                    t.latency_hist.record(lat);
+                }
+                match buffer {
+                    Some(buffer) => {
+                        let w = self.weights_for(&buffer);
+                        self.nodes[wnode]
+                            .ready
+                            .insert(buffer, w, Some(thread as u64));
+                        self.dispatch(now, wnode, sched);
+                    }
+                    None => {
+                        // Empty reply: the reader drained since the request
+                        // was issued. Release the window slot and retry.
+                        let t = &mut self.nodes[wnode].threads[thread];
+                        t.outstanding = t.outstanding.saturating_sub(1);
+                        self.pump_requests(now, wnode, thread, sched);
+                    }
+                }
+            }
+            Ev::Recalc { reader, buffer } => {
+                let w = self.weights_for(&buffer);
+                // Recirculated work takes FIFO precedence over unread
+                // initial tiles (the demand-driven Start→Reader loop keeps
+                // in-flight tiles ahead of not-yet-started ones).
+                self.nodes[reader].reader.insert_banded(buffer, w, None, 0);
+                self.wake_starved(now, sched);
+            }
+            Ev::TaskDone {
+                node,
+                thread,
+                buffer,
+                proc_time,
+                idle_after,
+            } => {
+                self.complete_task(now, node, thread, &buffer, sched);
+                if idle_after {
+                    self.thread_idle(now, node, thread, &[proc_time], sched);
+                }
+            }
+            Ev::RoundDone {
+                node,
+                thread,
+                started,
+                k,
+            } => {
+                let round = now.since(started);
+                {
+                    let t = &mut self.nodes[node].threads[thread];
+                    let (_, ctl) = t.gpu.as_mut().expect("GPU thread has a controller");
+                    let secs = round.as_secs_f64();
+                    if secs > 0.0 {
+                        ctl.observe_throughput(k as f64 / secs);
+                    }
+                }
+                let per_task = round / k.max(1) as u64;
+                let processed = vec![per_task; k];
+                self.thread_idle(now, node, thread, &processed, sched);
+            }
+        }
+    }
+}
+
+/// Build the estimator-backed weight provider: phase-one benchmark of 30
+/// jobs across the workload's tile-size range with measurement noise, then
+/// a kNN fit with the paper's `k = 2`.
+fn build_estimator(cfg: &SimConfig, workload: &WorkloadSpec) -> EstimatorWeights {
+    let oracle = OracleWeights::new(cfg.gpu.clone(), cfg.async_transfers);
+    let mut rng = SimRng::new(cfg.seed).fork("estimator-profile");
+    let mut profile = ProfileStore::new("nbia");
+    let sides: Vec<u32> = {
+        // Geometric sweep low..high plus the two exact workload sizes.
+        let mut s = vec![workload.low_side, workload.high_side];
+        let mut side = workload.low_side;
+        while side < workload.high_side {
+            s.push(side);
+            side *= 2;
+        }
+        s
+    };
+    let mut count = 0;
+    while count < 30 {
+        for &side in &sides {
+            if count >= 30 {
+                break;
+            }
+            let buf = if side >= workload.high_side {
+                workload.high_buffer(0)
+            } else {
+                // Shape for the probed side.
+                DataBuffer {
+                    shape: workload.cost.tile(side),
+                    params: anthill_estimator::TaskParams::nums(&[f64::from(side)]),
+                    ..workload.low_buffer(0)
+                }
+            };
+            let cpu = oracle.predict_time(&buf, DeviceKind::Cpu) * rng.lognormal_noise(0.08);
+            let gpu = oracle.predict_time(&buf, DeviceKind::Gpu) * rng.lognormal_noise(0.08);
+            profile.add_cpu_gpu(buf.params.clone(), cpu, gpu);
+            count += 1;
+        }
+    }
+    EstimatorWeights::new(anthill_estimator::KnnEstimator::fit_default(profile))
+}
+
+/// Run the NBIA workload on the configured cluster; returns measurements.
+pub fn run_nbia(cfg: &SimConfig, workload: &WorkloadSpec) -> SimReport {
+    let weights: Box<dyn WeightProvider> = if cfg.use_estimator {
+        Box::new(build_estimator(cfg, workload))
+    } else {
+        Box::new(OracleWeights::new(cfg.gpu.clone(), cfg.async_transfers))
+    };
+
+    let n_nodes = cfg.cluster.len();
+    let mut nodes = Vec::with_capacity(n_nodes);
+    for (ni, spec) in cfg.cluster.nodes.iter().enumerate() {
+        let mut threads = Vec::new();
+        let mk_thread = |device: DeviceId, dynamic: bool, static_target: usize, gpu| ThreadState {
+            device,
+            dqaa: Dqaa::new(cfg.max_request_window),
+            static_target,
+            dynamic,
+            outstanding: 0,
+            busy: false,
+            starved: false,
+            sent: HashMap::new(),
+            gpu,
+            util: UtilizationTracker::new(),
+            req_trace: Vec::new(),
+            latency_hist: DurationHistogram::new(),
+            service_hist: DurationHistogram::new(),
+            rr_cursor: ni,
+        };
+        let dynamic = cfg.policy.kind.dynamic_requests();
+        if !cfg.gpu_only {
+            for c in 0..spec.cpu_cores {
+                threads.push(mk_thread(
+                    DeviceId {
+                        node: ni,
+                        kind: DeviceKind::Cpu,
+                        index: c,
+                    },
+                    dynamic,
+                    cfg.policy.request_size,
+                    None,
+                ));
+            }
+        }
+        for g in 0..spec.gpus {
+            threads.push(mk_thread(
+                DeviceId {
+                    node: ni,
+                    kind: DeviceKind::Gpu,
+                    index: g,
+                },
+                dynamic,
+                cfg.policy.request_size,
+                Some((
+                    GpuEngines::new(cfg.gpu.clone()),
+                    AdaptiveStreams::new(cfg.gpu.max_concurrent_events(
+                        workload.cost.tile(workload.high_side).footprint(),
+                    )),
+                )),
+            ));
+        }
+        nodes.push(NodeState {
+            reader: SharedQueue::new(),
+            ready: SharedQueue::new(),
+            threads,
+        });
+    }
+    assert!(
+        nodes.iter().any(|n| !n.threads.is_empty()),
+        "no worker devices configured"
+    );
+
+    let cpu_inv_speed: Vec<f64> = cfg
+        .cpu_speed
+        .iter()
+        .map(|&f| if f > 0.0 { 1.0 / f } else { 1.0 })
+        .collect();
+    let mut world = NbiaWorld {
+        policy: cfg.policy,
+        async_transfers: cfg.async_transfers,
+        max_window: cfg.max_request_window,
+        cpu_inv_speed,
+        workload: workload.clone(),
+        weights,
+        net: Network::new(n_nodes, cfg.net.clone()),
+        nodes,
+        next_req_id: 0,
+        finals_done: 0,
+        finish: SimTime::ZERO,
+        tasks_by: HashMap::new(),
+        total_done: 0,
+    };
+
+    // Decluster the tiles round-robin over the readers. Initial tiles sit
+    // in the low-priority FIFO band; recirculated buffers preempt them.
+    for tile in 0..workload.tiles {
+        let buf = workload.low_buffer(tile);
+        let w = world.weights_for(&buf);
+        let owner = (tile % n_nodes as u64) as usize;
+        world.nodes[owner].reader.insert_banded(buf, w, None, 1);
+    }
+
+    let mut engine = Engine::new(world);
+    // Kick every worker thread's requester at t = 0 via empty data events.
+    {
+        // Pump directly before running: schedule a zero-time kick per thread.
+        let n_threads: Vec<(usize, usize)> = engine
+            .world()
+            .nodes
+            .iter()
+            .enumerate()
+            .flat_map(|(n, ns)| (0..ns.threads.len()).map(move |t| (n, t)))
+            .collect();
+        for (n, t) in n_threads {
+            engine.schedule(
+                SimTime::ZERO,
+                Ev::Data {
+                    wnode: n,
+                    thread: t,
+                    req_id: u64::MAX, // unknown id: pure kick
+                    buffer: None,
+                },
+            );
+        }
+    }
+    let outcome = engine.run_bounded(SimTime::MAX, 2_000_000_000);
+    assert_eq!(
+        outcome,
+        anthill_simkit::RunOutcome::Drained,
+        "simulation exceeded the event budget"
+    );
+
+    let world = engine.into_world();
+    assert_eq!(
+        world.finals_done, workload.tiles,
+        "every tile must be finally classified"
+    );
+    assert_eq!(world.total_done, workload.total_buffers());
+
+    let makespan = world.finish.since(SimTime::ZERO);
+    let horizon = world.finish;
+    let mut request_traces = Vec::new();
+    let mut util_traces = Vec::new();
+    let mut utilization = Vec::new();
+    let mut stream_traces = Vec::new();
+    let mut latency_hists = Vec::new();
+    let mut service_hists = Vec::new();
+    for ns in &world.nodes {
+        for t in &ns.threads {
+            utilization.push((t.device, t.util.utilization(horizon)));
+            request_traces.push((t.device, t.req_trace.clone()));
+            latency_hists.push((t.device, t.latency_hist.clone()));
+            service_hists.push((t.device, t.service_hist.clone()));
+            if cfg.trace_buckets > 0 && horizon > SimTime::ZERO {
+                let bucket = SimDuration::from_nanos(
+                    (horizon.as_nanos() / cfg.trace_buckets as u64).max(1),
+                );
+                util_traces.push((t.device, t.util.trace(horizon, bucket)));
+            }
+            if let Some((_, ctl)) = &t.gpu {
+                stream_traces.push((t.device, ctl.history().to_vec()));
+            }
+        }
+    }
+
+    SimReport {
+        makespan,
+        cpu_baseline: workload.cpu_baseline(),
+        tasks_by: world.tasks_by,
+        total_tasks: world.total_done,
+        request_traces,
+        util_traces,
+        utilization,
+        stream_traces,
+        latency_hists,
+        service_hists,
+    }
+}

@@ -1,0 +1,222 @@
+//! Per-device buffer weights: the glue between the performance estimator
+//! and the schedulers.
+//!
+//! DDWRR and ODDS order ready buffers by a per-device weight that reflects
+//! how *suited* the buffer is to that device. We use the buffer's predicted
+//! advantage on the device over its best alternative device (for the
+//! paper's two device classes this is exactly the pairwise relative
+//! speedup: the GPU queue is sorted by GPU-over-CPU speedup and the CPU
+//! queue by its reciprocal). Only the resulting *ordering* matters, so
+//! estimator error tolerance is high (paper Sections 4–5.2).
+
+use crate::buffer::DataBuffer;
+use anthill_estimator::{DeviceClass, KnnEstimator};
+use anthill_hetsim::{CopyMode, DeviceKind, GpuParams};
+
+/// Provides per-device weights for data buffers.
+pub trait WeightProvider {
+    /// Predicted execution time of `buf` on a device of `kind`, seconds.
+    fn predict_time(&self, buf: &DataBuffer, kind: DeviceKind) -> f64;
+
+    /// Scheduling weight of `buf` for `kind`: predicted advantage over the
+    /// best alternative device class (higher = more suited).
+    fn weight(&self, buf: &DataBuffer, kind: DeviceKind) -> f64 {
+        let own = self.predict_time(buf, kind).max(1e-12);
+        let best_other = DeviceKind::ALL
+            .iter()
+            .filter(|k| **k != kind)
+            .map(|&k| self.predict_time(buf, k))
+            .fold(f64::INFINITY, f64::min);
+        if best_other.is_finite() {
+            best_other / own
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Oracle weights computed directly from the buffer's cost shape and the
+/// GPU timing parameters — the upper bound a perfect estimator would reach.
+#[derive(Debug, Clone)]
+pub struct OracleWeights {
+    gpu: GpuParams,
+    /// Whether GPU predictions assume the asynchronous (overlapped) path.
+    pub async_transfers: bool,
+}
+
+impl OracleWeights {
+    /// Oracle over the given GPU parameters.
+    pub fn new(gpu: GpuParams, async_transfers: bool) -> OracleWeights {
+        OracleWeights {
+            gpu,
+            async_transfers,
+        }
+    }
+}
+
+impl WeightProvider for OracleWeights {
+    fn predict_time(&self, buf: &DataBuffer, kind: DeviceKind) -> f64 {
+        match kind {
+            DeviceKind::Cpu => buf.shape.cpu.as_secs_f64(),
+            DeviceKind::Gpu => {
+                if self.async_transfers {
+                    // Steady-state pipelined cost: compute-engine occupancy
+                    // (copies overlap), bounded below by the slower copy.
+                    let compute =
+                        (self.gpu.kernel_launch + buf.shape.gpu_kernel).as_secs_f64();
+                    let copy_in = self
+                        .gpu
+                        .copy_time(buf.shape.bytes_in, CopyMode::Async)
+                        .as_secs_f64();
+                    let copy_out = self
+                        .gpu
+                        .copy_time(buf.shape.bytes_out, CopyMode::Async)
+                        .as_secs_f64();
+                    compute.max(copy_in).max(copy_out)
+                } else {
+                    self.gpu
+                        .sync_task_time(buf.shape.bytes_in, buf.shape.gpu_kernel, buf.shape.bytes_out)
+                        .as_secs_f64()
+                }
+            }
+        }
+    }
+}
+
+/// Estimator-backed weights: a fitted kNN model per the paper's Section 4,
+/// queried on the buffer's input parameters, with a small memo cache since
+/// replicated dataflows see many tasks with identical parameters.
+pub struct EstimatorWeights {
+    est: KnnEstimator,
+    cache: parking_lot::Mutex<Vec<(Vec<u8>, [f64; 2])>>,
+}
+
+impl EstimatorWeights {
+    /// Wrap a fitted estimator.
+    pub fn new(est: KnnEstimator) -> EstimatorWeights {
+        EstimatorWeights {
+            est,
+            cache: parking_lot::Mutex::new(Vec::new()),
+        }
+    }
+
+    fn class_of(kind: DeviceKind) -> DeviceClass {
+        match kind {
+            DeviceKind::Cpu => DeviceClass::CPU,
+            DeviceKind::Gpu => DeviceClass::GPU,
+        }
+    }
+
+    fn key(buf: &DataBuffer) -> Vec<u8> {
+        // Cheap structural key over the parameters.
+        format!("{:?}", buf.params).into_bytes()
+    }
+}
+
+impl WeightProvider for EstimatorWeights {
+    fn predict_time(&self, buf: &DataBuffer, kind: DeviceKind) -> f64 {
+        let key = Self::key(buf);
+        let slot = match kind {
+            DeviceKind::Cpu => 0,
+            DeviceKind::Gpu => 1,
+        };
+        {
+            let cache = self.cache.lock();
+            if let Some((_, times)) = cache.iter().find(|(k, _)| *k == key) {
+                return times[slot];
+            }
+        }
+        let cpu = self
+            .est
+            .predict_time(DeviceClass::CPU, &buf.params)
+            .unwrap_or(f64::INFINITY);
+        let gpu = self
+            .est
+            .predict_time(Self::class_of(DeviceKind::Gpu), &buf.params)
+            .unwrap_or(f64::INFINITY);
+        let times = [cpu, gpu];
+        let mut cache = self.cache.lock();
+        if cache.len() < 4096 {
+            cache.push((key, times));
+        }
+        times[slot]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferId;
+    use anthill_estimator::{ProfileStore, TaskParams};
+    use anthill_hetsim::NbiaCostModel;
+
+    fn tile_buffer(side: u32) -> DataBuffer {
+        let m = NbiaCostModel::paper_calibrated();
+        DataBuffer {
+            id: BufferId(0),
+            params: TaskParams::nums(&[f64::from(side)]),
+            shape: m.tile(side),
+            level: if side > 32 { 1 } else { 0 },
+            task: 0,
+        }
+    }
+
+    #[test]
+    fn oracle_gpu_prefers_large_tiles() {
+        let w = OracleWeights::new(GpuParams::geforce_8800gt(), false);
+        let small = tile_buffer(32);
+        let large = tile_buffer(512);
+        assert!(w.weight(&large, DeviceKind::Gpu) > 10.0 * w.weight(&small, DeviceKind::Gpu));
+    }
+
+    #[test]
+    fn oracle_cpu_prefers_small_tiles() {
+        let w = OracleWeights::new(GpuParams::geforce_8800gt(), false);
+        let small = tile_buffer(32);
+        let large = tile_buffer(512);
+        assert!(w.weight(&small, DeviceKind::Cpu) > w.weight(&large, DeviceKind::Cpu));
+    }
+
+    #[test]
+    fn weights_are_reciprocal_for_two_devices() {
+        let w = OracleWeights::new(GpuParams::geforce_8800gt(), false);
+        let b = tile_buffer(128);
+        let wg = w.weight(&b, DeviceKind::Gpu);
+        let wc = w.weight(&b, DeviceKind::Cpu);
+        assert!((wg * wc - 1.0).abs() < 1e-9, "wg={wg} wc={wc}");
+    }
+
+    #[test]
+    fn async_oracle_hides_transfer_costs() {
+        let sync = OracleWeights::new(GpuParams::geforce_8800gt(), false);
+        let asyn = OracleWeights::new(GpuParams::geforce_8800gt(), true);
+        let b = tile_buffer(512);
+        assert!(
+            asyn.predict_time(&b, DeviceKind::Gpu) < sync.predict_time(&b, DeviceKind::Gpu)
+        );
+    }
+
+    #[test]
+    fn estimator_weights_track_the_profile() {
+        // Train on oracle-derived times for a few tile sizes.
+        let oracle = OracleWeights::new(GpuParams::geforce_8800gt(), false);
+        let mut profile = ProfileStore::new("nbia");
+        for side in [32u32, 64, 128, 256, 512] {
+            let b = tile_buffer(side);
+            profile.add_cpu_gpu(
+                b.params.clone(),
+                oracle.predict_time(&b, DeviceKind::Cpu),
+                oracle.predict_time(&b, DeviceKind::Gpu),
+            );
+        }
+        let est = EstimatorWeights::new(KnnEstimator::fit(profile, 1));
+        let small = tile_buffer(32);
+        let large = tile_buffer(512);
+        assert!(est.weight(&large, DeviceKind::Gpu) > 20.0);
+        assert!(est.weight(&small, DeviceKind::Gpu) < 2.0);
+        // Cache path returns identical values.
+        let w1 = est.weight(&large, DeviceKind::Gpu);
+        let w2 = est.weight(&large, DeviceKind::Gpu);
+        assert_eq!(w1, w2);
+    }
+}

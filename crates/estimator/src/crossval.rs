@@ -1,0 +1,142 @@
+//! Cross-validation of the estimator, reproducing the methodology behind
+//! Table 1: 10-fold cross-validation over a 30-job profile, reporting the
+//! average percent error of (a) the predicted GPU-vs-CPU speedup and (b) the
+//! directly predicted CPU execution time.
+
+use crate::knn::KnnEstimator;
+use crate::profile::{DeviceClass, ProfileStore};
+
+/// Errors measured by one cross-validation, as mean absolute percent errors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrossValReport {
+    /// Mean |predicted speedup − actual speedup| / actual speedup × 100.
+    pub speedup_mape: f64,
+    /// Mean |predicted CPU time − actual CPU time| / actual CPU time × 100.
+    pub cpu_time_mape: f64,
+    /// Number of (sample, prediction) pairs evaluated.
+    pub evaluated: usize,
+}
+
+/// Run `folds`-fold cross-validation of a kNN estimator with the given `k`
+/// over `store`, predicting GPU-vs-CPU speedups and CPU times.
+///
+/// Samples lacking a CPU or GPU measurement are skipped (they cannot be
+/// scored). Panics if `folds < 2` or the store is too small to leave a
+/// non-empty training set in every fold.
+pub fn cross_validate(store: &ProfileStore, k: usize, folds: usize) -> CrossValReport {
+    assert!(folds >= 2, "need at least 2 folds");
+    assert!(
+        store.len() >= folds,
+        "store of {} samples cannot be split into {} folds",
+        store.len(),
+        folds
+    );
+    let mut speedup_err_sum = 0.0;
+    let mut time_err_sum = 0.0;
+    let mut n = 0usize;
+
+    for f in 0..folds {
+        let (train, test) = store.fold(folds, f);
+        if train.is_empty() || test.is_empty() {
+            continue;
+        }
+        let est = KnnEstimator::fit(train, k);
+        for s in test.samples() {
+            let (Some(actual_cpu), Some(actual_gpu)) =
+                (s.time_on(DeviceClass::CPU), s.time_on(DeviceClass::GPU))
+            else {
+                continue;
+            };
+            if actual_cpu <= 0.0 || actual_gpu <= 0.0 {
+                continue;
+            }
+            let actual_speedup = actual_cpu / actual_gpu;
+            let Some(pred_speedup) =
+                est.predict_speedup(DeviceClass::GPU, DeviceClass::CPU, &s.params)
+            else {
+                continue;
+            };
+            let Some(pred_cpu) = est.predict_time(DeviceClass::CPU, &s.params) else {
+                continue;
+            };
+            speedup_err_sum += ((pred_speedup - actual_speedup) / actual_speedup).abs();
+            time_err_sum += ((pred_cpu - actual_cpu) / actual_cpu).abs();
+            n += 1;
+        }
+    }
+
+    CrossValReport {
+        speedup_mape: if n == 0 { 0.0 } else { 100.0 * speedup_err_sum / n as f64 },
+        cpu_time_mape: if n == 0 { 0.0 } else { 100.0 * time_err_sum / n as f64 },
+        evaluated: n,
+    }
+}
+
+/// Sweep `k` over a range and return `(k, report)` pairs; used for the
+/// paper's observation that `k = 2` is near-best.
+pub fn sweep_k(store: &ProfileStore, ks: &[usize], folds: usize) -> Vec<(usize, CrossValReport)> {
+    ks.iter()
+        .map(|&k| (k, cross_validate(store, k, folds)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params;
+
+    /// Profile where speedup is a smooth function of the parameter but the
+    /// absolute times are strongly nonlinear: kNN should predict speedups
+    /// much better than times, as in Table 1.
+    fn curved_profile(n: usize) -> ProfileStore {
+        let mut st = ProfileStore::new("curved");
+        for i in 0..n {
+            let x = 1.0 + i as f64;
+            // CPU time grows super-linearly; GPU keeps a smooth advantage.
+            let cpu = 0.001 * x * x * (1.0 + 0.5 * (x * 0.7).sin().abs());
+            let speedup = 1.0 + 10.0 * (x / n as f64);
+            st.add_cpu_gpu(params![x], cpu, cpu / speedup);
+        }
+        st
+    }
+
+    #[test]
+    fn perfect_profile_has_zero_speedup_error() {
+        // Constant speedup, linear time => kNN speedup is exact.
+        let mut st = ProfileStore::new("const");
+        for i in 1..=30 {
+            let x = i as f64;
+            st.add_cpu_gpu(params![x], x, x / 5.0);
+        }
+        let r = cross_validate(&st, 2, 10);
+        assert!(r.speedup_mape < 1e-9, "speedup mape {}", r.speedup_mape);
+        assert!(r.evaluated > 0);
+    }
+
+    #[test]
+    fn speedup_error_below_time_error_on_curved_profile() {
+        let st = curved_profile(30);
+        let r = cross_validate(&st, 2, 10);
+        assert!(
+            r.speedup_mape < r.cpu_time_mape,
+            "speedup {} !< time {}",
+            r.speedup_mape,
+            r.cpu_time_mape
+        );
+    }
+
+    #[test]
+    fn sweep_covers_all_k() {
+        let st = curved_profile(30);
+        let sw = sweep_k(&st, &[1, 2, 4, 8], 10);
+        assert_eq!(sw.len(), 4);
+        assert!(sw.iter().all(|(_, r)| r.evaluated > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn one_fold_rejected() {
+        let st = curved_profile(10);
+        let _ = cross_validate(&st, 2, 1);
+    }
+}

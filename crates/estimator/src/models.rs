@@ -1,0 +1,449 @@
+//! Alternative model-learning algorithms for the performance estimator.
+//!
+//! The paper's estimator is deliberately simple (plain kNN with averaged
+//! neighbour times) and names "more sophisticated model learning
+//! algorithms" as future work. This module provides that comparison set:
+//!
+//! * [`PlainKnn`] — the paper's algorithm (wraps [`KnnEstimator`]),
+//! * [`WeightedKnn`] — kNN with inverse-distance weighting,
+//! * [`LinearModel`] — least-squares linear regression on the numeric
+//!   parameters (the "basic regression model" the paper argues is
+//!   insufficient),
+//! * [`ConstantSpeedup`] — the Mars-style assumption of one fixed
+//!   speedup per application (what the paper's related-work critique
+//!   targets).
+//!
+//! All implement [`LearnedModel`], so the cross-validation harness can
+//! score any of them (`anthill-bench`'s `repro sweep-models`).
+
+use crate::distance::Normalizer;
+use crate::knn::KnnEstimator;
+use crate::param::{ParamValue, TaskParams};
+use crate::profile::{DeviceClass, ProfileStore};
+
+/// A fitted performance model: predicts per-device times for a task.
+pub trait LearnedModel {
+    /// Predicted execution time on `device`, seconds.
+    fn predict_time(&self, device: DeviceClass, params: &TaskParams) -> Option<f64>;
+
+    /// Predicted relative speedup of `fast` over `slow`.
+    fn predict_speedup(
+        &self,
+        fast: DeviceClass,
+        slow: DeviceClass,
+        params: &TaskParams,
+    ) -> Option<f64> {
+        let tf = self.predict_time(fast, params)?;
+        let ts = self.predict_time(slow, params)?;
+        if tf > 0.0 {
+            Some(ts / tf)
+        } else {
+            None
+        }
+    }
+
+    /// Human-readable model name.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's plain kNN (k = 2 by default).
+pub struct PlainKnn(KnnEstimator);
+
+impl PlainKnn {
+    /// Fit on a profile with the given `k`.
+    pub fn fit(store: ProfileStore, k: usize) -> PlainKnn {
+        PlainKnn(KnnEstimator::fit(store, k))
+    }
+}
+
+impl LearnedModel for PlainKnn {
+    fn predict_time(&self, device: DeviceClass, params: &TaskParams) -> Option<f64> {
+        self.0.predict_time(device, params)
+    }
+    fn name(&self) -> &'static str {
+        "kNN (paper)"
+    }
+}
+
+/// kNN with inverse-distance-weighted averaging of neighbour times.
+pub struct WeightedKnn {
+    store: ProfileStore,
+    normalizer: Normalizer,
+    k: usize,
+}
+
+impl WeightedKnn {
+    /// Fit on a profile with the given `k >= 1`.
+    pub fn fit(store: ProfileStore, k: usize) -> WeightedKnn {
+        assert!(k >= 1 && !store.is_empty());
+        let normalizer = Normalizer::fit(&store);
+        WeightedKnn {
+            store,
+            normalizer,
+            k,
+        }
+    }
+}
+
+impl LearnedModel for WeightedKnn {
+    fn predict_time(&self, device: DeviceClass, params: &TaskParams) -> Option<f64> {
+        let mut dists: Vec<(f64, usize)> = self
+            .store
+            .samples()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (self.normalizer.distance(params, &s.params), i))
+            .collect();
+        dists.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(d, i) in dists.iter().take(self.k) {
+            let Some(t) = self.store.samples()[i].time_on(device) else {
+                continue;
+            };
+            // An exact match dominates; otherwise weight by 1/d.
+            let w = 1.0 / d.max(1e-9);
+            num += w * t;
+            den += w;
+        }
+        if den > 0.0 {
+            Some(num / den)
+        } else {
+            None
+        }
+    }
+    fn name(&self) -> &'static str {
+        "weighted kNN"
+    }
+}
+
+/// Ordinary least squares on the numeric parameters (categoricals are
+/// ignored), one model per device. Solved by normal equations with
+/// Gaussian elimination and a tiny ridge term for stability.
+pub struct LinearModel {
+    /// Per device class: intercept followed by one coefficient per
+    /// numeric dimension.
+    coeffs: Vec<(DeviceClass, Vec<f64>)>,
+    numeric_dims: Vec<usize>,
+    scales: Vec<f64>,
+}
+
+impl LinearModel {
+    /// Fit per-device linear models on a non-empty profile.
+    pub fn fit(store: &ProfileStore) -> LinearModel {
+        assert!(!store.is_empty());
+        let arity = store.samples()[0].params.len();
+        let numeric_dims: Vec<usize> = (0..arity)
+            .filter(|&d| {
+                store
+                    .samples()
+                    .iter()
+                    .all(|s| matches!(s.params[d], ParamValue::Num(_)))
+            })
+            .collect();
+        // Scale each numeric dim by its max abs for conditioning.
+        let scales: Vec<f64> = numeric_dims
+            .iter()
+            .map(|&d| {
+                store
+                    .samples()
+                    .iter()
+                    .filter_map(|s| s.params[d].as_num())
+                    .fold(0.0f64, |m, x| m.max(x.abs()))
+                    .max(1e-12)
+            })
+            .collect();
+
+        let devices: Vec<DeviceClass> = {
+            let mut ds: Vec<DeviceClass> = store
+                .samples()
+                .iter()
+                .flat_map(|s| s.times.iter().map(|&(d, _)| d))
+                .collect();
+            ds.sort();
+            ds.dedup();
+            ds
+        };
+
+        let n = numeric_dims.len() + 1;
+        let mut coeffs = Vec::new();
+        for device in devices {
+            // Normal equations: (XᵀX + λI) β = Xᵀy.
+            let mut ata = vec![vec![0.0f64; n]; n];
+            let mut aty = vec![0.0f64; n];
+            for s in store.samples() {
+                let Some(y) = s.time_on(device) else { continue };
+                let row = Self::features(&numeric_dims, &scales, &s.params);
+                for i in 0..n {
+                    aty[i] += row[i] * y;
+                    for j in 0..n {
+                        ata[i][j] += row[i] * row[j];
+                    }
+                }
+            }
+            for (i, row) in ata.iter_mut().enumerate() {
+                row[i] += 1e-9;
+            }
+            let beta = solve(ata, aty);
+            coeffs.push((device, beta));
+        }
+        LinearModel {
+            coeffs,
+            numeric_dims,
+            scales,
+        }
+    }
+
+    fn features(dims: &[usize], scales: &[f64], params: &TaskParams) -> Vec<f64> {
+        let mut row = Vec::with_capacity(dims.len() + 1);
+        row.push(1.0);
+        for (&d, &s) in dims.iter().zip(scales) {
+            row.push(params[d].as_num().unwrap_or(0.0) / s);
+        }
+        row
+    }
+}
+
+/// Solve `A x = b` by Gaussian elimination with partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty system");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        if diag.abs() < 1e-15 {
+            continue;
+        }
+        for row in col + 1..n {
+            let f = a[row][col] / diag;
+            let (upper, lower) = a.split_at_mut(row);
+            let pivot_row = &upper[col];
+            for (x, p) in lower[0].iter_mut().zip(pivot_row).skip(col) {
+                *x -= f * p;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = if a[row][row].abs() < 1e-15 {
+            0.0
+        } else {
+            acc / a[row][row]
+        };
+    }
+    x
+}
+
+impl LearnedModel for LinearModel {
+    fn predict_time(&self, device: DeviceClass, params: &TaskParams) -> Option<f64> {
+        let (_, beta) = self.coeffs.iter().find(|(d, _)| *d == device)?;
+        let row = Self::features(&self.numeric_dims, &self.scales, params);
+        let y: f64 = row.iter().zip(beta).map(|(x, b)| x * b).sum();
+        Some(y.max(1e-12))
+    }
+    fn name(&self) -> &'static str {
+        "linear regression"
+    }
+}
+
+/// One fixed speedup for the whole application (the static assumption of
+/// systems like Mars, which the paper's data-dependence argument refutes):
+/// predicts each device's time as the mean profile time, so the predicted
+/// speedup is constant.
+pub struct ConstantSpeedup {
+    means: Vec<(DeviceClass, f64)>,
+}
+
+impl ConstantSpeedup {
+    /// Fit per-device mean times.
+    pub fn fit(store: &ProfileStore) -> ConstantSpeedup {
+        let mut acc: Vec<(DeviceClass, f64, usize)> = Vec::new();
+        for s in store.samples() {
+            for &(d, t) in &s.times {
+                match acc.iter_mut().find(|(x, _, _)| *x == d) {
+                    Some((_, sum, n)) => {
+                        *sum += t;
+                        *n += 1;
+                    }
+                    None => acc.push((d, t, 1)),
+                }
+            }
+        }
+        ConstantSpeedup {
+            means: acc
+                .into_iter()
+                .map(|(d, sum, n)| (d, sum / n as f64))
+                .collect(),
+        }
+    }
+}
+
+impl LearnedModel for ConstantSpeedup {
+    fn predict_time(&self, device: DeviceClass, _params: &TaskParams) -> Option<f64> {
+        self.means
+            .iter()
+            .find(|(d, _)| *d == device)
+            .map(|&(_, t)| t)
+    }
+    fn name(&self) -> &'static str {
+        "constant speedup"
+    }
+}
+
+/// Cross-validate any model: mean absolute percent errors of speedup and
+/// CPU-time prediction over `folds`-fold CV.
+pub fn cross_validate_model<F, M>(
+    store: &ProfileStore,
+    folds: usize,
+    fit: F,
+) -> crate::crossval::CrossValReport
+where
+    F: Fn(ProfileStore) -> M,
+    M: LearnedModel,
+{
+    assert!(folds >= 2 && store.len() >= folds);
+    let mut sp_err = 0.0;
+    let mut t_err = 0.0;
+    let mut n = 0usize;
+    for f in 0..folds {
+        let (train, test) = store.fold(folds, f);
+        if train.is_empty() {
+            continue;
+        }
+        let model = fit(train);
+        for s in test.samples() {
+            let (Some(ac), Some(ag)) =
+                (s.time_on(DeviceClass::CPU), s.time_on(DeviceClass::GPU))
+            else {
+                continue;
+            };
+            if ac <= 0.0 || ag <= 0.0 {
+                continue;
+            }
+            let actual_speedup = ac / ag;
+            let Some(ps) = model.predict_speedup(DeviceClass::GPU, DeviceClass::CPU, &s.params)
+            else {
+                continue;
+            };
+            let Some(pt) = model.predict_time(DeviceClass::CPU, &s.params) else {
+                continue;
+            };
+            sp_err += ((ps - actual_speedup) / actual_speedup).abs();
+            t_err += ((pt - ac) / ac).abs();
+            n += 1;
+        }
+    }
+    crate::crossval::CrossValReport {
+        speedup_mape: if n == 0 { 0.0 } else { 100.0 * sp_err / n as f64 },
+        cpu_time_mape: if n == 0 { 0.0 } else { 100.0 * t_err / n as f64 },
+        evaluated: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Profile with linear time and size-dependent speedup.
+    fn profile() -> ProfileStore {
+        let mut st = ProfileStore::new("m");
+        for i in 1..=30 {
+            let x = i as f64 * 10.0;
+            let cpu = 2.0 * x + 5.0;
+            let speedup = 1.0 + x / 100.0;
+            st.add_cpu_gpu(TaskParams::nums(&[x]), cpu, cpu / speedup);
+        }
+        st
+    }
+
+    #[test]
+    fn linear_model_recovers_linear_times() {
+        let m = LinearModel::fit(&profile());
+        for x in [15.0, 123.0, 250.0] {
+            let t = m
+                .predict_time(DeviceClass::CPU, &TaskParams::nums(&[x]))
+                .unwrap();
+            let expect = 2.0 * x + 5.0;
+            assert!((t - expect).abs() / expect < 0.01, "x={x}: {t} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn weighted_knn_interpolates_better_than_plain_between_points() {
+        let st = profile();
+        let plain = PlainKnn::fit(st.clone(), 2);
+        let weighted = WeightedKnn::fit(st, 2);
+        // Query close to x=100 (between samples 100 and 110).
+        let q = TaskParams::nums(&[101.0]);
+        let expect = 2.0 * 101.0 + 5.0;
+        let ep = (plain.predict_time(DeviceClass::CPU, &q).unwrap() - expect).abs();
+        let ew = (weighted.predict_time(DeviceClass::CPU, &q).unwrap() - expect).abs();
+        assert!(ew <= ep + 1e-9, "weighted {ew} vs plain {ep}");
+    }
+
+    #[test]
+    fn constant_speedup_ignores_parameters() {
+        let m = ConstantSpeedup::fit(&profile());
+        let a = m
+            .predict_speedup(DeviceClass::GPU, DeviceClass::CPU, &TaskParams::nums(&[10.0]))
+            .unwrap();
+        let b = m
+            .predict_speedup(DeviceClass::GPU, DeviceClass::CPU, &TaskParams::nums(&[300.0]))
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cv_ranks_models_sensibly_on_linear_data() {
+        let st = profile();
+        let lin = cross_validate_model(&st, 10, |tr| LinearModel::fit(&tr));
+        let knn = cross_validate_model(&st, 10, |tr| PlainKnn::fit(tr, 2));
+        let cst = cross_validate_model(&st, 10, |tr| ConstantSpeedup::fit(&tr));
+        // Linear data: regression wins on time; constant-speedup is the
+        // worst at speedups (they vary 1.1x..4x here).
+        assert!(lin.cpu_time_mape < knn.cpu_time_mape);
+        assert!(cst.speedup_mape > 2.0 * knn.speedup_mape);
+        assert!(lin.evaluated > 0 && knn.evaluated > 0);
+    }
+
+    #[test]
+    fn weighted_knn_exact_on_training_point() {
+        let m = WeightedKnn::fit(profile(), 3);
+        let t = m
+            .predict_time(DeviceClass::CPU, &TaskParams::nums(&[100.0]))
+            .unwrap();
+        assert!((t - 205.0).abs() < 1.0, "{t}");
+    }
+
+    #[test]
+    fn solver_handles_singular_matrices_gracefully() {
+        // Duplicate columns: rank-deficient; must not panic.
+        let mut st = ProfileStore::new("s");
+        for i in 1..=10 {
+            let x = i as f64;
+            st.add_cpu_gpu(TaskParams::nums(&[x, x]), x, x / 2.0);
+        }
+        let m = LinearModel::fit(&st);
+        let t = m
+            .predict_time(DeviceClass::CPU, &TaskParams::nums(&[5.0, 5.0]))
+            .unwrap();
+        assert!((t - 5.0).abs() < 0.2, "{t}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Task input parameters: the feature space the estimator predicts from.
+//!
+//! The paper's estimator works on "application input parameters", which mix
+//! numeric values (tile size, vector length, iteration counts) with
+//! non-numeric attributes (algorithm variant, data layout). Numeric
+//! dimensions are normalized by the per-dimension maximum before a Euclidean
+//! distance; categorical dimensions contribute 0 on an exact match and 1
+//! otherwise (Section 4).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One task parameter: numeric or categorical.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamValue {
+    /// A numeric parameter (sizes, counts, rates).
+    Num(f64),
+    /// A categorical parameter (variant names, flags).
+    Cat(String),
+}
+
+impl ParamValue {
+    /// The numeric value, if this parameter is numeric.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            ParamValue::Num(x) => Some(*x),
+            ParamValue::Cat(_) => None,
+        }
+    }
+
+    /// True if this parameter is categorical.
+    pub fn is_cat(&self) -> bool {
+        matches!(self, ParamValue::Cat(_))
+    }
+}
+
+impl From<f64> for ParamValue {
+    fn from(x: f64) -> Self {
+        ParamValue::Num(x)
+    }
+}
+
+impl From<u64> for ParamValue {
+    fn from(x: u64) -> Self {
+        ParamValue::Num(x as f64)
+    }
+}
+
+impl From<usize> for ParamValue {
+    fn from(x: usize) -> Self {
+        ParamValue::Num(x as f64)
+    }
+}
+
+impl From<&str> for ParamValue {
+    fn from(s: &str) -> Self {
+        ParamValue::Cat(s.to_owned())
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Num(x) => write!(f, "{x}"),
+            ParamValue::Cat(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// An ordered vector of task parameters. All tasks of one application share
+/// the same arity and per-position kind (numeric vs categorical).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TaskParams(pub Vec<ParamValue>);
+
+impl TaskParams {
+    /// Build from anything convertible to parameter values.
+    pub fn new(values: Vec<ParamValue>) -> TaskParams {
+        TaskParams(values)
+    }
+
+    /// Number of dimensions.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if there are no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate over dimensions.
+    pub fn iter(&self) -> std::slice::Iter<'_, ParamValue> {
+        self.0.iter()
+    }
+
+    /// Convenience: build an all-numeric parameter vector.
+    pub fn nums(values: &[f64]) -> TaskParams {
+        TaskParams(values.iter().map(|&x| ParamValue::Num(x)).collect())
+    }
+}
+
+impl std::ops::Index<usize> for TaskParams {
+    type Output = ParamValue;
+    fn index(&self, i: usize) -> &ParamValue {
+        &self.0[i]
+    }
+}
+
+/// Builds `TaskParams` ergonomically: `params![64.0, "gpu-variant", 3.0]`.
+#[macro_export]
+macro_rules! params {
+    ($($v:expr),* $(,)?) => {
+        $crate::TaskParams::new(vec![$($crate::ParamValue::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(ParamValue::from(2.5).as_num(), Some(2.5));
+        assert_eq!(ParamValue::from(7u64).as_num(), Some(7.0));
+        assert!(ParamValue::from("abc").is_cat());
+        assert_eq!(ParamValue::from("abc").as_num(), None);
+    }
+
+    #[test]
+    fn macro_builds_mixed_params() {
+        let p = params![64.0, "variant-a", 3usize];
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0].as_num(), Some(64.0));
+        assert!(p[1].is_cat());
+        assert_eq!(p[2].as_num(), Some(3.0));
+    }
+
+    #[test]
+    fn nums_helper() {
+        let p = TaskParams::nums(&[1.0, 2.0]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.iter().filter_map(|v| v.as_num()).sum::<f64>(), 3.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", ParamValue::from(1.5)), "1.5");
+        assert_eq!(format!("{}", ParamValue::from("x")), "x");
+    }
+}

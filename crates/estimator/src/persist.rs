@@ -1,0 +1,275 @@
+//! Profile persistence: the paper's phase one benchmarks an application
+//! once and *stores* the execution times for later runs (Figure 3). A
+//! small self-describing text format keeps the store dependency-free:
+//!
+//! ```text
+//! # anthill-profile v1
+//! app: NBIA-component
+//! columns: n:num, variant:cat
+//! devices: 0, 1
+//! row: 32|stroma ; 0=0.00112, 1=0.00109
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::param::{ParamValue, TaskParams};
+use crate::profile::{DeviceClass, ProfileSample, ProfileStore};
+
+/// Errors from parsing a serialized profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line (0 = structural).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "profile parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Escape `|`, `;`, `,`, newlines and backslashes in categorical values.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' | '|' | ';' | ',' | '\n' => {
+                out.push('\\');
+                out.push(if c == '\n' { 'n' } else { c });
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Serialize a profile to the text format.
+pub fn to_text(store: &ProfileStore) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# anthill-profile v1");
+    let _ = writeln!(out, "app: {}", escape(&store.app));
+    for s in store.samples() {
+        let params: Vec<String> = s
+            .params
+            .iter()
+            .map(|p| match p {
+                ParamValue::Num(x) => format!("{x:?}"),
+                ParamValue::Cat(c) => format!("${}", escape(c)),
+            })
+            .collect();
+        let times: Vec<String> = s
+            .times
+            .iter()
+            .map(|(d, t)| format!("{}={t:?}", d.0))
+            .collect();
+        let _ = writeln!(out, "row: {} ; {}", params.join("|"), times.join(", "));
+    }
+    out
+}
+
+/// Parse a profile from the text format.
+pub fn from_text(text: &str) -> Result<ProfileStore, ParseError> {
+    let mut app = String::new();
+    let mut store: Option<ProfileStore> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("app:") {
+            app = unescape(rest.trim());
+            store = Some(ProfileStore::new(app.clone()));
+            continue;
+        }
+        let Some(rest) = line.strip_prefix("row:") else {
+            return Err(err(lineno, format!("unrecognized line: {line}")));
+        };
+        let store = store
+            .as_mut()
+            .ok_or_else(|| err(lineno, "row before app header"))?;
+        // Escape-aware split: categorical values may contain ';'.
+        let parts = split_unescaped(rest, ';');
+        if parts.len() != 2 {
+            return Err(err(lineno, "row must have exactly one ';' separator"));
+        }
+        let (params_part, times_part) = (parts[0].as_str(), parts[1].as_str());
+        let mut params = Vec::new();
+        for field in split_unescaped(params_part.trim(), '|') {
+            let field = field.trim();
+            if field.is_empty() {
+                continue;
+            }
+            if let Some(cat) = field.strip_prefix('$') {
+                params.push(ParamValue::Cat(unescape(cat)));
+            } else {
+                let x: f64 = field
+                    .parse()
+                    .map_err(|e| err(lineno, format!("bad number '{field}': {e}")))?;
+                params.push(ParamValue::Num(x));
+            }
+        }
+        let mut times = Vec::new();
+        for field in split_unescaped(times_part.trim(), ',') {
+            let field = field.trim();
+            if field.is_empty() {
+                continue;
+            }
+            let (d, t) = field
+                .split_once('=')
+                .ok_or_else(|| err(lineno, format!("bad time entry '{field}'")))?;
+            let device: u16 = d
+                .trim()
+                .parse()
+                .map_err(|e| err(lineno, format!("bad device id '{d}': {e}")))?;
+            let secs: f64 = t
+                .trim()
+                .parse()
+                .map_err(|e| err(lineno, format!("bad seconds '{t}': {e}")))?;
+            times.push((DeviceClass(device), secs));
+        }
+        if times.is_empty() {
+            return Err(err(lineno, "row has no device times"));
+        }
+        store.add(ProfileSample {
+            params: TaskParams::new(params),
+            times,
+        });
+    }
+    store.ok_or_else(|| err(0, format!("no 'app:' header found (app='{app}')")))
+}
+
+/// Split on `sep`, honouring backslash escapes.
+fn split_unescaped(s: &str, sep: char) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut escaped = false;
+    for c in s.chars() {
+        if escaped {
+            cur.push('\\');
+            cur.push(c);
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == sep {
+            out.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(c);
+        }
+    }
+    if escaped {
+        cur.push('\\');
+    }
+    out.push(cur);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params;
+
+    fn sample_store() -> ProfileStore {
+        let mut st = ProfileStore::new("demo app");
+        st.add_cpu_gpu(params![64.0, "variant-a"], 0.125, 0.01);
+        st.add_cpu_gpu(params![512.0, "variant|b"], 2.5, 0.075);
+        st.add(ProfileSample {
+            params: params![8.0, "c"],
+            times: vec![(DeviceClass(7), 3.5)],
+        });
+        st
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let original = sample_store();
+        let text = to_text(&original);
+        let parsed = from_text(&text).expect("round trip parses");
+        assert_eq!(parsed.app, original.app);
+        assert_eq!(parsed.len(), original.len());
+        for (a, b) in parsed.samples().iter().zip(original.samples()) {
+            assert_eq!(a.params, b.params);
+            assert_eq!(a.times, b.times);
+        }
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        let mut st = ProfileStore::new("p");
+        st.add_cpu_gpu(params![1.0e-9], 1.234567890123e-7, 9.87654321e3);
+        let parsed = from_text(&to_text(&st)).unwrap();
+        let s = &parsed.samples()[0];
+        assert_eq!(s.time_on(DeviceClass::CPU), Some(1.234567890123e-7));
+        assert_eq!(s.time_on(DeviceClass::GPU), Some(9.87654321e3));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# hi\n\napp: x\n# mid\nrow: 1.0 ; 0=2.0\n";
+        let st = from_text(text).unwrap();
+        assert_eq!(st.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = from_text("app: x\nrow: nonsense ; 0=1").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bad number"));
+        let e = from_text("row: 1 ; 0=1").unwrap_err();
+        assert!(e.message.contains("before app header"));
+        let e = from_text("app: x\nwhat is this").unwrap_err();
+        assert!(e.message.contains("unrecognized"));
+        let e = from_text("").unwrap_err();
+        assert_eq!(e.line, 0);
+    }
+
+    #[test]
+    fn escaped_separators_in_categories() {
+        let mut st = ProfileStore::new("a;b|c");
+        st.add_cpu_gpu(params!["x|y;z,w"], 1.0, 2.0);
+        let parsed = from_text(&to_text(&st)).unwrap();
+        assert_eq!(parsed.app, "a;b|c");
+        assert_eq!(parsed.samples()[0].params, params!["x|y;z,w"]);
+    }
+
+    #[test]
+    fn fitted_estimator_matches_after_round_trip() {
+        let st = sample_store();
+        let parsed = from_text(&to_text(&st)).unwrap();
+        let a = crate::KnnEstimator::fit(st, 1);
+        let b = crate::KnnEstimator::fit(parsed, 1);
+        let q = params![64.0, "variant-a"];
+        assert_eq!(
+            a.predict_time(DeviceClass::CPU, &q),
+            b.predict_time(DeviceClass::CPU, &q)
+        );
+    }
+}

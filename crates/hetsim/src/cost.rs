@@ -1,0 +1,228 @@
+//! Calibrated application cost models.
+//!
+//! These map a task descriptor to the timing quantities the hardware model
+//! consumes: CPU service time, GPU kernel time (excluding launch and
+//! transfers, which [`crate::gpu::GpuEngines`] adds), and transfer sizes.
+//! Constants are fit to the paper's measurements; the fitting is derived in
+//! `DESIGN.md` §4 and cross-checked by tests here and in `gpu.rs`.
+
+use anthill_simkit::SimDuration;
+
+/// The timing-relevant shape of one task, as consumed by the executors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskShape {
+    /// Service time on one CPU core.
+    pub cpu: SimDuration,
+    /// Pure GPU kernel time (launch and transfers excluded).
+    pub gpu_kernel: SimDuration,
+    /// Bytes copied host→device before the kernel.
+    pub bytes_in: u64,
+    /// Bytes copied device→host after the kernel.
+    pub bytes_out: u64,
+}
+
+impl TaskShape {
+    /// Approximate device-memory footprint of one in-flight event.
+    pub fn footprint(&self) -> u64 {
+        self.bytes_in + self.bytes_out
+    }
+}
+
+/// Cost model of the NBIA tile-processing pipeline (color conversion +
+/// statistical features, fused as in Section 6's optimized configuration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NbiaCostModel {
+    /// CPU seconds per pixel (linear; Table 3 / Fig. 6 calibration).
+    pub cpu_secs_per_pixel: f64,
+    /// Fixed per-tile GPU cost (kernel setup of the fused filter).
+    pub gpu_fixed: SimDuration,
+    /// GPU seconds per pixel.
+    pub gpu_secs_per_pixel: f64,
+    /// Bytes per pixel transferred to the GPU (RGB, 24-bit color).
+    pub bytes_per_pixel: u64,
+    /// Fixed message framing bytes per tile.
+    pub header_bytes: u64,
+    /// Result bytes per tile (feature vector + classification).
+    pub result_bytes: u64,
+}
+
+impl NbiaCostModel {
+    /// Calibration against the paper (see `DESIGN.md` §4):
+    /// * 26,742 tiles of 32² processed in ≈30 s on one CPU core
+    ///   ⇒ 1.0955 µs/pixel;
+    /// * GPU-vs-CPU sync-copy speedup ≈1 at 32² and ≈33 at 512² (Fig. 6).
+    pub fn paper_calibrated() -> NbiaCostModel {
+        NbiaCostModel {
+            cpu_secs_per_pixel: 1.0955e-6,
+            gpu_fixed: SimDuration::from_micros(900),
+            gpu_secs_per_pixel: 2.135e-8,
+            bytes_per_pixel: 3,
+            header_bytes: 64,
+            result_bytes: 256,
+        }
+    }
+
+    /// The two stages of the *unfused* pipeline (the original filter
+    /// decomposition: color conversion, then statistical features), for
+    /// the fusion ablation. The intermediate La*b* image (3 × f32 per
+    /// pixel) must round-trip through host memory between the stages —
+    /// the "unnecessary GPU/CPU data transfers" the paper's fused
+    /// configuration avoids.
+    pub fn unfused_tile(&self, side: u32) -> [TaskShape; 2] {
+        let px = u64::from(side) * u64::from(side);
+        let lab_bytes = px * 12;
+        let color = TaskShape {
+            cpu: SimDuration::from_secs_f64(px as f64 * self.cpu_secs_per_pixel * 0.35),
+            gpu_kernel: self.gpu_fixed / 2
+                + SimDuration::from_secs_f64(px as f64 * self.gpu_secs_per_pixel * 0.35),
+            bytes_in: px * self.bytes_per_pixel + self.header_bytes,
+            bytes_out: lab_bytes,
+        };
+        let features = TaskShape {
+            cpu: SimDuration::from_secs_f64(px as f64 * self.cpu_secs_per_pixel * 0.65),
+            gpu_kernel: self.gpu_fixed / 2
+                + SimDuration::from_secs_f64(px as f64 * self.gpu_secs_per_pixel * 0.65),
+            bytes_in: lab_bytes,
+            bytes_out: self.result_bytes,
+        };
+        [color, features]
+    }
+
+    /// The task shape of one `side × side` tile.
+    pub fn tile(&self, side: u32) -> TaskShape {
+        let px = u64::from(side) * u64::from(side);
+        TaskShape {
+            cpu: SimDuration::from_secs_f64(px as f64 * self.cpu_secs_per_pixel),
+            gpu_kernel: self.gpu_fixed
+                + SimDuration::from_secs_f64(px as f64 * self.gpu_secs_per_pixel),
+            bytes_in: px * self.bytes_per_pixel + self.header_bytes,
+            bytes_out: self.result_bytes,
+        }
+    }
+}
+
+/// Cost model of the vector-incrementer (VI) microbenchmark of Section 6.2:
+/// a vector of `u32`s is split into chunks; each chunk is copied to the
+/// GPU, incremented iterating six times over each value, and copied back
+/// (compute-to-communication ratio ≈ 7:3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViCostModel {
+    /// GPU seconds per vector element (six iterations).
+    pub gpu_secs_per_elem: f64,
+    /// CPU seconds per vector element.
+    pub cpu_secs_per_elem: f64,
+    /// Bytes per element (u32).
+    pub bytes_per_elem: u64,
+}
+
+impl ViCostModel {
+    /// Calibration: best pipelined exec time ≈16.15 s for a 360M-element
+    /// vector (Table 2) ⇒ ≈44.8 ms compute per 1M-element chunk, with
+    /// copies of 4 MB each way at the async bandwidth giving the 7:3
+    /// compute:communication ratio.
+    pub fn paper_calibrated() -> ViCostModel {
+        ViCostModel {
+            gpu_secs_per_elem: 4.48e-8,
+            cpu_secs_per_elem: 4.48e-7,
+            bytes_per_elem: 4,
+        }
+    }
+
+    /// Task shape for one chunk of `elems` elements.
+    pub fn chunk(&self, elems: u64) -> TaskShape {
+        TaskShape {
+            cpu: SimDuration::from_secs_f64(elems as f64 * self.cpu_secs_per_elem),
+            gpu_kernel: SimDuration::from_secs_f64(elems as f64 * self.gpu_secs_per_elem),
+            bytes_in: elems * self.bytes_per_elem,
+            bytes_out: elems * self.bytes_per_elem,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::GpuParams;
+
+    #[test]
+    fn nbia_cpu_time_matches_table3_baseline() {
+        // 26,742 tiles of 32² on one CPU core ≈ 30 s (Table 3, rate 0%).
+        let m = NbiaCostModel::paper_calibrated();
+        let total = m.tile(32).cpu.as_secs_f64() * 26_742.0;
+        assert!((29.0..31.0).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn nbia_cpu_time_is_linear_in_pixels() {
+        let m = NbiaCostModel::paper_calibrated();
+        let r = m.tile(512).cpu.as_secs_f64() / m.tile(32).cpu.as_secs_f64();
+        assert!((r - 256.0).abs() < 1.0, "ratio {r}");
+    }
+
+    #[test]
+    fn nbia_recalc_slope_matches_table3() {
+        // Each 4% of recalculated tiles adds ≈300–330 s of CPU work.
+        let m = NbiaCostModel::paper_calibrated();
+        let added = 0.04 * 26_742.0 * m.tile(512).cpu.as_secs_f64();
+        assert!((280.0..340.0).contains(&added), "added {added}");
+    }
+
+    #[test]
+    fn nbia_sync_speedups_match_fig6_endpoints() {
+        let m = NbiaCostModel::paper_calibrated();
+        let p = GpuParams::geforce_8800gt();
+        let sp = |side: u32| {
+            let t = m.tile(side);
+            t.cpu.as_secs_f64()
+                / p.sync_task_time(t.bytes_in, t.gpu_kernel, t.bytes_out)
+                    .as_secs_f64()
+        };
+        assert!((0.8..1.3).contains(&sp(32)), "32: {}", sp(32));
+        assert!((30.0..36.0).contains(&sp(512)), "512: {}", sp(512));
+        // Monotonic growth in between.
+        assert!(sp(64) > sp(32) && sp(128) > sp(64) && sp(256) > sp(128) && sp(512) > sp(256));
+    }
+
+    #[test]
+    fn vi_total_compute_matches_table2() {
+        // 360M elements ⇒ ≈16.1 s of pure GPU compute.
+        let m = ViCostModel::paper_calibrated();
+        let total = m.chunk(360_000_000).gpu_kernel.as_secs_f64();
+        assert!((15.5..16.8).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn vi_compute_to_comm_ratio_is_7_to_3() {
+        let m = ViCostModel::paper_calibrated();
+        let p = GpuParams::geforce_8800gt();
+        let c = m.chunk(1_000_000);
+        let comm = (c.bytes_in + c.bytes_out) as f64 / p.async_bandwidth_bps;
+        let ratio = c.gpu_kernel.as_secs_f64() / comm;
+        assert!((2.0..2.7).contains(&ratio), "ratio {ratio} (7:3 ≈ 2.33)");
+    }
+
+    #[test]
+    fn unfused_stages_sum_to_the_fused_compute() {
+        let m = NbiaCostModel::paper_calibrated();
+        let fused = m.tile(256);
+        let [a, b] = m.unfused_tile(256);
+        let cpu_sum = a.cpu + b.cpu;
+        assert_eq!(cpu_sum, fused.cpu);
+        // The unfused path moves strictly more bytes (the La*b* image
+        // crosses the bus twice).
+        let fused_bytes = fused.bytes_in + fused.bytes_out;
+        let unfused_bytes = a.bytes_in + a.bytes_out + b.bytes_in + b.bytes_out;
+        assert!(unfused_bytes > 3 * fused_bytes);
+    }
+
+    #[test]
+    fn footprint_sums_both_directions() {
+        let s = TaskShape {
+            cpu: SimDuration::ZERO,
+            gpu_kernel: SimDuration::ZERO,
+            bytes_in: 10,
+            bytes_out: 5,
+        };
+        assert_eq!(s.footprint(), 15);
+    }
+}

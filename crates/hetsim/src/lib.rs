@@ -1,0 +1,34 @@
+//! # anthill-hetsim — heterogeneous hardware models
+//!
+//! The paper evaluated its runtime optimizations on a 14-node cluster of
+//! CPU+GPU machines. This crate substitutes that testbed with calibrated
+//! discrete-event models (see `DESIGN.md` for the substitution argument):
+//!
+//! * [`GpuEngines`]/[`GpuParams`] — a CUDA-era GPU: one compute engine, one
+//!   copy engine per direction, synchronous (pageable, blocking) vs
+//!   asynchronous (pinned, overlapping) copy paths, per-stream driver
+//!   dispatch costs and a device-memory cap on in-flight events;
+//! * [`Network`]/[`NetParams`] — switched gigabit Ethernet with per-node
+//!   full-duplex NICs and cheap loopback;
+//! * [`ClusterSpec`]/[`NodeSpec`]/[`DeviceId`]/[`DeviceKind`] — the
+//!   topology vocabulary shared with the runtime;
+//! * [`NbiaCostModel`]/[`ViCostModel`]/[`TaskShape`] — application cost
+//!   models calibrated to the paper's measured numbers.
+//!
+//! The models expose *occupancy* ("if submitted now, when does it
+//! finish?"); all decisions — which device runs a task, how many copies are
+//! in flight — stay in the runtime (`anthill`), exactly where the paper
+//! places them.
+
+#![warn(missing_docs)]
+
+pub mod concurrent;
+mod cost;
+mod gpu;
+mod net;
+mod spec;
+
+pub use cost::{NbiaCostModel, TaskShape, ViCostModel};
+pub use gpu::{CopyDir, CopyMode, GpuEngines, GpuParams};
+pub use net::{NetParams, Network};
+pub use spec::{ClusterSpec, DeviceId, DeviceKind, NodeId, NodeSpec};

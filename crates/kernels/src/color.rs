@@ -1,0 +1,152 @@
+//! RGB → CIE La\*b\* color conversion — the NBIA pipeline's first
+//! computational filter (paper Section 2). La\*b\* separates intensity from
+//! color and makes pixel differences perceptually uniform, enabling
+//! Euclidean distances in the feature computation.
+
+/// An 8-bit RGB pixel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rgb8 {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+/// A CIE La\*b\* pixel (D65 white point).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lab {
+    /// Lightness, 0..100.
+    pub l: f32,
+    /// Green–red axis.
+    pub a: f32,
+    /// Blue–yellow axis.
+    pub b: f32,
+}
+
+#[inline]
+fn srgb_to_linear(c: f64) -> f64 {
+    if c <= 0.04045 {
+        c / 12.92
+    } else {
+        ((c + 0.055) / 1.055).powf(2.4)
+    }
+}
+
+#[inline]
+fn lab_f(t: f64) -> f64 {
+    const DELTA: f64 = 6.0 / 29.0;
+    if t > DELTA * DELTA * DELTA {
+        t.cbrt()
+    } else {
+        t / (3.0 * DELTA * DELTA) + 4.0 / 29.0
+    }
+}
+
+/// Convert one sRGB pixel to La\*b\* (D65).
+pub fn rgb_to_lab(p: Rgb8) -> Lab {
+    let r = srgb_to_linear(f64::from(p.r) / 255.0);
+    let g = srgb_to_linear(f64::from(p.g) / 255.0);
+    let b = srgb_to_linear(f64::from(p.b) / 255.0);
+    // sRGB D65 matrix.
+    let x = 0.412_456_4 * r + 0.357_576_1 * g + 0.180_437_5 * b;
+    let y = 0.212_672_9 * r + 0.715_152_2 * g + 0.072_175_0 * b;
+    let z = 0.019_333_9 * r + 0.119_192_0 * g + 0.950_304_1 * b;
+    // D65 reference white.
+    let (xn, yn, zn) = (0.950_47, 1.0, 1.088_83);
+    let (fx, fy, fz) = (lab_f(x / xn), lab_f(y / yn), lab_f(z / zn));
+    Lab {
+        l: (116.0 * fy - 16.0) as f32,
+        a: (500.0 * (fx - fy)) as f32,
+        b: (200.0 * (fy - fz)) as f32,
+    }
+}
+
+/// Convert a whole tile of pixels.
+pub fn convert_tile(pixels: &[Rgb8]) -> Vec<Lab> {
+    pixels.iter().map(|&p| rgb_to_lab(p)).collect()
+}
+
+/// Quantize the L channel of a converted tile to `levels` gray levels
+/// (input to the co-occurrence computation).
+pub fn quantize_l(lab: &[Lab], levels: u8) -> Vec<u8> {
+    assert!(levels >= 2, "need at least 2 levels");
+    lab.iter()
+        .map(|p| {
+            let norm = (p.l / 100.0).clamp(0.0, 1.0);
+            ((norm * f32::from(levels - 1)).round()) as u8
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn px(r: u8, g: u8, b: u8) -> Rgb8 {
+        Rgb8 { r, g, b }
+    }
+
+    #[test]
+    fn black_and_white_anchors() {
+        let black = rgb_to_lab(px(0, 0, 0));
+        assert!(black.l.abs() < 0.01);
+        assert!(black.a.abs() < 0.01 && black.b.abs() < 0.01);
+        let white = rgb_to_lab(px(255, 255, 255));
+        assert!((white.l - 100.0).abs() < 0.01, "L {}", white.l);
+        assert!(white.a.abs() < 0.1 && white.b.abs() < 0.1);
+    }
+
+    #[test]
+    fn primary_colors_have_expected_signs() {
+        let red = rgb_to_lab(px(255, 0, 0));
+        assert!(red.a > 50.0, "red a* {}", red.a);
+        let green = rgb_to_lab(px(0, 255, 0));
+        assert!(green.a < -50.0, "green a* {}", green.a);
+        let blue = rgb_to_lab(px(0, 0, 255));
+        assert!(blue.b < -50.0, "blue b* {}", blue.b);
+        let yellow = rgb_to_lab(px(255, 255, 0));
+        assert!(yellow.b > 50.0, "yellow b* {}", yellow.b);
+    }
+
+    #[test]
+    fn known_reference_value() {
+        // sRGB (128,128,128) => L* ≈ 53.59, a* = b* = 0.
+        let gray = rgb_to_lab(px(128, 128, 128));
+        assert!((gray.l - 53.59).abs() < 0.05, "L {}", gray.l);
+        assert!(gray.a.abs() < 0.01 && gray.b.abs() < 0.01);
+    }
+
+    #[test]
+    fn lightness_is_monotonic_in_gray_level() {
+        let mut last = -1.0f32;
+        for v in (0..=255).step_by(5) {
+            let l = rgb_to_lab(px(v, v, v)).l;
+            assert!(l > last, "L must increase: {last} -> {l}");
+            last = l;
+        }
+    }
+
+    #[test]
+    fn quantization_spans_the_range() {
+        let lab = vec![
+            rgb_to_lab(px(0, 0, 0)),
+            rgb_to_lab(px(128, 128, 128)),
+            rgb_to_lab(px(255, 255, 255)),
+        ];
+        let q = quantize_l(&lab, 8);
+        assert_eq!(q[0], 0);
+        assert_eq!(q[2], 7);
+        assert!(q[1] > 0 && q[1] < 7);
+    }
+
+    #[test]
+    fn convert_tile_is_elementwise() {
+        let tile = vec![px(10, 20, 30), px(200, 100, 50)];
+        let out = convert_tile(&tile);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], rgb_to_lab(tile[0]));
+        assert_eq!(out[1], rgb_to_lab(tile[1]));
+    }
+}

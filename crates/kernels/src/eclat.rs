@@ -1,0 +1,231 @@
+//! Eclat frequent-itemset mining — estimator benchmark application (paper
+//! Table 1, an Anthill application).
+//!
+//! Vertical layout: each item maps to the bitset of transactions containing
+//! it (its *tidset*); itemset support is the popcount of tidset
+//! intersections, and the search recurses depth-first over equivalence
+//! classes with support-based pruning.
+
+/// A transaction database in horizontal form: each transaction is a sorted
+/// list of item ids.
+#[derive(Debug, Clone, Default)]
+pub struct Transactions {
+    /// The transactions.
+    pub rows: Vec<Vec<u32>>,
+}
+
+/// A frequent itemset with its support count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequentItemset {
+    /// The items, in ascending order.
+    pub items: Vec<u32>,
+    /// Number of transactions containing all of them.
+    pub support: u32,
+}
+
+/// A dense bitset over transaction ids.
+#[derive(Debug, Clone, PartialEq)]
+struct TidSet {
+    words: Vec<u64>,
+}
+
+impl TidSet {
+    fn new(n_transactions: usize) -> TidSet {
+        TidSet {
+            words: vec![0; n_transactions.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, tid: usize) {
+        self.words[tid / 64] |= 1 << (tid % 64);
+    }
+
+    #[inline]
+    fn count(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    fn intersect(&self, other: &TidSet) -> TidSet {
+        TidSet {
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+}
+
+/// Mine all itemsets with support >= `min_support` from `db`.
+/// Results are returned sorted (by length, then lexicographically).
+pub fn mine(db: &Transactions, min_support: u32) -> Vec<FrequentItemset> {
+    assert!(min_support >= 1, "support threshold must be positive");
+    let n = db.rows.len();
+    // Build vertical representation.
+    let mut max_item = 0u32;
+    for row in &db.rows {
+        for &it in row {
+            max_item = max_item.max(it);
+        }
+    }
+    let mut tidsets: Vec<TidSet> = vec![TidSet::new(n); max_item as usize + 1];
+    for (tid, row) in db.rows.iter().enumerate() {
+        for &it in row {
+            tidsets[it as usize].insert(tid);
+        }
+    }
+    // Frequent single items, ascending.
+    let singles: Vec<(u32, TidSet, u32)> = (0..=max_item)
+        .filter_map(|it| {
+            let sup = tidsets[it as usize].count();
+            if sup >= min_support {
+                Some((it, tidsets[it as usize].clone(), sup))
+            } else {
+                None
+            }
+        })
+        .collect();
+
+    let mut out = Vec::new();
+    for (i, (it, tids, sup)) in singles.iter().enumerate() {
+        out.push(FrequentItemset {
+            items: vec![*it],
+            support: *sup,
+        });
+        recurse(
+            &mut out,
+            &[*it],
+            tids,
+            &singles[i + 1..],
+            min_support,
+        );
+    }
+    out.sort_by(|a, b| a.items.len().cmp(&b.items.len()).then(a.items.cmp(&b.items)));
+    out
+}
+
+fn recurse(
+    out: &mut Vec<FrequentItemset>,
+    prefix: &[u32],
+    prefix_tids: &TidSet,
+    tail: &[(u32, TidSet, u32)],
+    min_support: u32,
+) {
+    // Build this prefix's equivalence class, then extend depth-first.
+    let class: Vec<(u32, TidSet, u32)> = tail
+        .iter()
+        .filter_map(|(it, tids, _)| {
+            let inter = prefix_tids.intersect(tids);
+            let sup = inter.count();
+            if sup >= min_support {
+                Some((*it, inter, sup))
+            } else {
+                None
+            }
+        })
+        .collect();
+    for (i, (it, tids, sup)) in class.iter().enumerate() {
+        let mut items = prefix.to_vec();
+        items.push(*it);
+        out.push(FrequentItemset {
+            items: items.clone(),
+            support: *sup,
+        });
+        recurse(out, &items, tids, &class[i + 1..], min_support);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classic_db() -> Transactions {
+        // The textbook example database.
+        Transactions {
+            rows: vec![
+                vec![1, 2, 5],
+                vec![2, 4],
+                vec![2, 3],
+                vec![1, 2, 4],
+                vec![1, 3],
+                vec![2, 3],
+                vec![1, 3],
+                vec![1, 2, 3, 5],
+                vec![1, 2, 3],
+            ],
+        }
+    }
+
+    fn support_of(fis: &[FrequentItemset], items: &[u32]) -> Option<u32> {
+        fis.iter().find(|f| f.items == items).map(|f| f.support)
+    }
+
+    #[test]
+    fn classic_example_supports() {
+        let fis = mine(&classic_db(), 2);
+        assert_eq!(support_of(&fis, &[1]), Some(6));
+        assert_eq!(support_of(&fis, &[2]), Some(7));
+        assert_eq!(support_of(&fis, &[1, 2]), Some(4));
+        assert_eq!(support_of(&fis, &[1, 2, 3]), Some(2));
+        assert_eq!(support_of(&fis, &[1, 2, 5]), Some(2));
+        assert_eq!(support_of(&fis, &[4]), Some(2));
+        // {4,5} never co-occur.
+        assert_eq!(support_of(&fis, &[4, 5]), None);
+    }
+
+    #[test]
+    fn higher_threshold_prunes_more() {
+        let low = mine(&classic_db(), 2);
+        let high = mine(&classic_db(), 4);
+        assert!(high.len() < low.len());
+        // Anti-monotonicity: every high-support itemset also appears at the
+        // lower threshold with the same support.
+        for f in &high {
+            assert_eq!(support_of(&low, &f.items), Some(f.support));
+        }
+    }
+
+    #[test]
+    fn subsets_have_at_least_the_support_of_supersets() {
+        let fis = mine(&classic_db(), 2);
+        for f in &fis {
+            if f.items.len() >= 2 {
+                for drop in 0..f.items.len() {
+                    let mut sub = f.items.clone();
+                    sub.remove(drop);
+                    let sup = support_of(&fis, &sub).expect("subset must be frequent");
+                    assert!(sup >= f.support);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_db_yields_nothing() {
+        let fis = mine(&Transactions::default(), 1);
+        assert!(fis.is_empty());
+    }
+
+    #[test]
+    fn min_support_one_counts_everything() {
+        let db = Transactions {
+            rows: vec![vec![0, 1], vec![1]],
+        };
+        let fis = mine(&db, 1);
+        assert_eq!(support_of(&fis, &[0]), Some(1));
+        assert_eq!(support_of(&fis, &[1]), Some(2));
+        assert_eq!(support_of(&fis, &[0, 1]), Some(1));
+    }
+
+    #[test]
+    fn large_tid_space_crosses_word_boundaries() {
+        // 130 transactions, item 7 in all of them.
+        let db = Transactions {
+            rows: (0..130).map(|_| vec![7]).collect(),
+        };
+        let fis = mine(&db, 100);
+        assert_eq!(support_of(&fis, &[7]), Some(130));
+    }
+}

@@ -1,0 +1,345 @@
+//! The discrete-event engine: an event heap over virtual time plus a
+//! user-supplied world that handles events and schedules new ones.
+//!
+//! The engine is deliberately minimal: events are a user enum, the world is
+//! a plain mutable struct, and handlers receive a [`Scheduler`] to enqueue
+//! follow-up events. Determinism is guaranteed by (a) integer virtual time
+//! and (b) FIFO tie-breaking of simultaneous events via a sequence number.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first,
+        // with the lowest sequence number winning ties (FIFO).
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The pending-event queue handed to world handlers for scheduling.
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    cancelled: HashSet<u64>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Scheduler<E> {
+    fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `ev` at absolute time `at`. Times in the past are clamped
+    /// to `now` (the event still runs, immediately after current ones).
+    pub fn at(&mut self, at: SimTime, ev: E) -> EventId {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, ev });
+        EventId(seq)
+    }
+
+    /// Schedule `ev` after a delay from the current time.
+    #[inline]
+    pub fn after(&mut self, delay: SimDuration, ev: E) -> EventId {
+        self.at(self.now + delay, ev)
+    }
+
+    /// Schedule `ev` to run at the current instant, after already-pending
+    /// events at this instant.
+    #[inline]
+    pub fn immediately(&mut self, ev: E) -> EventId {
+        self.at(self.now, ev)
+    }
+
+    /// Cancel a previously scheduled event. Safe to call more than once or
+    /// after the event has fired (it is then a no-op).
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Number of pending (non-cancelled, best-effort) events.
+    pub fn pending(&self) -> usize {
+        self.heap.len().saturating_sub(self.cancelled.len())
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(s) = self.heap.pop() {
+            if self.cancelled.remove(&s.seq) {
+                continue;
+            }
+            self.now = s.at;
+            return Some((s.at, s.ev));
+        }
+        None
+    }
+
+    fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(s) = self.heap.peek() {
+            if self.cancelled.contains(&s.seq) {
+                let s = self.heap.pop().unwrap();
+                self.cancelled.remove(&s.seq);
+                continue;
+            }
+            return Some(s.at);
+        }
+        None
+    }
+}
+
+/// A simulation world: owns all model state and reacts to events.
+pub trait World {
+    /// The event alphabet of this world.
+    type Event;
+
+    /// Handle one event at virtual time `now`, scheduling any follow-ups.
+    fn handle(&mut self, now: SimTime, ev: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// Outcome of an engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Drained,
+    /// The time or step limit was reached with events still pending.
+    LimitReached,
+}
+
+/// The discrete-event engine driving a [`World`].
+pub struct Engine<W: World> {
+    world: W,
+    sched: Scheduler<W::Event>,
+    steps: u64,
+}
+
+impl<W: World> Engine<W> {
+    /// Create an engine around a world.
+    pub fn new(world: W) -> Self {
+        Engine {
+            world,
+            sched: Scheduler::new(),
+            steps: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Number of events processed so far.
+    #[inline]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Immutable access to the world.
+    #[inline]
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world (e.g. for pre-run configuration).
+    #[inline]
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consume the engine, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Schedule an event before or between runs.
+    pub fn schedule(&mut self, at: SimTime, ev: W::Event) -> EventId {
+        self.sched.at(at, ev)
+    }
+
+    /// Run until the queue drains.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_bounded(SimTime::MAX, u64::MAX)
+    }
+
+    /// Run until the queue drains or virtual time would pass `until`.
+    /// Events at exactly `until` are processed.
+    pub fn run_until(&mut self, until: SimTime) -> RunOutcome {
+        self.run_bounded(until, u64::MAX)
+    }
+
+    /// Run until the queue drains, `until` passes, or `max_steps` events
+    /// have been processed (a safety net against runaway models).
+    pub fn run_bounded(&mut self, until: SimTime, max_steps: u64) -> RunOutcome {
+        let mut remaining = max_steps;
+        loop {
+            if remaining == 0 {
+                return RunOutcome::LimitReached;
+            }
+            match self.sched.peek_time() {
+                None => return RunOutcome::Drained,
+                Some(t) if t > until => return RunOutcome::LimitReached,
+                Some(_) => {}
+            }
+            let (now, ev) = self.sched.pop().expect("peek said non-empty");
+            self.world.handle(now, ev, &mut self.sched);
+            self.steps += 1;
+            remaining -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick(u32),
+        Chain(u32),
+    }
+
+    #[derive(Default)]
+    struct Log {
+        seen: Vec<(u64, u32)>,
+    }
+
+    impl World for Log {
+        type Event = Ev;
+        fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+            match ev {
+                Ev::Tick(id) => self.seen.push((now.as_nanos(), id)),
+                Ev::Chain(n) => {
+                    self.seen.push((now.as_nanos(), n));
+                    if n > 0 {
+                        sched.after(SimDuration::from_nanos(10), Ev::Chain(n - 1));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut eng = Engine::new(Log::default());
+        eng.schedule(SimTime(30), Ev::Tick(3));
+        eng.schedule(SimTime(10), Ev::Tick(1));
+        eng.schedule(SimTime(20), Ev::Tick(2));
+        assert_eq!(eng.run(), RunOutcome::Drained);
+        assert_eq!(eng.world().seen, vec![(10, 1), (20, 2), (30, 3)]);
+        assert_eq!(eng.now(), SimTime(30));
+        assert_eq!(eng.steps(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut eng = Engine::new(Log::default());
+        for id in 0..100 {
+            eng.schedule(SimTime(5), Ev::Tick(id));
+        }
+        eng.run();
+        let ids: Vec<u32> = eng.world().seen.iter().map(|&(_, id)| id).collect();
+        assert_eq!(ids, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_chain_events() {
+        let mut eng = Engine::new(Log::default());
+        eng.schedule(SimTime(0), Ev::Chain(5));
+        eng.run();
+        assert_eq!(eng.world().seen.len(), 6);
+        assert_eq!(eng.now(), SimTime(50));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon_inclusive() {
+        let mut eng = Engine::new(Log::default());
+        eng.schedule(SimTime(10), Ev::Tick(1));
+        eng.schedule(SimTime(20), Ev::Tick(2));
+        eng.schedule(SimTime(21), Ev::Tick(3));
+        assert_eq!(eng.run_until(SimTime(20)), RunOutcome::LimitReached);
+        assert_eq!(eng.world().seen, vec![(10, 1), (20, 2)]);
+        assert_eq!(eng.run(), RunOutcome::Drained);
+        assert_eq!(eng.world().seen.len(), 3);
+    }
+
+    #[test]
+    fn cancellation_suppresses_events() {
+        let mut eng = Engine::new(Log::default());
+        let a = eng.schedule(SimTime(10), Ev::Tick(1));
+        eng.schedule(SimTime(20), Ev::Tick(2));
+        eng.sched.cancel(a);
+        eng.run();
+        assert_eq!(eng.world().seen, vec![(20, 2)]);
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        struct Clamper {
+            fired_at: Vec<u64>,
+        }
+        impl World for Clamper {
+            type Event = bool;
+            fn handle(&mut self, now: SimTime, ev: bool, sched: &mut Scheduler<bool>) {
+                self.fired_at.push(now.as_nanos());
+                if ev {
+                    // "In the past" — must be clamped to now, not dropped.
+                    sched.at(SimTime(1), false);
+                }
+            }
+        }
+        let mut eng = Engine::new(Clamper { fired_at: vec![] });
+        eng.schedule(SimTime(100), true);
+        eng.run();
+        assert_eq!(eng.world().fired_at, vec![100, 100]);
+    }
+
+    #[test]
+    fn step_limit_halts() {
+        let mut eng = Engine::new(Log::default());
+        eng.schedule(SimTime(0), Ev::Chain(1_000_000));
+        assert_eq!(
+            eng.run_bounded(SimTime::MAX, 10),
+            RunOutcome::LimitReached
+        );
+        assert_eq!(eng.steps(), 10);
+    }
+}

@@ -1,0 +1,76 @@
+//! A tour of the performance estimator (paper Section 4): benchmark an
+//! application, fit the kNN model, and see why *relative* performance is
+//! predictable where absolute times are not. Ends by measuring a real CPU
+//! kernel to show the profile format is the same for measured data.
+//!
+//! ```text
+//! cargo run --release --example estimator_tour
+//! ```
+
+use std::time::Instant;
+
+use anthill_repro::apps::bench_suite::BenchApp;
+use anthill_repro::estimator::{
+    cross_validate, params, DeviceClass, KnnEstimator, ProfileStore,
+};
+
+fn main() {
+    // Phase one: a 30-job benchmark profile of the NBIA component.
+    let profile = BenchApp::NbiaComponent.generate_profile(7, 30);
+    println!(
+        "phase 1: benchmarked {} jobs of '{}' on CPU and GPU",
+        profile.len(),
+        profile.app
+    );
+
+    // Phase two: fit the kNN model (the paper's k = 2).
+    let est = KnnEstimator::fit_default(profile.clone());
+    println!("phase 2: fitted kNN estimator (k = {})", est.k());
+    println!();
+
+    println!("queries (tile side -> predicted GPU-vs-CPU speedup):");
+    for side in [32.0, 64.0, 128.0, 256.0, 512.0] {
+        let speedup = est
+            .predict_speedup(DeviceClass::GPU, DeviceClass::CPU, &params![side])
+            .expect("profile covers both devices");
+        let bar = "#".repeat(speedup.round() as usize);
+        println!("  {side:>5}px  {speedup:6.2}x  {bar}");
+    }
+    println!();
+
+    // The Table 1 methodology: 10-fold cross-validation.
+    let cv = cross_validate(&profile, 2, 10);
+    println!(
+        "10-fold CV: speedup error {:.1}%, direct CPU-time error {:.1}%",
+        cv.speedup_mape, cv.cpu_time_mape
+    );
+    println!("(relative performance is the easier prediction — Section 4)");
+    println!();
+
+    // Profiles can also hold *measured* times: run a real kernel.
+    println!("measuring the real Black-Scholes kernel:");
+    let mut measured = ProfileStore::new("black-scholes-measured");
+    for scale in [0.2, 0.4, 0.6, 0.8, 1.0] {
+        let t0 = Instant::now();
+        let checksum = BenchApp::BlackScholes.execute_cpu(scale);
+        let secs = t0.elapsed().as_secs_f64();
+        // Pair the measured CPU time with the modeled GPU time.
+        measured.add_cpu_gpu(params![scale], secs, secs / 11.5);
+        println!("  scale {scale:.1}: {secs:.6}s (checksum {checksum:.2})");
+    }
+    let est2 = KnnEstimator::fit(measured.clone(), 1);
+    let t = est2
+        .predict_time(DeviceClass::CPU, &params![0.5])
+        .expect("measured profile");
+    println!("predicted CPU time at scale 0.5: {t:.6}s");
+    println!();
+
+    // Phase-one profiles persist to disk for later runs (paper Figure 3).
+    let text = anthill_repro::estimator::persist::to_text(&measured);
+    let restored = anthill_repro::estimator::persist::from_text(&text).expect("parses");
+    println!(
+        "profile round-trips through its on-disk format: {} rows, app '{}'",
+        restored.len(),
+        restored.app
+    );
+}

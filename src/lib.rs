@@ -1,0 +1,29 @@
+//! # anthill-repro — reproduction of "Run-time optimizations for
+//! replicated dataflows on heterogeneous environments" (HPDC 2010)
+//!
+//! Facade crate re-exporting the workspace:
+//!
+//! * [`simkit`] — deterministic discrete-event simulation engine
+//! * [`hetsim`] — CPU/GPU/network hardware models (the testbed substitute)
+//! * [`estimator`] — the kNN relative-performance estimator (Section 4)
+//! * [`core`] — the replicated-dataflow runtime: filter-stream model,
+//!   DDFCFS/DDWRR/ODDS scheduling, DQAA + DBSA, adaptive transfers
+//!   (Sections 3 and 5)
+//! * [`kernels`] — real computational kernels (NBIA image analysis and the
+//!   Table 1 benchmark applications)
+//! * [`apps`] — NBIA and VI on the runtime (Sections 2 and 6)
+//! * [`mod@bench`] — the experiment harness regenerating every table and
+//!   figure (Section 6); see the `repro` binary
+//!
+//! Start with `examples/quickstart.rs`, then `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![warn(missing_docs)]
+
+pub use anthill as core;
+pub use anthill_apps as apps;
+pub use anthill_bench as bench;
+pub use anthill_estimator as estimator;
+pub use anthill_hetsim as hetsim;
+pub use anthill_kernels as kernels;
+pub use anthill_simkit as simkit;

@@ -1,0 +1,113 @@
+//! Cross-backend consistency: the native threaded runtime and the
+//! virtual-time simulator implement the same model, so task accounting
+//! must agree, and each backend must be internally reproducible.
+
+use std::collections::HashSet;
+
+use anthill_repro::apps::nbia::{run_local, NbiaLocalConfig};
+use anthill_repro::core::local::{ExecMode, WorkerSpec};
+use anthill_repro::core::policy::{Policy, PolicyKind};
+use anthill_repro::core::sim::{run_nbia, SimConfig, WorkloadSpec};
+use anthill_repro::core::weights::OracleWeights;
+use anthill_repro::hetsim::{ClusterSpec, DeviceKind, GpuParams};
+
+fn local_config(policy: PolicyKind) -> NbiaLocalConfig {
+    NbiaLocalConfig {
+        tiles: 36,
+        low_side: 32,
+        high_side: 64,
+        confidence_threshold: 0.88,
+        seed: 7,
+        policy,
+        workers: vec![
+            WorkerSpec {
+                kind: DeviceKind::Cpu,
+                mode: ExecMode::Native,
+            },
+            WorkerSpec {
+                kind: DeviceKind::Gpu,
+                mode: ExecMode::Emulated { scale: 1e-4 },
+            },
+        ],
+    }
+}
+
+#[test]
+fn local_runtime_classifies_every_tile_once_under_each_policy() {
+    for policy in [PolicyKind::DdFcfs, PolicyKind::DdWrr] {
+        let (results, _) = run_local(
+            &local_config(policy),
+            &OracleWeights::new(GpuParams::geforce_8800gt(), true),
+        );
+        assert_eq!(results.len(), 36, "{policy:?}");
+        let tiles: HashSet<u64> = results.iter().map(|r| r.tile).collect();
+        assert_eq!(tiles.len(), 36, "{policy:?}: duplicate classifications");
+    }
+}
+
+#[test]
+fn local_results_are_schedule_independent() {
+    // The *classification outcome* per tile must not depend on the
+    // scheduling policy — only performance may change.
+    let w = OracleWeights::new(GpuParams::geforce_8800gt(), true);
+    let (a, _) = run_local(&local_config(PolicyKind::DdFcfs), &w);
+    let (b, _) = run_local(&local_config(PolicyKind::DdWrr), &w);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.tile, y.tile);
+        assert_eq!(x.predicted, y.predicted, "tile {}", x.tile);
+        assert_eq!(x.level, y.level, "tile {}", x.tile);
+    }
+}
+
+#[test]
+fn simulator_is_bit_deterministic() {
+    let w = WorkloadSpec {
+        tiles: 1_500,
+        ..WorkloadSpec::paper_base(0.12)
+    };
+    let cfg = SimConfig::new(ClusterSpec::heterogeneous(1, 1), Policy::odds());
+    let a = run_nbia(&cfg, &w);
+    let b = run_nbia(&cfg, &w);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.tasks_by, b.tasks_by);
+    assert_eq!(a.total_tasks, b.total_tasks);
+}
+
+#[test]
+fn simulator_task_accounting_is_conserved_across_policies_and_clusters() {
+    let w = WorkloadSpec {
+        tiles: 1_200,
+        ..WorkloadSpec::paper_base(0.10)
+    };
+    for cluster in [ClusterSpec::homogeneous(2), ClusterSpec::heterogeneous(2, 1)] {
+        for policy in [Policy::ddfcfs(4), Policy::ddwrr(16), Policy::odds()] {
+            let r = run_nbia(&SimConfig::new(cluster.clone(), policy), &w);
+            assert_eq!(r.total_tasks, w.total_buffers());
+            let low: u64 = DeviceKind::ALL.iter().map(|&k| r.tasks(k, 0)).sum();
+            let high: u64 = DeviceKind::ALL.iter().map(|&k| r.tasks(k, 1)).sum();
+            assert_eq!(low, w.tiles);
+            assert_eq!(high, w.recalc_count());
+        }
+    }
+}
+
+#[test]
+fn estimator_and_oracle_weights_agree_on_routing() {
+    // The kNN estimator has ~8% error; the paper argues that is enough
+    // because only the task *ordering* matters. Verify: estimator-weighted
+    // runs route tiles like oracle-weighted runs.
+    let w = WorkloadSpec {
+        tiles: 2_000,
+        ..WorkloadSpec::paper_base(0.10)
+    };
+    let mut est = SimConfig::new(ClusterSpec::homogeneous(1), Policy::ddwrr(30));
+    est.use_estimator = true;
+    let mut oracle = est.clone();
+    oracle.use_estimator = false;
+    let re = run_nbia(&est, &w);
+    let ro = run_nbia(&oracle, &w);
+    let diff = (re.share_pct(DeviceKind::Gpu, 1) - ro.share_pct(DeviceKind::Gpu, 1)).abs();
+    assert!(diff < 10.0, "routing diverged by {diff} points");
+    let perf = re.speedup() / ro.speedup();
+    assert!((0.9..1.1).contains(&perf), "perf ratio {perf}");
+}

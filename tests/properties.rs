@@ -1,0 +1,266 @@
+//! Property-based tests over the core data structures and protocol state
+//! machines (DESIGN.md §6 lists the invariants).
+
+use anthill_repro::core::buffer::{BufferId, DataBuffer};
+use anthill_repro::core::dqaa::Dqaa;
+use anthill_repro::core::queue::SharedQueue;
+use anthill_repro::core::sim::WorkloadSpec;
+use anthill_repro::core::transfer::AdaptiveStreams;
+use anthill_repro::estimator::{KnnEstimator, Normalizer, ProfileStore, TaskParams};
+use anthill_repro::hetsim::{DeviceKind, TaskShape};
+use anthill_repro::simkit::{Engine, Scheduler, SimDuration, SimTime, World};
+use proptest::prelude::*;
+
+fn buffer(id: u64) -> DataBuffer {
+    DataBuffer {
+        id: BufferId(id),
+        params: TaskParams::nums(&[id as f64]),
+        shape: TaskShape {
+            cpu: SimDuration::from_micros(10),
+            gpu_kernel: SimDuration::from_micros(10),
+            bytes_in: 100,
+            bytes_out: 10,
+        },
+        level: 0,
+        task: id,
+    }
+}
+
+proptest! {
+    /// The engine delivers events in nondecreasing time order, FIFO within
+    /// a timestamp, and drains completely.
+    #[test]
+    fn engine_orders_arbitrary_schedules(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        struct Collect {
+            seen: Vec<u64>,
+        }
+        impl World for Collect {
+            type Event = u64;
+            fn handle(&mut self, now: SimTime, ev: u64, _s: &mut Scheduler<u64>) {
+                assert_eq!(now.as_nanos(), ev, "event delivered at its scheduled time");
+                self.seen.push(ev);
+            }
+        }
+        let mut eng = Engine::new(Collect { seen: vec![] });
+        for &t in &times {
+            eng.schedule(SimTime(t), t);
+        }
+        eng.run();
+        let seen = &eng.world().seen;
+        prop_assert_eq!(seen.len(), times.len());
+        prop_assert!(seen.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// Popping best-per-device from the shared queue yields weights in
+    /// nonincreasing order and consumes each buffer exactly once across
+    /// any interleaving of consumers.
+    #[test]
+    fn shared_queue_conserves_and_orders(
+        weights in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..100),
+        picks in prop::collection::vec(prop::bool::ANY, 0..120),
+    ) {
+        let mut q = SharedQueue::new();
+        for (i, &(wc, wg)) in weights.iter().enumerate() {
+            q.insert(buffer(i as u64), [wc, wg], None);
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut count = 0usize;
+        for &gpu in &picks {
+            let kind = if gpu { DeviceKind::Gpu } else { DeviceKind::Cpu };
+            if let Some((b, _)) = q.pop_best(kind) {
+                prop_assert!(seen.insert(b.id), "duplicate {:?}", b.id);
+                count += 1;
+            }
+        }
+        while let Some((b, _)) = q.pop_fifo() {
+            prop_assert!(seen.insert(b.id));
+            count += 1;
+        }
+        prop_assert_eq!(count, weights.len());
+    }
+
+    /// A dedicated GPU consumer drains buffers in nonincreasing GPU-weight
+    /// order.
+    #[test]
+    fn pop_best_is_monotone(weights in prop::collection::vec(0.0f64..100.0, 1..100)) {
+        let mut q = SharedQueue::new();
+        for (i, &w) in weights.iter().enumerate() {
+            q.insert(buffer(i as u64), [1.0, w], None);
+        }
+        let mut last = f64::INFINITY;
+        while let Some((b, _)) = q.pop_best(DeviceKind::Gpu) {
+            let w = weights[b.id.0 as usize];
+            prop_assert!(w <= last + 1e-12, "{w} after {last}");
+            last = w;
+        }
+    }
+
+    /// DQAA's target window stays within [1, max] for arbitrary
+    /// measurement sequences, and converges to the latency/processing
+    /// ratio under stationary inputs.
+    #[test]
+    fn dqaa_bounded_and_convergent(
+        obs in prop::collection::vec((0u64..10_000, 1u64..10_000), 1..200),
+        max_target in 1usize..64,
+        ratio in 1u64..20,
+    ) {
+        let mut d = Dqaa::new(max_target);
+        for &(lat, proc_) in &obs {
+            d.observe_latency(SimDuration::from_micros(lat));
+            d.observe_processing(SimDuration::from_micros(proc_));
+            prop_assert!(d.target() >= 1 && d.target() <= max_target);
+        }
+        // Stationary phase: latency = ratio × processing.
+        for _ in 0..200 {
+            d.observe_latency(SimDuration::from_micros(ratio * 100));
+            d.observe_processing(SimDuration::from_micros(100));
+        }
+        let expect = (ratio as usize).min(max_target).max(1);
+        prop_assert_eq!(d.target(), expect);
+    }
+
+    /// Algorithm 1's stream count stays within [1, max_events] under any
+    /// throughput feedback.
+    #[test]
+    fn adaptive_streams_bounded(
+        feedback in prop::collection::vec(0.0f64..1e6, 1..200),
+        max_events in 1usize..512,
+    ) {
+        let mut ctl = AdaptiveStreams::new(max_events);
+        for &t in &feedback {
+            ctl.observe_throughput(t);
+            prop_assert!(ctl.concurrent_events() >= 1);
+            prop_assert!(ctl.concurrent_events() <= max_events);
+        }
+    }
+
+    /// The estimator distance is a pseudometric on sampled parameter
+    /// vectors: nonnegative, symmetric, zero on self, triangle inequality.
+    #[test]
+    fn estimator_distance_is_pseudometric(
+        rows in prop::collection::vec(prop::collection::vec(-1e3f64..1e3, 3), 3..20),
+    ) {
+        let mut store = ProfileStore::new("p");
+        for r in &rows {
+            store.add_cpu_gpu(TaskParams::nums(r), 1.0, 1.0);
+        }
+        let norm = Normalizer::fit(&store);
+        let p: Vec<TaskParams> = rows.iter().map(|r| TaskParams::nums(r)).collect();
+        for a in &p {
+            prop_assert!(norm.distance(a, a).abs() < 1e-9);
+            for b in &p {
+                let dab = norm.distance(a, b);
+                prop_assert!(dab >= 0.0);
+                prop_assert!((dab - norm.distance(b, a)).abs() < 1e-9);
+                for c in &p {
+                    let dac = norm.distance(a, c);
+                    let dcb = norm.distance(c, b);
+                    prop_assert!(dab <= dac + dcb + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// kNN with k=1 queried exactly on a training point returns that
+    /// point's measured time (when parameters are unique).
+    #[test]
+    fn knn_k1_is_exact_on_training_points(
+        raw in prop::collection::vec(-1e4f64..1e4, 2..30),
+    ) {
+        // Deduplicate: identical parameters would make k=1 ambiguous.
+        let mut xs = raw;
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
+        let mut store = ProfileStore::new("p");
+        for (i, &x) in xs.iter().enumerate() {
+            store.add_cpu_gpu(TaskParams::nums(&[x]), (i + 1) as f64, 1.0);
+        }
+        let est = KnnEstimator::fit(store, 1);
+        for (i, &x) in xs.iter().enumerate() {
+            // Skip points that collide after normalization.
+            let t = est
+                .predict_time(anthill_repro::estimator::DeviceClass::CPU, &TaskParams::nums(&[x]))
+                .unwrap();
+            if xs.iter().filter(|&&y| (y - x).abs() < 1e-9).count() == 1 {
+                prop_assert!((t - (i + 1) as f64).abs() < 1e-9, "x={x} t={t}");
+            }
+        }
+    }
+
+    /// FIFO servers never start a job before its submission, never overlap
+    /// jobs, and accumulate exactly the submitted service time.
+    #[test]
+    fn fifo_server_is_a_proper_single_server(
+        jobs in prop::collection::vec((0u64..10_000, 1u64..1_000), 1..100),
+    ) {
+        use anthill_repro::simkit::FifoServer;
+        let mut server = FifoServer::new();
+        let mut last_finish = SimTime::ZERO;
+        let mut total = 0u64;
+        for &(at, service) in &jobs {
+            let (start, finish) = server.submit(SimTime(at), SimDuration(service));
+            prop_assert!(start >= SimTime(at), "started before submission");
+            prop_assert!(start >= last_finish, "overlapping service");
+            prop_assert_eq!(finish, start + SimDuration(service));
+            last_finish = finish;
+            total += service;
+        }
+        prop_assert_eq!(server.busy_time(), SimDuration(total));
+        prop_assert_eq!(server.jobs(), jobs.len() as u64);
+    }
+
+    /// Network deliveries to one destination preserve per-sender order,
+    /// and bulk messages are never delivered before their serialization
+    /// could possibly complete.
+    #[test]
+    fn network_respects_order_and_bandwidth(
+        sizes in prop::collection::vec(2_000u64..1_000_000, 1..50),
+    ) {
+        use anthill_repro::hetsim::{NetParams, Network};
+        let params = NetParams::gigabit_ethernet();
+        let bw = params.bandwidth_bps;
+        let mut net = Network::new(2, params);
+        let mut last = SimTime::ZERO;
+        let mut clock = SimTime::ZERO;
+        for &bytes in &sizes {
+            let arrival = net.send(clock, 0, 1, bytes);
+            prop_assert!(arrival >= last, "reordered delivery");
+            let min_wire = SimDuration::from_secs_f64(bytes as f64 / bw);
+            prop_assert!(arrival >= clock + min_wire, "faster than the wire");
+            last = arrival;
+            clock += SimDuration::from_micros(1);
+        }
+    }
+
+    /// Pyramid downsampling preserves total brightness within rounding.
+    #[test]
+    fn downsample_conserves_brightness(seed in 0u64..1_000, class_idx in 0usize..3) {
+        use anthill_repro::kernels::pyramid::downsample;
+        use anthill_repro::kernels::tiles::{TileClass, TileGenerator};
+        let class = TileClass::ALL[class_idx];
+        let side = 32u32;
+        let px = TileGenerator::new(seed).generate(class, side);
+        let sum = |p: &[anthill_repro::kernels::color::Rgb8]| {
+            p.iter().map(|q| u64::from(q.r) + u64::from(q.g) + u64::from(q.b)).sum::<u64>() as f64
+                / p.len() as f64
+        };
+        let before = sum(&px);
+        let after = sum(&downsample(&px, side));
+        // Integer floor division loses at most 0.75 per channel per pixel.
+        prop_assert!((before - after).abs() <= 2.5, "{before} vs {after}");
+    }
+
+    /// Workload recalculation marking is exact and evenly spread for any
+    /// rate and tile count.
+    #[test]
+    fn workload_recalc_exact(tiles in 1u64..5_000, rate in 0.0f64..1.0) {
+        let w = WorkloadSpec {
+            tiles,
+            recalc_rate: rate,
+            ..WorkloadSpec::paper_base(rate)
+        };
+        let marked = (0..tiles).filter(|&t| w.is_recalc(t)).count() as u64;
+        prop_assert_eq!(marked, w.recalc_count());
+        prop_assert_eq!(w.total_buffers(), tiles + marked);
+    }
+}
