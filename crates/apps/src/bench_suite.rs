@@ -92,8 +92,7 @@ impl BenchApp {
                 let side = rng.uniform_range(64.0, 512.0);
                 let steps = rng.uniform_range(100.0, 2_000.0);
                 let cpu = 2.2e-8 * side * side * steps * rng.lognormal_noise(0.20);
-                let speedup =
-                    (4.0 + 14.0 * side / (side + 256.0)) * rng.lognormal_noise(0.12);
+                let speedup = (4.0 + 14.0 * side / (side + 256.0)) * rng.lognormal_noise(0.12);
                 (TaskParams::nums(&[side, steps]), cpu, cpu / speedup)
             }
             BenchApp::Knn => {
@@ -101,8 +100,7 @@ impl BenchApp {
                 let train = rng.uniform_range(5e4, 2e5);
                 let queries = rng.uniform_range(100.0, 2_000.0);
                 let k = rng.uniform_range(4.0, 16.0);
-                let cpu =
-                    6e-9 * train * queries * (1.0 + k / 16.0) * rng.lognormal_noise(0.08);
+                let cpu = 6e-9 * train * queries * (1.0 + k / 16.0) * rng.lognormal_noise(0.08);
                 let speedup = 15.0 * train / (train + 1e4) * rng.lognormal_noise(0.075);
                 (TaskParams::nums(&[train, queries, k]), cpu, cpu / speedup)
             }
@@ -115,8 +113,8 @@ impl BenchApp {
                 let support = rng.uniform_range(0.01, 0.20);
                 let blowup = (0.22 / support).powf(2.0);
                 let cpu = 4e-8 * transactions * items * blowup * rng.lognormal_noise(0.25);
-                let speedup = (3.0 + 6.0 * (1.0 - support * 4.0).max(0.0))
-                    * rng.lognormal_noise(0.10);
+                let speedup =
+                    (3.0 + 6.0 * (1.0 - support * 4.0).max(0.0)) * rng.lognormal_noise(0.10);
                 (
                     TaskParams::nums(&[transactions, items, support]),
                     cpu,
@@ -213,7 +211,12 @@ impl BenchApp {
                 let rows = (200.0 * scale) as u64 + 10;
                 let db = anthill_kernels::eclat::Transactions {
                     rows: (0..rows)
-                        .map(|i| (0..8).filter(|j| (i + j) % 3 != 0).map(|j| j as u32).collect())
+                        .map(|i| {
+                            (0..8)
+                                .filter(|j| (i + j) % 3 != 0)
+                                .map(|j| j as u32)
+                                .collect()
+                        })
                         .collect(),
                 };
                 anthill_kernels::eclat::mine(&db, 2).len() as f64
@@ -222,7 +225,9 @@ impl BenchApp {
                 let side = (64.0 * scale) as u32 + 8;
                 let mut gen = anthill_kernels::tiles::TileGenerator::new(7);
                 let px = gen.generate(anthill_kernels::tiles::TileClass::StromaPoor, side);
-                anthill_kernels::tiles::tile_features(&px, side).iter().sum()
+                anthill_kernels::tiles::tile_features(&px, side)
+                    .iter()
+                    .sum()
             }
         }
     }

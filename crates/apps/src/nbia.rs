@@ -165,6 +165,17 @@ pub fn run_local<W: WeightProvider + Sync>(
     config: &NbiaLocalConfig,
     weights: &W,
 ) -> (Vec<TileResult>, anthill::local::LocalReport) {
+    run_local_traced(config, weights, &anthill::obs::Recorder::disabled())
+}
+
+/// [`run_local`] with observability: the pipeline records task lifecycle
+/// events (enqueue / dispatch / start / finish) into `recorder`, stamped
+/// with monotonic wall time since the run start.
+pub fn run_local_traced<W: WeightProvider + Sync>(
+    config: &NbiaLocalConfig,
+    weights: &W,
+    recorder: &anthill::obs::Recorder,
+) -> (Vec<TileResult>, anthill::local::LocalReport) {
     let cost = NbiaCostModel::paper_calibrated();
     let classifier = TileClassifier::train(config.seed ^ 0x7EAC, 6, config.low_side);
     let mut gen = TileGenerator::new(config.seed);
@@ -201,7 +212,7 @@ pub fn run_local<W: WeightProvider + Sync>(
 
     let mut pipeline = Pipeline::new(config.policy);
     pipeline.add_stage(filter, config.workers.clone());
-    let (outputs, report) = pipeline.run(sources, weights);
+    let (outputs, report) = pipeline.run_traced(sources, weights, recorder);
 
     let mut results: Vec<TileResult> = outputs
         .into_iter()

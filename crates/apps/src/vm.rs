@@ -314,7 +314,7 @@ mod tests {
         assert_eq!(rendered.len(), 2);
         assert_eq!(rendered[0].query, queries[0]);
         assert_eq!(rendered[1].tile_side, 16); // 64 >> 2
-        // 6 + 4 tiles, each through 3 stages.
+                                               // 6 + 4 tiles, each through 3 stages.
         assert_eq!(report.total(), 30);
     }
 

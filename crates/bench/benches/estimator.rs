@@ -14,9 +14,7 @@ fn estimator_query(c: &mut Criterion) {
         let est = KnnEstimator::fit_default(profile);
         let query = TaskParams::nums(&[200.0, 900.0]);
         g.bench_with_input(BenchmarkId::new("predict_speedup", jobs), &est, |b, est| {
-            b.iter(|| {
-                black_box(est.predict_speedup(DeviceClass::GPU, DeviceClass::CPU, &query))
-            })
+            b.iter(|| black_box(est.predict_speedup(DeviceClass::GPU, DeviceClass::CPU, &query)))
         });
     }
     g.bench_function("fit_30_jobs", |b| {

@@ -33,17 +33,21 @@ fn queue_ops(c: &mut Criterion) {
     for &n in &[1_000u64, 30_000] {
         let items = buffers(n);
         g.throughput(Throughput::Elements(n));
-        g.bench_with_input(BenchmarkId::new("insert_pop_fifo", n), &items, |b, items| {
-            b.iter(|| {
-                let mut q = SharedQueue::new();
-                for (buf, w) in items.iter().cloned() {
-                    q.insert(buf, w, None);
-                }
-                while let Some(x) = q.pop_fifo() {
-                    black_box(&x);
-                }
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("insert_pop_fifo", n),
+            &items,
+            |b, items| {
+                b.iter(|| {
+                    let mut q = SharedQueue::new();
+                    for (buf, w) in items.iter().cloned() {
+                        q.insert(buf, w, None);
+                    }
+                    while let Some(x) = q.pop_fifo() {
+                        black_box(&x);
+                    }
+                })
+            },
+        );
         g.bench_with_input(
             BenchmarkId::new("insert_pop_best_gpu", n),
             &items,

@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! repro <experiment> [--quick]
+//! repro <experiment> [--quick] [--trace <path>]
 //! repro all [--quick]
 //! ```
 //! where `<experiment>` is one of the paper artifacts — `table1`, `fig6`,
@@ -13,7 +13,13 @@
 //!
 //! `--quick` shrinks workloads (~10×) for fast sanity runs; without it the
 //! paper's exact workload sizes are used. Run with `--release`.
+//!
+//! `--trace <path>` (honored by `fig12`) dumps the run's structured event
+//! trace: a `.jsonl` path gets the line-oriented dump, anything else the
+//! Chrome `trace_event` JSON loadable in Perfetto / `chrome://tracing`,
+//! e.g. `repro fig12 --quick --trace trace.json`.
 
+use anthill::obs::{chrome, jsonl, Recorder};
 use anthill_bench::experiments::{cluster, estimator, transfer};
 use anthill_bench::viz::{render, ChartSpec, Series};
 
@@ -48,18 +54,64 @@ const SEED: u64 = 42;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let scale = if quick { Scale::quick() } else { Scale::paper() };
-    let what = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
+    let mut quick = false;
+    let mut trace_path: Option<String> = None;
+    let mut selected: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => trace_path = Some(p.clone()),
+                    None => {
+                        eprintln!("--trace requires a file path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            a if a.starts_with("--") => {
+                eprintln!("unknown flag '{a}'");
+                std::process::exit(2);
+            }
+            a => {
+                if selected.is_none() {
+                    selected = Some(a.to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    let scale = if quick {
+        Scale::quick()
+    } else {
+        Scale::paper()
+    };
+    let what = selected.as_deref().unwrap_or("all");
 
     let known = [
-        "table1", "sweep-k", "sweep-models", "fig6", "fig7", "table2", "table3", "fig8", "table4", "fig9",
-        "fig10", "table6", "fig11", "fig12", "fig13", "fig14", "mixed-gpus",
-        "concurrent-kernels", "fusion", "slow-node", "all",
+        "table1",
+        "sweep-k",
+        "sweep-models",
+        "fig6",
+        "fig7",
+        "table2",
+        "table3",
+        "fig8",
+        "table4",
+        "fig9",
+        "fig10",
+        "table6",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "mixed-gpus",
+        "concurrent-kernels",
+        "fusion",
+        "slow-node",
+        "all",
     ];
     if !known.contains(&what) {
         eprintln!("unknown experiment '{what}'; known: {}", known.join(", "));
@@ -107,8 +159,11 @@ fn main() {
     if run("fig11") {
         fig11(&scale);
     }
+    if trace_path.is_some() && !run("fig12") {
+        eprintln!("note: --trace is honored by the fig12 experiment only; ignoring it");
+    }
     if run("fig12") {
-        fig12(&scale);
+        fig12(&scale, trace_path.as_deref());
     }
     if run("fig13") {
         fig13(&scale);
@@ -142,9 +197,15 @@ fn table1() {
         "speedup err: BS 2.5 / N-body 7.3 / Heart 13.8 / kNN 8.8 / Eclat 11.3 / NBIA 7.4 (mean 8.52); CPU-time err 70.5 / 11.6 / 42.0 / 21.2 / 102.6 / 30.4",
     );
     let rows = estimator::table1(SEED);
-    println!("{:<18} {:>14} {:>16}", "Benchmark", "Speedup err %", "CPU time err %");
+    println!(
+        "{:<18} {:>14} {:>16}",
+        "Benchmark", "Speedup err %", "CPU time err %"
+    );
     for r in &rows {
-        println!("{:<18} {:>14.2} {:>16.2}", r.app, r.speedup_err, r.cpu_time_err);
+        println!(
+            "{:<18} {:>14.2} {:>16.2}",
+            r.app, r.speedup_err, r.cpu_time_err
+        );
     }
     println!(
         "{:<18} {:>14.2}",
@@ -238,7 +299,16 @@ fn fig7(s: &Scale) {
         })
         .collect();
     println!("(x axis: log2 streams)");
-    print!("{}", render(&series, ChartSpec { zero_y: false, ..ChartSpec::default() }));
+    print!(
+        "{}",
+        render(
+            &series,
+            ChartSpec {
+                zero_y: false,
+                ..ChartSpec::default()
+            }
+        )
+    );
 }
 
 fn table2(s: &Scale) {
@@ -339,9 +409,18 @@ fn stream_rows(rows: Vec<cluster::StreamPolicyRow>) {
         );
     }
     let series = vec![
-        Series::new("DDFCFS", rows.iter().map(|r| (r.rate * 100.0, r.ddfcfs)).collect()),
-        Series::new("DDWRR", rows.iter().map(|r| (r.rate * 100.0, r.ddwrr)).collect()),
-        Series::new("ODDS", rows.iter().map(|r| (r.rate * 100.0, r.odds)).collect()),
+        Series::new(
+            "DDFCFS",
+            rows.iter().map(|r| (r.rate * 100.0, r.ddfcfs)).collect(),
+        ),
+        Series::new(
+            "DDWRR",
+            rows.iter().map(|r| (r.rate * 100.0, r.ddwrr)).collect(),
+        ),
+        Series::new(
+            "ODDS",
+            rows.iter().map(|r| (r.rate * 100.0, r.odds)).collect(),
+        ),
     ];
     print!("{}", render(&series, ChartSpec::default()));
 }
@@ -375,12 +454,32 @@ fn fig11(s: &Scale) {
     }
 }
 
-fn fig12(s: &Scale) {
+fn fig12(s: &Scale, trace: Option<&str>) {
     header(
         "Fig. 12: ODDS dynamics on the heterogeneous base case (10% recalc)",
         "(a) near-full CPU utilization; (b) windows shrink at the high-res tail",
     );
-    let r = cluster::fig12(s.base_tiles, 20);
+    let recorder = if trace.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    let r = cluster::fig12_traced(s.base_tiles, 20, recorder.clone());
+    if let Some(path) = trace {
+        let events = recorder.events();
+        let text = if path.ends_with(".jsonl") {
+            jsonl::to_jsonl(&events)
+        } else {
+            chrome::to_chrome_trace(&events)
+        };
+        match std::fs::write(path, text) {
+            Ok(()) => println!("wrote {} trace events to {path}", events.len()),
+            Err(e) => {
+                eprintln!("failed to write trace to {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     println!("(a) utilization trace (fraction busy per 5% bucket):");
     for (dev, trace) in &r.util_traces {
         let cells: Vec<String> = trace
@@ -405,7 +504,10 @@ fn fig12(s: &Scale) {
         println!("  {:<10} {}", dev.to_string(), cells.join(" "));
     }
     println!("request latency (p50/p95 across threads):");
-    for kind in [anthill_hetsim::DeviceKind::Cpu, anthill_hetsim::DeviceKind::Gpu] {
+    for kind in [
+        anthill_hetsim::DeviceKind::Cpu,
+        anthill_hetsim::DeviceKind::Gpu,
+    ] {
         println!(
             "  {kind}: {} / {}",
             r.latency_quantile(kind, 0.5),
@@ -507,7 +609,9 @@ fn scaling_rows(rows: Vec<cluster::ScalingRow>) {
         );
     }
     let xs = |f: &dyn Fn(&cluster::ScalingRow) -> f64| {
-        rows.iter().map(|r| (r.nodes as f64, f(r))).collect::<Vec<_>>()
+        rows.iter()
+            .map(|r| (r.nodes as f64, f(r)))
+            .collect::<Vec<_>>()
     };
     let series = vec![
         Series::new("GPU-only", xs(&|r| r.gpu_only)),

@@ -121,7 +121,11 @@ pub struct StreamPolicyRow {
     pub odds: f64,
 }
 
-fn stream_policy_rows(cluster: impl Fn() -> ClusterSpec, rates: &[f64], tiles: u64) -> Vec<StreamPolicyRow> {
+fn stream_policy_rows(
+    cluster: impl Fn() -> ClusterSpec,
+    rates: &[f64],
+    tiles: u64,
+) -> Vec<StreamPolicyRow> {
     rates
         .iter()
         .map(|&rate| {
@@ -206,7 +210,13 @@ pub fn fig11(rates: &[f64], windows: &[usize], tiles: u64) -> Vec<(f64, usize, u
             };
             let fcfs = best(&Policy::ddfcfs);
             let wrr = best(&Policy::ddwrr);
-            let odds = run(ClusterSpec::heterogeneous(1, 1), Policy::odds(), false, true, &w);
+            let odds = run(
+                ClusterSpec::heterogeneous(1, 1),
+                Policy::odds(),
+                false,
+                true,
+                &w,
+            );
             // The paper's streamRequestSize counts buffers requested plus
             // received *per filter instance*: sum the per-thread window
             // means within each node, then average over nodes.
@@ -234,12 +244,19 @@ pub fn fig11(rates: &[f64], windows: &[usize], tiles: u64) -> Vec<(f64, usize, u
 /// Figure 12 data: (a) per-device utilization traces and (b) request-window
 /// traces of one ODDS run on the heterogeneous base case at 10% recalc.
 pub fn fig12(tiles: u64, buckets: usize) -> SimReport {
+    fig12_traced(tiles, buckets, anthill::obs::Recorder::disabled())
+}
+
+/// [`fig12`] with an observability sink: the run's structured event trace
+/// and metrics land in `recorder` (see `anthill::obs`).
+pub fn fig12_traced(tiles: u64, buckets: usize, recorder: anthill::obs::Recorder) -> SimReport {
     let w = WorkloadSpec {
         tiles,
         ..WorkloadSpec::paper_base(0.10)
     };
     let mut c = config(ClusterSpec::heterogeneous(1, 1), Policy::odds());
     c.trace_buckets = buckets;
+    c.recorder = recorder;
     run_nbia(&c, &w)
 }
 
@@ -258,7 +275,12 @@ pub struct ScalingRow {
     pub odds: f64,
 }
 
-fn scaling(mk: impl Fn(usize) -> ClusterSpec, sizes: &[usize], tiles: u64, rate: f64) -> Vec<ScalingRow> {
+fn scaling(
+    mk: impl Fn(usize) -> ClusterSpec,
+    sizes: &[usize],
+    tiles: u64,
+    rate: f64,
+) -> Vec<ScalingRow> {
     sizes
         .iter()
         .map(|&n| {

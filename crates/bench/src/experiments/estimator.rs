@@ -167,10 +167,7 @@ mod tests {
     #[test]
     fn k2_is_near_best() {
         let sweep = table1_sweep_k(42, &[1, 2, 4, 8]);
-        let best = sweep
-            .iter()
-            .map(|&(_, e)| e)
-            .fold(f64::INFINITY, f64::min);
+        let best = sweep.iter().map(|&(_, e)| e).fold(f64::INFINITY, f64::min);
         let at2 = sweep.iter().find(|(k, _)| *k == 2).unwrap().1;
         assert!(at2 <= best * 1.5, "k=2 err {at2} vs best {best}");
     }

@@ -35,8 +35,7 @@ pub fn fig6(sides: &[u32], tiles: usize) -> Vec<Fig6Row> {
             let (asy, _) = pipeline::run_async_adaptive(&gpu, &tasks);
             let asy = asy.makespan.as_secs_f64();
             // Transfer overhead = time beyond pure kernel execution.
-            let kernel_total =
-                (gpu.kernel_launch + shape.gpu_kernel).as_secs_f64() * tiles as f64;
+            let kernel_total = (gpu.kernel_launch + shape.gpu_kernel).as_secs_f64() * tiles as f64;
             let sync_overhead = (sync - kernel_total).max(0.0);
             let async_overhead = (asy - kernel_total).max(0.0);
             let reduction = if sync_overhead > 0.0 {
@@ -168,8 +167,12 @@ pub fn mixed_gpus(chunk: u64, vector_len: u64, sweep: &[usize]) -> Vec<MixedGpuR
     let mut rows: Vec<MixedGpuRow> = sweep
         .iter()
         .map(|&s| {
-            let ta = pipeline::run_async_static(&old, a, s).makespan.as_secs_f64();
-            let tb = pipeline::run_async_static(&new, b, s).makespan.as_secs_f64();
+            let ta = pipeline::run_async_static(&old, a, s)
+                .makespan
+                .as_secs_f64();
+            let tb = pipeline::run_async_static(&new, b, s)
+                .makespan
+                .as_secs_f64();
             MixedGpuRow {
                 streams: s,
                 old_gpu_secs: ta,
@@ -282,10 +285,7 @@ mod tests {
             assert!(r.async_speedup >= r.sync_speedup * 0.99, "{r:?}");
         }
         let big = &rows[4];
-        assert!(
-            big.async_speedup > 1.10 * big.sync_speedup,
-            "512²: {big:?}"
-        );
+        assert!(big.async_speedup > 1.10 * big.sync_speedup, "512²: {big:?}");
         assert!(big.transfer_reduction_pct > 50.0, "512²: {big:?}");
     }
 
@@ -314,7 +314,10 @@ mod tests {
             .min_by(|a, b| a.new_gpu_secs.partial_cmp(&b.new_gpu_secs).unwrap())
             .unwrap()
             .streams;
-        assert_ne!(best_old, best_new, "the two devices should want different counts");
+        assert_ne!(
+            best_old, best_new,
+            "the two devices should want different counts"
+        );
         // The adaptive row is within a few percent of the best static makespan.
         let adaptive = rows.iter().find(|r| r.streams == 0).unwrap();
         let best_static = rows

@@ -47,7 +47,10 @@ const MARKS: [char; 6] = ['o', '+', 'x', '*', '#', '@'];
 
 /// Render the series into a multi-line string.
 pub fn render(series: &[Series], spec: ChartSpec) -> String {
-    let pts: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if pts.is_empty() {
         return String::from("(no data)\n");
     }
@@ -150,7 +153,10 @@ mod tests {
 
     #[test]
     fn renders_axes_and_legend() {
-        let chart = render(&[line("up", |x| x), line("down", |x| 10.0 - x)], ChartSpec::default());
+        let chart = render(
+            &[line("up", |x| x), line("down", |x| 10.0 - x)],
+            ChartSpec::default(),
+        );
         assert!(chart.contains("o = up"));
         assert!(chart.contains("+ = down"));
         assert!(chart.contains("+---"));
@@ -161,7 +167,14 @@ mod tests {
 
     #[test]
     fn increasing_series_puts_last_point_at_top_right() {
-        let chart = render(&[line("up", |x| x)], ChartSpec { width: 20, height: 8, zero_y: true });
+        let chart = render(
+            &[line("up", |x| x)],
+            ChartSpec {
+                width: 20,
+                height: 8,
+                zero_y: true,
+            },
+        );
         let rows: Vec<&str> = chart.lines().collect();
         // First plotted row (top) should contain the marker near its end.
         let top = rows[0];

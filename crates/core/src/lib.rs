@@ -51,6 +51,7 @@ pub mod buffer;
 pub mod dbsa;
 pub mod dqaa;
 pub mod local;
+pub mod obs;
 pub mod policy;
 pub mod queue;
 pub mod sim;

@@ -21,6 +21,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 
 use crate::buffer::DataBuffer;
+use crate::obs::{DeviceRef, EventKind, Recorder};
 use crate::policy::PolicyKind;
 use crate::queue::SharedQueue;
 use crate::weights::WeightProvider;
@@ -173,11 +174,7 @@ impl Pipeline {
     }
 
     /// Append a filter stage with its worker slots. Returns the stage id.
-    pub fn add_stage(
-        &mut self,
-        filter: Arc<dyn LocalFilter>,
-        workers: Vec<WorkerSpec>,
-    ) -> usize {
+    pub fn add_stage(&mut self, filter: Arc<dyn LocalFilter>, workers: Vec<WorkerSpec>) -> usize {
         assert!(!workers.is_empty(), "a stage needs at least one worker");
         self.stages.push(Stage { filter, workers });
         self.stages.len() - 1
@@ -193,6 +190,20 @@ impl Pipeline {
         &self,
         sources: Vec<LocalTask>,
         weights: &W,
+    ) -> (Vec<LocalTask>, LocalReport) {
+        self.run_traced(sources, weights, &Recorder::disabled())
+    }
+
+    /// [`run`](Pipeline::run) with observability: stage-queue insertions
+    /// record [`EventKind::Enqueue`] and each worker thread records
+    /// dispatch / start / finish, stamped with monotonic wall time since
+    /// run start. `DeviceRef::node` carries the stage index (the local
+    /// runtime is intra-node).
+    pub fn run_traced<W: WeightProvider + Sync>(
+        &self,
+        sources: Vec<LocalTask>,
+        weights: &W,
+        recorder: &Recorder,
     ) -> (Vec<LocalTask>, LocalReport) {
         assert!(!self.stages.is_empty(), "pipeline has no stages");
         let started = Instant::now();
@@ -217,7 +228,13 @@ impl Pipeline {
                 weights.weight(&task.buffer, DeviceKind::Gpu),
             ];
             let id = task.buffer.id.0;
+            let level = task.buffer.level;
             payloads.lock().insert(id, task.payload);
+            recorder.record_now(
+                started,
+                DeviceRef::node_scope(stage),
+                EventKind::Enqueue { buffer: id, level },
+            );
             let sq = &queues[stage];
             let mut q = sq.queue.lock();
             if bounded {
@@ -237,16 +254,23 @@ impl Pipeline {
             enqueue(0, t, &queues, false);
         }
         if in_flight.load(Ordering::SeqCst) == 0 {
-            return (Vec::new(), LocalReport {
-                handled: HashMap::new(),
-                elapsed: started.elapsed(),
-            });
+            return (
+                Vec::new(),
+                LocalReport {
+                    handled: HashMap::new(),
+                    elapsed: started.elapsed(),
+                },
+            );
         }
 
         std::thread::scope(|scope| {
             for (si, stage) in self.stages.iter().enumerate() {
+                let mut kind_counts: HashMap<DeviceKind, usize> = HashMap::new();
                 for spec in &stage.workers {
                     let spec = *spec;
+                    let slot = kind_counts.entry(spec.kind).or_insert(0);
+                    let origin = DeviceRef::worker(si, spec.kind, *slot);
+                    *slot += 1;
                     let filter = Arc::clone(&stage.filter);
                     let queues = &queues;
                     let in_flight = Arc::clone(&in_flight);
@@ -280,6 +304,14 @@ impl Pipeline {
                                     }
                                 }
                             };
+                            recorder.record_now(
+                                started,
+                                origin,
+                                EventKind::Dispatch {
+                                    buffer: popped.id.0,
+                                    level: popped.level,
+                                },
+                            );
                             let payload = payloads
                                 .lock()
                                 .remove(&popped.id.0)
@@ -288,14 +320,22 @@ impl Pipeline {
                                 buffer: popped,
                                 payload,
                             };
+                            recorder.record_now(
+                                started,
+                                origin,
+                                EventKind::Start {
+                                    buffer: task.buffer.id.0,
+                                    level: task.buffer.level,
+                                },
+                            );
+                            let task_id = task.buffer.id.0;
+                            let work_started = Instant::now();
                             if let ExecMode::Emulated { scale } = spec.mode {
                                 let modeled = match spec.kind {
                                     DeviceKind::Cpu => task.buffer.shape.cpu,
                                     DeviceKind::Gpu => task.buffer.shape.gpu_kernel,
                                 };
-                                spin_for(Duration::from_secs_f64(
-                                    modeled.as_secs_f64() * scale,
-                                ));
+                                spin_for(Duration::from_secs_f64(modeled.as_secs_f64() * scale));
                             }
                             let mut fwd = Vec::new();
                             let mut back = Vec::new();
@@ -303,8 +343,8 @@ impl Pipeline {
                             // A panicking handler must not strand the other
                             // workers: shut the pipeline down, then let the
                             // panic propagate through the scope.
-                            let handled = std::panic::catch_unwind(
-                                std::panic::AssertUnwindSafe(|| {
+                            let handled =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                     filter.handle(
                                         spec.kind,
                                         task,
@@ -313,8 +353,7 @@ impl Pipeline {
                                             back: &mut back,
                                         },
                                     );
-                                }),
-                            );
+                                }));
                             if let Err(payload) = handled {
                                 done.set();
                                 for q in queues.iter() {
@@ -324,10 +363,28 @@ impl Pipeline {
                                 }
                                 std::panic::resume_unwind(payload);
                             }
-                            *counters
-                                .lock()
-                                .entry((si, spec.kind, level))
-                                .or_insert(0) += 1;
+                            let proc_ns = work_started.elapsed().as_nanos() as u64;
+                            recorder.record_now(
+                                started,
+                                origin,
+                                EventKind::Finish {
+                                    buffer: task_id,
+                                    level,
+                                    proc_ns,
+                                },
+                            );
+                            recorder.counter_add(
+                                "tasks_finished",
+                                &[(
+                                    "device",
+                                    match spec.kind {
+                                        DeviceKind::Cpu => "cpu",
+                                        DeviceKind::Gpu => "gpu",
+                                    },
+                                )],
+                                1,
+                            );
+                            *counters.lock().entry((si, spec.kind, level)).or_insert(0) += 1;
                             // Account emissions before retiring this task so
                             // the in-flight count can never dip to zero early.
                             let emitted = fwd.len() + back.len();
@@ -605,9 +662,8 @@ mod tests {
             ],
         );
         let sources: Vec<LocalTask> = (0..40).map(|i| task(i, i)).collect();
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            p.run(sources, &oracle())
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| p.run(sources, &oracle())));
         assert!(result.is_err(), "the poison panic must propagate");
     }
 

@@ -1,0 +1,328 @@
+//! Chrome `trace_event` export (the JSON Array/Object format understood by
+//! `chrome://tracing` and Perfetto).
+//!
+//! Mapping:
+//!
+//! | trace event | Chrome phase |
+//! |---|---|
+//! | `Start`..`Finish` per (device, buffer) | `X` complete slice |
+//! | `Transfer` | `X` complete slice (`H2D`/`D2H`) |
+//! | `DqaaWindow`, `Streams` | `C` counter |
+//! | `Enqueue`, `Dispatch`, `DbsaSelect` | `i` instant |
+//! | process/thread names | `M` metadata |
+//!
+//! `pid` is the node (sim) or stage (local); `tid` is derived from the
+//! device class and index. Timestamps are microseconds with exact
+//! nanosecond sub-decimal (`ns/1000 + "." + ns%1000`) — integer math only,
+//! so same-seed runs export byte-identical files.
+
+use std::collections::{BTreeSet, HashMap};
+
+use anthill_hetsim::CopyDir;
+
+use super::event::{DeviceRef, EventKind, TraceEvent};
+
+/// Deterministic thread id for an origin: node scope gets 0, CPUs
+/// 1..=100, GPUs 101.. (well past any realistic per-node device count).
+fn tid(origin: &DeviceRef) -> u32 {
+    match origin.kind {
+        None => 0,
+        Some(anthill_hetsim::DeviceKind::Cpu) => 1 + origin.index,
+        Some(anthill_hetsim::DeviceKind::Gpu) => 101 + origin.index,
+    }
+}
+
+/// Microseconds with exact nanosecond fraction, e.g. `1234.567`.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn push_event(
+    out: &mut Vec<String>,
+    name: &str,
+    ph: char,
+    ts_ns: u64,
+    origin: &DeviceRef,
+    extra: &str,
+) {
+    out.push(format!(
+        "{{\"name\":\"{name}\",\"ph\":\"{ph}\",\"ts\":{},\"pid\":{},\"tid\":{}{extra}}}",
+        us(ts_ns),
+        origin.node,
+        tid(origin),
+    ));
+}
+
+/// Serialize events into one Chrome/Perfetto trace document.
+pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out: Vec<String> = Vec::with_capacity(events.len() + 16);
+
+    // Metadata: name each process (node) and thread (device) that appears.
+    let origins: BTreeSet<DeviceRef> = events.iter().map(|e| e.origin).collect();
+    let nodes: BTreeSet<u32> = origins.iter().map(|o| o.node).collect();
+    for &node in &nodes {
+        out.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0.000,\"pid\":{node},\"tid\":0,\
+             \"args\":{{\"name\":\"node{node}\"}}}}"
+        ));
+    }
+    for origin in &origins {
+        let label = match origin.kind {
+            Some(k) => format!("{}{}", k, origin.index),
+            None => "queue".to_string(),
+        };
+        out.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"ts\":0.000,\"pid\":{},\"tid\":{},\
+             \"args\":{{\"name\":\"{label}\"}}}}",
+            origin.node,
+            tid(origin),
+        ));
+    }
+
+    // Open Start slices waiting for their Finish, per (origin, buffer).
+    let mut open: HashMap<(DeviceRef, u64), u64> = HashMap::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::Start { buffer, .. } => {
+                open.insert((ev.origin, buffer), ev.ts_ns);
+            }
+            EventKind::Finish {
+                buffer,
+                level,
+                proc_ns,
+            } => {
+                // Slice from the matching Start; a Finish with no recorded
+                // Start (partial trace) falls back to its processing time.
+                let begin = open
+                    .remove(&(ev.origin, buffer))
+                    .unwrap_or_else(|| ev.ts_ns.saturating_sub(proc_ns));
+                let dur = ev.ts_ns.saturating_sub(begin);
+                push_event(
+                    &mut out,
+                    &format!("task L{level}"),
+                    'X',
+                    begin,
+                    &ev.origin,
+                    &format!(
+                        ",\"dur\":{},\"cat\":\"task\",\"args\":{{\"buffer\":{buffer},\"proc_ns\":{proc_ns}}}",
+                        us(dur)
+                    ),
+                );
+            }
+            EventKind::Transfer { dir, bytes, end_ns } => {
+                let name = match dir {
+                    CopyDir::H2D => "H2D",
+                    CopyDir::D2H => "D2H",
+                };
+                let dur = end_ns.saturating_sub(ev.ts_ns);
+                push_event(
+                    &mut out,
+                    name,
+                    'X',
+                    ev.ts_ns,
+                    &ev.origin,
+                    &format!(
+                        ",\"dur\":{},\"cat\":\"transfer\",\"args\":{{\"bytes\":{bytes}}}",
+                        us(dur)
+                    ),
+                );
+            }
+            EventKind::DqaaWindow { target } => {
+                push_event(
+                    &mut out,
+                    &format!("window {}", ev.origin),
+                    'C',
+                    ev.ts_ns,
+                    &ev.origin,
+                    &format!(",\"args\":{{\"target\":{target}}}"),
+                );
+            }
+            EventKind::Streams { count } => {
+                push_event(
+                    &mut out,
+                    &format!("streams {}", ev.origin),
+                    'C',
+                    ev.ts_ns,
+                    &ev.origin,
+                    &format!(",\"args\":{{\"count\":{count}}}"),
+                );
+            }
+            EventKind::Enqueue { buffer, .. } => {
+                push_event(
+                    &mut out,
+                    "enqueue",
+                    'i',
+                    ev.ts_ns,
+                    &ev.origin,
+                    &format!(",\"s\":\"t\",\"args\":{{\"buffer\":{buffer}}}"),
+                );
+            }
+            EventKind::Dispatch { buffer, .. } => {
+                push_event(
+                    &mut out,
+                    "dispatch",
+                    'i',
+                    ev.ts_ns,
+                    &ev.origin,
+                    &format!(",\"s\":\"t\",\"args\":{{\"buffer\":{buffer}}}"),
+                );
+            }
+            EventKind::DbsaSelect { buffer, proctype } => {
+                push_event(
+                    &mut out,
+                    "dbsa",
+                    'i',
+                    ev.ts_ns,
+                    &ev.origin,
+                    &format!(
+                        ",\"s\":\"t\",\"args\":{{\"buffer\":{buffer},\"proctype\":\"{proctype}\"}}"
+                    ),
+                );
+            }
+        }
+    }
+
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}\n",
+        out.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::json::{self, Value};
+    use super::*;
+    use anthill_hetsim::DeviceKind;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let cpu = DeviceRef::worker(0, DeviceKind::Cpu, 0);
+        let gpu = DeviceRef::worker(1, DeviceKind::Gpu, 0);
+        vec![
+            TraceEvent {
+                ts_ns: 0,
+                origin: DeviceRef::node_scope(0),
+                kind: EventKind::Enqueue {
+                    buffer: 1,
+                    level: 0,
+                },
+            },
+            TraceEvent {
+                ts_ns: 1_000,
+                origin: cpu,
+                kind: EventKind::Start {
+                    buffer: 1,
+                    level: 0,
+                },
+            },
+            TraceEvent {
+                ts_ns: 5_500,
+                origin: cpu,
+                kind: EventKind::Finish {
+                    buffer: 1,
+                    level: 0,
+                    proc_ns: 4_500,
+                },
+            },
+            TraceEvent {
+                ts_ns: 2_000,
+                origin: gpu,
+                kind: EventKind::Transfer {
+                    dir: CopyDir::D2H,
+                    bytes: 256,
+                    end_ns: 3_250,
+                },
+            },
+            TraceEvent {
+                ts_ns: 4_000,
+                origin: gpu,
+                kind: EventKind::Streams { count: 8 },
+            },
+            TraceEvent {
+                ts_ns: 6_000,
+                origin: cpu,
+                kind: EventKind::DqaaWindow { target: 2 },
+            },
+        ]
+    }
+
+    fn parse_trace(text: &str) -> Vec<Value> {
+        let doc = json::parse(text.trim_end()).expect("valid JSON document");
+        doc.get("traceEvents")
+            .and_then(Value::as_arr)
+            .expect("traceEvents array")
+            .to_vec()
+    }
+
+    #[test]
+    fn every_event_has_required_fields() {
+        let evs = parse_trace(&to_chrome_trace(&sample_events()));
+        assert!(!evs.is_empty());
+        for e in &evs {
+            let ph = e.get("ph").and_then(Value::as_str).expect("ph field");
+            assert!(["X", "C", "i", "M"].contains(&ph), "phase {ph}");
+            assert!(e.get("ts").and_then(Value::as_f64).is_some(), "ts field");
+            assert!(e.get("pid").and_then(Value::as_u64).is_some(), "pid field");
+            assert!(e.get("tid").and_then(Value::as_u64).is_some(), "tid field");
+            assert!(e.get("name").and_then(Value::as_str).is_some(), "name");
+            if ph == "X" {
+                assert!(e.get("dur").and_then(Value::as_f64).is_some(), "dur on X");
+            }
+        }
+    }
+
+    #[test]
+    fn start_finish_pairs_become_complete_slices() {
+        let evs = parse_trace(&to_chrome_trace(&sample_events()));
+        let slice = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("task L0"))
+            .expect("task slice");
+        // Start at 1000 ns = 1.000 µs, dur 4500 ns = 4.5 µs.
+        assert_eq!(slice.get("ts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(slice.get("dur").unwrap().as_f64(), Some(4.5));
+        assert_eq!(
+            slice.get("args").unwrap().get("buffer").unwrap().as_u64(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn transfers_and_counters_are_exported() {
+        let evs = parse_trace(&to_chrome_trace(&sample_events()));
+        let d2h = evs
+            .iter()
+            .find(|e| e.get("name").and_then(Value::as_str) == Some("D2H"))
+            .expect("D2H slice");
+        assert_eq!(d2h.get("dur").unwrap().as_f64(), Some(1.25));
+        let counters: Vec<&Value> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 2, "streams + window counters");
+    }
+
+    #[test]
+    fn metadata_names_processes_and_threads() {
+        let evs = parse_trace(&to_chrome_trace(&sample_events()));
+        let names: Vec<&str> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+            })
+            .collect();
+        assert!(names.contains(&"node0"), "{names:?}");
+        assert!(names.contains(&"node1"), "{names:?}");
+        assert!(names.contains(&"CPU0"), "{names:?}");
+        assert!(names.contains(&"GPU0"), "{names:?}");
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid_json() {
+        let text = to_chrome_trace(&[]);
+        let doc = json::parse(text.trim_end()).expect("valid");
+        assert_eq!(doc.get("traceEvents").unwrap().as_arr().unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! The structured trace-event model shared by both executors.
+//!
+//! Every event is a plain-old-data record of integers and small enums:
+//! no floats, no strings, no heap indirection. That keeps recording cheap
+//! and — critically — makes serialized traces *byte-identical* across
+//! repeated deterministic simulation runs (floats would round-trip through
+//! formatting; integers cannot).
+
+use std::fmt;
+
+use anthill_hetsim::{CopyDir, DeviceId, DeviceKind};
+
+/// Where an event originated.
+///
+/// Device-scoped events (`kind = Some(..)`) come from one worker thread /
+/// simulated device; node-scoped events (`kind = None`) come from a
+/// node-level component such as a stage queue or a reader.
+///
+/// In the simulated executor `node` is the cluster node id; in the local
+/// threaded executor `node` is the *pipeline stage index* (the local
+/// runtime is intra-node, so stages play the role of placement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceRef {
+    /// Hosting node (sim) or pipeline stage (local).
+    pub node: u32,
+    /// Device class, or `None` for node/stage-scoped events.
+    pub kind: Option<DeviceKind>,
+    /// Index among same-kind devices of the node (0 for node scope).
+    pub index: u32,
+}
+
+impl DeviceRef {
+    /// Origin for a specific simulated device.
+    pub fn device(id: DeviceId) -> DeviceRef {
+        DeviceRef {
+            node: id.node as u32,
+            kind: Some(id.kind),
+            index: id.index as u32,
+        }
+    }
+
+    /// Origin for a node-scoped (or stage-scoped) component.
+    pub fn node_scope(node: usize) -> DeviceRef {
+        DeviceRef {
+            node: node as u32,
+            kind: None,
+            index: 0,
+        }
+    }
+
+    /// Origin for a local-runtime worker thread: stage, device class and
+    /// worker slot index within the stage.
+    pub fn worker(stage: usize, kind: DeviceKind, index: usize) -> DeviceRef {
+        DeviceRef {
+            node: stage as u32,
+            kind: Some(kind),
+            index: index as u32,
+        }
+    }
+}
+
+impl fmt::Display for DeviceRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            Some(k) => write!(f, "n{}/{}{}", self.node, k, self.index),
+            None => write!(f, "n{}", self.node),
+        }
+    }
+}
+
+/// What happened. Payload fields are the integers needed to reconstruct
+/// the run: buffer ids, resolution levels, byte counts, durations in
+/// nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A buffer entered a ready/stage queue.
+    Enqueue {
+        /// Buffer id.
+        buffer: u64,
+        /// Resolution level.
+        level: u8,
+    },
+    /// A buffer was popped from a queue and assigned to a device.
+    Dispatch {
+        /// Buffer id.
+        buffer: u64,
+        /// Resolution level.
+        level: u8,
+    },
+    /// Processing of a buffer began on the originating device.
+    Start {
+        /// Buffer id.
+        buffer: u64,
+        /// Resolution level.
+        level: u8,
+    },
+    /// Processing of a buffer completed on the originating device.
+    Finish {
+        /// Buffer id.
+        buffer: u64,
+        /// Resolution level.
+        level: u8,
+        /// Processing time attributed to the buffer, in nanoseconds.
+        proc_ns: u64,
+    },
+    /// A host↔device copy occupied a GPU copy engine. The event timestamp
+    /// is the engine-occupancy start; `end_ns` its completion.
+    Transfer {
+        /// Copy direction.
+        dir: CopyDir,
+        /// Payload bytes.
+        bytes: u64,
+        /// Completion time (same clock as `ts_ns`), in nanoseconds.
+        end_ns: u64,
+    },
+    /// The adaptive-streams controller (Algorithm 1) chose a new
+    /// concurrent-event count after a batch.
+    Streams {
+        /// Concurrent events/streams for the next batch.
+        count: u32,
+    },
+    /// A DQAA request-window update: the thread's effective target window
+    /// after processing (mirrors `SimReport::request_traces`).
+    DqaaWindow {
+        /// Effective target request window.
+        target: u32,
+    },
+    /// DBSA answered a data request by selecting the best queued buffer
+    /// for the requesting processor type.
+    DbsaSelect {
+        /// Selected buffer id.
+        buffer: u64,
+        /// Processor type that triggered the request.
+        proctype: DeviceKind,
+    },
+}
+
+impl EventKind {
+    /// Short machine-readable name (the JSONL `kind` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Enqueue { .. } => "enqueue",
+            EventKind::Dispatch { .. } => "dispatch",
+            EventKind::Start { .. } => "start",
+            EventKind::Finish { .. } => "finish",
+            EventKind::Transfer { .. } => "transfer",
+            EventKind::Streams { .. } => "streams",
+            EventKind::DqaaWindow { .. } => "dqaa_window",
+            EventKind::DbsaSelect { .. } => "dbsa_select",
+        }
+    }
+}
+
+/// One recorded event: when, where, what.
+///
+/// `ts_ns` is virtual time (`SimTime::as_nanos`) in the simulated executor
+/// and monotonic wall time since the run start in the local executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Timestamp in nanoseconds (virtual or monotonic-relative).
+    pub ts_ns: u64,
+    /// Originating device or node-scoped component.
+    pub origin: DeviceRef,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_ref_display_forms() {
+        let d = DeviceRef::device(DeviceId {
+            node: 2,
+            kind: DeviceKind::Gpu,
+            index: 0,
+        });
+        assert_eq!(d.to_string(), "n2/GPU0");
+        assert_eq!(DeviceRef::node_scope(3).to_string(), "n3");
+        assert_eq!(
+            DeviceRef::worker(0, DeviceKind::Cpu, 1).to_string(),
+            "n0/CPU1"
+        );
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        let names = [
+            EventKind::Enqueue {
+                buffer: 1,
+                level: 0,
+            }
+            .name(),
+            EventKind::Dispatch {
+                buffer: 1,
+                level: 0,
+            }
+            .name(),
+            EventKind::Start {
+                buffer: 1,
+                level: 0,
+            }
+            .name(),
+            EventKind::Finish {
+                buffer: 1,
+                level: 0,
+                proc_ns: 9,
+            }
+            .name(),
+            EventKind::Transfer {
+                dir: CopyDir::H2D,
+                bytes: 64,
+                end_ns: 7,
+            }
+            .name(),
+            EventKind::Streams { count: 4 }.name(),
+            EventKind::DqaaWindow { target: 3 }.name(),
+            EventKind::DbsaSelect {
+                buffer: 1,
+                proctype: DeviceKind::Gpu,
+            }
+            .name(),
+        ];
+        assert_eq!(
+            names,
+            [
+                "enqueue",
+                "dispatch",
+                "start",
+                "finish",
+                "transfer",
+                "streams",
+                "dqaa_window",
+                "dbsa_select"
+            ]
+        );
+    }
+}

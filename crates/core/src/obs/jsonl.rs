@@ -1,0 +1,308 @@
+//! JSONL trace export: one event per line, integers only, fixed key order.
+//!
+//! The serialization is intentionally rigid — field order is fixed and
+//! every value is an integer or a short lowercase token — so that two
+//! deterministic simulation runs with the same seed produce *byte
+//! identical* dumps. [`parse_jsonl`] reads a dump back into events for
+//! offline analysis and round-trip tests.
+
+use anthill_hetsim::{CopyDir, DeviceKind};
+
+use super::event::{DeviceRef, EventKind, TraceEvent};
+use super::json::{self, Value};
+
+/// Serialize events, one JSON object per line.
+///
+/// Line shape: `{"ts":N,"node":N,"dev":"cpu0"|null,"kind":"...",...}` with
+/// kind-specific integer fields after `kind`.
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 64);
+    for ev in events {
+        write_event(&mut out, ev);
+        out.push('\n');
+    }
+    out
+}
+
+fn write_event(out: &mut String, ev: &TraceEvent) {
+    out.push_str(&format!(
+        "{{\"ts\":{},\"node\":{}",
+        ev.ts_ns, ev.origin.node
+    ));
+    match ev.origin.kind {
+        Some(k) => out.push_str(&format!(
+            ",\"dev\":\"{}{}\"",
+            kind_token(k),
+            ev.origin.index
+        )),
+        None => out.push_str(",\"dev\":null"),
+    }
+    out.push_str(&format!(",\"kind\":\"{}\"", ev.kind.name()));
+    match ev.kind {
+        EventKind::Enqueue { buffer, level }
+        | EventKind::Dispatch { buffer, level }
+        | EventKind::Start { buffer, level } => {
+            out.push_str(&format!(",\"buffer\":{buffer},\"level\":{level}"));
+        }
+        EventKind::Finish {
+            buffer,
+            level,
+            proc_ns,
+        } => {
+            out.push_str(&format!(
+                ",\"buffer\":{buffer},\"level\":{level},\"proc_ns\":{proc_ns}"
+            ));
+        }
+        EventKind::Transfer { dir, bytes, end_ns } => {
+            let d = match dir {
+                CopyDir::H2D => "h2d",
+                CopyDir::D2H => "d2h",
+            };
+            out.push_str(&format!(
+                ",\"dir\":\"{d}\",\"bytes\":{bytes},\"end_ns\":{end_ns}"
+            ));
+        }
+        EventKind::Streams { count } => out.push_str(&format!(",\"count\":{count}")),
+        EventKind::DqaaWindow { target } => out.push_str(&format!(",\"target\":{target}")),
+        EventKind::DbsaSelect { buffer, proctype } => {
+            out.push_str(&format!(
+                ",\"buffer\":{buffer},\"proctype\":\"{}\"",
+                kind_token(proctype)
+            ));
+        }
+    }
+    out.push('}');
+}
+
+fn kind_token(k: DeviceKind) -> &'static str {
+    match k {
+        DeviceKind::Cpu => "cpu",
+        DeviceKind::Gpu => "gpu",
+    }
+}
+
+fn parse_kind_token(s: &str) -> Result<DeviceKind, String> {
+    match s {
+        "cpu" => Ok(DeviceKind::Cpu),
+        "gpu" => Ok(DeviceKind::Gpu),
+        other => Err(format!("unknown device token '{other}'")),
+    }
+}
+
+/// Parse a JSONL dump produced by [`to_jsonl`] back into events.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        events.push(parse_event(&v).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    Ok(events)
+}
+
+fn field_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing integer field '{key}'"))
+}
+
+fn field_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing string field '{key}'"))
+}
+
+fn parse_event(v: &Value) -> Result<TraceEvent, String> {
+    let ts_ns = field_u64(v, "ts")?;
+    let node = field_u64(v, "node")? as u32;
+    let origin = match v.get("dev") {
+        Some(Value::Null) | None => DeviceRef {
+            node,
+            kind: None,
+            index: 0,
+        },
+        Some(Value::Str(dev)) => {
+            let split = dev
+                .find(|c: char| c.is_ascii_digit())
+                .ok_or_else(|| format!("device '{dev}' has no index"))?;
+            DeviceRef {
+                node,
+                kind: Some(parse_kind_token(&dev[..split])?),
+                index: dev[split..]
+                    .parse::<u32>()
+                    .map_err(|e| format!("device '{dev}': {e}"))?,
+            }
+        }
+        Some(other) => return Err(format!("bad 'dev' field: {other}")),
+    };
+    let kind = match field_str(v, "kind")? {
+        "enqueue" => EventKind::Enqueue {
+            buffer: field_u64(v, "buffer")?,
+            level: field_u64(v, "level")? as u8,
+        },
+        "dispatch" => EventKind::Dispatch {
+            buffer: field_u64(v, "buffer")?,
+            level: field_u64(v, "level")? as u8,
+        },
+        "start" => EventKind::Start {
+            buffer: field_u64(v, "buffer")?,
+            level: field_u64(v, "level")? as u8,
+        },
+        "finish" => EventKind::Finish {
+            buffer: field_u64(v, "buffer")?,
+            level: field_u64(v, "level")? as u8,
+            proc_ns: field_u64(v, "proc_ns")?,
+        },
+        "transfer" => EventKind::Transfer {
+            dir: match field_str(v, "dir")? {
+                "h2d" => CopyDir::H2D,
+                "d2h" => CopyDir::D2H,
+                other => return Err(format!("unknown copy direction '{other}'")),
+            },
+            bytes: field_u64(v, "bytes")?,
+            end_ns: field_u64(v, "end_ns")?,
+        },
+        "streams" => EventKind::Streams {
+            count: field_u64(v, "count")? as u32,
+        },
+        "dqaa_window" => EventKind::DqaaWindow {
+            target: field_u64(v, "target")? as u32,
+        },
+        "dbsa_select" => EventKind::DbsaSelect {
+            buffer: field_u64(v, "buffer")?,
+            proctype: parse_kind_token(field_str(v, "proctype")?)?,
+        },
+        other => return Err(format!("unknown event kind '{other}'")),
+    };
+    Ok(TraceEvent {
+        ts_ns,
+        origin,
+        kind,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let cpu = DeviceRef::worker(0, DeviceKind::Cpu, 0);
+        let gpu = DeviceRef::worker(0, DeviceKind::Gpu, 1);
+        let node = DeviceRef::node_scope(2);
+        vec![
+            TraceEvent {
+                ts_ns: 0,
+                origin: node,
+                kind: EventKind::Enqueue {
+                    buffer: 7,
+                    level: 0,
+                },
+            },
+            TraceEvent {
+                ts_ns: 10,
+                origin: cpu,
+                kind: EventKind::Dispatch {
+                    buffer: 7,
+                    level: 0,
+                },
+            },
+            TraceEvent {
+                ts_ns: 10,
+                origin: cpu,
+                kind: EventKind::Start {
+                    buffer: 7,
+                    level: 0,
+                },
+            },
+            TraceEvent {
+                ts_ns: 900,
+                origin: cpu,
+                kind: EventKind::Finish {
+                    buffer: 7,
+                    level: 0,
+                    proc_ns: 890,
+                },
+            },
+            TraceEvent {
+                ts_ns: 20,
+                origin: gpu,
+                kind: EventKind::Transfer {
+                    dir: CopyDir::H2D,
+                    bytes: 3136,
+                    end_ns: 45,
+                },
+            },
+            TraceEvent {
+                ts_ns: 50,
+                origin: gpu,
+                kind: EventKind::Streams { count: 4 },
+            },
+            TraceEvent {
+                ts_ns: 60,
+                origin: cpu,
+                kind: EventKind::DqaaWindow { target: 3 },
+            },
+            TraceEvent {
+                ts_ns: 70,
+                origin: node,
+                kind: EventKind::DbsaSelect {
+                    buffer: 9,
+                    proctype: DeviceKind::Gpu,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_event_kind() {
+        let events = sample_events();
+        let text = to_jsonl(&events);
+        let back = parse_jsonl(&text).expect("parse back");
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn every_line_is_valid_json_with_required_fields() {
+        let text = to_jsonl(&sample_events());
+        assert_eq!(text.lines().count(), 8);
+        for line in text.lines() {
+            let v = json::parse(line).expect("valid JSON line");
+            assert!(v.get("ts").and_then(Value::as_u64).is_some(), "{line}");
+            assert!(v.get("node").and_then(Value::as_u64).is_some(), "{line}");
+            assert!(v.get("kind").and_then(Value::as_str).is_some(), "{line}");
+            assert!(v.get("dev").is_some(), "{line}");
+        }
+    }
+
+    #[test]
+    fn serialization_is_stable() {
+        let ev = TraceEvent {
+            ts_ns: 5,
+            origin: DeviceRef::worker(1, DeviceKind::Gpu, 0),
+            kind: EventKind::Finish {
+                buffer: 3,
+                level: 1,
+                proc_ns: 42,
+            },
+        };
+        assert_eq!(
+            to_jsonl(&[ev]),
+            "{\"ts\":5,\"node\":1,\"dev\":\"gpu0\",\"kind\":\"finish\",\"buffer\":3,\"level\":1,\"proc_ns\":42}\n"
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_jsonl("{\"ts\":1}").is_err()); // missing node/kind
+        assert!(parse_jsonl("not json").is_err());
+        assert!(parse_jsonl("{\"ts\":1,\"node\":0,\"dev\":null,\"kind\":\"bogus\"}").is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = format!("\n{}\n", to_jsonl(&sample_events()));
+        assert_eq!(parse_jsonl(&text).unwrap().len(), 8);
+    }
+}

@@ -1,0 +1,230 @@
+//! The metrics registry: labeled counters, gauges and log-bucketed
+//! duration histograms.
+//!
+//! Keys and storage are `BTreeMap`s so every exported view is in a
+//! deterministic order regardless of insertion order — the same property
+//! the event trace has by construction.
+
+use std::collections::BTreeMap;
+
+use anthill_simkit::{DurationHistogram, SimDuration};
+
+/// A metric identity: name plus sorted `(label, value)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name, e.g. `tasks_finished`.
+    pub name: String,
+    /// Label pairs, sorted by label name.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Build a key; labels are sorted so `[("a","1"),("b","2")]` and
+    /// `[("b","2"),("a","1")]` are the same series.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let pairs: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect();
+        format!("{}{{{}}}", self.name, pairs.join(","))
+    }
+}
+
+/// Counters, gauges and histograms, keyed by [`MetricKey`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    histograms: BTreeMap<MetricKey, DurationHistogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `v` to a counter (created at zero on first touch).
+    pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], v: u64) {
+        *self
+            .counters
+            .entry(MetricKey::new(name, labels))
+            .or_insert(0) += v;
+    }
+
+    /// Current value of a counter (zero if never touched).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counters
+            .get(&MetricKey::new(name, labels))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sum of all counter series with the given name, across labels.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Set a gauge to `v`.
+    pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.gauges.insert(MetricKey::new(name, labels), v);
+    }
+
+    /// Current value of a gauge, if ever set.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges.get(&MetricKey::new(name, labels)).copied()
+    }
+
+    /// Record a duration into a histogram series (created on first touch).
+    pub fn histogram_record(&mut self, name: &str, labels: &[(&str, &str)], d: SimDuration) {
+        self.histograms
+            .entry(MetricKey::new(name, labels))
+            .or_default()
+            .record(d);
+    }
+
+    /// A histogram series, if it has any samples.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&DurationHistogram> {
+        self.histograms.get(&MetricKey::new(name, labels))
+    }
+
+    /// Iterate counters in deterministic (sorted-key) order.
+    pub fn counters(&self) -> impl Iterator<Item = (&MetricKey, u64)> + '_ {
+        self.counters.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Iterate gauges in deterministic order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&MetricKey, f64)> + '_ {
+        self.gauges.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Iterate histograms in deterministic order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&MetricKey, &DurationHistogram)> + '_ {
+        self.histograms.iter()
+    }
+
+    /// Fold another registry into this one (counters add, gauges take the
+    /// other's value, histograms merge).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.gauges {
+            self.gauges.insert(k.clone(), v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Plain-text dump in deterministic order (Prometheus-exposition-like;
+    /// histograms render count/mean/p50/p95/max).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("{} {v}\n", k.render()));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("{} {v}\n", k.render()));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!(
+                "{} count={} mean={} p50={} p95={} max={}\n",
+                k.render(),
+                h.count(),
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.95),
+                h.max(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("tasks", &[("device", "cpu")], 2);
+        m.counter_add("tasks", &[("device", "cpu")], 3);
+        m.counter_add("tasks", &[("device", "gpu")], 7);
+        assert_eq!(m.counter("tasks", &[("device", "cpu")]), 5);
+        assert_eq!(m.counter("tasks", &[("device", "gpu")]), 7);
+        assert_eq!(m.counter("tasks", &[]), 0);
+        assert_eq!(m.counter_total("tasks"), 12);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("x", &[("a", "1"), ("b", "2")], 1);
+        m.counter_add("x", &[("b", "2"), ("a", "1")], 1);
+        assert_eq!(m.counter("x", &[("a", "1"), ("b", "2")]), 2);
+    }
+
+    #[test]
+    fn gauges_overwrite_and_histograms_record() {
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("window", &[], 3.0);
+        m.gauge_set("window", &[], 5.0);
+        assert_eq!(m.gauge("window", &[]), Some(5.0));
+        m.histogram_record("lat", &[], SimDuration::from_millis(2));
+        m.histogram_record("lat", &[], SimDuration::from_millis(4));
+        assert_eq!(m.histogram("lat", &[]).unwrap().count(), 2);
+        assert!(m.histogram("other", &[]).is_none());
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("c", &[], 1);
+        a.histogram_record("h", &[], SimDuration::from_millis(1));
+        let mut b = MetricsRegistry::new();
+        b.counter_add("c", &[], 2);
+        b.gauge_set("g", &[], 9.0);
+        b.histogram_record("h", &[], SimDuration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.counter("c", &[]), 3);
+        assert_eq!(a.gauge("g", &[]), Some(9.0));
+        assert_eq!(a.histogram("h", &[]).unwrap().count(), 2);
+    }
+
+    #[test]
+    fn render_text_is_sorted_and_complete() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("b_counter", &[("device", "gpu")], 1);
+        m.counter_add("a_counter", &[], 4);
+        m.gauge_set("g", &[("n", "0")], 0.5);
+        m.histogram_record("h", &[], SimDuration::from_millis(7));
+        let text = m.render_text();
+        let a = text.find("a_counter 4").expect("a_counter line");
+        let b = text.find("b_counter{device=\"gpu\"} 1").expect("b line");
+        assert!(a < b, "sorted order:\n{text}");
+        assert!(text.contains("g{n=\"0\"} 0.5"));
+        assert!(text.contains("count=1"));
+    }
+}

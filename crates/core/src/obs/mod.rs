@@ -1,0 +1,241 @@
+//! `anthill::obs` — the unified observability layer of both executors.
+//!
+//! One [`Recorder`] handle serves the virtual-time simulator
+//! ([`crate::sim`]) and the native threaded runtime ([`crate::local`]):
+//!
+//! * **Structured event trace** ([`TraceEvent`]): task lifecycle
+//!   (enqueue / dispatch / start / finish), GPU copy-engine occupancy,
+//!   and policy decisions (DQAA window updates, DBSA selections,
+//!   Algorithm 1 stream-count changes). Timestamps are virtual time in the
+//!   simulator and monotonic wall time since run start locally.
+//! * **Metrics registry** ([`MetricsRegistry`]): labeled counters, gauges
+//!   and log-bucketed duration histograms
+//!   (`anthill_simkit::DurationHistogram`).
+//! * **Exporters**: [`jsonl`] (line-oriented structured dump that
+//!   round-trips) and [`chrome`] (Chrome `trace_event` JSON, loadable in
+//!   Perfetto / `chrome://tracing`).
+//!
+//! ## Zero cost when disabled
+//!
+//! A disabled recorder is a `None` — every instrumentation call is an
+//! inlined early return with no allocation, locking or clock read. The
+//! runtimes are instrumented unconditionally and pay nothing unless a
+//! caller installs a sink with [`Recorder::enabled`].
+//!
+//! ## Determinism
+//!
+//! Recording never influences scheduling: the simulator's event order and
+//! timestamps are independent of whether a sink is installed, and events
+//! carry only integers. Two simulation runs with the same seed therefore
+//! serialize to *byte-identical* JSONL dumps (asserted by
+//! `tests/observability.rs`).
+
+mod event;
+mod metrics;
+
+pub mod chrome;
+pub mod json;
+pub mod jsonl;
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use anthill_simkit::SimDuration;
+use parking_lot::Mutex;
+
+pub use event::{DeviceRef, EventKind, TraceEvent};
+pub use metrics::{MetricKey, MetricsRegistry};
+
+/// The shared sink behind an enabled recorder.
+struct Sink {
+    events: Mutex<Vec<TraceEvent>>,
+    metrics: Mutex<MetricsRegistry>,
+}
+
+/// A cloneable handle to an event/metrics sink — or to nothing.
+///
+/// Cloning an enabled recorder shares the sink (both handles append to
+/// the same trace); cloning a disabled one stays disabled. The default is
+/// disabled.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Sink>>,
+}
+
+impl Recorder {
+    /// A recorder that drops everything at zero cost.
+    pub fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// A recorder with a fresh in-memory sink.
+    pub fn enabled() -> Recorder {
+        Recorder {
+            inner: Some(Arc::new(Sink {
+                events: Mutex::new(Vec::new()),
+                metrics: Mutex::new(MetricsRegistry::new()),
+            })),
+        }
+    }
+
+    /// Is a sink installed?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Append one event with an explicit timestamp (virtual time).
+    #[inline]
+    pub fn record(&self, ts_ns: u64, origin: DeviceRef, kind: EventKind) {
+        let Some(sink) = &self.inner else { return };
+        sink.events.lock().push(TraceEvent {
+            ts_ns,
+            origin,
+            kind,
+        });
+    }
+
+    /// Append one event stamped with monotonic wall time since `epoch`.
+    ///
+    /// The clock is read *inside* the sink's critical section, so trace
+    /// order and timestamp order agree even when worker threads race —
+    /// per-origin timestamps in the stored trace are always non-decreasing.
+    #[inline]
+    pub fn record_now(&self, epoch: Instant, origin: DeviceRef, kind: EventKind) {
+        let Some(sink) = &self.inner else { return };
+        let mut events = sink.events.lock();
+        let ts_ns = epoch.elapsed().as_nanos() as u64;
+        events.push(TraceEvent {
+            ts_ns,
+            origin,
+            kind,
+        });
+    }
+
+    /// Add to a labeled counter (no-op when disabled).
+    #[inline]
+    pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], v: u64) {
+        let Some(sink) = &self.inner else { return };
+        sink.metrics.lock().counter_add(name, labels, v);
+    }
+
+    /// Set a labeled gauge (no-op when disabled).
+    #[inline]
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let Some(sink) = &self.inner else { return };
+        sink.metrics.lock().gauge_set(name, labels, v);
+    }
+
+    /// Record into a labeled duration histogram (no-op when disabled).
+    #[inline]
+    pub fn histogram_record(&self, name: &str, labels: &[(&str, &str)], d: SimDuration) {
+        let Some(sink) = &self.inner else { return };
+        sink.metrics.lock().histogram_record(name, labels, d);
+    }
+
+    /// Number of recorded events (0 when disabled).
+    pub fn event_count(&self) -> usize {
+        match &self.inner {
+            Some(sink) => sink.events.lock().len(),
+            None => 0,
+        }
+    }
+
+    /// Snapshot of the recorded events (empty when disabled).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            Some(sink) => sink.events.lock().clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Drain the recorded events, leaving the sink empty.
+    pub fn take_events(&self) -> Vec<TraceEvent> {
+        match &self.inner {
+            Some(sink) => std::mem::take(&mut *sink.events.lock()),
+            None => Vec::new(),
+        }
+    }
+
+    /// Snapshot of the metrics registry (empty when disabled).
+    pub fn metrics(&self) -> MetricsRegistry {
+        match &self.inner {
+            Some(sink) => sink.metrics.lock().clone(),
+            None => MetricsRegistry::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(sink) => write!(f, "Recorder(enabled, {} events)", sink.events.lock().len()),
+            None => write!(f, "Recorder(disabled)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anthill_hetsim::DeviceKind;
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        r.record(
+            1,
+            DeviceRef::node_scope(0),
+            EventKind::Enqueue {
+                buffer: 1,
+                level: 0,
+            },
+        );
+        r.counter_add("c", &[], 1);
+        r.histogram_record("h", &[], SimDuration::from_millis(1));
+        assert_eq!(r.event_count(), 0);
+        assert!(r.events().is_empty());
+        assert_eq!(r.metrics().counter("c", &[]), 0);
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let r = Recorder::enabled();
+        let clone = r.clone();
+        clone.record(
+            7,
+            DeviceRef::worker(0, DeviceKind::Cpu, 0),
+            EventKind::Start {
+                buffer: 4,
+                level: 0,
+            },
+        );
+        clone.counter_add("tasks", &[("device", "cpu")], 1);
+        assert_eq!(r.event_count(), 1);
+        assert_eq!(r.events()[0].ts_ns, 7);
+        assert_eq!(r.metrics().counter("tasks", &[("device", "cpu")]), 1);
+    }
+
+    #[test]
+    fn take_events_drains() {
+        let r = Recorder::enabled();
+        r.record(1, DeviceRef::node_scope(0), EventKind::Streams { count: 2 });
+        assert_eq!(r.take_events().len(), 1);
+        assert_eq!(r.event_count(), 0);
+    }
+
+    #[test]
+    fn record_now_timestamps_are_monotone_in_trace_order() {
+        let r = Recorder::enabled();
+        let epoch = Instant::now();
+        let origin = DeviceRef::worker(0, DeviceKind::Cpu, 0);
+        for i in 0..200 {
+            r.record_now(epoch, origin, EventKind::DqaaWindow { target: i });
+        }
+        let events = r.events();
+        for w in events.windows(2) {
+            assert!(w[0].ts_ns <= w[1].ts_ns);
+        }
+    }
+}

@@ -24,8 +24,16 @@ impl PartialOrd for OrdWeight {
 }
 impl Ord for OrdWeight {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        let a = if self.0.is_nan() { f64::NEG_INFINITY } else { self.0 };
-        let b = if other.0.is_nan() { f64::NEG_INFINITY } else { other.0 };
+        let a = if self.0.is_nan() {
+            f64::NEG_INFINITY
+        } else {
+            self.0
+        };
+        let b = if other.0.is_nan() {
+            f64::NEG_INFINITY
+        } else {
+            other.0
+        };
         a.partial_cmp(&b).expect("sanitized weights compare")
     }
 }

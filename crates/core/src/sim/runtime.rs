@@ -25,12 +25,12 @@ use anthill_hetsim::{
     ClusterSpec, DeviceId, DeviceKind, GpuEngines, GpuParams, NetParams, Network,
 };
 use anthill_simkit::{
-    DurationHistogram, Engine, Scheduler, SimDuration, SimRng, SimTime, UtilizationTracker,
-    World,
+    DurationHistogram, Engine, Scheduler, SimDuration, SimRng, SimTime, UtilizationTracker, World,
 };
 
 use crate::buffer::DataBuffer;
 use crate::dqaa::Dqaa;
+use crate::obs::{DeviceRef, EventKind, Recorder};
 use crate::policy::Policy;
 use crate::queue::SharedQueue;
 use crate::sim::report::SimReport;
@@ -70,6 +70,10 @@ pub struct SimConfig {
     /// speed). Nodes beyond the vector's length use 1.0. Models aged or
     /// contended machines — heterogeneity beyond GPU presence.
     pub cpu_speed: Vec<f64>,
+    /// Observability sink ([`crate::obs`]); disabled by default. Recording
+    /// never affects scheduling, so traces are a pure function of the
+    /// configuration and seed.
+    pub recorder: Recorder,
 }
 
 impl SimConfig {
@@ -87,6 +91,7 @@ impl SimConfig {
             max_request_window: 256,
             trace_buckets: 0,
             cpu_speed: Vec::new(),
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -192,6 +197,15 @@ struct NbiaWorld {
     finish: SimTime,
     tasks_by: HashMap<(DeviceKind, u8), u64>,
     total_done: u64,
+    rec: Recorder,
+}
+
+/// Metric-label token for a device class.
+fn kind_label(k: DeviceKind) -> &'static str {
+    match k {
+        DeviceKind::Cpu => "cpu",
+        DeviceKind::Gpu => "gpu",
+    }
 }
 
 impl NbiaWorld {
@@ -204,7 +218,13 @@ impl NbiaWorld {
 
     /// ThreadRequester: keep `outstanding` at the target window by sending
     /// requests to readers that currently have data (round-robin).
-    fn pump_requests(&mut self, now: SimTime, node: usize, thread: usize, sched: &mut Scheduler<Ev>) {
+    fn pump_requests(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        thread: usize,
+        sched: &mut Scheduler<Ev>,
+    ) {
         let n_nodes = self.nodes.len();
         loop {
             let t = &self.nodes[node].threads[thread];
@@ -320,6 +340,23 @@ impl NbiaWorld {
                     let Some(buffer) = self.pop_ready(now, node, DeviceKind::Cpu, sched) else {
                         continue;
                     };
+                    let dev = DeviceRef::device(self.nodes[node].threads[ti].device);
+                    self.rec.record(
+                        now.as_nanos(),
+                        dev,
+                        EventKind::Dispatch {
+                            buffer: buffer.id.0,
+                            level: buffer.level,
+                        },
+                    );
+                    self.rec.record(
+                        now.as_nanos(),
+                        dev,
+                        EventKind::Start {
+                            buffer: buffer.id.0,
+                            level: buffer.level,
+                        },
+                    );
                     let inv = self.cpu_inv_speed.get(node).copied().unwrap_or(1.0);
                     let t = &mut self.nodes[node].threads[ti];
                     t.busy = true;
@@ -340,16 +377,36 @@ impl NbiaWorld {
                     if self.async_transfers {
                         self.start_gpu_round(now, node, ti, sched);
                     } else {
-                        let Some(buffer) = self.pop_ready(now, node, DeviceKind::Gpu, sched)
-                        else {
+                        let Some(buffer) = self.pop_ready(now, node, DeviceKind::Gpu, sched) else {
                             continue;
                         };
+                        let dev = DeviceRef::device(self.nodes[node].threads[ti].device);
+                        self.rec.record(
+                            now.as_nanos(),
+                            dev,
+                            EventKind::Dispatch {
+                                buffer: buffer.id.0,
+                                level: buffer.level,
+                            },
+                        );
+                        self.rec.record(
+                            now.as_nanos(),
+                            dev,
+                            EventKind::Start {
+                                buffer: buffer.id.0,
+                                level: buffer.level,
+                            },
+                        );
                         let t = &mut self.nodes[node].threads[ti];
                         t.busy = true;
                         t.util.set_busy(now);
                         let (gpu, _) = t.gpu.as_mut().expect("GPU thread has engines");
-                        let (_, fin) =
-                            gpu.run_sync(now, buffer.shape.bytes_in, buffer.shape.gpu_kernel, buffer.shape.bytes_out);
+                        let (_, fin) = gpu.run_sync(
+                            now,
+                            buffer.shape.bytes_in,
+                            buffer.shape.gpu_kernel,
+                            buffer.shape.bytes_out,
+                        );
                         let dt = fin.since(now);
                         sched.at(
                             fin,
@@ -368,13 +425,7 @@ impl NbiaWorld {
     }
 
     /// Start one asynchronous GPU batch (Algorithm 1's loop body).
-    fn start_gpu_round(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        ti: usize,
-        sched: &mut Scheduler<Ev>,
-    ) {
+    fn start_gpu_round(&mut self, now: SimTime, node: usize, ti: usize, sched: &mut Scheduler<Ev>) {
         let k_target = {
             let t = &self.nodes[node].threads[ti];
             let (_, ctl) = t.gpu.as_ref().expect("GPU thread has a controller");
@@ -390,12 +441,32 @@ impl NbiaWorld {
         if batch.is_empty() {
             return;
         }
+        let dev = DeviceRef::device(self.nodes[node].threads[ti].device);
+        for b in &batch {
+            self.rec.record(
+                now.as_nanos(),
+                dev,
+                EventKind::Dispatch {
+                    buffer: b.id.0,
+                    level: b.level,
+                },
+            );
+            self.rec.record(
+                now.as_nanos(),
+                dev,
+                EventKind::Start {
+                    buffer: b.id.0,
+                    level: b.level,
+                },
+            );
+        }
         let shapes: Vec<_> = batch.iter().map(|b| b.shape).collect();
+        let rec = self.rec.clone();
         let t = &mut self.nodes[node].threads[ti];
         t.busy = true;
         t.util.set_busy(now);
         let (gpu, _) = t.gpu.as_mut().expect("GPU thread has engines");
-        let (completions, end) = pipeline::execute_batch(gpu, now, &shapes);
+        let (completions, end) = pipeline::execute_batch_traced(gpu, now, &shapes, &rec, dev);
         let k = batch.len();
         let round = end.since(now);
         let per_task = round / k as u64;
@@ -464,7 +535,7 @@ impl NbiaWorld {
         processed: &[SimDuration],
         sched: &mut Scheduler<Ev>,
     ) {
-        {
+        let (dev, target) = {
             let t = &mut self.nodes[node].threads[thread];
             t.busy = false;
             t.util.set_idle(now);
@@ -474,6 +545,21 @@ impl NbiaWorld {
             }
             let target = t.target();
             t.req_trace.push((now, target));
+            (DeviceRef::device(t.device), target)
+        };
+        self.rec.record(
+            now.as_nanos(),
+            dev,
+            EventKind::DqaaWindow {
+                target: target as u32,
+            },
+        );
+        if self.rec.is_enabled() {
+            let label = kind_label(dev.kind.expect("worker threads are device-scoped"));
+            for &dt in processed {
+                self.rec
+                    .histogram_record("service_time", &[("device", label)], dt);
+            }
         }
         self.pump_requests(now, node, thread, sched);
         self.dispatch(now, node, sched);
@@ -498,6 +584,18 @@ impl World for NbiaWorld {
                     self.nodes[reader].reader.pop_fifo()
                 };
                 let buffer = popped.map(|(b, _)| b);
+                if self.policy.kind.sender_selects() {
+                    if let Some(b) = &buffer {
+                        self.rec.record(
+                            now.as_nanos(),
+                            DeviceRef::node_scope(reader),
+                            EventKind::DbsaSelect {
+                                buffer: b.id.0,
+                                proctype,
+                            },
+                        );
+                    }
+                }
                 let bytes = buffer
                     .as_ref()
                     .map(DataBuffer::wire_bytes)
@@ -524,12 +622,28 @@ impl World for NbiaWorld {
                     t.sent.remove(&req_id).map(|sent| now.since(sent))
                 };
                 if let Some(lat) = latency {
-                    let t = &mut self.nodes[wnode].threads[thread];
-                    t.dqaa.observe_latency(lat);
-                    t.latency_hist.record(lat);
+                    let kind = {
+                        let t = &mut self.nodes[wnode].threads[thread];
+                        t.dqaa.observe_latency(lat);
+                        t.latency_hist.record(lat);
+                        t.device.kind
+                    };
+                    self.rec.histogram_record(
+                        "request_latency",
+                        &[("device", kind_label(kind))],
+                        lat,
+                    );
                 }
                 match buffer {
                     Some(buffer) => {
+                        self.rec.record(
+                            now.as_nanos(),
+                            DeviceRef::node_scope(wnode),
+                            EventKind::Enqueue {
+                                buffer: buffer.id.0,
+                                level: buffer.level,
+                            },
+                        );
                         let w = self.weights_for(&buffer);
                         self.nodes[wnode]
                             .ready
@@ -560,6 +674,18 @@ impl World for NbiaWorld {
                 proc_time,
                 idle_after,
             } => {
+                let kind = self.nodes[node].threads[thread].device.kind;
+                self.rec.record(
+                    now.as_nanos(),
+                    DeviceRef::device(self.nodes[node].threads[thread].device),
+                    EventKind::Finish {
+                        buffer: buffer.id.0,
+                        level: buffer.level,
+                        proc_ns: proc_time.as_nanos(),
+                    },
+                );
+                self.rec
+                    .counter_add("tasks_finished", &[("device", kind_label(kind))], 1);
                 self.complete_task(now, node, thread, &buffer, sched);
                 if idle_after {
                     self.thread_idle(now, node, thread, &[proc_time], sched);
@@ -572,14 +698,22 @@ impl World for NbiaWorld {
                 k,
             } => {
                 let round = now.since(started);
-                {
+                let (dev, streams) = {
                     let t = &mut self.nodes[node].threads[thread];
                     let (_, ctl) = t.gpu.as_mut().expect("GPU thread has a controller");
                     let secs = round.as_secs_f64();
                     if secs > 0.0 {
                         ctl.observe_throughput(k as f64 / secs);
                     }
-                }
+                    (DeviceRef::device(t.device), ctl.concurrent_events())
+                };
+                self.rec.record(
+                    now.as_nanos(),
+                    dev,
+                    EventKind::Streams {
+                        count: streams as u32,
+                    },
+                );
                 let per_task = round / k.max(1) as u64;
                 let processed = vec![per_task; k];
                 self.thread_idle(now, node, thread, &processed, sched);
@@ -684,9 +818,11 @@ pub fn run_nbia(cfg: &SimConfig, workload: &WorkloadSpec) -> SimReport {
                 cfg.policy.request_size,
                 Some((
                     GpuEngines::new(cfg.gpu.clone()),
-                    AdaptiveStreams::new(cfg.gpu.max_concurrent_events(
-                        workload.cost.tile(workload.high_side).footprint(),
-                    )),
+                    AdaptiveStreams::new(
+                        cfg.gpu.max_concurrent_events(
+                            workload.cost.tile(workload.high_side).footprint(),
+                        ),
+                    ),
                 )),
             ));
         }
@@ -720,6 +856,7 @@ pub fn run_nbia(cfg: &SimConfig, workload: &WorkloadSpec) -> SimReport {
         finish: SimTime::ZERO,
         tasks_by: HashMap::new(),
         total_done: 0,
+        rec: cfg.recorder.clone(),
     };
 
     // Decluster the tiles round-robin over the readers. Initial tiles sit
@@ -769,6 +906,10 @@ pub fn run_nbia(cfg: &SimConfig, workload: &WorkloadSpec) -> SimReport {
     assert_eq!(world.total_done, workload.total_buffers());
 
     let makespan = world.finish.since(SimTime::ZERO);
+    cfg.recorder
+        .gauge_set("makespan_seconds", &[], makespan.as_secs_f64());
+    cfg.recorder
+        .counter_add("tiles_classified", &[], world.finals_done);
     let horizon = world.finish;
     let mut request_traces = Vec::new();
     let mut util_traces = Vec::new();
@@ -783,9 +924,8 @@ pub fn run_nbia(cfg: &SimConfig, workload: &WorkloadSpec) -> SimReport {
             latency_hists.push((t.device, t.latency_hist.clone()));
             service_hists.push((t.device, t.service_hist.clone()));
             if cfg.trace_buckets > 0 && horizon > SimTime::ZERO {
-                let bucket = SimDuration::from_nanos(
-                    (horizon.as_nanos() / cfg.trace_buckets as u64).max(1),
-                );
+                let bucket =
+                    SimDuration::from_nanos((horizon.as_nanos() / cfg.trace_buckets as u64).max(1));
                 util_traces.push((t.device, t.util.trace(horizon, bucket)));
             }
             if let Some((_, ctl)) = &t.gpu {

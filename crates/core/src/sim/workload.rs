@@ -107,7 +107,10 @@ mod tests {
         // Evenly interleaved: any window of 100 tiles holds 15..17 marks.
         for start in (0..26_000).step_by(1000) {
             let in_window = (start..start + 100).filter(|&t| w.is_recalc(t)).count();
-            assert!((15..=17).contains(&in_window), "window {start}: {in_window}");
+            assert!(
+                (15..=17).contains(&in_window),
+                "window {start}: {in_window}"
+            );
         }
     }
 

@@ -117,6 +117,7 @@ impl PipelineOutcome {
 /// Batched GPU pipeline execution (Algorithm 1's structure).
 pub mod pipeline {
     use super::*;
+    use crate::obs::{DeviceRef, EventKind, Recorder};
 
     /// Run every task through the synchronous (blocking, pageable) path.
     pub fn run_sync(params: &GpuParams, tasks: &[TaskShape]) -> PipelineOutcome {
@@ -145,11 +146,39 @@ pub mod pipeline {
         now: SimTime,
         batch: &[TaskShape],
     ) -> (Vec<SimTime>, SimTime) {
+        execute_batch_traced(
+            gpu,
+            now,
+            batch,
+            &Recorder::disabled(),
+            DeviceRef::node_scope(0),
+        )
+    }
+
+    /// [`execute_batch`] plus copy-engine observability: each H2D/D2H copy
+    /// records a [`EventKind::Transfer`] event (timestamped at engine
+    /// occupancy start) against `origin` when the recorder is enabled.
+    pub fn execute_batch_traced(
+        gpu: &mut GpuEngines,
+        now: SimTime,
+        batch: &[TaskShape],
+        recorder: &Recorder,
+        origin: DeviceRef,
+    ) -> (Vec<SimTime>, SimTime) {
         let k = batch.len();
         let mut kernel_done = Vec::with_capacity(k);
         // Phase 1+2: copies in, kernels chained per stream.
         for t in batch {
-            let (_, h2d_fin) = gpu.submit_async_copy(now, CopyDir::H2D, t.bytes_in, k);
+            let (h2d_start, h2d_fin) = gpu.submit_async_copy(now, CopyDir::H2D, t.bytes_in, k);
+            recorder.record(
+                h2d_start.as_nanos(),
+                origin,
+                EventKind::Transfer {
+                    dir: CopyDir::H2D,
+                    bytes: t.bytes_in,
+                    end_ns: h2d_fin.as_nanos(),
+                },
+            );
             let (_, k_fin) = gpu.submit_kernel(h2d_fin, t.gpu_kernel, k);
             kernel_done.push(k_fin);
         }
@@ -158,7 +187,16 @@ pub mod pipeline {
         let mut completions = Vec::with_capacity(k);
         let mut batch_end = now;
         for (t, &kd) in batch.iter().zip(&kernel_done) {
-            let (_, d2h_fin) = gpu.submit_async_copy(kd, CopyDir::D2H, t.bytes_out, k);
+            let (d2h_start, d2h_fin) = gpu.submit_async_copy(kd, CopyDir::D2H, t.bytes_out, k);
+            recorder.record(
+                d2h_start.as_nanos(),
+                origin,
+                EventKind::Transfer {
+                    dir: CopyDir::D2H,
+                    bytes: t.bytes_out,
+                    end_ns: d2h_fin.as_nanos(),
+                },
+            );
             completions.push(d2h_fin);
             batch_end = batch_end.max(d2h_fin);
         }

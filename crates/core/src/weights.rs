@@ -62,8 +62,7 @@ impl WeightProvider for OracleWeights {
                 if self.async_transfers {
                     // Steady-state pipelined cost: compute-engine occupancy
                     // (copies overlap), bounded below by the slower copy.
-                    let compute =
-                        (self.gpu.kernel_launch + buf.shape.gpu_kernel).as_secs_f64();
+                    let compute = (self.gpu.kernel_launch + buf.shape.gpu_kernel).as_secs_f64();
                     let copy_in = self
                         .gpu
                         .copy_time(buf.shape.bytes_in, CopyMode::Async)
@@ -75,7 +74,11 @@ impl WeightProvider for OracleWeights {
                     compute.max(copy_in).max(copy_out)
                 } else {
                     self.gpu
-                        .sync_task_time(buf.shape.bytes_in, buf.shape.gpu_kernel, buf.shape.bytes_out)
+                        .sync_task_time(
+                            buf.shape.bytes_in,
+                            buf.shape.gpu_kernel,
+                            buf.shape.bytes_out,
+                        )
                         .as_secs_f64()
                 }
             }
@@ -191,9 +194,7 @@ mod tests {
         let sync = OracleWeights::new(GpuParams::geforce_8800gt(), false);
         let asyn = OracleWeights::new(GpuParams::geforce_8800gt(), true);
         let b = tile_buffer(512);
-        assert!(
-            asyn.predict_time(&b, DeviceKind::Gpu) < sync.predict_time(&b, DeviceKind::Gpu)
-        );
+        assert!(asyn.predict_time(&b, DeviceKind::Gpu) < sync.predict_time(&b, DeviceKind::Gpu));
     }
 
     #[test]

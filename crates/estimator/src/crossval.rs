@@ -66,8 +66,16 @@ pub fn cross_validate(store: &ProfileStore, k: usize, folds: usize) -> CrossValR
     }
 
     CrossValReport {
-        speedup_mape: if n == 0 { 0.0 } else { 100.0 * speedup_err_sum / n as f64 },
-        cpu_time_mape: if n == 0 { 0.0 } else { 100.0 * time_err_sum / n as f64 },
+        speedup_mape: if n == 0 {
+            0.0
+        } else {
+            100.0 * speedup_err_sum / n as f64
+        },
+        cpu_time_mape: if n == 0 {
+            0.0
+        } else {
+            100.0 * time_err_sum / n as f64
+        },
         evaluated: n,
     }
 }

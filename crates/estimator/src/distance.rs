@@ -19,7 +19,10 @@ impl Normalizer {
     /// Learn scales from the samples in a profile. Panics on an empty
     /// profile (there is nothing to normalize against).
     pub fn fit(store: &ProfileStore) -> Normalizer {
-        assert!(!store.is_empty(), "cannot fit a normalizer to an empty profile");
+        assert!(
+            !store.is_empty(),
+            "cannot fit a normalizer to an empty profile"
+        );
         let arity = store.samples()[0].params.len();
         let mut scales: Vec<Option<f64>> = vec![None; arity];
         for s in store.samples() {

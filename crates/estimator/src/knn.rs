@@ -25,7 +25,10 @@ impl KnnEstimator {
     /// Fit an estimator over a profile with the given `k` (>= 1).
     pub fn fit(store: ProfileStore, k: usize) -> KnnEstimator {
         assert!(k >= 1, "k must be at least 1");
-        assert!(!store.is_empty(), "cannot fit an estimator on an empty profile");
+        assert!(
+            !store.is_empty(),
+            "cannot fit an estimator on an empty profile"
+        );
         let normalizer = Normalizer::fit(&store);
         KnnEstimator {
             store,
@@ -59,7 +62,11 @@ impl KnnEstimator {
             .enumerate()
             .map(|(i, s)| (self.normalizer.distance(query, &s.params), i))
             .collect();
-        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
+        dists.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
         dists.truncate(self.k);
         dists.into_iter().map(|(_, i)| i).collect()
     }

@@ -329,8 +329,7 @@ where
         }
         let model = fit(train);
         for s in test.samples() {
-            let (Some(ac), Some(ag)) =
-                (s.time_on(DeviceClass::CPU), s.time_on(DeviceClass::GPU))
+            let (Some(ac), Some(ag)) = (s.time_on(DeviceClass::CPU), s.time_on(DeviceClass::GPU))
             else {
                 continue;
             };
@@ -351,8 +350,16 @@ where
         }
     }
     crate::crossval::CrossValReport {
-        speedup_mape: if n == 0 { 0.0 } else { 100.0 * sp_err / n as f64 },
-        cpu_time_mape: if n == 0 { 0.0 } else { 100.0 * t_err / n as f64 },
+        speedup_mape: if n == 0 {
+            0.0
+        } else {
+            100.0 * sp_err / n as f64
+        },
+        cpu_time_mape: if n == 0 {
+            0.0
+        } else {
+            100.0 * t_err / n as f64
+        },
         evaluated: n,
     }
 }
@@ -402,10 +409,18 @@ mod tests {
     fn constant_speedup_ignores_parameters() {
         let m = ConstantSpeedup::fit(&profile());
         let a = m
-            .predict_speedup(DeviceClass::GPU, DeviceClass::CPU, &TaskParams::nums(&[10.0]))
+            .predict_speedup(
+                DeviceClass::GPU,
+                DeviceClass::CPU,
+                &TaskParams::nums(&[10.0]),
+            )
             .unwrap();
         let b = m
-            .predict_speedup(DeviceClass::GPU, DeviceClass::CPU, &TaskParams::nums(&[300.0]))
+            .predict_speedup(
+                DeviceClass::GPU,
+                DeviceClass::CPU,
+                &TaskParams::nums(&[300.0]),
+            )
             .unwrap();
         assert_eq!(a, b);
     }

@@ -26,7 +26,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "profile parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "profile parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

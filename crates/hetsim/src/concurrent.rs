@@ -56,15 +56,13 @@ impl ConcurrentGpu {
     /// Submit one task (async copies + kernel on any free slot); returns
     /// its completion time.
     pub fn submit(&mut self, now: SimTime, task: &TaskShape, active: usize) -> SimTime {
-        let (_, h2d_done) = self.h2d.submit(
-            now,
-            self.params.copy_time(task.bytes_in, CopyMode::Async),
-        );
+        let (_, h2d_done) = self
+            .h2d
+            .submit(now, self.params.copy_time(task.bytes_in, CopyMode::Async));
         let mgmt = self.params.stream_mgmt_per_stream * active as u64;
-        let (_, _, kernel_done) = self.compute.submit(
-            h2d_done,
-            self.params.kernel_launch + task.gpu_kernel + mgmt,
-        );
+        let (_, _, kernel_done) = self
+            .compute
+            .submit(h2d_done, self.params.kernel_launch + task.gpu_kernel + mgmt);
         let (_, d2h_done) = self.d2h.submit(
             kernel_done,
             self.params.copy_time(task.bytes_out, CopyMode::Async),

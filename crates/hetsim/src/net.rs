@@ -55,13 +55,7 @@ pub struct Network {
 impl Network {
     /// A network connecting `nodes` nodes.
     pub fn new(nodes: usize, params: NetParams) -> Network {
-        let mk = || {
-            Pipe::new(
-                params.bandwidth_bps,
-                params.per_message,
-                SimDuration::ZERO,
-            )
-        };
+        let mk = || Pipe::new(params.bandwidth_bps, params.per_message, SimDuration::ZERO);
         Network {
             uplinks: (0..nodes).map(|_| mk()).collect(),
             downlinks: (0..nodes).map(|_| mk()).collect(),
@@ -84,12 +78,8 @@ impl Network {
             // Control-plane message: one MTU, packet-interleaved with bulk
             // traffic — pays latency and serialization but never queues
             // behind large transfers.
-            let serialize =
-                SimDuration::from_secs_f64(bytes as f64 / self.params.bandwidth_bps);
-            return now
-                + self.params.per_message * 2
-                + serialize
-                + self.params.switch_latency;
+            let serialize = SimDuration::from_secs_f64(bytes as f64 / self.params.bandwidth_bps);
+            return now + self.params.per_message * 2 + serialize + self.params.switch_latency;
         }
         let sent = self.uplinks[from].send(now, bytes);
         let at_switch = sent + self.params.switch_latency;

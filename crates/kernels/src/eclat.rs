@@ -94,15 +94,14 @@ pub fn mine(db: &Transactions, min_support: u32) -> Vec<FrequentItemset> {
             items: vec![*it],
             support: *sup,
         });
-        recurse(
-            &mut out,
-            &[*it],
-            tids,
-            &singles[i + 1..],
-            min_support,
-        );
+        recurse(&mut out, &[*it], tids, &singles[i + 1..], min_support);
     }
-    out.sort_by(|a, b| a.items.len().cmp(&b.items.len()).then(a.items.cmp(&b.items)));
+    out.sort_by(|a, b| {
+        a.items
+            .len()
+            .cmp(&b.items.len())
+            .then(a.items.cmp(&b.items))
+    });
     out
 }
 

@@ -20,7 +20,10 @@ pub struct TilePyramid {
 /// even and matches the pixel count.
 pub fn downsample(pixels: &[Rgb8], side: u32) -> Vec<Rgb8> {
     assert_eq!(pixels.len(), (side * side) as usize, "size mismatch");
-    assert!(side >= 2 && side.is_multiple_of(2), "side must be even, got {side}");
+    assert!(
+        side >= 2 && side.is_multiple_of(2),
+        "side must be even, got {side}"
+    );
     let out_side = side / 2;
     let mut out = Vec::with_capacity((out_side * out_side) as usize);
     for y in 0..out_side {
@@ -97,13 +100,32 @@ mod tests {
         // 2x2 tile of distinct values -> single averaged pixel.
         let px = vec![
             Rgb8 { r: 0, g: 0, b: 0 },
-            Rgb8 { r: 100, g: 100, b: 100 },
-            Rgb8 { r: 100, g: 100, b: 100 },
-            Rgb8 { r: 200, g: 200, b: 200 },
+            Rgb8 {
+                r: 100,
+                g: 100,
+                b: 100,
+            },
+            Rgb8 {
+                r: 100,
+                g: 100,
+                b: 100,
+            },
+            Rgb8 {
+                r: 200,
+                g: 200,
+                b: 200,
+            },
         ];
         let out = downsample(&px, 2);
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0], Rgb8 { r: 100, g: 100, b: 100 });
+        assert_eq!(
+            out[0],
+            Rgb8 {
+                r: 100,
+                g: 100,
+                b: 100
+            }
+        );
     }
 
     #[test]
@@ -131,8 +153,9 @@ mod tests {
         let poor = TilePyramid::build(gen.generate(TileClass::StromaPoor, 128), 128, 32);
         let bg = TilePyramid::build(gen.generate(TileClass::Background, 128), 128, 32);
         let mean = |px: &[Rgb8]| {
-            px.iter().map(|p| u32::from(p.r) + u32::from(p.g) + u32::from(p.b)).sum::<u32>()
-                as f64
+            px.iter()
+                .map(|p| u32::from(p.r) + u32::from(p.g) + u32::from(p.b))
+                .sum::<u32>() as f64
                 / px.len() as f64
         };
         let (_, poor_lo) = poor.level(0);

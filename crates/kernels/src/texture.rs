@@ -294,7 +294,11 @@ mod tests {
         let img = checkerboard(8, 8, 0, 7);
         let g = Glcm::compute(&img, 8, 8, 8, 1, 0);
         // Every horizontal pair differs by 7.
-        assert!((g.contrast() - 49.0).abs() < 1e-9, "contrast {}", g.contrast());
+        assert!(
+            (g.contrast() - 49.0).abs() < 1e-9,
+            "contrast {}",
+            g.contrast()
+        );
         // Diagonal pairs are always equal.
         let gd = Glcm::compute(&img, 8, 8, 8, 1, 1);
         assert_eq!(gd.contrast(), 0.0);

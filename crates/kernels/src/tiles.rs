@@ -72,8 +72,7 @@ impl TileGenerator {
                 for i in 0..n {
                     let x = (i as u32 % side) as f64 / f64::from(side);
                     let y = (i as u32 / side) as f64 / f64::from(side);
-                    let field =
-                        ((x * freq + y * 0.7 * freq) * std::f64::consts::TAU + phase).sin();
+                    let field = ((x * freq + y * 0.7 * freq) * std::f64::consts::TAU + phase).sin();
                     let l = 190.0 + 25.0 * field + self.rng.normal(0.0, 4.0);
                     let l = l.clamp(0.0, 255.0);
                     out.push(Rgb8 {
@@ -257,11 +256,7 @@ mod tests {
                 }
             }
         }
-        assert!(
-            correct >= 28,
-            "accuracy too low: {correct}/{}",
-            3 * trials
-        );
+        assert!(correct >= 28, "accuracy too low: {correct}/{}", 3 * trials);
     }
 
     #[test]

@@ -336,10 +336,7 @@ mod tests {
     fn step_limit_halts() {
         let mut eng = Engine::new(Log::default());
         eng.schedule(SimTime(0), Ev::Chain(1_000_000));
-        assert_eq!(
-            eng.run_bounded(SimTime::MAX, 10),
-            RunOutcome::LimitReached
-        );
+        assert_eq!(eng.run_bounded(SimTime::MAX, 10), RunOutcome::LimitReached);
         assert_eq!(eng.steps(), 10);
     }
 }

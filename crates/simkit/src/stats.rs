@@ -190,7 +190,10 @@ impl UtilizationTracker {
             {
                 let b_start = b as u64 * bucket.as_nanos();
                 let b_end = b_start + bucket.as_nanos();
-                let overlap = e.as_nanos().min(b_end).saturating_sub(s.as_nanos().max(b_start));
+                let overlap = e
+                    .as_nanos()
+                    .min(b_end)
+                    .saturating_sub(s.as_nanos().max(b_start));
                 *slot += overlap;
             }
         }
@@ -270,6 +273,11 @@ impl DurationHistogram {
     /// Largest recorded duration.
     pub fn max(&self) -> SimDuration {
         SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// Raw per-bucket counts (bucket `i` covers `[base·g^i, base·g^(i+1))`).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
     }
 
     /// Merge another histogram into this one (identical bucket layouts).
@@ -397,7 +405,7 @@ mod tests {
         let mut m = TimeWeightedMean::new(SimTime(0), 0.0);
         m.update(SimTime(1_000_000_000), 10.0); // 0 for 1s
         m.update(SimTime(3_000_000_000), 0.0); // 10 for 2s
-        // mean over [0, 4s]: (0*1 + 10*2 + 0*1) / 4 = 5
+                                               // mean over [0, 4s]: (0*1 + 10*2 + 0*1) / 4 = 5
         assert!((m.mean_at(SimTime(4_000_000_000)) - 5.0).abs() < 1e-9);
         assert_eq!(m.current(), 0.0);
     }

@@ -10,9 +10,7 @@
 use std::time::Instant;
 
 use anthill_repro::apps::bench_suite::BenchApp;
-use anthill_repro::estimator::{
-    cross_validate, params, DeviceClass, KnnEstimator, ProfileStore,
-};
+use anthill_repro::estimator::{cross_validate, params, DeviceClass, KnnEstimator, ProfileStore};
 
 fn main() {
     // Phase one: a 30-job benchmark profile of the NBIA component.

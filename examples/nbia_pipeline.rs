@@ -58,11 +58,7 @@ fn main() {
         }
     }
 
-    println!(
-        "classified {} tiles in {:?}",
-        results.len(),
-        report.elapsed,
-    );
+    println!("classified {} tiles in {:?}", results.len(), report.elapsed,);
     let mut side = config.low_side;
     for &n in per_level.iter() {
         if side > config.high_side {

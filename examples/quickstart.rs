@@ -9,9 +9,7 @@
 use std::sync::Arc;
 
 use anthill_repro::core::buffer::{BufferId, DataBuffer};
-use anthill_repro::core::local::{
-    Emitter, ExecMode, LocalFilter, LocalTask, Pipeline, WorkerSpec,
-};
+use anthill_repro::core::local::{Emitter, ExecMode, LocalFilter, LocalTask, Pipeline, WorkerSpec};
 use anthill_repro::core::policy::PolicyKind;
 use anthill_repro::core::weights::OracleWeights;
 use anthill_repro::estimator::TaskParams;

@@ -32,9 +32,30 @@ fn main() {
 
     // A user panning and zooming: overview first, then two detail views.
     let queries = vec![
-        Query { id: 0, col0: 0, row0: 0, width: 24, height: 24, zoom: 3 },
-        Query { id: 1, col0: 4, row0: 6, width: 6, height: 4, zoom: 1 },
-        Query { id: 2, col0: 15, row0: 12, width: 4, height: 4, zoom: 0 },
+        Query {
+            id: 0,
+            col0: 0,
+            row0: 0,
+            width: 24,
+            height: 24,
+            zoom: 3,
+        },
+        Query {
+            id: 1,
+            col0: 4,
+            row0: 6,
+            width: 6,
+            height: 4,
+            zoom: 1,
+        },
+        Query {
+            id: 2,
+            col0: 15,
+            row0: 12,
+            width: 4,
+            height: 4,
+            zoom: 0,
+        },
     ];
 
     let cpu = WorkerSpec {
@@ -61,17 +82,16 @@ fn main() {
     for r in &rendered {
         println!(
             "  query {}: {}x{} tiles at zoom {} -> {}px tiles, mean luminance {:.1}",
-            r.query.id,
-            r.query.width,
-            r.query.height,
-            r.query.zoom,
-            r.tile_side,
-            r.mean_luma
+            r.query.id, r.query.width, r.query.height, r.query.zoom, r.tile_side, r.mean_luma
         );
     }
     println!(
         "zoom stage split: CPU {} / GPU {} tasks",
-        (0..8).map(|l| report.count(1, DeviceKind::Cpu, l)).sum::<u64>(),
-        (0..8).map(|l| report.count(1, DeviceKind::Gpu, l)).sum::<u64>(),
+        (0..8)
+            .map(|l| report.count(1, DeviceKind::Cpu, l))
+            .sum::<u64>(),
+        (0..8)
+            .map(|l| report.count(1, DeviceKind::Gpu, l))
+            .sum::<u64>(),
     );
 }

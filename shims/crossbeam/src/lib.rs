@@ -1,0 +1,27 @@
+//! Offline shim for the `crossbeam` crate: the `channel` subset this
+//! workspace uses, mapped onto `std::sync::mpsc`.
+
+/// Multi-producer channels (std::sync::mpsc with crossbeam's constructor
+/// names).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// An unbounded MPSC channel (`crossbeam::channel::unbounded`).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unbounded_round_trip() {
+        let (tx, rx) = super::channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop((tx, tx2));
+        let got: Vec<i32> = rx.try_iter().collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

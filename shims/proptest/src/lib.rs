@@ -1,0 +1,339 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! Implements the subset of the proptest surface this workspace uses —
+//! `proptest!`, `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, range
+//! strategies, tuple strategies, `prop::collection::vec`, `prop::bool::ANY`
+//! and `prop::num::f64::*` — on top of a deterministic splitmix64 RNG.
+//!
+//! Semantics differ from real proptest in two deliberate ways: no input
+//! shrinking (a failing case panics with its case index so it can be
+//! replayed), and the case count is fixed at [`CASES`] per property. Every
+//! run draws the same value sequence, so failures are reproducible without
+//! a regressions file.
+
+use std::ops::Range;
+
+/// Cases generated per property. Real proptest defaults to 256; 64 keeps
+/// the heavier simulation-backed properties fast while still exploring the
+/// input space.
+pub const CASES: u64 = 64;
+
+/// Deterministic splitmix64 generator used for all value generation.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng(seed)
+    }
+
+    /// Generator for one named property case: the stream depends only on
+    /// the test name and case index, never on execution order.
+    pub fn for_case(name: &str, case: u64) -> TestRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Next raw 64-bit draw (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A value generator: the (non-shrinking) analogue of proptest's trait of
+/// the same name.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.next_f64() as f32) * (self.end - self.start)
+    }
+}
+
+/// A strategy returning one fixed value (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Size specification for collection strategies: an exact length or a
+/// half-open range of lengths.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Smallest admissible length.
+    pub min: usize,
+    /// Largest admissible length (inclusive).
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+/// Nested strategy namespace mirroring `proptest::prop`.
+pub mod prop {
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Collection strategies (`prop::collection`).
+    pub mod collection {
+        use super::{SizeRange, Strategy, TestRng};
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from the size
+        /// range.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        /// `prop::collection::vec(element, len)` — `len` may be an exact
+        /// `usize` or a `Range<usize>`.
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                elem,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.max - self.size.min) as u64 + 1;
+                let len = self.size.min + rng.below(span) as usize;
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies (`prop::bool`).
+    pub mod bool {
+        use super::{Strategy, TestRng};
+
+        /// Uniform boolean strategy.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// `prop::bool::ANY`.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+
+    /// Numeric strategies (`prop::num`).
+    pub mod num {
+        /// f64 strategies.
+        pub mod f64 {
+            use super::super::{Strategy, TestRng};
+
+            /// Finite, non-NaN f64 values across a wide magnitude range.
+            #[derive(Debug, Clone, Copy)]
+            pub struct Normal;
+
+            /// `prop::num::f64::NORMAL` (finite, non-zero-exponent floats).
+            pub const NORMAL: Normal = Normal;
+
+            impl Strategy for Normal {
+                type Value = f64;
+                fn generate(&self, rng: &mut TestRng) -> f64 {
+                    // Sign * mantissa in [1,2) * 2^[-60, 60]: finite and
+                    // well away from subnormals.
+                    let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+                    let mantissa = 1.0 + rng.next_f64();
+                    let exp = rng.below(121) as i32 - 60;
+                    sign * mantissa * f64::powi(2.0, exp)
+                }
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy, TestRng,
+    };
+}
+
+/// Assert inside a property (panics with the failing expression; no
+/// shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for __case in 0..$crate::CASES {
+                    let mut __rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut __rng); )+
+                    let __run = || -> () { $body };
+                    __run();
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name_and_case() {
+        let a: Vec<u64> = (0..4)
+            .map(|c| TestRng::for_case("x", c).next_u64())
+            .collect();
+        let b: Vec<u64> = (0..4)
+            .map(|c| TestRng::for_case("x", c).next_u64())
+            .collect();
+        assert_eq!(a, b);
+        assert_ne!(
+            TestRng::for_case("x", 0).next_u64(),
+            TestRng::for_case("y", 0).next_u64()
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, f in -2.0f64..2.0, n in 1usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            xs in prop::collection::vec(0u32..10, 2..6),
+            fixed in prop::collection::vec(prop::bool::ANY, 3),
+        ) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert_eq!(fixed.len(), 3);
+        }
+    }
+}

@@ -79,7 +79,10 @@ fn simulator_task_accounting_is_conserved_across_policies_and_clusters() {
         tiles: 1_200,
         ..WorkloadSpec::paper_base(0.10)
     };
-    for cluster in [ClusterSpec::homogeneous(2), ClusterSpec::heterogeneous(2, 1)] {
+    for cluster in [
+        ClusterSpec::homogeneous(2),
+        ClusterSpec::heterogeneous(2, 1),
+    ] {
         for policy in [Policy::ddfcfs(4), Policy::ddwrr(16), Policy::odds()] {
             let r = run_nbia(&SimConfig::new(cluster.clone(), policy), &w);
             assert_eq!(r.total_tasks, w.total_buffers());

@@ -92,8 +92,22 @@ fn virtual_microscope_serves_overlapping_queries() {
     // Two overlapping viewports: overlapping tiles are independent tasks
     // (the model replicates work rather than sharing reads).
     let queries = vec![
-        Query { id: 0, col0: 0, row0: 0, width: 5, height: 5, zoom: 1 },
-        Query { id: 1, col0: 3, row0: 3, width: 5, height: 5, zoom: 1 },
+        Query {
+            id: 0,
+            col0: 0,
+            row0: 0,
+            width: 5,
+            height: 5,
+            zoom: 1,
+        },
+        Query {
+            id: 1,
+            col0: 3,
+            row0: 3,
+            width: 5,
+            height: 5,
+            zoom: 1,
+        },
     ];
     let cpu = WorkerSpec {
         kind: DeviceKind::Cpu,
@@ -109,5 +123,7 @@ fn virtual_microscope_serves_overlapping_queries() {
     assert_eq!(rendered.len(), 2);
     assert_eq!(report.total(), 50 * 3);
     assert!(rendered.iter().all(|r| r.tile_side == 16));
-    assert!(rendered.iter().all(|r| r.mean_luma > 0.0 && r.mean_luma < 255.0));
+    assert!(rendered
+        .iter()
+        .all(|r| r.mean_luma > 0.0 && r.mean_luma < 255.0));
 }

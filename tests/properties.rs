@@ -3,12 +3,14 @@
 
 use anthill_repro::core::buffer::{BufferId, DataBuffer};
 use anthill_repro::core::dqaa::Dqaa;
+use anthill_repro::core::obs::{jsonl, EventKind, Recorder};
+use anthill_repro::core::policy::Policy;
 use anthill_repro::core::queue::SharedQueue;
-use anthill_repro::core::sim::WorkloadSpec;
+use anthill_repro::core::sim::{run_nbia, SimConfig, WorkloadSpec};
 use anthill_repro::core::transfer::AdaptiveStreams;
 use anthill_repro::estimator::{KnnEstimator, Normalizer, ProfileStore, TaskParams};
-use anthill_repro::hetsim::{DeviceKind, TaskShape};
-use anthill_repro::simkit::{Engine, Scheduler, SimDuration, SimTime, World};
+use anthill_repro::hetsim::{ClusterSpec, DeviceKind, TaskShape};
+use anthill_repro::simkit::{DurationHistogram, Engine, Scheduler, SimDuration, SimTime, World};
 use proptest::prelude::*;
 
 fn buffer(id: u64) -> DataBuffer {
@@ -262,5 +264,98 @@ proptest! {
         let marked = (0..tiles).filter(|&t| w.is_recalc(t)).count() as u64;
         prop_assert_eq!(marked, w.recalc_count());
         prop_assert_eq!(w.total_buffers(), tiles + marked);
+    }
+}
+
+/// A histogram over the given nanosecond samples.
+fn hist_of(samples: &[u64]) -> DurationHistogram {
+    let mut h = DurationHistogram::new();
+    for &ns in samples {
+        h.record(SimDuration(ns));
+    }
+    h
+}
+
+/// A small traced simulator run (observability invariants).
+fn traced_run(tiles: u64, seed: u64) -> Recorder {
+    let workload = WorkloadSpec {
+        tiles,
+        ..WorkloadSpec::paper_base(0.15)
+    };
+    let mut cfg = SimConfig::new(ClusterSpec::heterogeneous(1, 1), Policy::odds());
+    cfg.seed = seed;
+    cfg.use_estimator = false;
+    let rec = Recorder::enabled();
+    cfg.recorder = rec.clone();
+    run_nbia(&cfg, &workload);
+    rec
+}
+
+proptest! {
+    /// Histogram merge is associative and conserves counts, bucket mass,
+    /// and the maximum — the invariant that lets per-device histograms be
+    /// merged in any order when aggregating metrics.
+    #[test]
+    fn histogram_merge_is_associative_and_count_preserving(
+        a in prop::collection::vec(1u64..1_000_000_000, 0..60),
+        b in prop::collection::vec(1u64..1_000_000_000, 0..60),
+        c in prop::collection::vec(1u64..1_000_000_000, 0..60),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // left = (a ⊕ b) ⊕ c, right = a ⊕ (b ⊕ c)
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.bucket_counts(), right.bucket_counts());
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.max(), right.max());
+        // Count- and mass-preserving.
+        prop_assert_eq!(left.count(), (a.len() + b.len() + c.len()) as u64);
+        let mass: u64 = left.bucket_counts().iter().sum();
+        prop_assert_eq!(mass, left.count());
+        // The sum (and hence the mean) is preserved up to f64 rounding.
+        if left.count() > 0 {
+            let exact: u64 = a.iter().chain(&b).chain(&c).sum();
+            let mean = exact as f64 / left.count() as f64;
+            let got = left.mean().0 as f64;
+            prop_assert!((got - mean).abs() <= mean * 1e-9 + 1.0, "{got} vs {mean}");
+        }
+    }
+
+    /// Virtual time never runs backwards in a DES trace: every event is
+    /// recorded at the simulation clock, so trace order is timestamp
+    /// order — except transfer events, which are stamped with the copy
+    /// engine's (possibly future) occupancy start and instead guarantee
+    /// `end_ns >= ts_ns`.
+    #[test]
+    fn sim_trace_time_is_monotone(tiles in 16u64..48, seed in 0u64..1_000) {
+        let events = traced_run(tiles, seed).events();
+        prop_assert!(!events.is_empty());
+        let mut clock = 0u64;
+        for e in &events {
+            match e.kind {
+                EventKind::Transfer { end_ns, .. } => {
+                    prop_assert!(end_ns >= e.ts_ns, "transfer ends before it starts");
+                }
+                _ => {
+                    prop_assert!(e.ts_ns >= clock, "time ran backwards: {e:?}");
+                    clock = e.ts_ns;
+                }
+            }
+        }
+    }
+
+    /// The DES trace is a pure function of (config, seed): two runs with
+    /// the same seed serialize to byte-identical JSONL for any seed.
+    #[test]
+    fn sim_trace_is_deterministic_for_any_seed(tiles in 16u64..40, seed in 0u64..10_000) {
+        let a = jsonl::to_jsonl(&traced_run(tiles, seed).events());
+        let b = jsonl::to_jsonl(&traced_run(tiles, seed).events());
+        prop_assert!(!a.is_empty());
+        prop_assert_eq!(a, b);
     }
 }
