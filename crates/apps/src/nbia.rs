@@ -176,6 +176,28 @@ pub fn run_local_traced<W: WeightProvider + Sync>(
     weights: &W,
     recorder: &anthill::obs::Recorder,
 ) -> (Vec<TileResult>, anthill::local::LocalReport) {
+    let (pipeline, sources) = build_pipeline(config);
+    let (outputs, report) = pipeline.run_traced(sources, weights, recorder);
+    (collect_results(outputs), report)
+}
+
+/// [`run_local`] executed by the engine's sequential reference driver
+/// ([`anthill::engine::sequential`]) instead of free-running threads: the
+/// same filters and policy, but assignments and output order are a pure
+/// function of the configuration — identical on every run.
+pub fn run_local_deterministic<W: WeightProvider + Sync>(
+    config: &NbiaLocalConfig,
+    weights: &W,
+) -> (Vec<TileResult>, anthill::local::LocalReport) {
+    let (pipeline, sources) = build_pipeline(config);
+    let (outputs, report) = pipeline.run_deterministic(sources, weights);
+    (collect_results(outputs), report)
+}
+
+/// The shared setup of the native runs: train the classifier, decompose
+/// each full-resolution tile into its pyramid (analysis starts at the
+/// coarsest level), and assemble the single-stage pipeline.
+fn build_pipeline(config: &NbiaLocalConfig) -> (Pipeline, Vec<LocalTask>) {
     let cost = NbiaCostModel::paper_calibrated();
     let classifier = TileClassifier::train(config.seed ^ 0x7EAC, 6, config.low_side);
     let mut gen = TileGenerator::new(config.seed);
@@ -187,8 +209,6 @@ pub fn run_local_traced<W: WeightProvider + Sync>(
         next_id: AtomicU64::new(1_000_000),
     });
 
-    // The decomposition step: read each full-resolution tile and build its
-    // pyramid; the analysis starts at the coarsest level.
     let mut sources = Vec::with_capacity(config.tiles as usize);
     for tile in 0..config.tiles {
         let truth = TileClass::ALL[(tile % 3) as usize];
@@ -212,8 +232,10 @@ pub fn run_local_traced<W: WeightProvider + Sync>(
 
     let mut pipeline = Pipeline::new(config.policy);
     pipeline.add_stage(filter, config.workers.clone());
-    let (outputs, report) = pipeline.run_traced(sources, weights, recorder);
+    (pipeline, sources)
+}
 
+fn collect_results(outputs: Vec<LocalTask>) -> Vec<TileResult> {
     let mut results: Vec<TileResult> = outputs
         .into_iter()
         .map(|t| {
@@ -223,7 +245,7 @@ pub fn run_local_traced<W: WeightProvider + Sync>(
         })
         .collect();
     results.sort_by_key(|r| r.tile);
-    (results, report)
+    results
 }
 
 #[cfg(test)]
@@ -286,6 +308,33 @@ mod tests {
         assert!(results.iter().all(|r| r.level == 2), "{results:?}");
         // Every tile handled once per pyramid level.
         assert_eq!(report.total(), 30);
+    }
+
+    #[test]
+    fn deterministic_run_agrees_with_threaded_run() {
+        let config = NbiaLocalConfig {
+            tiles: 24,
+            ..NbiaLocalConfig::default()
+        };
+        let (threaded, _) = run_local(&config, &oracle());
+        let (det_a, rep_a) = run_local_deterministic(&config, &oracle());
+        let (det_b, rep_b) = run_local_deterministic(&config, &oracle());
+        // Classification outcomes are schedule-independent, so all three
+        // runs agree tile by tile; the deterministic runs agree on the
+        // device assignments too.
+        assert_eq!(det_a.len(), 24);
+        for (x, y) in threaded.iter().zip(&det_a) {
+            assert_eq!(x.tile, y.tile);
+            assert_eq!(x.predicted, y.predicted, "tile {}", x.tile);
+            assert_eq!(x.level, y.level, "tile {}", x.tile);
+        }
+        for (x, y) in det_a.iter().zip(&det_b) {
+            assert_eq!(
+                (x.tile, x.predicted, x.level),
+                (y.tile, y.predicted, y.level)
+            );
+        }
+        assert_eq!(rep_a.handled, rep_b.handled);
     }
 
     #[test]

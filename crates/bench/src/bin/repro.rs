@@ -18,10 +18,19 @@
 //! trace: a `.jsonl` path gets the line-oriented dump, anything else the
 //! Chrome `trace_event` JSON loadable in Perfetto / `chrome://tracing`,
 //! e.g. `repro fig12 --quick --trace trace.json`.
+//!
+//! `repro smoke [--trace <dir>]` is the CI gate: one small experiment per
+//! scheduling policy with tracing enabled, failing (exit 1) if any trace
+//! does not round-trip through the JSONL schema or loses task events, and
+//! writing a `BENCH_engine.json` timing summary to the working directory.
+//! With `--trace <dir>`, per-policy traces land in `<dir>` too.
 
-use anthill::obs::{chrome, jsonl, Recorder};
+use anthill::obs::{chrome, jsonl, EventKind, Recorder};
+use anthill::policy::Policy;
+use anthill::sim::{run_nbia, SimConfig, WorkloadSpec};
 use anthill_bench::experiments::{cluster, estimator, transfer};
 use anthill_bench::viz::{render, ChartSpec, Series};
+use anthill_hetsim::ClusterSpec;
 
 struct Scale {
     base_tiles: u64,
@@ -111,11 +120,19 @@ fn main() {
         "concurrent-kernels",
         "fusion",
         "slow-node",
+        "smoke",
         "all",
     ];
     if !known.contains(&what) {
         eprintln!("unknown experiment '{what}'; known: {}", known.join(", "));
         std::process::exit(2);
+    }
+
+    // The smoke gate is an explicit selection only — it is a CI artifact
+    // producer, not a paper experiment, so `all` does not include it.
+    if what == "smoke" {
+        smoke(trace_path.as_deref());
+        return;
     }
 
     let run = |name: &str| what == "all" || what == name;
@@ -160,7 +177,7 @@ fn main() {
         fig11(&scale);
     }
     if trace_path.is_some() && !run("fig12") {
-        eprintln!("note: --trace is honored by the fig12 experiment only; ignoring it");
+        eprintln!("note: --trace is honored by the fig12 and smoke experiments only; ignoring it");
     }
     if run("fig12") {
         fig12(&scale, trace_path.as_deref());
@@ -182,6 +199,106 @@ fn main() {
     }
     if run("slow-node") {
         slow_node(&scale);
+    }
+}
+
+/// CI smoke gate: one small heterogeneous run per policy, traced through
+/// the engine, with the trace validated against the JSONL schema. Writes a
+/// `BENCH_engine.json` timing summary; exits nonzero on any failure.
+fn smoke(trace_dir: Option<&str>) {
+    header(
+        "Smoke: one small experiment per policy through the scheduling engine",
+        "CI gate — validates trace schema + task conservation, emits BENCH_engine.json",
+    );
+    let policies = [
+        ("ddfcfs", Policy::ddfcfs(4)),
+        ("ddwrr", Policy::ddwrr(16)),
+        ("odds", Policy::odds()),
+    ];
+    let mut rows = Vec::new();
+    println!(
+        "{:<10} {:>8} {:>12} {:>10} {:>10} {:>10}",
+        "policy", "tasks", "makespan(s)", "speedup", "events", "wall(ms)"
+    );
+    for (name, policy) in policies {
+        let recorder = Recorder::enabled();
+        let workload = WorkloadSpec {
+            tiles: 1_000,
+            ..WorkloadSpec::paper_base(0.08)
+        };
+        let mut cfg = SimConfig::new(ClusterSpec::heterogeneous(1, 1), policy);
+        cfg.recorder = recorder.clone();
+        let wall = std::time::Instant::now();
+        let report = run_nbia(&cfg, &workload);
+        let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+
+        // Schema gate: the trace must round-trip through the JSONL format
+        // losslessly, and account for every finished task.
+        let events = recorder.events();
+        let text = jsonl::to_jsonl(&events);
+        let parsed = match jsonl::parse_jsonl(&text) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("smoke {name}: trace failed JSONL schema validation: {e}");
+                std::process::exit(1);
+            }
+        };
+        if parsed != events {
+            eprintln!(
+                "smoke {name}: trace round-trip mismatch ({} events in, {} out)",
+                events.len(),
+                parsed.len()
+            );
+            std::process::exit(1);
+        }
+        let finishes = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Finish { .. }))
+            .count() as u64;
+        if finishes != report.total_tasks {
+            eprintln!(
+                "smoke {name}: trace lost tasks ({} finish events, {} tasks reported)",
+                finishes, report.total_tasks
+            );
+            std::process::exit(1);
+        }
+        if let Some(dir) = trace_dir {
+            let path = format!("{}/smoke-{name}.trace.jsonl", dir.trim_end_matches('/'));
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("smoke {name}: failed to write trace to {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("  wrote {} events to {path}", events.len());
+        }
+        println!(
+            "{:<10} {:>8} {:>12.3} {:>10.2} {:>10} {:>10.1}",
+            name,
+            report.total_tasks,
+            report.makespan.as_secs_f64(),
+            report.speedup(),
+            events.len(),
+            wall_ms
+        );
+        rows.push(format!(
+            concat!(
+                "  {{\"policy\": \"{}\", \"tasks\": {}, \"makespan_s\": {:.6}, ",
+                "\"speedup\": {:.4}, \"trace_events\": {}, \"wall_ms\": {:.2}}}"
+            ),
+            name,
+            report.total_tasks,
+            report.makespan.as_secs_f64(),
+            report.speedup(),
+            events.len(),
+            wall_ms
+        ));
+    }
+    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    match std::fs::write("BENCH_engine.json", &json) {
+        Ok(()) => println!("wrote BENCH_engine.json"),
+        Err(e) => {
+            eprintln!("smoke: failed to write BENCH_engine.json: {e}");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -12,6 +12,7 @@
 use std::collections::VecDeque;
 
 use crate::buffer::DataBuffer;
+use crate::engine::select;
 use crate::obs::{DeviceRef, EventKind, Recorder};
 use crate::queue::SharedQueue;
 use crate::weights::WeightProvider;
@@ -101,10 +102,7 @@ impl<R: Copy> SendQueue<R> {
         weights: &W,
         record_ts: Option<u64>,
     ) -> Option<(ParkedRequest<R>, DataBuffer)> {
-        let w = [
-            weights.weight(&buffer, DeviceKind::Cpu),
-            weights.weight(&buffer, DeviceKind::Gpu),
-        ];
+        let w = select::weights_for(weights, &buffer);
         self.queue.insert(buffer, w, None);
         if let Some(req) = self.parked.pop_front() {
             let buf = self
@@ -152,12 +150,8 @@ impl<R: Copy> SendQueue<R> {
     }
 
     fn select(&mut self, proctype: DeviceKind, record_ts: Option<u64>) -> Option<DataBuffer> {
-        let popped = if self.sorted {
-            self.queue.pop_best(proctype)
-        } else {
-            self.queue.pop_fifo()
-        };
-        let buf = popped.map(|(b, _)| b);
+        // The sorted-vs-FIFO rule is the engine's, not re-decided here.
+        let buf = select::pop_for(&mut self.queue, self.sorted, proctype).map(|(b, _)| b);
         if let (Some(ts), Some(b)) = (record_ts, &buf) {
             if self.sorted {
                 self.recorder.record(

@@ -10,6 +10,11 @@
 //! the processor busy — large enough to avoid idling, small enough to
 //! avoid end-of-run load imbalance (the two contradictory premises of
 //! Section 5.3).
+//!
+//! This module holds the adaptation state machine alone; the engine's
+//! per-worker request windows ([`crate::engine::RequestWindow`]) own when
+//! it is fed and how its target bounds in-flight requests, identically on
+//! every backend.
 
 use anthill_simkit::SimDuration;
 

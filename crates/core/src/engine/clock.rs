@@ -1,0 +1,98 @@
+//! Time sources for the scheduling engine.
+//!
+//! The engine stamps every decision — request send times, trace events,
+//! utilization transitions — through a [`Clock`] supplied by the driver.
+//! The DES driver advances a [`VirtualClock`] to each event's virtual
+//! time; the sequential reference driver ticks it once per message; a
+//! real-time driver would use a [`WallClock`].
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Instant;
+
+use anthill_simkit::SimTime;
+
+/// A monotonic time source the engine reads whenever it needs "now".
+pub trait Clock {
+    /// The current time.
+    fn now(&self) -> SimTime;
+}
+
+/// A clock set explicitly by the driver. Cloning shares the underlying
+/// cell, so the driver keeps one handle and the engine another.
+#[derive(Debug, Clone)]
+pub struct VirtualClock(Rc<Cell<SimTime>>);
+
+impl VirtualClock {
+    /// A virtual clock starting at time zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock(Rc::new(Cell::new(SimTime::ZERO)))
+    }
+
+    /// Move the clock to `t` (the virtual time of the event being handled).
+    pub fn set(&self, t: SimTime) {
+        self.0.set(t);
+    }
+}
+
+impl Default for VirtualClock {
+    fn default() -> VirtualClock {
+        VirtualClock::new()
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> SimTime {
+        self.0.get()
+    }
+}
+
+/// Monotonic wall-clock nanoseconds since an epoch, for drivers that
+/// execute in real time.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose zero is "now".
+    pub fn start() -> WallClock {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A wall clock measuring from an existing epoch (e.g. the run start
+    /// the driver already stamps its own events with).
+    pub fn from_epoch(epoch: Instant) -> WallClock {
+        WallClock { epoch }
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_nanos() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_is_shared_between_clones() {
+        let a = VirtualClock::new();
+        let b = a.clone();
+        assert_eq!(b.now(), SimTime::ZERO);
+        a.set(SimTime(42));
+        assert_eq!(b.now(), SimTime(42));
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::start();
+        let t1 = c.now();
+        let t2 = c.now();
+        assert!(t2 >= t1);
+    }
+}

@@ -1,0 +1,561 @@
+//! The backend-agnostic demand-driven scheduling core.
+//!
+//! [`Engine`] owns the paper's whole scheduling protocol — request-window
+//! pumping, reader-side buffer selection (DBSA), receiver-side ready-queue
+//! ordering (DDFCFS/DDWRR), GPU-first dispatch, DQAA adaptation, and obs
+//! event emission — while delegating everything backend-specific to two
+//! small traits: [`Transport`] (what delivering a request costs) and
+//! [`Executor`] (how a batch actually runs). A driver is a loop that feeds
+//! engine callbacks:
+//!
+//! * a reader received a request → [`Engine::answer_request`];
+//! * a (possibly empty) reply reached a worker → [`Engine::data_arrived`];
+//! * a recalculated buffer materialized → [`Engine::recirculate`];
+//! * a task completed on a device → [`Engine::task_finished`];
+//! * a worker became free → [`Engine::worker_idle`].
+//!
+//! The DES ([`crate::sim`]), the threaded runtime ([`crate::local`]) and
+//! the sequential reference driver ([`super::sequential`]) are all thin
+//! shells around these five callbacks.
+
+use std::collections::HashMap;
+
+use anthill_hetsim::{DeviceId, DeviceKind};
+use anthill_simkit::{DurationHistogram, SimDuration, SimTime, UtilizationTracker};
+
+use crate::buffer::DataBuffer;
+use crate::obs::{DeviceRef, EventKind, Recorder};
+use crate::policy::Policy;
+use crate::queue::SharedQueue;
+use crate::weights::WeightProvider;
+
+use super::clock::Clock;
+use super::select;
+use super::window::RequestWindow;
+
+/// Identity of one worker slot in the engine's topology, echoed through
+/// the driver traits so replies and completions find their way back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerRef {
+    /// Hosting node index.
+    pub node: usize,
+    /// Worker slot index within the node.
+    pub worker: usize,
+    /// The device the slot schedules for.
+    pub device: DeviceId,
+}
+
+/// The driver side of request delivery.
+///
+/// The engine decides *that* a worker requests a buffer from a reader; the
+/// driver decides what that costs (a modeled network hop, a channel send,
+/// nothing at all) and must eventually route the reader's answer back
+/// through [`Engine::answer_request`] followed by [`Engine::data_arrived`]
+/// with the same `req_id`.
+pub trait Transport {
+    /// Deliver a data request from worker `from` to node `reader`'s reader
+    /// instance. The requesting processor type is `from.device.kind`.
+    fn send_request(&mut self, from: WorkerRef, reader: usize, req_id: u64);
+}
+
+/// The driver side of task execution.
+///
+/// The engine decides *which* buffers a worker runs and in what batch; the
+/// driver runs them (virtual-time hardware models, OS threads, real
+/// kernels) and reports back via [`Engine::task_finished`] per buffer and
+/// [`Engine::worker_idle`] when the slot frees up.
+pub trait Executor {
+    /// Upper bound on the batch handed to `worker` in one dispatch: 1 for
+    /// one-at-a-time devices, the current stream count for an async GPU
+    /// manager (Algorithm 1).
+    fn batch_limit(&mut self, worker: WorkerRef) -> usize;
+
+    /// Execute `batch` (never empty) on `worker`. The slot counts as busy
+    /// until the driver calls [`Engine::worker_idle`].
+    fn launch(&mut self, worker: WorkerRef, batch: Vec<DataBuffer>);
+}
+
+/// Engine configuration shared by every backend.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// The scheduling policy.
+    pub policy: Policy,
+    /// Upper bound on any worker's request window.
+    pub max_window: usize,
+}
+
+struct WorkerState {
+    device: DeviceId,
+    window: RequestWindow,
+    busy: bool,
+    /// Round-robin cursor over readers (starts at the hosting node).
+    rr_cursor: usize,
+    util: UtilizationTracker,
+    /// Target-window trace `(time, target)` per idle transition.
+    req_trace: Vec<(SimTime, usize)>,
+    latency_hist: DurationHistogram,
+    service_hist: DurationHistogram,
+}
+
+struct NodeState {
+    /// Reader-side outgoing queue (consumed sorted iff the policy selects
+    /// at the sender — DBSA).
+    reader: SharedQueue,
+    /// Worker-side shared ready queue (consumed sorted iff the policy
+    /// sorts at the receiver — DDWRR/ODDS).
+    ready: SharedQueue,
+    workers: Vec<WorkerState>,
+}
+
+/// Per-worker measurement series the engine accumulates, borrowed for
+/// report building.
+pub struct WorkerStats<'a> {
+    /// The worker's device identity.
+    pub device: DeviceId,
+    /// Busy/idle utilization tracker.
+    pub util: &'a UtilizationTracker,
+    /// Target-window trace `(time, target)` per idle transition.
+    pub req_trace: &'a [(SimTime, usize)],
+    /// Request round-trip latencies observed by this worker.
+    pub latency_hist: &'a DurationHistogram,
+    /// Per-buffer service times on this device.
+    pub service_hist: &'a DurationHistogram,
+}
+
+/// Metric-label token for a device class.
+pub(crate) fn kind_label(k: DeviceKind) -> &'static str {
+    match k {
+        DeviceKind::Cpu => "cpu",
+        DeviceKind::Gpu => "gpu",
+    }
+}
+
+/// The backend-agnostic scheduling engine (see the module docs).
+///
+/// Generic over the driver-supplied [`Clock`] and the [`WeightProvider`]
+/// whose relative-performance estimates order the sorted queue views.
+pub struct Engine<C: Clock, W: WeightProvider> {
+    cfg: EngineConfig,
+    clock: C,
+    weights: W,
+    rec: Recorder,
+    nodes: Vec<NodeState>,
+    next_req_id: u64,
+    tasks_by: HashMap<(DeviceKind, u8), u64>,
+    total_done: u64,
+}
+
+impl<C: Clock, W: WeightProvider> Engine<C, W> {
+    /// An engine with no nodes yet.
+    pub fn new(cfg: EngineConfig, clock: C, weights: W, rec: Recorder) -> Engine<C, W> {
+        Engine {
+            cfg,
+            clock,
+            weights,
+            rec,
+            nodes: Vec::new(),
+            next_req_id: 0,
+            tasks_by: HashMap::new(),
+            total_done: 0,
+        }
+    }
+
+    /// Add a node (one reader instance + one ready queue); returns its
+    /// index.
+    pub fn add_node(&mut self) -> usize {
+        self.nodes.push(NodeState {
+            reader: SharedQueue::new(),
+            ready: SharedQueue::new(),
+            workers: Vec::new(),
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Add a worker slot for `device` on `node`; returns its slot index.
+    pub fn add_worker(&mut self, node: usize, device: DeviceId) -> usize {
+        let w = WorkerState {
+            device,
+            window: RequestWindow::new(&self.cfg.policy, self.cfg.max_window),
+            busy: false,
+            rr_cursor: node,
+            util: UtilizationTracker::new(),
+            req_trace: Vec::new(),
+            latency_hist: DurationHistogram::new(),
+            service_hist: DurationHistogram::new(),
+        };
+        self.nodes[node].workers.push(w);
+        self.nodes[node].workers.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of worker slots across all nodes.
+    pub fn worker_count(&self) -> usize {
+        self.nodes.iter().map(|n| n.workers.len()).sum()
+    }
+
+    /// All worker references, node-major in slot order.
+    pub fn worker_refs(&self) -> Vec<WorkerRef> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .flat_map(|(n, ns)| {
+                ns.workers.iter().enumerate().map(move |(i, w)| WorkerRef {
+                    node: n,
+                    worker: i,
+                    device: w.device,
+                })
+            })
+            .collect()
+    }
+
+    /// The device a worker slot schedules for.
+    pub fn worker_device(&self, node: usize, worker: usize) -> DeviceId {
+        self.nodes[node].workers[worker].device
+    }
+
+    /// Set a worker's batch reserve (see
+    /// [`RequestWindow::set_batch_reserve`]); drivers call this at worker
+    /// creation and whenever the stream controller changes its count.
+    pub fn set_batch_reserve(&mut self, node: usize, worker: usize, slots: usize) {
+        self.nodes[node].workers[worker]
+            .window
+            .set_batch_reserve(slots);
+    }
+
+    /// The observability sink decisions are recorded to.
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
+    }
+
+    /// `(device kind, level) -> completed buffers`, accumulated by
+    /// [`Engine::task_finished`].
+    pub fn tasks_by(&self) -> &HashMap<(DeviceKind, u8), u64> {
+        &self.tasks_by
+    }
+
+    /// Total completed buffers.
+    pub fn total_done(&self) -> u64 {
+        self.total_done
+    }
+
+    /// Borrow every worker's measurement series, node-major in slot order.
+    pub fn worker_stats(&self) -> impl Iterator<Item = WorkerStats<'_>> {
+        self.nodes.iter().flat_map(|ns| {
+            ns.workers.iter().map(|w| WorkerStats {
+                device: w.device,
+                util: &w.util,
+                req_trace: &w.req_trace,
+                latency_hist: &w.latency_hist,
+                service_hist: &w.service_hist,
+            })
+        })
+    }
+
+    fn worker_ref(&self, node: usize, worker: usize) -> WorkerRef {
+        WorkerRef {
+            node,
+            worker,
+            device: self.nodes[node].workers[worker].device,
+        }
+    }
+
+    /// Seed a reader with a not-yet-requested buffer. Seeds join the
+    /// low-priority FIFO band so recirculated work keeps precedence.
+    pub fn seed_reader(&mut self, reader: usize, buffer: DataBuffer) {
+        let w = select::weights_for(&self.weights, &buffer);
+        self.nodes[reader].reader.insert_banded(buffer, w, None, 1);
+    }
+
+    /// A recirculated buffer materialized at `reader`: it takes FIFO
+    /// precedence over unread seeds (the demand-driven Start→Reader loop
+    /// keeps in-flight work ahead of not-yet-started work) and wakes every
+    /// starved worker.
+    pub fn recirculate<D: Transport>(&mut self, reader: usize, buffer: DataBuffer, d: &mut D) {
+        let w = select::weights_for(&self.weights, &buffer);
+        self.nodes[reader].reader.insert_banded(buffer, w, None, 0);
+        self.wake_starved(d);
+    }
+
+    /// Buffers currently queued at a reader.
+    pub fn reader_len(&self, reader: usize) -> usize {
+        self.nodes[reader].reader.len()
+    }
+
+    /// Answer a data request arriving at `reader` from a device of
+    /// `proctype`: DBSA sorted selection when the policy selects at the
+    /// sender, FIFO otherwise. `None` means the reader has drained.
+    pub fn answer_request(&mut self, reader: usize, proctype: DeviceKind) -> Option<DataBuffer> {
+        let sender_sorted = self.cfg.policy.kind.sender_selects();
+        let buffer = select::pop_for(&mut self.nodes[reader].reader, sender_sorted, proctype)
+            .map(|(b, _)| b);
+        if sender_sorted {
+            if let Some(b) = &buffer {
+                self.rec.record(
+                    self.clock.now().as_nanos(),
+                    DeviceRef::node_scope(reader),
+                    EventKind::DbsaSelect {
+                        buffer: b.id.0,
+                        proctype,
+                    },
+                );
+            }
+        }
+        buffer
+    }
+
+    /// A (possibly empty) reply to request `req_id` reached `worker`.
+    /// Settles the round-trip latency, queues the buffer on the node's
+    /// ready queue (or releases the window slot on an empty reply), and
+    /// re-pumps/dispatches. Unknown `req_id`s (e.g. `u64::MAX`) settle
+    /// nothing — drivers use them as pure kicks to start the requesters.
+    pub fn data_arrived<D: Transport + Executor>(
+        &mut self,
+        node: usize,
+        worker: usize,
+        req_id: u64,
+        buffer: Option<DataBuffer>,
+        d: &mut D,
+    ) {
+        let now = self.clock.now();
+        let lat = self.nodes[node].workers[worker]
+            .window
+            .settle_latency(req_id, now);
+        if let Some(lat) = lat {
+            let kind = {
+                let w = &mut self.nodes[node].workers[worker];
+                w.latency_hist.record(lat);
+                w.device.kind
+            };
+            self.rec
+                .histogram_record("request_latency", &[("device", kind_label(kind))], lat);
+        }
+        match buffer {
+            Some(buffer) => {
+                self.rec.record(
+                    now.as_nanos(),
+                    DeviceRef::node_scope(node),
+                    EventKind::Enqueue {
+                        buffer: buffer.id.0,
+                        level: buffer.level,
+                    },
+                );
+                let w = select::weights_for(&self.weights, &buffer);
+                self.nodes[node]
+                    .ready
+                    .insert(buffer, w, Some(worker as u64));
+                self.dispatch(node, d);
+            }
+            None => {
+                // Empty reply: the reader drained since the request was
+                // issued. Release the window slot and retry elsewhere.
+                self.nodes[node].workers[worker].window.release_slot();
+                self.pump_requests(node, worker, d);
+            }
+        }
+    }
+
+    /// A buffer completed on `worker` after `proc_time` of device
+    /// occupancy: records the finish and the completion counters. The
+    /// driver decides what the completion *means* (final result,
+    /// recalculation loop-back) and separately frees the slot via
+    /// [`Engine::worker_idle`].
+    pub fn task_finished(
+        &mut self,
+        node: usize,
+        worker: usize,
+        buffer: &DataBuffer,
+        proc_time: SimDuration,
+    ) {
+        let w = &self.nodes[node].workers[worker];
+        let kind = w.device.kind;
+        self.rec.record(
+            self.clock.now().as_nanos(),
+            DeviceRef::device(w.device),
+            EventKind::Finish {
+                buffer: buffer.id.0,
+                level: buffer.level,
+                proc_ns: proc_time.as_nanos(),
+            },
+        );
+        self.rec
+            .counter_add("tasks_finished", &[("device", kind_label(kind))], 1);
+        *self.tasks_by.entry((kind, buffer.level)).or_insert(0) += 1;
+        self.total_done += 1;
+    }
+
+    /// `worker` became free after processing the given per-buffer
+    /// durations: DQAA adaptation, window trace, re-request, re-dispatch.
+    pub fn worker_idle<D: Transport + Executor>(
+        &mut self,
+        node: usize,
+        worker: usize,
+        processed: &[SimDuration],
+        d: &mut D,
+    ) {
+        let now = self.clock.now();
+        let (dev, target) = {
+            let w = &mut self.nodes[node].workers[worker];
+            w.busy = false;
+            w.util.set_idle(now);
+            for &dt in processed {
+                w.window.observe_processing(dt);
+                w.service_hist.record(dt);
+            }
+            let target = w.window.target();
+            w.req_trace.push((now, target));
+            (DeviceRef::device(w.device), target)
+        };
+        self.rec.record(
+            now.as_nanos(),
+            dev,
+            EventKind::DqaaWindow {
+                target: target as u32,
+            },
+        );
+        if self.rec.is_enabled() {
+            let label = kind_label(dev.kind.expect("worker slots are device-scoped"));
+            for &dt in processed {
+                self.rec
+                    .histogram_record("service_time", &[("device", label)], dt);
+            }
+        }
+        self.pump_requests(node, worker, d);
+        self.dispatch(node, d);
+    }
+
+    /// Hand ready buffers to every idle worker of `node`, GPUs first, each
+    /// batched up to the executor's limit. Emits `Dispatch` + `Start` per
+    /// buffer and marks the slot busy before launching.
+    pub fn dispatch<D: Transport + Executor>(&mut self, node: usize, d: &mut D) {
+        let kinds: Vec<DeviceKind> = self.nodes[node]
+            .workers
+            .iter()
+            .map(|w| w.device.kind)
+            .collect();
+        for wi in select::dispatch_order(&kinds) {
+            if self.nodes[node].workers[wi].busy {
+                continue;
+            }
+            if self.nodes[node].ready.is_empty() {
+                break;
+            }
+            let wref = self.worker_ref(node, wi);
+            let limit = d.batch_limit(wref).max(1);
+            let mut batch = Vec::with_capacity(limit);
+            while batch.len() < limit {
+                match self.take_ready(node, wref.device.kind, d) {
+                    Some(b) => batch.push(b),
+                    None => break,
+                }
+            }
+            if batch.is_empty() {
+                continue;
+            }
+            let now = self.clock.now();
+            let dev = DeviceRef::device(wref.device);
+            for b in &batch {
+                self.rec.record(
+                    now.as_nanos(),
+                    dev,
+                    EventKind::Dispatch {
+                        buffer: b.id.0,
+                        level: b.level,
+                    },
+                );
+                self.rec.record(
+                    now.as_nanos(),
+                    dev,
+                    EventKind::Start {
+                        buffer: b.id.0,
+                        level: b.level,
+                    },
+                );
+            }
+            let w = &mut self.nodes[node].workers[wi];
+            w.busy = true;
+            w.util.set_busy(now);
+            d.launch(wref, batch);
+        }
+    }
+
+    /// Pop one ready buffer for a device of `kind` per the receiver-side
+    /// policy; settles the window slot of the worker whose request fetched
+    /// it and immediately re-pumps that worker.
+    fn take_ready<D: Transport>(
+        &mut self,
+        node: usize,
+        kind: DeviceKind,
+        d: &mut D,
+    ) -> Option<DataBuffer> {
+        let sorted = self.cfg.policy.kind.receiver_sorted();
+        let (buffer, tag) = select::pop_for(&mut self.nodes[node].ready, sorted, kind)?;
+        if let Some(owner) = tag {
+            let owner = owner as usize;
+            if owner < self.nodes[node].workers.len() {
+                self.nodes[node].workers[owner].window.release_slot();
+            }
+            self.pump_requests(node, owner, d);
+        }
+        Some(buffer)
+    }
+
+    /// ThreadRequester: keep `worker`'s outstanding requests at its target
+    /// window by sending requests to readers that currently have data,
+    /// round-robin from the worker's cursor.
+    fn pump_requests<D: Transport>(&mut self, node: usize, worker: usize, d: &mut D) {
+        let n_nodes = self.nodes.len();
+        loop {
+            let w = &self.nodes[node].workers[worker];
+            if w.window.outstanding() >= w.window.target().min(self.cfg.max_window) {
+                return;
+            }
+            let start = w.rr_cursor;
+            let mut chosen = None;
+            for off in 0..n_nodes {
+                let r = (start + off) % n_nodes;
+                if !self.nodes[r].reader.is_empty() {
+                    chosen = Some(r);
+                    break;
+                }
+            }
+            let Some(reader) = chosen else {
+                // Nothing anywhere: wait for a recirculation to materialize.
+                self.nodes[node].workers[worker].window.set_starved();
+                return;
+            };
+            let req_id = self.next_req_id;
+            self.next_req_id += 1;
+            let now = self.clock.now();
+            let wref = self.worker_ref(node, worker);
+            {
+                let w = &mut self.nodes[node].workers[worker];
+                w.rr_cursor = (reader + 1) % n_nodes;
+                w.window.note_sent(req_id, now);
+            }
+            d.send_request(wref, reader, req_id);
+        }
+    }
+
+    /// Re-pump every starved worker (a reader just became non-empty).
+    fn wake_starved<D: Transport>(&mut self, d: &mut D) {
+        let idx: Vec<(usize, usize)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .flat_map(|(n, ns)| {
+                ns.workers
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, w)| w.window.is_starved())
+                    .map(move |(i, _)| (n, i))
+            })
+            .collect();
+        for (n, w) in idx {
+            self.pump_requests(n, w, d);
+        }
+    }
+}

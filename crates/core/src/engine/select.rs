@@ -1,0 +1,155 @@
+//! The single point where a policy's ordering decisions are applied.
+//!
+//! Table 5 of the paper distinguishes the three policies by *where* queues
+//! are consumed sorted-by-speedup versus FIFO. Every such decision in the
+//! codebase funnels through [`pop_for`]: the engine's receiver-side ready
+//! queues, the reader/DBSA sender side ([`crate::dbsa::SendQueue`]), and
+//! the threaded runtime's stage queues (via [`ReadyLane`]). Backends never
+//! re-implement the ordering rule.
+
+use anthill_hetsim::DeviceKind;
+
+use crate::buffer::DataBuffer;
+use crate::policy::PolicyKind;
+use crate::queue::SharedQueue;
+use crate::weights::WeightProvider;
+
+/// Pop the next buffer from `queue` for a device of `kind`: the
+/// highest-weighted buffer for that device when `sorted`, the oldest
+/// buffer otherwise. Returns the buffer and its requesting-worker tag.
+pub fn pop_for(
+    queue: &mut SharedQueue,
+    sorted: bool,
+    kind: DeviceKind,
+) -> Option<(DataBuffer, Option<u64>)> {
+    if sorted {
+        queue.pop_best(kind)
+    } else {
+        queue.pop_fifo()
+    }
+}
+
+/// Per-device weights of a buffer, in `DeviceKind::ALL` order — the shape
+/// [`SharedQueue`] insertion expects.
+pub fn weights_for<W: WeightProvider + ?Sized>(weights: &W, buf: &DataBuffer) -> [f64; 2] {
+    [
+        weights.weight(buf, DeviceKind::Cpu),
+        weights.weight(buf, DeviceKind::Gpu),
+    ]
+}
+
+/// Dispatch visit order over worker slots of the given device kinds: GPUs
+/// first (they drain the queue fastest), preserving slot order within a
+/// class. Stable, so equal-kind workers keep their configuration order.
+pub fn dispatch_order(kinds: &[DeviceKind]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..kinds.len()).collect();
+    idx.sort_by_key(|&i| match kinds[i] {
+        DeviceKind::Gpu => 0,
+        DeviceKind::Cpu => 1,
+    });
+    idx
+}
+
+/// A policy-ordered ready queue: a [`SharedQueue`] plus the receiver-side
+/// ordering rule of a [`PolicyKind`]. Backends that own their queueing
+/// machinery (the threaded runtime's per-stage queues) use this instead of
+/// re-deciding the pop order locally.
+#[derive(Debug, Default)]
+pub struct ReadyLane {
+    queue: SharedQueue,
+    sorted: bool,
+}
+
+impl ReadyLane {
+    /// An empty lane consumed per `policy` (DDFCFS pops FIFO, DDWRR/ODDS
+    /// pop best-per-device).
+    pub fn new(policy: PolicyKind) -> ReadyLane {
+        ReadyLane {
+            queue: SharedQueue::new(),
+            sorted: policy.receiver_sorted(),
+        }
+    }
+
+    /// Queue a buffer with precomputed per-device weights.
+    pub fn push(&mut self, buffer: DataBuffer, weights: [f64; 2], tag: Option<u64>) {
+        self.queue.insert(buffer, weights, tag);
+    }
+
+    /// Pop the next buffer for a device of `kind` per the lane's policy.
+    pub fn pop(&mut self, kind: DeviceKind) -> Option<(DataBuffer, Option<u64>)> {
+        pop_for(&mut self.queue, self.sorted, kind)
+    }
+
+    /// Number of queued buffers.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if no buffers are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferId;
+    use anthill_estimator::TaskParams;
+    use anthill_hetsim::TaskShape;
+    use anthill_simkit::SimDuration;
+
+    fn buf(id: u64) -> DataBuffer {
+        DataBuffer {
+            id: BufferId(id),
+            params: TaskParams::nums(&[id as f64]),
+            shape: TaskShape {
+                cpu: SimDuration::from_millis(1),
+                gpu_kernel: SimDuration::from_millis(1),
+                bytes_in: 64,
+                bytes_out: 64,
+            },
+            level: 0,
+            task: id,
+        }
+    }
+
+    #[test]
+    fn pop_for_honours_the_sorted_flag() {
+        let mut q = SharedQueue::new();
+        q.insert(buf(1), [1.0, 1.0], None);
+        q.insert(buf(2), [9.0, 9.0], None);
+        assert_eq!(
+            pop_for(&mut q, false, DeviceKind::Gpu).unwrap().0.id.0,
+            1,
+            "FIFO ignores weights"
+        );
+        assert_eq!(
+            pop_for(&mut q, true, DeviceKind::Gpu).unwrap().0.id.0,
+            2,
+            "sorted takes the best"
+        );
+    }
+
+    #[test]
+    fn dispatch_order_is_gpu_first_and_stable() {
+        use DeviceKind::{Cpu, Gpu};
+        assert_eq!(dispatch_order(&[Cpu, Gpu, Cpu, Gpu]), vec![1, 3, 0, 2]);
+        assert_eq!(dispatch_order(&[Cpu, Cpu]), vec![0, 1]);
+        assert_eq!(dispatch_order(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn ready_lane_applies_the_policy() {
+        let mut fifo = ReadyLane::new(PolicyKind::DdFcfs);
+        let mut sorted = ReadyLane::new(PolicyKind::DdWrr);
+        for lane in [&mut fifo, &mut sorted] {
+            lane.push(buf(1), [1.0, 1.0], None);
+            lane.push(buf(2), [5.0, 5.0], None);
+        }
+        assert_eq!(fifo.pop(DeviceKind::Cpu).unwrap().0.id.0, 1);
+        assert_eq!(sorted.pop(DeviceKind::Cpu).unwrap().0.id.0, 2);
+        assert_eq!(fifo.len(), 1);
+        assert!(!sorted.is_empty());
+    }
+}

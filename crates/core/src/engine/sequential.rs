@@ -1,0 +1,318 @@
+//! A deterministic single-threaded reference driver for the engine.
+//!
+//! The smallest possible backend: transport is a FIFO message queue with
+//! zero cost, the executor runs handlers inline one buffer at a time, and
+//! the clock ticks once per message. Because every scheduling decision is
+//! made by the shared [`Engine`](super::Engine), the assignment a workload
+//! receives here is the engine's *reference* behaviour — the cross-backend
+//! policy-parity tests pin the DES against it, and
+//! [`crate::local::Pipeline::run_deterministic`] uses it to execute real
+//! filters reproducibly. It is also the template for adding a new backend:
+//! implement [`Transport`] + [`Executor`], feed the five engine callbacks,
+//! done.
+
+use std::collections::{HashMap, VecDeque};
+
+use anthill_hetsim::{DeviceId, DeviceKind};
+use anthill_simkit::SimTime;
+
+use crate::buffer::DataBuffer;
+use crate::obs::Recorder;
+use crate::policy::Policy;
+use crate::weights::WeightProvider;
+
+use super::clock::VirtualClock;
+use super::core::{Engine, EngineConfig, Executor, Transport, WorkerRef};
+
+/// Configuration of a sequential run.
+#[derive(Debug, Clone)]
+pub struct SequentialConfig {
+    /// The scheduling policy.
+    pub policy: Policy,
+    /// Upper bound on any worker's request window.
+    pub max_window: usize,
+    /// Observability sink for the engine's events.
+    pub recorder: Recorder,
+}
+
+impl SequentialConfig {
+    /// Defaults: the given policy, a 256-wide window cap, no recording.
+    pub fn new(policy: Policy) -> SequentialConfig {
+        SequentialConfig {
+            policy,
+            max_window: 256,
+            recorder: Recorder::disabled(),
+        }
+    }
+}
+
+/// What handling one buffer feeds back into the engine.
+#[derive(Debug, Default)]
+pub struct Emission {
+    /// Buffers recirculated into the reader; they take FIFO precedence
+    /// over unread sources, like the sim's recalculation loop.
+    pub recirculate: Vec<DataBuffer>,
+}
+
+/// Result of a sequential run.
+#[derive(Debug, Clone)]
+pub struct SequentialOutcome {
+    /// `(device kind, level) -> buffers handled`.
+    pub assigned: HashMap<(DeviceKind, u8), u64>,
+    /// Dispatch order, as `(device kind, buffer id)`.
+    pub dispatch_order: Vec<(DeviceKind, u64)>,
+    /// Total buffers handled.
+    pub total: u64,
+}
+
+enum Msg {
+    Request {
+        from: WorkerRef,
+        reader: usize,
+        req_id: u64,
+    },
+    Exec {
+        worker: WorkerRef,
+        buffer: DataBuffer,
+    },
+}
+
+/// Instant transport/executor: messages cost nothing and drain in FIFO
+/// order; workers run one buffer at a time.
+#[derive(Default)]
+struct InstantDriver {
+    inbox: VecDeque<Msg>,
+}
+
+impl Transport for InstantDriver {
+    fn send_request(&mut self, from: WorkerRef, reader: usize, req_id: u64) {
+        self.inbox.push_back(Msg::Request {
+            from,
+            reader,
+            req_id,
+        });
+    }
+}
+
+impl Executor for InstantDriver {
+    fn batch_limit(&mut self, _worker: WorkerRef) -> usize {
+        1
+    }
+
+    fn launch(&mut self, worker: WorkerRef, batch: Vec<DataBuffer>) {
+        for buffer in batch {
+            self.inbox.push_back(Msg::Exec { worker, buffer });
+        }
+    }
+}
+
+/// Run `sources` through one engine node of `devices` to completion.
+///
+/// `handle` is invoked once per dispatched buffer (with the device class
+/// that won it) and may recirculate follow-up buffers; DQAA is fed the
+/// buffer's modeled on-device time (`shape.cpu` / `shape.gpu_kernel`).
+pub fn run<W, F>(
+    cfg: SequentialConfig,
+    devices: &[DeviceId],
+    sources: Vec<DataBuffer>,
+    weights: W,
+    mut handle: F,
+) -> SequentialOutcome
+where
+    W: WeightProvider,
+    F: FnMut(DeviceKind, &DataBuffer) -> Emission,
+{
+    let clock = VirtualClock::new();
+    let mut engine = Engine::new(
+        EngineConfig {
+            policy: cfg.policy,
+            max_window: cfg.max_window,
+        },
+        clock.clone(),
+        weights,
+        cfg.recorder.clone(),
+    );
+    let node = engine.add_node();
+    for d in devices {
+        engine.add_worker(node, *d);
+    }
+    assert!(engine.worker_count() > 0, "no worker devices configured");
+    for b in sources {
+        engine.seed_reader(node, b);
+    }
+
+    let mut drv = InstantDriver::default();
+    // Kick every worker's requester with an unknown-id empty reply, as the
+    // DES driver does at t = 0.
+    for w in engine.worker_refs() {
+        engine.data_arrived(w.node, w.worker, u64::MAX, None, &mut drv);
+    }
+
+    let mut dispatch_order = Vec::new();
+    let mut tick = 0u64;
+    while let Some(msg) = drv.inbox.pop_front() {
+        tick += 1;
+        clock.set(SimTime(tick));
+        match msg {
+            Msg::Request {
+                from,
+                reader,
+                req_id,
+            } => {
+                let buffer = engine.answer_request(reader, from.device.kind);
+                engine.data_arrived(from.node, from.worker, req_id, buffer, &mut drv);
+            }
+            Msg::Exec { worker, buffer } => {
+                dispatch_order.push((worker.device.kind, buffer.id.0));
+                let emission = handle(worker.device.kind, &buffer);
+                let proc = match worker.device.kind {
+                    DeviceKind::Cpu => buffer.shape.cpu,
+                    DeviceKind::Gpu => buffer.shape.gpu_kernel,
+                };
+                engine.task_finished(worker.node, worker.worker, &buffer, proc);
+                for r in emission.recirculate {
+                    engine.recirculate(node, r, &mut drv);
+                }
+                engine.worker_idle(worker.node, worker.worker, &[proc], &mut drv);
+            }
+        }
+    }
+
+    SequentialOutcome {
+        assigned: engine.tasks_by().clone(),
+        dispatch_order,
+        total: engine.total_done(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferId;
+    use crate::weights::OracleWeights;
+    use anthill_estimator::TaskParams;
+    use anthill_hetsim::{GpuParams, NbiaCostModel};
+
+    fn tile(id: u64, side: u32) -> DataBuffer {
+        DataBuffer {
+            id: BufferId(id),
+            params: TaskParams::nums(&[f64::from(side)]),
+            shape: NbiaCostModel::paper_calibrated().tile(side),
+            level: u8::from(side > 32),
+            task: id,
+        }
+    }
+
+    fn devices() -> Vec<DeviceId> {
+        vec![
+            DeviceId {
+                node: 0,
+                kind: DeviceKind::Cpu,
+                index: 0,
+            },
+            DeviceId {
+                node: 0,
+                kind: DeviceKind::Gpu,
+                index: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn processes_every_source_exactly_once() {
+        let sources: Vec<DataBuffer> = (0..100).map(|i| tile(i, 32)).collect();
+        let out = run(
+            SequentialConfig::new(Policy::ddfcfs(4)),
+            &devices(),
+            sources,
+            OracleWeights::new(GpuParams::geforce_8800gt(), false),
+            |_, _| Emission::default(),
+        );
+        assert_eq!(out.total, 100);
+        assert_eq!(out.dispatch_order.len(), 100);
+        let mut ids: Vec<u64> = out.dispatch_order.iter().map(|&(_, id)| id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..100).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn recirculation_reenters_the_loop() {
+        let sources: Vec<DataBuffer> = (0..40).map(|i| tile(i, 32)).collect();
+        let out = run(
+            SequentialConfig::new(Policy::odds()),
+            &devices(),
+            sources,
+            OracleWeights::new(GpuParams::geforce_8800gt(), false),
+            |_, b| {
+                let mut em = Emission::default();
+                if b.level == 0 {
+                    let mut high = tile(b.id.0 + 1_000, 512);
+                    high.task = b.task;
+                    em.recirculate.push(high);
+                }
+                em
+            },
+        );
+        assert_eq!(out.total, 80, "40 low + 40 recirculated high");
+        let high_done: u64 = out
+            .assigned
+            .iter()
+            .filter(|((_, level), _)| *level == 1)
+            .map(|(_, c)| c)
+            .sum();
+        assert_eq!(high_done, 40);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mk = || {
+            let sources: Vec<DataBuffer> = (0..64)
+                .map(|i| tile(i, if i % 3 == 0 { 512 } else { 32 }))
+                .collect();
+            run(
+                SequentialConfig::new(Policy::ddwrr(4)),
+                &devices(),
+                sources,
+                OracleWeights::new(GpuParams::geforce_8800gt(), false),
+                |_, _| Emission::default(),
+            )
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.dispatch_order, b.dispatch_order);
+        assert_eq!(a.assigned, b.assigned);
+    }
+
+    #[test]
+    fn odds_sender_answers_gpu_requests_best_first() {
+        // A lone GPU worker under ODDS: every request reaches the DBSA
+        // sender with proctype Gpu, so the reader must hand out the
+        // high-res (GPU-favoured) tiles before any low-res one.
+        let n_high = 15u64;
+        let sources: Vec<DataBuffer> = (0..60)
+            .map(|i| tile(i, if i < n_high { 512 } else { 32 }))
+            .collect();
+        let out = run(
+            SequentialConfig::new(Policy::odds()),
+            &[DeviceId {
+                node: 0,
+                kind: DeviceKind::Gpu,
+                index: 0,
+            }],
+            sources,
+            OracleWeights::new(GpuParams::geforce_8800gt(), false),
+            |_, _| Emission::default(),
+        );
+        assert_eq!(out.total, 60);
+        let first: Vec<u64> = out
+            .dispatch_order
+            .iter()
+            .take(n_high as usize)
+            .map(|&(_, id)| id)
+            .collect();
+        assert!(
+            first.iter().all(|&id| id < n_high),
+            "high-res tiles must be selected first, got {first:?}"
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Per-worker request-window state: the static `streamRequestSize` of
+//! DDFCFS/DDWRR or the DQAA-adapted window of ODDS (paper Section 5.3.1),
+//! plus the outstanding-request accounting that keeps a worker's demand at
+//! its target.
+
+use std::collections::HashMap;
+
+use anthill_simkit::{SimDuration, SimTime};
+
+use crate::dqaa::Dqaa;
+use crate::policy::Policy;
+
+/// One worker's outstanding-request window.
+///
+/// The *target* is how many requests the worker keeps in flight: a fixed
+/// `streamRequestSize` for static policies, or the [`Dqaa`] window plus a
+/// batch reserve for dynamic ones (a batched GPU manager must hold the
+/// in-service batch *and* the latency-hiding window).
+#[derive(Debug, Clone)]
+pub struct RequestWindow {
+    dqaa: Dqaa,
+    static_target: usize,
+    dynamic: bool,
+    batch_reserve: usize,
+    outstanding: usize,
+    starved: bool,
+    /// In-flight request send times, keyed by request id.
+    sent: HashMap<u64, SimTime>,
+}
+
+impl RequestWindow {
+    /// A fresh window for one worker under `policy`, with the DQAA target
+    /// bounded by `max_window`.
+    pub fn new(policy: &Policy, max_window: usize) -> RequestWindow {
+        RequestWindow {
+            dqaa: Dqaa::new(max_window),
+            static_target: policy.request_size,
+            dynamic: policy.kind.dynamic_requests(),
+            batch_reserve: 0,
+            outstanding: 0,
+            starved: false,
+            sent: HashMap::new(),
+        }
+    }
+
+    /// Current target window.
+    pub fn target(&self) -> usize {
+        if self.dynamic {
+            self.dqaa.target() + self.batch_reserve
+        } else {
+            self.static_target
+        }
+    }
+
+    /// Requests in flight (sent but not yet settled).
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// True when the worker found no reader with data and is waiting for a
+    /// wake-up.
+    pub fn is_starved(&self) -> bool {
+        self.starved
+    }
+
+    /// Extra target slots covering an in-service batch (an async GPU
+    /// manager's current stream count); ignored by static policies.
+    pub fn set_batch_reserve(&mut self, slots: usize) {
+        self.batch_reserve = slots;
+    }
+
+    pub(crate) fn set_starved(&mut self) {
+        self.starved = true;
+    }
+
+    /// Account a request leaving at `now`.
+    pub(crate) fn note_sent(&mut self, req_id: u64, now: SimTime) {
+        self.outstanding += 1;
+        self.starved = false;
+        self.sent.insert(req_id, now);
+    }
+
+    /// Settle the round-trip of `req_id` at `now`, feeding DQAA's latency
+    /// estimate. `None` for unknown ids (e.g. the drivers' kick events).
+    pub(crate) fn settle_latency(&mut self, req_id: u64, now: SimTime) -> Option<SimDuration> {
+        let lat = now.since(self.sent.remove(&req_id)?);
+        self.dqaa.observe_latency(lat);
+        Some(lat)
+    }
+
+    /// Release one outstanding slot (its buffer was consumed or the reply
+    /// was empty).
+    pub(crate) fn release_slot(&mut self) {
+        self.outstanding = self.outstanding.saturating_sub(1);
+    }
+
+    /// Feed one processed-buffer duration into DQAA; returns the new DQAA
+    /// target.
+    pub(crate) fn observe_processing(&mut self, dt: SimDuration) -> usize {
+        self.dqaa.observe_processing(dt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    #[test]
+    fn static_policies_keep_a_fixed_target() {
+        let mut w = RequestWindow::new(&Policy::ddwrr(7), 256);
+        assert_eq!(w.target(), 7);
+        w.note_sent(0, SimTime::ZERO);
+        w.settle_latency(0, SimTime(ms(10).as_nanos()));
+        w.observe_processing(ms(1));
+        assert_eq!(w.target(), 7, "DQAA must not move a static window");
+        w.set_batch_reserve(4);
+        assert_eq!(
+            w.target(),
+            7,
+            "batch reserve only applies to dynamic windows"
+        );
+    }
+
+    #[test]
+    fn dynamic_window_adapts_and_adds_the_batch_reserve() {
+        let mut w = RequestWindow::new(&Policy::odds(), 256);
+        assert_eq!(w.target(), 1);
+        for id in 0..10 {
+            w.note_sent(id, SimTime::ZERO);
+            w.settle_latency(id, SimTime(ms(10).as_nanos()));
+            w.observe_processing(ms(2));
+        }
+        assert_eq!(w.target(), 5, "latency/processing ratio of 5");
+        w.set_batch_reserve(3);
+        assert_eq!(w.target(), 8);
+    }
+
+    #[test]
+    fn outstanding_accounting_round_trips() {
+        let mut w = RequestWindow::new(&Policy::ddfcfs(2), 256);
+        w.note_sent(11, SimTime(5));
+        assert_eq!(w.outstanding(), 1);
+        assert!(w.settle_latency(11, SimTime(9)).is_some());
+        assert!(
+            w.settle_latency(u64::MAX, SimTime(9)).is_none(),
+            "unknown ids (kicks) settle nothing"
+        );
+        w.release_slot();
+        assert_eq!(w.outstanding(), 0);
+        w.release_slot();
+        assert_eq!(w.outstanding(), 0, "release saturates at zero");
+    }
+
+    #[test]
+    fn starvation_clears_on_send() {
+        let mut w = RequestWindow::new(&Policy::odds(), 256);
+        w.set_starved();
+        assert!(w.is_starved());
+        w.note_sent(0, SimTime::ZERO);
+        assert!(!w.is_starved());
+    }
+}

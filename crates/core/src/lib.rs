@@ -14,21 +14,27 @@
 //! | §5.1 Algorithm 1 (adaptive async transfers) | [`transfer`] |
 //! | §5.3.1 DQAA (dynamic request windows) | [`dqaa`] |
 //! | §5.3.2 DBSA (sender-side selection) | [`dbsa`] |
+//! | §5.2–5.3 as one backend-agnostic scheduling core | [`engine`] |
 //!
-//! ## Two executors, one set of policies
+//! ## One engine, many drivers
 //!
-//! The scheduling machinery is pure logic — a [`queue::SharedQueue`] with
-//! per-device speedup-sorted views, the [`dqaa::Dqaa`] and
-//! [`transfer::AdaptiveStreams`] controllers, the [`dbsa::SendQueue`] —
-//! and two executors drive it:
+//! All scheduling decisions live in [`engine`]: a backend-agnostic core
+//! that owns the demand-driven protocol end to end — ready-queue ordering
+//! (DDFCFS/DDWRR over [`queue::SharedQueue`] + [`weights`]), sender-side
+//! selection (DBSA), request-window adaptation (DQAA), dispatch, and obs
+//! event emission — parameterized over small `Clock`, `Transport` and
+//! `Executor` traits. The executors are thin drivers of that engine:
 //!
-//! * [`local`] — real OS threads on the current machine: worker threads
-//!   per device slot pull from shared queues, handlers run actual
-//!   computation, accelerator speed differences can be emulated by
-//!   calibrated busy-waits. Demonstrates the programming model end to end.
-//! * [`sim`] — the same runtime over the virtual-time hardware models of
+//! * [`sim`] — the engine over the virtual-time hardware models of
 //!   `anthill-hetsim`: deterministic, fast, and the vehicle for every
 //!   cluster experiment in the paper's Section 6.
+//! * [`local`] — real OS threads on the current machine: worker threads
+//!   per device slot pull from engine-ordered stage queues, handlers run
+//!   actual computation, accelerator speed differences can be emulated by
+//!   calibrated busy-waits. Demonstrates the programming model end to end.
+//! * [`engine::sequential`] — a single-threaded reference driver; the
+//!   policy-parity tests pin the other backends against it, and it is the
+//!   template for adding new backends.
 //!
 //! ## Quick taste
 //!
@@ -50,6 +56,7 @@
 pub mod buffer;
 pub mod dbsa;
 pub mod dqaa;
+pub mod engine;
 pub mod local;
 pub mod obs;
 pub mod policy;

@@ -3,13 +3,19 @@
 //! computation.
 //!
 //! This is the threaded counterpart of the virtual-time executor in
-//! [`crate::sim`]: the same policy data structures ([`SharedQueue`],
-//! per-device weights) drive OS threads instead of simulated devices. It
-//! demonstrates the filter-stream programming model end to end — filters
-//! with per-device handlers, transparent replication as worker threads,
-//! recirculation for multi-resolution loops — on hardware that exists
-//! everywhere (CPU cores), with accelerator speed differences optionally
-//! *emulated* by calibrated busy-waits (see [`ExecMode`]).
+//! [`crate::sim`]: another driver of the shared scheduling engine. All
+//! policy decisions — queue ordering, per-device weights — come from
+//! [`crate::engine::select`]; this module only owns the native execution
+//! machinery (OS threads, condvars, backpressure). It demonstrates the
+//! filter-stream programming model end to end — filters with per-device
+//! handlers, transparent replication as worker threads, recirculation for
+//! multi-resolution loops — on hardware that exists everywhere (CPU
+//! cores), with accelerator speed differences optionally *emulated* by
+//! calibrated busy-waits (see [`ExecMode`]).
+//!
+//! For bit-reproducible runs (the cross-backend parity tests), use
+//! [`Pipeline::run_deterministic`]: the same filters executed by the
+//! engine's sequential reference driver instead of free-running threads.
 
 use std::any::Any;
 use std::collections::HashMap;
@@ -21,11 +27,12 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 
 use crate::buffer::DataBuffer;
+use crate::engine::select::{self, ReadyLane};
+use crate::engine::sequential::{self, Emission, SequentialConfig};
 use crate::obs::{DeviceRef, EventKind, Recorder};
-use crate::policy::PolicyKind;
-use crate::queue::SharedQueue;
+use crate::policy::{Policy, PolicyKind};
 use crate::weights::WeightProvider;
-use anthill_hetsim::DeviceKind;
+use anthill_hetsim::{DeviceId, DeviceKind};
 
 /// A work item in the local runtime: scheduling metadata plus an opaque
 /// application payload.
@@ -98,16 +105,18 @@ pub struct WorkerSpec {
 }
 
 struct StageQueue {
-    queue: Mutex<SharedQueue>,
+    /// Policy-ordered lane from the engine: the pop-order decision lives
+    /// in [`crate::engine::select`], not here.
+    queue: Mutex<ReadyLane>,
     cv: Condvar,
     /// Signalled when the queue drops below capacity (backpressure).
     space: Condvar,
 }
 
 impl StageQueue {
-    fn new() -> StageQueue {
+    fn new(policy: PolicyKind) -> StageQueue {
         StageQueue {
-            queue: Mutex::new(SharedQueue::new()),
+            queue: Mutex::new(ReadyLane::new(policy)),
             cv: Condvar::new(),
             space: Condvar::new(),
         }
@@ -149,6 +158,7 @@ pub struct Pipeline {
     stages: Vec<Stage>,
     policy: PolicyKind,
     capacity: Option<usize>,
+    request_window: usize,
 }
 
 impl Pipeline {
@@ -159,7 +169,16 @@ impl Pipeline {
             stages: Vec::new(),
             policy,
             capacity: None,
+            request_window: 4,
         }
+    }
+
+    /// Per-worker request window (`streamRequestSize`) used by
+    /// [`run_deterministic`](Pipeline::run_deterministic); ODDS adapts from
+    /// it via DQAA. Defaults to 4.
+    pub fn with_request_window(mut self, window: usize) -> Pipeline {
+        self.request_window = window.max(1);
+        self
     }
 
     /// Bound every stage queue to `capacity` buffers: a producer thread
@@ -208,8 +227,9 @@ impl Pipeline {
         assert!(!self.stages.is_empty(), "pipeline has no stages");
         let started = Instant::now();
         let n_stages = self.stages.len();
-        let queues: Vec<Arc<StageQueue>> =
-            (0..n_stages).map(|_| Arc::new(StageQueue::new())).collect();
+        let queues: Vec<Arc<StageQueue>> = (0..n_stages)
+            .map(|_| Arc::new(StageQueue::new(self.policy)))
+            .collect();
         let in_flight = Arc::new(AtomicUsize::new(0));
         let done = Arc::new(AtomicUsizeFlag::new());
         let (out_tx, out_rx): (Sender<LocalTask>, Receiver<LocalTask>) = unbounded();
@@ -223,10 +243,7 @@ impl Pipeline {
 
         let capacity = self.capacity;
         let enqueue = |stage: usize, task: LocalTask, queues: &[Arc<StageQueue>], bounded: bool| {
-            let w = [
-                weights.weight(&task.buffer, DeviceKind::Cpu),
-                weights.weight(&task.buffer, DeviceKind::Gpu),
-            ];
+            let w = select::weights_for(weights, &task.buffer);
             let id = task.buffer.id.0;
             let level = task.buffer.level;
             payloads.lock().insert(id, task.payload);
@@ -244,7 +261,7 @@ impl Pipeline {
                     }
                 }
             }
-            q.insert(task.buffer, w, None);
+            q.push(task.buffer, w, None);
             drop(q);
             sq.cv.notify_one();
         };
@@ -278,11 +295,11 @@ impl Pipeline {
                     let out_tx = out_tx.clone();
                     let counters = Arc::clone(&counters);
                     let payloads = &payloads;
-                    let policy = self.policy;
                     let enqueue_ref = &enqueue;
                     scope.spawn(move || {
                         loop {
-                            // Pull the next buffer per the policy.
+                            // Pull the next buffer; the lane applies the
+                            // policy's ordering rule (engine::select).
                             let popped = {
                                 let sq = &queues[si];
                                 let mut q = sq.queue.lock();
@@ -290,12 +307,7 @@ impl Pipeline {
                                     if done.is_set() {
                                         return;
                                     }
-                                    let item = if policy.receiver_sorted() {
-                                        q.pop_best(spec.kind)
-                                    } else {
-                                        q.pop_fifo()
-                                    };
-                                    match item {
+                                    match q.pop(spec.kind) {
                                         Some((buffer, _)) => {
                                             sq.space.notify_one();
                                             break buffer;
@@ -428,6 +440,100 @@ impl Pipeline {
         let handled = counters.lock().clone();
         (
             outputs,
+            LocalReport {
+                handled,
+                elapsed: started.elapsed(),
+            },
+        )
+    }
+
+    /// Run the pipeline to completion *deterministically*: the same
+    /// filters, executed stage by stage through the engine's sequential
+    /// reference driver ([`crate::engine::sequential`]) instead of
+    /// free-running threads. Assignments are a pure function of sources,
+    /// weights, and policy — identical on every run and directly
+    /// comparable against the DES backend (the cross-backend parity tests
+    /// rely on this). [`ExecMode`] busy-waits are skipped; handlers still
+    /// run for real.
+    ///
+    /// The demand-driven protocol runs in full per stage: every worker
+    /// slot keeps a request window (see
+    /// [`with_request_window`](Pipeline::with_request_window)) against the
+    /// stage's reader, DBSA answers under ODDS, and recirculated tasks
+    /// preempt unread inputs, as in the simulator's recalculation loop.
+    pub fn run_deterministic<W: WeightProvider>(
+        &self,
+        sources: Vec<LocalTask>,
+        weights: &W,
+    ) -> (Vec<LocalTask>, LocalReport) {
+        assert!(!self.stages.is_empty(), "pipeline has no stages");
+        let started = Instant::now();
+        let mut handled: HashMap<(usize, DeviceKind, u8), u64> = HashMap::new();
+        let mut inputs = sources;
+        for (si, stage) in self.stages.iter().enumerate() {
+            let mut kind_counts: HashMap<DeviceKind, usize> = HashMap::new();
+            let devices: Vec<DeviceId> = stage
+                .workers
+                .iter()
+                .map(|spec| {
+                    let slot = kind_counts.entry(spec.kind).or_insert(0);
+                    let d = DeviceId {
+                        node: si,
+                        kind: spec.kind,
+                        index: *slot,
+                    };
+                    *slot += 1;
+                    d
+                })
+                .collect();
+            let mut payloads: HashMap<u64, Box<dyn Any + Send>> = HashMap::new();
+            let mut buffers = Vec::with_capacity(inputs.len());
+            for t in inputs {
+                payloads.insert(t.buffer.id.0, t.payload);
+                buffers.push(t.buffer);
+            }
+            let mut forwarded: Vec<LocalTask> = Vec::new();
+            let outcome = sequential::run(
+                SequentialConfig::new(Policy {
+                    kind: self.policy,
+                    request_size: self.request_window,
+                }),
+                &devices,
+                buffers,
+                weights,
+                |kind, buffer| {
+                    let payload = payloads
+                        .remove(&buffer.id.0)
+                        .expect("payload parked for dispatched buffer");
+                    let mut fwd = Vec::new();
+                    let mut back = Vec::new();
+                    stage.filter.handle(
+                        kind,
+                        LocalTask {
+                            buffer: buffer.clone(),
+                            payload,
+                        },
+                        &mut Emitter {
+                            forward: &mut fwd,
+                            back: &mut back,
+                        },
+                    );
+                    let mut em = Emission::default();
+                    for t in back {
+                        payloads.insert(t.buffer.id.0, t.payload);
+                        em.recirculate.push(t.buffer);
+                    }
+                    forwarded.extend(fwd);
+                    em
+                },
+            );
+            for ((kind, level), count) in outcome.assigned {
+                *handled.entry((si, kind, level)).or_insert(0) += count;
+            }
+            inputs = forwarded;
+        }
+        (
+            inputs,
             LocalReport {
                 handled,
                 elapsed: started.elapsed(),
@@ -689,6 +795,57 @@ mod tests {
             .collect();
         values.sort_unstable();
         assert_eq!(values, (0..200).map(|i| i * 8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_run_matches_threaded_results() {
+        let mut p = Pipeline::new(PolicyKind::DdFcfs);
+        let workers = vec![
+            WorkerSpec {
+                kind: DeviceKind::Cpu,
+                mode: ExecMode::Native,
+            };
+            2
+        ];
+        p.add_stage(Arc::new(Doubler), workers.clone());
+        p.add_stage(Arc::new(Doubler), workers);
+        let (out, report) =
+            p.run_deterministic((0..50).map(|i| task(i, 1u64)).collect(), &oracle());
+        assert_eq!(out.len(), 50);
+        assert!(out
+            .iter()
+            .all(|t| *t.payload.downcast_ref::<u64>().unwrap() == 4));
+        assert_eq!(report.total(), 100);
+    }
+
+    #[test]
+    fn deterministic_run_recirculates_and_repeats_exactly() {
+        let mk = || {
+            let mut p = Pipeline::new(PolicyKind::DdWrr);
+            p.add_stage(
+                Arc::new(Recirculator),
+                vec![
+                    WorkerSpec {
+                        kind: DeviceKind::Cpu,
+                        mode: ExecMode::Native,
+                    },
+                    WorkerSpec {
+                        kind: DeviceKind::Gpu,
+                        mode: ExecMode::Native,
+                    },
+                ],
+            );
+            p.run_deterministic((0..40).map(|i| task(i, ())).collect(), &oracle())
+        };
+        let (out_a, rep_a) = mk();
+        let (out_b, rep_b) = mk();
+        assert_eq!(out_a.len(), 40);
+        assert!(out_a.iter().all(|t| t.buffer.level == 1));
+        assert_eq!(rep_a.total(), 80, "40 originals + 40 recirculated");
+        assert_eq!(rep_a.handled, rep_b.handled, "assignments are reproducible");
+        let ids_a: Vec<u64> = out_a.iter().map(|t| t.buffer.id.0).collect();
+        let ids_b: Vec<u64> = out_b.iter().map(|t| t.buffer.id.0).collect();
+        assert_eq!(ids_a, ids_b, "output order is reproducible");
     }
 
     #[test]

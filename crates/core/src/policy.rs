@@ -11,6 +11,10 @@
 //! become idle. DDFCFS is Anthill's default; DDWRR adds speedup-ordered
 //! consumption on the receiver; ODDS moves selection to the sender (DBSA)
 //! and adapts each worker's outstanding-request window at run time (DQAA).
+//!
+//! This module only *describes* the policies. They are *applied* in
+//! exactly one place — the backend-agnostic scheduling engine
+//! ([`crate::engine`]), which every executor drives.
 
 /// Which scheduling policy a run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -6,6 +6,12 @@
 //! Popping the best buffer for one device removes it from every view —
 //! that removal is the heart of DBSA ("it removes the same buffer from all
 //! other sorted queues").
+//!
+//! Complexity: each per-device view is a `BTreeMap` keyed by
+//! `(weight, age)`, so `pop_best` and `best_weight` are O(log n) lookups
+//! of the maximal key — no linear scan over the queued buffers. Insertion
+//! and removal update the FIFO index plus every sorted view, also
+//! O(log n) each. Ties on weight resolve to the oldest buffer.
 
 use std::collections::{BTreeMap, HashMap};
 

@@ -1,18 +1,17 @@
-//! The simulated cluster executor: the Anthill runtime's demand-driven
-//! streams, event scheduler and device workers, driven in virtual time over
-//! the hardware models of `anthill-hetsim`.
+//! The simulated cluster executor: a thin DES driver of the shared
+//! scheduling engine ([`crate::engine`]), run in virtual time over the
+//! hardware models of `anthill-hetsim`.
 //!
 //! Topology (matching the paper's NBIA deployment, Section 6): every node
 //! hosts one *reader* instance (the tiles are declustered round-robin over
 //! the nodes' local disks) and one *worker* instance (the fused NBIA
 //! filter) with one worker thread per CPU core and one manager thread per
 //! GPU. The reader→worker stream is the n×m demand-driven channel the
-//! three policies configure:
-//!
-//! * request windows are static (DDFCFS/DDWRR) or DQAA-adapted (ODDS);
-//! * the reader answers requests FIFO (DDFCFS/DDWRR) or via DBSA (ODDS);
-//! * workers consume their shared queue FIFO (DDFCFS) or best-fit
-//!   per device (DDWRR/ODDS).
+//! three policies configure — but the policies themselves (queue ordering,
+//! DBSA selection, DQAA windows, dispatch) live entirely in the engine;
+//! this module only prices its decisions: requests and replies traverse
+//! the modeled network, tasks occupy modeled devices, and completions are
+//! fed back as engine callbacks.
 //!
 //! Recalculated tiles loop back to the owning reader through a small
 //! control message, reproducing the Classifier→Start→Reader cycle of
@@ -24,15 +23,13 @@ use anthill_estimator::ProfileStore;
 use anthill_hetsim::{
     ClusterSpec, DeviceId, DeviceKind, GpuEngines, GpuParams, NetParams, Network,
 };
-use anthill_simkit::{
-    DurationHistogram, Engine, Scheduler, SimDuration, SimRng, SimTime, UtilizationTracker, World,
-};
+use anthill_simkit::{Scheduler, SimDuration, SimRng, SimTime, World};
 
 use crate::buffer::DataBuffer;
-use crate::dqaa::Dqaa;
+use crate::engine::core::{Executor, Transport, WorkerRef};
+use crate::engine::{Engine as SchedEngine, EngineConfig, VirtualClock};
 use crate::obs::{DeviceRef, EventKind, Recorder};
 use crate::policy::Policy;
-use crate::queue::SharedQueue;
 use crate::sim::report::SimReport;
 use crate::sim::workload::WorkloadSpec;
 use crate::transfer::{pipeline, AdaptiveStreams};
@@ -132,275 +129,101 @@ enum Ev {
     },
 }
 
-struct ThreadState {
-    device: DeviceId,
-    dqaa: Dqaa,
-    static_target: usize,
-    dynamic: bool,
-    /// Buffers requested but not yet popped from the shared queue.
-    outstanding: usize,
-    busy: bool,
-    starved: bool,
-    /// In-flight request send times, keyed by request id.
-    sent: HashMap<u64, SimTime>,
-    /// GPU state (engines + Algorithm 1 controller) for GPU threads.
+/// Per-worker execution state owned by the driver: the engine schedules,
+/// this executes.
+struct WorkerExec {
+    /// GPU engines + Algorithm 1 stream controller for GPU slots.
     gpu: Option<(GpuEngines, AdaptiveStreams)>,
-    util: UtilizationTracker,
-    /// Target-window trace.
-    req_trace: Vec<(SimTime, usize)>,
-    /// Request round-trip latencies observed by this thread.
-    latency_hist: DurationHistogram,
-    /// Per-buffer service times on this device.
-    service_hist: DurationHistogram,
-    rr_cursor: usize,
 }
 
-impl ThreadState {
-    fn target(&self) -> usize {
-        if self.dynamic {
-            // A batched GPU manager must hold the in-service batch *plus*
-            // the DQAA window that hides the request latency; a
-            // one-at-a-time worker needs only the DQAA window.
-            let batch = self
-                .gpu
-                .as_ref()
-                .map(|(_, ctl)| ctl.concurrent_events())
-                .unwrap_or(0);
-            self.dqaa.target() + batch
-        } else {
-            self.static_target
-        }
-    }
-}
-
-struct NodeState {
-    /// Reader-side outgoing queue (sorted iff the policy selects at the
-    /// sender).
-    reader: SharedQueue,
-    /// Worker-side shared ready queue.
-    ready: SharedQueue,
-    threads: Vec<ThreadState>,
-}
-
-struct NbiaWorld {
-    policy: Policy,
+/// The cost side of the simulation: everything the engine's decisions are
+/// priced with.
+struct DriverState {
     async_transfers: bool,
-    max_window: usize,
     /// Per-node CPU slowdown-adjusted service multiplier (1.0 default).
     cpu_inv_speed: Vec<f64>,
-    workload: WorkloadSpec,
-    weights: Box<dyn WeightProvider>,
     net: Network,
-    nodes: Vec<NodeState>,
-    next_req_id: u64,
-    finals_done: u64,
-    finish: SimTime,
-    tasks_by: HashMap<(DeviceKind, u8), u64>,
-    total_done: u64,
+    /// `[node][worker]` execution state, parallel to the engine topology.
+    exec: Vec<Vec<WorkerExec>>,
     rec: Recorder,
 }
 
-/// Metric-label token for a device class.
-fn kind_label(k: DeviceKind) -> &'static str {
-    match k {
-        DeviceKind::Cpu => "cpu",
-        DeviceKind::Gpu => "gpu",
+/// One-event adapter binding the driver state and the DES scheduler into
+/// the engine's [`Transport`] + [`Executor`] view.
+struct SimDriver<'a> {
+    now: SimTime,
+    drv: &'a mut DriverState,
+    sched: &'a mut Scheduler<Ev>,
+}
+
+impl Transport for SimDriver<'_> {
+    fn send_request(&mut self, from: WorkerRef, reader: usize, req_id: u64) {
+        let arrival = self
+            .drv
+            .net
+            .send(self.now, from.node, reader, REQUEST_BYTES);
+        self.sched.at(
+            arrival,
+            Ev::Request {
+                reader,
+                wnode: from.node,
+                thread: from.worker,
+                proctype: from.device.kind,
+                req_id,
+            },
+        );
     }
 }
 
-impl NbiaWorld {
-    fn weights_for(&self, buf: &DataBuffer) -> [f64; 2] {
-        [
-            self.weights.weight(buf, DeviceKind::Cpu),
-            self.weights.weight(buf, DeviceKind::Gpu),
-        ]
-    }
-
-    /// ThreadRequester: keep `outstanding` at the target window by sending
-    /// requests to readers that currently have data (round-robin).
-    fn pump_requests(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        thread: usize,
-        sched: &mut Scheduler<Ev>,
-    ) {
-        let n_nodes = self.nodes.len();
-        loop {
-            let t = &self.nodes[node].threads[thread];
-            if t.outstanding >= t.target().min(self.max_window) {
-                return;
-            }
-            // Choose a sender: round-robin over readers with queued data.
-            let start = self.nodes[node].threads[thread].rr_cursor;
-            let mut chosen = None;
-            for off in 0..n_nodes {
-                let r = (start + off) % n_nodes;
-                if !self.nodes[r].reader.is_empty() {
-                    chosen = Some(r);
-                    break;
+impl Executor for SimDriver<'_> {
+    fn batch_limit(&mut self, worker: WorkerRef) -> usize {
+        match worker.device.kind {
+            DeviceKind::Cpu => 1,
+            DeviceKind::Gpu => {
+                if self.drv.async_transfers {
+                    let (_, ctl) = self.drv.exec[worker.node][worker.worker]
+                        .gpu
+                        .as_ref()
+                        .expect("GPU slot has a controller");
+                    ctl.concurrent_events().max(1)
+                } else {
+                    1
                 }
             }
-            let Some(reader) = chosen else {
-                // Nothing anywhere: wait for a recalculation to materialize.
-                self.nodes[node].threads[thread].starved = true;
-                return;
-            };
-            let req_id = self.next_req_id;
-            self.next_req_id += 1;
-            let proctype = self.nodes[node].threads[thread].device.kind;
-            let arrival = self.net.send(now, node, reader, REQUEST_BYTES);
-            {
-                let t = &mut self.nodes[node].threads[thread];
-                t.rr_cursor = (reader + 1) % n_nodes;
-                t.outstanding += 1;
-                t.starved = false;
-                t.sent.insert(req_id, now);
-            }
-            sched.at(
-                arrival,
-                Ev::Request {
-                    reader,
-                    wnode: node,
-                    thread,
-                    proctype,
-                    req_id,
-                },
-            );
         }
     }
 
-    /// Wake every starved thread (a reader just became non-empty).
-    fn wake_starved(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
-        let idx: Vec<(usize, usize)> = self
-            .nodes
-            .iter()
-            .enumerate()
-            .flat_map(|(n, ns)| {
-                ns.threads
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, t)| t.starved)
-                    .map(move |(i, _)| (n, i))
-            })
-            .collect();
-        for (n, t) in idx {
-            self.pump_requests(now, n, t, sched);
-        }
-    }
-
-    /// Pop one buffer from a node's ready queue per the policy, for a
-    /// device of `kind`; settles the request-window accounting of the
-    /// thread whose request fetched it.
-    fn pop_ready(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        kind: DeviceKind,
-        sched: &mut Scheduler<Ev>,
-    ) -> Option<DataBuffer> {
-        let popped = if self.policy.kind.receiver_sorted() {
-            self.nodes[node].ready.pop_best(kind)
-        } else {
-            self.nodes[node].ready.pop_fifo()
-        };
-        let (buffer, tag) = popped?;
-        if let Some(owner) = tag {
-            let owner = owner as usize;
-            if owner < self.nodes[node].threads.len() {
-                let t = &mut self.nodes[node].threads[owner];
-                t.outstanding = t.outstanding.saturating_sub(1);
-            }
-            self.pump_requests(now, node, owner, sched);
-        }
-        Some(buffer)
-    }
-
-    /// Try to hand ready buffers to every idle thread of a node.
-    fn dispatch(&mut self, now: SimTime, node: usize, sched: &mut Scheduler<Ev>) {
-        // GPUs first: they drain the queue fastest.
-        let order: Vec<usize> = {
-            let ts = &self.nodes[node].threads;
-            let mut idx: Vec<usize> = (0..ts.len()).collect();
-            idx.sort_by_key(|&i| match ts[i].device.kind {
-                DeviceKind::Gpu => 0,
-                DeviceKind::Cpu => 1,
-            });
-            idx
-        };
-        for ti in order {
-            if self.nodes[node].threads[ti].busy {
-                continue;
-            }
-            if self.nodes[node].ready.is_empty() {
-                break;
-            }
-            match self.nodes[node].threads[ti].device.kind {
-                DeviceKind::Cpu => {
-                    let Some(buffer) = self.pop_ready(now, node, DeviceKind::Cpu, sched) else {
-                        continue;
-                    };
-                    let dev = DeviceRef::device(self.nodes[node].threads[ti].device);
-                    self.rec.record(
-                        now.as_nanos(),
-                        dev,
-                        EventKind::Dispatch {
-                            buffer: buffer.id.0,
-                            level: buffer.level,
-                        },
-                    );
-                    self.rec.record(
-                        now.as_nanos(),
-                        dev,
-                        EventKind::Start {
-                            buffer: buffer.id.0,
-                            level: buffer.level,
-                        },
-                    );
-                    let inv = self.cpu_inv_speed.get(node).copied().unwrap_or(1.0);
-                    let t = &mut self.nodes[node].threads[ti];
-                    t.busy = true;
-                    t.util.set_busy(now);
+    fn launch(&mut self, worker: WorkerRef, batch: Vec<DataBuffer>) {
+        let now = self.now;
+        match worker.device.kind {
+            DeviceKind::Cpu => {
+                let inv = self
+                    .drv
+                    .cpu_inv_speed
+                    .get(worker.node)
+                    .copied()
+                    .unwrap_or(1.0);
+                for buffer in batch {
                     let dt = buffer.shape.cpu.mul_f64(inv);
-                    sched.after(
-                        dt,
+                    self.sched.at(
+                        now + dt,
                         Ev::TaskDone {
-                            node,
-                            thread: ti,
+                            node: worker.node,
+                            thread: worker.worker,
                             buffer,
                             proc_time: dt,
                             idle_after: true,
                         },
                     );
                 }
-                DeviceKind::Gpu => {
-                    if self.async_transfers {
-                        self.start_gpu_round(now, node, ti, sched);
-                    } else {
-                        let Some(buffer) = self.pop_ready(now, node, DeviceKind::Gpu, sched) else {
-                            continue;
-                        };
-                        let dev = DeviceRef::device(self.nodes[node].threads[ti].device);
-                        self.rec.record(
-                            now.as_nanos(),
-                            dev,
-                            EventKind::Dispatch {
-                                buffer: buffer.id.0,
-                                level: buffer.level,
-                            },
-                        );
-                        self.rec.record(
-                            now.as_nanos(),
-                            dev,
-                            EventKind::Start {
-                                buffer: buffer.id.0,
-                                level: buffer.level,
-                            },
-                        );
-                        let t = &mut self.nodes[node].threads[ti];
-                        t.busy = true;
-                        t.util.set_busy(now);
-                        let (gpu, _) = t.gpu.as_mut().expect("GPU thread has engines");
+            }
+            DeviceKind::Gpu => {
+                let (gpu, _) = self.drv.exec[worker.node][worker.worker]
+                    .gpu
+                    .as_mut()
+                    .expect("GPU slot has engines");
+                if !self.drv.async_transfers {
+                    for buffer in batch {
                         let (_, fin) = gpu.run_sync(
                             now,
                             buffer.shape.bytes_in,
@@ -408,168 +231,67 @@ impl NbiaWorld {
                             buffer.shape.bytes_out,
                         );
                         let dt = fin.since(now);
-                        sched.at(
+                        self.sched.at(
                             fin,
                             Ev::TaskDone {
-                                node,
-                                thread: ti,
+                                node: worker.node,
+                                thread: worker.worker,
                                 buffer,
                                 proc_time: dt,
                                 idle_after: true,
                             },
                         );
                     }
+                    return;
                 }
+                // Algorithm 1's loop body: one overlapped batch.
+                let shapes: Vec<_> = batch.iter().map(|b| b.shape).collect();
+                let dev = DeviceRef::device(worker.device);
+                let (completions, end) =
+                    pipeline::execute_batch_traced(gpu, now, &shapes, &self.drv.rec, dev);
+                let k = batch.len();
+                let round = end.since(now);
+                let per_task = round / k as u64;
+                for (buffer, &fin) in batch.into_iter().zip(&completions) {
+                    self.sched.at(
+                        fin,
+                        Ev::TaskDone {
+                            node: worker.node,
+                            thread: worker.worker,
+                            buffer,
+                            proc_time: per_task,
+                            idle_after: false,
+                        },
+                    );
+                }
+                self.sched.at(
+                    end,
+                    Ev::RoundDone {
+                        node: worker.node,
+                        thread: worker.worker,
+                        started: now,
+                        k,
+                    },
+                );
             }
         }
     }
+}
 
-    /// Start one asynchronous GPU batch (Algorithm 1's loop body).
-    fn start_gpu_round(&mut self, now: SimTime, node: usize, ti: usize, sched: &mut Scheduler<Ev>) {
-        let k_target = {
-            let t = &self.nodes[node].threads[ti];
-            let (_, ctl) = t.gpu.as_ref().expect("GPU thread has a controller");
-            ctl.concurrent_events().max(1)
-        };
-        let mut batch = Vec::with_capacity(k_target);
-        while batch.len() < k_target {
-            match self.pop_ready(now, node, DeviceKind::Gpu, sched) {
-                Some(b) => batch.push(b),
-                None => break,
-            }
-        }
-        if batch.is_empty() {
-            return;
-        }
-        let dev = DeviceRef::device(self.nodes[node].threads[ti].device);
-        for b in &batch {
-            self.rec.record(
-                now.as_nanos(),
-                dev,
-                EventKind::Dispatch {
-                    buffer: b.id.0,
-                    level: b.level,
-                },
-            );
-            self.rec.record(
-                now.as_nanos(),
-                dev,
-                EventKind::Start {
-                    buffer: b.id.0,
-                    level: b.level,
-                },
-            );
-        }
-        let shapes: Vec<_> = batch.iter().map(|b| b.shape).collect();
-        let rec = self.rec.clone();
-        let t = &mut self.nodes[node].threads[ti];
-        t.busy = true;
-        t.util.set_busy(now);
-        let (gpu, _) = t.gpu.as_mut().expect("GPU thread has engines");
-        let (completions, end) = pipeline::execute_batch_traced(gpu, now, &shapes, &rec, dev);
-        let k = batch.len();
-        let round = end.since(now);
-        let per_task = round / k as u64;
-        for (buffer, &fin) in batch.into_iter().zip(&completions) {
-            sched.at(
-                fin,
-                Ev::TaskDone {
-                    node,
-                    thread: ti,
-                    buffer,
-                    proc_time: per_task,
-                    idle_after: false,
-                },
-            );
-        }
-        sched.at(
-            end,
-            Ev::RoundDone {
-                node,
-                thread: ti,
-                started: now,
-                k,
-            },
-        );
-    }
-
-    /// Completion-side bookkeeping shared by all devices.
-    fn complete_task(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        thread: usize,
-        buffer: &DataBuffer,
-        sched: &mut Scheduler<Ev>,
-    ) {
-        let kind = self.nodes[node].threads[thread].device.kind;
-        *self.tasks_by.entry((kind, buffer.level)).or_insert(0) += 1;
-        self.total_done += 1;
-        if buffer.level == 0 && self.workload.is_recalc(buffer.task) {
-            // Classifier rejected the low-resolution result: loop the tile
-            // back to its owning reader at the next resolution.
-            let owner = (buffer.task % self.nodes.len() as u64) as usize;
-            let arrival = self.net.send(now, node, owner, RECALC_BYTES);
-            let high = self.workload.high_buffer(buffer.task);
-            sched.at(
-                arrival,
-                Ev::Recalc {
-                    reader: owner,
-                    buffer: high,
-                },
-            );
-        } else {
-            self.finals_done += 1;
-            if now > self.finish {
-                self.finish = now;
-            }
-        }
-    }
-
-    /// Idle-side bookkeeping: DQAA update, re-request, re-dispatch.
-    fn thread_idle(
-        &mut self,
-        now: SimTime,
-        node: usize,
-        thread: usize,
-        processed: &[SimDuration],
-        sched: &mut Scheduler<Ev>,
-    ) {
-        let (dev, target) = {
-            let t = &mut self.nodes[node].threads[thread];
-            t.busy = false;
-            t.util.set_idle(now);
-            for &dt in processed {
-                t.dqaa.observe_processing(dt);
-                t.service_hist.record(dt);
-            }
-            let target = t.target();
-            t.req_trace.push((now, target));
-            (DeviceRef::device(t.device), target)
-        };
-        self.rec.record(
-            now.as_nanos(),
-            dev,
-            EventKind::DqaaWindow {
-                target: target as u32,
-            },
-        );
-        if self.rec.is_enabled() {
-            let label = kind_label(dev.kind.expect("worker threads are device-scoped"));
-            for &dt in processed {
-                self.rec
-                    .histogram_record("service_time", &[("device", label)], dt);
-            }
-        }
-        self.pump_requests(now, node, thread, sched);
-        self.dispatch(now, node, sched);
-    }
+struct NbiaWorld {
+    engine: SchedEngine<VirtualClock, Box<dyn WeightProvider>>,
+    clock: VirtualClock,
+    drv: DriverState,
+    workload: WorkloadSpec,
+    finals_done: u64,
+    finish: SimTime,
 }
 
 impl World for NbiaWorld {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        self.clock.set(now);
         match ev {
             Ev::Request {
                 reader,
@@ -578,29 +300,12 @@ impl World for NbiaWorld {
                 proctype,
                 req_id,
             } => {
-                let popped = if self.policy.kind.sender_selects() {
-                    self.nodes[reader].reader.pop_best(proctype)
-                } else {
-                    self.nodes[reader].reader.pop_fifo()
-                };
-                let buffer = popped.map(|(b, _)| b);
-                if self.policy.kind.sender_selects() {
-                    if let Some(b) = &buffer {
-                        self.rec.record(
-                            now.as_nanos(),
-                            DeviceRef::node_scope(reader),
-                            EventKind::DbsaSelect {
-                                buffer: b.id.0,
-                                proctype,
-                            },
-                        );
-                    }
-                }
+                let buffer = self.engine.answer_request(reader, proctype);
                 let bytes = buffer
                     .as_ref()
                     .map(DataBuffer::wire_bytes)
                     .unwrap_or(REQUEST_BYTES);
-                let arrival = self.net.send(now, reader, wnode, bytes);
+                let arrival = self.drv.net.send(now, reader, wnode, bytes);
                 sched.at(
                     arrival,
                     Ev::Data {
@@ -617,55 +322,21 @@ impl World for NbiaWorld {
                 req_id,
                 buffer,
             } => {
-                let latency = {
-                    let t = &mut self.nodes[wnode].threads[thread];
-                    t.sent.remove(&req_id).map(|sent| now.since(sent))
+                let mut d = SimDriver {
+                    now,
+                    drv: &mut self.drv,
+                    sched,
                 };
-                if let Some(lat) = latency {
-                    let kind = {
-                        let t = &mut self.nodes[wnode].threads[thread];
-                        t.dqaa.observe_latency(lat);
-                        t.latency_hist.record(lat);
-                        t.device.kind
-                    };
-                    self.rec.histogram_record(
-                        "request_latency",
-                        &[("device", kind_label(kind))],
-                        lat,
-                    );
-                }
-                match buffer {
-                    Some(buffer) => {
-                        self.rec.record(
-                            now.as_nanos(),
-                            DeviceRef::node_scope(wnode),
-                            EventKind::Enqueue {
-                                buffer: buffer.id.0,
-                                level: buffer.level,
-                            },
-                        );
-                        let w = self.weights_for(&buffer);
-                        self.nodes[wnode]
-                            .ready
-                            .insert(buffer, w, Some(thread as u64));
-                        self.dispatch(now, wnode, sched);
-                    }
-                    None => {
-                        // Empty reply: the reader drained since the request
-                        // was issued. Release the window slot and retry.
-                        let t = &mut self.nodes[wnode].threads[thread];
-                        t.outstanding = t.outstanding.saturating_sub(1);
-                        self.pump_requests(now, wnode, thread, sched);
-                    }
-                }
+                self.engine
+                    .data_arrived(wnode, thread, req_id, buffer, &mut d);
             }
             Ev::Recalc { reader, buffer } => {
-                let w = self.weights_for(&buffer);
-                // Recirculated work takes FIFO precedence over unread
-                // initial tiles (the demand-driven Start→Reader loop keeps
-                // in-flight tiles ahead of not-yet-started ones).
-                self.nodes[reader].reader.insert_banded(buffer, w, None, 0);
-                self.wake_starved(now, sched);
+                let mut d = SimDriver {
+                    now,
+                    drv: &mut self.drv,
+                    sched,
+                };
+                self.engine.recirculate(reader, buffer, &mut d);
             }
             Ev::TaskDone {
                 node,
@@ -674,21 +345,34 @@ impl World for NbiaWorld {
                 proc_time,
                 idle_after,
             } => {
-                let kind = self.nodes[node].threads[thread].device.kind;
-                self.rec.record(
-                    now.as_nanos(),
-                    DeviceRef::device(self.nodes[node].threads[thread].device),
-                    EventKind::Finish {
-                        buffer: buffer.id.0,
-                        level: buffer.level,
-                        proc_ns: proc_time.as_nanos(),
-                    },
-                );
-                self.rec
-                    .counter_add("tasks_finished", &[("device", kind_label(kind))], 1);
-                self.complete_task(now, node, thread, &buffer, sched);
+                self.engine.task_finished(node, thread, &buffer, proc_time);
+                if buffer.level == 0 && self.workload.is_recalc(buffer.task) {
+                    // Classifier rejected the low-resolution result: loop
+                    // the tile back to its owning reader at the next
+                    // resolution.
+                    let owner = (buffer.task % self.engine.node_count() as u64) as usize;
+                    let arrival = self.drv.net.send(now, node, owner, RECALC_BYTES);
+                    let high = self.workload.high_buffer(buffer.task);
+                    sched.at(
+                        arrival,
+                        Ev::Recalc {
+                            reader: owner,
+                            buffer: high,
+                        },
+                    );
+                } else {
+                    self.finals_done += 1;
+                    if now > self.finish {
+                        self.finish = now;
+                    }
+                }
                 if idle_after {
-                    self.thread_idle(now, node, thread, &[proc_time], sched);
+                    let mut d = SimDriver {
+                        now,
+                        drv: &mut self.drv,
+                        sched,
+                    };
+                    self.engine.worker_idle(node, thread, &[proc_time], &mut d);
                 }
             }
             Ev::RoundDone {
@@ -698,25 +382,33 @@ impl World for NbiaWorld {
                 k,
             } => {
                 let round = now.since(started);
-                let (dev, streams) = {
-                    let t = &mut self.nodes[node].threads[thread];
-                    let (_, ctl) = t.gpu.as_mut().expect("GPU thread has a controller");
+                let streams = {
+                    let (_, ctl) = self.drv.exec[node][thread]
+                        .gpu
+                        .as_mut()
+                        .expect("GPU slot has a controller");
                     let secs = round.as_secs_f64();
                     if secs > 0.0 {
                         ctl.observe_throughput(k as f64 / secs);
                     }
-                    (DeviceRef::device(t.device), ctl.concurrent_events())
+                    ctl.concurrent_events()
                 };
-                self.rec.record(
+                self.drv.rec.record(
                     now.as_nanos(),
-                    dev,
+                    DeviceRef::device(self.engine.worker_device(node, thread)),
                     EventKind::Streams {
                         count: streams as u32,
                     },
                 );
+                self.engine.set_batch_reserve(node, thread, streams);
                 let per_task = round / k.max(1) as u64;
                 let processed = vec![per_task; k];
-                self.thread_idle(now, node, thread, &processed, sched);
+                let mut d = SimDriver {
+                    now,
+                    drv: &mut self.drv,
+                    sched,
+                };
+                self.engine.worker_idle(node, thread, &processed, &mut d);
             }
         }
     }
@@ -772,138 +464,113 @@ pub fn run_nbia(cfg: &SimConfig, workload: &WorkloadSpec) -> SimReport {
         Box::new(OracleWeights::new(cfg.gpu.clone(), cfg.async_transfers))
     };
 
+    let clock = VirtualClock::new();
+    let mut engine = SchedEngine::new(
+        EngineConfig {
+            policy: cfg.policy,
+            max_window: cfg.max_request_window,
+        },
+        clock.clone(),
+        weights,
+        cfg.recorder.clone(),
+    );
+
     let n_nodes = cfg.cluster.len();
-    let mut nodes = Vec::with_capacity(n_nodes);
+    let mut exec: Vec<Vec<WorkerExec>> = Vec::with_capacity(n_nodes);
     for (ni, spec) in cfg.cluster.nodes.iter().enumerate() {
-        let mut threads = Vec::new();
-        let mk_thread = |device: DeviceId, dynamic: bool, static_target: usize, gpu| ThreadState {
-            device,
-            dqaa: Dqaa::new(cfg.max_request_window),
-            static_target,
-            dynamic,
-            outstanding: 0,
-            busy: false,
-            starved: false,
-            sent: HashMap::new(),
-            gpu,
-            util: UtilizationTracker::new(),
-            req_trace: Vec::new(),
-            latency_hist: DurationHistogram::new(),
-            service_hist: DurationHistogram::new(),
-            rr_cursor: ni,
-        };
-        let dynamic = cfg.policy.kind.dynamic_requests();
+        let node = engine.add_node();
+        debug_assert_eq!(node, ni);
+        let mut slots = Vec::new();
         if !cfg.gpu_only {
             for c in 0..spec.cpu_cores {
-                threads.push(mk_thread(
+                engine.add_worker(
+                    node,
                     DeviceId {
                         node: ni,
                         kind: DeviceKind::Cpu,
                         index: c,
                     },
-                    dynamic,
-                    cfg.policy.request_size,
-                    None,
-                ));
+                );
+                slots.push(WorkerExec { gpu: None });
             }
         }
         for g in 0..spec.gpus {
-            threads.push(mk_thread(
+            let wi = engine.add_worker(
+                node,
                 DeviceId {
                     node: ni,
                     kind: DeviceKind::Gpu,
                     index: g,
                 },
-                dynamic,
-                cfg.policy.request_size,
-                Some((
-                    GpuEngines::new(cfg.gpu.clone()),
-                    AdaptiveStreams::new(
-                        cfg.gpu.max_concurrent_events(
-                            workload.cost.tile(workload.high_side).footprint(),
-                        ),
-                    ),
-                )),
-            ));
+            );
+            let ctl = AdaptiveStreams::new(
+                cfg.gpu
+                    .max_concurrent_events(workload.high_shape().footprint()),
+            );
+            engine.set_batch_reserve(node, wi, ctl.concurrent_events());
+            slots.push(WorkerExec {
+                gpu: Some((GpuEngines::new(cfg.gpu.clone()), ctl)),
+            });
         }
-        nodes.push(NodeState {
-            reader: SharedQueue::new(),
-            ready: SharedQueue::new(),
-            threads,
-        });
+        exec.push(slots);
     }
-    assert!(
-        nodes.iter().any(|n| !n.threads.is_empty()),
-        "no worker devices configured"
-    );
+    assert!(engine.worker_count() > 0, "no worker devices configured");
 
+    // Decluster the tiles round-robin over the readers. Initial tiles sit
+    // in the low-priority FIFO band; recirculated buffers preempt them.
+    for tile in 0..workload.tiles {
+        let owner = (tile % n_nodes as u64) as usize;
+        engine.seed_reader(owner, workload.low_buffer(tile));
+    }
+
+    let workers = engine.worker_refs();
     let cpu_inv_speed: Vec<f64> = cfg
         .cpu_speed
         .iter()
         .map(|&f| if f > 0.0 { 1.0 / f } else { 1.0 })
         .collect();
-    let mut world = NbiaWorld {
-        policy: cfg.policy,
-        async_transfers: cfg.async_transfers,
-        max_window: cfg.max_request_window,
-        cpu_inv_speed,
+    let world = NbiaWorld {
+        engine,
+        clock,
+        drv: DriverState {
+            async_transfers: cfg.async_transfers,
+            cpu_inv_speed,
+            net: Network::new(n_nodes, cfg.net.clone()),
+            exec,
+            rec: cfg.recorder.clone(),
+        },
         workload: workload.clone(),
-        weights,
-        net: Network::new(n_nodes, cfg.net.clone()),
-        nodes,
-        next_req_id: 0,
         finals_done: 0,
         finish: SimTime::ZERO,
-        tasks_by: HashMap::new(),
-        total_done: 0,
-        rec: cfg.recorder.clone(),
     };
 
-    // Decluster the tiles round-robin over the readers. Initial tiles sit
-    // in the low-priority FIFO band; recirculated buffers preempt them.
-    for tile in 0..workload.tiles {
-        let buf = workload.low_buffer(tile);
-        let w = world.weights_for(&buf);
-        let owner = (tile % n_nodes as u64) as usize;
-        world.nodes[owner].reader.insert_banded(buf, w, None, 1);
+    let mut des = anthill_simkit::Engine::new(world);
+    // Kick every worker thread's requester at t = 0 via empty data events
+    // with an unknown request id (the engine treats them as pure kicks).
+    for w in &workers {
+        des.schedule(
+            SimTime::ZERO,
+            Ev::Data {
+                wnode: w.node,
+                thread: w.worker,
+                req_id: u64::MAX,
+                buffer: None,
+            },
+        );
     }
-
-    let mut engine = Engine::new(world);
-    // Kick every worker thread's requester at t = 0 via empty data events.
-    {
-        // Pump directly before running: schedule a zero-time kick per thread.
-        let n_threads: Vec<(usize, usize)> = engine
-            .world()
-            .nodes
-            .iter()
-            .enumerate()
-            .flat_map(|(n, ns)| (0..ns.threads.len()).map(move |t| (n, t)))
-            .collect();
-        for (n, t) in n_threads {
-            engine.schedule(
-                SimTime::ZERO,
-                Ev::Data {
-                    wnode: n,
-                    thread: t,
-                    req_id: u64::MAX, // unknown id: pure kick
-                    buffer: None,
-                },
-            );
-        }
-    }
-    let outcome = engine.run_bounded(SimTime::MAX, 2_000_000_000);
+    let outcome = des.run_bounded(SimTime::MAX, 2_000_000_000);
     assert_eq!(
         outcome,
         anthill_simkit::RunOutcome::Drained,
         "simulation exceeded the event budget"
     );
 
-    let world = engine.into_world();
+    let world = des.into_world();
     assert_eq!(
         world.finals_done, workload.tiles,
         "every tile must be finally classified"
     );
-    assert_eq!(world.total_done, workload.total_buffers());
+    assert_eq!(world.engine.total_done(), workload.total_buffers());
 
     let makespan = world.finish.since(SimTime::ZERO);
     cfg.recorder
@@ -917,28 +584,28 @@ pub fn run_nbia(cfg: &SimConfig, workload: &WorkloadSpec) -> SimReport {
     let mut stream_traces = Vec::new();
     let mut latency_hists = Vec::new();
     let mut service_hists = Vec::new();
-    for ns in &world.nodes {
-        for t in &ns.threads {
-            utilization.push((t.device, t.util.utilization(horizon)));
-            request_traces.push((t.device, t.req_trace.clone()));
-            latency_hists.push((t.device, t.latency_hist.clone()));
-            service_hists.push((t.device, t.service_hist.clone()));
-            if cfg.trace_buckets > 0 && horizon > SimTime::ZERO {
-                let bucket =
-                    SimDuration::from_nanos((horizon.as_nanos() / cfg.trace_buckets as u64).max(1));
-                util_traces.push((t.device, t.util.trace(horizon, bucket)));
-            }
-            if let Some((_, ctl)) = &t.gpu {
-                stream_traces.push((t.device, ctl.history().to_vec()));
-            }
+    let exec_slots = world.drv.exec.iter().flat_map(|n| n.iter());
+    for (stats, slot) in world.engine.worker_stats().zip(exec_slots) {
+        utilization.push((stats.device, stats.util.utilization(horizon)));
+        request_traces.push((stats.device, stats.req_trace.to_vec()));
+        latency_hists.push((stats.device, stats.latency_hist.clone()));
+        service_hists.push((stats.device, stats.service_hist.clone()));
+        if cfg.trace_buckets > 0 && horizon > SimTime::ZERO {
+            let bucket =
+                SimDuration::from_nanos((horizon.as_nanos() / cfg.trace_buckets as u64).max(1));
+            util_traces.push((stats.device, stats.util.trace(horizon, bucket)));
+        }
+        if let Some((_, ctl)) = &slot.gpu {
+            stream_traces.push((stats.device, ctl.history().to_vec()));
         }
     }
+    let tasks_by: HashMap<(DeviceKind, u8), u64> = world.engine.tasks_by().clone();
 
     SimReport {
         makespan,
         cpu_baseline: workload.cpu_baseline(),
-        tasks_by: world.tasks_by,
-        total_tasks: world.total_done,
+        tasks_by,
+        total_tasks: world.engine.total_done(),
         request_traces,
         util_traces,
         utilization,

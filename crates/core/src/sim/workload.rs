@@ -4,7 +4,7 @@
 //! at the high resolution (paper Sections 2 and 6).
 
 use anthill_estimator::TaskParams;
-use anthill_hetsim::NbiaCostModel;
+use anthill_hetsim::{NbiaCostModel, TaskShape};
 use anthill_simkit::SimDuration;
 
 use crate::buffer::{BufferId, DataBuffer};
@@ -22,6 +22,11 @@ pub struct WorkloadSpec {
     pub recalc_rate: f64,
     /// The calibrated cost model.
     pub cost: NbiaCostModel,
+    /// Explicit `(low, high)` task shapes overriding the cost model —
+    /// `None` (the default) derives shapes from `cost` and the tile sides.
+    /// Lets tests construct synthetic workloads (e.g. device-neutral
+    /// shapes for cross-backend parity checks).
+    pub shapes: Option<(TaskShape, TaskShape)>,
 }
 
 impl WorkloadSpec {
@@ -34,7 +39,22 @@ impl WorkloadSpec {
             high_side: 512,
             recalc_rate,
             cost: NbiaCostModel::paper_calibrated(),
+            shapes: None,
         }
+    }
+
+    /// The shape of a low-resolution tile (override or cost model).
+    pub fn low_shape(&self) -> TaskShape {
+        self.shapes
+            .map(|(low, _)| low)
+            .unwrap_or_else(|| self.cost.tile(self.low_side))
+    }
+
+    /// The shape of a high-resolution tile (override or cost model).
+    pub fn high_shape(&self) -> TaskShape {
+        self.shapes
+            .map(|(_, high)| high)
+            .unwrap_or_else(|| self.cost.tile(self.high_side))
     }
 
     /// The paper's scaling workload: 267,420 tiles (Section 6.4.3).
@@ -64,7 +84,7 @@ impl WorkloadSpec {
         DataBuffer {
             id: BufferId(tile),
             params: TaskParams::nums(&[f64::from(self.low_side)]),
-            shape: self.cost.tile(self.low_side),
+            shape: self.low_shape(),
             level: 0,
             task: tile,
         }
@@ -75,7 +95,7 @@ impl WorkloadSpec {
         DataBuffer {
             id: BufferId(self.tiles + tile),
             params: TaskParams::nums(&[f64::from(self.high_side)]),
-            shape: self.cost.tile(self.high_side),
+            shape: self.high_shape(),
             level: 1,
             task: tile,
         }
@@ -84,8 +104,7 @@ impl WorkloadSpec {
     /// Total single-CPU-core execution time of the whole workload (the
     /// speedup baseline; reproduces Table 3 analytically).
     pub fn cpu_baseline(&self) -> SimDuration {
-        self.cost.tile(self.low_side).cpu * self.tiles
-            + self.cost.tile(self.high_side).cpu * self.recalc_count()
+        self.low_shape().cpu * self.tiles + self.high_shape().cpu * self.recalc_count()
     }
 
     /// Total number of processed buffers (low + recalculated).

@@ -10,6 +10,12 @@
 //!   exactly like Algorithm 1's loop: dispatch all H2D copies of a batch,
 //!   run all kernels, collect all D2H copies, send, repeat. It reproduces
 //!   Figures 6 and 7 and Table 2.
+//!
+//! These are *cost*-side components: drivers of the scheduling engine
+//! ([`crate::engine`]) use them inside their `Executor` implementations
+//! (batch sizing comes from the controller via the engine's batch
+//! reserve), while the engine itself stays transport- and
+//! hardware-agnostic.
 
 use anthill_hetsim::{CopyDir, GpuEngines, GpuParams, TaskShape};
 use anthill_simkit::{SimDuration, SimTime};

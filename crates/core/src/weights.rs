@@ -35,6 +35,26 @@ pub trait WeightProvider {
     }
 }
 
+impl<W: WeightProvider + ?Sized> WeightProvider for &W {
+    fn predict_time(&self, buf: &DataBuffer, kind: DeviceKind) -> f64 {
+        (**self).predict_time(buf, kind)
+    }
+
+    fn weight(&self, buf: &DataBuffer, kind: DeviceKind) -> f64 {
+        (**self).weight(buf, kind)
+    }
+}
+
+impl<W: WeightProvider + ?Sized> WeightProvider for Box<W> {
+    fn predict_time(&self, buf: &DataBuffer, kind: DeviceKind) -> f64 {
+        (**self).predict_time(buf, kind)
+    }
+
+    fn weight(&self, buf: &DataBuffer, kind: DeviceKind) -> f64 {
+        (**self).weight(buf, kind)
+    }
+}
+
 /// Oracle weights computed directly from the buffer's cost shape and the
 /// GPU timing parameters — the upper bound a perfect estimator would reach.
 #[derive(Debug, Clone)]
@@ -87,19 +107,24 @@ impl WeightProvider for OracleWeights {
 }
 
 /// Estimator-backed weights: a fitted kNN model per the paper's Section 4,
-/// queried on the buffer's input parameters, with a small memo cache since
-/// replicated dataflows see many tasks with identical parameters.
+/// queried on the buffer's input parameters, with a bounded O(1) memo
+/// cache since replicated dataflows see many tasks with identical
+/// parameters.
 pub struct EstimatorWeights {
     est: KnnEstimator,
-    cache: parking_lot::Mutex<Vec<(Vec<u8>, [f64; 2])>>,
+    cache: parking_lot::Mutex<std::collections::HashMap<Vec<u8>, [f64; 2]>>,
 }
+
+/// Cap on memoized parameter keys (a replicated dataflow reuses a handful
+/// of distinct shapes; the cap only guards pathological workloads).
+const CACHE_CAP: usize = 4096;
 
 impl EstimatorWeights {
     /// Wrap a fitted estimator.
     pub fn new(est: KnnEstimator) -> EstimatorWeights {
         EstimatorWeights {
             est,
-            cache: parking_lot::Mutex::new(Vec::new()),
+            cache: parking_lot::Mutex::new(std::collections::HashMap::new()),
         }
     }
 
@@ -125,7 +150,7 @@ impl WeightProvider for EstimatorWeights {
         };
         {
             let cache = self.cache.lock();
-            if let Some((_, times)) = cache.iter().find(|(k, _)| *k == key) {
+            if let Some(times) = cache.get(&key) {
                 return times[slot];
             }
         }
@@ -139,8 +164,8 @@ impl WeightProvider for EstimatorWeights {
             .unwrap_or(f64::INFINITY);
         let times = [cpu, gpu];
         let mut cache = self.cache.lock();
-        if cache.len() < 4096 {
-            cache.push((key, times));
+        if cache.len() < CACHE_CAP {
+            cache.insert(key, times);
         }
         times[slot]
     }

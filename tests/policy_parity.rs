@@ -1,0 +1,147 @@
+//! Cross-backend policy parity: the scheduling engine is the single owner
+//! of every policy decision, so pushing the *same* deterministic workload
+//! through two different drivers — the virtual-time DES and the native
+//! runtime's deterministic executor — must yield *identical* per-device
+//! assignment counts for every policy.
+//!
+//! Construction: a device-neutral workload (every task costs exactly the
+//! same on a CPU as on a sync GPU, zero bytes on the wire) removes all
+//! cost asymmetry, so the counts are purely the engine's doing; any
+//! divergence means a backend grew its own scheduling logic.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use anthill_repro::core::local::{Emitter, ExecMode, LocalFilter, LocalTask, Pipeline, WorkerSpec};
+use anthill_repro::core::policy::Policy;
+use anthill_repro::core::sim::{run_nbia, SimConfig, WorkloadSpec};
+use anthill_repro::core::weights::OracleWeights;
+use anthill_repro::hetsim::{ClusterSpec, DeviceKind, GpuParams, NodeSpec, TaskShape};
+use anthill_repro::simkit::SimDuration;
+
+const TILES: u64 = 120;
+
+/// A shape costing exactly the same on both device classes, with nothing
+/// on the wire.
+fn neutral_shape() -> TaskShape {
+    TaskShape {
+        cpu: SimDuration::from_micros(400),
+        gpu_kernel: SimDuration::from_micros(400),
+        bytes_in: 0,
+        bytes_out: 0,
+    }
+}
+
+/// GPU parameters with all fixed per-task overheads zeroed, so a sync GPU
+/// task takes exactly `gpu_kernel`.
+fn neutral_gpu() -> GpuParams {
+    GpuParams {
+        kernel_launch: SimDuration::ZERO,
+        sync_copy_call: SimDuration::ZERO,
+        ..GpuParams::geforce_8800gt()
+    }
+}
+
+fn neutral_workload() -> WorkloadSpec {
+    WorkloadSpec {
+        tiles: TILES,
+        recalc_rate: 0.0,
+        shapes: Some((neutral_shape(), neutral_shape())),
+        ..WorkloadSpec::paper_base(0.0)
+    }
+}
+
+/// Per-device assignment counts from the DES backend.
+fn des_counts(policy: Policy) -> HashMap<DeviceKind, u64> {
+    let w = neutral_workload();
+    let mut cfg = SimConfig::new(
+        ClusterSpec::new(vec![NodeSpec {
+            cpu_cores: 1,
+            gpus: 1,
+        }]),
+        policy,
+    );
+    cfg.gpu = neutral_gpu();
+    cfg.async_transfers = false;
+    cfg.use_estimator = false;
+    let report = run_nbia(&cfg, &w);
+    assert_eq!(report.total_tasks, TILES);
+    let mut counts = HashMap::new();
+    for (&(kind, _level), &n) in &report.tasks_by {
+        *counts.entry(kind).or_insert(0) += n;
+    }
+    counts
+}
+
+/// Forwards tasks unchanged.
+struct Identity;
+impl LocalFilter for Identity {
+    fn handle(&self, _d: DeviceKind, task: LocalTask, out: &mut Emitter<'_>) {
+        out.forward(task);
+    }
+}
+
+/// Per-device assignment counts from the native runtime's deterministic
+/// executor, fed the same buffers the DES seeds its readers with.
+fn native_counts(policy: Policy) -> HashMap<DeviceKind, u64> {
+    let w = neutral_workload();
+    let sources: Vec<LocalTask> = (0..TILES)
+        .map(|t| LocalTask::new(w.low_buffer(t), ()))
+        .collect();
+    let mut p = Pipeline::new(policy.kind).with_request_window(policy.request_size);
+    p.add_stage(
+        Arc::new(Identity),
+        vec![
+            WorkerSpec {
+                kind: DeviceKind::Cpu,
+                mode: ExecMode::Native,
+            },
+            WorkerSpec {
+                kind: DeviceKind::Gpu,
+                mode: ExecMode::Native,
+            },
+        ],
+    );
+    let weights = OracleWeights::new(neutral_gpu(), false);
+    let (out, report) = p.run_deterministic(sources, &weights);
+    assert_eq!(out.len() as u64, TILES);
+    let mut counts = HashMap::new();
+    for (&(_stage, kind, _level), &n) in &report.handled {
+        *counts.entry(kind).or_insert(0) += n;
+    }
+    counts
+}
+
+fn assert_parity(policy: Policy, name: &str) {
+    let des = des_counts(policy);
+    let native = native_counts(policy);
+    assert_eq!(
+        des, native,
+        "{name}: DES and native drivers assigned devices differently"
+    );
+    let total: u64 = des.values().sum();
+    assert_eq!(total, TILES, "{name}: tasks lost or duplicated");
+}
+
+#[test]
+fn ddfcfs_assignments_match_across_backends() {
+    assert_parity(Policy::ddfcfs(4), "DDFCFS");
+}
+
+#[test]
+fn ddwrr_assignments_match_across_backends() {
+    assert_parity(Policy::ddwrr(4), "DDWRR");
+}
+
+#[test]
+fn odds_assignments_match_across_backends() {
+    assert_parity(Policy::odds(), "ODDS");
+}
+
+#[test]
+fn parity_counts_are_reproducible() {
+    for policy in [Policy::ddfcfs(4), Policy::ddwrr(4), Policy::odds()] {
+        assert_eq!(des_counts(policy), des_counts(policy));
+        assert_eq!(native_counts(policy), native_counts(policy));
+    }
+}
