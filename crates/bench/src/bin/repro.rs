@@ -24,13 +24,24 @@
 //! does not round-trip through the JSONL schema or loses task events, and
 //! writing a `BENCH_engine.json` timing summary to the working directory.
 //! With `--trace <dir>`, per-policy traces land in `<dir>` too.
+//!
+//! `repro chaos [--faults <spec>] [--trace <dir>]` is the fault-tolerance
+//! CI gate: the same per-policy sweep but through a fault schedule —
+//! message drops plus a scheduled mid-run death of node 0's GPU worker —
+//! failing (exit 1) unless every policy still completes the whole
+//! workload, the trace round-trips, and the death shows up as a
+//! `worker_died` event. `<spec>` is a comma list of `key=value` knobs:
+//! `seed=42,drop=0.2,fail=0.0,death-ms=100` (those are the defaults;
+//! `death-ms=0` disables the death). Writes `BENCH_chaos.json`.
 
+use anthill::faults::{FaultConfig, FaultProb, RecoveryConfig, WorkerDeathSpec};
 use anthill::obs::{chrome, jsonl, EventKind, Recorder};
 use anthill::policy::Policy;
 use anthill::sim::{run_nbia, SimConfig, WorkloadSpec};
 use anthill_bench::experiments::{cluster, estimator, transfer};
 use anthill_bench::viz::{render, ChartSpec, Series};
 use anthill_hetsim::ClusterSpec;
+use anthill_simkit::SimTime;
 
 struct Scale {
     base_tiles: u64,
@@ -65,6 +76,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut trace_path: Option<String> = None;
+    let mut faults_spec: Option<String> = None;
     let mut selected: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -76,6 +88,16 @@ fn main() {
                     Some(p) => trace_path = Some(p.clone()),
                     None => {
                         eprintln!("--trace requires a file path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--faults" => {
+                i += 1;
+                match args.get(i) {
+                    Some(s) => faults_spec = Some(s.clone()),
+                    None => {
+                        eprintln!("--faults requires a spec, e.g. seed=42,drop=0.2");
                         std::process::exit(2);
                     }
                 }
@@ -121,6 +143,7 @@ fn main() {
         "fusion",
         "slow-node",
         "smoke",
+        "chaos",
         "all",
     ];
     if !known.contains(&what) {
@@ -133,6 +156,20 @@ fn main() {
     if what == "smoke" {
         smoke(trace_path.as_deref());
         return;
+    }
+    if what == "chaos" {
+        let spec = match ChaosSpec::parse(faults_spec.as_deref()) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("bad --faults spec: {e}");
+                std::process::exit(2);
+            }
+        };
+        chaos(&spec, trace_path.as_deref());
+        return;
+    }
+    if faults_spec.is_some() {
+        eprintln!("note: --faults is honored by the chaos experiment only; ignoring it");
     }
 
     let run = |name: &str| what == "all" || what == name;
@@ -177,7 +214,9 @@ fn main() {
         fig11(&scale);
     }
     if trace_path.is_some() && !run("fig12") {
-        eprintln!("note: --trace is honored by the fig12 and smoke experiments only; ignoring it");
+        eprintln!(
+            "note: --trace is honored by the fig12, smoke, and chaos experiments only; ignoring it"
+        );
     }
     if run("fig12") {
         fig12(&scale, trace_path.as_deref());
@@ -297,6 +336,186 @@ fn smoke(trace_dir: Option<&str>) {
         Ok(()) => println!("wrote BENCH_engine.json"),
         Err(e) => {
             eprintln!("smoke: failed to write BENCH_engine.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Knobs of the chaos gate's fault schedule, parsed from `--faults`.
+struct ChaosSpec {
+    seed: u64,
+    drop: f64,
+    fail: f64,
+    death_ms: u64,
+}
+
+impl ChaosSpec {
+    /// Parse a `key=value` comma list; `None` means all defaults. Keys:
+    /// `seed` (u64), `drop` / `fail` (probabilities in `[0, 1)`), and
+    /// `death-ms` (virtual ms at which node 0's GPU worker dies; 0
+    /// disables the death).
+    fn parse(spec: Option<&str>) -> Result<ChaosSpec, String> {
+        let mut out = ChaosSpec {
+            seed: 42,
+            drop: 0.2,
+            fail: 0.0,
+            death_ms: 100,
+        };
+        let Some(spec) = spec else { return Ok(out) };
+        for pair in spec.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("'{pair}' is not key=value"))?;
+            match key {
+                "seed" => {
+                    out.seed = value.parse().map_err(|e| format!("seed: {e}"))?;
+                }
+                "drop" | "fail" => {
+                    let p: f64 = value.parse().map_err(|e| format!("{key}: {e}"))?;
+                    if !(0.0..1.0).contains(&p) {
+                        return Err(format!("{key}={p} must be in [0, 1)"));
+                    }
+                    if key == "drop" {
+                        out.drop = p;
+                    } else {
+                        out.fail = p;
+                    }
+                }
+                "death-ms" => {
+                    out.death_ms = value.parse().map_err(|e| format!("death-ms: {e}"))?;
+                }
+                other => return Err(format!("unknown key '{other}'")),
+            }
+        }
+        Ok(out)
+    }
+
+    fn faults(&self) -> FaultConfig {
+        let deaths = if self.death_ms == 0 {
+            Vec::new()
+        } else {
+            // Homogeneous nodes are (cpu, gpu): worker 1 of node 0 is a GPU.
+            vec![WorkerDeathSpec {
+                node: 0,
+                worker: 1,
+                at: SimTime(self.death_ms * 1_000_000),
+            }]
+        };
+        FaultConfig {
+            drop: FaultProb::uniform(self.drop),
+            task_fail: FaultProb::uniform(self.fail),
+            deaths,
+            recovery: RecoveryConfig::standard(),
+            seed: self.seed,
+            ..FaultConfig::none()
+        }
+    }
+}
+
+/// Fault-tolerance CI gate: each policy runs the same 400-tile workload
+/// through an identical fault schedule (message drops + one scheduled GPU
+/// worker death). Fails unless every run completes the whole workload
+/// with a schema-valid trace that records the death. Writes a
+/// `BENCH_chaos.json` summary; exits nonzero on any failure.
+fn chaos(spec: &ChaosSpec, trace_dir: Option<&str>) {
+    header(
+        "Chaos: per-policy recovery run under an identical fault schedule",
+        "CI gate — drops + worker death must not lose tasks (Section 5 runtime, fault extension)",
+    );
+    println!(
+        "   schedule: seed={} drop={} fail={} death-ms={}",
+        spec.seed, spec.drop, spec.fail, spec.death_ms
+    );
+    let policies = [
+        ("ddfcfs", Policy::ddfcfs(8)),
+        ("ddwrr", Policy::ddwrr(30)),
+        ("odds", Policy::odds()),
+    ];
+    let workload = WorkloadSpec {
+        tiles: 400,
+        ..WorkloadSpec::paper_base(0.2)
+    };
+    let mut rows = Vec::new();
+    println!(
+        "{:<10} {:>8} {:>12} {:>8} {:>8} {:>8} {:>10}",
+        "policy", "tasks", "makespan(s)", "retries", "died", "reassign", "events"
+    );
+    for (name, policy) in policies {
+        let recorder = Recorder::enabled();
+        let mut cfg = SimConfig::new(ClusterSpec::homogeneous(2), policy);
+        cfg.recorder = recorder.clone();
+        cfg.faults = spec.faults();
+        let report = run_nbia(&cfg, &workload);
+
+        let events = recorder.events();
+        let text = jsonl::to_jsonl(&events);
+        match jsonl::parse_jsonl(&text) {
+            Ok(parsed) if parsed == events => {}
+            Ok(_) => {
+                eprintln!("chaos {name}: trace round-trip mismatch");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("chaos {name}: trace failed JSONL schema validation: {e}");
+                std::process::exit(1);
+            }
+        }
+        if report.total_tasks != workload.total_buffers() {
+            eprintln!(
+                "chaos {name}: lost tasks ({} completed, {} expected)",
+                report.total_tasks,
+                workload.total_buffers()
+            );
+            std::process::exit(1);
+        }
+        let count = |pred: fn(&EventKind) -> bool| events.iter().filter(|e| pred(&e.kind)).count();
+        let retries = count(|k| matches!(k, EventKind::TaskRetried { .. }));
+        let died = count(|k| matches!(k, EventKind::WorkerDied { .. }));
+        let reassigned = count(|k| matches!(k, EventKind::TaskReassigned { .. }));
+        let expect_deaths = cfg.faults.deaths.len();
+        if died != expect_deaths {
+            eprintln!(
+                "chaos {name}: {expect_deaths} deaths scheduled but {died} worker_died events"
+            );
+            std::process::exit(1);
+        }
+        if let Some(dir) = trace_dir {
+            let path = format!("{}/chaos-{name}.trace.jsonl", dir.trim_end_matches('/'));
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("chaos {name}: failed to write trace to {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("  wrote {} events to {path}", events.len());
+        }
+        println!(
+            "{:<10} {:>8} {:>12.3} {:>8} {:>8} {:>8} {:>10}",
+            name,
+            report.total_tasks,
+            report.makespan.as_secs_f64(),
+            retries,
+            died,
+            reassigned,
+            events.len()
+        );
+        rows.push(format!(
+            concat!(
+                "  {{\"policy\": \"{}\", \"tasks\": {}, \"makespan_s\": {:.6}, ",
+                "\"retries\": {}, \"worker_deaths\": {}, \"reassigned\": {}, \"trace_events\": {}}}"
+            ),
+            name,
+            report.total_tasks,
+            report.makespan.as_secs_f64(),
+            retries,
+            died,
+            reassigned,
+            events.len()
+        ));
+    }
+    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    match std::fs::write("BENCH_chaos.json", &json) {
+        Ok(()) => println!("wrote BENCH_chaos.json"),
+        Err(e) => {
+            eprintln!("chaos: failed to write BENCH_chaos.json: {e}");
             std::process::exit(1);
         }
     }

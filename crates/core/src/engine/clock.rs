@@ -95,4 +95,25 @@ mod tests {
         let t2 = c.now();
         assert!(t2 >= t1);
     }
+
+    #[test]
+    fn timeout_deadlines_saturate_at_extreme_virtual_times() {
+        // The engine computes timeout fire times as `clock.now() + span`.
+        // Near the end of representable virtual time the deadline must pin
+        // to SimTime::MAX ("never") rather than wrap into the past, which
+        // would fire a timeout retroactively and retry a healthy request.
+        use anthill_simkit::SimDuration;
+        let clock = VirtualClock::new();
+        clock.set(SimTime(u64::MAX - 10));
+        let deadline = clock.now() + SimDuration::from_millis(500);
+        assert_eq!(deadline, SimTime::MAX);
+        assert!(deadline >= clock.now(), "deadline never precedes now");
+        clock.set(SimTime::MAX);
+        assert_eq!(clock.now() + SimDuration(u64::MAX), SimTime::MAX);
+        assert_eq!(
+            clock.now().since(SimTime::MAX),
+            SimDuration::ZERO,
+            "elapsed time saturates at zero, never underflows"
+        );
+    }
 }

@@ -24,6 +24,7 @@ use anthill_hetsim::{DeviceId, DeviceKind};
 use anthill_simkit::{DurationHistogram, SimDuration, SimTime, UtilizationTracker};
 
 use crate::buffer::DataBuffer;
+use crate::faults::RecoveryConfig;
 use crate::obs::{DeviceRef, EventKind, Recorder};
 use crate::policy::Policy;
 use crate::queue::SharedQueue;
@@ -31,7 +32,7 @@ use crate::weights::WeightProvider;
 
 use super::clock::Clock;
 use super::select;
-use super::window::RequestWindow;
+use super::window::{backoff_timeout, RequestWindow};
 
 /// Identity of one worker slot in the engine's topology, echoed through
 /// the driver traits so replies and completions find their way back.
@@ -56,6 +57,16 @@ pub trait Transport {
     /// Deliver a data request from worker `from` to node `reader`'s reader
     /// instance. The requesting processor type is `from.device.kind`.
     fn send_request(&mut self, from: WorkerRef, reader: usize, req_id: u64);
+
+    /// Arm a timer that calls [`Engine::request_timed_out`] for `worker`
+    /// and `req_id` at `fire_at`, unless the request settles first (the
+    /// engine treats a late timeout for a settled request as a no-op, so
+    /// drivers need not cancel timers). The default is a no-op: drivers
+    /// without a timer simply never time out, which is the pre-recovery
+    /// behaviour. Only called when recovery is enabled.
+    fn schedule_timeout(&mut self, worker: WorkerRef, req_id: u64, fire_at: SimTime) {
+        let _ = (worker, req_id, fire_at);
+    }
 }
 
 /// The driver side of task execution.
@@ -82,6 +93,10 @@ pub struct EngineConfig {
     pub policy: Policy,
     /// Upper bound on any worker's request window.
     pub max_window: usize,
+    /// Fault-recovery knobs (timeouts, retry, health-scaled demand). With
+    /// [`RecoveryConfig::disabled`] the engine behaves exactly as before
+    /// the fault layer existed — no timers, no weight decay.
+    pub recovery: RecoveryConfig,
 }
 
 struct WorkerState {
@@ -90,11 +105,34 @@ struct WorkerState {
     busy: bool,
     /// Round-robin cursor over readers (starts at the hosting node).
     rr_cursor: usize,
+    /// Cleared by [`Engine::worker_died`]; a dead slot never pumps,
+    /// dispatches, or wakes again.
+    alive: bool,
+    /// Degradation estimate in `(0, 1]`: decayed multiplicatively per
+    /// transient failure, recovered additively per success. Scales the
+    /// slot's effective demand and its kind's ready-queue weights.
+    health: f64,
     util: UtilizationTracker,
     /// Target-window trace `(time, target)` per idle transition.
     req_trace: Vec<(SimTime, usize)>,
     latency_hist: DurationHistogram,
     service_hist: DurationHistogram,
+}
+
+impl WorkerState {
+    /// The health-throttled request-window target: a degraded worker asks
+    /// for proportionally less work, shifting demand toward healthy
+    /// devices (the honest DDWRR lever — with per-kind uniform weights,
+    /// scaling sorted-queue keys alone cannot reorder one device's view,
+    /// but shrinking a sick worker's demand reroutes buffers at the
+    /// source).
+    fn effective_target(&self, recovery: &RecoveryConfig) -> usize {
+        let target = self.window.target();
+        if !recovery.enabled || self.health >= 1.0 {
+            return target;
+        }
+        ((target as f64 * self.health).ceil() as usize).max(1)
+    }
 }
 
 struct NodeState {
@@ -143,6 +181,9 @@ pub struct Engine<C: Clock, W: WeightProvider> {
     next_req_id: u64,
     tasks_by: HashMap<(DeviceKind, u8), u64>,
     total_done: u64,
+    /// Transient-failure count per buffer id (the `attempt` of the next
+    /// `TaskRetried` event).
+    task_retries: HashMap<u64, u32>,
 }
 
 impl<C: Clock, W: WeightProvider> Engine<C, W> {
@@ -157,6 +198,7 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
             next_req_id: 0,
             tasks_by: HashMap::new(),
             total_done: 0,
+            task_retries: HashMap::new(),
         }
     }
 
@@ -178,6 +220,8 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
             window: RequestWindow::new(&self.cfg.policy, self.cfg.max_window),
             busy: false,
             rr_cursor: node,
+            alive: true,
+            health: 1.0,
             util: UtilizationTracker::new(),
             req_trace: Vec::new(),
             latency_hist: DurationHistogram::new(),
@@ -335,6 +379,14 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
         }
         match buffer {
             Some(buffer) => {
+                if !self.nodes[node].workers.iter().any(|w| w.alive) {
+                    // The reply outlived every worker on the node: no slot
+                    // will ever consume the ready queue, so hand the buffer
+                    // back to the node's reader where surviving nodes'
+                    // demand can reach it.
+                    self.reassign_to_reader(node, buffer, d);
+                    return;
+                }
                 self.rec.record(
                     now.as_nanos(),
                     DeviceRef::node_scope(node),
@@ -343,7 +395,7 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
                         level: buffer.level,
                     },
                 );
-                let w = select::weights_for(&self.weights, &buffer);
+                let w = self.effective_weights(node, &buffer);
                 self.nodes[node]
                     .ready
                     .insert(buffer, w, Some(worker as u64));
@@ -356,6 +408,50 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
                 self.pump_requests(node, worker, d);
             }
         }
+    }
+
+    /// Ready-queue weights for `buffer` on `node`: the provider's relative
+    /// performance scaled per device kind by the best health among the
+    /// node's workers of that kind. Kinds with no worker on the node keep
+    /// the raw weight; healthy workers multiply by exactly 1.0, so with
+    /// recovery off or no degradation the weights are bit-identical to the
+    /// unscaled ones (the chaos parity tests rely on this).
+    fn effective_weights(&self, node: usize, buffer: &DataBuffer) -> [f64; 2] {
+        let mut w = select::weights_for(&self.weights, buffer);
+        if !self.cfg.recovery.enabled {
+            return w;
+        }
+        for (slot, kind) in [(0usize, DeviceKind::Cpu), (1, DeviceKind::Gpu)] {
+            let mut best: Option<f64> = None;
+            for ws in &self.nodes[node].workers {
+                if ws.device.kind == kind {
+                    let h = if ws.alive { ws.health } else { 0.0 };
+                    best = Some(best.map_or(h, |b: f64| b.max(h)));
+                }
+            }
+            if let Some(h) = best {
+                w[slot] *= h;
+            }
+        }
+        w
+    }
+
+    /// Re-home a buffer whose owning slot (or whole node) died: back into
+    /// `node`'s reader at recirculation priority, where any surviving
+    /// worker's demand can fetch it.
+    fn reassign_to_reader<D: Transport>(&mut self, node: usize, buffer: DataBuffer, d: &mut D) {
+        self.rec.record(
+            self.clock.now().as_nanos(),
+            DeviceRef::node_scope(node),
+            EventKind::TaskReassigned {
+                buffer: buffer.id.0,
+                level: buffer.level,
+            },
+        );
+        self.rec.counter_add("tasks_reassigned", &[], 1);
+        let w = select::weights_for(&self.weights, &buffer);
+        self.nodes[node].reader.insert_banded(buffer, w, None, 0);
+        self.wake_starved(d);
     }
 
     /// A buffer completed on `worker` after `proc_time` of device
@@ -385,6 +481,186 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
             .counter_add("tasks_finished", &[("device", kind_label(kind))], 1);
         *self.tasks_by.entry((kind, buffer.level)).or_insert(0) += 1;
         self.total_done += 1;
+        if self.cfg.recovery.enabled {
+            let w = &mut self.nodes[node].workers[worker];
+            if w.alive && w.health < 1.0 {
+                w.health = (w.health + self.cfg.recovery.health_recovery).min(1.0);
+            }
+        }
+    }
+
+    /// A transient execution failure on `worker`: the device time was
+    /// spent but the result is unusable. Decays the worker's health and
+    /// re-enqueues the buffer on the node's ready queue — a task is never
+    /// abandoned, so completion accounting stays exactly-once. The driver
+    /// still frees the slot via [`Engine::worker_idle`] as usual.
+    pub fn task_failed<D: Transport + Executor>(
+        &mut self,
+        node: usize,
+        worker: usize,
+        buffer: DataBuffer,
+        d: &mut D,
+    ) {
+        let attempt = {
+            let a = self.task_retries.entry(buffer.id.0).or_insert(0);
+            *a += 1;
+            *a
+        };
+        let kind = self.nodes[node].workers[worker].device.kind;
+        self.rec.record(
+            self.clock.now().as_nanos(),
+            DeviceRef::device(self.nodes[node].workers[worker].device),
+            EventKind::TaskRetried {
+                buffer: buffer.id.0,
+                level: buffer.level,
+                attempt,
+            },
+        );
+        self.rec
+            .counter_add("task_retries", &[("device", kind_label(kind))], 1);
+        {
+            let w = &mut self.nodes[node].workers[worker];
+            w.health = (w.health * self.cfg.recovery.health_decay).max(f64::MIN_POSITIVE);
+        }
+        if self.nodes[node].workers.iter().any(|w| w.alive) {
+            let w = self.effective_weights(node, &buffer);
+            self.nodes[node].ready.insert(buffer, w, None);
+            self.dispatch(node, d);
+        } else {
+            self.reassign_to_reader(node, buffer, d);
+        }
+    }
+
+    /// Permanent death of `worker`. Marks the slot dead (it never pumps or
+    /// dispatches again) and re-homes `inflight` — the buffers the driver
+    /// had in execution on the slot — plus, when the node has no surviving
+    /// worker, everything stranded on the node's ready queue, back to
+    /// where live demand can reach them.
+    pub fn worker_died<D: Transport + Executor>(
+        &mut self,
+        node: usize,
+        worker: usize,
+        inflight: Vec<DataBuffer>,
+        d: &mut D,
+    ) {
+        let now = self.clock.now();
+        let dev = {
+            let w = &mut self.nodes[node].workers[worker];
+            if !w.alive {
+                return;
+            }
+            w.alive = false;
+            w.health = 0.0;
+            w.busy = true; // never dispatchable again
+            w.util.set_idle(now);
+            w.device
+        };
+        self.rec.record(
+            now.as_nanos(),
+            DeviceRef::device(dev),
+            EventKind::WorkerDied {
+                inflight: inflight.len() as u32,
+            },
+        );
+        self.rec
+            .counter_add("workers_died", &[("device", kind_label(dev.kind))], 1);
+        let node_alive = self.nodes[node].workers.iter().any(|w| w.alive);
+        let mut stranded = inflight;
+        if !node_alive {
+            // No survivor on the node: its ready queue is unreachable too.
+            while let Some((b, _)) = self.nodes[node].ready.pop_fifo() {
+                stranded.push(b);
+            }
+        }
+        for buffer in stranded {
+            if node_alive {
+                self.rec.record(
+                    now.as_nanos(),
+                    DeviceRef::node_scope(node),
+                    EventKind::TaskReassigned {
+                        buffer: buffer.id.0,
+                        level: buffer.level,
+                    },
+                );
+                self.rec.counter_add("tasks_reassigned", &[], 1);
+                let w = self.effective_weights(node, &buffer);
+                self.nodes[node].ready.insert(buffer, w, None);
+            } else {
+                self.reassign_to_reader(node, buffer, d);
+            }
+        }
+        if node_alive {
+            self.dispatch(node, d);
+        }
+    }
+
+    /// Is the worker slot still alive?
+    pub fn worker_alive(&self, node: usize, worker: usize) -> bool {
+        self.nodes[node].workers[worker].alive
+    }
+
+    /// The worker slot's current health estimate (1.0 = pristine, 0.0 =
+    /// dead).
+    pub fn worker_health(&self, node: usize, worker: usize) -> f64 {
+        self.nodes[node].workers[worker].health
+    }
+
+    /// The driver's timer fired for `req_id` on `worker`. If the reply
+    /// already settled this is a no-op (drivers never cancel timers). An
+    /// unsettled request is retried under a fresh id with exponential
+    /// backoff, up to the configured retry cap; past the cap the window
+    /// slot is released so the worker pumps fresh demand instead — the
+    /// requested *data* is never lost, because a reader hands a buffer out
+    /// only when the reply is actually delivered or conserved by the
+    /// driver's drop path.
+    pub fn request_timed_out<D: Transport>(
+        &mut self,
+        node: usize,
+        worker: usize,
+        req_id: u64,
+        d: &mut D,
+    ) {
+        if !self.cfg.recovery.enabled || !self.nodes[node].workers[worker].alive {
+            return;
+        }
+        let Some(sent) = self.nodes[node].workers[worker].window.take_sent(req_id) else {
+            return; // reply won the race
+        };
+        let kind = self.nodes[node].workers[worker].device.kind;
+        self.rec
+            .counter_add("request_timeouts", &[("device", kind_label(kind))], 1);
+        let recovery = self.cfg.recovery;
+        if sent.attempt >= recovery.max_retries {
+            // Retry chain exhausted: give the slot back and re-pump fresh
+            // demand (possibly toward a different reader).
+            self.rec.counter_add("request_retries_exhausted", &[], 1);
+            self.nodes[node].workers[worker].window.release_slot();
+            self.pump_requests(node, worker, d);
+            return;
+        }
+        let attempt = sent.attempt + 1;
+        let Some(reader) = self.choose_reader(node, worker) else {
+            // Nothing readable anywhere right now: stop retrying, release
+            // the slot and wait starved for a recirculation to wake us.
+            self.nodes[node].workers[worker].window.release_slot();
+            self.nodes[node].workers[worker].window.set_starved();
+            return;
+        };
+        let new_id = self.next_req_id;
+        self.next_req_id += 1;
+        let now = self.clock.now();
+        let wref = self.worker_ref(node, worker);
+        {
+            let n_nodes = self.nodes.len();
+            let w = &mut self.nodes[node].workers[worker];
+            w.rr_cursor = (reader + 1) % n_nodes;
+            w.window.note_resent(new_id, now, attempt);
+        }
+        self.rec
+            .counter_add("request_retries", &[("device", kind_label(kind))], 1);
+        let span = backoff_timeout(recovery.request_timeout, attempt, recovery.backoff_cap);
+        d.schedule_timeout(wref, new_id, now + span);
+        d.send_request(wref, reader, new_id);
     }
 
     /// `worker` became free after processing the given per-buffer
@@ -396,6 +672,9 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
         processed: &[SimDuration],
         d: &mut D,
     ) {
+        if !self.nodes[node].workers[worker].alive {
+            return; // a completion racing a death: the slot stays retired
+        }
         let now = self.clock.now();
         let (dev, target) = {
             let w = &mut self.nodes[node].workers[worker];
@@ -503,26 +782,31 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
         Some(buffer)
     }
 
+    /// The first reader with data, round-robin from `worker`'s cursor.
+    fn choose_reader(&self, node: usize, worker: usize) -> Option<usize> {
+        let n_nodes = self.nodes.len();
+        let start = self.nodes[node].workers[worker].rr_cursor;
+        (0..n_nodes)
+            .map(|off| (start + off) % n_nodes)
+            .find(|&r| !self.nodes[r].reader.is_empty())
+    }
+
     /// ThreadRequester: keep `worker`'s outstanding requests at its target
     /// window by sending requests to readers that currently have data,
-    /// round-robin from the worker's cursor.
+    /// round-robin from the worker's cursor. Dead slots never pump; a
+    /// degraded slot pumps toward its health-throttled target.
     fn pump_requests<D: Transport>(&mut self, node: usize, worker: usize, d: &mut D) {
         let n_nodes = self.nodes.len();
+        let recovery = self.cfg.recovery;
         loop {
             let w = &self.nodes[node].workers[worker];
-            if w.window.outstanding() >= w.window.target().min(self.cfg.max_window) {
+            if !w.alive {
                 return;
             }
-            let start = w.rr_cursor;
-            let mut chosen = None;
-            for off in 0..n_nodes {
-                let r = (start + off) % n_nodes;
-                if !self.nodes[r].reader.is_empty() {
-                    chosen = Some(r);
-                    break;
-                }
+            if w.window.outstanding() >= w.effective_target(&recovery).min(self.cfg.max_window) {
+                return;
             }
-            let Some(reader) = chosen else {
+            let Some(reader) = self.choose_reader(node, worker) else {
                 // Nothing anywhere: wait for a recirculation to materialize.
                 self.nodes[node].workers[worker].window.set_starved();
                 return;
@@ -536,11 +820,14 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
                 w.rr_cursor = (reader + 1) % n_nodes;
                 w.window.note_sent(req_id, now);
             }
+            if recovery.enabled {
+                d.schedule_timeout(wref, req_id, now + recovery.request_timeout);
+            }
             d.send_request(wref, reader, req_id);
         }
     }
 
-    /// Re-pump every starved worker (a reader just became non-empty).
+    /// Re-pump every starved live worker (a reader just became non-empty).
     fn wake_starved<D: Transport>(&mut self, d: &mut D) {
         let idx: Vec<(usize, usize)> = self
             .nodes
@@ -550,7 +837,7 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
                 ns.workers
                     .iter()
                     .enumerate()
-                    .filter(|(_, w)| w.window.is_starved())
+                    .filter(|(_, w)| w.window.is_starved() && w.alive)
                     .map(move |(i, _)| (n, i))
             })
             .collect();

@@ -17,6 +17,7 @@ use anthill_hetsim::{DeviceId, DeviceKind};
 use anthill_simkit::SimTime;
 
 use crate::buffer::DataBuffer;
+use crate::faults::RecoveryConfig;
 use crate::obs::Recorder;
 use crate::policy::Policy;
 use crate::weights::WeightProvider;
@@ -127,6 +128,7 @@ where
         EngineConfig {
             policy: cfg.policy,
             max_window: cfg.max_window,
+            recovery: RecoveryConfig::disabled(),
         },
         clock.clone(),
         weights,

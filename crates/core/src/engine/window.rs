@@ -24,8 +24,31 @@ pub struct RequestWindow {
     batch_reserve: usize,
     outstanding: usize,
     starved: bool,
-    /// In-flight request send times, keyed by request id.
-    sent: HashMap<u64, SimTime>,
+    /// In-flight requests keyed by request id.
+    sent: HashMap<u64, SentRequest>,
+}
+
+/// Book-keeping for one in-flight request.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SentRequest {
+    /// Send time (feeds DQAA's latency estimate on settle).
+    pub at: SimTime,
+    /// Retry attempt: 0 for the first send, incremented per timeout resend.
+    pub attempt: u32,
+}
+
+/// The exponential-backoff timeout for retry `attempt`: `base << attempt`,
+/// saturating, capped at `cap`. Saturating shift/multiply keeps the
+/// schedule well-defined at any attempt count and any virtual time — a
+/// deadline computed from it can at worst pin to `SimTime::MAX` ("never"),
+/// it can never wrap to the past.
+pub fn backoff_timeout(base: SimDuration, attempt: u32, cap: SimDuration) -> SimDuration {
+    let scaled = if attempt >= 64 {
+        SimDuration(u64::MAX)
+    } else {
+        SimDuration(base.as_nanos().saturating_mul(1u64 << attempt))
+    };
+    scaled.min(cap)
 }
 
 impl RequestWindow {
@@ -77,13 +100,34 @@ impl RequestWindow {
     pub(crate) fn note_sent(&mut self, req_id: u64, now: SimTime) {
         self.outstanding += 1;
         self.starved = false;
-        self.sent.insert(req_id, now);
+        self.sent.insert(
+            req_id,
+            SentRequest {
+                at: now,
+                attempt: 0,
+            },
+        );
+    }
+
+    /// Account a retry of a timed-out request under a fresh id. The window
+    /// slot is still held by the original send, so `outstanding` does not
+    /// move; the attempt count carries over the retry chain.
+    pub(crate) fn note_resent(&mut self, req_id: u64, now: SimTime, attempt: u32) {
+        self.sent.insert(req_id, SentRequest { at: now, attempt });
+    }
+
+    /// Remove and return an in-flight request without settling it (the
+    /// timeout path: its round trip is *not* fed to DQAA, which must learn
+    /// healthy latencies, not timeout spans). `None` when the reply won
+    /// the race and already settled.
+    pub(crate) fn take_sent(&mut self, req_id: u64) -> Option<SentRequest> {
+        self.sent.remove(&req_id)
     }
 
     /// Settle the round-trip of `req_id` at `now`, feeding DQAA's latency
     /// estimate. `None` for unknown ids (e.g. the drivers' kick events).
     pub(crate) fn settle_latency(&mut self, req_id: u64, now: SimTime) -> Option<SimDuration> {
-        let lat = now.since(self.sent.remove(&req_id)?);
+        let lat = now.since(self.sent.remove(&req_id)?.at);
         self.dqaa.observe_latency(lat);
         Some(lat)
     }
@@ -153,6 +197,58 @@ mod tests {
         assert_eq!(w.outstanding(), 0);
         w.release_slot();
         assert_eq!(w.outstanding(), 0, "release saturates at zero");
+    }
+
+    #[test]
+    fn backoff_doubles_until_the_cap() {
+        let base = ms(500);
+        let cap = SimDuration::from_secs(8);
+        assert_eq!(backoff_timeout(base, 0, cap), ms(500));
+        assert_eq!(backoff_timeout(base, 1, cap), ms(1_000));
+        assert_eq!(backoff_timeout(base, 2, cap), ms(2_000));
+        assert_eq!(backoff_timeout(base, 4, cap), ms(8_000));
+        assert_eq!(backoff_timeout(base, 5, cap), cap, "capped");
+        assert_eq!(backoff_timeout(base, 63, cap), cap, "still capped");
+    }
+
+    #[test]
+    fn backoff_saturates_at_extreme_attempts_and_times() {
+        // Shift counts past u64 width and near-MAX bases must saturate,
+        // never wrap: a deadline computed from the result can only pin to
+        // SimTime::MAX ("never"), not land in the past.
+        let huge = SimDuration(u64::MAX);
+        assert_eq!(backoff_timeout(ms(500), 64, huge), huge);
+        assert_eq!(backoff_timeout(ms(500), u32::MAX, huge), huge);
+        assert_eq!(backoff_timeout(huge, 3, huge), huge);
+        assert_eq!(backoff_timeout(SimDuration::ZERO, 70, huge), huge);
+        let deadline = SimTime::MAX + backoff_timeout(ms(500), 9, huge);
+        assert_eq!(deadline, SimTime::MAX, "deadline addition saturates");
+    }
+
+    #[test]
+    fn resend_keeps_the_slot_and_carries_the_attempt() {
+        let mut w = RequestWindow::new(&Policy::ddfcfs(4), 256);
+        w.note_sent(1, SimTime(10));
+        assert_eq!(w.outstanding(), 1);
+        let first = w.take_sent(1).expect("in flight");
+        assert_eq!(first.attempt, 0);
+        assert_eq!(w.outstanding(), 1, "timeout takeover keeps the slot");
+        w.note_resent(2, SimTime(20), first.attempt + 1);
+        assert_eq!(w.outstanding(), 1, "a resend does not grow the window");
+        assert_eq!(w.take_sent(2).expect("resent").attempt, 1);
+        assert!(w.take_sent(1).is_none(), "old id is gone");
+        assert!(w.take_sent(2).is_none(), "taking twice settles nothing");
+    }
+
+    #[test]
+    fn settled_requests_win_the_race_against_their_timeout() {
+        let mut w = RequestWindow::new(&Policy::ddfcfs(4), 256);
+        w.note_sent(5, SimTime(0));
+        assert!(w.settle_latency(5, SimTime(100)).is_some());
+        assert!(
+            w.take_sent(5).is_none(),
+            "a late timeout for a settled request must be a no-op"
+        );
     }
 
     #[test]

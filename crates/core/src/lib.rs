@@ -57,6 +57,7 @@ pub mod buffer;
 pub mod dbsa;
 pub mod dqaa;
 pub mod engine;
+pub mod faults;
 pub mod local;
 pub mod obs;
 pub mod policy;

@@ -33,6 +33,7 @@ use crate::obs::{DeviceRef, EventKind, Recorder};
 use crate::policy::{Policy, PolicyKind};
 use crate::weights::WeightProvider;
 use anthill_hetsim::{DeviceId, DeviceKind};
+use anthill_simkit::SimRng;
 
 /// A work item in the local runtime: scheduling metadata plus an opaque
 /// application payload.
@@ -104,6 +105,49 @@ pub struct WorkerSpec {
     pub mode: ExecMode,
 }
 
+/// One scheduled worker-thread death in the threaded runtime. Virtual
+/// time does not exist here, so the trigger is a task count: the worker
+/// retires after handling `after` tasks, re-enqueueing whatever it had
+/// just popped (the local analogue of [`crate::faults::WorkerDeathSpec`]).
+#[derive(Debug, Clone, Copy)]
+pub struct LocalDeathSpec {
+    /// Pipeline stage index.
+    pub stage: usize,
+    /// Device class of the targeted worker slot.
+    pub kind: DeviceKind,
+    /// Index among same-kind workers of the stage.
+    pub index: usize,
+    /// Tasks the worker handles before dying.
+    pub after: u64,
+}
+
+/// Fault schedule for the threaded runtime (see [`crate::faults`] for the
+/// DES counterpart). Thread interleaving is nondeterministic, so unlike
+/// the simulator only the *rates* are reproducible, not the exact fault
+/// placement; the chaos tests assert conservation, not timing.
+#[derive(Debug, Clone)]
+pub struct LocalFaults {
+    /// Seed of the per-worker failure RNG streams.
+    pub seed: u64,
+    /// Probability that a popped task's attempt is discarded and the task
+    /// re-enqueued. Must be `< 1.0` or the run cannot terminate.
+    pub task_fail: f64,
+    /// Scheduled worker-thread deaths. Every stage must keep at least one
+    /// surviving worker (validated at run start).
+    pub deaths: Vec<LocalDeathSpec>,
+}
+
+impl LocalFaults {
+    /// A transient-failure-only schedule.
+    pub fn task_fail(seed: u64, p: f64) -> LocalFaults {
+        LocalFaults {
+            seed,
+            task_fail: p,
+            deaths: Vec::new(),
+        }
+    }
+}
+
 struct StageQueue {
     /// Policy-ordered lane from the engine: the pop-order decision lives
     /// in [`crate::engine::select`], not here.
@@ -130,6 +174,10 @@ pub struct LocalReport {
     pub handled: HashMap<(usize, DeviceKind, u8), u64>,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
+    /// Task attempts discarded by the fault schedule (each re-enqueued).
+    pub retries: u64,
+    /// Worker threads retired by the fault schedule.
+    pub deaths: u64,
 }
 
 impl LocalReport {
@@ -159,6 +207,7 @@ pub struct Pipeline {
     policy: PolicyKind,
     capacity: Option<usize>,
     request_window: usize,
+    faults: Option<LocalFaults>,
 }
 
 impl Pipeline {
@@ -170,7 +219,20 @@ impl Pipeline {
             policy,
             capacity: None,
             request_window: 4,
+            faults: None,
         }
+    }
+
+    /// Inject faults into [`run`](Pipeline::run) /
+    /// [`run_traced`](Pipeline::run_traced): transient attempt failures
+    /// (task re-enqueued, completion counted only on success) and
+    /// count-triggered worker deaths (thread retires, its popped task is
+    /// re-enqueued for the survivors). Ignored by
+    /// [`run_deterministic`](Pipeline::run_deterministic), which models no
+    /// execution machinery to fail.
+    pub fn with_faults(mut self, faults: LocalFaults) -> Pipeline {
+        self.faults = Some(faults);
+        self
     }
 
     /// Per-worker request window (`streamRequestSize`) used by
@@ -225,6 +287,30 @@ impl Pipeline {
         recorder: &Recorder,
     ) -> (Vec<LocalTask>, LocalReport) {
         assert!(!self.stages.is_empty(), "pipeline has no stages");
+        if let Some(f) = &self.faults {
+            assert!(
+                (0.0..1.0).contains(&f.task_fail),
+                "task_fail probability must be in [0, 1) or the run cannot terminate"
+            );
+            for d in &f.deaths {
+                let stage = self.stages.get(d.stage).expect("death spec names a stage");
+                let slots = stage.workers.iter().filter(|w| w.kind == d.kind).count();
+                assert!(
+                    d.index < slots,
+                    "death spec ({}, {:?}, {}) names no worker slot",
+                    d.stage,
+                    d.kind,
+                    d.index
+                );
+            }
+            for (si, stage) in self.stages.iter().enumerate() {
+                let dying = f.deaths.iter().filter(|d| d.stage == si).count();
+                assert!(
+                    dying < stage.workers.len(),
+                    "stage {si} would lose every worker; keep an alive floor of one"
+                );
+            }
+        }
         let started = Instant::now();
         let n_stages = self.stages.len();
         let queues: Vec<Arc<StageQueue>> = (0..n_stages)
@@ -235,6 +321,10 @@ impl Pipeline {
         let (out_tx, out_rx): (Sender<LocalTask>, Receiver<LocalTask>) = unbounded();
         type Counters = HashMap<(usize, DeviceKind, u8), u64>;
         let counters: Arc<Mutex<Counters>> = Arc::new(Mutex::new(HashMap::new()));
+        let retries = Arc::new(AtomicUsize::new(0));
+        let deaths = Arc::new(AtomicUsize::new(0));
+        // Per-buffer failure counts (the `attempt` field of `TaskRetried`).
+        let attempts: Arc<Mutex<HashMap<u64, u32>>> = Arc::new(Mutex::new(HashMap::new()));
 
         // Payload storage: SharedQueue holds only metadata, so payloads are
         // parked in a side table keyed by buffer id.
@@ -276,6 +366,8 @@ impl Pipeline {
                 LocalReport {
                     handled: HashMap::new(),
                     elapsed: started.elapsed(),
+                    retries: 0,
+                    deaths: 0,
                 },
             );
         }
@@ -296,6 +388,26 @@ impl Pipeline {
                     let counters = Arc::clone(&counters);
                     let payloads = &payloads;
                     let enqueue_ref = &enqueue;
+                    let retries = Arc::clone(&retries);
+                    let deaths = Arc::clone(&deaths);
+                    let attempts = Arc::clone(&attempts);
+                    let death_after = self.faults.as_ref().and_then(|f| {
+                        f.deaths
+                            .iter()
+                            .find(|d| {
+                                d.stage == si
+                                    && d.kind == spec.kind
+                                    && d.index == origin.index as usize
+                            })
+                            .map(|d| d.after)
+                    });
+                    let fault_p = self.faults.as_ref().map_or(0.0, |f| f.task_fail);
+                    // Per-worker failure stream: reproducible draws per
+                    // slot, independent of thread interleaving.
+                    let mut frng = SimRng::new(self.faults.as_ref().map_or(0, |f| f.seed)).fork(
+                        &format!("local-faults-{si}-{:?}-{}", spec.kind, origin.index),
+                    );
+                    let mut handled_n: u64 = 0;
                     scope.spawn(move || {
                         loop {
                             // Pull the next buffer; the lane applies the
@@ -316,6 +428,66 @@ impl Pipeline {
                                     }
                                 }
                             };
+                            if death_after.is_some_and(|after| handled_n >= after) {
+                                // The slot dies holding one popped task:
+                                // hand it back to the stage queue for the
+                                // survivors and retire the thread. The
+                                // in-flight count is untouched — the task
+                                // is still owed its completion.
+                                recorder.record_now(
+                                    started,
+                                    origin,
+                                    EventKind::WorkerDied { inflight: 1 },
+                                );
+                                recorder.record_now(
+                                    started,
+                                    DeviceRef::node_scope(si),
+                                    EventKind::TaskReassigned {
+                                        buffer: popped.id.0,
+                                        level: popped.level,
+                                    },
+                                );
+                                recorder.counter_add("workers_died", &[], 1);
+                                recorder.counter_add("tasks_reassigned", &[], 1);
+                                deaths.fetch_add(1, Ordering::SeqCst);
+                                let w = select::weights_for(weights, &popped);
+                                let sq = &queues[si];
+                                let mut q = sq.queue.lock();
+                                q.push(popped, w, None);
+                                drop(q);
+                                sq.cv.notify_one();
+                                return;
+                            }
+                            if fault_p > 0.0 && frng.chance(fault_p) {
+                                // Transient failure, decided before the
+                                // handler runs: the attempt is discarded,
+                                // the payload stays parked, the buffer
+                                // re-enters the queue for another try.
+                                let attempt = {
+                                    let mut a = attempts.lock();
+                                    let e = a.entry(popped.id.0).or_insert(0);
+                                    *e += 1;
+                                    *e
+                                };
+                                recorder.record_now(
+                                    started,
+                                    origin,
+                                    EventKind::TaskRetried {
+                                        buffer: popped.id.0,
+                                        level: popped.level,
+                                        attempt,
+                                    },
+                                );
+                                recorder.counter_add("task_retries", &[], 1);
+                                retries.fetch_add(1, Ordering::SeqCst);
+                                let w = select::weights_for(weights, &popped);
+                                let sq = &queues[si];
+                                let mut q = sq.queue.lock();
+                                q.push(popped, w, None);
+                                drop(q);
+                                sq.cv.notify_one();
+                                continue;
+                            }
                             recorder.record_now(
                                 started,
                                 origin,
@@ -397,6 +569,7 @@ impl Pipeline {
                                 1,
                             );
                             *counters.lock().entry((si, spec.kind, level)).or_insert(0) += 1;
+                            handled_n += 1;
                             // Account emissions before retiring this task so
                             // the in-flight count can never dip to zero early.
                             let emitted = fwd.len() + back.len();
@@ -443,6 +616,8 @@ impl Pipeline {
             LocalReport {
                 handled,
                 elapsed: started.elapsed(),
+                retries: retries.load(Ordering::SeqCst) as u64,
+                deaths: deaths.load(Ordering::SeqCst) as u64,
             },
         )
     }
@@ -537,6 +712,8 @@ impl Pipeline {
             LocalReport {
                 handled,
                 elapsed: started.elapsed(),
+                retries: 0,
+                deaths: 0,
             },
         )
     }
@@ -846,6 +1023,88 @@ mod tests {
         let ids_a: Vec<u64> = out_a.iter().map(|t| t.buffer.id.0).collect();
         let ids_b: Vec<u64> = out_b.iter().map(|t| t.buffer.id.0).collect();
         assert_eq!(ids_a, ids_b, "output order is reproducible");
+    }
+
+    #[test]
+    fn transient_failures_retry_until_every_task_completes() {
+        let mut p = Pipeline::new(PolicyKind::DdFcfs).with_faults(LocalFaults::task_fail(3, 0.3));
+        p.add_stage(
+            Arc::new(Doubler),
+            vec![
+                WorkerSpec {
+                    kind: DeviceKind::Cpu,
+                    mode: ExecMode::Native,
+                };
+                2
+            ],
+        );
+        let (out, report) = p.run((0..100).map(|i| task(i, i)).collect(), &oracle());
+        assert_eq!(out.len(), 100);
+        assert_eq!(report.total(), 100, "completions counted once per task");
+        assert!(report.retries > 0, "a 30% failure rate must surface");
+        let mut values: Vec<u64> = out
+            .into_iter()
+            .map(|t| *t.payload.downcast::<u64>().unwrap())
+            .collect();
+        values.sort_unstable();
+        assert_eq!(
+            values,
+            (0..100).map(|i| i * 2).collect::<Vec<_>>(),
+            "each task ran to completion exactly once"
+        );
+    }
+
+    #[test]
+    fn a_dying_worker_reassigns_its_task_and_the_survivors_finish() {
+        let faults = LocalFaults {
+            seed: 0,
+            task_fail: 0.0,
+            deaths: vec![LocalDeathSpec {
+                stage: 0,
+                kind: DeviceKind::Cpu,
+                index: 0,
+                after: 5,
+            }],
+        };
+        let mut p = Pipeline::new(PolicyKind::DdFcfs).with_faults(faults);
+        p.add_stage(
+            Arc::new(Doubler),
+            vec![
+                WorkerSpec {
+                    kind: DeviceKind::Cpu,
+                    mode: ExecMode::Native,
+                };
+                2
+            ],
+        );
+        let (out, report) = p.run((0..80).map(|i| task(i, i)).collect(), &oracle());
+        assert_eq!(out.len(), 80, "the dead slot's task was not lost");
+        assert_eq!(report.total(), 80);
+        assert_eq!(report.deaths, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "alive floor")]
+    fn killing_every_worker_of_a_stage_is_rejected() {
+        let faults = LocalFaults {
+            seed: 0,
+            task_fail: 0.0,
+            deaths: vec![LocalDeathSpec {
+                stage: 0,
+                kind: DeviceKind::Cpu,
+                index: 0,
+                after: 1,
+            }],
+        };
+        let mut p = Pipeline::new(PolicyKind::DdFcfs).with_faults(faults);
+        p.add_stage(
+            Arc::new(Doubler),
+            vec![WorkerSpec {
+                kind: DeviceKind::Cpu,
+                mode: ExecMode::Native,
+            }],
+        );
+        let _ = p.run(vec![task(0, 0u64)], &oracle());
     }
 
     #[test]

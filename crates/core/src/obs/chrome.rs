@@ -179,6 +179,38 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
                     ),
                 );
             }
+            EventKind::TaskRetried {
+                buffer, attempt, ..
+            } => {
+                push_event(
+                    &mut out,
+                    "retry",
+                    'i',
+                    ev.ts_ns,
+                    &ev.origin,
+                    &format!(",\"s\":\"t\",\"args\":{{\"buffer\":{buffer},\"attempt\":{attempt}}}"),
+                );
+            }
+            EventKind::WorkerDied { inflight } => {
+                push_event(
+                    &mut out,
+                    "worker died",
+                    'i',
+                    ev.ts_ns,
+                    &ev.origin,
+                    &format!(",\"s\":\"p\",\"args\":{{\"inflight\":{inflight}}}"),
+                );
+            }
+            EventKind::TaskReassigned { buffer, .. } => {
+                push_event(
+                    &mut out,
+                    "reassign",
+                    'i',
+                    ev.ts_ns,
+                    &ev.origin,
+                    &format!(",\"s\":\"t\",\"args\":{{\"buffer\":{buffer}}}"),
+                );
+            }
         }
     }
 

@@ -133,6 +133,30 @@ pub enum EventKind {
         /// Processor type that triggered the request.
         proctype: DeviceKind,
     },
+    /// A buffer's execution transiently failed on the originating device
+    /// and the buffer was re-enqueued for another run.
+    TaskRetried {
+        /// Buffer id.
+        buffer: u64,
+        /// Resolution level.
+        level: u8,
+        /// Failure count for this buffer so far (1 on the first retry).
+        attempt: u32,
+    },
+    /// The originating worker slot died permanently.
+    WorkerDied {
+        /// Buffers that were in execution on the slot at death time.
+        inflight: u32,
+    },
+    /// A buffer owned by a dead worker (in execution, in flight, or
+    /// stranded on an unreachable queue) was re-homed where live demand
+    /// can reach it.
+    TaskReassigned {
+        /// Buffer id.
+        buffer: u64,
+        /// Resolution level.
+        level: u8,
+    },
 }
 
 impl EventKind {
@@ -147,6 +171,9 @@ impl EventKind {
             EventKind::Streams { .. } => "streams",
             EventKind::DqaaWindow { .. } => "dqaa_window",
             EventKind::DbsaSelect { .. } => "dbsa_select",
+            EventKind::TaskRetried { .. } => "task_retried",
+            EventKind::WorkerDied { .. } => "worker_died",
+            EventKind::TaskReassigned { .. } => "task_reassigned",
         }
     }
 }
@@ -221,6 +248,18 @@ mod tests {
                 proctype: DeviceKind::Gpu,
             }
             .name(),
+            EventKind::TaskRetried {
+                buffer: 1,
+                level: 0,
+                attempt: 2,
+            }
+            .name(),
+            EventKind::WorkerDied { inflight: 3 }.name(),
+            EventKind::TaskReassigned {
+                buffer: 1,
+                level: 0,
+            }
+            .name(),
         ];
         assert_eq!(
             names,
@@ -232,7 +271,10 @@ mod tests {
                 "transfer",
                 "streams",
                 "dqaa_window",
-                "dbsa_select"
+                "dbsa_select",
+                "task_retried",
+                "worker_died",
+                "task_reassigned"
             ]
         );
     }

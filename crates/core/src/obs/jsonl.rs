@@ -70,6 +70,21 @@ fn write_event(out: &mut String, ev: &TraceEvent) {
                 kind_token(proctype)
             ));
         }
+        EventKind::TaskRetried {
+            buffer,
+            level,
+            attempt,
+        } => {
+            out.push_str(&format!(
+                ",\"buffer\":{buffer},\"level\":{level},\"attempt\":{attempt}"
+            ));
+        }
+        EventKind::WorkerDied { inflight } => {
+            out.push_str(&format!(",\"inflight\":{inflight}"));
+        }
+        EventKind::TaskReassigned { buffer, level } => {
+            out.push_str(&format!(",\"buffer\":{buffer},\"level\":{level}"));
+        }
     }
     out.push('}');
 }
@@ -174,6 +189,18 @@ fn parse_event(v: &Value) -> Result<TraceEvent, String> {
             buffer: field_u64(v, "buffer")?,
             proctype: parse_kind_token(field_str(v, "proctype")?)?,
         },
+        "task_retried" => EventKind::TaskRetried {
+            buffer: field_u64(v, "buffer")?,
+            level: field_u64(v, "level")? as u8,
+            attempt: field_u64(v, "attempt")? as u32,
+        },
+        "worker_died" => EventKind::WorkerDied {
+            inflight: field_u64(v, "inflight")? as u32,
+        },
+        "task_reassigned" => EventKind::TaskReassigned {
+            buffer: field_u64(v, "buffer")?,
+            level: field_u64(v, "level")? as u8,
+        },
         other => return Err(format!("unknown event kind '{other}'")),
     };
     Ok(TraceEvent {
@@ -252,6 +279,28 @@ mod tests {
                     proctype: DeviceKind::Gpu,
                 },
             },
+            TraceEvent {
+                ts_ns: 80,
+                origin: gpu,
+                kind: EventKind::TaskRetried {
+                    buffer: 7,
+                    level: 0,
+                    attempt: 1,
+                },
+            },
+            TraceEvent {
+                ts_ns: 90,
+                origin: gpu,
+                kind: EventKind::WorkerDied { inflight: 2 },
+            },
+            TraceEvent {
+                ts_ns: 95,
+                origin: node,
+                kind: EventKind::TaskReassigned {
+                    buffer: 7,
+                    level: 0,
+                },
+            },
         ]
     }
 
@@ -266,7 +315,7 @@ mod tests {
     #[test]
     fn every_line_is_valid_json_with_required_fields() {
         let text = to_jsonl(&sample_events());
-        assert_eq!(text.lines().count(), 8);
+        assert_eq!(text.lines().count(), 11);
         for line in text.lines() {
             let v = json::parse(line).expect("valid JSON line");
             assert!(v.get("ts").and_then(Value::as_u64).is_some(), "{line}");
@@ -303,6 +352,6 @@ mod tests {
     #[test]
     fn blank_lines_are_skipped() {
         let text = format!("\n{}\n", to_jsonl(&sample_events()));
-        assert_eq!(parse_jsonl(&text).unwrap().len(), 8);
+        assert_eq!(parse_jsonl(&text).unwrap().len(), 11);
     }
 }

@@ -28,6 +28,7 @@ use anthill_simkit::{Scheduler, SimDuration, SimRng, SimTime, World};
 use crate::buffer::DataBuffer;
 use crate::engine::core::{Executor, Transport, WorkerRef};
 use crate::engine::{Engine as SchedEngine, EngineConfig, VirtualClock};
+use crate::faults::{FaultConfig, FaultInjector, MessageFate};
 use crate::obs::{DeviceRef, EventKind, Recorder};
 use crate::policy::Policy;
 use crate::sim::report::SimReport;
@@ -71,6 +72,11 @@ pub struct SimConfig {
     /// never affects scheduling, so traces are a pure function of the
     /// configuration and seed.
     pub recorder: Recorder,
+    /// Fault schedule + recovery knobs ([`crate::faults`]); none by
+    /// default. An active message-drop or death schedule needs
+    /// [`crate::faults::RecoveryConfig::enabled`], or lost demand is never
+    /// re-pumped and the run cannot drain.
+    pub faults: FaultConfig,
 }
 
 impl SimConfig {
@@ -89,6 +95,7 @@ impl SimConfig {
             trace_buckets: 0,
             cpu_speed: Vec::new(),
             recorder: Recorder::disabled(),
+            faults: FaultConfig::none(),
         }
     }
 }
@@ -127,6 +134,15 @@ enum Ev {
         started: SimTime,
         k: usize,
     },
+    /// A per-request retry timer fired (no-op if the reply already
+    /// settled; timers are never cancelled).
+    Timeout {
+        node: usize,
+        thread: usize,
+        req_id: u64,
+    },
+    /// A scheduled permanent worker death ([`FaultConfig::deaths`]).
+    WorkerDeath { node: usize, thread: usize },
 }
 
 /// Per-worker execution state owned by the driver: the engine schedules,
@@ -134,6 +150,22 @@ enum Ev {
 struct WorkerExec {
     /// GPU engines + Algorithm 1 stream controller for GPU slots.
     gpu: Option<(GpuEngines, AdaptiveStreams)>,
+    /// Slot killed by a [`FaultConfig::deaths`] entry: completion events
+    /// still in the DES queue are dropped on arrival.
+    dead: bool,
+    /// Buffers currently executing on the slot — the in-flight set handed
+    /// to [`SchedEngine::worker_died`] for reassignment at death time.
+    running: Vec<DataBuffer>,
+}
+
+impl WorkerExec {
+    fn new(gpu: Option<(GpuEngines, AdaptiveStreams)>) -> WorkerExec {
+        WorkerExec {
+            gpu,
+            dead: false,
+            running: Vec::new(),
+        }
+    }
 }
 
 /// The cost side of the simulation: everything the engine's decisions are
@@ -146,6 +178,9 @@ struct DriverState {
     /// `[node][worker]` execution state, parallel to the engine topology.
     exec: Vec<Vec<WorkerExec>>,
     rec: Recorder,
+    /// Deterministic fault decisions, consulted at every message hop and
+    /// task completion.
+    injector: FaultInjector,
 }
 
 /// One-event adapter binding the driver state and the DES scheduler into
@@ -158,10 +193,21 @@ struct SimDriver<'a> {
 
 impl Transport for SimDriver<'_> {
     fn send_request(&mut self, from: WorkerRef, reader: usize, req_id: u64) {
+        let extra = match self.drv.injector.message_fate(from.node, from.worker) {
+            MessageFate::Drop => {
+                // Lost on the wire before reaching the network model. The
+                // request's retry timer recovers the demand slot.
+                self.drv.rec.counter_add("messages_dropped", &[], 1);
+                return;
+            }
+            MessageFate::Delay(dly) => dly,
+            MessageFate::Deliver => SimDuration::ZERO,
+        };
         let arrival = self
             .drv
             .net
-            .send(self.now, from.node, reader, REQUEST_BYTES);
+            .send(self.now, from.node, reader, REQUEST_BYTES)
+            + extra;
         self.sched.at(
             arrival,
             Ev::Request {
@@ -169,6 +215,17 @@ impl Transport for SimDriver<'_> {
                 wnode: from.node,
                 thread: from.worker,
                 proctype: from.device.kind,
+                req_id,
+            },
+        );
+    }
+
+    fn schedule_timeout(&mut self, worker: WorkerRef, req_id: u64, fire_at: SimTime) {
+        self.sched.at(
+            fire_at,
+            Ev::Timeout {
+                node: worker.node,
+                thread: worker.worker,
                 req_id,
             },
         );
@@ -195,6 +252,11 @@ impl Executor for SimDriver<'_> {
 
     fn launch(&mut self, worker: WorkerRef, batch: Vec<DataBuffer>) {
         let now = self.now;
+        // Remember what is executing: a death mid-run hands these copies
+        // back to the engine for reassignment.
+        self.drv.exec[worker.node][worker.worker]
+            .running
+            .extend(batch.iter().cloned());
         match worker.device.kind {
             DeviceKind::Cpu => {
                 let inv = self
@@ -301,11 +363,31 @@ impl World for NbiaWorld {
                 req_id,
             } => {
                 let buffer = self.engine.answer_request(reader, proctype);
+                let extra = match self.drv.injector.message_fate(wnode, thread) {
+                    MessageFate::Drop => {
+                        // A lost reply must not lose its payload: the
+                        // popped buffer re-enters the reader's queue (at
+                        // recirculation precedence — it was in flight).
+                        // The requester's slot is recovered by its timer.
+                        self.drv.rec.counter_add("messages_dropped", &[], 1);
+                        if let Some(buffer) = buffer {
+                            let mut d = SimDriver {
+                                now,
+                                drv: &mut self.drv,
+                                sched,
+                            };
+                            self.engine.recirculate(reader, buffer, &mut d);
+                        }
+                        return;
+                    }
+                    MessageFate::Delay(dly) => dly,
+                    MessageFate::Deliver => SimDuration::ZERO,
+                };
                 let bytes = buffer
                     .as_ref()
                     .map(DataBuffer::wire_bytes)
                     .unwrap_or(REQUEST_BYTES);
-                let arrival = self.drv.net.send(now, reader, wnode, bytes);
+                let arrival = self.drv.net.send(now, reader, wnode, bytes) + extra;
                 sched.at(
                     arrival,
                     Ev::Data {
@@ -345,6 +427,27 @@ impl World for NbiaWorld {
                 proc_time,
                 idle_after,
             } => {
+                let slot = &mut self.drv.exec[node][thread];
+                if slot.dead {
+                    // The slot died while this ran; `worker_died` already
+                    // reclaimed the buffer from the in-flight set.
+                    return;
+                }
+                slot.running.retain(|b| b.id != buffer.id);
+                if self.drv.injector.task_fails(node, thread) {
+                    // The device time was spent but the result is garbage:
+                    // re-enqueue the buffer, decay the slot's health.
+                    let mut d = SimDriver {
+                        now,
+                        drv: &mut self.drv,
+                        sched,
+                    };
+                    self.engine.task_failed(node, thread, buffer, &mut d);
+                    if idle_after {
+                        self.engine.worker_idle(node, thread, &[proc_time], &mut d);
+                    }
+                    return;
+                }
                 self.engine.task_finished(node, thread, &buffer, proc_time);
                 if buffer.level == 0 && self.workload.is_recalc(buffer.task) {
                     // Classifier rejected the low-resolution result: loop
@@ -381,6 +484,9 @@ impl World for NbiaWorld {
                 started,
                 k,
             } => {
+                if self.drv.exec[node][thread].dead {
+                    return;
+                }
                 let round = now.since(started);
                 let streams = {
                     let (_, ctl) = self.drv.exec[node][thread]
@@ -409,6 +515,32 @@ impl World for NbiaWorld {
                     sched,
                 };
                 self.engine.worker_idle(node, thread, &processed, &mut d);
+            }
+            Ev::Timeout {
+                node,
+                thread,
+                req_id,
+            } => {
+                let mut d = SimDriver {
+                    now,
+                    drv: &mut self.drv,
+                    sched,
+                };
+                self.engine.request_timed_out(node, thread, req_id, &mut d);
+            }
+            Ev::WorkerDeath { node, thread } => {
+                let slot = &mut self.drv.exec[node][thread];
+                if slot.dead {
+                    return;
+                }
+                slot.dead = true;
+                let inflight = std::mem::take(&mut slot.running);
+                let mut d = SimDriver {
+                    now,
+                    drv: &mut self.drv,
+                    sched,
+                };
+                self.engine.worker_died(node, thread, inflight, &mut d);
             }
         }
     }
@@ -469,6 +601,7 @@ pub fn run_nbia(cfg: &SimConfig, workload: &WorkloadSpec) -> SimReport {
         EngineConfig {
             policy: cfg.policy,
             max_window: cfg.max_request_window,
+            recovery: cfg.faults.recovery,
         },
         clock.clone(),
         weights,
@@ -491,7 +624,7 @@ pub fn run_nbia(cfg: &SimConfig, workload: &WorkloadSpec) -> SimReport {
                         index: c,
                     },
                 );
-                slots.push(WorkerExec { gpu: None });
+                slots.push(WorkerExec::new(None));
             }
         }
         for g in 0..spec.gpus {
@@ -508,9 +641,10 @@ pub fn run_nbia(cfg: &SimConfig, workload: &WorkloadSpec) -> SimReport {
                     .max_concurrent_events(workload.high_shape().footprint()),
             );
             engine.set_batch_reserve(node, wi, ctl.concurrent_events());
-            slots.push(WorkerExec {
-                gpu: Some((GpuEngines::new(cfg.gpu.clone()), ctl)),
-            });
+            slots.push(WorkerExec::new(Some((
+                GpuEngines::new(cfg.gpu.clone()),
+                ctl,
+            ))));
         }
         exec.push(slots);
     }
@@ -524,6 +658,7 @@ pub fn run_nbia(cfg: &SimConfig, workload: &WorkloadSpec) -> SimReport {
     }
 
     let workers = engine.worker_refs();
+    let slot_counts: Vec<usize> = exec.iter().map(Vec::len).collect();
     let cpu_inv_speed: Vec<f64> = cfg
         .cpu_speed
         .iter()
@@ -538,6 +673,7 @@ pub fn run_nbia(cfg: &SimConfig, workload: &WorkloadSpec) -> SimReport {
             net: Network::new(n_nodes, cfg.net.clone()),
             exec,
             rec: cfg.recorder.clone(),
+            injector: FaultInjector::new(&cfg.faults),
         },
         workload: workload.clone(),
         finals_done: 0,
@@ -555,6 +691,21 @@ pub fn run_nbia(cfg: &SimConfig, workload: &WorkloadSpec) -> SimReport {
                 thread: w.worker,
                 req_id: u64::MAX,
                 buffer: None,
+            },
+        );
+    }
+    for death in &cfg.faults.deaths {
+        assert!(
+            death.node < n_nodes && death.worker < slot_counts[death.node],
+            "death spec ({}, {}) outside the cluster topology",
+            death.node,
+            death.worker
+        );
+        des.schedule(
+            death.at,
+            Ev::WorkerDeath {
+                node: death.node,
+                thread: death.worker,
             },
         );
     }

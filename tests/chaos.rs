@@ -1,0 +1,292 @@
+//! Chaos suite: the fault-injection layer ([`anthill::faults`]) exercised
+//! end-to-end against the engine's recovery machinery (DESIGN.md §9).
+//!
+//! Three families of checks:
+//!
+//! 1. **Conservation** — under arbitrary drop / transient-failure / death
+//!    schedules, every task still finishes exactly once, on both the
+//!    virtual-time simulator and the threaded native runtime, for all
+//!    three scheduling policies. (`run_nbia` additionally self-checks its
+//!    completion accounting with internal assertions.)
+//! 2. **Parity** — a fault layer that is *configured but inert* (recovery
+//!    armed, all probabilities zero, no deaths) must leave the trace
+//!    byte-identical to a run with no fault layer at all.
+//! 3. **Recovery pays off** — the headline scenario from the issue: 20%
+//!    message drop plus a mid-run GPU worker death completes the whole
+//!    workload, emits `WorkerDied`/`TaskReassigned`, and DDWRR's
+//!    health-aware weighting beats DDFCFS on the identical fault schedule.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use anthill_repro::core::buffer::{BufferId, DataBuffer};
+use anthill_repro::core::faults::{FaultConfig, FaultProb, RecoveryConfig, WorkerDeathSpec};
+use anthill_repro::core::local::{
+    Emitter, ExecMode, LocalDeathSpec, LocalFaults, LocalFilter, LocalTask, Pipeline, WorkerSpec,
+};
+use anthill_repro::core::obs::{jsonl, EventKind, Recorder};
+use anthill_repro::core::policy::Policy;
+use anthill_repro::core::sim::{run_nbia, SimConfig, SimReport, WorkloadSpec};
+use anthill_repro::core::weights::OracleWeights;
+use anthill_repro::estimator::TaskParams;
+use anthill_repro::hetsim::{ClusterSpec, DeviceKind, GpuParams, TaskShape};
+use anthill_repro::simkit::{SimDuration, SimTime};
+
+/// The three policies at the repo's conventional window sizes
+/// (`crates/bench/src/experiments/cluster.rs`).
+fn policies() -> [Policy; 3] {
+    [Policy::ddfcfs(8), Policy::ddwrr(30), Policy::odds()]
+}
+
+fn pick_policy(i: usize) -> Policy {
+    policies()[i % 3]
+}
+
+/// A small DES workload; `tiles` stays low because every proptest case is
+/// a full simulation run.
+fn workload(tiles: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        tiles,
+        ..WorkloadSpec::paper_base(0.2)
+    }
+}
+
+fn faulty_sim(policy: Policy, faults: FaultConfig) -> SimConfig {
+    let mut cfg = SimConfig::new(ClusterSpec::homogeneous(2), policy);
+    cfg.faults = faults;
+    cfg
+}
+
+proptest! {
+    /// Random message-layer chaos (drops, delays) plus transient task
+    /// failures: the run drains, and completion accounting matches the
+    /// workload exactly — at-least-once dispatch, exactly-once completion.
+    #[test]
+    fn des_conserves_tasks_under_random_message_faults(
+        seed in 0u64..1 << 48,
+        drop in 0.0f64..0.30,
+        fail in 0.0f64..0.20,
+        delay in 0.0f64..0.30,
+        policy_i in 0usize..3,
+        tiles in 24u64..64,
+    ) {
+        let faults = FaultConfig {
+            drop: FaultProb::uniform(drop),
+            delay: FaultProb::uniform(delay),
+            task_fail: FaultProb::uniform(fail),
+            recovery: RecoveryConfig::standard(),
+            seed,
+            ..FaultConfig::none()
+        };
+        let wl = workload(tiles);
+        let report = run_nbia(&faulty_sim(pick_policy(policy_i), faults), &wl);
+        prop_assert_eq!(report.total_tasks, wl.total_buffers());
+    }
+
+    /// Random worker deaths (any single worker, any time in the first
+    /// simulated second) on top of a lossy network: the survivors absorb
+    /// the dead worker's in-flight tasks and the run still completes.
+    #[test]
+    fn des_survives_random_worker_deaths(
+        seed in 0u64..1 << 48,
+        drop in 0.0f64..0.25,
+        dead_node in 0usize..2,
+        dead_worker in 0usize..2,
+        at_us in 1u64..1_000_000,
+        policy_i in 0usize..3,
+        tiles in 24u64..64,
+    ) {
+        let faults = FaultConfig {
+            drop: FaultProb::uniform(drop),
+            deaths: vec![WorkerDeathSpec {
+                node: dead_node,
+                worker: dead_worker,
+                at: SimTime(at_us * 1_000),
+            }],
+            recovery: RecoveryConfig::standard(),
+            seed,
+            ..FaultConfig::none()
+        };
+        let wl = workload(tiles);
+        let report = run_nbia(&faulty_sim(pick_policy(policy_i), faults), &wl);
+        prop_assert_eq!(report.total_tasks, wl.total_buffers());
+    }
+
+    /// The threaded native backend under random transient failures and a
+    /// scheduled worker death: every payload comes out exactly once.
+    #[test]
+    fn native_conserves_tasks_under_random_faults(
+        seed in 0u64..1 << 48,
+        fail in 0.0f64..0.40,
+        kill in prop::bool::ANY,
+        after in 0u64..20,
+        policy_i in 0usize..3,
+        tasks in 40u64..120,
+    ) {
+        let deaths = if kill {
+            vec![LocalDeathSpec {
+                stage: 0,
+                kind: DeviceKind::Cpu,
+                index: 0,
+                after,
+            }]
+        } else {
+            Vec::new()
+        };
+        let faults = LocalFaults {
+            seed,
+            task_fail: fail,
+            deaths,
+        };
+        let kind = pick_policy(policy_i).kind;
+        let mut p = Pipeline::new(kind).with_faults(faults);
+        p.add_stage(
+            Arc::new(Tag),
+            vec![
+                WorkerSpec {
+                    kind: DeviceKind::Cpu,
+                    mode: ExecMode::Native,
+                },
+                WorkerSpec {
+                    kind: DeviceKind::Cpu,
+                    mode: ExecMode::Native,
+                },
+                WorkerSpec {
+                    kind: DeviceKind::Gpu,
+                    mode: ExecMode::Emulated { scale: 1e-5 },
+                },
+            ],
+        );
+        let sources = (0..tasks).map(task).collect();
+        let (out, report) = p.run(sources, &oracle());
+        prop_assert_eq!(out.len(), tasks as usize);
+        prop_assert_eq!(report.total(), tasks);
+        let mut values: Vec<u64> = out
+            .into_iter()
+            .map(|t| *t.payload.downcast::<u64>().unwrap())
+            .collect();
+        values.sort_unstable();
+        prop_assert_eq!(
+            values,
+            (0..tasks).map(|i| i + 1_000).collect::<Vec<_>>(),
+            "each task ran to completion exactly once"
+        );
+    }
+}
+
+/// Adds 1000 to the payload and forwards it — enough to prove the filter
+/// body ran exactly once per task.
+struct Tag;
+impl LocalFilter for Tag {
+    fn handle(&self, _d: DeviceKind, task: LocalTask, out: &mut Emitter<'_>) {
+        let v = *task.payload.downcast::<u64>().expect("u64 payload");
+        out.forward(LocalTask::new(task.buffer, v + 1_000));
+    }
+}
+
+fn task(id: u64) -> LocalTask {
+    let buffer = DataBuffer {
+        id: BufferId(id),
+        params: TaskParams::nums(&[id as f64]),
+        shape: TaskShape {
+            cpu: SimDuration::from_micros(5),
+            gpu_kernel: SimDuration::from_micros(5),
+            bytes_in: 64,
+            bytes_out: 8,
+        },
+        level: 0,
+        task: id,
+    };
+    LocalTask::new(buffer, id)
+}
+
+fn oracle() -> OracleWeights {
+    OracleWeights::new(GpuParams::geforce_8800gt(), false)
+}
+
+/// An armed-but-inert fault layer is invisible: recovery enabled with
+/// all-zero probabilities and no deaths produces a byte-identical JSONL
+/// trace to a run with no fault layer at all, for every policy.
+#[test]
+fn inert_fault_layer_leaves_traces_byte_identical() {
+    for policy in policies() {
+        let wl = workload(48);
+        let trace = |faults: FaultConfig| {
+            let recorder = Recorder::enabled();
+            let mut cfg = faulty_sim(policy, faults);
+            cfg.recorder = recorder.clone();
+            let report = run_nbia(&cfg, &wl);
+            (jsonl::to_jsonl(&recorder.events()), report.makespan)
+        };
+        let (plain, plain_makespan) = trace(FaultConfig::none());
+        let armed = FaultConfig {
+            recovery: RecoveryConfig::standard(),
+            ..FaultConfig::none()
+        };
+        let (inert, inert_makespan) = trace(armed);
+        assert_eq!(plain_makespan, inert_makespan, "{policy:?}");
+        assert_eq!(plain, inert, "{policy:?}: traces must be byte-identical");
+    }
+}
+
+/// The issue's acceptance scenario, pinned: 20% uniform message drop and
+/// the GPU worker of node 0 dying 100 ms in. Both policies must complete
+/// the full workload; the DDWRR run must surface the death and the
+/// reassignments in its trace; and DDWRR's health-aware weighting must
+/// beat DDFCFS on the *identical* fault schedule.
+#[test]
+fn ddwrr_beats_ddfcfs_under_drop_plus_gpu_death() {
+    let wl = WorkloadSpec {
+        tiles: 400,
+        ..WorkloadSpec::paper_base(0.2)
+    };
+    let run = |policy: Policy| -> (SimReport, Vec<(String, u64)>) {
+        let recorder = Recorder::enabled();
+        let faults = FaultConfig {
+            drop: FaultProb::uniform(0.2),
+            deaths: vec![WorkerDeathSpec {
+                node: 0,
+                worker: 1, // homogeneous nodes are (cpu, gpu): worker 1 is the GPU
+                at: SimTime(100_000_000),
+            }],
+            recovery: RecoveryConfig::standard(),
+            seed: 42,
+            ..FaultConfig::none()
+        };
+        let mut cfg = faulty_sim(policy, faults);
+        cfg.recorder = recorder.clone();
+        let report = run_nbia(&cfg, &wl);
+        let events = recorder.events();
+        let mut counts = vec![
+            ("worker_died".to_string(), 0),
+            ("task_reassigned".to_string(), 0),
+        ];
+        for e in &events {
+            match e.kind {
+                EventKind::WorkerDied { .. } => counts[0].1 += 1,
+                EventKind::TaskReassigned { .. } => counts[1].1 += 1,
+                _ => {}
+            }
+        }
+        (report, counts)
+    };
+
+    let (ddfcfs, _) = run(Policy::ddfcfs(8));
+    let (ddwrr, counts) = run(Policy::ddwrr(30));
+
+    assert_eq!(ddfcfs.total_tasks, wl.total_buffers());
+    assert_eq!(ddwrr.total_tasks, wl.total_buffers());
+    assert_eq!(counts[0], ("worker_died".to_string(), 1));
+    assert!(
+        counts[1].1 > 0,
+        "the dead GPU's in-flight batch must be reassigned, got {counts:?}"
+    );
+    assert!(
+        ddwrr.makespan < ddfcfs.makespan,
+        "DDWRR must beat DDFCFS under the identical fault schedule \
+         (ddwrr {:?} vs ddfcfs {:?})",
+        ddwrr.makespan,
+        ddfcfs.makespan
+    );
+}

@@ -359,3 +359,103 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 }
+
+/// Regression pinned from a pre-shim proptest run of
+/// `adaptive_streams_bounded`: the lone saved case of the (now deleted)
+/// `properties.proptest-regressions` file, promoted to a named test
+/// because the deterministic proptest shim never replays regression
+/// files. A controller capped at one concurrent event, fed this
+/// mixed-magnitude throughput series, must stay clamped to exactly one.
+#[test]
+fn adaptive_streams_stays_clamped_at_one_event_regression() {
+    const FEEDBACK: [f64; 83] = [
+        907512.3460583116,
+        0.0,
+        17072.854527066116,
+        27430.489131093338,
+        210542.64878182267,
+        217615.7583953367,
+        281794.7791893057,
+        582886.6587053242,
+        0.0,
+        38476.81364175506,
+        246806.62986905623,
+        509371.4745141161,
+        518045.2698112977,
+        0.0,
+        33900.564230637676,
+        380654.22852458316,
+        787843.9884773375,
+        0.0,
+        376838.0456125827,
+        793767.9720265969,
+        0.0,
+        211991.11679705896,
+        592652.772836175,
+        0.0,
+        114636.7277485009,
+        192908.76196598023,
+        489428.50665549113,
+        0.0,
+        236630.52809769055,
+        975029.2436498895,
+        0.0,
+        849188.5491472551,
+        0.0,
+        92310.95980327492,
+        220252.59921680056,
+        319153.81989810424,
+        582466.7864797111,
+        622399.6772572882,
+        0.0,
+        13296.411339045722,
+        455307.1524676907,
+        539284.0843752112,
+        566183.9077792215,
+        0.0,
+        353512.5667571986,
+        523067.40359648253,
+        560793.8581846821,
+        0.0,
+        318547.28967836854,
+        686679.3636392159,
+        0.0,
+        153735.8739320905,
+        452035.0820178216,
+        509188.04754325096,
+        826210.3777857916,
+        0.0,
+        52221.696883190285,
+        119821.4669208114,
+        557616.858603701,
+        0.0,
+        245084.77054304938,
+        417770.75113198376,
+        0.0,
+        102305.41652601858,
+        126427.06792418615,
+        128295.3044797881,
+        169716.01762514617,
+        248552.4897488358,
+        924258.3994222303,
+        0.0,
+        296511.03612671205,
+        539580.4391470896,
+        0.0,
+        447422.1509355782,
+        490986.196758328,
+        0.0,
+        166171.87081887847,
+        236257.25673592498,
+        665312.71558602,
+        0.0,
+        465375.3943238023,
+        513261.8365782425,
+        835993.5214826562,
+    ];
+    let mut ctl = AdaptiveStreams::new(1);
+    for &t in FEEDBACK.iter() {
+        ctl.observe_throughput(t);
+        assert_eq!(ctl.concurrent_events(), 1);
+    }
+}
