@@ -123,13 +123,14 @@ impl LocalFilter for AnalysisFilter {
         let (decision, accepted) = self.classifier.accept(&features, self.threshold);
         let at_top = level + 1 >= payload.pyramid.depth();
         if accepted || at_top {
+            let buffer_level = task.buffer.level;
             out.forward(LocalTask::new(
-                task.buffer.clone(),
+                task.buffer,
                 TileResult {
                     tile: payload.tile,
                     truth: payload.truth,
                     predicted: decision.class,
-                    level: task.buffer.level,
+                    level: buffer_level,
                     confidence: decision.confidence,
                 },
             ));

@@ -33,15 +33,29 @@
 //! `worker_died` event. `<spec>` is a comma list of `key=value` knobs:
 //! `seed=42,drop=0.2,fail=0.0,death-ms=100` (those are the defaults;
 //! `death-ms=0` disables the death). Writes `BENCH_chaos.json`.
+//!
+//! `repro perf [--quick] [--min-speedup <x>]` is the native-runtime perf
+//! gate: the same fixed 8-worker workload runs once with the pre-overhaul
+//! hot path (coarse dispatch locks + serialized trace sink) and once with
+//! the optimized one (sharded dispatch + batched sink), best-of-3 each,
+//! failing (exit 1) if conservation breaks or the measured speedup falls
+//! below `--min-speedup` (default 1.0 — CI machines are noisy; the
+//! recorded acceptance target is 1.5, see `DESIGN.md` §10). Writes and
+//! schema-validates `BENCH_perf.json`.
 
+use anthill::buffer::{BufferId, DataBuffer};
 use anthill::faults::{FaultConfig, FaultProb, RecoveryConfig, WorkerDeathSpec};
-use anthill::obs::{chrome, jsonl, EventKind, Recorder};
-use anthill::policy::Policy;
+use anthill::local::{Emitter, ExecMode, HotPath, LocalFilter, LocalTask, Pipeline, WorkerSpec};
+use anthill::obs::{chrome, json, jsonl, EventKind, Recorder};
+use anthill::policy::{Policy, PolicyKind};
 use anthill::sim::{run_nbia, SimConfig, WorkloadSpec};
+use anthill::weights::OracleWeights;
 use anthill_bench::experiments::{cluster, estimator, transfer};
 use anthill_bench::viz::{render, ChartSpec, Series};
-use anthill_hetsim::ClusterSpec;
-use anthill_simkit::SimTime;
+use anthill_estimator::TaskParams;
+use anthill_hetsim::{ClusterSpec, DeviceKind, GpuParams, TaskShape};
+use anthill_simkit::{SimDuration, SimTime};
+use std::sync::Arc;
 
 struct Scale {
     base_tiles: u64,
@@ -77,6 +91,7 @@ fn main() {
     let mut quick = false;
     let mut trace_path: Option<String> = None;
     let mut faults_spec: Option<String> = None;
+    let mut min_speedup = 1.0f64;
     let mut selected: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -98,6 +113,16 @@ fn main() {
                     Some(s) => faults_spec = Some(s.clone()),
                     None => {
                         eprintln!("--faults requires a spec, e.g. seed=42,drop=0.2");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--min-speedup" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
+                    Some(x) if x > 0.0 => min_speedup = x,
+                    _ => {
+                        eprintln!("--min-speedup requires a positive number, e.g. 1.5");
                         std::process::exit(2);
                     }
                 }
@@ -144,6 +169,7 @@ fn main() {
         "slow-node",
         "smoke",
         "chaos",
+        "perf",
         "all",
     ];
     if !known.contains(&what) {
@@ -166,6 +192,10 @@ fn main() {
             }
         };
         chaos(&spec, trace_path.as_deref());
+        return;
+    }
+    if what == "perf" {
+        perf(quick, min_speedup);
         return;
     }
     if faults_spec.is_some() {
@@ -518,6 +548,216 @@ fn chaos(spec: &ChaosSpec, trace_dir: Option<&str>) {
             eprintln!("chaos: failed to write BENCH_chaos.json: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// Extra recirculation rounds per task in the perf workload: each task is
+/// handled `PERF_ROUNDS + 1` times, so the bulk of the enqueue / park /
+/// claim / trace traffic happens on the concurrent worker threads (the
+/// contended hot path) rather than in the serial source fill.
+const PERF_ROUNDS: u8 = 4;
+
+/// Recirculates each task [`PERF_ROUNDS`] times, then forwards it. The
+/// handler body does no work, so every measured nanosecond is runtime
+/// overhead: queue ops, dispatch-state locks, trace emission, tallies.
+struct PerfRecirc;
+impl LocalFilter for PerfRecirc {
+    fn handle(&self, _d: DeviceKind, task: LocalTask, out: &mut Emitter<'_>) {
+        if task.buffer.level < PERF_ROUNDS {
+            let mut task = task;
+            task.buffer.level += 1;
+            out.recirculate(task);
+        } else {
+            out.forward(task);
+        }
+    }
+}
+
+/// The acceptance target of the hot-path overhaul, recorded alongside the
+/// measurement in `BENCH_perf.json` (CI gates on `--min-speedup`, which
+/// defaults lower because shared runners are noisy).
+const PERF_TARGET_SPEEDUP: f64 = 1.5;
+
+/// Native-runtime perf gate: a fixed single-stage workload on 8 CPU
+/// workers, run under both DDFCFS and DDWRR, each A/B'd between the
+/// pre-overhaul hot path ([`HotPath::Coarse`] dispatch locks, full
+/// [`SharedQueue`](anthill::queue::SharedQueue) stage lanes, the
+/// serialized trace sink) and the optimized one ([`HotPath::Sharded`]
+/// dispatch shards, tuned stage lanes, the batched sink). Each variant
+/// runs `reps` times and keeps its best throughput; conservation and
+/// trace-completeness are asserted on every run. Writes `BENCH_perf.json`
+/// (validated by re-parsing) and exits nonzero if the *worst* per-policy
+/// speedup falls below `min_speedup`.
+fn perf(quick: bool, min_speedup: f64) {
+    header(
+        "Perf: native-runtime hot-path A/B (coarse+serialized vs sharded+batched)",
+        "run-time optimization premise (§5–6): dispatch overhead dominates at fine task granularity",
+    );
+    let tasks: u64 = if quick { 4_000 } else { 24_000 };
+    let handles = tasks * u64::from(PERF_ROUNDS) + tasks;
+    let reps = 3;
+    let workers = 8;
+    let weights = OracleWeights::new(GpuParams::geforce_8800gt(), true);
+
+    let make_task = |id: u64| {
+        LocalTask::new(
+            DataBuffer {
+                id: BufferId(id),
+                params: TaskParams::nums(&[id as f64]),
+                shape: TaskShape {
+                    cpu: SimDuration::from_micros(1),
+                    gpu_kernel: SimDuration::from_micros(1),
+                    bytes_in: 8,
+                    bytes_out: 8,
+                },
+                level: 0,
+                task: id,
+            },
+            (),
+        )
+    };
+
+    // One measured run; returns tasks/second. Every run re-checks the
+    // invariants the A/B relies on: nothing lost, every finish traced.
+    let run_once = |label: &str,
+                    policy: PolicyKind,
+                    hot_path: HotPath,
+                    recorder: &Recorder|
+     -> f64 {
+        let mut p = Pipeline::new(policy).with_hot_path(hot_path);
+        p.add_stage(
+            Arc::new(PerfRecirc),
+            vec![
+                WorkerSpec {
+                    kind: DeviceKind::Cpu,
+                    mode: ExecMode::Native,
+                };
+                workers
+            ],
+        );
+        let sources: Vec<LocalTask> = (0..tasks).map(make_task).collect();
+        let wall = std::time::Instant::now();
+        let (out, report) = p.run_traced(sources, &weights, recorder);
+        let secs = wall.elapsed().as_secs_f64();
+        if out.len() as u64 != tasks || report.total() != handles {
+            eprintln!(
+                "perf {label}: conservation broken ({} out of {tasks}, {} handled of {handles})",
+                out.len(),
+                report.total()
+            );
+            std::process::exit(1);
+        }
+        let finished = recorder.metrics().counter_total("tasks_finished");
+        let events = recorder.take_events();
+        let finish_events = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Finish { .. }))
+            .count() as u64;
+        if finished != handles || finish_events != handles {
+            eprintln!(
+                "perf {label}: trace lost tasks ({finished} counted, {finish_events} finish events, {handles} expected)"
+            );
+            std::process::exit(1);
+        }
+        handles as f64 / secs
+    };
+
+    let best = |label: &str, policy: PolicyKind, hot_path: HotPath, mk: fn() -> Recorder| -> f64 {
+        let mut best_tps = 0.0f64;
+        for rep in 0..reps {
+            let tps = run_once(label, policy, hot_path, &mk());
+            println!("    {label:<20} rep {rep}: {tps:>12.0} tasks/s");
+            best_tps = best_tps.max(tps);
+        }
+        best_tps
+    };
+
+    let mut rows = Vec::new();
+    let mut worst = f64::INFINITY;
+    for (pname, policy) in [("ddfcfs", PolicyKind::DdFcfs), ("ddwrr", PolicyKind::DdWrr)] {
+        println!("  policy {pname}");
+        let baseline = best(
+            "coarse+serialized",
+            policy,
+            HotPath::Coarse,
+            Recorder::enabled_serialized,
+        );
+        let optimized = best(
+            "sharded+batched",
+            policy,
+            HotPath::Sharded,
+            Recorder::enabled,
+        );
+        let speedup = optimized / baseline;
+        worst = worst.min(speedup);
+        println!(
+            "    {pname}: baseline {baseline:>10.0}  optimized {optimized:>10.0}  speedup {speedup:.2}x"
+        );
+        rows.push(format!(
+            "    {{\"policy\": \"{pname}\", \"baseline_tasks_per_s\": {baseline:.1}, \"optimized_tasks_per_s\": {optimized:.1}, \"speedup\": {speedup:.4}}}"
+        ));
+    }
+    println!(
+        "\n  worst-policy speedup {worst:>6.2}x  (gate {min_speedup:.2}x, target {PERF_TARGET_SPEEDUP:.2}x)"
+    );
+
+    let body = format!(
+        concat!(
+            "{{\n",
+            "  \"workload\": {{\"tasks\": {}, \"handles\": {}, \"rounds\": {}, \"workers\": {}, \"stage\": \"recirc\"}},\n",
+            "  \"baseline\": {{\"hot_path\": \"coarse\", \"stage_lanes\": \"shared_queue\", \"trace_sink\": \"serialized\"}},\n",
+            "  \"optimized\": {{\"hot_path\": \"sharded\", \"stage_lanes\": \"tuned\", \"trace_sink\": \"batched\"}},\n",
+            "  \"policies\": [\n{}\n  ],\n",
+            "  \"speedup\": {:.4},\n",
+            "  \"min_speedup_gate\": {:.2},\n",
+            "  \"min_speedup_target\": {:.2},\n",
+            "  \"reps\": {},\n",
+            "  \"quick\": {}\n",
+            "}}\n"
+        ),
+        tasks,
+        handles,
+        PERF_ROUNDS,
+        workers,
+        rows.join(",\n"),
+        worst,
+        min_speedup,
+        PERF_TARGET_SPEEDUP,
+        reps,
+        quick
+    );
+    // Schema gate: the summary must parse back as JSON with the fields CI
+    // consumers read.
+    match json::parse(&body) {
+        Ok(v) => {
+            let policies_ok = v.get("policies").and_then(|p| p.as_arr()).is_some_and(|p| {
+                p.len() == 2
+                    && p.iter().all(|row| {
+                        row.get("baseline_tasks_per_s").is_some()
+                            && row.get("optimized_tasks_per_s").is_some()
+                            && row.get("speedup").and_then(|x| x.as_f64()).is_some()
+                    })
+            });
+            if !policies_ok || v.get("speedup").and_then(|x| x.as_f64()).is_none() {
+                eprintln!("perf: BENCH_perf.json missing required fields");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("perf: BENCH_perf.json failed schema validation: {e}");
+            std::process::exit(1);
+        }
+    }
+    match std::fs::write("BENCH_perf.json", &body) {
+        Ok(()) => println!("wrote BENCH_perf.json"),
+        Err(e) => {
+            eprintln!("perf: failed to write BENCH_perf.json: {e}");
+            std::process::exit(1);
+        }
+    }
+    if worst < min_speedup {
+        eprintln!("perf: worst-policy speedup {worst:.2}x below the {min_speedup:.2}x gate");
+        std::process::exit(1);
     }
 }
 

@@ -7,11 +7,13 @@
 //! the threaded runtime's stage queues (via [`ReadyLane`]). Backends never
 //! re-implement the ordering rule.
 
+use std::collections::{BinaryHeap, VecDeque};
+
 use anthill_hetsim::DeviceKind;
 
 use crate::buffer::DataBuffer;
 use crate::policy::PolicyKind;
-use crate::queue::SharedQueue;
+use crate::queue::{OrdWeight, SharedQueue};
 use crate::weights::WeightProvider;
 
 /// Pop the next buffer from `queue` for a device of `kind`: the
@@ -50,44 +52,171 @@ pub fn dispatch_order(kinds: &[DeviceKind]) -> Vec<usize> {
     idx
 }
 
-/// A policy-ordered ready queue: a [`SharedQueue`] plus the receiver-side
-/// ordering rule of a [`PolicyKind`]. Backends that own their queueing
-/// machinery (the threaded runtime's per-stage queues) use this instead of
-/// re-deciding the pop order locally.
-#[derive(Debug, Default)]
+/// A policy-ordered ready queue: the receiver-side ordering rule of a
+/// [`PolicyKind`] over one of three storage layouts. Backends that own
+/// their queueing machinery (the threaded runtime's per-stage queues) use
+/// this instead of re-deciding the pop order locally.
+///
+/// [`ReadyLane::new`] always uses the full [`SharedQueue`] (FIFO index plus
+/// one sorted view per device kind) — the layout the engine's shared pools
+/// need, and the pre-overhaul behaviour the `HotPath::Coarse` baseline
+/// reinstates. [`ReadyLane::tuned`] picks the cheapest layout that yields
+/// the *same pop order* for the consumers the lane will actually serve:
+/// a plain `VecDeque` when the policy pops FIFO (DDFCFS never reads the
+/// sorted views it would otherwise pay ~4 map updates per push/pop to
+/// maintain), or a single sorted `BTreeMap` when every consumer is the
+/// same device kind (the other kind's view could never be popped).
+#[derive(Debug)]
+enum LaneStore {
+    /// Full shared pool with every view — pre-overhaul layout.
+    Shared(SharedQueue),
+    /// FIFO-only lane: arrival order is the pop order.
+    Fifo(VecDeque<(DataBuffer, Option<u64>)>),
+    /// One max-heap for a homogeneous stage; the heap key mirrors
+    /// [`SharedQueue`]'s sorted-view key `(weight, u64::MAX - seq)` and
+    /// keys are unique (seq is), so the pop-max order — including
+    /// oldest-wins tie-breaks — is identical.
+    SingleKind {
+        kind_index: usize,
+        heap: BinaryHeap<SingleKindItem>,
+        next_seq: u64,
+    },
+}
+
+/// Heap entry of a single-kind lane: ordered by `(weight, u64::MAX - seq)`
+/// only — the buffer payload never participates in comparisons.
+#[derive(Debug)]
+struct SingleKindItem {
+    weight: OrdWeight,
+    rev_seq: u64,
+    buffer: DataBuffer,
+    tag: Option<u64>,
+}
+
+impl PartialEq for SingleKindItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for SingleKindItem {}
+impl PartialOrd for SingleKindItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SingleKindItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.weight, self.rev_seq).cmp(&(other.weight, other.rev_seq))
+    }
+}
+
+/// See [`LaneStore`] for the layout choices.
+#[derive(Debug)]
 pub struct ReadyLane {
-    queue: SharedQueue,
+    store: LaneStore,
     sorted: bool,
+}
+
+impl Default for ReadyLane {
+    fn default() -> ReadyLane {
+        ReadyLane {
+            store: LaneStore::Shared(SharedQueue::new()),
+            sorted: false,
+        }
+    }
 }
 
 impl ReadyLane {
     /// An empty lane consumed per `policy` (DDFCFS pops FIFO, DDWRR/ODDS
-    /// pop best-per-device).
+    /// pop best-per-device), backed by a full [`SharedQueue`].
     pub fn new(policy: PolicyKind) -> ReadyLane {
         ReadyLane {
-            queue: SharedQueue::new(),
+            store: LaneStore::Shared(SharedQueue::new()),
             sorted: policy.receiver_sorted(),
         }
     }
 
+    /// An empty lane consumed per `policy` by workers of the given device
+    /// kinds, backed by the cheapest layout that preserves the policy's
+    /// pop order for those consumers.
+    pub fn tuned(policy: PolicyKind, kinds: &[DeviceKind]) -> ReadyLane {
+        let sorted = policy.receiver_sorted();
+        let store = if !sorted {
+            LaneStore::Fifo(VecDeque::new())
+        } else if let Some((&first, rest)) = kinds.split_first() {
+            if rest.iter().all(|&k| k == first) {
+                LaneStore::SingleKind {
+                    kind_index: SharedQueue::kind_index(first),
+                    heap: BinaryHeap::new(),
+                    next_seq: 0,
+                }
+            } else {
+                LaneStore::Shared(SharedQueue::new())
+            }
+        } else {
+            LaneStore::Shared(SharedQueue::new())
+        };
+        ReadyLane { store, sorted }
+    }
+
+    /// True if `push` consults the weight vector: FIFO-only lanes ignore
+    /// it, so callers can skip computing weights entirely.
+    pub fn needs_weights(&self) -> bool {
+        !matches!(self.store, LaneStore::Fifo(_))
+    }
+
     /// Queue a buffer with precomputed per-device weights.
     pub fn push(&mut self, buffer: DataBuffer, weights: [f64; 2], tag: Option<u64>) {
-        self.queue.insert(buffer, weights, tag);
+        match &mut self.store {
+            LaneStore::Shared(q) => q.insert(buffer, weights, tag),
+            LaneStore::Fifo(q) => q.push_back((buffer, tag)),
+            LaneStore::SingleKind {
+                kind_index,
+                heap,
+                next_seq,
+            } => {
+                let seq = *next_seq;
+                *next_seq += 1;
+                heap.push(SingleKindItem {
+                    weight: OrdWeight(weights[*kind_index]),
+                    rev_seq: u64::MAX - seq,
+                    buffer,
+                    tag,
+                });
+            }
+        }
     }
 
     /// Pop the next buffer for a device of `kind` per the lane's policy.
     pub fn pop(&mut self, kind: DeviceKind) -> Option<(DataBuffer, Option<u64>)> {
-        pop_for(&mut self.queue, self.sorted, kind)
+        match &mut self.store {
+            LaneStore::Shared(q) => pop_for(q, self.sorted, kind),
+            LaneStore::Fifo(q) => q.pop_front(),
+            LaneStore::SingleKind {
+                kind_index, heap, ..
+            } => {
+                debug_assert_eq!(
+                    *kind_index,
+                    SharedQueue::kind_index(kind),
+                    "single-kind lane popped by a different device kind"
+                );
+                heap.pop().map(|it| (it.buffer, it.tag))
+            }
+        }
     }
 
     /// Number of queued buffers.
     pub fn len(&self) -> usize {
-        self.queue.len()
+        match &self.store {
+            LaneStore::Shared(q) => q.len(),
+            LaneStore::Fifo(q) => q.len(),
+            LaneStore::SingleKind { heap, .. } => heap.len(),
+        }
     }
 
     /// True if no buffers are queued.
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.len() == 0
     }
 }
 
@@ -137,6 +266,49 @@ mod tests {
         assert_eq!(dispatch_order(&[Cpu, Gpu, Cpu, Gpu]), vec![1, 3, 0, 2]);
         assert_eq!(dispatch_order(&[Cpu, Cpu]), vec![0, 1]);
         assert_eq!(dispatch_order(&[]), Vec::<usize>::new());
+    }
+
+    /// Every tuned layout must pop in exactly the order the full
+    /// [`SharedQueue`] layout would — layouts are a cost choice, never a
+    /// semantics choice.
+    #[test]
+    fn tuned_lanes_match_full_lane_pop_order() {
+        let weights = |id: u64| [id as f64 % 3.0, (10 - id) as f64 % 4.0];
+        for (policy, kinds) in [
+            (PolicyKind::DdFcfs, vec![DeviceKind::Cpu; 4]),
+            (PolicyKind::DdWrr, vec![DeviceKind::Cpu; 4]),
+            (PolicyKind::DdWrr, vec![DeviceKind::Gpu; 2]),
+            (PolicyKind::DdWrr, vec![DeviceKind::Cpu, DeviceKind::Gpu]),
+            (PolicyKind::Odds, vec![DeviceKind::Gpu; 3]),
+        ] {
+            let mut full = ReadyLane::new(policy);
+            let mut tuned = ReadyLane::tuned(policy, &kinds);
+            for id in 0..9 {
+                full.push(buf(id), weights(id), Some(id));
+                tuned.push(buf(id), weights(id), Some(id));
+            }
+            assert_eq!(full.len(), tuned.len());
+            let kind = kinds[0];
+            for step in 0..9 {
+                let a = full.pop(kind).expect("full lane has buffers");
+                let b = tuned.pop(kind).expect("tuned lane has buffers");
+                assert_eq!(
+                    (a.0.id, a.1),
+                    (b.0.id, b.1),
+                    "pop {step} diverged under {policy:?}"
+                );
+            }
+            assert!(full.is_empty() && tuned.is_empty());
+        }
+    }
+
+    #[test]
+    fn fifo_lane_skips_weight_bookkeeping() {
+        let fifo = ReadyLane::tuned(PolicyKind::DdFcfs, &[DeviceKind::Cpu]);
+        let sorted = ReadyLane::tuned(PolicyKind::DdWrr, &[DeviceKind::Cpu]);
+        assert!(!fifo.needs_weights());
+        assert!(sorted.needs_weights());
+        assert!(ReadyLane::new(PolicyKind::DdFcfs).needs_weights());
     }
 
     #[test]

@@ -148,19 +148,101 @@ impl LocalFaults {
     }
 }
 
+/// Contention profile of the shared dispatch state in
+/// [`Pipeline::run_traced`] (see `DESIGN.md` §10 for the lock map).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HotPath {
+    /// The pre-overhaul layout: one global payload/attempt table and one
+    /// global counter map, each bumped under its lock once per task, plus
+    /// a per-task metrics increment. Kept as the measured baseline of
+    /// `repro perf`.
+    Coarse,
+    /// Sharded payload/attempt tables (consecutive buffer ids land on
+    /// different locks) and per-worker completion tallies merged into the
+    /// report once at join. The default.
+    Sharded,
+}
+
+/// One lock's worth of task-side state: parked payloads plus per-buffer
+/// failure counts (both keyed by buffer id, so they share a shard).
+#[derive(Default)]
+struct DispatchShard {
+    payloads: HashMap<u64, Box<dyn Any + Send>>,
+    attempts: HashMap<u64, u32>,
+}
+
+/// The payload/attempt side table, split over independently locked shards
+/// so concurrent workers touching different buffers never contend.
+/// [`HotPath::Coarse`] uses a single shard — the legacy global table.
+struct DispatchState {
+    shards: Vec<Mutex<DispatchShard>>,
+}
+
+impl DispatchState {
+    /// Shard count for [`HotPath::Sharded`]: comfortably above any worker
+    /// count the runtime spawns, and a power of two so the (sequential)
+    /// buffer ids spread evenly.
+    const SHARDS: usize = 32;
+
+    fn new(hot_path: HotPath) -> DispatchState {
+        let n = match hot_path {
+            HotPath::Coarse => 1,
+            HotPath::Sharded => Self::SHARDS,
+        };
+        DispatchState {
+            shards: (0..n)
+                .map(|_| Mutex::new(DispatchShard::default()))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, id: u64) -> &Mutex<DispatchShard> {
+        &self.shards[id as usize % self.shards.len()]
+    }
+
+    /// Park a payload while its buffer sits in a stage queue.
+    fn park(&self, id: u64, payload: Box<dyn Any + Send>) {
+        self.shard(id).lock().payloads.insert(id, payload);
+    }
+
+    /// Claim the payload of a dispatched buffer.
+    fn claim(&self, id: u64) -> Box<dyn Any + Send> {
+        self.shard(id)
+            .lock()
+            .payloads
+            .remove(&id)
+            .expect("payload parked for queued buffer")
+    }
+
+    /// Bump and return the buffer's transient-failure count.
+    fn bump_attempt(&self, id: u64) -> u32 {
+        let mut s = self.shard(id).lock();
+        let e = s.attempts.entry(id).or_insert(0);
+        *e += 1;
+        *e
+    }
+}
+
 struct StageQueue {
     /// Policy-ordered lane from the engine: the pop-order decision lives
-    /// in [`crate::engine::select`], not here.
+    /// in [`crate::engine::select`], not here. The critical section around
+    /// it is push/pop only — trace emission, weight computation and
+    /// payload parking all happen outside this lock.
     queue: Mutex<ReadyLane>,
     cv: Condvar,
     /// Signalled when the queue drops below capacity (backpressure).
     space: Condvar,
+    /// Cached [`ReadyLane::needs_weights`]: FIFO lanes let producers skip
+    /// the per-push weight computation entirely.
+    needs_weights: bool,
 }
 
 impl StageQueue {
-    fn new(policy: PolicyKind) -> StageQueue {
+    fn new(lane: ReadyLane) -> StageQueue {
         StageQueue {
-            queue: Mutex::new(ReadyLane::new(policy)),
+            needs_weights: lane.needs_weights(),
+            queue: Mutex::new(lane),
             cv: Condvar::new(),
             space: Condvar::new(),
         }
@@ -208,6 +290,7 @@ pub struct Pipeline {
     capacity: Option<usize>,
     request_window: usize,
     faults: Option<LocalFaults>,
+    hot_path: HotPath,
 }
 
 impl Pipeline {
@@ -220,7 +303,19 @@ impl Pipeline {
             capacity: None,
             request_window: 4,
             faults: None,
+            hot_path: HotPath::Sharded,
         }
+    }
+
+    /// Select the contention profile of the shared dispatch state used by
+    /// [`run`](Pipeline::run) / [`run_traced`](Pipeline::run_traced).
+    /// Defaults to [`HotPath::Sharded`]; [`HotPath::Coarse`] reinstates
+    /// the pre-overhaul global locks so `repro perf` can A/B them.
+    /// Scheduling behaviour is identical either way — only lock layout and
+    /// tally aggregation differ.
+    pub fn with_hot_path(mut self, hot_path: HotPath) -> Pipeline {
+        self.hot_path = hot_path;
+        self
     }
 
     /// Inject faults into [`run`](Pipeline::run) /
@@ -313,36 +408,65 @@ impl Pipeline {
         }
         let started = Instant::now();
         let n_stages = self.stages.len();
-        let queues: Vec<Arc<StageQueue>> = (0..n_stages)
-            .map(|_| Arc::new(StageQueue::new(self.policy)))
+        let hot_path = self.hot_path;
+        // Coarse keeps the pre-overhaul full SharedQueue lane; Sharded lets
+        // each stage pick the cheapest lane layout that preserves the
+        // policy's pop order for that stage's worker kinds.
+        let queues: Vec<StageQueue> = self
+            .stages
+            .iter()
+            .map(|stage| {
+                let lane = match hot_path {
+                    HotPath::Coarse => ReadyLane::new(self.policy),
+                    HotPath::Sharded => {
+                        let kinds: Vec<DeviceKind> = stage.workers.iter().map(|w| w.kind).collect();
+                        ReadyLane::tuned(self.policy, &kinds)
+                    }
+                };
+                StageQueue::new(lane)
+            })
             .collect();
-        let in_flight = Arc::new(AtomicUsize::new(0));
-        let done = Arc::new(AtomicUsizeFlag::new());
+        let in_flight = AtomicUsize::new(0);
+        let done = AtomicUsizeFlag::new();
         let (out_tx, out_rx): (Sender<LocalTask>, Receiver<LocalTask>) = unbounded();
         type Counters = HashMap<(usize, DeviceKind, u8), u64>;
-        let counters: Arc<Mutex<Counters>> = Arc::new(Mutex::new(HashMap::new()));
-        let retries = Arc::new(AtomicUsize::new(0));
-        let deaths = Arc::new(AtomicUsize::new(0));
-        // Per-buffer failure counts (the `attempt` field of `TaskRetried`).
-        let attempts: Arc<Mutex<HashMap<u64, u32>>> = Arc::new(Mutex::new(HashMap::new()));
+        let counters: Mutex<Counters> = Mutex::new(HashMap::new());
+        let retries = AtomicUsize::new(0);
+        let deaths = AtomicUsize::new(0);
 
         // Payload storage: SharedQueue holds only metadata, so payloads are
-        // parked in a side table keyed by buffer id.
-        type PayloadTable = HashMap<u64, Box<dyn Any + Send>>;
-        let payloads: Arc<Mutex<PayloadTable>> = Arc::new(Mutex::new(HashMap::new()));
+        // parked in a side table keyed by buffer id (sharded or global per
+        // the hot-path knob), together with per-buffer failure counts (the
+        // `attempt` field of `TaskRetried`).
+        let dispatch = DispatchState::new(hot_path);
 
         let capacity = self.capacity;
-        let enqueue = |stage: usize, task: LocalTask, queues: &[Arc<StageQueue>], bounded: bool| {
-            let w = select::weights_for(weights, &task.buffer);
+        // Per-push weight vector: skipped entirely for FIFO lanes; computed
+        // with one prediction per device class on the optimized hot path,
+        // or with the legacy one-call-per-weight shape under Coarse (the
+        // faithful pre-overhaul baseline).
+        let lane_weights = |sq: &StageQueue, buf: &crate::buffer::DataBuffer| -> [f64; 2] {
+            if !sq.needs_weights {
+                return [0.0; 2];
+            }
+            match hot_path {
+                HotPath::Coarse => select::weights_for(weights, buf),
+                HotPath::Sharded => weights.weights_pair(buf),
+            }
+        };
+        let enqueue = |stage: usize, task: LocalTask, queues: &[StageQueue], bounded: bool| {
+            // Everything except the push itself stays outside the queue
+            // lock: weight computation, payload parking, trace emission.
+            let sq = &queues[stage];
+            let w = lane_weights(sq, &task.buffer);
             let id = task.buffer.id.0;
             let level = task.buffer.level;
-            payloads.lock().insert(id, task.payload);
+            dispatch.park(id, task.payload);
             recorder.record_now(
                 started,
                 DeviceRef::node_scope(stage),
                 EventKind::Enqueue { buffer: id, level },
             );
-            let sq = &queues[stage];
             let mut q = sq.queue.lock();
             if bounded {
                 if let Some(cap) = capacity {
@@ -382,15 +506,15 @@ impl Pipeline {
                     *slot += 1;
                     let filter = Arc::clone(&stage.filter);
                     let queues = &queues;
-                    let in_flight = Arc::clone(&in_flight);
-                    let done = Arc::clone(&done);
+                    let in_flight = &in_flight;
+                    let done = &done;
                     let out_tx = out_tx.clone();
-                    let counters = Arc::clone(&counters);
-                    let payloads = &payloads;
+                    let counters = &counters;
+                    let dispatch = &dispatch;
                     let enqueue_ref = &enqueue;
-                    let retries = Arc::clone(&retries);
-                    let deaths = Arc::clone(&deaths);
-                    let attempts = Arc::clone(&attempts);
+                    let lane_weights = &lane_weights;
+                    let retries = &retries;
+                    let deaths = &deaths;
                     let death_after = self.faults.as_ref().and_then(|f| {
                         f.deaths
                             .iter()
@@ -409,25 +533,36 @@ impl Pipeline {
                     );
                     let mut handled_n: u64 = 0;
                     scope.spawn(move || {
-                        loop {
+                        let device_label = match spec.kind {
+                            DeviceKind::Cpu => "cpu",
+                            DeviceKind::Gpu => "gpu",
+                        };
+                        // Per-worker tallies (HotPath::Sharded): completions
+                        // by level, merged into the shared report exactly
+                        // once when the worker retires.
+                        let mut local_counts: HashMap<u8, u64> = HashMap::new();
+                        let mut finished_n: u64 = 0;
+                        'work: loop {
                             // Pull the next buffer; the lane applies the
-                            // policy's ordering rule (engine::select).
+                            // policy's ordering rule (engine::select). The
+                            // critical section is the pop alone.
                             let popped = {
                                 let sq = &queues[si];
                                 let mut q = sq.queue.lock();
                                 loop {
                                     if done.is_set() {
-                                        return;
+                                        break None;
                                     }
                                     match q.pop(spec.kind) {
                                         Some((buffer, _)) => {
                                             sq.space.notify_one();
-                                            break buffer;
+                                            break Some(buffer);
                                         }
                                         None => sq.cv.wait(&mut q),
                                     }
                                 }
                             };
+                            let Some(popped) = popped else { break 'work };
                             if death_after.is_some_and(|after| handled_n >= after) {
                                 // The slot dies holding one popped task:
                                 // hand it back to the stage queue for the
@@ -450,25 +585,20 @@ impl Pipeline {
                                 recorder.counter_add("workers_died", &[], 1);
                                 recorder.counter_add("tasks_reassigned", &[], 1);
                                 deaths.fetch_add(1, Ordering::SeqCst);
-                                let w = select::weights_for(weights, &popped);
                                 let sq = &queues[si];
+                                let w = lane_weights(sq, &popped);
                                 let mut q = sq.queue.lock();
                                 q.push(popped, w, None);
                                 drop(q);
                                 sq.cv.notify_one();
-                                return;
+                                break 'work;
                             }
                             if fault_p > 0.0 && frng.chance(fault_p) {
                                 // Transient failure, decided before the
                                 // handler runs: the attempt is discarded,
                                 // the payload stays parked, the buffer
                                 // re-enters the queue for another try.
-                                let attempt = {
-                                    let mut a = attempts.lock();
-                                    let e = a.entry(popped.id.0).or_insert(0);
-                                    *e += 1;
-                                    *e
-                                };
+                                let attempt = dispatch.bump_attempt(popped.id.0);
                                 recorder.record_now(
                                     started,
                                     origin,
@@ -480,8 +610,8 @@ impl Pipeline {
                                 );
                                 recorder.counter_add("task_retries", &[], 1);
                                 retries.fetch_add(1, Ordering::SeqCst);
-                                let w = select::weights_for(weights, &popped);
                                 let sq = &queues[si];
+                                let w = lane_weights(sq, &popped);
                                 let mut q = sq.queue.lock();
                                 q.push(popped, w, None);
                                 drop(q);
@@ -496,10 +626,7 @@ impl Pipeline {
                                     level: popped.level,
                                 },
                             );
-                            let payload = payloads
-                                .lock()
-                                .remove(&popped.id.0)
-                                .expect("payload parked for queued buffer");
+                            let payload = dispatch.claim(popped.id.0);
                             let task = LocalTask {
                                 buffer: popped,
                                 payload,
@@ -557,18 +684,24 @@ impl Pipeline {
                                     proc_ns,
                                 },
                             );
-                            recorder.counter_add(
-                                "tasks_finished",
-                                &[(
-                                    "device",
-                                    match spec.kind {
-                                        DeviceKind::Cpu => "cpu",
-                                        DeviceKind::Gpu => "gpu",
-                                    },
-                                )],
-                                1,
-                            );
-                            *counters.lock().entry((si, spec.kind, level)).or_insert(0) += 1;
+                            match hot_path {
+                                HotPath::Coarse => {
+                                    // Legacy accounting: a metrics-lock
+                                    // bump and a counter-map lock bump on
+                                    // every task.
+                                    recorder.counter_add(
+                                        "tasks_finished",
+                                        &[("device", device_label)],
+                                        1,
+                                    );
+                                    *counters.lock().entry((si, spec.kind, level)).or_insert(0) +=
+                                        1;
+                                }
+                                HotPath::Sharded => {
+                                    *local_counts.entry(level).or_insert(0) += 1;
+                                    finished_n += 1;
+                                }
+                            }
                             handled_n += 1;
                             // Account emissions before retiring this task so
                             // the in-flight count can never dip to zero early.
@@ -603,6 +736,25 @@ impl Pipeline {
                                 }
                             }
                         }
+                        // Worker retired (shutdown or scheduled death):
+                        // fold the per-worker tallies into the shared
+                        // report and metrics in one step each. This runs
+                        // before the scope joins, so callers reading the
+                        // report or metrics after run_traced returns see
+                        // every completion.
+                        if !local_counts.is_empty() {
+                            let mut c = counters.lock();
+                            for (level, n) in local_counts {
+                                *c.entry((si, spec.kind, level)).or_insert(0) += n;
+                            }
+                        }
+                        if finished_n > 0 {
+                            recorder.counter_add(
+                                "tasks_finished",
+                                &[("device", device_label)],
+                                finished_n,
+                            );
+                        }
                     });
                 }
             }
@@ -610,7 +762,9 @@ impl Pipeline {
 
         drop(out_tx);
         let outputs: Vec<LocalTask> = out_rx.try_iter().collect();
-        let handled = counters.lock().clone();
+        // Every worker has joined: move the counter map out instead of
+        // cloning a snapshot under its lock.
+        let handled = counters.into_inner();
         (
             outputs,
             LocalReport {
@@ -1105,6 +1259,33 @@ mod tests {
             }],
         );
         let _ = p.run(vec![task(0, 0u64)], &oracle());
+    }
+
+    #[test]
+    fn both_hot_paths_conserve_tasks_and_agree_on_totals() {
+        for hot_path in [HotPath::Coarse, HotPath::Sharded] {
+            let mut p = Pipeline::new(PolicyKind::DdFcfs).with_hot_path(hot_path);
+            p.add_stage(
+                Arc::new(Doubler),
+                vec![
+                    WorkerSpec {
+                        kind: DeviceKind::Cpu,
+                        mode: ExecMode::Native,
+                    };
+                    3
+                ],
+            );
+            let (out, report) = p.run((0..150).map(|i| task(i, i)).collect(), &oracle());
+            assert_eq!(out.len(), 150, "{hot_path:?} lost tasks");
+            assert_eq!(report.total(), 150);
+            assert_eq!(report.count(0, DeviceKind::Cpu, 0), 150);
+            let mut values: Vec<u64> = out
+                .into_iter()
+                .map(|t| *t.payload.downcast::<u64>().unwrap())
+                .collect();
+            values.sort_unstable();
+            assert_eq!(values, (0..150).map(|i| i * 2).collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@ use anthill_hetsim::DeviceKind;
 
 /// Totally ordered f64 wrapper (NaN treated as the lowest weight).
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct OrdWeight(f64);
+pub(crate) struct OrdWeight(pub(crate) f64);
 
 impl Eq for OrdWeight {}
 impl PartialOrd for OrdWeight {
@@ -96,7 +96,7 @@ impl SharedQueue {
         SharedQueue::default()
     }
 
-    fn kind_index(kind: DeviceKind) -> usize {
+    pub(crate) fn kind_index(kind: DeviceKind) -> usize {
         match kind {
             DeviceKind::Cpu => 0,
             DeviceKind::Gpu => 1,

@@ -44,8 +44,16 @@ pub struct AdaptiveStreams {
     exponential: bool,
     last_throughput: f64,
     max_events: usize,
+    /// Ring of the most recent [`HISTORY_CAP`] chosen counts (oldest
+    /// first); unbounded growth on long runs was a leak.
     history: Vec<usize>,
 }
+
+/// Maximum retained `AdaptiveStreams` history entries. Long-running
+/// pipelines observe throughput once per batch indefinitely; the
+/// controller only ever needs the recent trajectory (diagnostics and the
+/// trace exporters), so older entries are dropped FIFO.
+pub const HISTORY_CAP: usize = 1024;
 
 impl AdaptiveStreams {
     /// Start as Algorithm 1 does: two concurrent events, step 2,
@@ -88,10 +96,16 @@ impl AdaptiveStreams {
             self.exponential = false;
         }
         self.last_throughput = throughput;
+        if self.history.len() == HISTORY_CAP {
+            // Per-batch path (not per-task), so the O(cap) shift is noise;
+            // keeping a plain Vec preserves the `&[usize]` accessor.
+            self.history.remove(0);
+        }
         self.history.push(self.concurrent);
     }
 
-    /// The sequence of counts chosen after each batch.
+    /// The sequence of counts chosen after each batch — the most recent
+    /// [`HISTORY_CAP`] entries, oldest first.
     pub fn history(&self) -> &[usize] {
         &self.history
     }
@@ -302,6 +316,18 @@ mod tests {
             c.observe_throughput(c.history().len() as f64 + 1.0);
         }
         assert!(c.concurrent_events() <= 4);
+    }
+
+    #[test]
+    fn adaptive_history_is_bounded() {
+        let mut c = AdaptiveStreams::new(4);
+        for i in 0..(HISTORY_CAP + 50) {
+            c.observe_throughput((i % 7) as f64);
+        }
+        assert_eq!(c.history().len(), HISTORY_CAP);
+        // The retained window is the most recent entries: the last value
+        // in the ring matches the controller's current setting.
+        assert_eq!(*c.history().last().unwrap(), c.concurrent_events());
     }
 
     #[test]

@@ -33,6 +33,29 @@ pub trait WeightProvider {
             1.0
         }
     }
+
+    /// Both per-device weights of `buf`, in `DeviceKind::ALL` order.
+    /// Produces exactly [`weight`](WeightProvider::weight) for each kind
+    /// but calls `predict_time` once per device class instead of once per
+    /// (weight, class) pair — the form the runtimes' enqueue hot path
+    /// wants.
+    fn weights_pair(&self, buf: &DataBuffer) -> [f64; 2] {
+        let tc = self.predict_time(buf, DeviceKind::Cpu);
+        let tg = self.predict_time(buf, DeviceKind::Gpu);
+        [pair_weight(tc, tg), pair_weight(tg, tc)]
+    }
+}
+
+/// One side of [`WeightProvider::weights_pair`]: the weight of a buffer
+/// whose own predicted time is `own` against its (only) alternative
+/// `other` — the two-device-class specialization of the general
+/// `best_other / own` rule in [`WeightProvider::weight`].
+fn pair_weight(own: f64, other: f64) -> f64 {
+    if other.is_finite() {
+        other / own.max(1e-12)
+    } else {
+        1.0
+    }
 }
 
 impl<W: WeightProvider + ?Sized> WeightProvider for &W {
@@ -43,6 +66,10 @@ impl<W: WeightProvider + ?Sized> WeightProvider for &W {
     fn weight(&self, buf: &DataBuffer, kind: DeviceKind) -> f64 {
         (**self).weight(buf, kind)
     }
+
+    fn weights_pair(&self, buf: &DataBuffer) -> [f64; 2] {
+        (**self).weights_pair(buf)
+    }
 }
 
 impl<W: WeightProvider + ?Sized> WeightProvider for Box<W> {
@@ -52,6 +79,10 @@ impl<W: WeightProvider + ?Sized> WeightProvider for Box<W> {
 
     fn weight(&self, buf: &DataBuffer, kind: DeviceKind) -> f64 {
         (**self).weight(buf, kind)
+    }
+
+    fn weights_pair(&self, buf: &DataBuffer) -> [f64; 2] {
+        (**self).weights_pair(buf)
     }
 }
 
@@ -212,6 +243,28 @@ mod tests {
         let wg = w.weight(&b, DeviceKind::Gpu);
         let wc = w.weight(&b, DeviceKind::Cpu);
         assert!((wg * wc - 1.0).abs() < 1e-9, "wg={wg} wc={wc}");
+    }
+
+    #[test]
+    fn weights_pair_is_bit_identical_to_per_kind_weights() {
+        for asyn in [false, true] {
+            let w = OracleWeights::new(GpuParams::geforce_8800gt(), asyn);
+            for side in [4u32, 32, 128, 512, 2048] {
+                let b = tile_buffer(side);
+                let pair = w.weights_pair(&b);
+                assert_eq!(pair[0].to_bits(), w.weight(&b, DeviceKind::Cpu).to_bits());
+                assert_eq!(pair[1].to_bits(), w.weight(&b, DeviceKind::Gpu).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn pair_weight_handles_nonfinite_predictions() {
+        // An infinite alternative falls back to the neutral weight 1.0; a
+        // NaN own time is clamped — exactly the general rule's behaviour.
+        assert_eq!(pair_weight(2.0, f64::INFINITY), 1.0);
+        assert_eq!(pair_weight(f64::NAN, 3.0), 3.0 / 1e-12);
+        assert_eq!(pair_weight(0.0, 4.0), 4.0 / 1e-12);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// One task parameter: numeric or categorical.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -69,13 +70,24 @@ impl fmt::Display for ParamValue {
 
 /// An ordered vector of task parameters. All tasks of one application share
 /// the same arity and per-position kind (numeric vs categorical).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
-pub struct TaskParams(pub Vec<ParamValue>);
+///
+/// The values are immutable after construction and shared behind an `Arc`,
+/// so cloning a `TaskParams` (and therefore a `DataBuffer` carrying one)
+/// is a reference-count bump, never a deep copy — retries, fault
+/// re-enqueues and inter-stage hops in the runtimes are zero-copy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskParams(Arc<[ParamValue]>);
+
+impl Default for TaskParams {
+    fn default() -> TaskParams {
+        TaskParams::new(Vec::new())
+    }
+}
 
 impl TaskParams {
     /// Build from anything convertible to parameter values.
     pub fn new(values: Vec<ParamValue>) -> TaskParams {
-        TaskParams(values)
+        TaskParams(values.into())
     }
 
     /// Number of dimensions.
@@ -96,6 +108,12 @@ impl TaskParams {
     /// Convenience: build an all-numeric parameter vector.
     pub fn nums(values: &[f64]) -> TaskParams {
         TaskParams(values.iter().map(|&x| ParamValue::Num(x)).collect())
+    }
+
+    /// True when two parameter vectors share the same backing allocation
+    /// (a clone is a reference-count bump, not a copy).
+    pub fn shares_storage(&self, other: &TaskParams) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
     }
 }
 
@@ -141,6 +159,15 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert!(!p.is_empty());
         assert_eq!(p.iter().filter_map(|v| v.as_num()).sum::<f64>(), 3.0);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let p = params![64.0, "variant-a"];
+        let q = p.clone();
+        assert!(p.shares_storage(&q), "clone must be a refcount bump");
+        assert_eq!(p, q);
+        assert!(!p.shares_storage(&params![64.0, "variant-a"]));
     }
 
     #[test]

@@ -68,6 +68,24 @@ pub fn convert_tile(pixels: &[Rgb8]) -> Vec<Lab> {
     pixels.iter().map(|&p| rgb_to_lab(p)).collect()
 }
 
+/// Parallel variant of [`convert_tile`]: the pixel range is split across
+/// `threads` scoped workers and the per-chunk outputs concatenated in
+/// chunk order. The conversion is elementwise, so the result is
+/// bit-identical to the sequential one.
+pub fn convert_tile_par(pixels: &[Rgb8], threads: usize) -> Vec<Lab> {
+    let parts = crate::par::run_chunks(pixels.len(), threads, |range| {
+        pixels[range]
+            .iter()
+            .map(|&p| rgb_to_lab(p))
+            .collect::<Vec<Lab>>()
+    });
+    let mut out = Vec::with_capacity(pixels.len());
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
 /// Quantize the L channel of a converted tile to `levels` gray levels
 /// (input to the co-occurrence computation).
 pub fn quantize_l(lab: &[Lab], levels: u8) -> Vec<u8> {
@@ -148,5 +166,16 @@ mod tests {
         assert_eq!(out.len(), 2);
         assert_eq!(out[0], rgb_to_lab(tile[0]));
         assert_eq!(out[1], rgb_to_lab(tile[1]));
+    }
+
+    #[test]
+    fn parallel_conversion_is_bit_identical() {
+        let tile: Vec<Rgb8> = (0..97)
+            .map(|i| px((i * 7) as u8, (i * 13) as u8, (i * 29) as u8))
+            .collect();
+        let seq = convert_tile(&tile);
+        for threads in [1, 2, 4, 16] {
+            assert_eq!(seq, convert_tile_par(&tile, threads), "t={threads}");
+        }
     }
 }

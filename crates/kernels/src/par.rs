@@ -1,0 +1,76 @@
+//! Chunked fork–join helper for the parallel (`_par`) kernel variants.
+//!
+//! The NBIA kernels are data-parallel over pixels or rows; this module
+//! provides the one primitive they need: split an index range into
+//! contiguous chunks, run a worker per chunk on crossbeam scoped threads,
+//! and return the per-chunk results **in chunk order** so callers can merge
+//! deterministically. All `_par` kernels accumulate integer-valued `f64`
+//! counts (exact below 2^53) and merge partials in this fixed order, which
+//! makes them bit-identical to their sequential counterparts — the
+//! sequential reference driver stays reproducible whether or not the `par`
+//! knob is on.
+
+use std::ops::Range;
+
+/// Split `0..n` into at most `threads` contiguous chunks, run `work` on
+/// each chunk on its own scoped thread, and return the results in chunk
+/// order. With `threads <= 1` (or a trivially small `n`) the work runs on
+/// the calling thread — no spawn cost, identical results.
+pub fn run_chunks<T, W>(n: usize, threads: usize, work: W) -> Vec<T>
+where
+    T: Send,
+    W: Fn(Range<usize>) -> T + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        return vec![work(0..n)];
+    }
+    let chunk = n.div_ceil(threads);
+    let ranges: Vec<Range<usize>> = (0..threads)
+        .map(|i| (i * chunk).min(n)..((i + 1) * chunk).min(n))
+        .filter(|r| !r.is_empty())
+        .collect();
+    let work = &work;
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| s.spawn(move |_| work(r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel kernel worker panicked"))
+            .collect()
+    })
+    .expect("parallel kernel scope panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_the_range_in_order() {
+        let parts = run_chunks(10, 3, |r| r.collect::<Vec<usize>>());
+        let flat: Vec<usize> = parts.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let parts = run_chunks(5, 1, |r| r.len());
+        assert_eq!(parts, vec![5]);
+    }
+
+    #[test]
+    fn empty_range_yields_one_empty_chunk() {
+        let parts = run_chunks(0, 4, |r| r.len());
+        assert_eq!(parts, vec![0]);
+    }
+
+    #[test]
+    fn more_threads_than_items_degrades_gracefully() {
+        let parts = run_chunks(3, 16, |r| r.collect::<Vec<usize>>());
+        let flat: Vec<usize> = parts.into_iter().flatten().collect();
+        assert_eq!(flat, vec![0, 1, 2]);
+    }
+}

@@ -12,6 +12,39 @@ pub struct Glcm {
     total: f64,
 }
 
+/// Accumulate symmetric co-occurrence counts for anchor rows in
+/// `rows` only. Counts are integer-valued `f64` (each pair adds exactly
+/// 1.0 twice), so partial accumulators from disjoint row ranges merge
+/// exactly — the basis of `compute_par`'s bit-reproducibility.
+fn glcm_rows(
+    img: &[u8],
+    width: usize,
+    height: usize,
+    l: usize,
+    dx: isize,
+    dy: isize,
+    rows: std::ops::Range<usize>,
+) -> (Vec<f64>, f64) {
+    let mut counts = vec![0.0f64; l * l];
+    let mut total = 0.0f64;
+    for y in rows.start as isize..rows.end as isize {
+        for x in 0..width as isize {
+            let (nx, ny) = (x + dx, y + dy);
+            if nx < 0 || ny < 0 || nx >= width as isize || ny >= height as isize {
+                continue;
+            }
+            let a = img[y as usize * width + x as usize] as usize;
+            let b = img[ny as usize * width + nx as usize] as usize;
+            debug_assert!(a < l && b < l, "pixel exceeds quantization levels");
+            // Symmetric: count both (a,b) and (b,a).
+            counts[a * l + b] += 1.0;
+            counts[b * l + a] += 1.0;
+            total += 2.0;
+        }
+    }
+    (counts, total)
+}
+
 impl Glcm {
     /// Compute the symmetric GLCM of a row-major `width × height` quantized
     /// image for offset `(dx, dy)`.
@@ -23,25 +56,35 @@ impl Glcm {
         dx: isize,
         dy: isize,
     ) -> Glcm {
+        Glcm::compute_par(img, width, height, levels, dx, dy, 1)
+    }
+
+    /// Parallel variant of [`Glcm::compute`]: anchor rows are split across
+    /// `threads` scoped workers and the partial count matrices merged in
+    /// row order. Bit-identical to the sequential computation (integer
+    /// counts, exact merge).
+    pub fn compute_par(
+        img: &[u8],
+        width: usize,
+        height: usize,
+        levels: u8,
+        dx: isize,
+        dy: isize,
+        threads: usize,
+    ) -> Glcm {
         assert_eq!(img.len(), width * height, "image size mismatch");
         assert!(levels >= 2);
         let l = levels as usize;
+        let parts = crate::par::run_chunks(height, threads, |rows| {
+            glcm_rows(img, width, height, l, dx, dy, rows)
+        });
         let mut counts = vec![0.0f64; l * l];
         let mut total = 0.0f64;
-        for y in 0..height as isize {
-            for x in 0..width as isize {
-                let (nx, ny) = (x + dx, y + dy);
-                if nx < 0 || ny < 0 || nx >= width as isize || ny >= height as isize {
-                    continue;
-                }
-                let a = img[y as usize * width + x as usize] as usize;
-                let b = img[ny as usize * width + nx as usize] as usize;
-                debug_assert!(a < l && b < l, "pixel exceeds quantization levels");
-                // Symmetric: count both (a,b) and (b,a).
-                counts[a * l + b] += 1.0;
-                counts[b * l + a] += 1.0;
-                total += 2.0;
+        for (part_counts, part_total) in parts {
+            for (c, p) in counts.iter_mut().zip(&part_counts) {
+                *c += p;
             }
+            total += part_total;
         }
         Glcm {
             levels: l,
@@ -231,11 +274,28 @@ pub fn lbp_code(img: &[u8], width: usize, height: usize, x: usize, y: usize) -> 
 
 /// Normalized 256-bin LBP histogram of a quantized image.
 pub fn lbp_histogram(img: &[u8], width: usize, height: usize) -> Vec<f64> {
+    lbp_histogram_par(img, width, height, 1)
+}
+
+/// Parallel variant of [`lbp_histogram`]: rows are split across `threads`
+/// scoped workers, per-chunk integer counts are merged in row order, and
+/// normalization happens once at the end — bit-identical to the sequential
+/// histogram.
+pub fn lbp_histogram_par(img: &[u8], width: usize, height: usize, threads: usize) -> Vec<f64> {
     assert_eq!(img.len(), width * height);
+    let parts = crate::par::run_chunks(height, threads, |rows| {
+        let mut hist = vec![0.0f64; 256];
+        for y in rows {
+            for x in 0..width {
+                hist[lbp_code(img, width, height, x, y) as usize] += 1.0;
+            }
+        }
+        hist
+    });
     let mut hist = vec![0.0f64; 256];
-    for y in 0..height {
-        for x in 0..width {
-            hist[lbp_code(img, width, height, x, y) as usize] += 1.0;
+    for part in parts {
+        for (h, p) in hist.iter_mut().zip(&part) {
+            *h += p;
         }
     }
     let n = (width * height) as f64;
@@ -245,20 +305,67 @@ pub fn lbp_histogram(img: &[u8], width: usize, height: usize) -> Vec<f64> {
     hist
 }
 
+/// The four pixel offsets of the NBIA GLCM feature block.
+const GLCM_OFFSETS: [(isize, isize); 4] = [(1, 0), (0, 1), (1, 1), (1, -1)];
+
 /// The NBIA per-tile feature vector: GLCM statistics at 4 offsets plus a
 /// compacted LBP histogram.
 pub fn feature_vector(img: &[u8], width: usize, height: usize, levels: u8) -> Vec<f64> {
+    feature_vector_par(img, width, height, levels, 1)
+}
+
+/// Parallel variant of [`feature_vector`]: the four GLCM offsets and the
+/// LBP histogram are five independent jobs, run on scoped workers and
+/// assembled in the fixed sequential order. With `threads <= 1` this runs
+/// entirely inline; either way the output is bit-identical to
+/// [`feature_vector`].
+pub fn feature_vector_par(
+    img: &[u8],
+    width: usize,
+    height: usize,
+    levels: u8,
+    threads: usize,
+) -> Vec<f64> {
+    let glcm_stats = |g: Glcm| -> [f64; 5] {
+        [
+            g.contrast(),
+            g.energy(),
+            g.homogeneity(),
+            g.entropy(),
+            g.correlation(),
+        ]
+    };
     let mut out = Vec::with_capacity(4 * 5 + 16);
-    for (dx, dy) in [(1isize, 0isize), (0, 1), (1, 1), (1, -1)] {
-        let g = Glcm::compute(img, width, height, levels, dx, dy);
-        out.push(g.contrast());
-        out.push(g.energy());
-        out.push(g.homogeneity());
-        out.push(g.entropy());
-        out.push(g.correlation());
+    if threads <= 1 {
+        for (dx, dy) in GLCM_OFFSETS {
+            out.extend(glcm_stats(Glcm::compute(
+                img, width, height, levels, dx, dy,
+            )));
+        }
+        let hist = lbp_histogram(img, width, height);
+        for chunk in hist.chunks(16) {
+            out.push(chunk.iter().sum());
+        }
+        return out;
     }
-    // Fold the 256-bin LBP histogram into 16 coarse bins.
-    let hist = lbp_histogram(img, width, height);
+    let (blocks, hist) = crossbeam::thread::scope(|s| {
+        let glcm_handles: Vec<_> = GLCM_OFFSETS
+            .iter()
+            .map(|&(dx, dy)| {
+                s.spawn(move |_| glcm_stats(Glcm::compute(img, width, height, levels, dx, dy)))
+            })
+            .collect();
+        let lbp_handle = s.spawn(move |_| lbp_histogram(img, width, height));
+        let blocks: Vec<[f64; 5]> = glcm_handles
+            .into_iter()
+            .map(|h| h.join().expect("glcm worker panicked"))
+            .collect();
+        (blocks, lbp_handle.join().expect("lbp worker panicked"))
+    })
+    .expect("feature_vector scope panicked");
+    for block in blocks {
+        out.extend(block);
+    }
     for chunk in hist.chunks(16) {
         out.push(chunk.iter().sum());
     }
@@ -368,6 +475,31 @@ mod tests {
         let img = checkerboard(7, 5, 2, 6);
         let h = lbp_histogram(&img, 7, 5);
         assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_variants_are_bit_identical() {
+        // Integer-count accumulation merged in fixed order: the par
+        // variants must match the sequential ones bit for bit.
+        let img: Vec<u8> = (0..31 * 17).map(|i| ((i * 13) % 8) as u8).collect();
+        for threads in [2, 3, 8] {
+            for (dx, dy) in [(1isize, 0isize), (0, 1), (1, 1), (1, -1)] {
+                let seq = Glcm::compute(&img, 31, 17, 8, dx, dy);
+                let par = Glcm::compute_par(&img, 31, 17, 8, dx, dy, threads);
+                assert_eq!(seq.counts, par.counts, "glcm counts t={threads}");
+                assert_eq!(seq.total, par.total);
+            }
+            assert_eq!(
+                lbp_histogram(&img, 31, 17),
+                lbp_histogram_par(&img, 31, 17, threads),
+                "lbp t={threads}"
+            );
+            assert_eq!(
+                feature_vector(&img, 31, 17, 8),
+                feature_vector_par(&img, 31, 17, 8, threads),
+                "features t={threads}"
+            );
+        }
     }
 
     #[test]

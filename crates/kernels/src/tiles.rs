@@ -10,8 +10,8 @@
 //! style confidence threshold — otherwise the tile is recomputed at the
 //! next resolution, exactly the control flow of Figure 1.
 
-use crate::color::{convert_tile, quantize_l, Rgb8};
-use crate::texture::feature_vector;
+use crate::color::{convert_tile, convert_tile_par, quantize_l, Rgb8};
+use crate::texture::{feature_vector, feature_vector_par};
 use anthill_simkit::SimRng;
 
 /// Tissue classes assigned by NBIA's stromal-development classification.
@@ -115,6 +115,16 @@ pub fn tile_features(pixels: &[Rgb8], side: u32) -> Vec<f64> {
     let lab = convert_tile(pixels);
     let q = quantize_l(&lab, QUANT_LEVELS);
     feature_vector(&q, side as usize, side as usize, QUANT_LEVELS)
+}
+
+/// Parallel variant of [`tile_features`]: the color conversion and the
+/// feature computation fan out over `threads` scoped workers (the `par`
+/// knob of the native runtime). Bit-identical to [`tile_features`] — the
+/// underlying `_par` kernels merge integer counts in fixed chunk order.
+pub fn tile_features_par(pixels: &[Rgb8], side: u32, threads: usize) -> Vec<f64> {
+    let lab = convert_tile_par(pixels, threads);
+    let q = quantize_l(&lab, QUANT_LEVELS);
+    feature_vector_par(&q, side as usize, side as usize, QUANT_LEVELS, threads)
 }
 
 /// A nearest-centroid tile classifier with a confidence margin.
@@ -229,6 +239,16 @@ mod tests {
             a.generate(TileClass::StromaPoor, 16),
             b.generate(TileClass::StromaPoor, 16)
         );
+    }
+
+    #[test]
+    fn parallel_tile_features_are_bit_identical() {
+        let mut gen = TileGenerator::new(3);
+        let tile = gen.generate(TileClass::StromaPoor, 32);
+        let seq = tile_features(&tile, 32);
+        for threads in [1, 2, 4] {
+            assert_eq!(seq, tile_features_par(&tile, 32, threads), "t={threads}");
+        }
     }
 
     #[test]

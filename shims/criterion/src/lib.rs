@@ -10,7 +10,10 @@
 //! and an identical compile surface, not criterion's rigor.
 //!
 //! Honors `CRITERION_QUICK=1` to shrink the measurement window (used by CI
-//! smoke runs).
+//! smoke runs), and a `--test` CLI argument (criterion's compile-check
+//! mode): each benchmark runs exactly one warm-up iteration and skips the
+//! timed pass, so `cargo bench -- --test` validates that every bench
+//! builds and executes without paying for measurement.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -66,6 +69,7 @@ impl Bencher {
 /// The top-level benchmark driver.
 pub struct Criterion {
     measurement_window: Duration,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -77,6 +81,7 @@ impl Default for Criterion {
             } else {
                 Duration::from_millis(400)
             },
+            test_mode: std::env::args().any(|a| a == "--test"),
         }
     }
 }
@@ -94,7 +99,7 @@ impl Criterion {
     /// Benchmark a closure outside any group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
         let window = self.measurement_window;
-        run_one(name, None, window, f);
+        run_one(name, None, window, self.test_mode, f);
         self
     }
 }
@@ -132,6 +137,7 @@ impl BenchmarkGroup<'_> {
             &label,
             self.throughput,
             self.criterion.measurement_window,
+            self.criterion.test_mode,
             f,
         );
         self
@@ -149,6 +155,7 @@ impl BenchmarkGroup<'_> {
             &label,
             self.throughput,
             self.criterion.measurement_window,
+            self.criterion.test_mode,
             |b| f(b, input),
         );
         self
@@ -162,6 +169,7 @@ fn run_one<F: FnMut(&mut Bencher)>(
     label: &str,
     throughput: Option<Throughput>,
     window: Duration,
+    test_mode: bool,
     mut f: F,
 ) {
     // Warm-up + calibration pass: one iteration, timed.
@@ -170,6 +178,10 @@ fn run_one<F: FnMut(&mut Bencher)>(
         elapsed: Duration::ZERO,
     };
     f(&mut b);
+    if test_mode {
+        println!("{label:<50} ok (--test)");
+        return;
+    }
     let per_iter = b.elapsed.max(Duration::from_nanos(1));
     let iters = (window.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
     let mut b = Bencher {

@@ -1,5 +1,6 @@
-//! Offline shim for the `crossbeam` crate: the `channel` subset this
-//! workspace uses, mapped onto `std::sync::mpsc`.
+//! Offline shim for the `crossbeam` crate: the `channel` and `thread`
+//! subsets this workspace uses, mapped onto `std::sync::mpsc` and
+//! `std::thread::scope`.
 
 /// Multi-producer channels (std::sync::mpsc with crossbeam's constructor
 /// names).
@@ -9,6 +10,44 @@ pub mod channel {
     /// An unbounded MPSC channel (`crossbeam::channel::unbounded`).
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         std::sync::mpsc::channel()
+    }
+}
+
+/// Scoped threads (`crossbeam::thread::scope`), wrapping
+/// `std::thread::scope`. Matches crossbeam's API shape: the scope closure
+/// and every spawned closure receive a `&Scope` so workers can spawn
+/// further workers, and `scope` returns `thread::Result` (Err if any
+/// unjoined panic escaped the scope).
+pub mod thread {
+    pub use std::thread::Result;
+
+    /// Handle for spawning threads tied to an enclosing scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread; the closure receives the scope again so
+        /// it can spawn siblings (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope handle; all spawned threads are joined before
+    /// this returns. Panics from unjoined threads surface as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
     }
 }
 
@@ -23,5 +62,30 @@ mod tests {
         drop((tx, tx2));
         let got: Vec<i32> = rx.try_iter().collect();
         assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let sums = std::sync::Mutex::new(Vec::new());
+        super::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    sums.lock().unwrap().push(chunk.iter().sum::<u64>());
+                });
+            }
+        })
+        .unwrap();
+        let mut got = sums.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, vec![3, 7]);
+    }
+
+    #[test]
+    fn scoped_panic_surfaces_as_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
     }
 }

@@ -1,0 +1,189 @@
+//! Hot-path overhaul guarantees, exercised end-to-end on the threaded
+//! native runtime (DESIGN.md §10):
+//!
+//! 1. **Cross-hot-path parity** — `HotPath::Coarse` (the pre-overhaul
+//!    global locks, full `SharedQueue` stage lanes, per-task tallies) and
+//!    `HotPath::Sharded` (sharded dispatch state, tuned lanes, join-time
+//!    tallies) must agree on everything observable: outputs, conservation,
+//!    and — where thread scheduling cannot perturb them — the exact
+//!    per-(stage, device, level) handled counts, under all three policies.
+//! 2. **Batched trace emission** — the striped sink must still hand back
+//!    a timestamp-ordered trace that conserves the task lifecycle
+//!    (enqueues = dispatches = starts = finishes = handles), matching the
+//!    serialized sink's per-kind event counts.
+
+use std::sync::Arc;
+
+use anthill_repro::core::buffer::{BufferId, DataBuffer};
+use anthill_repro::core::local::{
+    Emitter, ExecMode, HotPath, LocalFilter, LocalTask, Pipeline, WorkerSpec,
+};
+use anthill_repro::core::obs::{EventKind, Recorder};
+use anthill_repro::core::policy::PolicyKind;
+use anthill_repro::core::weights::OracleWeights;
+use anthill_repro::estimator::TaskParams;
+use anthill_repro::hetsim::{DeviceKind, GpuParams, TaskShape};
+use anthill_repro::simkit::SimDuration;
+
+const ROUNDS: u8 = 3;
+const TASKS: u64 = 300;
+/// Each task is handled once per level per stage.
+const HANDLES_PER_STAGE: u64 = TASKS * (ROUNDS as u64 + 1);
+
+/// Recirculates every task [`ROUNDS`] times, then forwards it downstream —
+/// the same shape as the `repro perf` workload, so these tests guard the
+/// exact path the perf gate measures.
+struct Recirc;
+impl LocalFilter for Recirc {
+    fn handle(&self, _d: DeviceKind, task: LocalTask, out: &mut Emitter<'_>) {
+        if task.buffer.level < ROUNDS {
+            let mut task = task;
+            task.buffer.level += 1;
+            out.recirculate(task);
+        } else {
+            let mut task = task;
+            task.buffer.level = 0;
+            out.forward(task);
+        }
+    }
+}
+
+/// Mixed tile sizes so DDWRR/ODDS weights have real spread.
+fn mk_task(id: u64) -> LocalTask {
+    let side = [16u64, 64, 256, 1024][(id % 4) as usize];
+    LocalTask::new(
+        DataBuffer {
+            id: BufferId(id),
+            params: TaskParams::nums(&[id as f64]),
+            shape: TaskShape {
+                cpu: SimDuration::from_micros(side),
+                gpu_kernel: SimDuration::from_micros(side / 8 + 1),
+                bytes_in: side * side,
+                bytes_out: side,
+            },
+            level: 0,
+            task: id,
+        },
+        id,
+    )
+}
+
+fn run(
+    policy: PolicyKind,
+    hot_path: HotPath,
+    stages: &[Vec<WorkerSpec>],
+    recorder: &Recorder,
+) -> (Vec<u64>, anthill_repro::core::local::LocalReport) {
+    let weights = OracleWeights::new(GpuParams::geforce_8800gt(), true);
+    let mut p = Pipeline::new(policy).with_hot_path(hot_path);
+    for specs in stages {
+        p.add_stage(Arc::new(Recirc), specs.clone());
+    }
+    let sources: Vec<LocalTask> = (0..TASKS).map(mk_task).collect();
+    let (out, report) = p.run_traced(sources, &weights, recorder);
+    let mut ids: Vec<u64> = out.iter().map(|t| t.buffer.id.0).collect();
+    ids.sort_unstable();
+    (ids, report)
+}
+
+fn cpu_workers(n: usize) -> Vec<WorkerSpec> {
+    vec![
+        WorkerSpec {
+            kind: DeviceKind::Cpu,
+            mode: ExecMode::Native,
+        };
+        n
+    ]
+}
+
+fn mixed_workers() -> Vec<WorkerSpec> {
+    let mut w = cpu_workers(3);
+    w.push(WorkerSpec {
+        kind: DeviceKind::Gpu,
+        mode: ExecMode::Native,
+    });
+    w
+}
+
+/// Homogeneous stages: thread scheduling can move tasks between *slots*
+/// but never between device kinds or levels, so the full handled map must
+/// be identical across hot paths.
+#[test]
+fn hot_paths_agree_on_homogeneous_counts() {
+    for policy in [PolicyKind::DdFcfs, PolicyKind::DdWrr, PolicyKind::Odds] {
+        let stages = vec![cpu_workers(4), cpu_workers(2)];
+        let (out_c, rep_c) = run(policy, HotPath::Coarse, &stages, &Recorder::disabled());
+        let (out_s, rep_s) = run(policy, HotPath::Sharded, &stages, &Recorder::disabled());
+        assert_eq!(out_c, out_s, "{policy:?}: outputs diverged");
+        assert_eq!(out_c.len() as u64, TASKS);
+        assert_eq!(rep_c.total(), 2 * HANDLES_PER_STAGE);
+        assert_eq!(
+            rep_c.handled, rep_s.handled,
+            "{policy:?}: per-(stage, kind, level) counts diverged"
+        );
+    }
+}
+
+/// Heterogeneous stages: per-kind counts are timing-dependent, but both
+/// hot paths must conserve every task and deliver identical outputs.
+#[test]
+fn hot_paths_conserve_mixed_kind_stages() {
+    for policy in [PolicyKind::DdFcfs, PolicyKind::DdWrr, PolicyKind::Odds] {
+        let stages = vec![mixed_workers()];
+        for hot_path in [HotPath::Coarse, HotPath::Sharded] {
+            let (out, report) = run(policy, hot_path, &stages, &Recorder::disabled());
+            assert_eq!(
+                out.len() as u64,
+                TASKS,
+                "{policy:?}/{hot_path:?} lost tasks"
+            );
+            assert_eq!(
+                report.total(),
+                HANDLES_PER_STAGE,
+                "{policy:?}/{hot_path:?} miscounted handles"
+            );
+        }
+    }
+}
+
+/// The batched (striped) sink must drain a timestamp-ordered trace whose
+/// lifecycle counts conserve, and agree with the serialized sink.
+#[test]
+fn batched_trace_is_ordered_and_conserves_lifecycle() {
+    let stages = vec![cpu_workers(4)];
+    let mut per_sink = Vec::new();
+    for mk in [
+        Recorder::enabled as fn() -> Recorder,
+        Recorder::enabled_serialized,
+    ] {
+        let recorder = mk();
+        let (_, report) = run(PolicyKind::DdWrr, HotPath::Sharded, &stages, &recorder);
+        assert_eq!(report.total(), HANDLES_PER_STAGE);
+        assert_eq!(
+            recorder.metrics().counter_total("tasks_finished"),
+            HANDLES_PER_STAGE
+        );
+        let events = recorder.take_events();
+        assert!(
+            events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns),
+            "drained trace must be in non-decreasing timestamp order"
+        );
+        let count = |pred: fn(&EventKind) -> bool| events.iter().filter(|e| pred(&e.kind)).count();
+        let lifecycle = [
+            count(|k| matches!(k, EventKind::Enqueue { .. })) as u64,
+            count(|k| matches!(k, EventKind::Dispatch { .. })) as u64,
+            count(|k| matches!(k, EventKind::Start { .. })) as u64,
+            count(|k| matches!(k, EventKind::Finish { .. })) as u64,
+        ];
+        assert_eq!(
+            lifecycle, [HANDLES_PER_STAGE; 4],
+            "lifecycle conservation broken"
+        );
+        assert!(
+            recorder.take_events().is_empty(),
+            "drain must empty the sink"
+        );
+        per_sink.push(lifecycle);
+    }
+    assert_eq!(per_sink[0], per_sink[1], "batched vs serialized diverged");
+}
