@@ -42,10 +42,26 @@
 //! below `--min-speedup` (default 1.0 — CI machines are noisy; the
 //! recorded acceptance target is 1.5, see `DESIGN.md` §10). Writes and
 //! schema-validates `BENCH_perf.json`.
+//!
+//! `repro net [--trace <dir>]` is the networked-backend CI gate: per
+//! policy, an NBIA-shaped workload runs through the TCP coordinator with
+//! two *spawned worker processes* (this same binary re-entered via the
+//! hidden `worker` subcommand) on loopback, and the per-device assignment
+//! must be bit-identical to the sequential reference driver. The merged
+//! coordinator+worker trace must round-trip the JSONL schema (including
+//! the `remote_start`/`remote_finish` span events). Writes
+//! `BENCH_net.json`; with `--trace <dir>`, per-policy traces land there
+//! too.
+//!
+//! `repro worker <addr> [identity|recirc:N|busy:N]` (hidden) turns the
+//! process into a net-backend worker connected to `<addr>` — the form the
+//! net gate and the chaos tests spawn.
 
 use anthill::buffer::{BufferId, DataBuffer};
+use anthill::engine::sequential::{run as sequential_run, Emission, SequentialConfig};
 use anthill::faults::{FaultConfig, FaultProb, RecoveryConfig, WorkerDeathSpec};
 use anthill::local::{Emitter, ExecMode, HotPath, LocalFilter, LocalTask, Pipeline, WorkerSpec};
+use anthill::net::{run_deterministic, NetConfig, NetWorkerConn};
 use anthill::obs::{chrome, json, jsonl, EventKind, Recorder};
 use anthill::policy::{Policy, PolicyKind};
 use anthill::sim::{run_nbia, SimConfig, WorkloadSpec};
@@ -53,7 +69,7 @@ use anthill::weights::OracleWeights;
 use anthill_bench::experiments::{cluster, estimator, transfer};
 use anthill_bench::viz::{render, ChartSpec, Series};
 use anthill_estimator::TaskParams;
-use anthill_hetsim::{ClusterSpec, DeviceKind, GpuParams, TaskShape};
+use anthill_hetsim::{ClusterSpec, DeviceId, DeviceKind, GpuParams, NbiaCostModel, TaskShape};
 use anthill_simkit::{SimDuration, SimTime};
 use std::sync::Arc;
 
@@ -88,6 +104,32 @@ const SEED: u64 = 42;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden subcommand: become a net-backend worker process. Intercepted
+    // before normal parsing so its operands never collide with experiment
+    // names or flags.
+    if args.first().map(String::as_str) == Some("worker") {
+        let behavior = match args.get(2) {
+            None => anthill::net::Behavior::Identity,
+            Some(spec) => match anthill::net::Behavior::parse(spec) {
+                Some(b) => b,
+                None => {
+                    eprintln!("repro worker: unknown behavior '{spec}'");
+                    std::process::exit(2);
+                }
+            },
+        };
+        let Some(addr) = args.get(1) else {
+            eprintln!("usage: repro worker <coordinator-addr> [identity|recirc:N|busy:N]");
+            std::process::exit(2);
+        };
+        match anthill::net::connect_and_run(addr, behavior) {
+            Ok(_) => return,
+            Err(e) => {
+                eprintln!("repro worker: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let mut quick = false;
     let mut trace_path: Option<String> = None;
     let mut faults_spec: Option<String> = None;
@@ -170,6 +212,7 @@ fn main() {
         "smoke",
         "chaos",
         "perf",
+        "net",
         "all",
     ];
     if !known.contains(&what) {
@@ -196,6 +239,10 @@ fn main() {
     }
     if what == "perf" {
         perf(quick, min_speedup);
+        return;
+    }
+    if what == "net" {
+        net_gate(trace_path.as_deref());
         return;
     }
     if faults_spec.is_some() {
@@ -758,6 +805,218 @@ fn perf(quick: bool, min_speedup: f64) {
     if worst < min_speedup {
         eprintln!("perf: worst-policy speedup {worst:.2}x below the {min_speedup:.2}x gate");
         std::process::exit(1);
+    }
+}
+
+/// One NBIA-shaped tile for the net gate, sides cycling through the
+/// paper's range so the policies actually have heterogeneity to exploit.
+fn net_tile(id: u64) -> DataBuffer {
+    let side = [32u32, 128, 256, 512][(id % 4) as usize];
+    DataBuffer {
+        id: BufferId(id),
+        params: TaskParams::nums(&[f64::from(side)]),
+        shape: NbiaCostModel::paper_calibrated().tile(side),
+        level: 0,
+        task: id,
+    }
+}
+
+/// Networked-backend CI gate: per policy, the same NBIA-shaped workload
+/// runs through the TCP coordinator with two spawned worker *processes*
+/// on loopback, and both the per-device assignment and the dispatch
+/// order must be bit-identical to the sequential reference driver. The
+/// merged trace (coordinator events + re-stamped worker spans) must
+/// round-trip the JSONL schema. Writes `BENCH_net.json`; exits nonzero
+/// on any failure.
+fn net_gate(trace_dir: Option<&str>) {
+    header(
+        "Net: loopback TCP backend vs the sequential reference driver",
+        "CI gate — spawned worker processes, bit-identical assignment, merged trace schema",
+    );
+    let exe = std::env::current_exe().expect("own executable path");
+    let tiles: Vec<DataBuffer> = (0..240).map(net_tile).collect();
+    let devices = [
+        DeviceId {
+            node: 0,
+            kind: DeviceKind::Cpu,
+            index: 0,
+        },
+        DeviceId {
+            node: 0,
+            kind: DeviceKind::Gpu,
+            index: 0,
+        },
+    ];
+    let policies = [
+        ("ddfcfs", Policy::ddfcfs(4)),
+        ("ddwrr", Policy::ddwrr(16)),
+        ("odds", Policy::odds()),
+    ];
+    let mut rows = Vec::new();
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "policy", "tasks", "cpu", "gpu", "events", "wall(ms)"
+    );
+    for (name, policy) in policies {
+        let reference = sequential_run(
+            SequentialConfig::new(policy),
+            &devices,
+            tiles.clone(),
+            OracleWeights::new(GpuParams::geforce_8800gt(), false),
+            |_, _| Emission::default(),
+        );
+
+        let listener = match std::net::TcpListener::bind("127.0.0.1:0") {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("net {name}: failed to bind loopback listener: {e}");
+                std::process::exit(1);
+            }
+        };
+        let addr = listener.local_addr().expect("listener addr").to_string();
+        let mut children = Vec::new();
+        let mut workers = Vec::new();
+        for device in devices {
+            let child = match std::process::Command::new(&exe)
+                .args(["worker", &addr, "identity"])
+                .stdin(std::process::Stdio::null())
+                .spawn()
+            {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("net {name}: failed to spawn worker process: {e}");
+                    std::process::exit(1);
+                }
+            };
+            children.push(child);
+            match listener.accept() {
+                Ok((stream, _)) => workers.push(NetWorkerConn { device, stream }),
+                Err(e) => {
+                    eprintln!("net {name}: worker failed to connect: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+
+        let recorder = Recorder::enabled();
+        let mut cfg = NetConfig::new(policy);
+        cfg.recorder = recorder.clone();
+        let wall = std::time::Instant::now();
+        let out = match run_deterministic(
+            cfg,
+            workers,
+            tiles.clone(),
+            OracleWeights::new(GpuParams::geforce_8800gt(), false),
+        ) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("net {name}: coordinator failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+        for child in &mut children {
+            match child.wait() {
+                Ok(status) if status.success() => {}
+                Ok(status) => {
+                    eprintln!("net {name}: worker process exited with {status}");
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("net {name}: failed to reap worker process: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+
+        if out.assigned != reference.assigned || out.dispatch_order != reference.dispatch_order {
+            eprintln!(
+                "net {name}: TCP backend diverged from the sequential reference \
+                 (net {:?} vs reference {:?})",
+                out.assigned, reference.assigned
+            );
+            std::process::exit(1);
+        }
+
+        // The merged trace must carry one re-stamped worker span per task
+        // and survive a JSONL round trip.
+        let events = recorder.events();
+        let remote_finishes = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::RemoteFinish { .. }))
+            .count() as u64;
+        if remote_finishes != out.total {
+            eprintln!(
+                "net {name}: trace lost worker spans ({remote_finishes} remote_finish \
+                 events, {} tasks)",
+                out.total
+            );
+            std::process::exit(1);
+        }
+        let text = jsonl::to_jsonl(&events);
+        match jsonl::parse_jsonl(&text) {
+            Ok(parsed) if parsed == events => {}
+            Ok(parsed) => {
+                eprintln!(
+                    "net {name}: trace round-trip mismatch ({} events in, {} out)",
+                    events.len(),
+                    parsed.len()
+                );
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("net {name}: trace failed JSONL schema validation: {e}");
+                std::process::exit(1);
+            }
+        }
+        if let Some(dir) = trace_dir {
+            let path = format!("{}/net-{name}.trace.jsonl", dir.trim_end_matches('/'));
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("net {name}: failed to write trace to {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("  wrote {} events to {path}", events.len());
+        }
+
+        let cpu = out
+            .assigned
+            .get(&(DeviceKind::Cpu, 0))
+            .copied()
+            .unwrap_or(0);
+        let gpu = out
+            .assigned
+            .get(&(DeviceKind::Gpu, 0))
+            .copied()
+            .unwrap_or(0);
+        println!(
+            "{:<10} {:>8} {:>8} {:>8} {:>10} {:>10.1}",
+            name,
+            out.total,
+            cpu,
+            gpu,
+            events.len(),
+            wall_ms
+        );
+        rows.push(format!(
+            concat!(
+                "  {{\"policy\": \"{}\", \"tasks\": {}, \"cpu\": {}, \"gpu\": {}, ",
+                "\"parity\": true, \"trace_events\": {}, \"wall_ms\": {:.2}}}"
+            ),
+            name,
+            out.total,
+            cpu,
+            gpu,
+            events.len(),
+            wall_ms
+        ));
+    }
+    let json = format!("[\n{}\n]\n", rows.join(",\n"));
+    match std::fs::write("BENCH_net.json", &json) {
+        Ok(()) => println!("wrote BENCH_net.json"),
+        Err(e) => {
+            eprintln!("net: failed to write BENCH_net.json: {e}");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -15,7 +15,7 @@ use anthill_hetsim::TaskShape;
 pub struct BufferId(pub u64);
 
 /// A data buffer / schedulable event.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DataBuffer {
     /// Unique id.
     pub id: BufferId,

@@ -9,12 +9,12 @@
 //!                    │  request windows  (DQAA/static) │
 //!                    │  dispatch, obs events           │
 //!                    └──────┬─────────┬────────┬───────┘
-//!                 Clock + Transport + Executor traits
-//!                    ┌──────┴───┐ ┌───┴────┐ ┌─┴────────────┐
-//!                    │ DES      │ │ native │ │ sequential   │
-//!                    │ driver   │ │ driver │ │ reference    │
-//!                    │ (sim)    │ │ (local)│ │ driver       │
-//!                    └──────────┘ └────────┘ └──────────────┘
+//!              Clock + Transport + Executor traits
+//!          ┌──────┴───┐ ┌───┴────┐ ┌─┴────────────┐ ┌──────────┐
+//!          │ DES      │ │ native │ │ sequential   │ │ net      │
+//!          │ driver   │ │ driver │ │ reference    │ │ driver   │
+//!          │ (sim)    │ │ (local)│ │ driver       │ │ (TCP)    │
+//!          └──────────┘ └────────┘ └──────────────┘ └──────────┘
 //! ```
 //!
 //! The split: the engine owns every *decision* — which buffer a reader

@@ -78,6 +78,24 @@ pub struct WorkerDeathSpec {
     pub at: SimTime,
 }
 
+/// One scheduled connection sever for the networked backend: after the
+/// coordinator has written `after_frames` frames to the worker's socket,
+/// the connection is shut down both ways. The worker sees EOF and exits;
+/// the coordinator sees EOF and maps the sever onto the existing permanent
+/// death model ([`WorkerDeathSpec`] semantics: in-flight buffers re-homed,
+/// the slot retired). Frame counts are deterministic in the lockstep
+/// driver, making severs replayable the way virtual-time deaths are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectionDropSpec {
+    /// Hosting node index.
+    pub node: usize,
+    /// Worker slot index within the node.
+    pub worker: usize,
+    /// Coordinator→worker frames delivered before the sever (the `Hello`
+    /// handshake frame counts).
+    pub after_frames: u64,
+}
+
 /// Engine-side recovery knobs (consumed by `engine::core`).
 #[derive(Debug, Clone, Copy)]
 pub struct RecoveryConfig {

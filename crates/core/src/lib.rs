@@ -35,6 +35,13 @@
 //! * [`engine::sequential`] — a single-threaded reference driver; the
 //!   policy-parity tests pin the other backends against it, and it is the
 //!   template for adding new backends.
+//! * [`net`] — a TCP multi-process backend: the engine runs in a
+//!   coordinator process, workers are separate processes speaking a
+//!   length-prefixed frame protocol. Its lockstep mode reproduces the
+//!   sequential driver's callback order over real sockets (same counts,
+//!   proven by the parity suite); its concurrent mode executes in wall
+//!   time with the full recovery path (process kill, connection sever,
+//!   heartbeat silence all map onto `worker_died`).
 //!
 //! ## Quick taste
 //!
@@ -59,6 +66,7 @@ pub mod dqaa;
 pub mod engine;
 pub mod faults;
 pub mod local;
+pub mod net;
 pub mod obs;
 pub mod policy;
 pub mod queue;

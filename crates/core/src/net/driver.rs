@@ -1,0 +1,789 @@
+//! The coordinator-side net driver: [`Transport`] + [`Executor`] over TCP.
+//!
+//! Two run modes share the engine, the protocol, and the worker binary:
+//!
+//! * [`run_deterministic`] — a lockstep loop structured exactly like the
+//!   sequential reference driver: one FIFO message inbox, a
+//!   [`VirtualClock`] ticked once per message, batch limit 1. The only
+//!   difference is that every request hop and every execution makes a
+//!   *real* socket round trip — the frame is written, the worker answers,
+//!   and the coordinator blocks for that answer at the moment the
+//!   sequential driver would have handled the message. Because the engine
+//!   sees callbacks in the identical order, per-device assignment counts
+//!   are bit-identical to the sequential/native/DES backends (the
+//!   policy-parity suite pins this).
+//! * [`run_concurrent`] — a wall-clock event loop: one reader thread per
+//!   connection feeds a channel, workers genuinely execute in parallel,
+//!   request timeouts fire from a timer heap, and worker death (process
+//!   kill, connection sever, heartbeat silence) maps onto the engine's
+//!   PR-3 recovery path ([`Engine::worker_died`] re-homes in-flight
+//!   buffers).
+//!
+//! Backpressure is the engine's own demand-driven window: a worker slot
+//! holds at most `max_window` outstanding requests and
+//! [`NetConfig::batch_limit`] in-flight `Deliver` frames, so neither side
+//! ever buffers an unbounded frame backlog.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::io::{self, Read};
+use std::net::{Shutdown, TcpStream};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use anthill_hetsim::{DeviceId, DeviceKind};
+use anthill_simkit::{SimDuration, SimTime};
+
+use crate::buffer::DataBuffer;
+use crate::engine::{
+    Clock, Engine, EngineConfig, Executor, Transport, VirtualClock, WallClock, WorkerRef,
+};
+use crate::faults::{ConnectionDropSpec, RecoveryConfig};
+use crate::obs::{DeviceRef, EventKind, Recorder};
+use crate::policy::Policy;
+use crate::weights::WeightProvider;
+
+use super::frame::{encode_frame, Frame, FrameDecoder, FrameError};
+use super::worker::modeled_proc_ns;
+
+/// One established coordinator↔worker connection and the device identity
+/// its slot schedules for. The caller owns connection establishment
+/// (loopback listener, spawned child process, remote host — the driver
+/// does not care).
+#[derive(Debug)]
+pub struct NetWorkerConn {
+    /// The device the worker slot schedules for.
+    pub device: DeviceId,
+    /// The connected stream, handshake not yet performed.
+    pub stream: TcpStream,
+}
+
+/// Configuration of a networked run.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// The scheduling policy.
+    pub policy: Policy,
+    /// Upper bound on any worker's request window.
+    pub max_window: usize,
+    /// Engine recovery knobs (timeouts/retries; concurrent mode only —
+    /// the lockstep driver never arms timers, like the sequential one).
+    pub recovery: RecoveryConfig,
+    /// Observability sink for engine events and the re-stamped
+    /// `remote_start`/`remote_finish` worker spans.
+    pub recorder: Recorder,
+    /// Scheduled connection severs (net-backend fault injection).
+    pub drops: Vec<ConnectionDropSpec>,
+    /// Hard wall-clock bound on the whole run; exceeding it aborts with
+    /// an error so a wedged run can never hang CI.
+    pub deadline: Duration,
+    /// Declare a worker dead after this much silence (no frame of any
+    /// kind, heartbeats included). `None` disables the check; EOF on the
+    /// connection is always fatal regardless.
+    pub heartbeat_timeout: Option<Duration>,
+    /// Upper bound on buffers per `Deliver` frame (the in-flight frame
+    /// bound; 1 matches the sequential reference driver and is required
+    /// for cross-backend parity).
+    pub batch_limit: usize,
+}
+
+impl NetConfig {
+    /// Defaults: the given policy, a 256-wide window cap, recovery off,
+    /// no recording, no severs, a 60 s deadline, batch limit 1.
+    pub fn new(policy: Policy) -> NetConfig {
+        NetConfig {
+            policy,
+            max_window: 256,
+            recovery: RecoveryConfig::disabled(),
+            recorder: Recorder::disabled(),
+            drops: Vec::new(),
+            deadline: Duration::from_secs(60),
+            heartbeat_timeout: None,
+            batch_limit: 1,
+        }
+    }
+}
+
+/// Result of a networked run.
+#[derive(Debug, Clone)]
+pub struct NetOutcome {
+    /// `(device kind, level) -> buffers completed`.
+    pub assigned: std::collections::HashMap<(DeviceKind, u8), u64>,
+    /// Completion order, as `(device kind, buffer id)`.
+    pub dispatch_order: Vec<(DeviceKind, u64)>,
+    /// Total buffers completed.
+    pub total: u64,
+    /// Worker slots that died during the run (sever, EOF, silence).
+    pub deaths: u32,
+}
+
+fn proto_err(e: FrameError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+/// Coordinator-side state of one worker connection.
+struct SlotIo {
+    stream: TcpStream,
+    dec: FrameDecoder,
+    /// Frames successfully written to this slot.
+    frames_sent: u64,
+    /// Sever the connection once `frames_sent` reaches this.
+    sever_after: Option<u64>,
+    /// Writable? Cleared on sever or write failure; the outer loop reaps
+    /// the slot into `Engine::worker_died`.
+    open: bool,
+}
+
+impl SlotIo {
+    fn new(stream: TcpStream, sever_after: Option<u64>) -> SlotIo {
+        SlotIo {
+            stream,
+            dec: FrameDecoder::new(),
+            frames_sent: 0,
+            sever_after,
+            open: true,
+        }
+    }
+
+    /// Write one frame, applying the sever schedule. Failures close the
+    /// slot instead of propagating: the engine learns about the death via
+    /// the reap path, exactly as it would for a real crashed peer.
+    fn write(&mut self, frame: &Frame) {
+        if !self.open {
+            return;
+        }
+        if let Some(limit) = self.sever_after {
+            if self.frames_sent >= limit {
+                let _ = self.stream.shutdown(Shutdown::Both);
+                self.open = false;
+                return;
+            }
+        }
+        use std::io::Write as _;
+        if self.stream.write_all(&encode_frame(frame)).is_err() {
+            let _ = self.stream.shutdown(Shutdown::Both);
+            self.open = false;
+        } else {
+            self.frames_sent += 1;
+        }
+    }
+
+    /// Blocking-read the next non-heartbeat frame, bounded by `deadline`.
+    fn read_frame(&mut self, deadline: Instant) -> io::Result<Frame> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.dec.next_frame().map_err(proto_err)? {
+                Some(Frame::Heartbeat { .. }) => continue,
+                Some(f) => return Ok(f),
+                None => {}
+            }
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "deadline while awaiting frame",
+                ));
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "worker connection closed",
+                    ))
+                }
+                Ok(n) => self.dec.feed(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut
+                        || e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+fn sever_for(drops: &[ConnectionDropSpec], node: usize, worker: usize) -> Option<u64> {
+    drops
+        .iter()
+        .find(|d| d.node == node && d.worker == worker)
+        .map(|d| d.after_frames)
+}
+
+/// `Hello` handshake on every connection: send the slot identity, expect
+/// it echoed verbatim. A slot that fails stays in the topology but is
+/// reaped as dead before the first kick.
+fn handshake(slots: &mut [SlotIo], deadline: Instant) {
+    for (i, slot) in slots.iter_mut().enumerate() {
+        let hello = Frame::Hello {
+            node: 0,
+            slot: i as u32,
+        };
+        slot.write(&hello);
+        if !slot.open {
+            continue;
+        }
+        match slot.read_frame(deadline) {
+            Ok(echo) if echo == hello => {}
+            _ => {
+                let _ = slot.stream.shutdown(Shutdown::Both);
+                slot.open = false;
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- lockstep
+
+enum Msg {
+    Request {
+        from: WorkerRef,
+        reader: usize,
+        req_id: u64,
+    },
+    Exec {
+        worker: WorkerRef,
+        buffer: DataBuffer,
+    },
+}
+
+/// Lockstep driver: the sequential reference driver's FIFO inbox, plus a
+/// socket write at each send so every hop crosses the wire.
+struct LockstepDriver {
+    inbox: VecDeque<Msg>,
+    slots: Vec<SlotIo>,
+    inflight: Vec<Vec<DataBuffer>>,
+    dead: Vec<bool>,
+}
+
+impl Transport for LockstepDriver {
+    fn send_request(&mut self, from: WorkerRef, reader: usize, req_id: u64) {
+        self.slots[from.worker].write(&Frame::Request {
+            reader: reader as u32,
+            req_id,
+        });
+        self.inbox.push_back(Msg::Request {
+            from,
+            reader,
+            req_id,
+        });
+    }
+}
+
+impl Executor for LockstepDriver {
+    fn batch_limit(&mut self, _worker: WorkerRef) -> usize {
+        1
+    }
+
+    fn launch(&mut self, worker: WorkerRef, batch: Vec<DataBuffer>) {
+        for buffer in batch {
+            self.slots[worker.worker].write(&Frame::Deliver {
+                kind: worker.device.kind,
+                buffers: vec![buffer.clone()],
+            });
+            self.inflight[worker.worker].push(buffer.clone());
+            self.inbox.push_back(Msg::Exec { worker, buffer });
+        }
+    }
+}
+
+/// Retire every slot whose connection failed since the last engine call.
+fn reap<C: Clock, W: WeightProvider>(
+    engine: &mut Engine<C, W>,
+    drv: &mut LockstepDriver,
+    deaths: &mut u32,
+) {
+    for slot in 0..drv.slots.len() {
+        if !drv.slots[slot].open && !drv.dead[slot] {
+            drv.dead[slot] = true;
+            *deaths += 1;
+            let inflight = std::mem::take(&mut drv.inflight[slot]);
+            engine.worker_died(0, slot, inflight, drv);
+        }
+    }
+}
+
+/// Run `sources` through one engine node whose workers live behind the
+/// given connections, in lockstep deterministic mode (see the module
+/// docs). Worker behaviour — identity forwarding, recirculation — is
+/// whatever the remote side was started with.
+pub fn run_deterministic<W: WeightProvider>(
+    cfg: NetConfig,
+    workers: Vec<NetWorkerConn>,
+    sources: Vec<DataBuffer>,
+    weights: W,
+) -> io::Result<NetOutcome> {
+    let hard_deadline = Instant::now() + cfg.deadline;
+    let clock = VirtualClock::new();
+    let mut engine = Engine::new(
+        EngineConfig {
+            policy: cfg.policy,
+            max_window: cfg.max_window,
+            recovery: RecoveryConfig::disabled(),
+        },
+        clock.clone(),
+        weights,
+        cfg.recorder.clone(),
+    );
+    let node = engine.add_node();
+    let mut drv = LockstepDriver {
+        inbox: VecDeque::new(),
+        slots: Vec::with_capacity(workers.len()),
+        inflight: vec![Vec::new(); workers.len()],
+        dead: vec![false; workers.len()],
+    };
+    for (i, conn) in workers.into_iter().enumerate() {
+        engine.add_worker(node, conn.device);
+        conn.stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .ok();
+        conn.stream.set_nodelay(true).ok();
+        drv.slots
+            .push(SlotIo::new(conn.stream, sever_for(&cfg.drops, node, i)));
+    }
+    assert!(!drv.slots.is_empty(), "no worker connections configured");
+    handshake(&mut drv.slots, hard_deadline);
+    for b in sources {
+        engine.seed_reader(node, b);
+    }
+
+    let rec = cfg.recorder.clone();
+    let mut deaths = 0u32;
+    reap(&mut engine, &mut drv, &mut deaths);
+    // Kick every live worker's requester, as the sequential driver does.
+    for w in engine.worker_refs() {
+        if !drv.dead[w.worker] {
+            engine.data_arrived(w.node, w.worker, u64::MAX, None, &mut drv);
+        }
+    }
+
+    let mut dispatch_order = Vec::new();
+    let mut tick = 0u64;
+    loop {
+        reap(&mut engine, &mut drv, &mut deaths);
+        let Some(msg) = drv.inbox.pop_front() else {
+            break;
+        };
+        tick += 1;
+        clock.set(SimTime(tick));
+        match msg {
+            Msg::Request {
+                from,
+                reader,
+                req_id,
+            } => {
+                if drv.dead[from.worker] || !drv.slots[from.worker].open {
+                    continue; // the request died with its connection
+                }
+                match drv.slots[from.worker].read_frame(hard_deadline) {
+                    Ok(Frame::Request {
+                        req_id: echoed_id, ..
+                    }) if echoed_id == req_id => {
+                        let buffer = engine.answer_request(reader, from.device.kind);
+                        engine.data_arrived(from.node, from.worker, req_id, buffer, &mut drv);
+                    }
+                    Ok(_) | Err(_) => {
+                        let _ = drv.slots[from.worker].stream.shutdown(Shutdown::Both);
+                        drv.slots[from.worker].open = false;
+                    }
+                }
+            }
+            Msg::Exec { worker, buffer } => {
+                if drv.dead[worker.worker] || !drv.slots[worker.worker].open {
+                    continue; // already re-homed by reap
+                }
+                let completion =
+                    drv.slots[worker.worker]
+                        .read_frame(hard_deadline)
+                        .and_then(|first| {
+                            let second = drv.slots[worker.worker].read_frame(hard_deadline)?;
+                            Ok((first, second))
+                        });
+                match completion {
+                    Ok((
+                        Frame::Complete {
+                            buffer: done,
+                            proc_ns: _,
+                            span,
+                            recirculated,
+                        },
+                        Frame::BatchDone,
+                    )) if done.id == buffer.id => {
+                        drv.inflight[worker.worker].retain(|b| b.id != done.id);
+                        dispatch_order.push((worker.device.kind, done.id.0));
+                        // Charge the modeled time (computed locally from the
+                        // shape, identical to what the worker reports) so the
+                        // engine's DQAA/accounting inputs match the other
+                        // backends bit-for-bit.
+                        let proc = SimDuration(modeled_proc_ns(&buffer, worker.device.kind));
+                        let ts = clock.now().as_nanos();
+                        let dev = DeviceRef::device(worker.device);
+                        rec.record(
+                            ts,
+                            dev,
+                            EventKind::RemoteStart {
+                                buffer: done.id.0,
+                                level: done.level,
+                            },
+                        );
+                        rec.record(
+                            ts,
+                            dev,
+                            EventKind::RemoteFinish {
+                                buffer: done.id.0,
+                                level: done.level,
+                                proc_ns: span.end_ns.saturating_sub(span.start_ns),
+                            },
+                        );
+                        engine.task_finished(worker.node, worker.worker, &done, proc);
+                        for r in recirculated {
+                            engine.recirculate(node, r, &mut drv);
+                        }
+                        engine.worker_idle(worker.node, worker.worker, &[proc], &mut drv);
+                    }
+                    Ok(_) | Err(_) => {
+                        let _ = drv.slots[worker.worker].stream.shutdown(Shutdown::Both);
+                        drv.slots[worker.worker].open = false;
+                    }
+                }
+            }
+        }
+    }
+
+    shutdown_slots(&mut drv.slots);
+    Ok(NetOutcome {
+        assigned: engine.tasks_by().clone(),
+        dispatch_order,
+        total: engine.total_done(),
+        deaths,
+    })
+}
+
+fn shutdown_slots(slots: &mut [SlotIo]) {
+    for slot in slots.iter_mut() {
+        if slot.open {
+            slot.write(&Frame::Shutdown);
+            let _ = slot.stream.shutdown(Shutdown::Write);
+        }
+    }
+}
+
+// ----------------------------------------------------------- concurrent
+
+enum Pump {
+    /// A decoded frame from a worker's reader thread.
+    Frame(usize, Frame),
+    /// The worker's connection reached EOF or failed.
+    Closed(usize),
+}
+
+/// Concurrent driver: frames go out immediately; timeouts live in a heap
+/// keyed by wall-clock fire time.
+struct ConcurrentDriver {
+    slots: Vec<SlotIo>,
+    inflight: Vec<Vec<DataBuffer>>,
+    /// `(fire_ns, slot, req_id)` min-heap on the shared wall clock.
+    timers: BinaryHeap<Reverse<(u64, usize, u64)>>,
+    batch_limit: usize,
+}
+
+impl Transport for ConcurrentDriver {
+    fn send_request(&mut self, from: WorkerRef, reader: usize, req_id: u64) {
+        self.slots[from.worker].write(&Frame::Request {
+            reader: reader as u32,
+            req_id,
+        });
+    }
+
+    fn schedule_timeout(&mut self, worker: WorkerRef, req_id: u64, fire_at: SimTime) {
+        self.timers
+            .push(Reverse((fire_at.as_nanos(), worker.worker, req_id)));
+    }
+}
+
+impl Executor for ConcurrentDriver {
+    fn batch_limit(&mut self, _worker: WorkerRef) -> usize {
+        self.batch_limit
+    }
+
+    fn launch(&mut self, worker: WorkerRef, batch: Vec<DataBuffer>) {
+        self.inflight[worker.worker].extend(batch.iter().cloned());
+        self.slots[worker.worker].write(&Frame::Deliver {
+            kind: worker.device.kind,
+            buffers: batch,
+        });
+    }
+}
+
+fn kill_slot<C: Clock, W: WeightProvider>(
+    engine: &mut Engine<C, W>,
+    drv: &mut ConcurrentDriver,
+    dead: &mut [bool],
+    deaths: &mut u32,
+    slot: usize,
+) {
+    if dead[slot] {
+        return;
+    }
+    dead[slot] = true;
+    *deaths += 1;
+    if drv.slots[slot].open {
+        let _ = drv.slots[slot].stream.shutdown(Shutdown::Both);
+        drv.slots[slot].open = false;
+    }
+    let inflight = std::mem::take(&mut drv.inflight[slot]);
+    engine.worker_died(0, slot, inflight, drv);
+}
+
+/// Run `sources` through one engine node whose workers execute
+/// concurrently behind the given connections, in wall-clock time with the
+/// full recovery path armed (see the module docs). The run ends when every
+/// seeded and recirculated buffer has completed exactly once, or errs at
+/// the deadline.
+pub fn run_concurrent<W: WeightProvider>(
+    cfg: NetConfig,
+    workers: Vec<NetWorkerConn>,
+    sources: Vec<DataBuffer>,
+    weights: W,
+) -> io::Result<NetOutcome> {
+    let hard_deadline = Instant::now() + cfg.deadline;
+    let wall = WallClock::start();
+    let mut engine = Engine::new(
+        EngineConfig {
+            policy: cfg.policy,
+            max_window: cfg.max_window,
+            recovery: cfg.recovery,
+        },
+        wall.clone(),
+        weights,
+        cfg.recorder.clone(),
+    );
+    let node = engine.add_node();
+    let mut drv = ConcurrentDriver {
+        slots: Vec::with_capacity(workers.len()),
+        inflight: vec![Vec::new(); workers.len()],
+        timers: BinaryHeap::new(),
+        batch_limit: cfg.batch_limit.max(1),
+    };
+    let mut read_halves = Vec::with_capacity(workers.len());
+    for (i, conn) in workers.into_iter().enumerate() {
+        engine.add_worker(node, conn.device);
+        conn.stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .ok();
+        conn.stream.set_nodelay(true).ok();
+        read_halves.push(conn.stream.try_clone()?);
+        drv.slots
+            .push(SlotIo::new(conn.stream, sever_for(&cfg.drops, node, i)));
+    }
+    assert!(!drv.slots.is_empty(), "no worker connections configured");
+    handshake(&mut drv.slots, hard_deadline);
+
+    // One reader thread per connection, all feeding one channel; mpsc
+    // ordering guarantees a slot's buffered completions are seen before
+    // its Closed marker.
+    let (tx, rx) = mpsc::channel::<Pump>();
+    let mut readers = Vec::new();
+    for (slot, mut stream) in read_halves.into_iter().enumerate() {
+        stream.set_read_timeout(None).ok();
+        let tx = tx.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("anthill-net-rx-{slot}"))
+            .spawn(move || {
+                let mut dec = FrameDecoder::new();
+                let mut chunk = [0u8; 64 * 1024];
+                loop {
+                    match stream.read(&mut chunk) {
+                        Ok(0) => {
+                            let _ = tx.send(Pump::Closed(slot));
+                            return;
+                        }
+                        Ok(n) => {
+                            dec.feed(&chunk[..n]);
+                            loop {
+                                match dec.next_frame() {
+                                    Ok(Some(f)) => {
+                                        if tx.send(Pump::Frame(slot, f)).is_err() {
+                                            return;
+                                        }
+                                    }
+                                    Ok(None) => break,
+                                    Err(_) => {
+                                        let _ = tx.send(Pump::Closed(slot));
+                                        return;
+                                    }
+                                }
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            let _ = tx.send(Pump::Closed(slot));
+                            return;
+                        }
+                    }
+                }
+            })
+            .expect("spawn net reader thread");
+        readers.push(handle);
+    }
+    drop(tx);
+
+    let mut expected = sources.len() as u64;
+    for b in sources {
+        engine.seed_reader(node, b);
+    }
+    let n_slots = drv.slots.len();
+    let rec = cfg.recorder.clone();
+    let mut dead = vec![false; n_slots];
+    let mut deaths = 0u32;
+    let mut last_seen = vec![Instant::now(); n_slots];
+    let mut pending_procs: Vec<Vec<SimDuration>> = vec![Vec::new(); n_slots];
+    let mut dispatch_order = Vec::new();
+
+    for slot in 0..n_slots {
+        if !drv.slots[slot].open {
+            kill_slot(&mut engine, &mut drv, &mut dead, &mut deaths, slot);
+        }
+    }
+    for w in engine.worker_refs() {
+        if !dead[w.worker] {
+            engine.data_arrived(w.node, w.worker, u64::MAX, None, &mut drv);
+        }
+    }
+
+    while engine.total_done() < expected {
+        if Instant::now() >= hard_deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!(
+                    "net run deadline exceeded: {}/{} buffers done, {} worker(s) dead",
+                    engine.total_done(),
+                    expected,
+                    deaths
+                ),
+            ));
+        }
+        // Fire due request timeouts.
+        let now_ns = wall.now().as_nanos();
+        while let Some(&Reverse((fire, slot, req_id))) = drv.timers.peek() {
+            if fire > now_ns {
+                break;
+            }
+            drv.timers.pop();
+            engine.request_timed_out(0, slot, req_id, &mut drv);
+        }
+        // Declare silent workers dead.
+        if let Some(hb) = cfg.heartbeat_timeout {
+            for slot in 0..n_slots {
+                if !dead[slot] && last_seen[slot].elapsed() > hb {
+                    kill_slot(&mut engine, &mut drv, &mut dead, &mut deaths, slot);
+                }
+            }
+        }
+        if dead.iter().all(|&d| d) {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                format!(
+                    "every worker died with {}/{} buffers done",
+                    engine.total_done(),
+                    expected
+                ),
+            ));
+        }
+        // Sleep until the next frame or the next timer, whichever first.
+        let mut wait = Duration::from_millis(25);
+        if let Some(&Reverse((fire, _, _))) = drv.timers.peek() {
+            let until = Duration::from_nanos(fire.saturating_sub(wall.now().as_nanos()));
+            wait = wait.min(until.max(Duration::from_millis(1)));
+        }
+        let event = match rx.recv_timeout(wait) {
+            Ok(ev) => ev,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                for slot in 0..n_slots {
+                    kill_slot(&mut engine, &mut drv, &mut dead, &mut deaths, slot);
+                }
+                continue;
+            }
+        };
+        match event {
+            Pump::Closed(slot) => kill_slot(&mut engine, &mut drv, &mut dead, &mut deaths, slot),
+            Pump::Frame(slot, frame) => {
+                last_seen[slot] = Instant::now();
+                if dead[slot] {
+                    continue; // a late frame from a retired slot
+                }
+                match frame {
+                    Frame::Request { reader, req_id } => {
+                        let kind = engine.worker_device(0, slot).kind;
+                        let buffer = engine.answer_request(reader as usize, kind);
+                        engine.data_arrived(0, slot, req_id, buffer, &mut drv);
+                    }
+                    Frame::Complete {
+                        buffer,
+                        proc_ns,
+                        span,
+                        recirculated,
+                    } => {
+                        drv.inflight[slot].retain(|b| b.id != buffer.id);
+                        let device = engine.worker_device(0, slot);
+                        dispatch_order.push((device.kind, buffer.id.0));
+                        let ts = wall.now().as_nanos();
+                        let dev = DeviceRef::device(device);
+                        rec.record(
+                            ts,
+                            dev,
+                            EventKind::RemoteStart {
+                                buffer: buffer.id.0,
+                                level: buffer.level,
+                            },
+                        );
+                        rec.record(
+                            ts,
+                            dev,
+                            EventKind::RemoteFinish {
+                                buffer: buffer.id.0,
+                                level: buffer.level,
+                                proc_ns: span.end_ns.saturating_sub(span.start_ns),
+                            },
+                        );
+                        let proc = SimDuration(proc_ns);
+                        engine.task_finished(0, slot, &buffer, proc);
+                        pending_procs[slot].push(proc);
+                        expected += recirculated.len() as u64;
+                        for r in recirculated {
+                            engine.recirculate(node, r, &mut drv);
+                        }
+                    }
+                    Frame::BatchDone => {
+                        let procs = std::mem::take(&mut pending_procs[slot]);
+                        engine.worker_idle(0, slot, &procs, &mut drv);
+                    }
+                    // Heartbeats already refreshed `last_seen`; the rest
+                    // are protocol noise a healthy worker never sends.
+                    Frame::Heartbeat { .. }
+                    | Frame::Hello { .. }
+                    | Frame::Bye
+                    | Frame::Deliver { .. }
+                    | Frame::Shutdown => {}
+                }
+            }
+        }
+        // Reap slots whose writes failed inside the engine callbacks.
+        for slot in 0..n_slots {
+            if !drv.slots[slot].open && !dead[slot] {
+                kill_slot(&mut engine, &mut drv, &mut dead, &mut deaths, slot);
+            }
+        }
+    }
+
+    shutdown_slots(&mut drv.slots);
+    drop(drv);
+    drop(rx);
+    for handle in readers {
+        let _ = handle.join();
+    }
+    Ok(NetOutcome {
+        assigned: engine.tasks_by().clone(),
+        dispatch_order,
+        total: engine.total_done(),
+        deaths,
+    })
+}

@@ -1,0 +1,600 @@
+//! The wire protocol of the networked backend: a length-prefixed binary
+//! frame codec.
+//!
+//! Every message on a coordinator↔worker connection is one *frame*:
+//!
+//! ```text
+//! ┌───────┬─────┬──────────────┬───────────────┐
+//! │ MAGIC │ tag │ len (u32 LE) │ payload bytes │
+//! └───────┴─────┴──────────────┴───────────────┘
+//! ```
+//!
+//! The 6-byte header is validated before any payload is buffered: a wrong
+//! magic byte, an unknown tag, or a length above [`MAX_FRAME`] rejects the
+//! stream immediately (a desynchronized or corrupt peer must not make the
+//! decoder allocate unbounded memory). Payloads are hand-rolled
+//! little-endian integers and length-prefixed UTF-8 — no float formatting,
+//! no self-describing envelope — so encoding is byte-deterministic and the
+//! codec round-trips [`DataBuffer`]s (including mixed numeric/categorical
+//! [`TaskParams`]) exactly.
+//!
+//! [`FrameDecoder`] is incremental: feed it whatever slice the socket
+//! produced — one byte at a time, half a header, three coalesced frames —
+//! and pop complete frames as they materialize. The codec proptests
+//! (`tests/net_codec.rs`) drive exactly those splits.
+
+use std::fmt;
+
+use anthill_estimator::{ParamValue, TaskParams};
+use anthill_hetsim::{DeviceKind, TaskShape};
+use anthill_simkit::SimDuration;
+
+use crate::buffer::{BufferId, DataBuffer};
+
+/// First byte of every frame; anything else means the stream is corrupt
+/// or desynchronized.
+pub const MAGIC: u8 = 0xA7;
+
+/// Upper bound on a frame payload (16 MiB). A header announcing more is
+/// rejected before any payload is buffered.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Why a byte stream failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first header byte was not [`MAGIC`].
+    BadMagic(u8),
+    /// The tag byte named no known frame type.
+    BadTag(u8),
+    /// The announced payload length exceeded [`MAX_FRAME`].
+    Oversize(u32),
+    /// The payload ended before its fields did, or a field was malformed.
+    BadPayload(&'static str),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic(b) => write!(f, "bad frame magic {b:#04x}"),
+            FrameError::BadTag(t) => write!(f, "unknown frame tag {t}"),
+            FrameError::Oversize(n) => write!(f, "frame length {n} exceeds {MAX_FRAME}"),
+            FrameError::BadPayload(what) => write!(f, "malformed frame payload: {what}"),
+        }
+    }
+}
+
+/// A worker-side execution span, in nanoseconds of the worker's own
+/// monotonic clock (the coordinator re-stamps it onto the merged trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireSpan {
+    /// Handler start, worker-epoch nanoseconds.
+    pub start_ns: u64,
+    /// Handler end, worker-epoch nanoseconds.
+    pub end_ns: u64,
+}
+
+/// One protocol message (see the module docs for the frame layout).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Slot assignment, coordinator → worker at connection time; the
+    /// worker echoes it back verbatim to prove framing works both ways.
+    Hello {
+        /// Engine node index the slot lives on.
+        node: u32,
+        /// Worker slot index within the node.
+        slot: u32,
+    },
+    /// A demand request bounced through the worker's requester: the
+    /// coordinator sends it when the engine pumps the worker's window, the
+    /// worker forwards it back to the reader (which lives coordinator-side).
+    Request {
+        /// Target reader (node) index.
+        reader: u32,
+        /// Engine request id; the echo must carry it unchanged.
+        req_id: u64,
+    },
+    /// A batch of buffers for the worker to execute.
+    Deliver {
+        /// Device class the executing slot schedules for.
+        kind: DeviceKind,
+        /// The buffers, in dispatch order.
+        buffers: Vec<DataBuffer>,
+    },
+    /// One executed buffer coming back.
+    Complete {
+        /// The buffer that ran (round-tripped so completion needs no
+        /// coordinator-side lookup table).
+        buffer: DataBuffer,
+        /// Modeled device occupancy (`shape.cpu` / `shape.gpu_kernel` by
+        /// the delivered kind), nanoseconds.
+        proc_ns: u64,
+        /// Measured worker-side handler span.
+        span: WireSpan,
+        /// Follow-up buffers the handler recirculated.
+        recirculated: Vec<DataBuffer>,
+    },
+    /// The worker drained its current batch and is idle again.
+    BatchDone,
+    /// Worker liveness ping.
+    Heartbeat {
+        /// Monotonic per-worker sequence number.
+        seq: u64,
+    },
+    /// Coordinator → worker: finish up and exit.
+    Shutdown,
+    /// Worker → coordinator: last frame before the worker closes.
+    Bye,
+}
+
+impl Frame {
+    fn tag(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 1,
+            Frame::Request { .. } => 2,
+            Frame::Deliver { .. } => 3,
+            Frame::Complete { .. } => 4,
+            Frame::BatchDone => 5,
+            Frame::Heartbeat { .. } => 6,
+            Frame::Shutdown => 7,
+            Frame::Bye => 8,
+        }
+    }
+}
+
+const MAX_TAG: u8 = 8;
+
+// ---------------------------------------------------------------- encode
+
+fn put_u32(out: &mut Vec<u8>, x: u32) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, x: u64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_params(out: &mut Vec<u8>, params: &TaskParams) {
+    put_u32(out, params.len() as u32);
+    for p in params.iter() {
+        match p {
+            ParamValue::Num(x) => {
+                out.push(0);
+                put_u64(out, x.to_bits());
+            }
+            ParamValue::Cat(s) => {
+                out.push(1);
+                put_u32(out, s.len() as u32);
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+}
+
+fn put_buffer(out: &mut Vec<u8>, b: &DataBuffer) {
+    put_u64(out, b.id.0);
+    put_u64(out, b.task);
+    out.push(b.level);
+    put_u64(out, b.shape.cpu.as_nanos());
+    put_u64(out, b.shape.gpu_kernel.as_nanos());
+    put_u64(out, b.shape.bytes_in);
+    put_u64(out, b.shape.bytes_out);
+    put_params(out, &b.params);
+}
+
+fn put_buffers(out: &mut Vec<u8>, bs: &[DataBuffer]) {
+    put_u32(out, bs.len() as u32);
+    for b in bs {
+        put_buffer(out, b);
+    }
+}
+
+fn kind_byte(k: DeviceKind) -> u8 {
+    match k {
+        DeviceKind::Cpu => 0,
+        DeviceKind::Gpu => 1,
+    }
+}
+
+/// Serialize one frame, header included.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut payload = Vec::new();
+    match frame {
+        Frame::Hello { node, slot } => {
+            put_u32(&mut payload, *node);
+            put_u32(&mut payload, *slot);
+        }
+        Frame::Request { reader, req_id } => {
+            put_u32(&mut payload, *reader);
+            put_u64(&mut payload, *req_id);
+        }
+        Frame::Deliver { kind, buffers } => {
+            payload.push(kind_byte(*kind));
+            put_buffers(&mut payload, buffers);
+        }
+        Frame::Complete {
+            buffer,
+            proc_ns,
+            span,
+            recirculated,
+        } => {
+            put_buffer(&mut payload, buffer);
+            put_u64(&mut payload, *proc_ns);
+            put_u64(&mut payload, span.start_ns);
+            put_u64(&mut payload, span.end_ns);
+            put_buffers(&mut payload, recirculated);
+        }
+        Frame::BatchDone | Frame::Shutdown | Frame::Bye => {}
+        Frame::Heartbeat { seq } => put_u64(&mut payload, *seq),
+    }
+    assert!(payload.len() as u64 <= MAX_FRAME as u64, "frame too large");
+    let mut out = Vec::with_capacity(payload.len() + 6);
+    out.push(MAGIC);
+    out.push(frame.tag());
+    put_u32(&mut out, payload.len() as u32);
+    out.extend_from_slice(&payload);
+    out
+}
+
+// ---------------------------------------------------------------- decode
+
+/// Cursor over one frame's payload bytes.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(FrameError::BadPayload("payload truncated"));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn kind(&mut self) -> Result<DeviceKind, FrameError> {
+        match self.u8()? {
+            0 => Ok(DeviceKind::Cpu),
+            1 => Ok(DeviceKind::Gpu),
+            _ => Err(FrameError::BadPayload("unknown device kind")),
+        }
+    }
+
+    fn params(&mut self) -> Result<TaskParams, FrameError> {
+        let n = self.u32()? as usize;
+        // Each parameter needs at least its kind byte + one length/value
+        // field; a hostile count cannot force a large allocation because
+        // the whole payload is already bounded by MAX_FRAME.
+        if n > self.bytes.len() {
+            return Err(FrameError::BadPayload("parameter count exceeds payload"));
+        }
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            match self.u8()? {
+                0 => values.push(ParamValue::Num(f64::from_bits(self.u64()?))),
+                1 => {
+                    let len = self.u32()? as usize;
+                    let raw = self.take(len)?;
+                    let s = std::str::from_utf8(raw)
+                        .map_err(|_| FrameError::BadPayload("categorical param not UTF-8"))?;
+                    values.push(ParamValue::Cat(s.to_owned()));
+                }
+                _ => return Err(FrameError::BadPayload("unknown param kind")),
+            }
+        }
+        Ok(TaskParams::new(values))
+    }
+
+    fn buffer(&mut self) -> Result<DataBuffer, FrameError> {
+        let id = BufferId(self.u64()?);
+        let task = self.u64()?;
+        let level = self.u8()?;
+        let shape = TaskShape {
+            cpu: SimDuration(self.u64()?),
+            gpu_kernel: SimDuration(self.u64()?),
+            bytes_in: self.u64()?,
+            bytes_out: self.u64()?,
+        };
+        let params = self.params()?;
+        Ok(DataBuffer {
+            id,
+            params,
+            shape,
+            level,
+            task,
+        })
+    }
+
+    fn buffers(&mut self) -> Result<Vec<DataBuffer>, FrameError> {
+        let n = self.u32()? as usize;
+        if n > self.bytes.len() {
+            return Err(FrameError::BadPayload("buffer count exceeds payload"));
+        }
+        (0..n).map(|_| self.buffer()).collect()
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(FrameError::BadPayload("trailing bytes after payload"))
+        }
+    }
+}
+
+fn decode_payload(tag: u8, bytes: &[u8]) -> Result<Frame, FrameError> {
+    let mut r = Reader { bytes, pos: 0 };
+    let frame = match tag {
+        1 => Frame::Hello {
+            node: r.u32()?,
+            slot: r.u32()?,
+        },
+        2 => Frame::Request {
+            reader: r.u32()?,
+            req_id: r.u64()?,
+        },
+        3 => Frame::Deliver {
+            kind: r.kind()?,
+            buffers: r.buffers()?,
+        },
+        4 => Frame::Complete {
+            buffer: r.buffer()?,
+            proc_ns: r.u64()?,
+            span: WireSpan {
+                start_ns: r.u64()?,
+                end_ns: r.u64()?,
+            },
+            recirculated: r.buffers()?,
+        },
+        5 => Frame::BatchDone,
+        6 => Frame::Heartbeat { seq: r.u64()? },
+        7 => Frame::Shutdown,
+        8 => Frame::Bye,
+        t => return Err(FrameError::BadTag(t)),
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+/// Incremental frame decoder: buffer bytes as the socket yields them, pop
+/// complete frames as they materialize.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted opportunistically).
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append raw socket bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.start > 0 && self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pop the next complete frame, if the buffer holds one.
+    ///
+    /// `Ok(None)` means "need more bytes". The header is validated as soon
+    /// as its six bytes are present, so corrupt streams fail before their
+    /// announced payload is ever awaited. After an `Err` the decoder is
+    /// poisoned-by-construction: the caller must drop the connection (the
+    /// stream offers no way to resynchronize).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 6 {
+            return Ok(None);
+        }
+        if avail[0] != MAGIC {
+            return Err(FrameError::BadMagic(avail[0]));
+        }
+        let tag = avail[1];
+        if tag == 0 || tag > MAX_TAG {
+            return Err(FrameError::BadTag(tag));
+        }
+        let len = u32::from_le_bytes(avail[2..6].try_into().unwrap());
+        if len > MAX_FRAME {
+            return Err(FrameError::Oversize(len));
+        }
+        let total = 6 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let frame = decode_payload(tag, &avail[6..total])?;
+        self.start += total;
+        // Compact once the consumed prefix dominates, keeping the buffer
+        // bounded by one partial frame plus whatever was coalesced.
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anthill_estimator::params;
+
+    fn buffer(id: u64) -> DataBuffer {
+        DataBuffer {
+            id: BufferId(id),
+            params: params![64.0, "variant-a", 3.0],
+            shape: TaskShape {
+                cpu: SimDuration::from_micros(400),
+                gpu_kernel: SimDuration::from_micros(50),
+                bytes_in: 3136,
+                bytes_out: 256,
+            },
+            level: 1,
+            task: id,
+        }
+    }
+
+    fn samples() -> Vec<Frame> {
+        vec![
+            Frame::Hello { node: 0, slot: 3 },
+            Frame::Request {
+                reader: 2,
+                req_id: 77,
+            },
+            Frame::Deliver {
+                kind: DeviceKind::Gpu,
+                buffers: vec![buffer(1), buffer(2)],
+            },
+            Frame::Complete {
+                buffer: buffer(1),
+                proc_ns: 50_000,
+                span: WireSpan {
+                    start_ns: 10,
+                    end_ns: 60_010,
+                },
+                recirculated: vec![buffer(9)],
+            },
+            Frame::BatchDone,
+            Frame::Heartbeat { seq: 4 },
+            Frame::Shutdown,
+            Frame::Bye,
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for frame in samples() {
+            let bytes = encode_frame(&frame);
+            let mut dec = FrameDecoder::new();
+            dec.feed(&bytes);
+            assert_eq!(dec.next_frame().unwrap(), Some(frame));
+            assert_eq!(dec.next_frame().unwrap(), None);
+            assert_eq!(dec.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn coalesced_frames_pop_in_order() {
+        let frames = samples();
+        let mut bytes = Vec::new();
+        for f in &frames {
+            bytes.extend_from_slice(&encode_frame(f));
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        for f in &frames {
+            assert_eq!(dec.next_frame().unwrap().as_ref(), Some(f));
+        }
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn one_byte_feeds_reassemble() {
+        let frame = Frame::Deliver {
+            kind: DeviceKind::Cpu,
+            buffers: vec![buffer(5)],
+        };
+        let bytes = encode_frame(&frame);
+        let mut dec = FrameDecoder::new();
+        for (i, b) in bytes.iter().enumerate() {
+            dec.feed(std::slice::from_ref(b));
+            let got = dec.next_frame().unwrap();
+            if i + 1 < bytes.len() {
+                assert_eq!(got, None, "frame completed early at byte {i}");
+            } else {
+                assert_eq!(got, Some(frame.clone()));
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_headers_are_rejected_before_payload() {
+        // Wrong magic.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&[0x00, 1, 0, 0, 0, 0]);
+        assert_eq!(dec.next_frame(), Err(FrameError::BadMagic(0x00)));
+        // Unknown tag.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&[MAGIC, 200, 0, 0, 0, 0]);
+        assert_eq!(dec.next_frame(), Err(FrameError::BadTag(200)));
+        // Oversized announced length, rejected with no payload bytes fed.
+        let mut dec = FrameDecoder::new();
+        let huge = (MAX_FRAME + 1).to_le_bytes();
+        dec.feed(&[MAGIC, 1, huge[0], huge[1], huge[2], huge[3]]);
+        assert_eq!(dec.next_frame(), Err(FrameError::Oversize(MAX_FRAME + 1)));
+    }
+
+    #[test]
+    fn truncated_and_padded_payloads_are_rejected() {
+        let mut bytes = encode_frame(&Frame::Request {
+            reader: 1,
+            req_id: 2,
+        });
+        // Chop one payload byte and shrink the announced length to match:
+        // the Request payload is now too short for its fields.
+        bytes.pop();
+        let new_len = (bytes.len() - 6) as u32;
+        bytes[2..6].copy_from_slice(&new_len.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        assert!(matches!(dec.next_frame(), Err(FrameError::BadPayload(_))));
+
+        // Extra trailing byte inside the announced payload.
+        let mut bytes = encode_frame(&Frame::Heartbeat { seq: 1 });
+        bytes.push(0xFF);
+        let new_len = (bytes.len() - 6) as u32;
+        bytes[2..6].copy_from_slice(&new_len.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameError::BadPayload("trailing bytes after payload"))
+        );
+    }
+
+    #[test]
+    fn empty_params_and_buffers_encode() {
+        let frame = Frame::Deliver {
+            kind: DeviceKind::Cpu,
+            buffers: vec![DataBuffer {
+                id: BufferId(0),
+                params: TaskParams::default(),
+                shape: TaskShape {
+                    cpu: SimDuration::ZERO,
+                    gpu_kernel: SimDuration::ZERO,
+                    bytes_in: 0,
+                    bytes_out: 0,
+                },
+                level: 0,
+                task: 0,
+            }],
+        };
+        let bytes = encode_frame(&frame);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        assert_eq!(dec.next_frame().unwrap(), Some(frame));
+    }
+}

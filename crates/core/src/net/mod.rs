@@ -1,0 +1,194 @@
+//! `anthill::net` — the TCP multi-process backend.
+//!
+//! The paper's Anthill deployment spreads filter instances across a
+//! gigabit-Ethernet cluster; this module is the reproduction's third
+//! backend, putting the scheduling engine in a *coordinator* process and
+//! the filter handlers in *worker* processes connected over TCP. The
+//! split mirrors the other backends exactly — all decisions stay in
+//! [`crate::engine`], and this module only prices the hops:
+//!
+//! * [`frame`] — the wire protocol: `[magic][tag][len]`-framed binary
+//!   messages carrying requests, [`DataBuffer`](crate::buffer::DataBuffer)
+//!   payloads (including `TaskParams`), completions with worker-side
+//!   trace spans, and heartbeats, plus an incremental decoder that
+//!   tolerates arbitrarily split or coalesced reads and rejects corrupt
+//!   headers before buffering a payload.
+//! * [`worker`] — the stateless worker loop (echo requests, execute
+//!   deliveries, heartbeat when idle), runnable as a child process via
+//!   the `repro` binary's hidden `worker` subcommand, as the dedicated
+//!   `net_worker` binary, or as an in-process thread for fast loopback
+//!   tests.
+//! * [`driver`] — the coordinator: a lockstep deterministic mode whose
+//!   engine-callback order is identical to the sequential reference
+//!   driver (bit-identical per-device counts, pinned by the parity
+//!   suite), and a concurrent wall-clock mode where worker death — killed
+//!   process, severed connection
+//!   ([`ConnectionDropSpec`](crate::faults::ConnectionDropSpec)),
+//!   heartbeat silence — flows into the engine's recovery path.
+//!
+//! Connection lifecycle: connect → `Hello` handshake (slot identity
+//! echoed both ways) → request/deliver/complete traffic bounded by the
+//! engine's demand windows → `Shutdown`/`Bye`. Worker trace spans ride
+//! back on `Complete` frames and are re-stamped onto the coordinator's
+//! clock as `remote_start`/`remote_finish` events, so `obs` exporters see
+//! one merged, deterministically ordered stream.
+
+pub mod driver;
+pub mod frame;
+pub mod worker;
+
+pub use driver::{run_concurrent, run_deterministic, NetConfig, NetOutcome, NetWorkerConn};
+pub use frame::{encode_frame, Frame, FrameDecoder, FrameError, WireSpan};
+pub use worker::{connect_and_run, run_worker, spawn_worker_thread, Behavior};
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+
+/// A connected loopback socket pair: `(coordinator side, worker side)`.
+///
+/// The listener lives only long enough to accept the one connection —
+/// the standard std-only substitute for `socketpair`.
+pub fn tcp_pair() -> io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let coordinator = TcpStream::connect(addr)?;
+    let (worker, _) = listener.accept()?;
+    Ok((coordinator, worker))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::{BufferId, DataBuffer};
+    use crate::policy::Policy;
+    use crate::weights::OracleWeights;
+    use anthill_estimator::TaskParams;
+    use anthill_hetsim::{DeviceId, DeviceKind, GpuParams, TaskShape};
+    use anthill_simkit::SimDuration;
+
+    fn tile(id: u64) -> DataBuffer {
+        DataBuffer {
+            id: BufferId(id),
+            params: TaskParams::nums(&[32.0]),
+            shape: TaskShape {
+                cpu: SimDuration::from_micros(400),
+                gpu_kernel: SimDuration::from_micros(400),
+                bytes_in: 0,
+                bytes_out: 0,
+            },
+            level: 0,
+            task: id,
+        }
+    }
+
+    fn loopback_workers(kinds: &[DeviceKind], behavior: Behavior) -> Vec<NetWorkerConn> {
+        kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| {
+                let (coord, worker_side) = tcp_pair().expect("loopback pair");
+                spawn_worker_thread(worker_side, behavior);
+                NetWorkerConn {
+                    device: DeviceId {
+                        node: 0,
+                        kind,
+                        index: i,
+                    },
+                    stream: coord,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lockstep_loopback_processes_every_source_once() {
+        let workers = loopback_workers(&[DeviceKind::Cpu, DeviceKind::Gpu], Behavior::Identity);
+        let out = run_deterministic(
+            NetConfig::new(Policy::ddfcfs(4)),
+            workers,
+            (0..50).map(tile).collect(),
+            OracleWeights::new(GpuParams::geforce_8800gt(), false),
+        )
+        .expect("net run");
+        assert_eq!(out.total, 50);
+        assert_eq!(out.deaths, 0);
+        let mut ids: Vec<u64> = out.dispatch_order.iter().map(|&(_, id)| id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..50).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn lockstep_matches_the_sequential_reference_driver() {
+        use crate::engine::sequential::{run as seq_run, Emission, SequentialConfig};
+        let devices = [
+            DeviceId {
+                node: 0,
+                kind: DeviceKind::Cpu,
+                index: 0,
+            },
+            DeviceId {
+                node: 0,
+                kind: DeviceKind::Gpu,
+                index: 0,
+            },
+        ];
+        for policy in [Policy::ddfcfs(4), Policy::ddwrr(8), Policy::odds()] {
+            let seq = seq_run(
+                SequentialConfig::new(policy),
+                &devices,
+                (0..60).map(tile).collect(),
+                OracleWeights::new(GpuParams::geforce_8800gt(), false),
+                |_, _| Emission::default(),
+            );
+            let workers = loopback_workers(&[DeviceKind::Cpu, DeviceKind::Gpu], Behavior::Identity);
+            let net = run_deterministic(
+                NetConfig::new(policy),
+                workers,
+                (0..60).map(tile).collect(),
+                OracleWeights::new(GpuParams::geforce_8800gt(), false),
+            )
+            .expect("net run");
+            assert_eq!(net.assigned, seq.assigned, "policy {policy:?}");
+            assert_eq!(net.dispatch_order, seq.dispatch_order, "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn concurrent_loopback_completes_with_recirculation() {
+        let workers = loopback_workers(
+            &[DeviceKind::Cpu, DeviceKind::Cpu],
+            Behavior::Recirc { rounds: 2 },
+        );
+        let out = run_concurrent(
+            NetConfig::new(Policy::ddwrr(8)),
+            workers,
+            (0..30).map(tile).collect(),
+            OracleWeights::new(GpuParams::geforce_8800gt(), false),
+        )
+        .expect("net run");
+        assert_eq!(out.total, 60, "30 seeds + 30 recirculated");
+        assert_eq!(out.deaths, 0);
+    }
+
+    #[test]
+    fn severed_connection_maps_onto_worker_death() {
+        use crate::faults::ConnectionDropSpec;
+        let workers = loopback_workers(&[DeviceKind::Cpu, DeviceKind::Cpu], Behavior::Identity);
+        let mut cfg = NetConfig::new(Policy::ddfcfs(4));
+        cfg.recovery = crate::faults::RecoveryConfig::standard();
+        cfg.drops = vec![ConnectionDropSpec {
+            node: 0,
+            worker: 1,
+            after_frames: 20,
+        }];
+        let out = run_concurrent(
+            cfg,
+            workers,
+            (0..40).map(tile).collect(),
+            OracleWeights::new(GpuParams::geforce_8800gt(), false),
+        )
+        .expect("net run");
+        assert_eq!(out.total, 40, "every buffer completes despite the sever");
+        assert_eq!(out.deaths, 1);
+    }
+}

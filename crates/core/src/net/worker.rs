@@ -1,0 +1,233 @@
+//! Worker-process side of the networked backend.
+//!
+//! A worker is deliberately dumb: it owns no scheduling state. It connects
+//! to the coordinator, learns its `(node, slot)` identity from the `Hello`
+//! handshake, and then serves a simple request/response loop:
+//!
+//! * `Request` frames are echoed back — the demand path is
+//!   coordinator→worker→coordinator so that the real socket round-trip is
+//!   exercised on every window refill, exactly where Anthill's labeled
+//!   stream messages would travel.
+//! * `Deliver` frames are executed buffer-by-buffer: the worker measures a
+//!   wall-clock span, derives the modeled device occupancy from the
+//!   buffer's [`TaskShape`](anthill_hetsim::TaskShape) and the delivered
+//!   device kind, applies its [`Behavior`] (identity forwarding,
+//!   recirculation, or busy-spinning), and answers with one `Complete` per
+//!   buffer followed by `BatchDone`.
+//! * `Shutdown` is answered with `Bye` and a clean exit.
+//!
+//! When the socket is idle past the read timeout the worker emits a
+//! `Heartbeat` so the coordinator can distinguish "slow" from "dead".
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use anthill_hetsim::DeviceKind;
+
+use crate::buffer::DataBuffer;
+
+use super::frame::{encode_frame, Frame, FrameDecoder, WireSpan};
+
+/// What a worker does with each delivered buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Behavior {
+    /// Execute and forward: no recirculation (one task per buffer).
+    Identity,
+    /// Recirculate each buffer with `level + 1` until it has lived
+    /// `rounds` levels, mirroring the multi-round test filters.
+    Recirc {
+        /// Total number of levels a buffer passes through.
+        rounds: u8,
+    },
+    /// Spin for roughly this many microseconds of wall time per buffer
+    /// before completing — gives chaos runs a window to kill the process
+    /// while work is genuinely in flight.
+    Busy {
+        /// Busy-spin duration per buffer, microseconds.
+        micros: u64,
+    },
+}
+
+impl Behavior {
+    /// Parse the CLI spelling used by the hidden `worker` subcommand:
+    /// `identity`, `recirc:N`, or `busy:N`.
+    pub fn parse(s: &str) -> Option<Behavior> {
+        if s == "identity" {
+            return Some(Behavior::Identity);
+        }
+        if let Some(n) = s.strip_prefix("recirc:") {
+            return n.parse().ok().map(|rounds| Behavior::Recirc { rounds });
+        }
+        if let Some(n) = s.strip_prefix("busy:") {
+            return n.parse().ok().map(|micros| Behavior::Busy { micros });
+        }
+        None
+    }
+
+    fn apply(&self, buffer: &DataBuffer) -> Vec<DataBuffer> {
+        match *self {
+            Behavior::Identity => Vec::new(),
+            Behavior::Recirc { rounds } => {
+                if buffer.level + 1 < rounds {
+                    let mut next = buffer.clone();
+                    next.level += 1;
+                    vec![next]
+                } else {
+                    Vec::new()
+                }
+            }
+            Behavior::Busy { micros } => {
+                let until = Instant::now() + Duration::from_micros(micros);
+                while Instant::now() < until {
+                    std::hint::spin_loop();
+                }
+                Vec::new()
+            }
+        }
+    }
+}
+
+/// Modeled device occupancy for `buffer` on a device of `kind` — the same
+/// number every other backend charges, so completion accounting matches.
+pub fn modeled_proc_ns(buffer: &DataBuffer, kind: DeviceKind) -> u64 {
+    match kind {
+        DeviceKind::Cpu => buffer.shape.cpu.as_nanos(),
+        DeviceKind::Gpu => buffer.shape.gpu_kernel.as_nanos(),
+    }
+}
+
+fn send(stream: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
+    stream.write_all(&encode_frame(frame))
+}
+
+/// Serve the worker loop on an established connection until `Shutdown`
+/// arrives or the coordinator hangs up. Returns the number of buffers
+/// executed.
+pub fn run_worker(mut stream: TcpStream, behavior: Behavior) -> std::io::Result<u64> {
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .ok();
+    let epoch = Instant::now();
+    let mut dec = FrameDecoder::new();
+    let mut chunk = [0u8; 64 * 1024];
+    let mut executed = 0u64;
+    let mut heartbeat_seq = 0u64;
+    loop {
+        // Drain every complete frame already buffered before reading more.
+        while let Some(frame) = dec
+            .next_frame()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?
+        {
+            match frame {
+                Frame::Hello { .. } => send(&mut stream, &frame)?,
+                Frame::Request { .. } => send(&mut stream, &frame)?,
+                Frame::Deliver { kind, buffers } => {
+                    for buffer in buffers {
+                        let start_ns = epoch.elapsed().as_nanos() as u64;
+                        let recirculated = behavior.apply(&buffer);
+                        let end_ns = epoch.elapsed().as_nanos() as u64;
+                        executed += 1;
+                        send(
+                            &mut stream,
+                            &Frame::Complete {
+                                proc_ns: modeled_proc_ns(&buffer, kind),
+                                buffer,
+                                span: WireSpan { start_ns, end_ns },
+                                recirculated,
+                            },
+                        )?;
+                    }
+                    send(&mut stream, &Frame::BatchDone)?;
+                }
+                Frame::Shutdown => {
+                    send(&mut stream, &Frame::Bye).ok();
+                    return Ok(executed);
+                }
+                // Coordinator never sends these; tolerate them.
+                Frame::Complete { .. }
+                | Frame::BatchDone
+                | Frame::Heartbeat { .. }
+                | Frame::Bye => {}
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(executed), // coordinator hung up
+            Ok(n) => dec.feed(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                heartbeat_seq += 1;
+                send(&mut stream, &Frame::Heartbeat { seq: heartbeat_seq })?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Connect to `addr` and serve [`run_worker`] — the body of the hidden
+/// `worker` subcommand in the `repro` binary.
+pub fn connect_and_run(addr: &str, behavior: Behavior) -> std::io::Result<u64> {
+    let stream = TcpStream::connect(addr)?;
+    run_worker(stream, behavior)
+}
+
+/// Spawn an in-process worker thread serving `behavior` over `stream`.
+/// Loopback tests use this where a full child process would only add
+/// startup latency; the protocol exercised is byte-identical.
+pub fn spawn_worker_thread(
+    stream: TcpStream,
+    behavior: Behavior,
+) -> std::thread::JoinHandle<std::io::Result<u64>> {
+    std::thread::Builder::new()
+        .name("anthill-net-worker".into())
+        .spawn(move || run_worker(stream, behavior))
+        .expect("spawn worker thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behavior_parses_cli_spellings() {
+        assert_eq!(Behavior::parse("identity"), Some(Behavior::Identity));
+        assert_eq!(
+            Behavior::parse("recirc:3"),
+            Some(Behavior::Recirc { rounds: 3 })
+        );
+        assert_eq!(
+            Behavior::parse("busy:250"),
+            Some(Behavior::Busy { micros: 250 })
+        );
+        assert_eq!(Behavior::parse("bogus"), None);
+        assert_eq!(Behavior::parse("recirc:x"), None);
+    }
+
+    #[test]
+    fn recirc_stops_at_round_limit() {
+        use anthill_estimator::TaskParams;
+        use anthill_hetsim::TaskShape;
+        use anthill_simkit::SimDuration;
+        let b = DataBuffer {
+            id: crate::buffer::BufferId(1),
+            params: TaskParams::default(),
+            shape: TaskShape {
+                cpu: SimDuration::ZERO,
+                gpu_kernel: SimDuration::ZERO,
+                bytes_in: 0,
+                bytes_out: 0,
+            },
+            level: 0,
+            task: 1,
+        };
+        let behavior = Behavior::Recirc { rounds: 2 };
+        let next = behavior.apply(&b);
+        assert_eq!(next.len(), 1);
+        assert_eq!(next[0].level, 1);
+        assert!(behavior.apply(&next[0]).is_empty());
+    }
+}

@@ -211,6 +211,32 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
                     &format!(",\"s\":\"t\",\"args\":{{\"buffer\":{buffer}}}"),
                 );
             }
+            // Remote worker spans are re-stamped to the coordinator clock,
+            // so they render as instants rather than slices (a slice would
+            // collide with the engine's own Start..Finish pair for the
+            // same buffer on the same device lane).
+            EventKind::RemoteStart { buffer, .. } => {
+                push_event(
+                    &mut out,
+                    "remote start",
+                    'i',
+                    ev.ts_ns,
+                    &ev.origin,
+                    &format!(",\"s\":\"t\",\"args\":{{\"buffer\":{buffer}}}"),
+                );
+            }
+            EventKind::RemoteFinish {
+                buffer, proc_ns, ..
+            } => {
+                push_event(
+                    &mut out,
+                    "remote finish",
+                    'i',
+                    ev.ts_ns,
+                    &ev.origin,
+                    &format!(",\"s\":\"t\",\"args\":{{\"buffer\":{buffer},\"proc_ns\":{proc_ns}}}"),
+                );
+            }
         }
     }
 

@@ -157,6 +157,25 @@ pub enum EventKind {
         /// Resolution level.
         level: u8,
     },
+    /// A remote worker process began executing a buffer (net backend).
+    /// The coordinator re-stamps the worker-reported span onto its own
+    /// clock at `Complete` receipt, so remote events sort deterministically
+    /// into the merged stream.
+    RemoteStart {
+        /// Buffer id.
+        buffer: u64,
+        /// Resolution level.
+        level: u8,
+    },
+    /// A remote worker process finished executing a buffer (net backend).
+    RemoteFinish {
+        /// Buffer id.
+        buffer: u64,
+        /// Resolution level.
+        level: u8,
+        /// Measured worker-side handler span, in nanoseconds.
+        proc_ns: u64,
+    },
 }
 
 impl EventKind {
@@ -174,6 +193,8 @@ impl EventKind {
             EventKind::TaskRetried { .. } => "task_retried",
             EventKind::WorkerDied { .. } => "worker_died",
             EventKind::TaskReassigned { .. } => "task_reassigned",
+            EventKind::RemoteStart { .. } => "remote_start",
+            EventKind::RemoteFinish { .. } => "remote_finish",
         }
     }
 }
@@ -260,6 +281,17 @@ mod tests {
                 level: 0,
             }
             .name(),
+            EventKind::RemoteStart {
+                buffer: 1,
+                level: 0,
+            }
+            .name(),
+            EventKind::RemoteFinish {
+                buffer: 1,
+                level: 0,
+                proc_ns: 5,
+            }
+            .name(),
         ];
         assert_eq!(
             names,
@@ -274,7 +306,9 @@ mod tests {
                 "dbsa_select",
                 "task_retried",
                 "worker_died",
-                "task_reassigned"
+                "task_reassigned",
+                "remote_start",
+                "remote_finish"
             ]
         );
     }

@@ -82,8 +82,17 @@ fn write_event(out: &mut String, ev: &TraceEvent) {
         EventKind::WorkerDied { inflight } => {
             out.push_str(&format!(",\"inflight\":{inflight}"));
         }
-        EventKind::TaskReassigned { buffer, level } => {
+        EventKind::TaskReassigned { buffer, level } | EventKind::RemoteStart { buffer, level } => {
             out.push_str(&format!(",\"buffer\":{buffer},\"level\":{level}"));
+        }
+        EventKind::RemoteFinish {
+            buffer,
+            level,
+            proc_ns,
+        } => {
+            out.push_str(&format!(
+                ",\"buffer\":{buffer},\"level\":{level},\"proc_ns\":{proc_ns}"
+            ));
         }
     }
     out.push('}');
@@ -201,6 +210,15 @@ fn parse_event(v: &Value) -> Result<TraceEvent, String> {
             buffer: field_u64(v, "buffer")?,
             level: field_u64(v, "level")? as u8,
         },
+        "remote_start" => EventKind::RemoteStart {
+            buffer: field_u64(v, "buffer")?,
+            level: field_u64(v, "level")? as u8,
+        },
+        "remote_finish" => EventKind::RemoteFinish {
+            buffer: field_u64(v, "buffer")?,
+            level: field_u64(v, "level")? as u8,
+            proc_ns: field_u64(v, "proc_ns")?,
+        },
         other => return Err(format!("unknown event kind '{other}'")),
     };
     Ok(TraceEvent {
@@ -301,6 +319,23 @@ mod tests {
                     level: 0,
                 },
             },
+            TraceEvent {
+                ts_ns: 100,
+                origin: gpu,
+                kind: EventKind::RemoteStart {
+                    buffer: 8,
+                    level: 1,
+                },
+            },
+            TraceEvent {
+                ts_ns: 100,
+                origin: gpu,
+                kind: EventKind::RemoteFinish {
+                    buffer: 8,
+                    level: 1,
+                    proc_ns: 1234,
+                },
+            },
         ]
     }
 
@@ -315,7 +350,7 @@ mod tests {
     #[test]
     fn every_line_is_valid_json_with_required_fields() {
         let text = to_jsonl(&sample_events());
-        assert_eq!(text.lines().count(), 11);
+        assert_eq!(text.lines().count(), 13);
         for line in text.lines() {
             let v = json::parse(line).expect("valid JSON line");
             assert!(v.get("ts").and_then(Value::as_u64).is_some(), "{line}");
@@ -352,6 +387,6 @@ mod tests {
     #[test]
     fn blank_lines_are_skipped() {
         let text = format!("\n{}\n", to_jsonl(&sample_events()));
-        assert_eq!(parse_jsonl(&text).unwrap().len(), 11);
+        assert_eq!(parse_jsonl(&text).unwrap().len(), 13);
     }
 }

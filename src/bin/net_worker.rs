@@ -1,0 +1,39 @@
+//! `net_worker` — a standalone worker process for the `anthill::net`
+//! backend.
+//!
+//! Usage: `net_worker <coordinator-addr> [behavior]`
+//!
+//! `behavior` is `identity` (default), `recirc:N`, or `busy:N` (see
+//! `anthill::net::Behavior::parse`). The process connects to the
+//! coordinator, serves the worker protocol until `Shutdown` or EOF, and
+//! exits 0. The chaos suite spawns and kills these processes mid-run to
+//! prove the coordinator's recovery path against real process death.
+
+use std::process::ExitCode;
+
+use anthill_repro::core::net::{connect_and_run, Behavior};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, behavior) = match args.as_slice() {
+        [addr] => (addr.as_str(), Behavior::Identity),
+        [addr, spec] => match Behavior::parse(spec) {
+            Some(b) => (addr.as_str(), b),
+            None => {
+                eprintln!("net_worker: unknown behavior '{spec}' (identity | recirc:N | busy:N)");
+                return ExitCode::from(2);
+            }
+        },
+        _ => {
+            eprintln!("usage: net_worker <coordinator-addr> [identity|recirc:N|busy:N]");
+            return ExitCode::from(2);
+        }
+    };
+    match connect_and_run(addr, behavior) {
+        Ok(_executed) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("net_worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

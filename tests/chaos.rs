@@ -15,33 +15,30 @@
 //!    message drop plus a mid-run GPU worker death completes the whole
 //!    workload, emits `WorkerDied`/`TaskReassigned`, and DDWRR's
 //!    health-aware weighting beats DDFCFS on the identical fault schedule.
+//! 4. **Real process death** — the TCP backend's coordinator loses a
+//!    spawned worker *process* to a mid-run kill; the OS-closed socket
+//!    maps onto the same engine recovery path, the survivor absorbs the
+//!    orphaned in-flight work, and the trace records the death.
+
+mod common;
 
 use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use anthill_repro::core::buffer::{BufferId, DataBuffer};
+use common::{at_millis, oracle, pick_policy, policies, task};
+
+use anthill_repro::core::buffer::DataBuffer;
 use anthill_repro::core::faults::{FaultConfig, FaultProb, RecoveryConfig, WorkerDeathSpec};
 use anthill_repro::core::local::{
     Emitter, ExecMode, LocalDeathSpec, LocalFaults, LocalFilter, LocalTask, Pipeline, WorkerSpec,
 };
+use anthill_repro::core::net::{run_concurrent, NetConfig, NetWorkerConn};
 use anthill_repro::core::obs::{jsonl, EventKind, Recorder};
 use anthill_repro::core::policy::Policy;
 use anthill_repro::core::sim::{run_nbia, SimConfig, SimReport, WorkloadSpec};
-use anthill_repro::core::weights::OracleWeights;
-use anthill_repro::estimator::TaskParams;
-use anthill_repro::hetsim::{ClusterSpec, DeviceKind, GpuParams, TaskShape};
-use anthill_repro::simkit::{SimDuration, SimTime};
-
-/// The three policies at the repo's conventional window sizes
-/// (`crates/bench/src/experiments/cluster.rs`).
-fn policies() -> [Policy; 3] {
-    [Policy::ddfcfs(8), Policy::ddwrr(30), Policy::odds()]
-}
-
-fn pick_policy(i: usize) -> Policy {
-    policies()[i % 3]
-}
+use anthill_repro::hetsim::{ClusterSpec, DeviceId, DeviceKind};
+use anthill_repro::simkit::SimTime;
 
 /// A small DES workload; `tiles` stays low because every proptest case is
 /// a full simulation run.
@@ -185,26 +182,6 @@ impl LocalFilter for Tag {
     }
 }
 
-fn task(id: u64) -> LocalTask {
-    let buffer = DataBuffer {
-        id: BufferId(id),
-        params: TaskParams::nums(&[id as f64]),
-        shape: TaskShape {
-            cpu: SimDuration::from_micros(5),
-            gpu_kernel: SimDuration::from_micros(5),
-            bytes_in: 64,
-            bytes_out: 8,
-        },
-        level: 0,
-        task: id,
-    };
-    LocalTask::new(buffer, id)
-}
-
-fn oracle() -> OracleWeights {
-    OracleWeights::new(GpuParams::geforce_8800gt(), false)
-}
-
 /// An armed-but-inert fault layer is invisible: recovery enabled with
 /// all-zero probabilities and no deaths produces a byte-identical JSONL
 /// trace to a run with no fault layer at all, for every policy.
@@ -248,7 +225,7 @@ fn ddwrr_beats_ddfcfs_under_drop_plus_gpu_death() {
             deaths: vec![WorkerDeathSpec {
                 node: 0,
                 worker: 1, // homogeneous nodes are (cpu, gpu): worker 1 is the GPU
-                at: SimTime(100_000_000),
+                at: at_millis(100),
             }],
             recovery: RecoveryConfig::standard(),
             seed: 42,
@@ -289,4 +266,84 @@ fn ddwrr_beats_ddfcfs_under_drop_plus_gpu_death() {
         ddwrr.makespan,
         ddfcfs.makespan
     );
+}
+
+/// The TCP backend against *real* process death: two `net_worker` child
+/// processes serve a concurrent run over loopback, and one is killed
+/// outright mid-run. The OS closing the victim's socket is the only
+/// death signal; the coordinator must fold it into the engine's recovery
+/// path — survivor absorbs the orphaned in-flight work, every task still
+/// completes exactly once, and the trace records `worker_died` plus at
+/// least one `task_reassigned`.
+#[test]
+fn killed_worker_process_is_absorbed_by_the_survivor() {
+    const TASKS: u64 = 200;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("listener addr").to_string();
+    let mut children = Vec::new();
+    let mut workers = Vec::new();
+    // Slot 0 executes instantly; slot 1 — the victim — spins 10 s per
+    // task, far past the kill, so it is deterministically mid-task with
+    // a delivered buffer in flight when the signal lands. (A timed kill
+    // against equal workers races the delivery gap and flakes.)
+    for (index, behavior) in [(0, "identity"), (1, "busy:10000000")] {
+        let child = std::process::Command::new(env!("CARGO_BIN_EXE_net_worker"))
+            .args([addr.as_str(), behavior])
+            .stdin(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn net_worker");
+        children.push(child);
+        let (stream, _) = listener.accept().expect("worker connect");
+        workers.push(NetWorkerConn {
+            device: DeviceId {
+                node: 0,
+                kind: DeviceKind::Cpu,
+                index,
+            },
+            stream,
+        });
+    }
+    let mut victim = children.remove(1);
+    let mut survivor = children.remove(0);
+
+    let recorder = Recorder::enabled();
+    let mut cfg = NetConfig::new(Policy::ddwrr(8));
+    cfg.recovery = RecoveryConfig::standard();
+    cfg.recorder = recorder.clone();
+    let sources: Vec<DataBuffer> = (0..TASKS).map(|id| task(id).buffer).collect();
+
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let _ = victim.kill();
+        let _ = victim.wait();
+    });
+    let out = run_concurrent(cfg, workers, sources, oracle()).expect("net run");
+    killer.join().expect("killer thread");
+    assert!(
+        survivor.wait().expect("reap survivor").success(),
+        "the surviving worker must exit cleanly on Shutdown"
+    );
+
+    assert_eq!(out.total, TASKS, "every task completes despite the kill");
+    assert_eq!(out.deaths, 1, "exactly one worker died");
+    let events = recorder.events();
+    let died = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::WorkerDied { .. }))
+        .count();
+    let reassigned = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::TaskReassigned { .. }))
+        .count();
+    assert_eq!(died, 1, "the trace must record the process death");
+    assert!(
+        reassigned >= 1,
+        "the victim's in-flight work must be reassigned, got {reassigned}"
+    );
+    // The merged trace (including the survivors' re-stamped worker spans)
+    // still round-trips the JSONL schema after a chaotic run.
+    let text = jsonl::to_jsonl(&events);
+    let parsed = jsonl::parse_jsonl(&text).expect("schema-valid trace");
+    assert_eq!(parsed, events, "trace round-trip mismatch");
 }

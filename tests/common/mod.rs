@@ -1,0 +1,142 @@
+//! Scaffolding shared by the integration-test suites
+//! (`tests/{chaos,policy_parity,hotpath}.rs`): device-neutral
+//! task shapes, conventional policy windows, worker-spec builders, and
+//! loopback plumbing for the TCP backend. Each test binary compiles its
+//! own copy and uses a subset, hence the blanket `dead_code` allow.
+#![allow(dead_code)]
+
+use anthill_repro::core::buffer::{BufferId, DataBuffer};
+use anthill_repro::core::local::{ExecMode, LocalTask, WorkerSpec};
+use anthill_repro::core::net::{spawn_worker_thread, tcp_pair, Behavior, NetWorkerConn};
+use anthill_repro::core::policy::Policy;
+use anthill_repro::core::weights::OracleWeights;
+use anthill_repro::estimator::TaskParams;
+use anthill_repro::hetsim::{DeviceId, DeviceKind, GpuParams, TaskShape};
+use anthill_repro::simkit::{SimDuration, SimTime};
+
+/// A shape costing exactly the same on both device classes, with nothing
+/// on the wire — removes all cost asymmetry so assignment counts are
+/// purely the engine's doing.
+pub fn neutral_shape() -> TaskShape {
+    TaskShape {
+        cpu: SimDuration::from_micros(400),
+        gpu_kernel: SimDuration::from_micros(400),
+        bytes_in: 0,
+        bytes_out: 0,
+    }
+}
+
+/// GPU parameters with all fixed per-task overheads zeroed, so a sync GPU
+/// task takes exactly `gpu_kernel`.
+pub fn neutral_gpu() -> GpuParams {
+    GpuParams {
+        kernel_launch: SimDuration::ZERO,
+        sync_copy_call: SimDuration::ZERO,
+        ..GpuParams::geforce_8800gt()
+    }
+}
+
+/// The paper GPU with synchronous transfers — the weights most tests use.
+pub fn oracle() -> OracleWeights {
+    OracleWeights::new(GpuParams::geforce_8800gt(), false)
+}
+
+/// Weights matching [`neutral_gpu`], for runs built on [`neutral_shape`].
+pub fn neutral_oracle() -> OracleWeights {
+    OracleWeights::new(neutral_gpu(), false)
+}
+
+/// The three policies at the repo's conventional window sizes
+/// (`crates/bench/src/experiments/cluster.rs`).
+pub fn policies() -> [Policy; 3] {
+    [Policy::ddfcfs(8), Policy::ddwrr(30), Policy::odds()]
+}
+
+pub fn pick_policy(i: usize) -> Policy {
+    policies()[i % 3]
+}
+
+/// A tiny task whose payload is its own id — the chaos suite's unit of
+/// conservation accounting.
+pub fn task(id: u64) -> LocalTask {
+    let buffer = DataBuffer {
+        id: BufferId(id),
+        params: TaskParams::nums(&[id as f64]),
+        shape: TaskShape {
+            cpu: SimDuration::from_micros(5),
+            gpu_kernel: SimDuration::from_micros(5),
+            bytes_in: 64,
+            bytes_out: 8,
+        },
+        level: 0,
+        task: id,
+    };
+    LocalTask::new(buffer, id)
+}
+
+/// Mixed tile sizes so DDWRR/ODDS weights have real spread.
+pub fn mk_task(id: u64) -> LocalTask {
+    let side = [16u64, 64, 256, 1024][(id % 4) as usize];
+    LocalTask::new(
+        DataBuffer {
+            id: BufferId(id),
+            params: TaskParams::nums(&[id as f64]),
+            shape: TaskShape {
+                cpu: SimDuration::from_micros(side),
+                gpu_kernel: SimDuration::from_micros(side / 8 + 1),
+                bytes_in: side * side,
+                bytes_out: side,
+            },
+            level: 0,
+            task: id,
+        },
+        id,
+    )
+}
+
+pub fn cpu_workers(n: usize) -> Vec<WorkerSpec> {
+    vec![
+        WorkerSpec {
+            kind: DeviceKind::Cpu,
+            mode: ExecMode::Native,
+        };
+        n
+    ]
+}
+
+pub fn mixed_workers() -> Vec<WorkerSpec> {
+    let mut w = cpu_workers(3);
+    w.push(WorkerSpec {
+        kind: DeviceKind::Gpu,
+        mode: ExecMode::Native,
+    });
+    w
+}
+
+/// One in-process loopback worker thread per requested device kind, all
+/// on node 0, returning the coordinator-side connections for
+/// `anthill::net`'s drivers.
+pub fn loopback_workers(kinds: &[DeviceKind], behavior: Behavior) -> Vec<NetWorkerConn> {
+    kinds
+        .iter()
+        .enumerate()
+        .map(|(i, &kind)| {
+            let (coordinator, worker_side) = tcp_pair().expect("loopback socket pair");
+            spawn_worker_thread(worker_side, behavior);
+            NetWorkerConn {
+                device: DeviceId {
+                    node: 0,
+                    kind,
+                    index: i,
+                },
+                stream: coordinator,
+            }
+        })
+        .collect()
+}
+
+/// Keep `SimTime` in the shared surface so suites that schedule deaths
+/// don't each re-import it under a different alias.
+pub fn at_millis(ms: u64) -> SimTime {
+    SimTime(ms * 1_000_000)
+}

@@ -12,18 +12,17 @@
 //!    (enqueues = dispatches = starts = finishes = handles), matching the
 //!    serialized sink's per-kind event counts.
 
+mod common;
+
 use std::sync::Arc;
 
-use anthill_repro::core::buffer::{BufferId, DataBuffer};
-use anthill_repro::core::local::{
-    Emitter, ExecMode, HotPath, LocalFilter, LocalTask, Pipeline, WorkerSpec,
-};
+use common::{cpu_workers, mixed_workers, mk_task};
+
+use anthill_repro::core::local::{Emitter, HotPath, LocalFilter, LocalTask, Pipeline, WorkerSpec};
 use anthill_repro::core::obs::{EventKind, Recorder};
 use anthill_repro::core::policy::PolicyKind;
 use anthill_repro::core::weights::OracleWeights;
-use anthill_repro::estimator::TaskParams;
-use anthill_repro::hetsim::{DeviceKind, GpuParams, TaskShape};
-use anthill_repro::simkit::SimDuration;
+use anthill_repro::hetsim::{DeviceKind, GpuParams};
 
 const ROUNDS: u8 = 3;
 const TASKS: u64 = 300;
@@ -48,26 +47,6 @@ impl LocalFilter for Recirc {
     }
 }
 
-/// Mixed tile sizes so DDWRR/ODDS weights have real spread.
-fn mk_task(id: u64) -> LocalTask {
-    let side = [16u64, 64, 256, 1024][(id % 4) as usize];
-    LocalTask::new(
-        DataBuffer {
-            id: BufferId(id),
-            params: TaskParams::nums(&[id as f64]),
-            shape: TaskShape {
-                cpu: SimDuration::from_micros(side),
-                gpu_kernel: SimDuration::from_micros(side / 8 + 1),
-                bytes_in: side * side,
-                bytes_out: side,
-            },
-            level: 0,
-            task: id,
-        },
-        id,
-    )
-}
-
 fn run(
     policy: PolicyKind,
     hot_path: HotPath,
@@ -84,25 +63,6 @@ fn run(
     let mut ids: Vec<u64> = out.iter().map(|t| t.buffer.id.0).collect();
     ids.sort_unstable();
     (ids, report)
-}
-
-fn cpu_workers(n: usize) -> Vec<WorkerSpec> {
-    vec![
-        WorkerSpec {
-            kind: DeviceKind::Cpu,
-            mode: ExecMode::Native,
-        };
-        n
-    ]
-}
-
-fn mixed_workers() -> Vec<WorkerSpec> {
-    let mut w = cpu_workers(3);
-    w.push(WorkerSpec {
-        kind: DeviceKind::Gpu,
-        mode: ExecMode::Native,
-    });
-    w
 }
 
 /// Homogeneous stages: thread scheduling can move tasks between *slots*

@@ -1,46 +1,30 @@
 //! Cross-backend policy parity: the scheduling engine is the single owner
 //! of every policy decision, so pushing the *same* deterministic workload
-//! through two different drivers — the virtual-time DES and the native
-//! runtime's deterministic executor — must yield *identical* per-device
-//! assignment counts for every policy.
+//! through three different drivers — the virtual-time DES, the native
+//! runtime's deterministic executor, and the TCP backend's lockstep
+//! coordinator with real worker sockets — must yield *identical*
+//! per-device assignment counts for every policy.
 //!
 //! Construction: a device-neutral workload (every task costs exactly the
 //! same on a CPU as on a sync GPU, zero bytes on the wire) removes all
 //! cost asymmetry, so the counts are purely the engine's doing; any
 //! divergence means a backend grew its own scheduling logic.
 
+mod common;
+
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use common::{loopback_workers, neutral_gpu, neutral_oracle, neutral_shape};
+
 use anthill_repro::core::local::{Emitter, ExecMode, LocalFilter, LocalTask, Pipeline, WorkerSpec};
+use anthill_repro::core::net::{run_deterministic, Behavior, NetConfig};
 use anthill_repro::core::policy::Policy;
 use anthill_repro::core::sim::{run_nbia, SimConfig, WorkloadSpec};
 use anthill_repro::core::weights::OracleWeights;
-use anthill_repro::hetsim::{ClusterSpec, DeviceKind, GpuParams, NodeSpec, TaskShape};
-use anthill_repro::simkit::SimDuration;
+use anthill_repro::hetsim::{ClusterSpec, DeviceKind, NodeSpec};
 
 const TILES: u64 = 120;
-
-/// A shape costing exactly the same on both device classes, with nothing
-/// on the wire.
-fn neutral_shape() -> TaskShape {
-    TaskShape {
-        cpu: SimDuration::from_micros(400),
-        gpu_kernel: SimDuration::from_micros(400),
-        bytes_in: 0,
-        bytes_out: 0,
-    }
-}
-
-/// GPU parameters with all fixed per-task overheads zeroed, so a sync GPU
-/// task takes exactly `gpu_kernel`.
-fn neutral_gpu() -> GpuParams {
-    GpuParams {
-        kernel_launch: SimDuration::ZERO,
-        sync_copy_call: SimDuration::ZERO,
-        ..GpuParams::geforce_8800gt()
-    }
-}
 
 fn neutral_workload() -> WorkloadSpec {
     WorkloadSpec {
@@ -112,12 +96,35 @@ fn native_counts(policy: Policy) -> HashMap<DeviceKind, u64> {
     counts
 }
 
+/// Per-device assignment counts from the TCP backend's lockstep
+/// coordinator, driving one CPU and one GPU worker thread over real
+/// loopback sockets — fed the same buffers the DES seeds its readers
+/// with.
+fn net_counts(policy: Policy) -> HashMap<DeviceKind, u64> {
+    let w = neutral_workload();
+    let sources = (0..TILES).map(|t| w.low_buffer(t)).collect();
+    let workers = loopback_workers(&[DeviceKind::Cpu, DeviceKind::Gpu], Behavior::Identity);
+    let out = run_deterministic(NetConfig::new(policy), workers, sources, neutral_oracle())
+        .expect("loopback net run");
+    assert_eq!(out.total, TILES);
+    let mut counts = HashMap::new();
+    for (&(kind, _node), &n) in &out.assigned {
+        *counts.entry(kind).or_insert(0) += n;
+    }
+    counts
+}
+
 fn assert_parity(policy: Policy, name: &str) {
     let des = des_counts(policy);
     let native = native_counts(policy);
+    let net = net_counts(policy);
     assert_eq!(
         des, native,
         "{name}: DES and native drivers assigned devices differently"
+    );
+    assert_eq!(
+        des, net,
+        "{name}: DES and TCP drivers assigned devices differently"
     );
     let total: u64 = des.values().sum();
     assert_eq!(total, TILES, "{name}: tasks lost or duplicated");
@@ -143,5 +150,6 @@ fn parity_counts_are_reproducible() {
     for policy in [Policy::ddfcfs(4), Policy::ddwrr(4), Policy::odds()] {
         assert_eq!(des_counts(policy), des_counts(policy));
         assert_eq!(native_counts(policy), native_counts(policy));
+        assert_eq!(net_counts(policy), net_counts(policy));
     }
 }
