@@ -53,25 +53,48 @@
 //! `BENCH_net.json`; with `--trace <dir>`, per-policy traces land there
 //! too.
 //!
+//! `repro load [--quick] [--profile <p>] [--trace <dir>]` is the
+//! open-loop load gate: each arrival profile (`poisson`, `bursty`,
+//! `diurnal`; `--profile` selects one, default all) drives both the
+//! native pipeline and the TCP coordinator with a seed-deterministic
+//! schedule (100k tasks for the full Poisson run; `--quick` shrinks it),
+//! recording per-task queue/service/end-to-end latency into bucketed
+//! histograms and a queue-depth time series. The Poisson selection also
+//! runs saturating schedules under the `shed_oldest` and `deadline_drop`
+//! overload policies and asserts the intake stays bounded while the
+//! admission counters conserve. Writes and schema-validates
+//! `BENCH_load.json` (`BENCH_load_<profile>.json` when filtered); with
+//! `--trace <dir>`, per-run traces land there and their
+//! `task_admitted`/`task_shed`/`task_deadline_dropped` events must match
+//! the counters.
+//!
 //! `repro worker <addr> [identity|recirc:N|busy:N]` (hidden) turns the
 //! process into a net-backend worker connected to `<addr>` — the form the
 //! net gate and the chaos tests spawn.
 
 use anthill::buffer::{BufferId, DataBuffer};
 use anthill::engine::sequential::{run as sequential_run, Emission, SequentialConfig};
+use anthill::engine::{AdmissionConfig, AdmissionCounters, OverloadPolicy};
 use anthill::faults::{FaultConfig, FaultProb, RecoveryConfig, WorkerDeathSpec};
-use anthill::local::{Emitter, ExecMode, HotPath, LocalFilter, LocalTask, Pipeline, WorkerSpec};
-use anthill::net::{run_deterministic, NetConfig, NetWorkerConn};
+use anthill::local::{
+    Emitter, ExecMode, HotPath, LoadConfig, LocalFilter, LocalTask, Pipeline, WorkerSpec,
+};
+use anthill::net::{run_concurrent_load, run_deterministic, NetConfig, NetWorkerConn};
 use anthill::obs::{chrome, json, jsonl, EventKind, Recorder};
 use anthill::policy::{Policy, PolicyKind};
 use anthill::sim::{run_nbia, SimConfig, WorkloadSpec};
 use anthill::weights::OracleWeights;
 use anthill_bench::experiments::{cluster, estimator, transfer};
+use anthill_bench::load::{
+    render_load_report, validate_load_report, ArrivalProfile, LatencyHistogram, LatencyStats,
+    LoadRunRow,
+};
 use anthill_bench::viz::{render, ChartSpec, Series};
 use anthill_estimator::TaskParams;
 use anthill_hetsim::{ClusterSpec, DeviceId, DeviceKind, GpuParams, NbiaCostModel, TaskShape};
 use anthill_simkit::{SimDuration, SimTime};
 use std::sync::Arc;
+use std::time::Duration;
 
 struct Scale {
     base_tiles: u64,
@@ -134,11 +157,24 @@ fn main() {
     let mut trace_path: Option<String> = None;
     let mut faults_spec: Option<String> = None;
     let mut min_speedup = 1.0f64;
+    let mut profile_sel = "all".to_string();
     let mut selected: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--profile" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some(p @ ("all" | "poisson" | "bursty" | "diurnal")) => {
+                        profile_sel = p.to_string();
+                    }
+                    _ => {
+                        eprintln!("--profile requires one of: all, poisson, bursty, diurnal");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--trace" => {
                 i += 1;
                 match args.get(i) {
@@ -213,6 +249,7 @@ fn main() {
         "chaos",
         "perf",
         "net",
+        "load",
         "all",
     ];
     if !known.contains(&what) {
@@ -245,8 +282,15 @@ fn main() {
         net_gate(trace_path.as_deref());
         return;
     }
+    if what == "load" {
+        load_gate(quick, &profile_sel, trace_path.as_deref());
+        return;
+    }
     if faults_spec.is_some() {
         eprintln!("note: --faults is honored by the chaos experiment only; ignoring it");
+    }
+    if profile_sel != "all" {
+        eprintln!("note: --profile is honored by the load gate only; ignoring it");
     }
 
     let run = |name: &str| what == "all" || what == name;
@@ -1015,6 +1059,692 @@ fn net_gate(trace_dir: Option<&str>) {
         Ok(()) => println!("wrote BENCH_net.json"),
         Err(e) => {
             eprintln!("net: failed to write BENCH_net.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Stage filter of the load gate's native runs: forward immediately, so
+/// measured latency is queueing + runtime overhead (plus the emulated
+/// busy-wait in the saturation runs).
+struct LoadForward;
+impl LocalFilter for LoadForward {
+    fn handle(&self, _d: DeviceKind, task: LocalTask, out: &mut Emitter<'_>) {
+        out.forward(task);
+    }
+}
+
+/// A constant-shape task for the load gate; `micros` is the modeled (and,
+/// under `ExecMode::Emulated`, busy-waited) per-device cost.
+fn load_tile(id: u64, micros: u64) -> DataBuffer {
+    DataBuffer {
+        id: BufferId(id),
+        params: TaskParams::nums(&[1.0]),
+        shape: TaskShape {
+            cpu: SimDuration::from_micros(micros),
+            gpu_kernel: SimDuration::from_micros(micros),
+            bytes_in: 0,
+            bytes_out: 0,
+        },
+        level: 0,
+        task: id,
+    }
+}
+
+/// The three per-task latency dimensions of one load run, each in its own
+/// streaming histogram.
+struct LatTriple {
+    queue: LatencyHistogram,
+    service: LatencyHistogram,
+    e2e: LatencyHistogram,
+}
+
+impl LatTriple {
+    fn new() -> LatTriple {
+        LatTriple {
+            queue: LatencyHistogram::new(),
+            service: LatencyHistogram::new(),
+            e2e: LatencyHistogram::new(),
+        }
+    }
+
+    fn record(&mut self, queue_ns: u64, service_ns: u64, e2e_ns: u64) {
+        self.queue.record(queue_ns);
+        self.service.record(service_ns);
+        self.e2e.record(e2e_ns);
+    }
+
+    fn stats(&self) -> [LatencyStats; 3] {
+        [
+            LatencyStats::from_histogram(&self.queue),
+            LatencyStats::from_histogram(&self.service),
+            LatencyStats::from_histogram(&self.e2e),
+        ]
+    }
+}
+
+fn expect_load(label: &str, cond: bool, msg: &str) {
+    if !cond {
+        eprintln!("load {label}: {msg}");
+        std::process::exit(1);
+    }
+}
+
+/// Gate one traced load run: the admission events in the trace must match
+/// the controller's counters exactly, the trace must round-trip the JSONL
+/// schema, and the result lands in `<dir>/load-<label>.trace.jsonl`.
+fn check_load_trace(label: &str, recorder: &Recorder, counters: AdmissionCounters, dir: &str) {
+    let events = recorder.events();
+    let count =
+        |pred: fn(&EventKind) -> bool| events.iter().filter(|e| pred(&e.kind)).count() as u64;
+    let admitted = count(|k| matches!(k, EventKind::TaskAdmitted { .. }));
+    let shed = count(|k| matches!(k, EventKind::TaskShed { .. }));
+    let dropped = count(|k| matches!(k, EventKind::TaskDeadlineDropped { .. }));
+    if admitted != counters.admitted
+        || shed != counters.shed
+        || dropped != counters.deadline_dropped
+    {
+        eprintln!(
+            "load {label}: admission events diverge from counters \
+             (events {admitted}/{shed}/{dropped}, counters {}/{}/{})",
+            counters.admitted, counters.shed, counters.deadline_dropped
+        );
+        std::process::exit(1);
+    }
+    let text = jsonl::to_jsonl(&events);
+    match jsonl::parse_jsonl(&text) {
+        Ok(parsed) if parsed == events => {}
+        Ok(_) => {
+            eprintln!("load {label}: trace round-trip mismatch");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("load {label}: trace failed JSONL schema validation: {e}");
+            std::process::exit(1);
+        }
+    }
+    let path = format!("{}/load-{label}.trace.jsonl", dir.trim_end_matches('/'));
+    if let Err(e) = std::fs::write(&path, &text) {
+        eprintln!("load {label}: failed to write trace to {path}: {e}");
+        std::process::exit(1);
+    }
+    println!("  wrote {} events to {path}", events.len());
+}
+
+/// One open-loop run through the native pipeline: `workers` CPU slots on a
+/// single forwarding stage, per-task latencies streamed into histograms on
+/// the worker threads.
+fn native_load_run(
+    arrivals: &[u64],
+    admission: AdmissionConfig,
+    mode: ExecMode,
+    shape_us: u64,
+    workers: usize,
+    recorder: &Recorder,
+) -> (anthill::local::LoadRunReport, [LatencyStats; 3], f64) {
+    let mut p = Pipeline::new(PolicyKind::DdFcfs);
+    p.add_stage(
+        Arc::new(LoadForward),
+        vec![
+            WorkerSpec {
+                kind: DeviceKind::Cpu,
+                mode
+            };
+            workers
+        ],
+    );
+    let weights = OracleWeights::new(GpuParams::geforce_8800gt(), true);
+    let hists = std::sync::Mutex::new(LatTriple::new());
+    let wall = std::time::Instant::now();
+    let report = p.run_load(
+        arrivals,
+        &|i, _arrival| LocalTask::new(load_tile(i, shape_us), ()),
+        LoadConfig {
+            admission,
+            sample_every: Duration::from_millis(2),
+        },
+        &weights,
+        recorder,
+        &|t, started_ns, finished_ns| {
+            // The i-th task's scheduled arrival is recovered through the
+            // buffer's task index; `started` is when a worker picked it up.
+            let arrival = arrivals[t.buffer.task as usize];
+            let e2e = finished_ns.saturating_sub(arrival);
+            let service = finished_ns.saturating_sub(started_ns).min(e2e);
+            hists.lock().unwrap().record(e2e - service, service, e2e);
+        },
+    );
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let stats = hists.into_inner().unwrap().stats();
+    (report, stats, wall_ms)
+}
+
+/// Spawn `count` worker processes (this binary's hidden `worker`
+/// subcommand) against a fresh loopback listener.
+fn spawn_load_workers(
+    label: &str,
+    exe: &std::path::Path,
+    behavior: &str,
+    count: usize,
+) -> (Vec<std::process::Child>, Vec<NetWorkerConn>) {
+    let listener = match std::net::TcpListener::bind("127.0.0.1:0") {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("load {label}: failed to bind loopback listener: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = listener.local_addr().expect("listener addr").to_string();
+    let mut children = Vec::new();
+    let mut workers = Vec::new();
+    for index in 0..count {
+        let child = match std::process::Command::new(exe)
+            .args(["worker", &addr, behavior])
+            .stdin(std::process::Stdio::null())
+            .spawn()
+        {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("load {label}: failed to spawn worker process: {e}");
+                std::process::exit(1);
+            }
+        };
+        children.push(child);
+        match listener.accept() {
+            Ok((stream, _)) => workers.push(NetWorkerConn {
+                device: DeviceId {
+                    node: 0,
+                    kind: DeviceKind::Cpu,
+                    index,
+                },
+                stream,
+            }),
+            Err(e) => {
+                eprintln!("load {label}: worker failed to connect: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    (children, workers)
+}
+
+/// One open-loop run through the TCP coordinator with spawned worker
+/// processes on loopback.
+#[allow(clippy::too_many_arguments)]
+fn net_load_run(
+    label: &str,
+    exe: &std::path::Path,
+    arrivals: &[u64],
+    admission: AdmissionConfig,
+    behavior: &str,
+    worker_count: usize,
+    deadline: Duration,
+    recorder: &Recorder,
+) -> (anthill::net::NetLoadReport, [LatencyStats; 3], f64) {
+    let (mut children, workers) = spawn_load_workers(label, exe, behavior, worker_count);
+    let mut cfg = NetConfig::new(Policy::ddfcfs(4));
+    cfg.recorder = recorder.clone();
+    cfg.deadline = deadline;
+    let mut hists = LatTriple::new();
+    let wall = std::time::Instant::now();
+    let report = match run_concurrent_load(
+        cfg,
+        admission,
+        workers,
+        arrivals,
+        &mut |i, _arrival| load_tile(i, 50),
+        Duration::from_millis(2),
+        OracleWeights::new(GpuParams::geforce_8800gt(), false),
+        &mut |t| hists.record(t.queue_ns, t.service_ns, t.e2e_ns),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("load {label}: coordinator failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    for child in &mut children {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("load {label}: worker process exited with {status}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("load {label}: failed to reap worker process: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    (report, hists.stats(), wall_ms)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_load_row(
+    rows: &mut Vec<LoadRunRow>,
+    profile: &str,
+    backend: &str,
+    policy: OverloadPolicy,
+    tasks: u64,
+    admission: AdmissionCounters,
+    completed: u64,
+    stats: [LatencyStats; 3],
+    queue_depth: Vec<(u64, u64, u64, u64)>,
+    wall_ms: f64,
+) {
+    println!(
+        "{:<10} {:<8} {:<14} {:>8} {:>8} {:>7} {:>12.1} {:>12.1} {:>9.1}",
+        profile,
+        backend,
+        policy.name(),
+        tasks,
+        completed,
+        admission.shed + admission.deadline_dropped,
+        stats[2].p50 as f64 / 1e3,
+        stats[2].p99 as f64 / 1e3,
+        wall_ms
+    );
+    rows.push(LoadRunRow {
+        profile: profile.to_string(),
+        backend: backend.to_string(),
+        policy: policy.name().to_string(),
+        tasks,
+        admission,
+        completed,
+        queue: stats[0],
+        service: stats[1],
+        e2e: stats[2],
+        queue_depth,
+        wall_ms,
+    });
+}
+
+/// Open-loop load CI gate: seed-deterministic arrival schedules drive the
+/// native pipeline and the TCP coordinator under the `block` policy (every
+/// arrival must complete), then saturating schedules exercise `shed_oldest`
+/// and `deadline_drop` (intake must stay bounded, counters must conserve).
+/// Writes and schema-validates `BENCH_load.json`; exits nonzero on any
+/// failure.
+fn load_gate(quick: bool, profile_sel: &str, trace_dir: Option<&str>) {
+    header(
+        "Load: open-loop arrival harness, native pipeline + TCP coordinator",
+        "CI gate — admission conservation + bounded overload under arrival pressure (run-time optimization premise)",
+    );
+    let exe = std::env::current_exe().expect("own executable path");
+    let n_poisson = if quick { 5_000usize } else { 100_000 };
+    let n_other = if quick { 3_000usize } else { 30_000 };
+    let net_deadline = Duration::from_secs(if quick { 60 } else { 300 });
+    let profiles = [
+        (ArrivalProfile::Poisson { rate_hz: 30_000.0 }, n_poisson),
+        (
+            ArrivalProfile::Bursty {
+                rate_hz: 60_000.0,
+                burst_ms: 5,
+                idle_ms: 5,
+            },
+            n_other,
+        ),
+        (
+            ArrivalProfile::Diurnal {
+                peak_hz: 50_000.0,
+                trough_hz: 5_000.0,
+                period_ms: 40,
+            },
+            n_other,
+        ),
+    ];
+    let mut rows: Vec<LoadRunRow> = Vec::new();
+    println!(
+        "{:<10} {:<8} {:<14} {:>8} {:>8} {:>7} {:>12} {:>12} {:>9}",
+        "profile",
+        "backend",
+        "policy",
+        "tasks",
+        "done",
+        "lost",
+        "e2e p50(us)",
+        "e2e p99(us)",
+        "wall(ms)"
+    );
+    let recorder_for = || {
+        if trace_dir.is_some() {
+            Recorder::enabled()
+        } else {
+            Recorder::disabled()
+        }
+    };
+
+    for (profile, n) in profiles {
+        if profile_sel != "all" && profile_sel != profile.name() {
+            continue;
+        }
+        let arrivals = profile.schedule(SEED, n);
+        let tasks = n as u64;
+
+        // Native backend, block policy: open-loop overload turns into
+        // generator back-pressure, so every arrival must complete.
+        {
+            let label = format!("{}-native-block", profile.name());
+            let recorder = recorder_for();
+            let (report, stats, wall_ms) = native_load_run(
+                &arrivals,
+                AdmissionConfig::default(),
+                ExecMode::Native,
+                1,
+                4,
+                &recorder,
+            );
+            expect_load(
+                &label,
+                report.admission.conserved(),
+                &format!("counters not conserved: {:?}", report.admission),
+            );
+            expect_load(
+                &label,
+                report.admission.generated == tasks && report.admission.admitted == tasks,
+                &format!("block must admit every arrival: {:?}", report.admission),
+            );
+            expect_load(
+                &label,
+                report.completed == tasks,
+                &format!("{} of {tasks} completed", report.completed),
+            );
+            expect_load(
+                &label,
+                !report.queue_depth.is_empty(),
+                "queue-depth series is empty",
+            );
+            if let Some(dir) = trace_dir {
+                check_load_trace(&label, &recorder, report.admission, dir);
+            }
+            push_load_row(
+                &mut rows,
+                profile.name(),
+                "native",
+                OverloadPolicy::Block,
+                tasks,
+                report.admission,
+                report.completed,
+                stats,
+                report
+                    .queue_depth
+                    .iter()
+                    .map(|s| (s.t_ns, s.ready, s.intake, s.inflight))
+                    .collect(),
+                wall_ms,
+            );
+        }
+
+        // Net backend, block policy: the same schedule through the TCP
+        // coordinator with two spawned identity worker processes.
+        {
+            let label = format!("{}-net-block", profile.name());
+            let recorder = recorder_for();
+            let (report, stats, wall_ms) = net_load_run(
+                &label,
+                &exe,
+                &arrivals,
+                AdmissionConfig::default(),
+                "identity",
+                2,
+                net_deadline,
+                &recorder,
+            );
+            expect_load(
+                &label,
+                report.admission.conserved(),
+                &format!("counters not conserved: {:?}", report.admission),
+            );
+            expect_load(
+                &label,
+                report.admission.generated == tasks && report.admission.admitted == tasks,
+                &format!("block must admit every arrival: {:?}", report.admission),
+            );
+            expect_load(
+                &label,
+                report.completed == tasks && report.outcome.total == tasks,
+                &format!(
+                    "{} completed, {} worker completions, {tasks} expected",
+                    report.completed, report.outcome.total
+                ),
+            );
+            expect_load(
+                &label,
+                !report.queue_depth.is_empty(),
+                "queue-depth series is empty",
+            );
+            if let Some(dir) = trace_dir {
+                check_load_trace(&label, &recorder, report.admission, dir);
+            }
+            push_load_row(
+                &mut rows,
+                profile.name(),
+                "net",
+                OverloadPolicy::Block,
+                tasks,
+                report.admission,
+                report.completed,
+                stats,
+                report
+                    .queue_depth
+                    .iter()
+                    .map(|s| (s.t_ns, s.ready, s.intake, s.inflight))
+                    .collect(),
+                wall_ms,
+            );
+        }
+    }
+
+    // Saturation runs ride with the Poisson selection: arrivals outpace
+    // service capacity ~2x, so the overload policies must engage.
+    if profile_sel == "all" || profile_sel == "poisson" {
+        let n_sat = if quick { 2_000usize } else { 4_000 };
+        let arrivals = ArrivalProfile::Poisson { rate_hz: 20_000.0 }.schedule(SEED + 1, n_sat);
+        let tasks = n_sat as u64;
+
+        // Native shed_oldest: two emulated 200 µs workers give ~10k/s of
+        // capacity against 20k/s of arrivals; the queue must stay capped.
+        {
+            let label = "saturate-native-shed";
+            let cfg = AdmissionConfig {
+                inflight_cap: 8,
+                queue_cap: 16,
+                policy: OverloadPolicy::ShedOldest,
+            };
+            let recorder = recorder_for();
+            let (report, stats, wall_ms) = native_load_run(
+                &arrivals,
+                cfg,
+                ExecMode::Emulated { scale: 1.0 },
+                200,
+                2,
+                &recorder,
+            );
+            expect_load(
+                label,
+                report.admission.conserved() && report.admission.generated == tasks,
+                &format!("counters not conserved: {:?}", report.admission),
+            );
+            expect_load(
+                label,
+                report.admission.shed > 0,
+                "a 2x-saturating schedule shed nothing",
+            );
+            expect_load(
+                label,
+                report.completed == report.admission.admitted,
+                &format!(
+                    "{} completed of {} admitted",
+                    report.completed, report.admission.admitted
+                ),
+            );
+            expect_load(
+                label,
+                report.queue_depth.iter().all(|s| s.intake <= 16),
+                "intake exceeded queue_cap under shed_oldest",
+            );
+            if let Some(dir) = trace_dir {
+                check_load_trace(label, &recorder, report.admission, dir);
+            }
+            push_load_row(
+                &mut rows,
+                "poisson",
+                "native",
+                cfg.policy,
+                tasks,
+                report.admission,
+                report.completed,
+                stats,
+                report
+                    .queue_depth
+                    .iter()
+                    .map(|s| (s.t_ns, s.ready, s.intake, s.inflight))
+                    .collect(),
+                wall_ms,
+            );
+        }
+
+        // Native deadline_drop: same overload, but the bound is on waiting
+        // time — anything older than 1 ms at intake must be dropped.
+        {
+            let label = "saturate-native-deadline";
+            let cfg = AdmissionConfig {
+                inflight_cap: 8,
+                queue_cap: 16,
+                policy: OverloadPolicy::DeadlineDrop {
+                    deadline: SimDuration::from_millis(1),
+                },
+            };
+            let recorder = recorder_for();
+            let (report, stats, wall_ms) = native_load_run(
+                &arrivals,
+                cfg,
+                ExecMode::Emulated { scale: 1.0 },
+                200,
+                2,
+                &recorder,
+            );
+            expect_load(
+                label,
+                report.admission.conserved() && report.admission.generated == tasks,
+                &format!("counters not conserved: {:?}", report.admission),
+            );
+            expect_load(
+                label,
+                report.admission.deadline_dropped > 0,
+                "a 2x-saturating schedule dropped nothing past the deadline",
+            );
+            expect_load(
+                label,
+                report.completed == report.admission.admitted,
+                &format!(
+                    "{} completed of {} admitted",
+                    report.completed, report.admission.admitted
+                ),
+            );
+            if let Some(dir) = trace_dir {
+                check_load_trace(label, &recorder, report.admission, dir);
+            }
+            push_load_row(
+                &mut rows,
+                "poisson",
+                "native",
+                cfg.policy,
+                tasks,
+                report.admission,
+                report.completed,
+                stats,
+                report
+                    .queue_depth
+                    .iter()
+                    .map(|s| (s.t_ns, s.ready, s.intake, s.inflight))
+                    .collect(),
+                wall_ms,
+            );
+        }
+
+        // Net shed_oldest: one busy worker process (~300 µs/task) against
+        // 10k/s of arrivals; the coordinator's intake must stay capped.
+        {
+            let label = "saturate-net-shed";
+            let n_net = if quick { 1_500usize } else { 3_000 };
+            let arrivals = ArrivalProfile::Poisson { rate_hz: 10_000.0 }.schedule(SEED + 2, n_net);
+            let cfg = AdmissionConfig {
+                inflight_cap: 4,
+                queue_cap: 8,
+                policy: OverloadPolicy::ShedOldest,
+            };
+            let recorder = recorder_for();
+            let (report, stats, wall_ms) = net_load_run(
+                label,
+                &exe,
+                &arrivals,
+                cfg,
+                "busy:300",
+                1,
+                net_deadline,
+                &recorder,
+            );
+            expect_load(
+                label,
+                report.admission.conserved() && report.admission.generated == n_net as u64,
+                &format!("counters not conserved: {:?}", report.admission),
+            );
+            expect_load(
+                label,
+                report.admission.shed > 0,
+                "a saturating schedule shed nothing",
+            );
+            expect_load(
+                label,
+                report.completed == report.admission.admitted,
+                &format!(
+                    "{} completed of {} admitted",
+                    report.completed, report.admission.admitted
+                ),
+            );
+            expect_load(
+                label,
+                report.queue_depth.iter().all(|s| s.intake <= 8),
+                "intake exceeded queue_cap under shed_oldest",
+            );
+            if let Some(dir) = trace_dir {
+                check_load_trace(label, &recorder, report.admission, dir);
+            }
+            push_load_row(
+                &mut rows,
+                "poisson",
+                "net",
+                cfg.policy,
+                n_net as u64,
+                report.admission,
+                report.completed,
+                stats,
+                report
+                    .queue_depth
+                    .iter()
+                    .map(|s| (s.t_ns, s.ready, s.intake, s.inflight))
+                    .collect(),
+                wall_ms,
+            );
+        }
+    }
+
+    let text = render_load_report(&rows, quick, SEED);
+    if let Err(e) = validate_load_report(&text) {
+        eprintln!("load: BENCH_load.json failed schema validation: {e}");
+        std::process::exit(1);
+    }
+    let out = if profile_sel == "all" {
+        "BENCH_load.json".to_string()
+    } else {
+        format!("BENCH_load_{profile_sel}.json")
+    };
+    match std::fs::write(&out, &text) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("load: failed to write {out}: {e}");
             std::process::exit(1);
         }
     }

@@ -38,4 +38,5 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod load;
 pub mod viz;

@@ -324,6 +324,16 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
         self.wake_starved(d);
     }
 
+    /// Seed a reader *mid-run* (open-loop admission): the buffer joins the
+    /// low-priority seed band exactly like [`Engine::seed_reader`], then
+    /// every starved worker is woken — a seed arriving after workers have
+    /// drained the reader would otherwise never be requested.
+    pub fn seed_live<D: Transport>(&mut self, reader: usize, buffer: DataBuffer, d: &mut D) {
+        let w = select::weights_for(&self.weights, &buffer);
+        self.nodes[reader].reader.insert_banded(buffer, w, None, 1);
+        self.wake_starved(d);
+    }
+
     /// Buffers currently queued at a reader.
     pub fn reader_len(&self, reader: usize) -> usize {
         self.nodes[reader].reader.len()

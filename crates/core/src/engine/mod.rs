@@ -32,12 +32,17 @@
 //! [`ReadyLane`] used by backends with their own queues), [`window`]
 //! (request-window state), and [`sequential`] (the reference driver).
 
+pub mod admission;
 pub mod clock;
 pub mod core;
 pub mod select;
 pub mod sequential;
 pub mod window;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionCounters, AdmissionDecision, Offer,
+    OverloadPolicy, Poll, TaskEnvelope,
+};
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use core::{Engine, EngineConfig, Executor, Transport, WorkerRef, WorkerStats};
 pub use select::ReadyLane;

@@ -25,7 +25,7 @@
 //! ever buffers an unbounded frame backlog.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::io::{self, Read};
 use std::net::{Shutdown, TcpStream};
 use std::sync::mpsc;
@@ -36,7 +36,8 @@ use anthill_simkit::{SimDuration, SimTime};
 
 use crate::buffer::DataBuffer;
 use crate::engine::{
-    Clock, Engine, EngineConfig, Executor, Transport, VirtualClock, WallClock, WorkerRef,
+    AdmissionConfig, AdmissionController, AdmissionCounters, Clock, Engine, EngineConfig, Executor,
+    Offer, Transport, VirtualClock, WallClock, WorkerRef,
 };
 use crate::faults::{ConnectionDropSpec, RecoveryConfig};
 use crate::obs::{DeviceRef, EventKind, Recorder};
@@ -532,18 +533,36 @@ fn kill_slot<C: Clock, W: WeightProvider>(
     engine.worker_died(0, slot, inflight, drv);
 }
 
-/// Run `sources` through one engine node whose workers execute
-/// concurrently behind the given connections, in wall-clock time with the
-/// full recovery path armed (see the module docs). The run ends when every
-/// seeded and recirculated buffer has completed exactly once, or errs at
-/// the deadline.
-pub fn run_concurrent<W: WeightProvider>(
-    cfg: NetConfig,
+/// Shared live state of a concurrent (wall-clock) run: the engine, the
+/// socket driver, the reader threads feeding the [`Pump`] channel, and
+/// per-slot health bookkeeping. Built by [`concurrent_setup`]; the two
+/// event loops ([`run_concurrent`], [`run_concurrent_load`]) differ only
+/// in where work comes from (seeded up front vs. an arrival schedule
+/// gated by admission control).
+struct ConcurrentRig<W: WeightProvider> {
+    wall: WallClock,
+    engine: Engine<WallClock, W>,
+    node: usize,
+    drv: ConcurrentDriver,
+    rx: mpsc::Receiver<Pump>,
+    readers: Vec<std::thread::JoinHandle<()>>,
+    dead: Vec<bool>,
+    deaths: u32,
+    last_seen: Vec<Instant>,
+    pending_procs: Vec<Vec<SimDuration>>,
+}
+
+/// Establish every connection, perform the handshake, and start one
+/// reader thread per socket, all feeding one channel; mpsc ordering
+/// guarantees a slot's buffered completions are seen before its `Closed`
+/// marker. Slots that fail the handshake are reaped as dead before the
+/// rig is returned.
+fn concurrent_setup<W: WeightProvider>(
+    cfg: &NetConfig,
     workers: Vec<NetWorkerConn>,
-    sources: Vec<DataBuffer>,
     weights: W,
-) -> io::Result<NetOutcome> {
-    let hard_deadline = Instant::now() + cfg.deadline;
+    hard_deadline: Instant,
+) -> io::Result<ConcurrentRig<W>> {
     let wall = WallClock::start();
     let mut engine = Engine::new(
         EngineConfig {
@@ -576,9 +595,6 @@ pub fn run_concurrent<W: WeightProvider>(
     assert!(!drv.slots.is_empty(), "no worker connections configured");
     handshake(&mut drv.slots, hard_deadline);
 
-    // One reader thread per connection, all feeding one channel; mpsc
-    // ordering guarantees a slot's buffered completions are seen before
-    // its Closed marker.
     let (tx, rx) = mpsc::channel::<Pump>();
     let mut readers = Vec::new();
     for (slot, mut stream) in read_halves.into_iter().enumerate() {
@@ -625,96 +641,237 @@ pub fn run_concurrent<W: WeightProvider>(
     }
     drop(tx);
 
+    let n_slots = drv.slots.len();
+    let mut rig = ConcurrentRig {
+        wall,
+        engine,
+        node,
+        drv,
+        rx,
+        readers,
+        dead: vec![false; n_slots],
+        deaths: 0,
+        last_seen: vec![Instant::now(); n_slots],
+        pending_procs: vec![Vec::new(); n_slots],
+    };
+    for slot in 0..n_slots {
+        if !rig.drv.slots[slot].open {
+            rig.kill(slot);
+        }
+    }
+    Ok(rig)
+}
+
+impl<W: WeightProvider> ConcurrentRig<W> {
+    fn kill(&mut self, slot: usize) {
+        kill_slot(
+            &mut self.engine,
+            &mut self.drv,
+            &mut self.dead,
+            &mut self.deaths,
+            slot,
+        );
+    }
+
+    /// Kick every live worker's requester, as the sequential driver does.
+    fn kick_live_workers(&mut self) {
+        for w in self.engine.worker_refs() {
+            if !self.dead[w.worker] {
+                self.engine
+                    .data_arrived(w.node, w.worker, u64::MAX, None, &mut self.drv);
+            }
+        }
+    }
+
+    /// Fire every request timeout whose wall-clock deadline has passed.
+    fn fire_due_timers(&mut self) {
+        let now_ns = self.wall.now().as_nanos();
+        while let Some(&Reverse((fire, slot, req_id))) = self.drv.timers.peek() {
+            if fire > now_ns {
+                break;
+            }
+            self.drv.timers.pop();
+            self.engine
+                .request_timed_out(0, slot, req_id, &mut self.drv);
+        }
+    }
+
+    /// Declare silent workers dead.
+    fn check_heartbeats(&mut self, timeout: Option<Duration>) {
+        if let Some(hb) = timeout {
+            for slot in 0..self.dead.len() {
+                if !self.dead[slot] && self.last_seen[slot].elapsed() > hb {
+                    self.kill(slot);
+                }
+            }
+        }
+    }
+
+    fn all_dead(&self) -> bool {
+        self.dead.iter().all(|&d| d)
+    }
+
+    /// Sleep bound for the channel wait: the next request timeout, capped
+    /// at `cap` and floored at 1 ms so a just-missed timer cannot spin.
+    fn wait_budget(&self, cap: Duration) -> Duration {
+        let mut wait = cap;
+        if let Some(&Reverse((fire, _, _))) = self.drv.timers.peek() {
+            let until = Duration::from_nanos(fire.saturating_sub(self.wall.now().as_nanos()));
+            wait = wait.min(until.max(Duration::from_millis(1)));
+        }
+        wait
+    }
+
+    /// Retire slots whose writes failed inside the engine callbacks.
+    fn reap_failed_writes(&mut self) {
+        for slot in 0..self.dead.len() {
+            if !self.drv.slots[slot].open && !self.dead[slot] {
+                self.kill(slot);
+            }
+        }
+    }
+
+    /// Handle one `Complete` frame: retire the in-flight entry, re-stamp
+    /// the worker span onto the coordinator clock, credit the engine, and
+    /// recirculate. Returns how many buffers were recirculated (new
+    /// expected completions).
+    #[allow(clippy::too_many_arguments)]
+    fn handle_complete(
+        &mut self,
+        rec: &Recorder,
+        slot: usize,
+        buffer: DataBuffer,
+        proc_ns: u64,
+        span_ns: u64,
+        recirculated: Vec<DataBuffer>,
+        dispatch_order: &mut Vec<(DeviceKind, u64)>,
+    ) -> u64 {
+        self.drv.inflight[slot].retain(|b| b.id != buffer.id);
+        let device = self.engine.worker_device(0, slot);
+        dispatch_order.push((device.kind, buffer.id.0));
+        let ts = self.wall.now().as_nanos();
+        let dev = DeviceRef::device(device);
+        rec.record(
+            ts,
+            dev,
+            EventKind::RemoteStart {
+                buffer: buffer.id.0,
+                level: buffer.level,
+            },
+        );
+        rec.record(
+            ts,
+            dev,
+            EventKind::RemoteFinish {
+                buffer: buffer.id.0,
+                level: buffer.level,
+                proc_ns: span_ns,
+            },
+        );
+        let proc = SimDuration(proc_ns);
+        self.engine.task_finished(0, slot, &buffer, proc);
+        self.pending_procs[slot].push(proc);
+        let n = recirculated.len() as u64;
+        for r in recirculated {
+            self.engine.recirculate(self.node, r, &mut self.drv);
+        }
+        n
+    }
+
+    /// Shut down live slots, stop the readers, and produce the outcome.
+    fn finish(mut self, dispatch_order: Vec<(DeviceKind, u64)>) -> NetOutcome {
+        shutdown_slots(&mut self.drv.slots);
+        let ConcurrentRig {
+            engine,
+            drv,
+            rx,
+            readers,
+            deaths,
+            ..
+        } = self;
+        drop(drv);
+        drop(rx);
+        for handle in readers {
+            let _ = handle.join();
+        }
+        NetOutcome {
+            assigned: engine.tasks_by().clone(),
+            dispatch_order,
+            total: engine.total_done(),
+            deaths,
+        }
+    }
+}
+
+/// Run `sources` through one engine node whose workers execute
+/// concurrently behind the given connections, in wall-clock time with the
+/// full recovery path armed (see the module docs). The run ends when every
+/// seeded and recirculated buffer has completed exactly once, or errs at
+/// the deadline.
+pub fn run_concurrent<W: WeightProvider>(
+    cfg: NetConfig,
+    workers: Vec<NetWorkerConn>,
+    sources: Vec<DataBuffer>,
+    weights: W,
+) -> io::Result<NetOutcome> {
+    let hard_deadline = Instant::now() + cfg.deadline;
+    let mut rig = concurrent_setup(&cfg, workers, weights, hard_deadline)?;
     let mut expected = sources.len() as u64;
     for b in sources {
-        engine.seed_reader(node, b);
+        rig.engine.seed_reader(rig.node, b);
     }
-    let n_slots = drv.slots.len();
+    rig.kick_live_workers();
     let rec = cfg.recorder.clone();
-    let mut dead = vec![false; n_slots];
-    let mut deaths = 0u32;
-    let mut last_seen = vec![Instant::now(); n_slots];
-    let mut pending_procs: Vec<Vec<SimDuration>> = vec![Vec::new(); n_slots];
     let mut dispatch_order = Vec::new();
 
-    for slot in 0..n_slots {
-        if !drv.slots[slot].open {
-            kill_slot(&mut engine, &mut drv, &mut dead, &mut deaths, slot);
-        }
-    }
-    for w in engine.worker_refs() {
-        if !dead[w.worker] {
-            engine.data_arrived(w.node, w.worker, u64::MAX, None, &mut drv);
-        }
-    }
-
-    while engine.total_done() < expected {
+    while rig.engine.total_done() < expected {
         if Instant::now() >= hard_deadline {
             return Err(io::Error::new(
                 io::ErrorKind::TimedOut,
                 format!(
                     "net run deadline exceeded: {}/{} buffers done, {} worker(s) dead",
-                    engine.total_done(),
+                    rig.engine.total_done(),
                     expected,
-                    deaths
+                    rig.deaths
                 ),
             ));
         }
-        // Fire due request timeouts.
-        let now_ns = wall.now().as_nanos();
-        while let Some(&Reverse((fire, slot, req_id))) = drv.timers.peek() {
-            if fire > now_ns {
-                break;
-            }
-            drv.timers.pop();
-            engine.request_timed_out(0, slot, req_id, &mut drv);
-        }
-        // Declare silent workers dead.
-        if let Some(hb) = cfg.heartbeat_timeout {
-            for slot in 0..n_slots {
-                if !dead[slot] && last_seen[slot].elapsed() > hb {
-                    kill_slot(&mut engine, &mut drv, &mut dead, &mut deaths, slot);
-                }
-            }
-        }
-        if dead.iter().all(|&d| d) {
+        rig.fire_due_timers();
+        rig.check_heartbeats(cfg.heartbeat_timeout);
+        if rig.all_dead() {
             return Err(io::Error::new(
                 io::ErrorKind::BrokenPipe,
                 format!(
                     "every worker died with {}/{} buffers done",
-                    engine.total_done(),
+                    rig.engine.total_done(),
                     expected
                 ),
             ));
         }
-        // Sleep until the next frame or the next timer, whichever first.
-        let mut wait = Duration::from_millis(25);
-        if let Some(&Reverse((fire, _, _))) = drv.timers.peek() {
-            let until = Duration::from_nanos(fire.saturating_sub(wall.now().as_nanos()));
-            wait = wait.min(until.max(Duration::from_millis(1)));
-        }
-        let event = match rx.recv_timeout(wait) {
+        let wait = rig.wait_budget(Duration::from_millis(25));
+        let event = match rig.rx.recv_timeout(wait) {
             Ok(ev) => ev,
             Err(mpsc::RecvTimeoutError::Timeout) => continue,
             Err(mpsc::RecvTimeoutError::Disconnected) => {
-                for slot in 0..n_slots {
-                    kill_slot(&mut engine, &mut drv, &mut dead, &mut deaths, slot);
+                for slot in 0..rig.dead.len() {
+                    rig.kill(slot);
                 }
                 continue;
             }
         };
         match event {
-            Pump::Closed(slot) => kill_slot(&mut engine, &mut drv, &mut dead, &mut deaths, slot),
+            Pump::Closed(slot) => rig.kill(slot),
             Pump::Frame(slot, frame) => {
-                last_seen[slot] = Instant::now();
-                if dead[slot] {
+                rig.last_seen[slot] = Instant::now();
+                if rig.dead[slot] {
                     continue; // a late frame from a retired slot
                 }
                 match frame {
                     Frame::Request { reader, req_id } => {
-                        let kind = engine.worker_device(0, slot).kind;
-                        let buffer = engine.answer_request(reader as usize, kind);
-                        engine.data_arrived(0, slot, req_id, buffer, &mut drv);
+                        let kind = rig.engine.worker_device(0, slot).kind;
+                        let buffer = rig.engine.answer_request(reader as usize, kind);
+                        rig.engine
+                            .data_arrived(0, slot, req_id, buffer, &mut rig.drv);
                     }
                     Frame::Complete {
                         buffer,
@@ -722,39 +879,20 @@ pub fn run_concurrent<W: WeightProvider>(
                         span,
                         recirculated,
                     } => {
-                        drv.inflight[slot].retain(|b| b.id != buffer.id);
-                        let device = engine.worker_device(0, slot);
-                        dispatch_order.push((device.kind, buffer.id.0));
-                        let ts = wall.now().as_nanos();
-                        let dev = DeviceRef::device(device);
-                        rec.record(
-                            ts,
-                            dev,
-                            EventKind::RemoteStart {
-                                buffer: buffer.id.0,
-                                level: buffer.level,
-                            },
+                        let span_ns = span.end_ns.saturating_sub(span.start_ns);
+                        expected += rig.handle_complete(
+                            &rec,
+                            slot,
+                            buffer,
+                            proc_ns,
+                            span_ns,
+                            recirculated,
+                            &mut dispatch_order,
                         );
-                        rec.record(
-                            ts,
-                            dev,
-                            EventKind::RemoteFinish {
-                                buffer: buffer.id.0,
-                                level: buffer.level,
-                                proc_ns: span.end_ns.saturating_sub(span.start_ns),
-                            },
-                        );
-                        let proc = SimDuration(proc_ns);
-                        engine.task_finished(0, slot, &buffer, proc);
-                        pending_procs[slot].push(proc);
-                        expected += recirculated.len() as u64;
-                        for r in recirculated {
-                            engine.recirculate(node, r, &mut drv);
-                        }
                     }
                     Frame::BatchDone => {
-                        let procs = std::mem::take(&mut pending_procs[slot]);
-                        engine.worker_idle(0, slot, &procs, &mut drv);
+                        let procs = std::mem::take(&mut rig.pending_procs[slot]);
+                        rig.engine.worker_idle(0, slot, &procs, &mut rig.drv);
                     }
                     // Heartbeats already refreshed `last_seen`; the rest
                     // are protocol noise a healthy worker never sends.
@@ -766,24 +904,302 @@ pub fn run_concurrent<W: WeightProvider>(
                 }
             }
         }
-        // Reap slots whose writes failed inside the engine callbacks.
-        for slot in 0..n_slots {
-            if !drv.slots[slot].open && !dead[slot] {
-                kill_slot(&mut engine, &mut drv, &mut dead, &mut deaths, slot);
-            }
-        }
+        rig.reap_failed_writes();
     }
 
-    shutdown_slots(&mut drv.slots);
-    drop(drv);
-    drop(rx);
-    for handle in readers {
-        let _ = handle.join();
+    Ok(rig.finish(dispatch_order))
+}
+
+// ------------------------------------------------------------ open loop
+
+/// Per-task latency decomposition reported by [`run_concurrent_load`],
+/// all in nanoseconds on the coordinator's clock. `e2e_ns` runs from the
+/// task's *scheduled* arrival offset (so injector jitter shows up as
+/// measured load, not as noise) to the completion frame; `service_ns` is
+/// the worker-reported execution span; `queue_ns` is the remainder —
+/// admission wait, ready-queue wait, and wire time.
+#[derive(Debug, Clone, Copy)]
+pub struct NetTaskTiming {
+    /// Buffer id.
+    pub buffer: u64,
+    /// Time between scheduled arrival and execution start (e2e − service).
+    pub queue_ns: u64,
+    /// Worker-side execution span.
+    pub service_ns: u64,
+    /// Scheduled arrival to completion.
+    pub e2e_ns: u64,
+}
+
+/// One queue-depth sample from an open-loop net run.
+#[derive(Debug, Clone, Copy)]
+pub struct NetQueueSample {
+    /// Coordinator wall-clock nanoseconds since the run started.
+    pub t_ns: u64,
+    /// Buffers sitting in the engine's ready (reader) queue.
+    pub ready: u64,
+    /// Tasks waiting in the admission intake queue.
+    pub intake: u64,
+    /// Tasks admitted and not yet completed.
+    pub inflight: u64,
+}
+
+/// Result of [`run_concurrent_load`].
+#[derive(Debug, Clone)]
+pub struct NetLoadReport {
+    /// The usual run outcome (assignment counts, completion order, deaths).
+    pub outcome: NetOutcome,
+    /// Admission counters at quiescence; `admitted + shed +
+    /// deadline_dropped == generated` holds whenever the run returns `Ok`.
+    pub admission: AdmissionCounters,
+    /// Tasks that completed and produced a timing callback.
+    pub completed: u64,
+    /// Queue-depth time series on the `sample_every` cadence.
+    pub queue_depth: Vec<NetQueueSample>,
+}
+
+/// Open-loop variant of [`run_concurrent`]: instead of seeding every
+/// source up front, tasks *arrive* on the wall-clock schedule `arrivals`
+/// (nanosecond offsets from the run start, ascending) and pass through an
+/// [`AdmissionController`] before reaching the engine.
+///
+/// `make_task(index, arrival_ns)` materialises the task for each arrival;
+/// buffer ids must be unique across the schedule. Admitted tasks are
+/// seeded live into the ready queue; under [`OverloadPolicy::Block`]
+/// (see [`crate::engine::OverloadPolicy`]) a full intake stalls the
+/// injector — the arrival index does not advance, modelling generator
+/// back-pressure — while the shedding policies keep the schedule on time
+/// and drop work instead, emitting `task_shed` /
+/// `task_deadline_dropped` events through the configured recorder.
+///
+/// `on_complete` fires once per completed *admitted* task (recirculated
+/// copies complete without a second callback, and without double-freeing
+/// the admission slot). The run ends when the schedule is drained, the
+/// intake is empty, and every seeded and recirculated buffer has
+/// completed, or errs at the deadline.
+#[allow(clippy::too_many_arguments)]
+pub fn run_concurrent_load<W: WeightProvider>(
+    cfg: NetConfig,
+    admission: AdmissionConfig,
+    workers: Vec<NetWorkerConn>,
+    arrivals: &[u64],
+    make_task: &mut dyn FnMut(u64, u64) -> DataBuffer,
+    sample_every: Duration,
+    weights: W,
+    on_complete: &mut dyn FnMut(NetTaskTiming),
+) -> io::Result<NetLoadReport> {
+    let hard_deadline = Instant::now() + cfg.deadline;
+    let mut rig = concurrent_setup(&cfg, workers, weights, hard_deadline)?;
+    let mut ctl: AdmissionController<DataBuffer> = AdmissionController::new(
+        admission,
+        cfg.recorder.clone(),
+        DeviceRef::node_scope(rig.node),
+    );
+    rig.kick_live_workers();
+    let rec = cfg.recorder.clone();
+    let sample_every = sample_every.max(Duration::from_micros(200));
+
+    let mut dispatch_order = Vec::new();
+    let mut samples: Vec<NetQueueSample> = Vec::new();
+    let mut next_sample_ns = 0u64;
+    // Scheduled arrival of tasks sitting in the admission intake.
+    let mut queued_arrival: HashMap<u64, u64> = HashMap::new();
+    // `(scheduled arrival, seed time)` of admitted, not-yet-completed tasks.
+    let mut inflight_meta: HashMap<u64, (u64, u64)> = HashMap::new();
+    // A task bounced with `Offer::Blocked`, waiting for intake space.
+    let mut pending: Option<(u64, DataBuffer)> = None;
+    let mut next = 0usize;
+    let mut expected = 0u64;
+    let mut completed = 0u64;
+
+    loop {
+        if next >= arrivals.len()
+            && pending.is_none()
+            && ctl.queued() == 0
+            && rig.engine.total_done() >= expected
+        {
+            break;
+        }
+        if Instant::now() >= hard_deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!(
+                    "net load run deadline exceeded: {}/{} arrivals injected, {}/{} done, {} worker(s) dead",
+                    next,
+                    arrivals.len(),
+                    rig.engine.total_done(),
+                    expected,
+                    rig.deaths
+                ),
+            ));
+        }
+        rig.fire_due_timers();
+        rig.check_heartbeats(cfg.heartbeat_timeout);
+        if rig.all_dead() {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                format!(
+                    "every worker died with {}/{} buffers done",
+                    rig.engine.total_done(),
+                    expected
+                ),
+            ));
+        }
+
+        // Admit intake entries freed by completions; expire overdue ones.
+        let now_ns = rig.wall.now().as_nanos();
+        let polled = ctl.poll(now_ns);
+        for env in polled.expired {
+            queued_arrival.remove(&env.buffer);
+        }
+        for env in polled.admitted {
+            let arrival = queued_arrival.remove(&env.buffer).unwrap_or(now_ns);
+            inflight_meta.insert(env.buffer, (arrival, now_ns));
+            expected += 1;
+            rig.engine.seed_live(rig.node, env.payload, &mut rig.drv);
+        }
+
+        // Inject every arrival that is due, a blocked task first.
+        loop {
+            let (arrival_ns, buf) = match pending.take() {
+                Some(p) => p,
+                None => {
+                    if next >= arrivals.len() {
+                        break;
+                    }
+                    let due = arrivals[next];
+                    if due > rig.wall.now().as_nanos() {
+                        break;
+                    }
+                    let buf = make_task(next as u64, due);
+                    next += 1;
+                    (due, buf)
+                }
+            };
+            let offer_ns = rig.wall.now().as_nanos();
+            let id = buf.id.0;
+            let level = buf.level;
+            match ctl.offer(offer_ns, id, level, buf) {
+                Offer::Admitted(b) => {
+                    inflight_meta.insert(id, (arrival_ns, offer_ns));
+                    expected += 1;
+                    rig.engine.seed_live(rig.node, b, &mut rig.drv);
+                }
+                Offer::Queued { shed } => {
+                    queued_arrival.insert(id, arrival_ns);
+                    if let Some(victim) = shed {
+                        queued_arrival.remove(&victim.buffer);
+                    }
+                }
+                Offer::ShedSelf(_) => {}
+                Offer::Blocked(b) => {
+                    // Back-pressure: the injector stalls until a
+                    // completion frees an admission slot.
+                    pending = Some((arrival_ns, b));
+                    break;
+                }
+            }
+        }
+
+        // Queue-depth sample on its cadence.
+        let now_ns = rig.wall.now().as_nanos();
+        if now_ns >= next_sample_ns {
+            samples.push(NetQueueSample {
+                t_ns: now_ns,
+                ready: rig.engine.reader_len(rig.node) as u64,
+                intake: ctl.queued() as u64,
+                inflight: ctl.inflight() as u64,
+            });
+            next_sample_ns = now_ns + sample_every.as_nanos() as u64;
+        }
+
+        // Wait for the next frame, bounded by the next timer, the next
+        // scheduled arrival, and the sample cadence.
+        let mut wait = rig.wait_budget(Duration::from_millis(25).min(sample_every));
+        if pending.is_none() {
+            if let Some(&due) = arrivals.get(next) {
+                let until = Duration::from_nanos(due.saturating_sub(rig.wall.now().as_nanos()));
+                wait = wait.min(until);
+            }
+        }
+        let event = match rig.rx.recv_timeout(wait) {
+            Ok(ev) => ev,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                for slot in 0..rig.dead.len() {
+                    rig.kill(slot);
+                }
+                continue;
+            }
+        };
+        match event {
+            Pump::Closed(slot) => rig.kill(slot),
+            Pump::Frame(slot, frame) => {
+                rig.last_seen[slot] = Instant::now();
+                if rig.dead[slot] {
+                    continue; // a late frame from a retired slot
+                }
+                match frame {
+                    Frame::Request { reader, req_id } => {
+                        let kind = rig.engine.worker_device(0, slot).kind;
+                        let buffer = rig.engine.answer_request(reader as usize, kind);
+                        rig.engine
+                            .data_arrived(0, slot, req_id, buffer, &mut rig.drv);
+                    }
+                    Frame::Complete {
+                        buffer,
+                        proc_ns,
+                        span,
+                        recirculated,
+                    } => {
+                        let id = buffer.id.0;
+                        let span_ns = span.end_ns.saturating_sub(span.start_ns);
+                        expected += rig.handle_complete(
+                            &rec,
+                            slot,
+                            buffer,
+                            proc_ns,
+                            span_ns,
+                            recirculated,
+                            &mut dispatch_order,
+                        );
+                        // First completion of an admitted task frees its
+                        // admission slot and reports its latency split;
+                        // recirculated copies find no entry and skip both.
+                        if let Some((arrival, _seeded)) = inflight_meta.remove(&id) {
+                            let finished_ns = rig.wall.now().as_nanos();
+                            let e2e_ns = finished_ns.saturating_sub(arrival);
+                            let service_ns = span_ns.min(e2e_ns);
+                            completed += 1;
+                            on_complete(NetTaskTiming {
+                                buffer: id,
+                                queue_ns: e2e_ns - service_ns,
+                                service_ns,
+                                e2e_ns,
+                            });
+                            ctl.release();
+                        }
+                    }
+                    Frame::BatchDone => {
+                        let procs = std::mem::take(&mut rig.pending_procs[slot]);
+                        rig.engine.worker_idle(0, slot, &procs, &mut rig.drv);
+                    }
+                    Frame::Heartbeat { .. }
+                    | Frame::Hello { .. }
+                    | Frame::Bye
+                    | Frame::Deliver { .. }
+                    | Frame::Shutdown => {}
+                }
+            }
+        }
+        rig.reap_failed_writes();
     }
-    Ok(NetOutcome {
-        assigned: engine.tasks_by().clone(),
-        dispatch_order,
-        total: engine.total_done(),
-        deaths,
+
+    let admission = ctl.counters();
+    let outcome = rig.finish(dispatch_order);
+    Ok(NetLoadReport {
+        outcome,
+        admission,
+        completed,
+        queue_depth: samples,
     })
 }

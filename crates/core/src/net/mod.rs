@@ -37,7 +37,10 @@ pub mod driver;
 pub mod frame;
 pub mod worker;
 
-pub use driver::{run_concurrent, run_deterministic, NetConfig, NetOutcome, NetWorkerConn};
+pub use driver::{
+    run_concurrent, run_concurrent_load, run_deterministic, NetConfig, NetLoadReport, NetOutcome,
+    NetQueueSample, NetTaskTiming, NetWorkerConn,
+};
 pub use frame::{encode_frame, Frame, FrameDecoder, FrameError, WireSpan};
 pub use worker::{connect_and_run, run_worker, spawn_worker_thread, Behavior};
 
@@ -168,6 +171,68 @@ mod tests {
         .expect("net run");
         assert_eq!(out.total, 60, "30 seeds + 30 recirculated");
         assert_eq!(out.deaths, 0);
+    }
+
+    #[test]
+    fn concurrent_load_loopback_completes_every_admitted_arrival() {
+        use crate::engine::AdmissionConfig;
+        use std::time::Duration;
+        let workers = loopback_workers(&[DeviceKind::Cpu, DeviceKind::Cpu], Behavior::Identity);
+        let arrivals: Vec<u64> = (0..200).map(|i| i * 50_000).collect(); // 50 µs apart
+        let mut timings = Vec::new();
+        let report = run_concurrent_load(
+            NetConfig::new(Policy::ddfcfs(4)),
+            AdmissionConfig::default(),
+            workers,
+            &arrivals,
+            &mut |i, _| tile(i),
+            Duration::from_millis(1),
+            OracleWeights::new(GpuParams::geforce_8800gt(), false),
+            &mut |t| timings.push(t),
+        )
+        .expect("net load run");
+        assert!(report.admission.conserved(), "{:?}", report.admission);
+        assert_eq!(report.admission.generated, 200);
+        assert_eq!(report.admission.admitted, 200);
+        assert_eq!(report.completed, 200);
+        assert_eq!(report.outcome.total, 200);
+        assert_eq!(timings.len(), 200);
+        let mut ids: Vec<u64> = timings.iter().map(|t| t.buffer).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..200).collect::<Vec<u64>>());
+        assert!(timings.iter().all(|t| t.e2e_ns >= t.service_ns));
+        assert!(!report.queue_depth.is_empty());
+    }
+
+    #[test]
+    fn concurrent_load_shed_policy_bounds_a_saturating_schedule() {
+        use crate::engine::{AdmissionConfig, OverloadPolicy};
+        use std::time::Duration;
+        // One deliberately slow worker against back-to-back arrivals: the
+        // shed policy must keep intake bounded and the run on schedule.
+        let workers = loopback_workers(&[DeviceKind::Cpu], Behavior::Busy { micros: 300 });
+        let arrivals: Vec<u64> = (0..400).map(|i| i * 10_000).collect(); // 10 µs apart
+        let cfg = AdmissionConfig {
+            inflight_cap: 4,
+            queue_cap: 8,
+            policy: OverloadPolicy::ShedOldest,
+        };
+        let report = run_concurrent_load(
+            NetConfig::new(Policy::ddfcfs(4)),
+            cfg,
+            workers,
+            &arrivals,
+            &mut |i, _| tile(i),
+            Duration::from_millis(1),
+            OracleWeights::new(GpuParams::geforce_8800gt(), false),
+            &mut |_| {},
+        )
+        .expect("net load run");
+        assert!(report.admission.conserved(), "{:?}", report.admission);
+        assert_eq!(report.admission.generated, 400);
+        assert!(report.admission.shed > 0, "{:?}", report.admission);
+        assert_eq!(report.completed, report.admission.admitted);
+        assert!(report.queue_depth.iter().all(|s| s.intake <= 8));
     }
 
     #[test]

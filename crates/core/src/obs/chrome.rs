@@ -237,6 +237,40 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
                     &format!(",\"s\":\"t\",\"args\":{{\"buffer\":{buffer},\"proc_ns\":{proc_ns}}}"),
                 );
             }
+            EventKind::TaskAdmitted { buffer, .. } => {
+                push_event(
+                    &mut out,
+                    "admit",
+                    'i',
+                    ev.ts_ns,
+                    &ev.origin,
+                    &format!(",\"s\":\"t\",\"args\":{{\"buffer\":{buffer}}}"),
+                );
+            }
+            EventKind::TaskShed { buffer, .. } => {
+                push_event(
+                    &mut out,
+                    "shed",
+                    'i',
+                    ev.ts_ns,
+                    &ev.origin,
+                    &format!(",\"s\":\"t\",\"args\":{{\"buffer\":{buffer}}}"),
+                );
+            }
+            EventKind::TaskDeadlineDropped {
+                buffer, waited_ns, ..
+            } => {
+                push_event(
+                    &mut out,
+                    "deadline drop",
+                    'i',
+                    ev.ts_ns,
+                    &ev.origin,
+                    &format!(
+                        ",\"s\":\"t\",\"args\":{{\"buffer\":{buffer},\"waited_ns\":{waited_ns}}}"
+                    ),
+                );
+            }
         }
     }
 

@@ -176,6 +176,32 @@ pub enum EventKind {
         /// Measured worker-side handler span, in nanoseconds.
         proc_ns: u64,
     },
+    /// The admission controller accepted a generated task into the run
+    /// (either immediately on arrival or later from the intake queue).
+    TaskAdmitted {
+        /// Buffer id.
+        buffer: u64,
+        /// Resolution level.
+        level: u8,
+    },
+    /// The admission controller discarded a task to bound the intake
+    /// queue under the shed-oldest overload policy.
+    TaskShed {
+        /// Buffer id.
+        buffer: u64,
+        /// Resolution level.
+        level: u8,
+    },
+    /// The admission controller dropped a queued task whose intake wait
+    /// exceeded the deadline-drop policy's deadline.
+    TaskDeadlineDropped {
+        /// Buffer id.
+        buffer: u64,
+        /// Resolution level.
+        level: u8,
+        /// Time the task spent queued before expiry, in nanoseconds.
+        waited_ns: u64,
+    },
 }
 
 impl EventKind {
@@ -195,6 +221,9 @@ impl EventKind {
             EventKind::TaskReassigned { .. } => "task_reassigned",
             EventKind::RemoteStart { .. } => "remote_start",
             EventKind::RemoteFinish { .. } => "remote_finish",
+            EventKind::TaskAdmitted { .. } => "task_admitted",
+            EventKind::TaskShed { .. } => "task_shed",
+            EventKind::TaskDeadlineDropped { .. } => "task_deadline_dropped",
         }
     }
 }
@@ -292,6 +321,22 @@ mod tests {
                 proc_ns: 5,
             }
             .name(),
+            EventKind::TaskAdmitted {
+                buffer: 1,
+                level: 0,
+            }
+            .name(),
+            EventKind::TaskShed {
+                buffer: 1,
+                level: 0,
+            }
+            .name(),
+            EventKind::TaskDeadlineDropped {
+                buffer: 1,
+                level: 0,
+                waited_ns: 4,
+            }
+            .name(),
         ];
         assert_eq!(
             names,
@@ -308,7 +353,10 @@ mod tests {
                 "worker_died",
                 "task_reassigned",
                 "remote_start",
-                "remote_finish"
+                "remote_finish",
+                "task_admitted",
+                "task_shed",
+                "task_deadline_dropped"
             ]
         );
     }

@@ -82,7 +82,10 @@ fn write_event(out: &mut String, ev: &TraceEvent) {
         EventKind::WorkerDied { inflight } => {
             out.push_str(&format!(",\"inflight\":{inflight}"));
         }
-        EventKind::TaskReassigned { buffer, level } | EventKind::RemoteStart { buffer, level } => {
+        EventKind::TaskReassigned { buffer, level }
+        | EventKind::RemoteStart { buffer, level }
+        | EventKind::TaskAdmitted { buffer, level }
+        | EventKind::TaskShed { buffer, level } => {
             out.push_str(&format!(",\"buffer\":{buffer},\"level\":{level}"));
         }
         EventKind::RemoteFinish {
@@ -92,6 +95,15 @@ fn write_event(out: &mut String, ev: &TraceEvent) {
         } => {
             out.push_str(&format!(
                 ",\"buffer\":{buffer},\"level\":{level},\"proc_ns\":{proc_ns}"
+            ));
+        }
+        EventKind::TaskDeadlineDropped {
+            buffer,
+            level,
+            waited_ns,
+        } => {
+            out.push_str(&format!(
+                ",\"buffer\":{buffer},\"level\":{level},\"waited_ns\":{waited_ns}"
             ));
         }
     }
@@ -219,6 +231,19 @@ fn parse_event(v: &Value) -> Result<TraceEvent, String> {
             level: field_u64(v, "level")? as u8,
             proc_ns: field_u64(v, "proc_ns")?,
         },
+        "task_admitted" => EventKind::TaskAdmitted {
+            buffer: field_u64(v, "buffer")?,
+            level: field_u64(v, "level")? as u8,
+        },
+        "task_shed" => EventKind::TaskShed {
+            buffer: field_u64(v, "buffer")?,
+            level: field_u64(v, "level")? as u8,
+        },
+        "task_deadline_dropped" => EventKind::TaskDeadlineDropped {
+            buffer: field_u64(v, "buffer")?,
+            level: field_u64(v, "level")? as u8,
+            waited_ns: field_u64(v, "waited_ns")?,
+        },
         other => return Err(format!("unknown event kind '{other}'")),
     };
     Ok(TraceEvent {
@@ -336,6 +361,31 @@ mod tests {
                     proc_ns: 1234,
                 },
             },
+            TraceEvent {
+                ts_ns: 110,
+                origin: node,
+                kind: EventKind::TaskAdmitted {
+                    buffer: 11,
+                    level: 0,
+                },
+            },
+            TraceEvent {
+                ts_ns: 120,
+                origin: node,
+                kind: EventKind::TaskShed {
+                    buffer: 12,
+                    level: 0,
+                },
+            },
+            TraceEvent {
+                ts_ns: 130,
+                origin: node,
+                kind: EventKind::TaskDeadlineDropped {
+                    buffer: 13,
+                    level: 0,
+                    waited_ns: 5_000_000,
+                },
+            },
         ]
     }
 
@@ -350,7 +400,7 @@ mod tests {
     #[test]
     fn every_line_is_valid_json_with_required_fields() {
         let text = to_jsonl(&sample_events());
-        assert_eq!(text.lines().count(), 13);
+        assert_eq!(text.lines().count(), 16);
         for line in text.lines() {
             let v = json::parse(line).expect("valid JSON line");
             assert!(v.get("ts").and_then(Value::as_u64).is_some(), "{line}");
@@ -387,6 +437,6 @@ mod tests {
     #[test]
     fn blank_lines_are_skipped() {
         let text = format!("\n{}\n", to_jsonl(&sample_events()));
-        assert_eq!(parse_jsonl(&text).unwrap().len(), 13);
+        assert_eq!(parse_jsonl(&text).unwrap().len(), 16);
     }
 }

@@ -73,6 +73,17 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Outcome of a [`Condvar::wait_for`] call (parking_lot-compatible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 /// A condition variable usable with [`MutexGuard`] (parking_lot-style
 /// `wait(&mut guard)` signature).
 pub struct Condvar(std::sync::Condvar);
@@ -89,6 +100,26 @@ impl Condvar {
         let inner = guard.0.take().expect("guard holds the lock");
         let inner = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
         guard.0 = Some(inner);
+    }
+
+    /// Block until notified or the timeout elapses; the guard is released
+    /// while waiting and re-acquired before returning. Returns a result
+    /// whose [`WaitTimeoutResult::timed_out`] reports which happened.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard holds the lock");
+        let (inner, result) = match self.0.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(e) => {
+                let (g, r) = e.into_inner();
+                (g, r)
+            }
+        };
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
     }
 
     /// Wake one waiter.

@@ -19,6 +19,10 @@
 //!    spawned worker *process* to a mid-run kill; the OS-closed socket
 //!    maps onto the same engine recovery path, the survivor absorbs the
 //!    orphaned in-flight work, and the trace records the death.
+//! 5. **Death under open-loop load** — the same process kill lands in the
+//!    middle of a shed-policy load run; admission must keep conserving
+//!    with no double-counted completions, and the rendered SLO report
+//!    must still validate against the `BENCH_load.json` schema.
 
 mod common;
 
@@ -343,6 +347,146 @@ fn killed_worker_process_is_absorbed_by_the_survivor() {
     );
     // The merged trace (including the survivors' re-stamped worker spans)
     // still round-trips the JSONL schema after a chaotic run.
+    let text = jsonl::to_jsonl(&events);
+    let parsed = jsonl::parse_jsonl(&text).expect("schema-valid trace");
+    assert_eq!(parsed, events, "trace round-trip mismatch");
+}
+
+/// A worker process dies in the middle of an *open-loop* load run under
+/// the shed-oldest policy: the intake must stay bounded through the
+/// recovery, admission must conserve with every completion counted
+/// exactly once (reassigned tasks included), and the SLO report rendered
+/// from the run must still validate against the `BENCH_load.json` schema.
+#[test]
+fn killed_worker_mid_load_run_keeps_the_slo_report_schema_valid() {
+    use anthill_repro::bench::load::{
+        render_load_report, validate_load_report, ArrivalProfile, LatencyHistogram, LatencyStats,
+        LoadRunRow,
+    };
+    use anthill_repro::core::engine::{AdmissionConfig, OverloadPolicy};
+    use anthill_repro::core::net::run_concurrent_load;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("listener addr").to_string();
+    let mut children = Vec::new();
+    let mut workers = Vec::new();
+    // Slot 0 busy-waits 300 µs per task (slow enough that 10k arrivals/s
+    // saturate it and the shed policy engages); slot 1 — the victim —
+    // spins 10 s per task so it is deterministically mid-task when the
+    // kill lands.
+    for (index, behavior) in [(0, "busy:300"), (1, "busy:10000000")] {
+        let child = std::process::Command::new(env!("CARGO_BIN_EXE_net_worker"))
+            .args([addr.as_str(), behavior])
+            .stdin(std::process::Stdio::null())
+            .spawn()
+            .expect("spawn net_worker");
+        children.push(child);
+        let (stream, _) = listener.accept().expect("worker connect");
+        workers.push(NetWorkerConn {
+            device: DeviceId {
+                node: 0,
+                kind: DeviceKind::Cpu,
+                index,
+            },
+            stream,
+        });
+    }
+    let mut victim = children.remove(1);
+    let mut survivor = children.remove(0);
+
+    let recorder = Recorder::enabled();
+    let mut cfg = NetConfig::new(Policy::ddfcfs(4));
+    cfg.recovery = RecoveryConfig::standard();
+    cfg.recorder = recorder.clone();
+    let arrivals = ArrivalProfile::Poisson { rate_hz: 10_000.0 }.schedule(21, 1_200);
+    let admission = AdmissionConfig {
+        inflight_cap: 4,
+        queue_cap: 8,
+        policy: OverloadPolicy::ShedOldest,
+    };
+
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let _ = victim.kill();
+        let _ = victim.wait();
+    });
+    let mut ids: Vec<u64> = Vec::new();
+    let mut hist = LatencyHistogram::new();
+    let report = run_concurrent_load(
+        cfg,
+        admission,
+        workers,
+        &arrivals,
+        &mut |i, _| task(i).buffer,
+        std::time::Duration::from_millis(1),
+        oracle(),
+        &mut |t| {
+            ids.push(t.buffer);
+            hist.record(t.e2e_ns);
+        },
+    )
+    .expect("net load run survives the kill");
+    killer.join().expect("killer thread");
+    assert!(
+        survivor.wait().expect("reap survivor").success(),
+        "the surviving worker must exit cleanly on Shutdown"
+    );
+
+    assert_eq!(report.outcome.deaths, 1, "exactly one worker died");
+    assert!(
+        report.admission.conserved(),
+        "admission must conserve through the death: {:?}",
+        report.admission
+    );
+    assert_eq!(report.admission.generated, 1_200);
+    assert!(
+        report.admission.shed > 0,
+        "the saturating schedule must shed: {:?}",
+        report.admission
+    );
+    assert_eq!(
+        report.completed, report.admission.admitted,
+        "every admitted task (reassigned ones included) completes"
+    );
+    assert_eq!(ids.len() as u64, report.completed);
+    let before = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), before, "no completion may be double-counted");
+    assert!(
+        report.queue_depth.iter().all(|s| s.intake <= 8),
+        "intake must stay bounded through the recovery"
+    );
+
+    // The run's SLO report still renders into a schema-valid document.
+    let stats = LatencyStats::from_histogram(&hist);
+    let row = LoadRunRow {
+        profile: "poisson".to_string(),
+        backend: "net".to_string(),
+        policy: "shed_oldest".to_string(),
+        tasks: 1_200,
+        admission: report.admission,
+        completed: report.completed,
+        queue: stats,
+        service: stats,
+        e2e: stats,
+        queue_depth: report
+            .queue_depth
+            .iter()
+            .map(|s| (s.t_ns, s.ready, s.intake, s.inflight))
+            .collect(),
+        wall_ms: 0.0,
+    };
+    let text = render_load_report(&[row], true, 21);
+    validate_load_report(&text).expect("SLO report must stay schema-valid after the death");
+
+    // The merged trace still round-trips, and the death is recorded.
+    let events = recorder.events();
+    let died = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::WorkerDied { .. }))
+        .count();
+    assert_eq!(died, 1, "the trace must record the process death");
     let text = jsonl::to_jsonl(&events);
     let parsed = jsonl::parse_jsonl(&text).expect("schema-valid trace");
     assert_eq!(parsed, events, "trace round-trip mismatch");

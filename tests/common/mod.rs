@@ -6,8 +6,9 @@
 #![allow(dead_code)]
 
 use anthill_repro::core::buffer::{BufferId, DataBuffer};
-use anthill_repro::core::local::{ExecMode, LocalTask, WorkerSpec};
+use anthill_repro::core::local::{Emitter, ExecMode, LocalFilter, LocalTask, WorkerSpec};
 use anthill_repro::core::net::{spawn_worker_thread, tcp_pair, Behavior, NetWorkerConn};
+use anthill_repro::core::obs::{EventKind, TraceEvent};
 use anthill_repro::core::policy::Policy;
 use anthill_repro::core::weights::OracleWeights;
 use anthill_repro::estimator::TaskParams;
@@ -139,4 +140,49 @@ pub fn loopback_workers(kinds: &[DeviceKind], behavior: Behavior) -> Vec<NetWork
 /// don't each re-import it under a different alias.
 pub fn at_millis(ms: u64) -> SimTime {
     SimTime(ms * 1_000_000)
+}
+
+/// Forwards every task untouched — the stage body for open-loop load
+/// runs, where measured latency should be queueing plus runtime overhead
+/// (plus the emulated busy-wait when the workers are
+/// [`emulated_cpu_workers`]).
+pub struct Forward;
+impl LocalFilter for Forward {
+    fn handle(&self, _d: DeviceKind, task: LocalTask, out: &mut Emitter<'_>) {
+        out.forward(task);
+    }
+}
+
+/// `n` CPU slots that busy-wait each task's modeled cost at scale 1 — a
+/// calibrated, shape-controlled service time for saturation tests.
+pub fn emulated_cpu_workers(n: usize) -> Vec<WorkerSpec> {
+    vec![
+        WorkerSpec {
+            kind: DeviceKind::Cpu,
+            mode: ExecMode::Emulated { scale: 1.0 },
+        };
+        n
+    ]
+}
+
+/// A constant-cost buffer for load schedules: `micros` of modeled work on
+/// either device class, the arrival index recoverable through `task`.
+pub fn load_buffer(id: u64, micros: u64) -> DataBuffer {
+    DataBuffer {
+        id: BufferId(id),
+        params: TaskParams::nums(&[1.0]),
+        shape: TaskShape {
+            cpu: SimDuration::from_micros(micros),
+            gpu_kernel: SimDuration::from_micros(micros),
+            bytes_in: 0,
+            bytes_out: 0,
+        },
+        level: 0,
+        task: id,
+    }
+}
+
+/// Count trace events matching `pred`.
+pub fn count_events(events: &[TraceEvent], pred: fn(&EventKind) -> bool) -> u64 {
+    events.iter().filter(|e| pred(&e.kind)).count() as u64
 }
