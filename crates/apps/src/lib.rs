@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod bench_suite;
+pub mod flows;
 pub mod nbia;
 pub mod vi;
 pub mod vm;

@@ -249,6 +249,503 @@ fn collect_results(outputs: Vec<LocalTask>) -> Vec<TileResult> {
     results
 }
 
+/// The explicit three-filter deployment of Figure 1: **reader**
+/// (pyramid decomposition) → **feature** (color conversion + GLCM/LBP
+/// feature extraction) → **classifier** (the hypothesis test), with the
+/// classifier's rejection feedback edge returning tiles to the feature
+/// filter one pyramid level up.
+///
+/// The same topology runs on four backends: the native threaded runtime
+/// (payload-carrying filters computing real values), and the three
+/// buffer-level backends — sequential reference, DES, and TCP — where a
+/// [`GraphModel`](graph::GraphModel) evaluates the identical feature and
+/// classification math coordinator-side while workers model the compute
+/// cost. Because every classification is a pure function of the tile's
+/// pixels at a pyramid level, the classifier seed, and the threshold, all
+/// deployments produce byte-identical [`TileResult`]s — including against
+/// the fused single-filter pipeline ([`run_local`]).
+pub mod graph {
+    use super::*;
+    use std::collections::HashMap;
+
+    use anthill::engine::sequential::{self as seq, GraphEmission, SequentialConfig};
+    use anthill::graph::{DataflowGraph, EdgeSpec, FilterSpec};
+    use anthill::net::{
+        run_graph_deterministic_with, spawn_worker_thread, tcp_pair, Behavior, NetConfig,
+        NetGraphOutcome, NetWorkerConn,
+    };
+    use anthill::policy::Policy;
+    use anthill::sim::{run_graph_sim, GraphSimConfig, GraphSimReport};
+    use anthill::weights::OracleWeights;
+    use anthill_hetsim::{DeviceId, GpuParams};
+    use anthill_kernels::color::Rgb8;
+
+    /// Filter id of the reader (pyramid decomposition) stage.
+    pub const READER: usize = 0;
+    /// Filter id of the feature-extraction stage.
+    pub const FEATURE: usize = 1;
+    /// Filter id of the classifier stage.
+    pub const CLASSIFIER: usize = 2;
+
+    /// The NBIA dataflow: a three-filter chain with the classifier's
+    /// rejection feedback edge into the feature filter.
+    pub fn topology() -> DataflowGraph {
+        DataflowGraph::new(
+            vec![
+                FilterSpec::new("reader"),
+                FilterSpec::new("feature"),
+                FilterSpec::new("classifier"),
+            ],
+            vec![
+                EdgeSpec::round_robin(READER, FEATURE),
+                EdgeSpec::round_robin(FEATURE, CLASSIFIER),
+                EdgeSpec::feedback(CLASSIFIER, FEATURE),
+            ],
+        )
+        .expect("the NBIA topology is a valid graph")
+    }
+
+    /// Source payload entering the reader: the tile's full-resolution
+    /// pixels, not yet decomposed.
+    struct TileSource {
+        tile: u64,
+        truth: TileClass,
+        full: Vec<Rgb8>,
+    }
+
+    /// Payload leaving the feature filter: the tile plus its extracted
+    /// feature vector at the buffer's pyramid level.
+    struct FeaturePayload {
+        tile: u64,
+        truth: TileClass,
+        pyramid: Arc<TilePyramid>,
+        features: Vec<f64>,
+    }
+
+    /// Reader: decompose the full-resolution tile into its pyramid.
+    struct ReaderFilter {
+        high_side: u32,
+        low_side: u32,
+    }
+
+    impl LocalFilter for ReaderFilter {
+        fn handle(&self, _device: DeviceKind, task: LocalTask, out: &mut Emitter<'_>) {
+            let src = task
+                .payload
+                .downcast::<TileSource>()
+                .expect("NBIA tile source payload");
+            let pyramid = Arc::new(TilePyramid::build(src.full, self.high_side, self.low_side));
+            out.forward(LocalTask::new(
+                task.buffer,
+                TilePayload {
+                    tile: src.tile,
+                    truth: src.truth,
+                    pyramid,
+                },
+            ));
+        }
+    }
+
+    /// Feature extraction at the buffer's pyramid level (recirculated
+    /// tiles re-enter here over the feedback edge and are re-extracted at
+    /// the higher resolution).
+    struct FeatureFilter;
+
+    impl LocalFilter for FeatureFilter {
+        fn handle(&self, _device: DeviceKind, task: LocalTask, out: &mut Emitter<'_>) {
+            let p = task
+                .payload
+                .downcast::<TilePayload>()
+                .expect("NBIA tile payload");
+            let (side, pixels) = p.pyramid.level(task.buffer.level as usize);
+            let features = tile_features(pixels, side);
+            out.forward(LocalTask::new(
+                task.buffer,
+                FeaturePayload {
+                    tile: p.tile,
+                    truth: p.truth,
+                    pyramid: p.pyramid,
+                    features,
+                },
+            ));
+        }
+    }
+
+    /// The hypothesis test: accept the classification or push the tile
+    /// back to the feature filter one pyramid level up.
+    struct ClassifierFilter {
+        classifier: TileClassifier,
+        cost: NbiaCostModel,
+        threshold: f64,
+        next_id: AtomicU64,
+    }
+
+    impl LocalFilter for ClassifierFilter {
+        fn handle(&self, _device: DeviceKind, task: LocalTask, out: &mut Emitter<'_>) {
+            let p = task
+                .payload
+                .downcast::<FeaturePayload>()
+                .expect("NBIA feature payload");
+            let level = task.buffer.level as usize;
+            let (decision, accepted) = self.classifier.accept(&p.features, self.threshold);
+            let at_top = level + 1 >= p.pyramid.depth();
+            if accepted || at_top {
+                let buffer_level = task.buffer.level;
+                out.forward(LocalTask::new(
+                    task.buffer,
+                    TileResult {
+                        tile: p.tile,
+                        truth: p.truth,
+                        predicted: decision.class,
+                        level: buffer_level,
+                        confidence: decision.confidence,
+                    },
+                ));
+            } else {
+                let next_level = (level + 1) as u8;
+                let next_side = p.pyramid.side(next_level as usize);
+                let buffer = DataBuffer {
+                    id: BufferId(self.next_id.fetch_add(1, Ordering::Relaxed)),
+                    params: TaskParams::nums(&[f64::from(next_side)]),
+                    shape: self.cost.tile(next_side),
+                    level: next_level,
+                    task: p.tile,
+                };
+                // Routed over the declared feedback edge back to the
+                // feature filter.
+                out.recirculate(LocalTask::new(
+                    buffer,
+                    TilePayload {
+                        tile: p.tile,
+                        truth: p.truth,
+                        pyramid: p.pyramid,
+                    },
+                ));
+            }
+        }
+    }
+
+    fn cpu_native() -> Vec<WorkerSpec> {
+        vec![WorkerSpec {
+            kind: DeviceKind::Cpu,
+            mode: ExecMode::Native,
+        }]
+    }
+
+    /// The native three-stage pipeline plus its sources: tiles enter as
+    /// full-resolution pixels and the reader performs the decomposition.
+    fn build_graph_pipeline(config: &NbiaLocalConfig) -> (Pipeline, Vec<LocalTask>) {
+        let cost = NbiaCostModel::paper_calibrated();
+        let classifier = TileClassifier::train(config.seed ^ 0x7EAC, 6, config.low_side);
+        let mut gen = TileGenerator::new(config.seed);
+
+        let mut sources = Vec::with_capacity(config.tiles as usize);
+        for tile in 0..config.tiles {
+            let truth = TileClass::ALL[(tile % 3) as usize];
+            let full = gen.generate(truth, config.high_side);
+            sources.push(LocalTask::new(
+                DataBuffer {
+                    id: BufferId(tile),
+                    params: TaskParams::nums(&[f64::from(config.low_side)]),
+                    shape: cost.tile(config.low_side),
+                    level: 0,
+                    task: tile,
+                },
+                TileSource { tile, truth, full },
+            ));
+        }
+
+        let mut pipeline = Pipeline::new(config.policy).with_graph(topology());
+        pipeline.add_stage(
+            Arc::new(ReaderFilter {
+                high_side: config.high_side,
+                low_side: config.low_side,
+            }),
+            cpu_native(),
+        );
+        pipeline.add_stage(Arc::new(FeatureFilter), config.workers.clone());
+        pipeline.add_stage(
+            Arc::new(ClassifierFilter {
+                classifier,
+                cost,
+                threshold: config.confidence_threshold,
+                next_id: AtomicU64::new(1_000_000),
+            }),
+            cpu_native(),
+        );
+        (pipeline, sources)
+    }
+
+    /// Run the three-filter NBIA pipeline on the native threaded runtime.
+    pub fn run_native<W: WeightProvider + Sync>(
+        config: &NbiaLocalConfig,
+        weights: &W,
+    ) -> (Vec<TileResult>, anthill::local::LocalReport) {
+        run_native_traced(config, weights, &anthill::obs::Recorder::disabled())
+    }
+
+    /// [`run_native`] with observability: per-edge `edge_enqueued` events
+    /// and the usual task lifecycle land in `recorder`.
+    pub fn run_native_traced<W: WeightProvider + Sync>(
+        config: &NbiaLocalConfig,
+        weights: &W,
+        recorder: &anthill::obs::Recorder,
+    ) -> (Vec<TileResult>, anthill::local::LocalReport) {
+        let (pipeline, sources) = build_graph_pipeline(config);
+        let (outputs, report) = pipeline.run_traced(sources, weights, recorder);
+        (collect_results(outputs), report)
+    }
+
+    /// [`run_native`] under the sequential reference driver: assignments
+    /// and output order are a pure function of the configuration.
+    pub fn run_native_deterministic<W: WeightProvider>(
+        config: &NbiaLocalConfig,
+        weights: &W,
+    ) -> (Vec<TileResult>, anthill::local::LocalReport) {
+        let (pipeline, sources) = build_graph_pipeline(config);
+        let (outputs, report) = pipeline.run_deterministic(sources, weights);
+        (collect_results(outputs), report)
+    }
+
+    /// Coordinator-side NBIA semantics for the buffer-level backends
+    /// (sequential reference, DES, TCP): pyramids are decomposed up
+    /// front, features and the hypothesis test run at completion time,
+    /// and the emissions they produce drive the graph's routing while
+    /// workers model only the compute cost. The math is shared with the
+    /// payload-carrying native deployment, so every backend produces
+    /// byte-identical [`TileResult`]s.
+    pub struct GraphModel {
+        classifier: TileClassifier,
+        cost: NbiaCostModel,
+        threshold: f64,
+        pyramids: HashMap<u64, Arc<TilePyramid>>,
+        truths: HashMap<u64, TileClass>,
+        features: HashMap<(u64, u8), Vec<f64>>,
+        results: Vec<TileResult>,
+        next_id: u64,
+    }
+
+    impl GraphModel {
+        /// Build the model and the seed buffers entering the reader.
+        pub fn new(config: &NbiaLocalConfig) -> (GraphModel, Vec<(usize, DataBuffer)>) {
+            let cost = NbiaCostModel::paper_calibrated();
+            let classifier = TileClassifier::train(config.seed ^ 0x7EAC, 6, config.low_side);
+            let mut gen = TileGenerator::new(config.seed);
+            let mut pyramids = HashMap::new();
+            let mut truths = HashMap::new();
+            let mut seeds = Vec::with_capacity(config.tiles as usize);
+            for tile in 0..config.tiles {
+                let truth = TileClass::ALL[(tile % 3) as usize];
+                let full = gen.generate(truth, config.high_side);
+                pyramids.insert(
+                    tile,
+                    Arc::new(TilePyramid::build(full, config.high_side, config.low_side)),
+                );
+                truths.insert(tile, truth);
+                seeds.push((
+                    READER,
+                    DataBuffer {
+                        id: BufferId(tile),
+                        params: TaskParams::nums(&[f64::from(config.low_side)]),
+                        shape: cost.tile(config.low_side),
+                        level: 0,
+                        task: tile,
+                    },
+                ));
+            }
+            (
+                GraphModel {
+                    classifier,
+                    cost,
+                    threshold: config.confidence_threshold,
+                    pyramids,
+                    truths,
+                    features: HashMap::new(),
+                    results: Vec::new(),
+                    next_id: 1_000_000,
+                },
+                seeds,
+            )
+        }
+
+        /// Handle one completion at `filter`, producing the emission the
+        /// backend routes over the graph.
+        pub fn handle(
+            &mut self,
+            filter: usize,
+            _kind: DeviceKind,
+            buffer: &DataBuffer,
+        ) -> GraphEmission {
+            let mut em = GraphEmission::default();
+            match filter {
+                READER => em.forward.push(buffer.clone()),
+                FEATURE => {
+                    let pyramid = &self.pyramids[&buffer.task];
+                    let (side, pixels) = pyramid.level(buffer.level as usize);
+                    self.features
+                        .insert((buffer.task, buffer.level), tile_features(pixels, side));
+                    em.forward.push(buffer.clone());
+                }
+                CLASSIFIER => {
+                    let features = &self.features[&(buffer.task, buffer.level)];
+                    let (decision, accepted) = self.classifier.accept(features, self.threshold);
+                    let pyramid = &self.pyramids[&buffer.task];
+                    let at_top = buffer.level as usize + 1 >= pyramid.depth();
+                    if accepted || at_top {
+                        self.results.push(TileResult {
+                            tile: buffer.task,
+                            truth: self.truths[&buffer.task],
+                            predicted: decision.class,
+                            level: buffer.level,
+                            confidence: decision.confidence,
+                        });
+                        em.forward.push(buffer.clone());
+                    } else {
+                        let next_level = buffer.level + 1;
+                        let next_side = pyramid.side(next_level as usize);
+                        em.feedback.push(DataBuffer {
+                            id: BufferId(self.next_id),
+                            params: TaskParams::nums(&[f64::from(next_side)]),
+                            shape: self.cost.tile(next_side),
+                            level: next_level,
+                            task: buffer.task,
+                        });
+                        self.next_id += 1;
+                    }
+                }
+                f => unreachable!("NBIA has no filter {f}"),
+            }
+            em
+        }
+
+        /// The classified tiles, sorted by tile index.
+        pub fn into_results(self) -> Vec<TileResult> {
+            let mut results = self.results;
+            results.sort_by_key(|r| r.tile);
+            results
+        }
+    }
+
+    fn engine_policy(kind: PolicyKind) -> Policy {
+        match kind {
+            PolicyKind::DdFcfs => Policy::ddfcfs(8),
+            PolicyKind::DdWrr => Policy::ddwrr(8),
+            PolicyKind::Odds => Policy::odds(),
+        }
+    }
+
+    fn oracle() -> OracleWeights {
+        OracleWeights::new(GpuParams::geforce_8800gt(), true)
+    }
+
+    /// Per-filter device kinds of the buffer-level runs: one CPU for the
+    /// reader and classifier, CPU + GPU replicas for the feature filter.
+    fn device_kinds() -> Vec<Vec<DeviceKind>> {
+        vec![
+            vec![DeviceKind::Cpu],
+            vec![DeviceKind::Cpu, DeviceKind::Gpu],
+            vec![DeviceKind::Cpu],
+        ]
+    }
+
+    /// Run the three-filter pipeline on the engine's sequential reference
+    /// driver (buffer-level; the [`GraphModel`] computes the semantics).
+    pub fn run_reference(config: &NbiaLocalConfig) -> (Vec<TileResult>, seq::GraphOutcome) {
+        let (mut model, seeds) = GraphModel::new(config);
+        let devices: Vec<Vec<DeviceId>> = device_kinds()
+            .iter()
+            .enumerate()
+            .map(|(f, kinds)| {
+                kinds
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &kind)| DeviceId {
+                        node: f,
+                        kind,
+                        index: i,
+                    })
+                    .collect()
+            })
+            .collect();
+        let outcome = seq::run_graph(
+            SequentialConfig::new(engine_policy(config.policy)),
+            &topology(),
+            &devices,
+            seeds,
+            oracle(),
+            |f, k, b| model.handle(f, k, b),
+        );
+        (model.into_results(), outcome)
+    }
+
+    /// Run the three-filter pipeline on the virtual-time DES cluster.
+    pub fn run_sim(config: &NbiaLocalConfig) -> (Vec<TileResult>, GraphSimReport) {
+        let (mut model, seeds) = GraphModel::new(config);
+        let cfg = GraphSimConfig::new(engine_policy(config.policy));
+        let report = run_graph_sim(
+            &cfg,
+            &topology(),
+            &device_kinds(),
+            seeds,
+            Box::new(oracle()),
+            |f, k, b| model.handle(f, k, b),
+        );
+        (model.into_results(), report)
+    }
+
+    /// Run the three-filter pipeline over TCP loopback workers in
+    /// lockstep deterministic mode; the [`GraphModel`] drives routing
+    /// through the coordinator-side emission hook.
+    pub fn run_net(
+        config: &NbiaLocalConfig,
+    ) -> std::io::Result<(Vec<TileResult>, NetGraphOutcome)> {
+        run_net_traced(config, &anthill::obs::Recorder::disabled())
+    }
+
+    /// [`run_net`] with observability: the coordinator's merged trace
+    /// (engine events plus re-stamped remote worker spans) lands in
+    /// `recorder`.
+    pub fn run_net_traced(
+        config: &NbiaLocalConfig,
+        recorder: &anthill::obs::Recorder,
+    ) -> std::io::Result<(Vec<TileResult>, NetGraphOutcome)> {
+        let (mut model, seeds) = GraphModel::new(config);
+        let workers: std::io::Result<Vec<Vec<NetWorkerConn>>> = device_kinds()
+            .iter()
+            .enumerate()
+            .map(|(f, kinds)| {
+                kinds
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &kind)| {
+                        let (coord, worker_side) = tcp_pair()?;
+                        spawn_worker_thread(worker_side, Behavior::Identity);
+                        Ok(NetWorkerConn {
+                            device: DeviceId {
+                                node: f,
+                                kind,
+                                index: i,
+                            },
+                            stream: coord,
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut cfg = NetConfig::new(engine_policy(config.policy));
+        cfg.recorder = recorder.clone();
+        let outcome = run_graph_deterministic_with(
+            cfg,
+            &topology(),
+            workers?,
+            seeds,
+            oracle(),
+            &mut |f, k, b| Some(model.handle(f, k, b)),
+        )?;
+        Ok((model.into_results(), outcome))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +833,75 @@ mod tests {
             );
         }
         assert_eq!(rep_a.handled, rep_b.handled);
+    }
+
+    #[test]
+    fn three_filter_native_pipeline_matches_the_fused_filter() {
+        let config = NbiaLocalConfig {
+            tiles: 24,
+            ..NbiaLocalConfig::default()
+        };
+        let (fused, _) = run_local(&config, &oracle());
+        let (split, report) = graph::run_native(&config, &oracle());
+        assert_eq!(
+            split, fused,
+            "splitting the fused filter must not change any classification"
+        );
+        // Per-edge conservation: every tile crosses reader→feature once,
+        // feature→classifier once per visited level, and the feedback
+        // edge once per rejection.
+        assert_eq!(report.edge_delivered[&0], 24);
+        let visits = report.edge_delivered[&1];
+        assert_eq!(report.edge_delivered[&2], visits - 24);
+    }
+
+    #[test]
+    fn every_backend_classifies_bytewise_identically() {
+        let config = NbiaLocalConfig {
+            tiles: 18,
+            ..NbiaLocalConfig::default()
+        };
+        let (fused, _) = run_local(&config, &oracle());
+        let (native_det, _) = graph::run_native_deterministic(&config, &oracle());
+        let (reference, ref_out) = graph::run_reference(&config);
+        let (sim, sim_report) = graph::run_sim(&config);
+        let (net, net_out) = graph::run_net(&config).expect("net graph run");
+        assert_eq!(native_det, fused, "native deterministic");
+        assert_eq!(reference, fused, "sequential reference");
+        assert_eq!(sim, fused, "DES");
+        assert_eq!(net, fused, "TCP");
+        // The buffer-level backends route identical emissions, so their
+        // per-edge delivery counts agree exactly.
+        assert_eq!(ref_out.edge_delivered, sim_report.edge_delivered);
+        assert_eq!(ref_out.edge_delivered, net_out.edge_delivered);
+        assert_eq!(ref_out.total, sim_report.total);
+        assert_eq!(ref_out.total, net_out.total);
+    }
+
+    #[test]
+    fn forced_recirculation_crosses_the_feedback_edge_on_every_backend() {
+        let config = NbiaLocalConfig {
+            tiles: 8,
+            low_side: 32,
+            high_side: 128, // pyramid depth 3
+            confidence_threshold: 1.5,
+            ..NbiaLocalConfig::default()
+        };
+        let (reference, out) = graph::run_reference(&config);
+        assert!(reference.iter().all(|r| r.level == 2));
+        // 8 tiles enter, every tile visits 3 levels: reader edge 8,
+        // feature→classifier edge 24, feedback edge 16.
+        assert_eq!(out.edge_delivered[&0], 8);
+        assert_eq!(out.edge_delivered[&1], 24);
+        assert_eq!(out.edge_delivered[&2], 16);
+        assert_eq!(
+            out.total,
+            8 + 24 + 24,
+            "reader once, feature and classifier thrice"
+        );
+        let (sim, sim_report) = graph::run_sim(&config);
+        assert_eq!(sim, reference);
+        assert_eq!(sim_report.edge_delivered, out.edge_delivered);
     }
 
     #[test]

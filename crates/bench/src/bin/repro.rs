@@ -68,30 +68,52 @@
 //! `task_admitted`/`task_shed`/`task_deadline_dropped` events must match
 //! the counters.
 //!
+//! `repro graph [--quick] [--trace <dir>]` is the multi-filter dataflow
+//! CI gate: the NBIA three-filter pipeline (reader → feature extraction →
+//! classification with a feedback stream) runs on the native threaded
+//! runtime and on the TCP lockstep coordinator, and both must classify
+//! byte-identically to the fused single-filter deployment; the
+//! Black-Scholes fan-out/fan-in diamond runs natively against the direct
+//! batch and over spawned worker *processes* against the sequential
+//! reference driver's assignment, dispatch order and per-edge delivery
+//! counts, for every policy. Every merged trace must round-trip the
+//! JSONL schema. Writes and schema-validates `BENCH_graph.json`; with
+//! `--trace <dir>`, per-run traces land there too.
+//!
 //! `repro worker <addr> [identity|recirc:N|busy:N]` (hidden) turns the
 //! process into a net-backend worker connected to `<addr>` — the form the
 //! net gate and the chaos tests spawn.
 
 use anthill::buffer::{BufferId, DataBuffer};
-use anthill::engine::sequential::{run as sequential_run, Emission, SequentialConfig};
+use anthill::engine::sequential::{
+    run as sequential_run, run_graph as sequential_run_graph, Emission, GraphEmission,
+    SequentialConfig,
+};
 use anthill::engine::{AdmissionConfig, AdmissionCounters, OverloadPolicy};
 use anthill::faults::{FaultConfig, FaultProb, RecoveryConfig, WorkerDeathSpec};
+use anthill::graph::DataflowGraph;
 use anthill::local::{
     Emitter, ExecMode, HotPath, LoadConfig, LocalFilter, LocalTask, Pipeline, WorkerSpec,
 };
-use anthill::net::{run_concurrent_load, run_deterministic, NetConfig, NetWorkerConn};
+use anthill::net::{
+    run_concurrent_load, run_deterministic, run_graph_deterministic, NetConfig, NetWorkerConn,
+};
 use anthill::obs::{chrome, json, jsonl, EventKind, Recorder};
 use anthill::policy::{Policy, PolicyKind};
 use anthill::sim::{run_nbia, SimConfig, WorkloadSpec};
 use anthill::weights::OracleWeights;
+use anthill_apps::flows::pricing;
+use anthill_apps::nbia::{self, NbiaLocalConfig};
 use anthill_bench::experiments::{cluster, estimator, transfer};
+use anthill_bench::graph::{render_graph_report, validate_graph_report, GraphRunRow};
 use anthill_bench::load::{
-    render_load_report, validate_load_report, ArrivalProfile, LatencyHistogram, LatencyStats,
-    LoadRunRow,
+    render_load_report, validate_load_report, ArrivalProfile, DepthPoint, LatencyHistogram,
+    LatencyStats, LoadRunRow,
 };
 use anthill_bench::viz::{render, ChartSpec, Series};
 use anthill_estimator::TaskParams;
 use anthill_hetsim::{ClusterSpec, DeviceId, DeviceKind, GpuParams, NbiaCostModel, TaskShape};
+use anthill_kernels::black_scholes::{price_batch, Option_};
 use anthill_simkit::{SimDuration, SimTime};
 use std::sync::Arc;
 use std::time::Duration;
@@ -250,6 +272,7 @@ fn main() {
         "perf",
         "net",
         "load",
+        "graph",
         "all",
     ];
     if !known.contains(&what) {
@@ -284,6 +307,10 @@ fn main() {
     }
     if what == "load" {
         load_gate(quick, &profile_sel, trace_path.as_deref());
+        return;
+    }
+    if what == "graph" {
+        graph_gate(quick, trace_path.as_deref());
         return;
     }
     if faults_spec.is_some() {
@@ -1064,6 +1091,383 @@ fn net_gate(trace_dir: Option<&str>) {
     }
 }
 
+/// Abort the graph gate with a labeled diagnosis.
+fn graph_fail(label: &str, why: &str) -> ! {
+    eprintln!("graph {label}: {why}");
+    std::process::exit(1);
+}
+
+/// Trace hygiene shared by every graph-gate run: the merged trace must
+/// round-trip the JSONL schema, and with `--trace` it lands on disk.
+fn graph_trace_events(label: &str, recorder: &Recorder, trace_dir: Option<&str>) -> u64 {
+    let events = recorder.events();
+    let text = jsonl::to_jsonl(&events);
+    match jsonl::parse_jsonl(&text) {
+        Ok(parsed) if parsed == events => {}
+        Ok(parsed) => graph_fail(
+            label,
+            &format!(
+                "trace round-trip mismatch ({} events in, {} out)",
+                events.len(),
+                parsed.len()
+            ),
+        ),
+        Err(e) => graph_fail(label, &format!("trace failed JSONL schema validation: {e}")),
+    }
+    if let Some(dir) = trace_dir {
+        let path = format!("{}/graph-{label}.trace.jsonl", dir.trim_end_matches('/'));
+        if let Err(e) = std::fs::write(&path, &text) {
+            graph_fail(label, &format!("failed to write trace to {path}: {e}"));
+        }
+        println!("  wrote {} events to {path}", events.len());
+    }
+    events.len() as u64
+}
+
+/// Per-edge delivery counts as a dense vector indexed by edge id.
+fn edge_tallies(n_edges: usize, delivered: &std::collections::HashMap<u32, u64>) -> Vec<u64> {
+    (0..n_edges as u32)
+        .map(|e| delivered.get(&e).copied().unwrap_or(0))
+        .collect()
+}
+
+/// Multi-filter dataflow CI gate. The NBIA three-filter pipeline (reader
+/// -> feature -> classifier with a refinement feedback edge) runs on the
+/// native threaded runtime and on the TCP lockstep coordinator, and both
+/// must classify byte-identically to the fused single-filter deployment;
+/// the Black-Scholes fan-out/fan-in diamond runs natively against the
+/// direct batch, and over spawned worker *processes* against the
+/// sequential reference driver's assignment, dispatch order, and
+/// per-edge deliveries, for every policy. Every merged trace must
+/// round-trip the JSONL schema. Writes and schema-validates
+/// `BENCH_graph.json`; exits nonzero on any failure.
+fn graph_gate(quick: bool, trace_dir: Option<&str>) {
+    header(
+        "Graph: DAGs of replicated filters vs fused/reference deployments",
+        "CI gate — NBIA pipeline + pricing diamond, per-edge conservation, trace schema",
+    );
+    let mut rows: Vec<GraphRunRow> = Vec::new();
+    println!(
+        "{:<18} {:<7} {:<7} {:>7} {:>8} {:>15} {:>8} {:>9}",
+        "app/topology", "backend", "policy", "tasks", "outputs", "edges", "events", "wall(ms)"
+    );
+    let print_row = |r: &GraphRunRow| {
+        let edges: Vec<String> = r.edges.iter().map(u64::to_string).collect();
+        println!(
+            "{:<18} {:<7} {:<7} {:>7} {:>8} {:>15} {:>8} {:>9.1}",
+            format!("{}/{}", r.app, r.topology),
+            r.backend,
+            r.policy,
+            r.tasks,
+            r.outputs,
+            edges.join("/"),
+            r.trace_events,
+            r.wall_ms
+        );
+    };
+
+    // --- NBIA: the fused single-filter deployment (the paper's actual
+    // setup) is the byte-identity baseline for both graph backends.
+    let tiles = if quick { 18 } else { 36 };
+    let config = NbiaLocalConfig {
+        tiles,
+        ..NbiaLocalConfig::default()
+    };
+    let weights = OracleWeights::new(GpuParams::geforce_8800gt(), true);
+    let (fused, _) = nbia::run_local_deterministic(&config, &weights);
+    if fused.len() as u64 != tiles {
+        graph_fail("nbia-fused", "baseline run lost tiles");
+    }
+    let nbia_graph = nbia::graph::topology();
+
+    {
+        let recorder = Recorder::enabled();
+        let wall = std::time::Instant::now();
+        let (results, report) = nbia::graph::run_native_traced(&config, &weights, &recorder);
+        let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+        if results != fused {
+            graph_fail(
+                "nbia-native",
+                "three-filter native run diverged from the fused deployment",
+            );
+        }
+        let edges = edge_tallies(nbia_graph.edges().len(), &report.edge_delivered);
+        if edges[0] != tiles || edges[1] < tiles {
+            graph_fail("nbia-native", "pipeline edges lost tiles");
+        }
+        let trace_events = graph_trace_events("nbia-native", &recorder, trace_dir);
+        let row = GraphRunRow {
+            app: "nbia".into(),
+            topology: "pipeline3".into(),
+            backend: "native".into(),
+            policy: config.policy.name().to_ascii_lowercase(),
+            filters: nbia_graph.n_filters() as u64,
+            tasks: report.total(),
+            outputs: results.len() as u64,
+            edges,
+            parity: true,
+            trace_events,
+            wall_ms,
+        };
+        print_row(&row);
+        rows.push(row);
+    }
+
+    {
+        let recorder = Recorder::enabled();
+        let wall = std::time::Instant::now();
+        let (results, outcome) = match nbia::graph::run_net_traced(&config, &recorder) {
+            Ok(out) => out,
+            Err(e) => graph_fail("nbia-net", &format!("coordinator failed: {e}")),
+        };
+        let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+        if results != fused {
+            graph_fail(
+                "nbia-net",
+                "TCP graph run diverged from the fused deployment",
+            );
+        }
+        if outcome.deaths != 0 {
+            graph_fail("nbia-net", "healthy run recorded worker deaths");
+        }
+        if outcome.outputs.len() as u64 != tiles {
+            graph_fail("nbia-net", "classifier sink lost tiles");
+        }
+        let remote_finishes = recorder
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::RemoteFinish { .. }))
+            .count() as u64;
+        if remote_finishes != outcome.total {
+            graph_fail(
+                "nbia-net",
+                &format!(
+                    "trace lost worker spans ({remote_finishes} remote_finish events, {} buffers)",
+                    outcome.total
+                ),
+            );
+        }
+        let edges = edge_tallies(nbia_graph.edges().len(), &outcome.edge_delivered);
+        let trace_events = graph_trace_events("nbia-net", &recorder, trace_dir);
+        let row = GraphRunRow {
+            app: "nbia".into(),
+            topology: "pipeline3".into(),
+            backend: "net".into(),
+            policy: config.policy.name().to_ascii_lowercase(),
+            filters: nbia_graph.n_filters() as u64,
+            tasks: outcome.total,
+            outputs: outcome.outputs.len() as u64,
+            edges,
+            parity: true,
+            trace_events,
+            wall_ms,
+        };
+        print_row(&row);
+        rows.push(row);
+    }
+
+    // --- Pricing: the diamond's merged output must match the direct
+    // Black-Scholes batch, option by option.
+    let n_opts: usize = if quick { 24 } else { 40 };
+    let options: Vec<Option_> = (0..n_opts)
+        .map(|i| Option_ {
+            spot: 80.0 + 1.5 * i as f64,
+            strike: 100.0,
+            expiry: 0.5 + 0.25 * (i % 4) as f64,
+            rate: 0.03,
+            volatility: 0.2 + 0.01 * (i % 7) as f64,
+        })
+        .collect();
+    let direct = price_batch(&options);
+    {
+        let recorder = Recorder::enabled();
+        let wall = std::time::Instant::now();
+        let (mut priced, report) =
+            pricing::run_diamond_traced(&options, PolicyKind::DdFcfs, &weights, &recorder);
+        let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+        priced.sort_by_key(|&(id, _)| id);
+        let parity = priced.len() == n_opts
+            && priced
+                .iter()
+                .all(|&(id, p)| direct.get(id as usize) == Some(&p));
+        if !parity {
+            graph_fail(
+                "pricing-native",
+                "diamond run disagreed with the direct batch",
+            );
+        }
+        let edges = edge_tallies(4, &report.edge_delivered);
+        if edges[0] + edges[1] != n_opts as u64 || edges[2] + edges[3] != n_opts as u64 {
+            graph_fail("pricing-native", "diamond edges lost options");
+        }
+        let trace_events = graph_trace_events("pricing-native", &recorder, trace_dir);
+        let row = GraphRunRow {
+            app: "pricing".into(),
+            topology: "diamond".into(),
+            backend: "native".into(),
+            policy: PolicyKind::DdFcfs.name().to_ascii_lowercase(),
+            filters: 4,
+            tasks: report.total(),
+            outputs: priced.len() as u64,
+            edges,
+            parity: true,
+            trace_events,
+            wall_ms,
+        };
+        print_row(&row);
+        rows.push(row);
+    }
+
+    // --- Diamond over the wire: spawned worker processes, every policy,
+    // against the sequential reference driver.
+    let diamond = DataflowGraph::diamond("split", "price_a", "price_b", "merge");
+    let exe = std::env::current_exe().expect("own executable path");
+    let net_tasks: u64 = if quick { 48 } else { 96 };
+    let net_seeds: Vec<DataBuffer> = (0..net_tasks).map(net_tile).collect();
+    let devices: Vec<Vec<DeviceId>> = (0..diamond.n_filters())
+        .map(|f| {
+            [DeviceKind::Cpu, DeviceKind::Gpu]
+                .iter()
+                .enumerate()
+                .map(|(i, &kind)| DeviceId {
+                    node: f,
+                    kind,
+                    index: i,
+                })
+                .collect()
+        })
+        .collect();
+    for (name, policy) in [
+        ("ddfcfs", Policy::ddfcfs(4)),
+        ("ddwrr", Policy::ddwrr(16)),
+        ("odds", Policy::odds()),
+    ] {
+        let label = format!("diamond-net-{name}");
+        let seeds: Vec<(usize, DataBuffer)> = net_seeds.iter().map(|b| (0, b.clone())).collect();
+        let reference = sequential_run_graph(
+            SequentialConfig::new(policy),
+            &diamond,
+            &devices,
+            seeds.clone(),
+            OracleWeights::new(GpuParams::geforce_8800gt(), false),
+            |_, _, b| GraphEmission {
+                forward: vec![b.clone()],
+                feedback: Vec::new(),
+            },
+        );
+
+        let listener = match std::net::TcpListener::bind("127.0.0.1:0") {
+            Ok(l) => l,
+            Err(e) => graph_fail(&label, &format!("failed to bind loopback listener: {e}")),
+        };
+        let addr = listener.local_addr().expect("listener addr").to_string();
+        let mut children = Vec::new();
+        let mut workers: Vec<Vec<NetWorkerConn>> = Vec::new();
+        for filter_devices in &devices {
+            let mut conns = Vec::new();
+            for &device in filter_devices {
+                let child = match std::process::Command::new(&exe)
+                    .args(["worker", &addr, "identity"])
+                    .stdin(std::process::Stdio::null())
+                    .spawn()
+                {
+                    Ok(c) => c,
+                    Err(e) => graph_fail(&label, &format!("failed to spawn worker process: {e}")),
+                };
+                children.push(child);
+                match listener.accept() {
+                    Ok((stream, _)) => conns.push(NetWorkerConn { device, stream }),
+                    Err(e) => graph_fail(&label, &format!("worker failed to connect: {e}")),
+                }
+            }
+            workers.push(conns);
+        }
+
+        let recorder = Recorder::enabled();
+        let mut cfg = NetConfig::new(policy);
+        cfg.recorder = recorder.clone();
+        let wall = std::time::Instant::now();
+        let out = match run_graph_deterministic(
+            cfg,
+            &diamond,
+            workers,
+            seeds,
+            OracleWeights::new(GpuParams::geforce_8800gt(), false),
+        ) {
+            Ok(out) => out,
+            Err(e) => graph_fail(&label, &format!("coordinator failed: {e}")),
+        };
+        let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+        for child in &mut children {
+            match child.wait() {
+                Ok(status) if status.success() => {}
+                Ok(status) => graph_fail(&label, &format!("worker process exited with {status}")),
+                Err(e) => graph_fail(&label, &format!("failed to reap worker process: {e}")),
+            }
+        }
+
+        if out.assigned != reference.assigned
+            || out.dispatch_order != reference.dispatch_order
+            || out.edge_delivered != reference.edge_delivered
+        {
+            graph_fail(
+                &label,
+                "TCP graph backend diverged from the sequential reference",
+            );
+        }
+        if out.deaths != 0 {
+            graph_fail(&label, "healthy run recorded worker deaths");
+        }
+        let remote_finishes = recorder
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::RemoteFinish { .. }))
+            .count() as u64;
+        if remote_finishes != out.total {
+            graph_fail(
+                &label,
+                &format!(
+                    "trace lost worker spans ({remote_finishes} remote_finish events, {} buffers)",
+                    out.total
+                ),
+            );
+        }
+        let edges = edge_tallies(4, &out.edge_delivered);
+        if edges[0] + edges[1] != net_tasks || edges[2] + edges[3] != net_tasks {
+            graph_fail(&label, "diamond edges lost buffers");
+        }
+        let trace_events = graph_trace_events(&label, &recorder, trace_dir);
+        let row = GraphRunRow {
+            app: "pricing".into(),
+            topology: "diamond".into(),
+            backend: "net".into(),
+            policy: name.into(),
+            filters: diamond.n_filters() as u64,
+            tasks: out.total,
+            outputs: out.outputs.len() as u64,
+            edges,
+            parity: true,
+            trace_events,
+            wall_ms,
+        };
+        print_row(&row);
+        rows.push(row);
+    }
+
+    let text = render_graph_report(&rows, quick);
+    if let Err(e) = validate_graph_report(&text) {
+        eprintln!("graph: BENCH_graph.json failed schema validation: {e}");
+        std::process::exit(1);
+    }
+    match std::fs::write("BENCH_graph.json", &text) {
+        Ok(()) => println!("wrote BENCH_graph.json ({} runs)", rows.len()),
+        Err(e) => {
+            eprintln!("graph: failed to write BENCH_graph.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Stage filter of the load gate's native runs: forward immediately, so
 /// measured latency is queueing + runtime overhead (plus the emulated
 /// busy-wait in the saturation runs).
@@ -1330,7 +1734,7 @@ fn push_load_row(
     admission: AdmissionCounters,
     completed: u64,
     stats: [LatencyStats; 3],
-    queue_depth: Vec<(u64, u64, u64, u64)>,
+    queue_depth: Vec<DepthPoint>,
     wall_ms: f64,
 ) {
     println!(
@@ -1467,11 +1871,7 @@ fn load_gate(quick: bool, profile_sel: &str, trace_dir: Option<&str>) {
                 report.admission,
                 report.completed,
                 stats,
-                report
-                    .queue_depth
-                    .iter()
-                    .map(|s| (s.t_ns, s.ready, s.intake, s.inflight))
-                    .collect(),
+                report.queue_depth.iter().map(DepthPoint::from).collect(),
                 wall_ms,
             );
         }
@@ -1526,11 +1926,7 @@ fn load_gate(quick: bool, profile_sel: &str, trace_dir: Option<&str>) {
                 report.admission,
                 report.completed,
                 stats,
-                report
-                    .queue_depth
-                    .iter()
-                    .map(|s| (s.t_ns, s.ready, s.intake, s.inflight))
-                    .collect(),
+                report.queue_depth.iter().map(DepthPoint::from).collect(),
                 wall_ms,
             );
         }
@@ -1596,11 +1992,7 @@ fn load_gate(quick: bool, profile_sel: &str, trace_dir: Option<&str>) {
                 report.admission,
                 report.completed,
                 stats,
-                report
-                    .queue_depth
-                    .iter()
-                    .map(|s| (s.t_ns, s.ready, s.intake, s.inflight))
-                    .collect(),
+                report.queue_depth.iter().map(DepthPoint::from).collect(),
                 wall_ms,
             );
         }
@@ -1655,11 +2047,7 @@ fn load_gate(quick: bool, profile_sel: &str, trace_dir: Option<&str>) {
                 report.admission,
                 report.completed,
                 stats,
-                report
-                    .queue_depth
-                    .iter()
-                    .map(|s| (s.t_ns, s.ready, s.intake, s.inflight))
-                    .collect(),
+                report.queue_depth.iter().map(DepthPoint::from).collect(),
                 wall_ms,
             );
         }
@@ -1721,11 +2109,7 @@ fn load_gate(quick: bool, profile_sel: &str, trace_dir: Option<&str>) {
                 report.admission,
                 report.completed,
                 stats,
-                report
-                    .queue_depth
-                    .iter()
-                    .map(|s| (s.t_ns, s.ready, s.intake, s.inflight))
-                    .collect(),
+                report.queue_depth.iter().map(DepthPoint::from).collect(),
                 wall_ms,
             );
         }

@@ -1,0 +1,194 @@
+//! The `BENCH_graph.json` schema: rows describing multi-filter dataflow
+//! runs (one per `(app, backend)` pair of the `repro graph` gate) and the
+//! render/validate pair CI uses to keep the document well-formed.
+//!
+//! A row records the topology (filter and edge counts), the per-edge
+//! delivery tallies, and the gate's parity verdict — whether the run's
+//! results matched its reference (the fused single-filter NBIA run, the
+//! direct Black-Scholes batch, or the sequential reference driver's
+//! assignment and dispatch order).
+
+use anthill::obs::json;
+
+/// One graph run of the gate, ready to render into `BENCH_graph.json`.
+#[derive(Debug, Clone)]
+pub struct GraphRunRow {
+    /// Application name (`nbia` or `pricing`).
+    pub app: String,
+    /// Topology name (`pipeline3`, `diamond`).
+    pub topology: String,
+    /// Executing backend: `native` or `net`.
+    pub backend: String,
+    /// Scheduling policy name.
+    pub policy: String,
+    /// Filters in the graph.
+    pub filters: u64,
+    /// Completions across all filters (each task counts once per filter
+    /// it crosses).
+    pub tasks: u64,
+    /// Buffers that left the graph at a sink.
+    pub outputs: u64,
+    /// Buffers delivered per edge, indexed by edge id.
+    pub edges: Vec<u64>,
+    /// Whether the run's results matched its reference exactly.
+    pub parity: bool,
+    /// Events in the run's merged trace.
+    pub trace_events: u64,
+    /// Wall-clock duration in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Render gate rows as the `BENCH_graph.json` document. The output
+/// satisfies [`validate_graph_report`] whenever every row's parity flag
+/// is set and its accounting is conserved.
+pub fn render_graph_report(rows: &[GraphRunRow], quick: bool) -> String {
+    let runs: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let edges: Vec<String> = r.edges.iter().map(u64::to_string).collect();
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"app\": \"{}\", \"topology\": \"{}\", ",
+                    "\"backend\": \"{}\", \"policy\": \"{}\",\n",
+                    "      \"filters\": {}, \"tasks\": {}, \"outputs\": {},\n",
+                    "      \"edges\": [{}],\n",
+                    "      \"parity\": {}, \"trace_events\": {}, \"wall_ms\": {:.2}\n",
+                    "    }}"
+                ),
+                r.app,
+                r.topology,
+                r.backend,
+                r.policy,
+                r.filters,
+                r.tasks,
+                r.outputs,
+                edges.join(", "),
+                r.parity,
+                r.trace_events,
+                r.wall_ms
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"quick\": {quick},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        runs.join(",\n")
+    )
+}
+
+fn require_u64(run: &json::Value, key: &str) -> Result<u64, String> {
+    run.get(key)
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| format!("run missing numeric '{key}'"))
+}
+
+/// Schema-validate a `BENCH_graph.json` document: every run must carry
+/// the identifying fields, a true parity verdict, at least one filter, a
+/// per-edge tally array, and conserved counts (a task completes at most
+/// once per filter, so `tasks <= filters * (outputs + edge deliveries)`
+/// is not assumed — instead `outputs <= tasks` and every multi-filter
+/// topology must have delivered over at least one edge).
+pub fn validate_graph_report(text: &str) -> Result<(), String> {
+    let v = json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let runs = v
+        .get("runs")
+        .and_then(|r| r.as_arr())
+        .ok_or("missing 'runs' array")?;
+    if runs.is_empty() {
+        return Err("'runs' is empty".to_string());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        let ctx = |e: String| format!("run {i}: {e}");
+        for key in ["app", "topology", "backend", "policy"] {
+            run.get(key)
+                .and_then(|p| p.as_str())
+                .ok_or_else(|| ctx(format!("missing string '{key}'")))?;
+        }
+        let filters = require_u64(run, "filters").map_err(ctx)?;
+        if filters == 0 {
+            return Err(ctx("graph has no filters".to_string()));
+        }
+        let tasks = require_u64(run, "tasks").map_err(ctx)?;
+        let outputs = require_u64(run, "outputs").map_err(ctx)?;
+        if outputs > tasks {
+            return Err(ctx(format!("outputs {outputs} > completions {tasks}")));
+        }
+        let edges = run
+            .get("edges")
+            .and_then(|e| e.as_arr())
+            .ok_or_else(|| ctx("missing 'edges' array".to_string()))?;
+        let mut delivered = 0u64;
+        for (ei, e) in edges.iter().enumerate() {
+            delivered += e
+                .as_u64()
+                .ok_or_else(|| ctx(format!("edges[{ei}] is not a number")))?;
+        }
+        if filters > 1 && delivered == 0 {
+            return Err(ctx(
+                "a multi-filter run delivered nothing over any edge".to_string()
+            ));
+        }
+        match run.get("parity").and_then(|p| p.as_bool()) {
+            Some(true) => {}
+            Some(false) => return Err(ctx("parity verdict is false".to_string())),
+            None => return Err(ctx("missing boolean 'parity'".to_string())),
+        }
+        require_u64(run, "trace_events").map_err(ctx)?;
+        run.get("wall_ms")
+            .and_then(|w| w.as_f64())
+            .ok_or_else(|| ctx("missing numeric 'wall_ms'".to_string()))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> GraphRunRow {
+        GraphRunRow {
+            app: "nbia".into(),
+            topology: "pipeline3".into(),
+            backend: "native".into(),
+            policy: "ddwrr".into(),
+            filters: 3,
+            tasks: 108,
+            outputs: 36,
+            edges: vec![36, 52, 16],
+            parity: true,
+            trace_events: 420,
+            wall_ms: 12.5,
+        }
+    }
+
+    #[test]
+    fn report_renders_and_validates() {
+        let text = render_graph_report(&[row()], true);
+        validate_graph_report(&text).expect("schema-valid report");
+    }
+
+    #[test]
+    fn parity_failures_and_broken_accounting_are_rejected() {
+        let text = render_graph_report(&[row()], false);
+        let unparity = text.replace("\"parity\": true", "\"parity\": false");
+        assert!(validate_graph_report(&unparity).is_err(), "parity gate");
+
+        let mut r = row();
+        r.outputs = r.tasks + 1;
+        let over = render_graph_report(&[r], false);
+        assert!(
+            validate_graph_report(&over).is_err(),
+            "outputs cannot exceed completions"
+        );
+
+        let mut r = row();
+        r.edges = vec![0, 0, 0];
+        let dry = render_graph_report(&[r], false);
+        assert!(
+            validate_graph_report(&dry).is_err(),
+            "a multi-filter run must use its edges"
+        );
+
+        assert!(validate_graph_report("{}").is_err(), "missing runs");
+    }
+}

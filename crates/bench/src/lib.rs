@@ -38,5 +38,6 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod graph;
 pub mod load;
 pub mod viz;

@@ -455,30 +455,89 @@ pub struct LoadRunRow {
     pub service: LatencyStats,
     /// End-to-end latency summary.
     pub e2e: LatencyStats,
-    /// `(t_ns, ready, intake, inflight)` queue-depth series.
-    pub queue_depth: Vec<(u64, u64, u64, u64)>,
+    /// Queue-depth series sampled by the run's injector.
+    pub queue_depth: Vec<DepthPoint>,
     /// Wall-clock duration of the run in milliseconds.
     pub wall_ms: f64,
+}
+
+/// One rendered queue-depth sample. `per_stage` breaks `ready` down by
+/// filter for graph-shaped pipelines — the aggregate alone cannot show
+/// which filter of a DAG is backing up; it stays empty for backends with
+/// a single ready queue (e.g. the net coordinator).
+#[derive(Debug, Clone)]
+pub struct DepthPoint {
+    /// Monotonic nanoseconds since run start.
+    pub t_ns: u64,
+    /// Buffers across every ready lane (equals the `per_stage` sum when
+    /// that breakdown is present).
+    pub ready: u64,
+    /// Tasks waiting at the admission intake.
+    pub intake: u64,
+    /// Admitted-but-unfinished tasks.
+    pub inflight: u64,
+    /// Ready-lane depth per filter, indexed by filter id; empty when the
+    /// backend has no per-filter breakdown.
+    pub per_stage: Vec<u64>,
+}
+
+impl DepthPoint {
+    /// A sample without a per-filter breakdown.
+    pub fn flat(t_ns: u64, ready: u64, intake: u64, inflight: u64) -> DepthPoint {
+        DepthPoint {
+            t_ns,
+            ready,
+            intake,
+            inflight,
+            per_stage: Vec::new(),
+        }
+    }
+}
+
+impl From<&anthill::local::QueueDepthSample> for DepthPoint {
+    /// The native runtime samples every stage queue, so its points carry
+    /// the per-filter breakdown.
+    fn from(s: &anthill::local::QueueDepthSample) -> DepthPoint {
+        DepthPoint {
+            t_ns: s.t_ns,
+            ready: s.ready,
+            intake: s.intake,
+            inflight: s.inflight,
+            per_stage: s.per_stage.clone(),
+        }
+    }
+}
+
+impl From<&anthill::net::NetQueueSample> for DepthPoint {
+    /// The net coordinator has a single engine-side ready queue — no
+    /// per-filter breakdown.
+    fn from(s: &anthill::net::NetQueueSample) -> DepthPoint {
+        DepthPoint::flat(s.t_ns, s.ready, s.intake, s.inflight)
+    }
 }
 
 /// Cap on queue-depth points per run in the rendered report; longer
 /// series are evenly downsampled (the first and last samples are kept).
 const DEPTH_POINTS: usize = 200;
 
-fn render_depth(series: &[(u64, u64, u64, u64)]) -> String {
+fn render_point(p: &DepthPoint) -> String {
+    let stages: Vec<String> = p.per_stage.iter().map(u64::to_string).collect();
+    format!(
+        "{{\"t_ns\": {}, \"ready\": {}, \"intake\": {}, \"inflight\": {}, \"per_stage\": [{}]}}",
+        p.t_ns,
+        p.ready,
+        p.intake,
+        p.inflight,
+        stages.join(", ")
+    )
+}
+
+fn render_depth(series: &[DepthPoint]) -> String {
     let step = series.len().div_ceil(DEPTH_POINTS).max(1);
-    let mut cells: Vec<String> = series
-        .iter()
-        .step_by(step)
-        .map(|&(t, r, q, f)| {
-            format!("{{\"t_ns\": {t}, \"ready\": {r}, \"intake\": {q}, \"inflight\": {f}}}")
-        })
-        .collect();
+    let mut cells: Vec<String> = series.iter().step_by(step).map(render_point).collect();
     if step > 1 && series.len() % step != 1 {
-        if let Some(&(t, r, q, f)) = series.last() {
-            cells.push(format!(
-                "{{\"t_ns\": {t}, \"ready\": {r}, \"intake\": {q}, \"inflight\": {f}}}"
-            ));
+        if let Some(p) = series.last() {
+            cells.push(render_point(p));
         }
     }
     format!("[{}]", cells.join(", "))
@@ -555,7 +614,9 @@ fn check_stats(lat: &json::Value, dim: &str) -> Result<(), String> {
 /// identifying fields, conserved admission counters
 /// (`admitted + shed + deadline_dropped == generated`), completions not
 /// exceeding admissions, monotone latency quantiles for all three
-/// dimensions, and a non-empty queue-depth series.
+/// dimensions, and a non-empty queue-depth series whose points each carry
+/// a `per_stage` array summing to `ready` whenever the breakdown is
+/// present.
 pub fn validate_load_report(text: &str) -> Result<(), String> {
     let v = json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
     let runs = v
@@ -604,6 +665,22 @@ pub fn validate_load_report(text: &str) -> Result<(), String> {
         for point in depth {
             for key in ["t_ns", "ready", "intake", "inflight"] {
                 require_u64(point, key).map_err(|e| ctx(format!("queue_depth {e}")))?;
+            }
+            let stages = point
+                .get("per_stage")
+                .and_then(|s| s.as_arr())
+                .ok_or_else(|| ctx("queue_depth point missing 'per_stage' array".to_string()))?;
+            if !stages.is_empty() {
+                let mut sum = 0u64;
+                for (si, s) in stages.iter().enumerate() {
+                    sum += s
+                        .as_u64()
+                        .ok_or_else(|| ctx(format!("per_stage[{si}] is not a number")))?;
+                }
+                let ready = require_u64(point, "ready").map_err(ctx)?;
+                if sum != ready {
+                    return Err(ctx(format!("per_stage sums to {sum} but ready is {ready}")));
+                }
             }
         }
     }
@@ -725,7 +802,16 @@ mod tests {
             queue: stats,
             service: stats,
             e2e: stats,
-            queue_depth: vec![(0, 0, 0, 1), (1_000, 2, 1, 3)],
+            queue_depth: vec![
+                DepthPoint::flat(0, 0, 0, 1),
+                DepthPoint {
+                    t_ns: 1_000,
+                    ready: 2,
+                    intake: 1,
+                    inflight: 3,
+                    per_stage: vec![0, 2, 0],
+                },
+            ],
             wall_ms: 1.25,
         };
         let text = render_load_report(&[row], true, 42);
@@ -733,5 +819,12 @@ mod tests {
 
         let broken = text.replace("\"admitted\": 4", "\"admitted\": 3");
         assert!(validate_load_report(&broken).is_err(), "conservation gate");
+
+        // A per-stage breakdown that disagrees with the aggregate fails.
+        let skewed = text.replace("\"per_stage\": [0, 2, 0]", "\"per_stage\": [0, 1, 0]");
+        assert!(
+            validate_load_report(&skewed).is_err(),
+            "per-stage sum must match ready"
+        );
     }
 }

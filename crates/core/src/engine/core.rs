@@ -143,6 +143,12 @@ struct NodeState {
     /// sorts at the receiver — DDWRR/ODDS).
     ready: SharedQueue,
     workers: Vec<WorkerState>,
+    /// Which readers this node's workers may request from. `None` (the
+    /// default) means *all* nodes — the single-filter n×m stream, whose
+    /// round-robin arithmetic is kept bit-identical to the pre-graph
+    /// engine. Graph runners scope each filter's workers to that filter's
+    /// own input queue, giving every edge its own ODDS/DQAA/DBSA instance.
+    scope: Option<Vec<usize>>,
 }
 
 /// Per-worker measurement series the engine accumulates, borrowed for
@@ -180,6 +186,11 @@ pub struct Engine<C: Clock, W: WeightProvider> {
     nodes: Vec<NodeState>,
     next_req_id: u64,
     tasks_by: HashMap<(DeviceKind, u8), u64>,
+    /// `(node, device kind, level) -> completed buffers` — the per-filter
+    /// view graph runners report from (node = filter id in graph runs).
+    tasks_by_node: HashMap<(usize, DeviceKind, u8), u64>,
+    /// `edge id -> buffers delivered` by [`Engine::deliver_edge`].
+    edge_delivered: HashMap<u32, u64>,
     total_done: u64,
     /// Transient-failure count per buffer id (the `attempt` of the next
     /// `TaskRetried` event).
@@ -197,6 +208,8 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
             nodes: Vec::new(),
             next_req_id: 0,
             tasks_by: HashMap::new(),
+            tasks_by_node: HashMap::new(),
+            edge_delivered: HashMap::new(),
             total_done: 0,
             task_retries: HashMap::new(),
         }
@@ -209,8 +222,22 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
             reader: SharedQueue::new(),
             ready: SharedQueue::new(),
             workers: Vec::new(),
+            scope: None,
         });
         self.nodes.len() - 1
+    }
+
+    /// Restrict `node`'s workers to requesting from `readers` only (in the
+    /// given round-robin order). Graph runners scope each filter to its
+    /// own input queue; without a scope the node keeps the original
+    /// all-readers n×m behaviour.
+    pub fn set_reader_scope(&mut self, node: usize, readers: Vec<usize>) {
+        assert!(!readers.is_empty(), "reader scope cannot be empty");
+        assert!(
+            readers.iter().all(|&r| r < self.nodes.len()),
+            "reader scope references an unknown node"
+        );
+        self.nodes[node].scope = Some(readers);
     }
 
     /// Add a worker slot for `device` on `node`; returns its slot index.
@@ -281,6 +308,20 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
         &self.tasks_by
     }
 
+    /// `(node, device kind, level) -> completed buffers` — node = filter
+    /// id in graph runs, so this is the per-filter completion view.
+    pub fn tasks_by_node(&self) -> &HashMap<(usize, DeviceKind, u8), u64> {
+        &self.tasks_by_node
+    }
+
+    /// `edge id -> buffers delivered` over dataflow edges via
+    /// [`Engine::deliver_edge`]. Together with per-filter completions this
+    /// is the per-edge side of the conservation invariant (delivered =
+    /// consumed + still queued).
+    pub fn edge_delivered(&self) -> &HashMap<u32, u64> {
+        &self.edge_delivered
+    }
+
     /// Total completed buffers.
     pub fn total_done(&self) -> u64 {
         self.total_done
@@ -331,6 +372,35 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
     pub fn seed_live<D: Transport>(&mut self, reader: usize, buffer: DataBuffer, d: &mut D) {
         let w = select::weights_for(&self.weights, &buffer);
         self.nodes[reader].reader.insert_banded(buffer, w, None, 1);
+        self.wake_starved(d);
+    }
+
+    /// Deliver a buffer routed over dataflow `edge` into `reader`'s input
+    /// queue (reader = destination filter in graph runs). The buffer is
+    /// already in flight through the graph, so it takes recirculation
+    /// precedence over unread seeds; starved workers are woken. Emits the
+    /// `edge_enqueued` trace event at the destination filter and counts
+    /// the delivery toward the per-edge conservation invariant.
+    pub fn deliver_edge<D: Transport>(
+        &mut self,
+        edge: u32,
+        reader: usize,
+        buffer: DataBuffer,
+        d: &mut D,
+    ) {
+        self.rec.record(
+            self.clock.now().as_nanos(),
+            DeviceRef::node_scope(reader),
+            EventKind::EdgeEnqueued {
+                edge,
+                buffer: buffer.id.0,
+                level: buffer.level,
+            },
+        );
+        self.rec.counter_add("edge_deliveries", &[], 1);
+        *self.edge_delivered.entry(edge).or_insert(0) += 1;
+        let w = select::weights_for(&self.weights, &buffer);
+        self.nodes[reader].reader.insert_banded(buffer, w, None, 0);
         self.wake_starved(d);
     }
 
@@ -490,6 +560,10 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
         self.rec
             .counter_add("tasks_finished", &[("device", kind_label(kind))], 1);
         *self.tasks_by.entry((kind, buffer.level)).or_insert(0) += 1;
+        *self
+            .tasks_by_node
+            .entry((node, kind, buffer.level))
+            .or_insert(0) += 1;
         self.total_done += 1;
         if self.cfg.recovery.enabled {
             let w = &mut self.nodes[node].workers[worker];
@@ -661,9 +735,9 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
         let now = self.clock.now();
         let wref = self.worker_ref(node, worker);
         {
-            let n_nodes = self.nodes.len();
+            let cursor = self.cursor_after(node, reader);
             let w = &mut self.nodes[node].workers[worker];
-            w.rr_cursor = (reader + 1) % n_nodes;
+            w.rr_cursor = cursor;
             w.window.note_resent(new_id, now, attempt);
         }
         self.rec
@@ -793,12 +867,37 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
     }
 
     /// The first reader with data, round-robin from `worker`'s cursor.
+    /// A scoped node rotates over its scope list; an unscoped node keeps
+    /// the original all-nodes arithmetic bit for bit.
     fn choose_reader(&self, node: usize, worker: usize) -> Option<usize> {
-        let n_nodes = self.nodes.len();
         let start = self.nodes[node].workers[worker].rr_cursor;
-        (0..n_nodes)
-            .map(|off| (start + off) % n_nodes)
-            .find(|&r| !self.nodes[r].reader.is_empty())
+        match &self.nodes[node].scope {
+            Some(scope) => (0..scope.len())
+                .map(|off| scope[(start + off) % scope.len()])
+                .find(|&r| !self.nodes[r].reader.is_empty()),
+            None => {
+                let n_nodes = self.nodes.len();
+                (0..n_nodes)
+                    .map(|off| (start + off) % n_nodes)
+                    .find(|&r| !self.nodes[r].reader.is_empty())
+            }
+        }
+    }
+
+    /// The cursor value that continues the round-robin *after* a request
+    /// went to `reader`: the next scope position for scoped nodes, the
+    /// next node id otherwise (pre-graph arithmetic).
+    fn cursor_after(&self, node: usize, reader: usize) -> usize {
+        match &self.nodes[node].scope {
+            Some(scope) => {
+                let pos = scope
+                    .iter()
+                    .position(|&r| r == reader)
+                    .expect("chosen reader is in scope");
+                (pos + 1) % scope.len()
+            }
+            None => (reader + 1) % self.nodes.len(),
+        }
     }
 
     /// ThreadRequester: keep `worker`'s outstanding requests at its target
@@ -806,7 +905,6 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
     /// round-robin from the worker's cursor. Dead slots never pump; a
     /// degraded slot pumps toward its health-throttled target.
     fn pump_requests<D: Transport>(&mut self, node: usize, worker: usize, d: &mut D) {
-        let n_nodes = self.nodes.len();
         let recovery = self.cfg.recovery;
         loop {
             let w = &self.nodes[node].workers[worker];
@@ -826,8 +924,9 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
             let now = self.clock.now();
             let wref = self.worker_ref(node, worker);
             {
+                let cursor = self.cursor_after(node, reader);
                 let w = &mut self.nodes[node].workers[worker];
-                w.rr_cursor = (reader + 1) % n_nodes;
+                w.rr_cursor = cursor;
                 w.window.note_sent(req_id, now);
             }
             if recovery.enabled {

@@ -18,6 +18,7 @@ use anthill_simkit::SimTime;
 
 use crate::buffer::DataBuffer;
 use crate::faults::RecoveryConfig;
+use crate::graph::{DataflowGraph, RoutingCursors};
 use crate::obs::Recorder;
 use crate::policy::Policy;
 use crate::weights::WeightProvider;
@@ -187,6 +188,162 @@ where
     }
 }
 
+/// What handling one buffer at a graph filter feeds back into the run.
+#[derive(Debug, Default)]
+pub struct GraphEmission {
+    /// Buffers emitted downstream: routed over the filter's forward
+    /// out-edges ([`DataflowGraph::route_forward`]); with no matching
+    /// out-edge they leave the graph as run outputs.
+    pub forward: Vec<DataBuffer>,
+    /// Buffers explicitly recirculated: delivered over the filter's
+    /// declared feedback edge, or — with none declared — re-entered into
+    /// the filter's own input queue at recirculation precedence (exactly
+    /// the single-filter [`Emission::recirculate`] behaviour).
+    pub feedback: Vec<DataBuffer>,
+}
+
+/// Result of a sequential graph run.
+#[derive(Debug, Clone)]
+pub struct GraphOutcome {
+    /// `(filter, device kind, level) -> buffers handled`.
+    pub assigned: HashMap<(usize, DeviceKind, u8), u64>,
+    /// Dispatch order, as `(filter, device kind, buffer id)`.
+    pub dispatch_order: Vec<(usize, DeviceKind, u64)>,
+    /// Buffers that left the graph at a sink filter, in completion order.
+    pub outputs: Vec<DataBuffer>,
+    /// `edge id -> buffers delivered` over each forward/feedback edge.
+    pub edge_delivered: HashMap<u32, u64>,
+    /// Total buffers handled across all filters.
+    pub total: u64,
+}
+
+/// Run `seeds` through a dataflow graph of replicated filters to
+/// completion, one engine node per filter.
+///
+/// `devices[f]` are filter `f`'s worker devices; `seeds` are `(filter,
+/// buffer)` pairs entering that filter's input queue. `handle` is invoked
+/// once per dispatched buffer with the filter id and the device class that
+/// won it; its [`GraphEmission`] is routed per the graph's edges. Each
+/// filter's workers request only from that filter's own input queue, so
+/// every edge runs its own ODDS/DQAA/DBSA instance; a single-filter graph
+/// is bit-identical to [`run`] (assignment and dispatch order).
+pub fn run_graph<W, F>(
+    cfg: SequentialConfig,
+    graph: &DataflowGraph,
+    devices: &[Vec<DeviceId>],
+    seeds: Vec<(usize, DataBuffer)>,
+    weights: W,
+    mut handle: F,
+) -> GraphOutcome
+where
+    W: WeightProvider,
+    F: FnMut(usize, DeviceKind, &DataBuffer) -> GraphEmission,
+{
+    assert_eq!(
+        devices.len(),
+        graph.n_filters(),
+        "one device list per filter"
+    );
+    let clock = VirtualClock::new();
+    let mut engine = Engine::new(
+        EngineConfig {
+            policy: cfg.policy,
+            max_window: cfg.max_window,
+            recovery: RecoveryConfig::disabled(),
+        },
+        clock.clone(),
+        weights,
+        cfg.recorder.clone(),
+    );
+    for (f, devs) in devices.iter().enumerate() {
+        let node = engine.add_node();
+        debug_assert_eq!(node, f);
+        for d in devs {
+            engine.add_worker(node, *d);
+        }
+        assert!(
+            !devs.is_empty(),
+            "filter {f} ({}) has no worker devices",
+            graph.filters()[f].name
+        );
+    }
+    for f in 0..graph.n_filters() {
+        engine.set_reader_scope(f, vec![f]);
+    }
+    for (f, b) in seeds {
+        engine.seed_reader(f, b);
+    }
+
+    let mut drv = InstantDriver::default();
+    for w in engine.worker_refs() {
+        engine.data_arrived(w.node, w.worker, u64::MAX, None, &mut drv);
+    }
+
+    let mut cursors = RoutingCursors::new(graph);
+    let mut dispatch_order = Vec::new();
+    let mut outputs = Vec::new();
+    let mut tick = 0u64;
+    while let Some(msg) = drv.inbox.pop_front() {
+        tick += 1;
+        clock.set(SimTime(tick));
+        match msg {
+            Msg::Request {
+                from,
+                reader,
+                req_id,
+            } => {
+                let buffer = engine.answer_request(reader, from.device.kind);
+                engine.data_arrived(from.node, from.worker, req_id, buffer, &mut drv);
+            }
+            Msg::Exec { worker, buffer } => {
+                let filter = worker.node;
+                dispatch_order.push((filter, worker.device.kind, buffer.id.0));
+                let emission = handle(filter, worker.device.kind, &buffer);
+                let proc = match worker.device.kind {
+                    DeviceKind::Cpu => buffer.shape.cpu,
+                    DeviceKind::Gpu => buffer.shape.gpu_kernel,
+                };
+                engine.task_finished(worker.node, worker.worker, &buffer, proc);
+                for b in emission.feedback {
+                    match graph.feedback_edge(filter) {
+                        Some(ei) => {
+                            let to = graph.edge(ei).to;
+                            engine.deliver_edge(ei as u32, to, b, &mut drv);
+                        }
+                        None => engine.recirculate(filter, b, &mut drv),
+                    }
+                }
+                for b in emission.forward {
+                    let targets = graph.route_forward(filter, b.level, &mut cursors);
+                    match targets.split_last() {
+                        None => outputs.push(b),
+                        Some((&last, rest)) => {
+                            for &ei in rest {
+                                engine.deliver_edge(
+                                    ei as u32,
+                                    graph.edge(ei).to,
+                                    b.clone(),
+                                    &mut drv,
+                                );
+                            }
+                            engine.deliver_edge(last as u32, graph.edge(last).to, b, &mut drv);
+                        }
+                    }
+                }
+                engine.worker_idle(worker.node, worker.worker, &[proc], &mut drv);
+            }
+        }
+    }
+
+    GraphOutcome {
+        assigned: engine.tasks_by_node().clone(),
+        dispatch_order,
+        outputs,
+        edge_delivered: engine.edge_delivered().clone(),
+        total: engine.total_done(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +440,151 @@ mod tests {
         let b = mk();
         assert_eq!(a.dispatch_order, b.dispatch_order);
         assert_eq!(a.assigned, b.assigned);
+    }
+
+    #[test]
+    fn degenerate_graph_is_bit_identical_to_the_single_filter_run() {
+        // Acceptance criterion: a 1-node graph must reproduce today's
+        // engine exactly — same per-device assignment AND same dispatch
+        // order — for all three policies, including with recirculation.
+        for policy in [Policy::ddfcfs(4), Policy::ddwrr(4), Policy::odds()] {
+            let sources: Vec<DataBuffer> = (0..64)
+                .map(|i| tile(i, if i % 3 == 0 { 512 } else { 32 }))
+                .collect();
+            let recirc = |b: &DataBuffer| {
+                if b.level == 0 && b.task.is_multiple_of(4) {
+                    let mut high = tile(b.id.0 + 1_000, 512);
+                    high.task = b.task;
+                    Some(high)
+                } else {
+                    None
+                }
+            };
+            let flat = run(
+                SequentialConfig::new(policy),
+                &devices(),
+                sources.clone(),
+                OracleWeights::new(GpuParams::geforce_8800gt(), false),
+                |_, b| {
+                    let mut em = Emission::default();
+                    em.recirculate.extend(recirc(b));
+                    em
+                },
+            );
+            let graph = DataflowGraph::single("only");
+            let g = run_graph(
+                SequentialConfig::new(policy),
+                &graph,
+                &[devices()],
+                sources.into_iter().map(|b| (0, b)).collect(),
+                OracleWeights::new(GpuParams::geforce_8800gt(), false),
+                |_, _, b| {
+                    let mut em = GraphEmission::default();
+                    em.feedback.extend(recirc(b));
+                    em.forward.push(b.clone());
+                    em
+                },
+            );
+            assert_eq!(flat.total, g.total, "{policy:?}");
+            let g_order: Vec<(DeviceKind, u64)> =
+                g.dispatch_order.iter().map(|&(_, k, id)| (k, id)).collect();
+            assert_eq!(flat.dispatch_order, g_order, "{policy:?}");
+            let g_assigned: HashMap<(DeviceKind, u8), u64> =
+                g.assigned
+                    .iter()
+                    .fold(HashMap::new(), |mut acc, (&(_, k, level), &c)| {
+                        *acc.entry((k, level)).or_insert(0) += c;
+                        acc
+                    });
+            assert_eq!(flat.assigned, g_assigned, "{policy:?}");
+            // Every handled buffer left the degenerate graph as an output.
+            assert_eq!(g.outputs.len() as u64, g.total, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn pipeline_routes_every_buffer_through_every_stage() {
+        let graph = DataflowGraph::pipeline(&["a", "b", "c"]);
+        let sources: Vec<(usize, DataBuffer)> = (0..30).map(|i| (0, tile(i, 32))).collect();
+        let out = run_graph(
+            SequentialConfig::new(Policy::ddfcfs(4)),
+            &graph,
+            &[devices(), devices(), devices()],
+            sources,
+            OracleWeights::new(GpuParams::geforce_8800gt(), false),
+            |_, _, b| GraphEmission {
+                forward: vec![b.clone()],
+                feedback: Vec::new(),
+            },
+        );
+        assert_eq!(out.total, 90, "every buffer crosses all 3 stages");
+        assert_eq!(out.outputs.len(), 30);
+        assert_eq!(out.edge_delivered.get(&0), Some(&30));
+        assert_eq!(out.edge_delivered.get(&1), Some(&30));
+        for f in 0..3 {
+            let per_filter: u64 = out
+                .assigned
+                .iter()
+                .filter(|((fi, _, _), _)| *fi == f)
+                .map(|(_, c)| c)
+                .sum();
+            assert_eq!(per_filter, 30, "filter {f}");
+        }
+    }
+
+    #[test]
+    fn diamond_splits_round_robin_and_conserves() {
+        let graph = DataflowGraph::diamond("src", "l", "r", "snk");
+        let sources: Vec<(usize, DataBuffer)> = (0..40).map(|i| (0, tile(i, 32))).collect();
+        let out = run_graph(
+            SequentialConfig::new(Policy::ddwrr(4)),
+            &graph,
+            &[devices(), devices(), devices(), devices()],
+            sources,
+            OracleWeights::new(GpuParams::geforce_8800gt(), false),
+            |_, _, b| GraphEmission {
+                forward: vec![b.clone()],
+                feedback: Vec::new(),
+            },
+        );
+        assert_eq!(out.total, 120, "src + one branch + sink per buffer");
+        assert_eq!(out.outputs.len(), 40);
+        // The split alternates branches exactly.
+        assert_eq!(out.edge_delivered.get(&0), Some(&20));
+        assert_eq!(out.edge_delivered.get(&1), Some(&20));
+        // Merge edges conserve: everything a branch handled reached the sink.
+        assert_eq!(out.edge_delivered.get(&2), Some(&20));
+        assert_eq!(out.edge_delivered.get(&3), Some(&20));
+    }
+
+    #[test]
+    fn broadcast_duplicates_across_edges() {
+        use crate::graph::{EdgeSpec, FilterSpec};
+        let graph = DataflowGraph::new(
+            vec![
+                FilterSpec::new("src"),
+                FilterSpec::new("a"),
+                FilterSpec::new("b"),
+            ],
+            vec![EdgeSpec::broadcast(0, 1), EdgeSpec::broadcast(0, 2)],
+        )
+        .unwrap();
+        let sources: Vec<(usize, DataBuffer)> = (0..10).map(|i| (0, tile(i, 32))).collect();
+        let out = run_graph(
+            SequentialConfig::new(Policy::ddfcfs(4)),
+            &graph,
+            &[devices(), devices(), devices()],
+            sources,
+            OracleWeights::new(GpuParams::geforce_8800gt(), false),
+            |_, _, b| GraphEmission {
+                forward: vec![b.clone()],
+                feedback: Vec::new(),
+            },
+        );
+        assert_eq!(out.total, 30, "each buffer runs at src and both copies");
+        assert_eq!(out.outputs.len(), 20, "both branch copies leave the graph");
+        assert_eq!(out.edge_delivered.get(&0), Some(&10));
+        assert_eq!(out.edge_delivered.get(&1), Some(&10));
     }
 
     #[test]

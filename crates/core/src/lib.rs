@@ -15,6 +15,7 @@
 //! | §5.3.1 DQAA (dynamic request windows) | [`dqaa`] |
 //! | §5.3.2 DBSA (sender-side selection) | [`dbsa`] |
 //! | §5.2–5.3 as one backend-agnostic scheduling core | [`engine`] |
+//! | §2 filter DAGs with labeled streams | [`graph`] |
 //!
 //! ## One engine, many drivers
 //!
@@ -65,6 +66,7 @@ pub mod dbsa;
 pub mod dqaa;
 pub mod engine;
 pub mod faults;
+pub mod graph;
 pub mod local;
 pub mod net;
 pub mod obs;

@@ -29,7 +29,8 @@ use parking_lot::{Condvar, Mutex};
 use crate::buffer::DataBuffer;
 use crate::engine::admission::{AdmissionConfig, AdmissionController, AdmissionCounters, Offer};
 use crate::engine::select::{self, ReadyLane};
-use crate::engine::sequential::{self, Emission, SequentialConfig};
+use crate::engine::sequential::{self, GraphEmission, SequentialConfig};
+use crate::graph::{DataflowGraph, RoutingCursors};
 use crate::obs::{DeviceRef, EventKind, Recorder};
 use crate::policy::{Policy, PolicyKind};
 use crate::weights::WeightProvider;
@@ -261,6 +262,10 @@ pub struct LocalReport {
     pub retries: u64,
     /// Worker threads retired by the fault schedule.
     pub deaths: u64,
+    /// Buffers delivered over each dataflow-graph edge (`edge id ->
+    /// count`, every edge present). Empty for implicit linear chains run
+    /// without [`Pipeline::with_graph`].
+    pub edge_delivered: HashMap<u32, u64>,
 }
 
 impl LocalReport {
@@ -298,16 +303,20 @@ impl Default for LoadConfig {
 }
 
 /// One point of the queue-depth time series sampled by the load injector.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct QueueDepthSample {
     /// Monotonic time since run start, nanoseconds.
     pub t_ns: u64,
-    /// Buffers across every stage's ready lane.
+    /// Buffers across every stage's ready lane (the aggregate of
+    /// `per_stage`).
     pub ready: u64,
     /// Tasks waiting at the admission intake.
     pub intake: u64,
     /// Admitted-but-unfinished tasks.
     pub inflight: u64,
+    /// Ready-lane depth of each stage (filter), indexed by stage id. The
+    /// aggregate alone cannot show which filter of a DAG is backing up.
+    pub per_stage: Vec<u64>,
 }
 
 /// Outcome of an open-loop [`Pipeline::run_load`] run.
@@ -344,10 +353,14 @@ struct Stage {
     workers: Vec<WorkerSpec>,
 }
 
-/// A linear pipeline of filters with optional recirculation, executed by
-/// real threads under a chosen scheduling policy.
+/// A dataflow of filters with optional recirculation, executed by real
+/// threads under a chosen scheduling policy. Stages chain linearly by
+/// default; [`with_graph`](Pipeline::with_graph) routes emissions through
+/// an explicit [`DataflowGraph`] instead (fan-out, fan-in, labeled
+/// streams, feedback edges).
 pub struct Pipeline {
     stages: Vec<Stage>,
+    graph: Option<DataflowGraph>,
     policy: PolicyKind,
     capacity: Option<usize>,
     request_window: usize,
@@ -361,12 +374,37 @@ impl Pipeline {
     pub fn new(policy: PolicyKind) -> Pipeline {
         Pipeline {
             stages: Vec::new(),
+            graph: None,
             policy,
             capacity: None,
             request_window: 4,
             faults: None,
             hot_path: HotPath::Sharded,
         }
+    }
+
+    /// Route emissions through an explicit dataflow graph instead of the
+    /// implicit linear chain: stage `i` hosts filter `i` of the graph, a
+    /// handler's `forward` output travels over the filter's matching
+    /// out-edge (round-robin or labeled, see
+    /// [`route_forward`](DataflowGraph::route_forward)), and
+    /// `recirculate` uses the filter's declared feedback edge when one
+    /// exists (self-recirculation otherwise). Forward emissions with no
+    /// matching out-edge leave the run as outputs. Sources are still
+    /// seeded into stage 0.
+    ///
+    /// Broadcast edges are rejected here: the native runtime moves opaque
+    /// `Box<dyn Any>` payloads, which cannot be duplicated — broadcast
+    /// topologies run on the buffer-level backends (sequential reference,
+    /// DES, net), which clone [`DataBuffer`]s.
+    pub fn with_graph(mut self, graph: DataflowGraph) -> Pipeline {
+        assert!(
+            !graph.has_broadcast(),
+            "broadcast edges need clonable payloads; the native runtime \
+             moves Box<dyn Any> and cannot duplicate them"
+        );
+        self.graph = Some(graph);
+        self
     }
 
     /// Select the contention profile of the shared dispatch state used by
@@ -513,6 +551,13 @@ impl Pipeline {
         recorder: &Recorder,
     ) -> (Vec<LocalTask>, LocalReport) {
         assert!(!self.stages.is_empty(), "pipeline has no stages");
+        if let Some(g) = &self.graph {
+            assert_eq!(
+                g.n_filters(),
+                self.stages.len(),
+                "graph filters must match pipeline stages one to one"
+            );
+        }
         if let Some(f) = &self.faults {
             assert!(
                 (0.0..1.0).contains(&f.task_fail),
@@ -571,6 +616,15 @@ impl Pipeline {
         // `attempt` field of `TaskRetried`).
         let dispatch = DispatchState::new(hot_path);
 
+        // Graph routing state: each filter's round-robin out-edge cursor
+        // (one short lock per forwarded task) and one delivery counter per
+        // edge for the conservation report.
+        let graph = self.graph.as_ref();
+        let cursors = graph.map(|g| Mutex::new(RoutingCursors::new(g)));
+        let edge_counts: Vec<AtomicU64> = (0..graph.map_or(0, |g| g.edges().len()))
+            .map(|_| AtomicU64::new(0))
+            .collect();
+
         let capacity = self.capacity;
         // Per-push weight vector: skipped entirely for FIFO lanes; computed
         // with one prediction per device class on the optimized hot path,
@@ -628,6 +682,11 @@ impl Pipeline {
                     elapsed: started.elapsed(),
                     retries: 0,
                     deaths: 0,
+                    edge_delivered: edge_counts
+                        .iter()
+                        .enumerate()
+                        .map(|(ei, _)| (ei as u32, 0))
+                        .collect(),
                 },
             );
         }
@@ -645,9 +704,12 @@ impl Pipeline {
                     // own (never nested), so this cannot deadlock against
                     // workers holding admission-then-queue.
                     let sample_now = |now: Duration| {
+                        let mut per_stage = Vec::with_capacity(queues.len());
                         let mut ready = 0u64;
                         for sq in queues.iter() {
-                            ready += sq.queue.lock().len() as u64;
+                            let depth = sq.queue.lock().len() as u64;
+                            ready += depth;
+                            per_stage.push(depth);
                         }
                         let (intake, inflight) = {
                             let c = load.admission.lock();
@@ -658,6 +720,7 @@ impl Pipeline {
                             ready,
                             intake,
                             inflight,
+                            per_stage,
                         });
                     };
                     'arrivals: for (i, &offset) in load.arrivals.iter().enumerate() {
@@ -778,6 +841,8 @@ impl Pipeline {
                     let lane_weights = &lane_weights;
                     let retries = &retries;
                     let deaths = &deaths;
+                    let cursors = &cursors;
+                    let edge_counts = &edge_counts;
                     let death_after = self.faults.as_ref().and_then(|f| {
                         f.deaths
                             .iter()
@@ -974,12 +1039,69 @@ impl Pipeline {
                             }
                             for t in back {
                                 // Recirculation bypasses the bound: a worker
-                                // must not block on its own stage's queue.
-                                enqueue_ref(si, t, queues, false);
+                                // must not block on its own stage's queue. A
+                                // declared feedback edge overrides the
+                                // self-recirculation default.
+                                match graph.and_then(|g| g.feedback_edge(si)) {
+                                    Some(ei) => {
+                                        let g = graph.expect("feedback edge implies a graph");
+                                        let to = g.edge(ei).to;
+                                        edge_counts[ei].fetch_add(1, Ordering::SeqCst);
+                                        recorder.record_now(
+                                            started,
+                                            DeviceRef::node_scope(to),
+                                            EventKind::EdgeEnqueued {
+                                                edge: ei as u32,
+                                                buffer: t.buffer.id.0,
+                                                level: t.buffer.level,
+                                            },
+                                        );
+                                        recorder.counter_add("edge_deliveries", &[], 1);
+                                        enqueue_ref(to, t, queues, false);
+                                    }
+                                    None => enqueue_ref(si, t, queues, false),
+                                }
                             }
                             for t in fwd {
-                                if si + 1 < n_stages {
-                                    enqueue_ref(si + 1, t, queues, true);
+                                // Destination: the matching graph out-edge,
+                                // or the next stage of the implicit linear
+                                // chain. `None` means the task leaves the
+                                // run.
+                                let dest = match graph {
+                                    Some(g) => {
+                                        let targets = {
+                                            let mut cur = cursors
+                                                .as_ref()
+                                                .expect("cursors allocated with the graph")
+                                                .lock();
+                                            g.route_forward(si, t.buffer.level, &mut cur)
+                                        };
+                                        assert!(
+                                            targets.len() <= 1,
+                                            "native runtime cannot duplicate a payload across \
+                                             {} matching out-edges",
+                                            targets.len()
+                                        );
+                                        targets.first().map(|&ei| (g.edge(ei).to, Some(ei)))
+                                    }
+                                    None if si + 1 < n_stages => Some((si + 1, None)),
+                                    None => None,
+                                };
+                                if let Some((to, edge)) = dest {
+                                    if let Some(ei) = edge {
+                                        edge_counts[ei].fetch_add(1, Ordering::SeqCst);
+                                        recorder.record_now(
+                                            started,
+                                            DeviceRef::node_scope(to),
+                                            EventKind::EdgeEnqueued {
+                                                edge: ei as u32,
+                                                buffer: t.buffer.id.0,
+                                                level: t.buffer.level,
+                                            },
+                                        );
+                                        recorder.counter_add("edge_deliveries", &[], 1);
+                                    }
+                                    enqueue_ref(to, t, queues, true);
                                 } else if let Some(load) = load {
                                     // Open-loop terminal emission: hand the
                                     // task to the latency callback, release
@@ -1059,18 +1181,25 @@ impl Pipeline {
                 elapsed: started.elapsed(),
                 retries: retries.load(Ordering::SeqCst) as u64,
                 deaths: deaths.load(Ordering::SeqCst) as u64,
+                edge_delivered: edge_counts
+                    .iter()
+                    .enumerate()
+                    .map(|(ei, c)| (ei as u32, c.load(Ordering::SeqCst)))
+                    .collect(),
             },
         )
     }
 
     /// Run the pipeline to completion *deterministically*: the same
-    /// filters, executed stage by stage through the engine's sequential
-    /// reference driver ([`crate::engine::sequential`]) instead of
-    /// free-running threads. Assignments are a pure function of sources,
-    /// weights, and policy — identical on every run and directly
-    /// comparable against the DES backend (the cross-backend parity tests
-    /// rely on this). [`ExecMode`] busy-waits are skipped; handlers still
-    /// run for real.
+    /// filters, executed through the engine's graph-aware sequential
+    /// reference driver ([`crate::engine::sequential::run_graph`]) instead
+    /// of free-running threads. Each stage is one engine node with its
+    /// reader scoped to its own input queue, so every edge of the graph
+    /// (or of the implicit linear chain) runs its own ODDS/DQAA/DBSA
+    /// instance. Assignments are a pure function of sources, weights, and
+    /// policy — identical on every run and directly comparable against the
+    /// DES backend (the cross-backend parity tests rely on this).
+    /// [`ExecMode`] busy-waits are skipped; handlers still run for real.
     ///
     /// The demand-driven protocol runs in full per stage: every worker
     /// slot keeps a request window (see
@@ -1084,77 +1213,110 @@ impl Pipeline {
     ) -> (Vec<LocalTask>, LocalReport) {
         assert!(!self.stages.is_empty(), "pipeline has no stages");
         let started = Instant::now();
-        let mut handled: HashMap<(usize, DeviceKind, u8), u64> = HashMap::new();
-        let mut inputs = sources;
-        for (si, stage) in self.stages.iter().enumerate() {
-            let mut kind_counts: HashMap<DeviceKind, usize> = HashMap::new();
-            let devices: Vec<DeviceId> = stage
-                .workers
-                .iter()
-                .map(|spec| {
-                    let slot = kind_counts.entry(spec.kind).or_insert(0);
-                    let d = DeviceId {
-                        node: si,
-                        kind: spec.kind,
-                        index: *slot,
-                    };
-                    *slot += 1;
-                    d
-                })
-                .collect();
-            let mut payloads: HashMap<u64, Box<dyn Any + Send>> = HashMap::new();
-            let mut buffers = Vec::with_capacity(inputs.len());
-            for t in inputs {
-                payloads.insert(t.buffer.id.0, t.payload);
-                buffers.push(t.buffer);
+        let graph = match &self.graph {
+            Some(g) => {
+                assert_eq!(
+                    g.n_filters(),
+                    self.stages.len(),
+                    "graph filters must match pipeline stages one to one"
+                );
+                g.clone()
             }
-            let mut forwarded: Vec<LocalTask> = Vec::new();
-            let outcome = sequential::run(
-                SequentialConfig::new(Policy {
-                    kind: self.policy,
-                    request_size: self.request_window,
-                }),
-                &devices,
-                buffers,
-                weights,
-                |kind, buffer| {
-                    let payload = payloads
-                        .remove(&buffer.id.0)
-                        .expect("payload parked for dispatched buffer");
-                    let mut fwd = Vec::new();
-                    let mut back = Vec::new();
-                    stage.filter.handle(
-                        kind,
-                        LocalTask {
-                            buffer: buffer.clone(),
-                            payload,
-                        },
-                        &mut Emitter {
-                            forward: &mut fwd,
-                            back: &mut back,
-                        },
-                    );
-                    let mut em = Emission::default();
-                    for t in back {
-                        payloads.insert(t.buffer.id.0, t.payload);
-                        em.recirculate.push(t.buffer);
-                    }
-                    forwarded.extend(fwd);
-                    em
-                },
-            );
-            for ((kind, level), count) in outcome.assigned {
-                *handled.entry((si, kind, level)).or_insert(0) += count;
+            None => {
+                // Implicit linear chain as the degenerate graph: one
+                // round-robin edge between consecutive stages.
+                let names: Vec<String> = (0..self.stages.len())
+                    .map(|i| format!("stage{i}"))
+                    .collect();
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                DataflowGraph::pipeline(&refs)
             }
-            inputs = forwarded;
+        };
+        let devices: Vec<Vec<DeviceId>> = self
+            .stages
+            .iter()
+            .enumerate()
+            .map(|(si, stage)| {
+                let mut kind_counts: HashMap<DeviceKind, usize> = HashMap::new();
+                stage
+                    .workers
+                    .iter()
+                    .map(|spec| {
+                        let slot = kind_counts.entry(spec.kind).or_insert(0);
+                        let d = DeviceId {
+                            node: si,
+                            kind: spec.kind,
+                            index: *slot,
+                        };
+                        *slot += 1;
+                        d
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut payloads: HashMap<u64, Box<dyn Any + Send>> = HashMap::new();
+        let mut seeds = Vec::with_capacity(sources.len());
+        for t in sources {
+            payloads.insert(t.buffer.id.0, t.payload);
+            seeds.push((0, t.buffer));
         }
+        let stages = &self.stages;
+        let outcome = sequential::run_graph(
+            SequentialConfig::new(Policy {
+                kind: self.policy,
+                request_size: self.request_window,
+            }),
+            &graph,
+            &devices,
+            seeds,
+            weights,
+            |filter, kind, buffer| {
+                let payload = payloads
+                    .remove(&buffer.id.0)
+                    .expect("payload parked for dispatched buffer");
+                let mut fwd = Vec::new();
+                let mut back = Vec::new();
+                stages[filter].filter.handle(
+                    kind,
+                    LocalTask {
+                        buffer: buffer.clone(),
+                        payload,
+                    },
+                    &mut Emitter {
+                        forward: &mut fwd,
+                        back: &mut back,
+                    },
+                );
+                let mut em = GraphEmission::default();
+                for t in back {
+                    payloads.insert(t.buffer.id.0, t.payload);
+                    em.feedback.push(t.buffer);
+                }
+                for t in fwd {
+                    payloads.insert(t.buffer.id.0, t.payload);
+                    em.forward.push(t.buffer);
+                }
+                em
+            },
+        );
+        let outputs = outcome
+            .outputs
+            .into_iter()
+            .map(|b| LocalTask {
+                payload: payloads
+                    .remove(&b.id.0)
+                    .expect("payload parked for output buffer"),
+                buffer: b,
+            })
+            .collect();
         (
-            inputs,
+            outputs,
             LocalReport {
-                handled,
+                handled: outcome.assigned,
                 elapsed: started.elapsed(),
                 retries: 0,
                 deaths: 0,
+                edge_delivered: outcome.edge_delivered,
             },
         )
     }
@@ -1634,6 +1796,13 @@ mod tests {
         ids.sort_unstable();
         assert_eq!(ids, (0..500).collect::<Vec<_>>());
         assert!(!report.queue_depth.is_empty(), "sampled queue depths");
+        assert!(
+            report
+                .queue_depth
+                .iter()
+                .all(|s| s.per_stage.iter().sum::<u64>() == s.ready),
+            "per-stage depths must sum to the aggregate"
+        );
     }
 
     #[test]
@@ -1672,5 +1841,154 @@ mod tests {
         assert_eq!(report.completed, report.admission.admitted);
         // Bounded: intake never exceeded the configured queue cap.
         assert!(report.queue_depth.iter().all(|s| s.intake <= 16));
+    }
+
+    #[test]
+    fn graph_pipeline_matches_the_implicit_chain() {
+        // A 3-stage chain expressed as an explicit graph behaves like the
+        // linear default — and additionally reports per-edge deliveries.
+        let mk = |graph: bool| {
+            let mut p = Pipeline::new(PolicyKind::DdFcfs);
+            if graph {
+                p = p.with_graph(DataflowGraph::pipeline(&["a", "b", "c"]));
+            }
+            let workers = vec![
+                WorkerSpec {
+                    kind: DeviceKind::Cpu,
+                    mode: ExecMode::Native,
+                };
+                2
+            ];
+            p.add_stage(Arc::new(Doubler), workers.clone());
+            p.add_stage(Arc::new(Doubler), workers.clone());
+            p.add_stage(Arc::new(Doubler), workers);
+            p.run((0..60).map(|i| task(i, 1u64)).collect(), &oracle())
+        };
+        let (out_g, rep_g) = mk(true);
+        let (out_l, rep_l) = mk(false);
+        assert_eq!(out_g.len(), 60);
+        assert_eq!(out_l.len(), 60);
+        assert_eq!(rep_g.total(), rep_l.total());
+        assert_eq!(rep_g.edge_delivered.get(&0), Some(&60));
+        assert_eq!(rep_g.edge_delivered.get(&1), Some(&60));
+        assert!(rep_l.edge_delivered.is_empty());
+        assert!(out_g
+            .iter()
+            .all(|t| *t.payload.downcast_ref::<u64>().unwrap() == 8));
+    }
+
+    #[test]
+    fn graph_diamond_splits_round_robin_and_conserves_per_edge() {
+        let mut p = Pipeline::new(PolicyKind::DdFcfs)
+            .with_graph(DataflowGraph::diamond("src", "left", "right", "sink"));
+        let workers = vec![
+            WorkerSpec {
+                kind: DeviceKind::Cpu,
+                mode: ExecMode::Native,
+            };
+            2
+        ];
+        p.add_stage(Arc::new(Identity), workers.clone());
+        p.add_stage(Arc::new(Doubler), workers.clone());
+        p.add_stage(Arc::new(Doubler), workers.clone());
+        p.add_stage(Arc::new(Identity), workers);
+        let (out, report) = p.run((0..40).map(|i| task(i, 1u64)).collect(), &oracle());
+        assert_eq!(out.len(), 40);
+        assert_eq!(report.total(), 120, "src + one branch + sink per task");
+        // The split cursor alternates deterministically regardless of
+        // thread interleaving: exactly half the tasks take each branch.
+        assert_eq!(report.edge_delivered.get(&0), Some(&20));
+        assert_eq!(report.edge_delivered.get(&1), Some(&20));
+        assert_eq!(report.edge_delivered.get(&2), Some(&20));
+        assert_eq!(report.edge_delivered.get(&3), Some(&20));
+        assert!(out
+            .iter()
+            .all(|t| *t.payload.downcast_ref::<u64>().unwrap() == 2));
+    }
+
+    #[test]
+    fn feedback_edge_routes_recirculation_upstream() {
+        use crate::graph::{EdgeSpec, FilterSpec};
+        // B's recirculation travels B -> A over a declared feedback edge
+        // instead of re-entering B's own queue: every task makes two full
+        // round trips through the chain.
+        let g = DataflowGraph::new(
+            vec![FilterSpec::new("a"), FilterSpec::new("b")],
+            vec![EdgeSpec::round_robin(0, 1), EdgeSpec::feedback(1, 0)],
+        )
+        .expect("valid feedback graph");
+        let mut p = Pipeline::new(PolicyKind::DdFcfs).with_graph(g);
+        let workers = vec![
+            WorkerSpec {
+                kind: DeviceKind::Cpu,
+                mode: ExecMode::Native,
+            };
+            2
+        ];
+        p.add_stage(Arc::new(Identity), workers.clone());
+        p.add_stage(Arc::new(Recirculator), workers);
+        let (out, report) = p.run((0..40).map(|i| task(i, ())).collect(), &oracle());
+        assert_eq!(out.len(), 40);
+        assert!(out.iter().all(|t| t.buffer.level == 1));
+        assert_eq!(report.count(0, DeviceKind::Cpu, 0), 40);
+        assert_eq!(report.count(0, DeviceKind::Cpu, 1), 40);
+        assert_eq!(report.count(1, DeviceKind::Cpu, 0), 40);
+        assert_eq!(report.count(1, DeviceKind::Cpu, 1), 40);
+        assert_eq!(report.edge_delivered.get(&0), Some(&80));
+        assert_eq!(report.edge_delivered.get(&1), Some(&40));
+    }
+
+    #[test]
+    fn deterministic_graph_diamond_is_reproducible() {
+        let mk = || {
+            let mut p = Pipeline::new(PolicyKind::DdWrr)
+                .with_graph(DataflowGraph::diamond("src", "left", "right", "sink"));
+            let workers = vec![
+                WorkerSpec {
+                    kind: DeviceKind::Cpu,
+                    mode: ExecMode::Native,
+                },
+                WorkerSpec {
+                    kind: DeviceKind::Gpu,
+                    mode: ExecMode::Native,
+                },
+            ];
+            for _ in 0..4 {
+                p.add_stage(Arc::new(Doubler), workers.clone());
+            }
+            p.run_deterministic((0..32).map(|i| task(i, 1u64)).collect(), &oracle())
+        };
+        let (out_a, rep_a) = mk();
+        let (out_b, rep_b) = mk();
+        assert_eq!(out_a.len(), 32);
+        assert!(out_a
+            .iter()
+            .all(|t| *t.payload.downcast_ref::<u64>().unwrap() == 8));
+        assert_eq!(rep_a.total(), 96, "src + one branch + sink per task");
+        assert_eq!(rep_a.handled, rep_b.handled, "assignments are reproducible");
+        assert_eq!(rep_a.edge_delivered, rep_b.edge_delivered);
+        assert_eq!(rep_a.edge_delivered.get(&0), Some(&16));
+        assert_eq!(rep_a.edge_delivered.get(&1), Some(&16));
+        assert_eq!(rep_a.edge_delivered.get(&2), Some(&16));
+        assert_eq!(rep_a.edge_delivered.get(&3), Some(&16));
+        let ids_a: Vec<u64> = out_a.iter().map(|t| t.buffer.id.0).collect();
+        let ids_b: Vec<u64> = out_b.iter().map(|t| t.buffer.id.0).collect();
+        assert_eq!(ids_a, ids_b, "output order is reproducible");
+    }
+
+    #[test]
+    #[should_panic(expected = "broadcast")]
+    fn broadcast_graphs_are_rejected_by_the_native_runtime() {
+        use crate::graph::{EdgeSpec, FilterSpec};
+        let g = DataflowGraph::new(
+            vec![
+                FilterSpec::new("src"),
+                FilterSpec::new("a"),
+                FilterSpec::new("b"),
+            ],
+            vec![EdgeSpec::broadcast(0, 1), EdgeSpec::broadcast(0, 2)],
+        )
+        .expect("valid broadcast graph");
+        let _ = Pipeline::new(PolicyKind::DdFcfs).with_graph(g);
     }
 }

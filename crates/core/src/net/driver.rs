@@ -35,6 +35,7 @@ use anthill_hetsim::{DeviceId, DeviceKind};
 use anthill_simkit::{SimDuration, SimTime};
 
 use crate::buffer::DataBuffer;
+use crate::engine::sequential::GraphEmission;
 use crate::engine::{
     AdmissionConfig, AdmissionController, AdmissionCounters, Clock, Engine, EngineConfig, Executor,
     Offer, Transport, VirtualClock, WallClock, WorkerRef,
@@ -464,6 +465,339 @@ fn shutdown_slots(slots: &mut [SlotIo]) {
             let _ = slot.stream.shutdown(Shutdown::Write);
         }
     }
+}
+
+// ------------------------------------------------------ lockstep (graph)
+
+/// Result of a graph-mode networked run ([`run_graph_deterministic`]).
+#[derive(Debug, Clone)]
+pub struct NetGraphOutcome {
+    /// `(filter, device kind, level) -> buffers completed`.
+    pub assigned: std::collections::HashMap<(usize, DeviceKind, u8), u64>,
+    /// Completion order, as `(filter, device kind, buffer id)`.
+    pub dispatch_order: Vec<(usize, DeviceKind, u64)>,
+    /// Buffers that left the graph (completed at a filter with no
+    /// matching out-edge), in completion order.
+    pub outputs: Vec<DataBuffer>,
+    /// `edge id -> buffers delivered` over every dataflow edge.
+    pub edge_delivered: std::collections::HashMap<u32, u64>,
+    /// Total buffers completed, summed over every filter.
+    pub total: u64,
+    /// Worker slots that died during the run (sever, EOF, silence).
+    pub deaths: u32,
+}
+
+/// Lockstep driver for DAG runs: one engine node per filter, slots keyed
+/// by `(filter, slot)`, and `DeliverAt`/`CompleteAt` frames carrying the
+/// filter id so the stateless worker echoes where the completion routes.
+struct GraphLockstepDriver {
+    inbox: VecDeque<Msg>,
+    slots: Vec<Vec<SlotIo>>,
+    inflight: Vec<Vec<Vec<DataBuffer>>>,
+    dead: Vec<Vec<bool>>,
+}
+
+impl Transport for GraphLockstepDriver {
+    fn send_request(&mut self, from: WorkerRef, reader: usize, req_id: u64) {
+        self.slots[from.node][from.worker].write(&Frame::Request {
+            reader: reader as u32,
+            req_id,
+        });
+        self.inbox.push_back(Msg::Request {
+            from,
+            reader,
+            req_id,
+        });
+    }
+}
+
+impl Executor for GraphLockstepDriver {
+    fn batch_limit(&mut self, _worker: WorkerRef) -> usize {
+        1
+    }
+
+    fn launch(&mut self, worker: WorkerRef, batch: Vec<DataBuffer>) {
+        for buffer in batch {
+            self.slots[worker.node][worker.worker].write(&Frame::DeliverAt {
+                filter: worker.node as u32,
+                kind: worker.device.kind,
+                buffers: vec![buffer.clone()],
+            });
+            self.inflight[worker.node][worker.worker].push(buffer.clone());
+            self.inbox.push_back(Msg::Exec { worker, buffer });
+        }
+    }
+}
+
+/// Retire every slot whose connection failed since the last engine call
+/// (graph variant of [`reap`]).
+fn reap_graph<C: Clock, W: WeightProvider>(
+    engine: &mut Engine<C, W>,
+    drv: &mut GraphLockstepDriver,
+    deaths: &mut u32,
+) {
+    for node in 0..drv.slots.len() {
+        for slot in 0..drv.slots[node].len() {
+            if !drv.slots[node][slot].open && !drv.dead[node][slot] {
+                drv.dead[node][slot] = true;
+                *deaths += 1;
+                let inflight = std::mem::take(&mut drv.inflight[node][slot]);
+                engine.worker_died(node, slot, inflight, drv);
+            }
+        }
+    }
+}
+
+/// Run a replicated-filter DAG over TCP workers in lockstep deterministic
+/// mode. `workers[f]` holds the connections serving filter `f`; seeds are
+/// `(filter, buffer)` pairs entering that filter's input queue. Each
+/// filter's workers request only from their own per-edge input stream
+/// (ODDS/DQAA/DBSA act per edge), completions at filter *i* are routed to
+/// filter *i+1* by the graph's routing rule, and buffers with no matching
+/// out-edge leave the run as outputs. Single-filter runs should use
+/// [`run_deterministic`], whose wire traffic stays byte-identical to the
+/// pre-graph protocol.
+pub fn run_graph_deterministic<W: WeightProvider>(
+    cfg: NetConfig,
+    graph: &crate::graph::DataflowGraph,
+    workers: Vec<Vec<NetWorkerConn>>,
+    seeds: Vec<(usize, DataBuffer)>,
+    weights: W,
+) -> io::Result<NetGraphOutcome> {
+    run_graph_deterministic_with(cfg, graph, workers, seeds, weights, &mut |_, _, _| None)
+}
+
+/// [`run_graph_deterministic`] with a coordinator-side emission hook.
+///
+/// `emit(filter, kind, completed)` runs once per completion. `None` keeps
+/// the default routing: worker-echoed recirculated buffers go over the
+/// filter's feedback edge and the completed buffer forwards down the
+/// graph. `Some(emission)` overrides both — the hook's feedback/forward
+/// buffers are routed instead and the worker's recirculated copies are
+/// ignored. This is how application semantics that live at the
+/// coordinator (e.g. NBIA's hypothesis test deciding recirculation) drive
+/// a DAG whose workers model only the compute cost.
+pub fn run_graph_deterministic_with<W: WeightProvider>(
+    cfg: NetConfig,
+    graph: &crate::graph::DataflowGraph,
+    workers: Vec<Vec<NetWorkerConn>>,
+    seeds: Vec<(usize, DataBuffer)>,
+    weights: W,
+    emit: &mut dyn FnMut(usize, DeviceKind, &DataBuffer) -> Option<GraphEmission>,
+) -> io::Result<NetGraphOutcome> {
+    assert_eq!(
+        workers.len(),
+        graph.n_filters(),
+        "one worker connection set per graph filter"
+    );
+    let hard_deadline = Instant::now() + cfg.deadline;
+    let clock = VirtualClock::new();
+    let mut engine = Engine::new(
+        EngineConfig {
+            policy: cfg.policy,
+            max_window: cfg.max_window,
+            recovery: RecoveryConfig::disabled(),
+        },
+        clock.clone(),
+        weights,
+        cfg.recorder.clone(),
+    );
+    let mut drv = GraphLockstepDriver {
+        inbox: VecDeque::new(),
+        slots: Vec::with_capacity(workers.len()),
+        inflight: Vec::new(),
+        dead: Vec::new(),
+    };
+    for (f, conns) in workers.into_iter().enumerate() {
+        let node = engine.add_node();
+        debug_assert_eq!(node, f, "engine nodes must mirror filter ids");
+        engine.set_reader_scope(f, vec![f]);
+        let mut ios = Vec::with_capacity(conns.len());
+        for (i, conn) in conns.into_iter().enumerate() {
+            engine.add_worker(f, conn.device);
+            conn.stream
+                .set_read_timeout(Some(Duration::from_millis(50)))
+                .ok();
+            conn.stream.set_nodelay(true).ok();
+            ios.push(SlotIo::new(conn.stream, sever_for(&cfg.drops, f, i)));
+        }
+        assert!(!ios.is_empty(), "filter {f} has no worker connections");
+        drv.inflight.push(vec![Vec::new(); ios.len()]);
+        drv.dead.push(vec![false; ios.len()]);
+        drv.slots.push(ios);
+    }
+    for (f, ios) in drv.slots.iter_mut().enumerate() {
+        for (i, slot) in ios.iter_mut().enumerate() {
+            let hello = Frame::Hello {
+                node: f as u32,
+                slot: i as u32,
+            };
+            slot.write(&hello);
+            if !slot.open {
+                continue;
+            }
+            match slot.read_frame(hard_deadline) {
+                Ok(echo) if echo == hello => {}
+                _ => {
+                    let _ = slot.stream.shutdown(Shutdown::Both);
+                    slot.open = false;
+                }
+            }
+        }
+    }
+    for (f, b) in seeds {
+        engine.seed_reader(f, b);
+    }
+
+    let rec = cfg.recorder.clone();
+    let mut cursors = crate::graph::RoutingCursors::new(graph);
+    let mut outputs = Vec::new();
+    let mut deaths = 0u32;
+    reap_graph(&mut engine, &mut drv, &mut deaths);
+    for w in engine.worker_refs() {
+        if !drv.dead[w.node][w.worker] {
+            engine.data_arrived(w.node, w.worker, u64::MAX, None, &mut drv);
+        }
+    }
+
+    let mut dispatch_order = Vec::new();
+    let mut tick = 0u64;
+    loop {
+        reap_graph(&mut engine, &mut drv, &mut deaths);
+        let Some(msg) = drv.inbox.pop_front() else {
+            break;
+        };
+        tick += 1;
+        clock.set(SimTime(tick));
+        match msg {
+            Msg::Request {
+                from,
+                reader,
+                req_id,
+            } => {
+                if drv.dead[from.node][from.worker] || !drv.slots[from.node][from.worker].open {
+                    continue; // the request died with its connection
+                }
+                match drv.slots[from.node][from.worker].read_frame(hard_deadline) {
+                    Ok(Frame::Request {
+                        req_id: echoed_id, ..
+                    }) if echoed_id == req_id => {
+                        let buffer = engine.answer_request(reader, from.device.kind);
+                        engine.data_arrived(from.node, from.worker, req_id, buffer, &mut drv);
+                    }
+                    Ok(_) | Err(_) => {
+                        let _ = drv.slots[from.node][from.worker]
+                            .stream
+                            .shutdown(Shutdown::Both);
+                        drv.slots[from.node][from.worker].open = false;
+                    }
+                }
+            }
+            Msg::Exec { worker, buffer } => {
+                if drv.dead[worker.node][worker.worker]
+                    || !drv.slots[worker.node][worker.worker].open
+                {
+                    continue; // already re-homed by reap
+                }
+                let io = &mut drv.slots[worker.node][worker.worker];
+                let completion = io.read_frame(hard_deadline).and_then(|first| {
+                    let second = io.read_frame(hard_deadline)?;
+                    Ok((first, second))
+                });
+                match completion {
+                    Ok((
+                        Frame::CompleteAt {
+                            filter,
+                            buffer: done,
+                            proc_ns: _,
+                            span,
+                            recirculated,
+                        },
+                        Frame::BatchDone,
+                    )) if done.id == buffer.id && filter as usize == worker.node => {
+                        drv.inflight[worker.node][worker.worker].retain(|b| b.id != done.id);
+                        dispatch_order.push((worker.node, worker.device.kind, done.id.0));
+                        // Charge the modeled time, as in the single-filter
+                        // lockstep driver, so DQAA inputs match the other
+                        // backends bit-for-bit.
+                        let proc = SimDuration(modeled_proc_ns(&buffer, worker.device.kind));
+                        let ts = clock.now().as_nanos();
+                        let dev = DeviceRef::device(worker.device);
+                        rec.record(
+                            ts,
+                            dev,
+                            EventKind::RemoteStart {
+                                buffer: done.id.0,
+                                level: done.level,
+                            },
+                        );
+                        rec.record(
+                            ts,
+                            dev,
+                            EventKind::RemoteFinish {
+                                buffer: done.id.0,
+                                level: done.level,
+                                proc_ns: span.end_ns.saturating_sub(span.start_ns),
+                            },
+                        );
+                        engine.task_finished(worker.node, worker.worker, &done, proc);
+                        let (feedback, forward) = match emit(worker.node, worker.device.kind, &done)
+                        {
+                            Some(e) => (e.feedback, e.forward),
+                            // Default routing: worker recirculated copies
+                            // are feedback; a completion that produced
+                            // any is a feedback-only emission (the other
+                            // backends' recirculating filters forward
+                            // nothing), a clean completion forwards.
+                            None if recirculated.is_empty() => (Vec::new(), vec![done]),
+                            None => (recirculated, Vec::new()),
+                        };
+                        for r in feedback {
+                            match graph.feedback_edge(worker.node) {
+                                Some(ei) => {
+                                    let to = graph.edge(ei).to;
+                                    engine.deliver_edge(ei as u32, to, r, &mut drv);
+                                }
+                                None => engine.recirculate(worker.node, r, &mut drv),
+                            }
+                        }
+                        for b in forward {
+                            let targets = graph.route_forward(worker.node, b.level, &mut cursors);
+                            match targets.split_last() {
+                                None => outputs.push(b),
+                                Some((&last, rest)) => {
+                                    for &ei in rest {
+                                        let to = graph.edge(ei).to;
+                                        engine.deliver_edge(ei as u32, to, b.clone(), &mut drv);
+                                    }
+                                    let to = graph.edge(last).to;
+                                    engine.deliver_edge(last as u32, to, b, &mut drv);
+                                }
+                            }
+                        }
+                        engine.worker_idle(worker.node, worker.worker, &[proc], &mut drv);
+                    }
+                    Ok(_) | Err(_) => {
+                        let io = &mut drv.slots[worker.node][worker.worker];
+                        let _ = io.stream.shutdown(Shutdown::Both);
+                        io.open = false;
+                    }
+                }
+            }
+        }
+    }
+
+    for ios in drv.slots.iter_mut() {
+        shutdown_slots(ios);
+    }
+    Ok(NetGraphOutcome {
+        assigned: engine.tasks_by_node().clone(),
+        dispatch_order,
+        outputs,
+        edge_delivered: engine.edge_delivered().clone(),
+        total: engine.total_done(),
+        deaths,
+    })
 }
 
 // ----------------------------------------------------------- concurrent
@@ -900,6 +1234,8 @@ pub fn run_concurrent<W: WeightProvider>(
                     | Frame::Hello { .. }
                     | Frame::Bye
                     | Frame::Deliver { .. }
+                    | Frame::DeliverAt { .. }
+                    | Frame::CompleteAt { .. }
                     | Frame::Shutdown => {}
                 }
             }
@@ -1187,6 +1523,8 @@ pub fn run_concurrent_load<W: WeightProvider>(
                     | Frame::Hello { .. }
                     | Frame::Bye
                     | Frame::Deliver { .. }
+                    | Frame::DeliverAt { .. }
+                    | Frame::CompleteAt { .. }
                     | Frame::Shutdown => {}
                 }
             }

@@ -124,6 +124,31 @@ pub enum Frame {
     Shutdown,
     /// Worker → coordinator: last frame before the worker closes.
     Bye,
+    /// A batch of buffers for the worker to execute on behalf of a graph
+    /// filter (multi-filter runs; single-filter runs keep [`Frame::Deliver`]
+    /// so their wire traffic is byte-identical to pre-graph builds).
+    DeliverAt {
+        /// Graph filter id hosting the executing slot.
+        filter: u32,
+        /// Device class the executing slot schedules for.
+        kind: DeviceKind,
+        /// The buffers, in dispatch order.
+        buffers: Vec<DataBuffer>,
+    },
+    /// One executed buffer coming back from a graph filter.
+    CompleteAt {
+        /// Graph filter id, echoed unchanged from the [`Frame::DeliverAt`]
+        /// (workers are stateless; the coordinator routes by this field).
+        filter: u32,
+        /// The buffer that ran.
+        buffer: DataBuffer,
+        /// Modeled device occupancy, nanoseconds.
+        proc_ns: u64,
+        /// Measured worker-side handler span.
+        span: WireSpan,
+        /// Follow-up buffers the handler recirculated.
+        recirculated: Vec<DataBuffer>,
+    },
 }
 
 impl Frame {
@@ -137,11 +162,13 @@ impl Frame {
             Frame::Heartbeat { .. } => 6,
             Frame::Shutdown => 7,
             Frame::Bye => 8,
+            Frame::DeliverAt { .. } => 9,
+            Frame::CompleteAt { .. } => 10,
         }
     }
 }
 
-const MAX_TAG: u8 = 8;
+const MAX_TAG: u8 = 10;
 
 // ---------------------------------------------------------------- encode
 
@@ -225,6 +252,29 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         }
         Frame::BatchDone | Frame::Shutdown | Frame::Bye => {}
         Frame::Heartbeat { seq } => put_u64(&mut payload, *seq),
+        Frame::DeliverAt {
+            filter,
+            kind,
+            buffers,
+        } => {
+            put_u32(&mut payload, *filter);
+            payload.push(kind_byte(*kind));
+            put_buffers(&mut payload, buffers);
+        }
+        Frame::CompleteAt {
+            filter,
+            buffer,
+            proc_ns,
+            span,
+            recirculated,
+        } => {
+            put_u32(&mut payload, *filter);
+            put_buffer(&mut payload, buffer);
+            put_u64(&mut payload, *proc_ns);
+            put_u64(&mut payload, span.start_ns);
+            put_u64(&mut payload, span.end_ns);
+            put_buffers(&mut payload, recirculated);
+        }
     }
     assert!(payload.len() as u64 <= MAX_FRAME as u64, "frame too large");
     let mut out = Vec::with_capacity(payload.len() + 6);
@@ -363,6 +413,21 @@ fn decode_payload(tag: u8, bytes: &[u8]) -> Result<Frame, FrameError> {
         6 => Frame::Heartbeat { seq: r.u64()? },
         7 => Frame::Shutdown,
         8 => Frame::Bye,
+        9 => Frame::DeliverAt {
+            filter: r.u32()?,
+            kind: r.kind()?,
+            buffers: r.buffers()?,
+        },
+        10 => Frame::CompleteAt {
+            filter: r.u32()?,
+            buffer: r.buffer()?,
+            proc_ns: r.u64()?,
+            span: WireSpan {
+                start_ns: r.u64()?,
+                end_ns: r.u64()?,
+            },
+            recirculated: r.buffers()?,
+        },
         t => return Err(FrameError::BadTag(t)),
     };
     r.finish()?;
@@ -481,6 +546,21 @@ mod tests {
             Frame::Heartbeat { seq: 4 },
             Frame::Shutdown,
             Frame::Bye,
+            Frame::DeliverAt {
+                filter: 2,
+                kind: DeviceKind::Cpu,
+                buffers: vec![buffer(3)],
+            },
+            Frame::CompleteAt {
+                filter: 2,
+                buffer: buffer(3),
+                proc_ns: 400_000,
+                span: WireSpan {
+                    start_ns: 5,
+                    end_ns: 400_005,
+                },
+                recirculated: vec![],
+            },
         ]
     }
 

@@ -38,7 +38,8 @@ pub mod frame;
 pub mod worker;
 
 pub use driver::{
-    run_concurrent, run_concurrent_load, run_deterministic, NetConfig, NetLoadReport, NetOutcome,
+    run_concurrent, run_concurrent_load, run_deterministic, run_graph_deterministic,
+    run_graph_deterministic_with, NetConfig, NetGraphOutcome, NetLoadReport, NetOutcome,
     NetQueueSample, NetTaskTiming, NetWorkerConn,
 };
 pub use frame::{encode_frame, Frame, FrameDecoder, FrameError, WireSpan};
@@ -233,6 +234,154 @@ mod tests {
         assert!(report.admission.shed > 0, "{:?}", report.admission);
         assert_eq!(report.completed, report.admission.admitted);
         assert!(report.queue_depth.iter().all(|s| s.intake <= 8));
+    }
+
+    /// One connection set per filter: `filters[f]` lists the device kinds
+    /// serving filter `f` and the behavior its workers run.
+    fn graph_loopback_workers(filters: &[(&[DeviceKind], Behavior)]) -> Vec<Vec<NetWorkerConn>> {
+        filters
+            .iter()
+            .enumerate()
+            .map(|(f, &(kinds, behavior))| {
+                kinds
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &kind)| {
+                        let (coord, worker_side) = tcp_pair().expect("loopback pair");
+                        spawn_worker_thread(worker_side, behavior);
+                        NetWorkerConn {
+                            device: DeviceId {
+                                node: f,
+                                kind,
+                                index: i,
+                            },
+                            stream: coord,
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn graph_lockstep_pipeline_conserves_per_edge() {
+        use crate::graph::DataflowGraph;
+        let graph = DataflowGraph::pipeline(&["reader", "feature", "classifier"]);
+        let cpu: &[DeviceKind] = &[DeviceKind::Cpu];
+        let workers = graph_loopback_workers(&[
+            (cpu, Behavior::Identity),
+            (cpu, Behavior::Identity),
+            (cpu, Behavior::Identity),
+        ]);
+        let out = run_graph_deterministic(
+            NetConfig::new(Policy::ddfcfs(4)),
+            &graph,
+            workers,
+            (0..30).map(|i| (0usize, tile(i))).collect(),
+            OracleWeights::new(GpuParams::geforce_8800gt(), false),
+        )
+        .expect("graph net run");
+        assert_eq!(out.total, 90, "every buffer crosses all three filters");
+        assert_eq!(out.outputs.len(), 30);
+        assert_eq!(out.edge_delivered.get(&0), Some(&30));
+        assert_eq!(out.edge_delivered.get(&1), Some(&30));
+        assert_eq!(out.deaths, 0);
+        for f in 0..3 {
+            let done: u64 = out
+                .assigned
+                .iter()
+                .filter(|((node, _, _), _)| *node == f)
+                .map(|(_, &n)| n)
+                .sum();
+            assert_eq!(done, 30, "filter {f}");
+        }
+    }
+
+    #[test]
+    fn graph_lockstep_diamond_splits_round_robin() {
+        use crate::graph::DataflowGraph;
+        let graph = DataflowGraph::diamond("src", "left", "right", "sink");
+        let cpu: &[DeviceKind] = &[DeviceKind::Cpu];
+        let workers = graph_loopback_workers(&[
+            (cpu, Behavior::Identity),
+            (cpu, Behavior::Identity),
+            (cpu, Behavior::Identity),
+            (cpu, Behavior::Identity),
+        ]);
+        let out = run_graph_deterministic(
+            NetConfig::new(Policy::ddfcfs(4)),
+            &graph,
+            workers,
+            (0..40).map(|i| (0usize, tile(i))).collect(),
+            OracleWeights::new(GpuParams::geforce_8800gt(), false),
+        )
+        .expect("graph net run");
+        assert_eq!(out.total, 120, "src + one branch + sink per buffer");
+        assert_eq!(out.outputs.len(), 40);
+        for e in 0..4u32 {
+            assert_eq!(out.edge_delivered.get(&e), Some(&20), "edge {e}");
+        }
+    }
+
+    #[test]
+    fn graph_lockstep_feedback_edge_routes_recirculation_upstream() {
+        use crate::graph::{DataflowGraph, EdgeSpec, FilterSpec};
+        let graph = DataflowGraph::new(
+            vec![FilterSpec::new("head"), FilterSpec::new("tail")],
+            vec![EdgeSpec::round_robin(0, 1), EdgeSpec::feedback(1, 0)],
+        )
+        .expect("valid graph");
+        let cpu: &[DeviceKind] = &[DeviceKind::Cpu];
+        let workers = graph_loopback_workers(&[
+            (cpu, Behavior::Identity),
+            (cpu, Behavior::Recirc { rounds: 2 }),
+        ]);
+        let out = run_graph_deterministic(
+            NetConfig::new(Policy::ddfcfs(4)),
+            &graph,
+            workers,
+            (0..16).map(|i| (0usize, tile(i))).collect(),
+            OracleWeights::new(GpuParams::geforce_8800gt(), false),
+        )
+        .expect("graph net run");
+        // Each buffer: head(0) → tail(0, recirc) → feedback → head(1) →
+        // tail(1) → out. Four completions per buffer, two trips per edge
+        // on the forward edge, one on the feedback edge.
+        assert_eq!(out.total, 64);
+        assert_eq!(out.outputs.len(), 16);
+        assert!(out.outputs.iter().all(|b| b.level == 1));
+        assert_eq!(out.edge_delivered.get(&0), Some(&32), "forward edge");
+        assert_eq!(out.edge_delivered.get(&1), Some(&16), "feedback edge");
+    }
+
+    #[test]
+    fn graph_lockstep_runs_are_deterministic() {
+        use crate::graph::DataflowGraph;
+        let run = || {
+            let graph = DataflowGraph::diamond("src", "left", "right", "sink");
+            let devs: &[DeviceKind] = &[DeviceKind::Cpu, DeviceKind::Gpu];
+            let workers = graph_loopback_workers(&[
+                (devs, Behavior::Identity),
+                (devs, Behavior::Identity),
+                (devs, Behavior::Identity),
+                (devs, Behavior::Identity),
+            ]);
+            run_graph_deterministic(
+                NetConfig::new(Policy::ddwrr(8)),
+                &graph,
+                workers,
+                (0..32).map(|i| (0usize, tile(i))).collect(),
+                OracleWeights::new(GpuParams::geforce_8800gt(), false),
+            )
+            .expect("graph net run")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.assigned, b.assigned);
+        assert_eq!(a.dispatch_order, b.dispatch_order);
+        assert_eq!(a.edge_delivered, b.edge_delivered);
+        let ids = |o: &NetGraphOutcome| o.outputs.iter().map(|x| x.id.0).collect::<Vec<_>>();
+        assert_eq!(ids(&a), ids(&b));
     }
 
     #[test]

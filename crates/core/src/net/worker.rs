@@ -141,12 +141,39 @@ pub fn run_worker(mut stream: TcpStream, behavior: Behavior) -> std::io::Result<
                     }
                     send(&mut stream, &Frame::BatchDone)?;
                 }
+                Frame::DeliverAt {
+                    filter,
+                    kind,
+                    buffers,
+                } => {
+                    // Graph runs: same execution loop as `Deliver`, but the
+                    // filter id rides along unchanged so the coordinator can
+                    // route the completion — the worker stays stateless.
+                    for buffer in buffers {
+                        let start_ns = epoch.elapsed().as_nanos() as u64;
+                        let recirculated = behavior.apply(&buffer);
+                        let end_ns = epoch.elapsed().as_nanos() as u64;
+                        executed += 1;
+                        send(
+                            &mut stream,
+                            &Frame::CompleteAt {
+                                filter,
+                                proc_ns: modeled_proc_ns(&buffer, kind),
+                                buffer,
+                                span: WireSpan { start_ns, end_ns },
+                                recirculated,
+                            },
+                        )?;
+                    }
+                    send(&mut stream, &Frame::BatchDone)?;
+                }
                 Frame::Shutdown => {
                     send(&mut stream, &Frame::Bye).ok();
                     return Ok(executed);
                 }
                 // Coordinator never sends these; tolerate them.
                 Frame::Complete { .. }
+                | Frame::CompleteAt { .. }
                 | Frame::BatchDone
                 | Frame::Heartbeat { .. }
                 | Frame::Bye => {}

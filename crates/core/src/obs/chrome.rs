@@ -237,6 +237,16 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
                     &format!(",\"s\":\"t\",\"args\":{{\"buffer\":{buffer},\"proc_ns\":{proc_ns}}}"),
                 );
             }
+            EventKind::EdgeEnqueued { edge, buffer, .. } => {
+                push_event(
+                    &mut out,
+                    "edge enqueue",
+                    'i',
+                    ev.ts_ns,
+                    &ev.origin,
+                    &format!(",\"s\":\"t\",\"args\":{{\"edge\":{edge},\"buffer\":{buffer}}}"),
+                );
+            }
             EventKind::TaskAdmitted { buffer, .. } => {
                 push_event(
                     &mut out,

@@ -176,6 +176,17 @@ pub enum EventKind {
         /// Measured worker-side handler span, in nanoseconds.
         proc_ns: u64,
     },
+    /// A buffer emitted by an upstream filter was routed over a dataflow
+    /// edge and entered the destination filter's input queue. The origin
+    /// node is the *destination* filter.
+    EdgeEnqueued {
+        /// Graph edge id the buffer traveled over.
+        edge: u32,
+        /// Buffer id.
+        buffer: u64,
+        /// Resolution level.
+        level: u8,
+    },
     /// The admission controller accepted a generated task into the run
     /// (either immediately on arrival or later from the intake queue).
     TaskAdmitted {
@@ -221,6 +232,7 @@ impl EventKind {
             EventKind::TaskReassigned { .. } => "task_reassigned",
             EventKind::RemoteStart { .. } => "remote_start",
             EventKind::RemoteFinish { .. } => "remote_finish",
+            EventKind::EdgeEnqueued { .. } => "edge_enqueued",
             EventKind::TaskAdmitted { .. } => "task_admitted",
             EventKind::TaskShed { .. } => "task_shed",
             EventKind::TaskDeadlineDropped { .. } => "task_deadline_dropped",
@@ -321,6 +333,12 @@ mod tests {
                 proc_ns: 5,
             }
             .name(),
+            EventKind::EdgeEnqueued {
+                edge: 0,
+                buffer: 1,
+                level: 0,
+            }
+            .name(),
             EventKind::TaskAdmitted {
                 buffer: 1,
                 level: 0,
@@ -354,6 +372,7 @@ mod tests {
                 "task_reassigned",
                 "remote_start",
                 "remote_finish",
+                "edge_enqueued",
                 "task_admitted",
                 "task_shed",
                 "task_deadline_dropped"

@@ -106,6 +106,15 @@ fn write_event(out: &mut String, ev: &TraceEvent) {
                 ",\"buffer\":{buffer},\"level\":{level},\"waited_ns\":{waited_ns}"
             ));
         }
+        EventKind::EdgeEnqueued {
+            edge,
+            buffer,
+            level,
+        } => {
+            out.push_str(&format!(
+                ",\"edge\":{edge},\"buffer\":{buffer},\"level\":{level}"
+            ));
+        }
     }
     out.push('}');
 }
@@ -243,6 +252,11 @@ fn parse_event(v: &Value) -> Result<TraceEvent, String> {
             buffer: field_u64(v, "buffer")?,
             level: field_u64(v, "level")? as u8,
             waited_ns: field_u64(v, "waited_ns")?,
+        },
+        "edge_enqueued" => EventKind::EdgeEnqueued {
+            edge: field_u64(v, "edge")? as u32,
+            buffer: field_u64(v, "buffer")?,
+            level: field_u64(v, "level")? as u8,
         },
         other => return Err(format!("unknown event kind '{other}'")),
     };
@@ -386,6 +400,15 @@ mod tests {
                     waited_ns: 5_000_000,
                 },
             },
+            TraceEvent {
+                ts_ns: 140,
+                origin: node,
+                kind: EventKind::EdgeEnqueued {
+                    edge: 1,
+                    buffer: 14,
+                    level: 0,
+                },
+            },
         ]
     }
 
@@ -400,7 +423,7 @@ mod tests {
     #[test]
     fn every_line_is_valid_json_with_required_fields() {
         let text = to_jsonl(&sample_events());
-        assert_eq!(text.lines().count(), 16);
+        assert_eq!(text.lines().count(), 17);
         for line in text.lines() {
             let v = json::parse(line).expect("valid JSON line");
             assert!(v.get("ts").and_then(Value::as_u64).is_some(), "{line}");
@@ -437,6 +460,6 @@ mod tests {
     #[test]
     fn blank_lines_are_skipped() {
         let text = format!("\n{}\n", to_jsonl(&sample_events()));
-        assert_eq!(parse_jsonl(&text).unwrap().len(), 16);
+        assert_eq!(parse_jsonl(&text).unwrap().len(), 17);
     }
 }

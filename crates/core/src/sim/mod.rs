@@ -3,10 +3,12 @@
 //! calibrated hardware models, reproducing the paper's cluster experiments
 //! deterministically.
 
+mod graph;
 mod report;
 mod runtime;
 mod workload;
 
+pub use graph::{run_graph_sim, GraphSimConfig, GraphSimReport};
 pub use report::SimReport;
 pub use runtime::{run_nbia, SimConfig};
 pub use workload::WorkloadSpec;

@@ -30,7 +30,9 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use common::{at_millis, oracle, pick_policy, policies, task};
+use common::{
+    at_millis, cpu_workers, emulated_cpu_workers, oracle, pick_policy, pipeline3, policies, task,
+};
 
 use anthill_repro::core::buffer::DataBuffer;
 use anthill_repro::core::faults::{FaultConfig, FaultProb, RecoveryConfig, WorkerDeathSpec};
@@ -272,6 +274,85 @@ fn ddwrr_beats_ddfcfs_under_drop_plus_gpu_death() {
     );
 }
 
+/// A worker of the *middle* filter of a three-filter graph dies mid-run:
+/// the survivor of that filter absorbs the re-enqueued task, every
+/// payload still crosses all three filters exactly once, the per-edge
+/// delivery counts conserve (a reassignment is a re-queue, not a second
+/// edge delivery), and the trace pins both the death and the
+/// reassignment to filter 1 — not to whichever filter the buffer came
+/// from or was heading to.
+#[test]
+fn killed_mid_stage_worker_conserves_every_edge() {
+    use anthill_repro::core::policy::PolicyKind;
+
+    const TASKS: u64 = 120;
+    let faults = LocalFaults {
+        seed: 11,
+        task_fail: 0.0,
+        deaths: vec![LocalDeathSpec {
+            stage: 1,
+            kind: DeviceKind::Cpu,
+            index: 0,
+            after: 5,
+        }],
+    };
+    let mut p = Pipeline::new(PolicyKind::DdWrr)
+        .with_graph(pipeline3())
+        .with_faults(faults);
+    p.add_stage(Arc::new(Tag), cpu_workers(1));
+    // The victim's filter: two emulated CPU slots busy-wait each task's
+    // modeled cost, forcing both to interleave so slot 0 certainly
+    // reaches its 5-task death trigger while work remains.
+    p.add_stage(Arc::new(Tag), emulated_cpu_workers(2));
+    p.add_stage(Arc::new(Tag), cpu_workers(1));
+
+    let recorder = Recorder::enabled();
+    let sources = (0..TASKS).map(task).collect();
+    let (out, report) = p.run_traced(sources, &oracle(), &recorder);
+
+    assert_eq!(out.len() as u64, TASKS);
+    assert_eq!(
+        report.total(),
+        3 * TASKS,
+        "one completion per task per filter"
+    );
+    let mut values: Vec<u64> = out
+        .into_iter()
+        .map(|t| *t.payload.downcast::<u64>().unwrap())
+        .collect();
+    values.sort_unstable();
+    assert_eq!(
+        values,
+        (0..TASKS).map(|i| i + 3_000).collect::<Vec<_>>(),
+        "each task crossed all three filters exactly once"
+    );
+    // Per-edge conservation: the reassignment re-queues the popped buffer
+    // inside filter 1, so neither edge sees an extra delivery.
+    assert_eq!(report.edge_delivered[&0], TASKS, "stage0 -> stage1 edge");
+    assert_eq!(report.edge_delivered[&1], TASKS, "stage1 -> stage2 edge");
+
+    let events = recorder.events();
+    let deaths: Vec<_> = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::WorkerDied { .. }))
+        .collect();
+    assert_eq!(deaths.len(), 1, "exactly one worker died");
+    assert_eq!(deaths[0].origin.node, 1, "the death happened on filter 1");
+    let reassigned: Vec<_> = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::TaskReassigned { .. }))
+        .collect();
+    assert_eq!(reassigned.len(), 1, "the dying slot held exactly one task");
+    assert_eq!(
+        reassigned[0].origin.node, 1,
+        "the reassignment must be scoped to the victim's filter"
+    );
+    assert_eq!(
+        reassigned[0].origin.kind, None,
+        "reassignment is filter-scoped, not device-scoped"
+    );
+}
+
 /// The TCP backend against *real* process death: two `net_worker` child
 /// processes serve a concurrent run over loopback, and one is killed
 /// outright mid-run. The OS closing the victim's socket is the only
@@ -360,8 +441,8 @@ fn killed_worker_process_is_absorbed_by_the_survivor() {
 #[test]
 fn killed_worker_mid_load_run_keeps_the_slo_report_schema_valid() {
     use anthill_repro::bench::load::{
-        render_load_report, validate_load_report, ArrivalProfile, LatencyHistogram, LatencyStats,
-        LoadRunRow,
+        render_load_report, validate_load_report, ArrivalProfile, DepthPoint, LatencyHistogram,
+        LatencyStats, LoadRunRow,
     };
     use anthill_repro::core::engine::{AdmissionConfig, OverloadPolicy};
     use anthill_repro::core::net::run_concurrent_load;
@@ -470,11 +551,7 @@ fn killed_worker_mid_load_run_keeps_the_slo_report_schema_valid() {
         queue: stats,
         service: stats,
         e2e: stats,
-        queue_depth: report
-            .queue_depth
-            .iter()
-            .map(|s| (s.t_ns, s.ready, s.intake, s.inflight))
-            .collect(),
+        queue_depth: report.queue_depth.iter().map(DepthPoint::from).collect(),
         wall_ms: 0.0,
     };
     let text = render_load_report(&[row], true, 21);

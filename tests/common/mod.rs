@@ -6,6 +6,7 @@
 #![allow(dead_code)]
 
 use anthill_repro::core::buffer::{BufferId, DataBuffer};
+use anthill_repro::core::graph::DataflowGraph;
 use anthill_repro::core::local::{Emitter, ExecMode, LocalFilter, LocalTask, WorkerSpec};
 use anthill_repro::core::net::{spawn_worker_thread, tcp_pair, Behavior, NetWorkerConn};
 use anthill_repro::core::obs::{EventKind, TraceEvent};
@@ -95,6 +96,51 @@ pub fn mk_task(id: u64) -> LocalTask {
     )
 }
 
+/// The degenerate one-filter graph — the shape every pre-graph test ran,
+/// named like the implicit graph the native runtime builds.
+pub fn single_filter_graph() -> DataflowGraph {
+    DataflowGraph::single("stage0")
+}
+
+/// A three-filter linear pipeline with round-robin streams, the smallest
+/// topology where mid-graph edges exist.
+pub fn pipeline3() -> DataflowGraph {
+    DataflowGraph::pipeline(&["stage0", "stage1", "stage2"])
+}
+
+/// The fan-out/fan-in diamond: split round-robins over two identical
+/// branches that merge again.
+pub fn diamond() -> DataflowGraph {
+    DataflowGraph::diamond("split", "left", "right", "merge")
+}
+
+/// A device-neutral buffer ([`neutral_shape`]) whose payload is its own
+/// id — the graph parity suites' unit of accounting.
+pub fn neutral_buffer(id: u64) -> DataBuffer {
+    DataBuffer {
+        id: BufferId(id),
+        params: TaskParams::nums(&[id as f64]),
+        shape: neutral_shape(),
+        level: 0,
+        task: id,
+    }
+}
+
+/// One CPU plus one GPU native worker slot — the per-filter replica set
+/// of the cross-backend graph parity runs.
+pub fn cpu_gpu_workers() -> Vec<WorkerSpec> {
+    vec![
+        WorkerSpec {
+            kind: DeviceKind::Cpu,
+            mode: ExecMode::Native,
+        },
+        WorkerSpec {
+            kind: DeviceKind::Gpu,
+            mode: ExecMode::Native,
+        },
+    ]
+}
+
 pub fn cpu_workers(n: usize) -> Vec<WorkerSpec> {
     vec![
         WorkerSpec {
@@ -132,6 +178,38 @@ pub fn loopback_workers(kinds: &[DeviceKind], behavior: Behavior) -> Vec<NetWork
                 },
                 stream: coordinator,
             }
+        })
+        .collect()
+}
+
+/// [`loopback_workers`] generalized to a whole graph: one in-process
+/// loopback worker thread per `(filter, device kind)` pair, with
+/// `DeviceId::node` carrying the filter id — the worker pool shape
+/// `anthill::net::run_graph_deterministic` expects.
+pub fn graph_loopback_workers(
+    filters: &[&[DeviceKind]],
+    behavior: Behavior,
+) -> Vec<Vec<NetWorkerConn>> {
+    filters
+        .iter()
+        .enumerate()
+        .map(|(f, kinds)| {
+            kinds
+                .iter()
+                .enumerate()
+                .map(|(i, &kind)| {
+                    let (coordinator, worker_side) = tcp_pair().expect("loopback socket pair");
+                    spawn_worker_thread(worker_side, behavior);
+                    NetWorkerConn {
+                        device: DeviceId {
+                            node: f,
+                            kind,
+                            index: i,
+                        },
+                        stream: coordinator,
+                    }
+                })
+                .collect()
         })
         .collect()
 }

@@ -194,7 +194,9 @@ proptest! {
             }
             b
         };
-        let bad_tag = [0u8, 9, 0xFF][rng.below(3) as usize];
+        // Tag 0 and anything above MAX_TAG (10, the graph CompleteAt
+        // frame) are outside the protocol.
+        let bad_tag = [0u8, 11, 0xFF][rng.below(3) as usize];
         let oversize = anthill_repro::core::net::frame::MAX_FRAME + 1 + rng.below(1 << 20) as u32;
 
         let corrupt_header = |header: [u8; 6], want: FrameError| {

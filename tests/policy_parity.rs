@@ -9,20 +9,33 @@
 //! same on a CPU as on a sync GPU, zero bytes on the wire) removes all
 //! cost asymmetry, so the counts are purely the engine's doing; any
 //! divergence means a backend grew its own scheduling logic.
+//!
+//! The second half extends the same contract to *dataflow graphs*: a
+//! three-filter pipeline and a fan-out/fan-in diamond, each filter
+//! replicated over one CPU and one GPU, must produce identical per-filter
+//! per-device assignment counts and identical per-edge delivery counts on
+//! all four graph backends — the sequential reference executor, the
+//! virtual-time DES, the native threaded runtime's deterministic executor,
+//! and the TCP lockstep coordinator over real sockets.
 
 mod common;
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use common::{loopback_workers, neutral_gpu, neutral_oracle, neutral_shape};
+use common::{
+    cpu_gpu_workers, diamond, graph_loopback_workers, loopback_workers, neutral_buffer,
+    neutral_gpu, neutral_oracle, neutral_shape, pipeline3, single_filter_graph,
+};
 
-use anthill_repro::core::local::{Emitter, ExecMode, LocalFilter, LocalTask, Pipeline, WorkerSpec};
-use anthill_repro::core::net::{run_deterministic, Behavior, NetConfig};
+use anthill_repro::core::engine::sequential::{run_graph, GraphEmission, SequentialConfig};
+use anthill_repro::core::graph::DataflowGraph;
+use anthill_repro::core::local::{Emitter, LocalFilter, LocalTask, Pipeline};
+use anthill_repro::core::net::{run_deterministic, run_graph_deterministic, Behavior, NetConfig};
 use anthill_repro::core::policy::Policy;
-use anthill_repro::core::sim::{run_nbia, SimConfig, WorkloadSpec};
+use anthill_repro::core::sim::{run_graph_sim, run_nbia, GraphSimConfig, SimConfig, WorkloadSpec};
 use anthill_repro::core::weights::OracleWeights;
-use anthill_repro::hetsim::{ClusterSpec, DeviceKind, NodeSpec};
+use anthill_repro::hetsim::{ClusterSpec, DeviceId, DeviceKind, NodeSpec};
 
 const TILES: u64 = 120;
 
@@ -73,19 +86,7 @@ fn native_counts(policy: Policy) -> HashMap<DeviceKind, u64> {
         .map(|t| LocalTask::new(w.low_buffer(t), ()))
         .collect();
     let mut p = Pipeline::new(policy.kind).with_request_window(policy.request_size);
-    p.add_stage(
-        Arc::new(Identity),
-        vec![
-            WorkerSpec {
-                kind: DeviceKind::Cpu,
-                mode: ExecMode::Native,
-            },
-            WorkerSpec {
-                kind: DeviceKind::Gpu,
-                mode: ExecMode::Native,
-            },
-        ],
-    );
+    p.add_stage(Arc::new(Identity), cpu_gpu_workers());
     let weights = OracleWeights::new(neutral_gpu(), false);
     let (out, report) = p.run_deterministic(sources, &weights);
     assert_eq!(out.len() as u64, TILES);
@@ -151,5 +152,256 @@ fn parity_counts_are_reproducible() {
         assert_eq!(des_counts(policy), des_counts(policy));
         assert_eq!(native_counts(policy), native_counts(policy));
         assert_eq!(net_counts(policy), net_counts(policy));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Graph parity: per-(filter, device) assignment counts and per-edge
+// delivery counts across all four graph backends.
+// ---------------------------------------------------------------------
+
+/// Tasks per graph parity run — enough for every round-robin cursor and
+/// weight window to turn over several times.
+const GRAPH_TILES: u64 = 48;
+
+/// What every graph backend must agree on.
+#[derive(Debug, PartialEq, Eq)]
+struct GraphCounts {
+    /// `(filter, device kind) -> completions`, levels collapsed.
+    assigned: HashMap<(usize, DeviceKind), u64>,
+    /// `edge id -> buffers delivered`.
+    edges: HashMap<u32, u64>,
+    /// Completions across all filters.
+    total: u64,
+}
+
+fn collapse(assigned: &HashMap<(usize, DeviceKind, u8), u64>) -> HashMap<(usize, DeviceKind), u64> {
+    let mut out = HashMap::new();
+    for (&(filter, kind, _level), &n) in assigned {
+        *out.entry((filter, kind)).or_insert(0) += n;
+    }
+    out
+}
+
+fn graph_seeds(filter: usize) -> Vec<(usize, anthill_repro::core::buffer::DataBuffer)> {
+    (0..GRAPH_TILES)
+        .map(|t| (filter, neutral_buffer(t)))
+        .collect()
+}
+
+/// Pass-through filter logic for the buffer-level backends: forward every
+/// completion unchanged and let the graph's routing rule place it.
+fn forward_all(
+    _filter: usize,
+    _kind: DeviceKind,
+    b: &anthill_repro::core::buffer::DataBuffer,
+) -> GraphEmission {
+    GraphEmission {
+        forward: vec![b.clone()],
+        feedback: Vec::new(),
+    }
+}
+
+/// The sequential reference executor.
+fn seq_graph_counts(policy: Policy, graph: &DataflowGraph) -> GraphCounts {
+    let devices: Vec<Vec<DeviceId>> = (0..graph.n_filters())
+        .map(|f| {
+            [DeviceKind::Cpu, DeviceKind::Gpu]
+                .iter()
+                .map(|&kind| DeviceId {
+                    node: f,
+                    kind,
+                    index: 0,
+                })
+                .collect()
+        })
+        .collect();
+    let out = run_graph(
+        SequentialConfig::new(policy),
+        graph,
+        &devices,
+        graph_seeds(0),
+        neutral_oracle(),
+        forward_all,
+    );
+    GraphCounts {
+        assigned: collapse(&out.assigned),
+        edges: out.edge_delivered,
+        total: out.total,
+    }
+}
+
+/// The virtual-time DES graph runner.
+fn des_graph_counts(policy: Policy, graph: &DataflowGraph) -> GraphCounts {
+    let mut cfg = GraphSimConfig::new(policy);
+    cfg.gpu = neutral_gpu();
+    let devices: Vec<Vec<DeviceKind>> = (0..graph.n_filters())
+        .map(|_| vec![DeviceKind::Cpu, DeviceKind::Gpu])
+        .collect();
+    let report = run_graph_sim(
+        &cfg,
+        graph,
+        &devices,
+        graph_seeds(0),
+        Box::new(neutral_oracle()),
+        forward_all,
+    );
+    GraphCounts {
+        assigned: collapse(&report.assigned),
+        edges: report.edge_delivered,
+        total: report.total,
+    }
+}
+
+/// The native threaded runtime's deterministic executor.
+fn native_graph_counts(policy: Policy, graph: &DataflowGraph) -> GraphCounts {
+    let mut p = Pipeline::new(policy.kind)
+        .with_graph(graph.clone())
+        .with_request_window(policy.request_size);
+    for _ in 0..graph.n_filters() {
+        p.add_stage(Arc::new(Identity), cpu_gpu_workers());
+    }
+    let sources: Vec<LocalTask> = (0..GRAPH_TILES)
+        .map(|t| LocalTask::new(neutral_buffer(t), ()))
+        .collect();
+    let weights = OracleWeights::new(neutral_gpu(), false);
+    let (out, report) = p.run_deterministic(sources, &weights);
+    assert_eq!(
+        out.len() as u64,
+        GRAPH_TILES,
+        "every task must leave the graph"
+    );
+    let total = report.total();
+    GraphCounts {
+        assigned: collapse(&report.handled),
+        edges: report.edge_delivered,
+        total,
+    }
+}
+
+/// The TCP backend's graph lockstep coordinator over loopback sockets.
+fn net_graph_counts(policy: Policy, graph: &DataflowGraph) -> GraphCounts {
+    let kinds = [DeviceKind::Cpu, DeviceKind::Gpu];
+    let filters: Vec<&[DeviceKind]> = (0..graph.n_filters()).map(|_| &kinds[..]).collect();
+    let workers = graph_loopback_workers(&filters, Behavior::Identity);
+    let out = run_graph_deterministic(
+        NetConfig::new(policy),
+        graph,
+        workers,
+        graph_seeds(0),
+        neutral_oracle(),
+    )
+    .expect("loopback graph net run");
+    GraphCounts {
+        assigned: collapse(&out.assigned),
+        edges: out.edge_delivered,
+        total: out.total,
+    }
+}
+
+fn assert_graph_parity(policy: Policy, graph: &DataflowGraph, name: &str, crossings: u64) {
+    let seq = seq_graph_counts(policy, graph);
+    let des = des_graph_counts(policy, graph);
+    let native = native_graph_counts(policy, graph);
+    let net = net_graph_counts(policy, graph);
+    assert_eq!(
+        seq, des,
+        "{name}: sequential and DES graph runs assigned devices differently"
+    );
+    assert_eq!(
+        seq, native,
+        "{name}: sequential and native graph runs assigned devices differently"
+    );
+    assert_eq!(
+        seq, net,
+        "{name}: sequential and TCP graph runs assigned devices differently"
+    );
+    assert_eq!(
+        seq.total,
+        GRAPH_TILES * crossings,
+        "{name}: each task must cross exactly {crossings} filters"
+    );
+    let delivered: u64 = seq.edges.values().sum();
+    assert_eq!(
+        delivered,
+        GRAPH_TILES * (crossings - 1),
+        "{name}: each task must traverse exactly {} edges",
+        crossings - 1
+    );
+}
+
+#[test]
+fn pipeline_graph_parity_ddfcfs() {
+    assert_graph_parity(Policy::ddfcfs(4), &pipeline3(), "pipeline3/DDFCFS", 3);
+}
+
+#[test]
+fn pipeline_graph_parity_ddwrr() {
+    assert_graph_parity(Policy::ddwrr(4), &pipeline3(), "pipeline3/DDWRR", 3);
+}
+
+#[test]
+fn pipeline_graph_parity_odds() {
+    assert_graph_parity(Policy::odds(), &pipeline3(), "pipeline3/ODDS", 3);
+}
+
+#[test]
+fn diamond_graph_parity_ddfcfs() {
+    assert_graph_parity(Policy::ddfcfs(4), &diamond(), "diamond/DDFCFS", 3);
+}
+
+#[test]
+fn diamond_graph_parity_ddwrr() {
+    assert_graph_parity(Policy::ddwrr(4), &diamond(), "diamond/DDWRR", 3);
+}
+
+#[test]
+fn diamond_graph_parity_odds() {
+    assert_graph_parity(Policy::odds(), &diamond(), "diamond/ODDS", 3);
+}
+
+/// The degenerate one-filter graph is invisible: running the native
+/// deterministic executor with an explicit [`single_filter_graph`] yields
+/// the same outputs (in order) and the same per-device counts as the flat,
+/// graph-free pipeline, for every policy.
+#[test]
+fn single_filter_graph_is_invisible_on_the_native_backend() {
+    let weights = OracleWeights::new(neutral_gpu(), false);
+    let sources = || -> Vec<LocalTask> {
+        (0..GRAPH_TILES)
+            .map(|t| LocalTask::new(neutral_buffer(t), ()))
+            .collect()
+    };
+    for policy in [Policy::ddfcfs(4), Policy::ddwrr(4), Policy::odds()] {
+        let mut flat = Pipeline::new(policy.kind).with_request_window(policy.request_size);
+        flat.add_stage(Arc::new(Identity), cpu_gpu_workers());
+        let (flat_out, flat_report) = flat.run_deterministic(sources(), &weights);
+
+        let mut graph = Pipeline::new(policy.kind)
+            .with_graph(single_filter_graph())
+            .with_request_window(policy.request_size);
+        graph.add_stage(Arc::new(Identity), cpu_gpu_workers());
+        let (graph_out, graph_report) = graph.run_deterministic(sources(), &weights);
+
+        assert_eq!(flat_report.handled, graph_report.handled, "{policy:?}");
+        let ids = |out: &[LocalTask]| out.iter().map(|t| t.buffer.id.0).collect::<Vec<_>>();
+        assert_eq!(ids(&flat_out), ids(&graph_out), "{policy:?}: output order");
+    }
+}
+
+/// The diamond's round-robin split is an exact function of the cursor, so
+/// the per-edge counts are pinned, not merely equal across backends.
+#[test]
+fn diamond_split_is_exactly_half_on_every_backend() {
+    let g = diamond();
+    for counts in [
+        seq_graph_counts(Policy::ddfcfs(4), &g),
+        des_graph_counts(Policy::ddfcfs(4), &g),
+        native_graph_counts(Policy::ddfcfs(4), &g),
+        net_graph_counts(Policy::ddfcfs(4), &g),
+    ] {
+        for edge in 0..4u32 {
+            assert_eq!(counts.edges[&edge], GRAPH_TILES / 2, "edge {edge}");
+        }
     }
 }
