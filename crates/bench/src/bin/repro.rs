@@ -68,6 +68,16 @@
 //! `task_admitted`/`task_shed`/`task_deadline_dropped` events must match
 //! the counters.
 //!
+//! `repro elastic [--quick] [--trace <dir>]` is the elastic-membership
+//! CI gate (DESIGN.md §14): a rolling restart retires every initial
+//! worker of a live TCP run through a graceful drain while replacements
+//! join mid-run over the `Join`/`JoinAck` handshake (zero loss, zero
+//! deaths, the `worker_joined`/`worker_draining`/`worker_left` trio in
+//! the trace), and a saturating open-loop schedule drives the DQAA
+//! congestion-signal autoscaler against a worker pool. Writes and
+//! schema-validates `BENCH_elastic.json`; with `--trace <dir>`, the
+//! rolling-restart trace lands there too.
+//!
 //! `repro graph [--quick] [--trace <dir>]` is the multi-filter dataflow
 //! CI gate: the NBIA three-filter pipeline (reader → feature extraction →
 //! classification with a feedback stream) runs on the native threaded
@@ -95,8 +105,11 @@ use anthill::graph::DataflowGraph;
 use anthill::local::{
     Emitter, ExecMode, HotPath, LoadConfig, LocalFilter, LocalTask, Pipeline, WorkerSpec,
 };
+use anthill::membership::{Autoscaler, AutoscalerConfig, WorkerPool};
 use anthill::net::{
-    run_concurrent_load, run_deterministic, run_graph_deterministic, NetConfig, NetWorkerConn,
+    run_concurrent_elastic, run_concurrent_load, run_concurrent_load_autoscaled, run_deterministic,
+    run_graph_deterministic, spawn_joining_worker_thread, spawn_worker_thread, Behavior, DrainAt,
+    ElasticLoad, NetConfig, NetWorkerConn,
 };
 use anthill::obs::{chrome, json, jsonl, EventKind, Recorder};
 use anthill::policy::{Policy, PolicyKind};
@@ -104,6 +117,9 @@ use anthill::sim::{run_nbia, SimConfig, WorkloadSpec};
 use anthill::weights::OracleWeights;
 use anthill_apps::flows::pricing;
 use anthill_apps::nbia::{self, NbiaLocalConfig};
+use anthill_bench::elastic::{
+    render_elastic_report, validate_elastic_report, AutoscaleRow, RollingRow,
+};
 use anthill_bench::experiments::{cluster, estimator, transfer};
 use anthill_bench::graph::{render_graph_report, validate_graph_report, GraphRunRow};
 use anthill_bench::load::{
@@ -272,6 +288,7 @@ fn main() {
         "perf",
         "net",
         "load",
+        "elastic",
         "graph",
         "all",
     ];
@@ -307,6 +324,10 @@ fn main() {
     }
     if what == "load" {
         load_gate(quick, &profile_sel, trace_path.as_deref());
+        return;
+    }
+    if what == "elastic" {
+        elastic_gate(quick, trace_path.as_deref());
         return;
     }
     if what == "graph" {
@@ -2129,6 +2150,352 @@ fn load_gate(quick: bool, profile_sel: &str, trace_dir: Option<&str>) {
         Ok(()) => println!("wrote {out}"),
         Err(e) => {
             eprintln!("load: failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Abort the elastic gate with a labeled diagnosis.
+fn elastic_fail(label: &str, why: &str) -> ! {
+    eprintln!("elastic {label}: {why}");
+    std::process::exit(1);
+}
+
+/// An in-process worker thread behind a real loopback TCP connection:
+/// the coordinator side of the pair is returned, the worker side serves
+/// `behavior` on its own thread. The protocol is byte-identical to a
+/// spawned worker process; only the startup latency differs.
+fn elastic_loopback_worker(label: &str, device: DeviceId, behavior: Behavior) -> NetWorkerConn {
+    let listener = match std::net::TcpListener::bind("127.0.0.1:0") {
+        Ok(l) => l,
+        Err(e) => elastic_fail(label, &format!("failed to bind loopback listener: {e}")),
+    };
+    let addr = listener.local_addr().expect("listener addr");
+    let worker_side = match std::net::TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => elastic_fail(label, &format!("loopback connect failed: {e}")),
+    };
+    let coordinator = match listener.accept() {
+        Ok((s, _)) => s,
+        Err(e) => elastic_fail(label, &format!("loopback accept failed: {e}")),
+    };
+    spawn_worker_thread(worker_side, behavior);
+    NetWorkerConn {
+        device,
+        stream: coordinator,
+    }
+}
+
+/// Pre-connected standby workers for the autoscaler: `grow` hands out
+/// the next idle connection until the standby set is exhausted.
+struct StandbyPool {
+    ready: std::collections::VecDeque<NetWorkerConn>,
+}
+
+impl WorkerPool for StandbyPool {
+    type Worker = NetWorkerConn;
+
+    fn grow(&mut self) -> Option<NetWorkerConn> {
+        self.ready.pop_front()
+    }
+}
+
+/// Elastic-membership CI gate (DESIGN.md §14). Two scenarios:
+///
+/// 1. **Rolling restart** — a live TCP run starts on two CPU workers,
+///    two replacements join mid-run through the `Join`/`JoinAck`
+///    handshake, and a drain schedule then retires each initial worker
+///    exactly once. Zero task loss, zero deaths, the
+///    `worker_joined`/`worker_draining`/`worker_left` trio in the trace,
+///    no dispatch to a drained slot, and the joiners absorbing a real
+///    share of the post-join work.
+/// 2. **Autoscale** — a saturating open-loop Poisson schedule against
+///    one busy worker, with the DQAA congestion-signal autoscaler
+///    growing from a standby pool. Admission counters must conserve and
+///    at least one scale-up must engage.
+///
+/// Writes and schema-validates `BENCH_elastic.json`; exits nonzero on
+/// any failure.
+fn elastic_gate(quick: bool, trace_dir: Option<&str>) {
+    header(
+        "Elastic: runtime membership — rolling restart + congestion autoscaler",
+        "CI gate — dynamic join/drain with zero loss; DQAA congestion signals drive the pool (run-time adaptation premise)",
+    );
+
+    // ---------------------------------------------------- rolling restart
+    let tasks: u64 = if quick { 240 } else { 960 };
+    let label = "rolling";
+    let listener = match std::net::TcpListener::bind("127.0.0.1:0") {
+        Ok(l) => l,
+        Err(e) => elastic_fail(label, &format!("failed to bind join listener: {e}")),
+    };
+    let join_addr = listener.local_addr().expect("listener addr").to_string();
+    let workers: Vec<NetWorkerConn> = (0..2)
+        .map(|index| {
+            elastic_loopback_worker(
+                label,
+                DeviceId {
+                    node: 0,
+                    kind: DeviceKind::Cpu,
+                    index,
+                },
+                Behavior::Identity,
+            )
+        })
+        .collect();
+    // The replacements connect up front; the acceptor admits them from
+    // the listener backlog once the run is live.
+    let joiners: Vec<_> = (0..2)
+        .map(|_| {
+            spawn_joining_worker_thread(join_addr.clone(), 0, DeviceKind::Cpu, Behavior::Identity)
+        })
+        .collect();
+    let drains = vec![
+        DrainAt {
+            after_completions: tasks / 4,
+            slot: 0,
+        },
+        DrainAt {
+            after_completions: tasks / 2,
+            slot: 1,
+        },
+    ];
+    let recorder = Recorder::enabled();
+    let mut cfg = NetConfig::new(Policy::ddwrr(8));
+    cfg.recovery = RecoveryConfig::standard();
+    cfg.recorder = recorder.clone();
+    let sources: Vec<DataBuffer> = (0..tasks).map(net_tile).collect();
+    let wall = std::time::Instant::now();
+    let out = match run_concurrent_elastic(
+        cfg,
+        listener,
+        drains,
+        workers,
+        sources,
+        OracleWeights::new(GpuParams::geforce_8800gt(), false),
+    ) {
+        Ok(out) => out,
+        Err(e) => elastic_fail(label, &format!("coordinator failed: {e}")),
+    };
+    let rolling_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    for j in joiners {
+        match j.join() {
+            Ok(Ok(_)) => {}
+            Ok(Err(e)) => elastic_fail(label, &format!("joiner thread failed: {e}")),
+            Err(_) => elastic_fail(label, "joiner thread panicked"),
+        }
+    }
+    if out.outcome.total != tasks {
+        elastic_fail(
+            label,
+            &format!("lost work: {} of {tasks} completed", out.outcome.total),
+        );
+    }
+    if out.outcome.deaths != 0 {
+        elastic_fail(
+            label,
+            &format!("{} death(s) — drains must be graceful", out.outcome.deaths),
+        );
+    }
+    if out.joins != 2 || out.drains != 2 {
+        elastic_fail(
+            label,
+            &format!(
+                "{} join(s), {} drain(s); expected 2 + 2",
+                out.joins, out.drains
+            ),
+        );
+    }
+
+    let events = recorder.events();
+    let count =
+        |pred: fn(&EventKind) -> bool| events.iter().filter(|e| pred(&e.kind)).count() as u64;
+    let joined_events = count(|k| matches!(k, EventKind::WorkerJoined { .. }));
+    let draining_events = count(|k| matches!(k, EventKind::WorkerDraining { .. }));
+    let left_events = count(|k| matches!(k, EventKind::WorkerLeft));
+    if joined_events != 2 || draining_events != 2 || left_events != 2 {
+        elastic_fail(
+            label,
+            &format!(
+                "trace trio mismatch: {joined_events} worker_joined, \
+                 {draining_events} worker_draining, {left_events} worker_left"
+            ),
+        );
+    }
+    for (i, e) in events.iter().enumerate() {
+        if !matches!(e.kind, EventKind::WorkerDraining { .. }) {
+            continue;
+        }
+        let later = events[i + 1..]
+            .iter()
+            .filter(|l| l.origin == e.origin && matches!(l.kind, EventKind::Dispatch { .. }))
+            .count();
+        if later > 0 {
+            elastic_fail(
+                label,
+                &format!(
+                    "slot {} received {later} dispatch(es) after draining",
+                    e.origin
+                ),
+            );
+        }
+    }
+    // Joiner slots continue the io-slot numbering after the two initial
+    // workers, so index >= 2 identifies them in the trace.
+    let join_pos = events
+        .iter()
+        .position(|e| matches!(e.kind, EventKind::WorkerJoined { .. }))
+        .expect("worker_joined in trace");
+    let post_join: Vec<_> = events[join_pos..]
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Finish { .. }))
+        .collect();
+    let joiner_done = post_join.iter().filter(|e| e.origin.index >= 2).count();
+    let joiner_share = if post_join.is_empty() {
+        0.0
+    } else {
+        joiner_done as f64 / post_join.len() as f64
+    };
+    if joiner_done == 0 {
+        elastic_fail(label, "the joiners absorbed no post-join work");
+    }
+    if let Some(dir) = trace_dir {
+        let text = jsonl::to_jsonl(&events);
+        let path = format!("{}/elastic-rolling.trace.jsonl", dir.trim_end_matches('/'));
+        if let Err(e) = std::fs::write(&path, &text) {
+            elastic_fail(label, &format!("failed to write trace to {path}: {e}"));
+        }
+        println!("  wrote {} events to {path}", events.len());
+    }
+    let rolling = RollingRow {
+        tasks,
+        completed: out.outcome.total,
+        deaths: u64::from(out.outcome.deaths),
+        joins: u64::from(out.joins),
+        drains: u64::from(out.drains),
+        joined_events,
+        draining_events,
+        left_events,
+        joiner_share,
+        wall_ms: rolling_wall_ms,
+    };
+    println!(
+        "rolling    {:>8} tasks  {:>2} joins  {:>2} drains  joiner share {:>5.1}%  {:>9.1} ms",
+        tasks,
+        out.joins,
+        out.drains,
+        joiner_share * 100.0,
+        rolling_wall_ms
+    );
+
+    // --------------------------------------------------------- autoscale
+    let label = "autoscale";
+    let n = if quick { 1_500usize } else { 3_000 };
+    let arrivals = ArrivalProfile::Poisson { rate_hz: 10_000.0 }.schedule(SEED + 3, n);
+    // One ~200 µs worker (~5k/s of capacity) against 10k/s of arrivals:
+    // the backlog crosses the grow watermark within milliseconds.
+    let initial = vec![elastic_loopback_worker(
+        label,
+        DeviceId {
+            node: 0,
+            kind: DeviceKind::Cpu,
+            index: 0,
+        },
+        Behavior::parse("busy:200").expect("busy behavior"),
+    )];
+    let max_workers = 4usize;
+    let standby: std::collections::VecDeque<NetWorkerConn> = (1..max_workers)
+        .map(|index| {
+            elastic_loopback_worker(
+                label,
+                DeviceId {
+                    node: 0,
+                    kind: DeviceKind::Cpu,
+                    index,
+                },
+                Behavior::parse("busy:200").expect("busy behavior"),
+            )
+        })
+        .collect();
+    let mut pool = StandbyPool { ready: standby };
+    let admission = AdmissionConfig {
+        inflight_cap: 32,
+        queue_cap: 64,
+        policy: OverloadPolicy::ShedOldest,
+    };
+    let mut cfg = NetConfig::new(Policy::ddfcfs(4));
+    cfg.deadline = Duration::from_secs(if quick { 60 } else { 120 });
+    let wall = std::time::Instant::now();
+    let mut completions = 0u64;
+    let report = match run_concurrent_load_autoscaled(
+        cfg,
+        admission,
+        initial,
+        &arrivals,
+        &mut |i, _arrival| load_tile(i, 50),
+        Duration::from_millis(2),
+        OracleWeights::new(GpuParams::geforce_8800gt(), false),
+        &mut |_t| completions += 1,
+        ElasticLoad {
+            autoscaler: Autoscaler::new(AutoscalerConfig::standard(1, max_workers)),
+            pool: &mut pool,
+        },
+    ) {
+        Ok(r) => r,
+        Err(e) => elastic_fail(label, &format!("coordinator failed: {e}")),
+    };
+    let auto_wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    if !report.admission.conserved() || report.admission.generated != n as u64 {
+        elastic_fail(
+            label,
+            &format!("counters not conserved: {:?}", report.admission),
+        );
+    }
+    if report.completed != report.admission.admitted {
+        elastic_fail(
+            label,
+            &format!(
+                "{} completed of {} admitted",
+                report.completed, report.admission.admitted
+            ),
+        );
+    }
+    if report.scale_ups == 0 {
+        elastic_fail(label, "the saturating schedule triggered no scale-up");
+    }
+    if report.outcome.deaths != 0 {
+        elastic_fail(
+            label,
+            &format!("{} death(s) during autoscaled run", report.outcome.deaths),
+        );
+    }
+    let autoscale = AutoscaleRow {
+        tasks: n as u64,
+        generated: report.admission.generated,
+        admitted: report.admission.admitted,
+        shed: report.admission.shed,
+        deadline_dropped: report.admission.deadline_dropped,
+        completed: report.completed,
+        scale_ups: report.scale_ups,
+        scale_downs: report.scale_downs,
+        initial_workers: 1,
+        max_workers: max_workers as u64,
+        wall_ms: auto_wall_ms,
+    };
+    println!(
+        "autoscale  {:>8} tasks  {:>2} ups    {:>2} downs   admitted {:>5}     {:>9.1} ms",
+        n, report.scale_ups, report.scale_downs, report.admission.admitted, auto_wall_ms
+    );
+
+    let text = render_elastic_report(&rolling, &autoscale, quick, SEED);
+    if let Err(e) = validate_elastic_report(&text) {
+        eprintln!("elastic: BENCH_elastic.json failed schema validation: {e}");
+        std::process::exit(1);
+    }
+    match std::fs::write("BENCH_elastic.json", &text) {
+        Ok(()) => println!("wrote BENCH_elastic.json"),
+        Err(e) => {
+            eprintln!("elastic: failed to write BENCH_elastic.json: {e}");
             std::process::exit(1);
         }
     }

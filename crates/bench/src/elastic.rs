@@ -1,0 +1,274 @@
+//! `BENCH_elastic.json`: the elastic-membership CI gate's report schema
+//! (DESIGN.md §14).
+//!
+//! The `repro elastic` gate runs two scenarios and renders one document:
+//!
+//! * **rolling** — the rolling-restart acceptance run: every initial
+//!   worker of a live TCP run is drained exactly once while replacements
+//!   join mid-run through the `Join`/`JoinAck` handshake. The row records
+//!   the membership churn (joins, drains, trace event counts) next to the
+//!   conservation evidence (tasks, completed, deaths) and the share of
+//!   post-join work the joiners absorbed.
+//! * **autoscale** — an open-loop saturating schedule with the
+//!   [`Autoscaler`](anthill::membership::Autoscaler) wired to a worker
+//!   pool: admission counters plus the scale activity.
+//!
+//! [`validate_elastic_report`] is the schema gate CI runs against the
+//! written file: structural presence, admission-counter conservation,
+//! and the membership invariants that must hold for *any* passing run
+//! (joins mirrored in the trace, drains paired with graceful leaves,
+//! zero deaths on the rolling restart).
+
+use anthill::obs::json;
+
+/// The rolling-restart scenario's row.
+#[derive(Debug, Clone)]
+pub struct RollingRow {
+    /// Buffers offered to the run.
+    pub tasks: u64,
+    /// Buffers completed (must equal `tasks`).
+    pub completed: u64,
+    /// Worker deaths (must be zero — drains are graceful).
+    pub deaths: u64,
+    /// Workers admitted mid-run via the `Join` handshake.
+    pub joins: u64,
+    /// Workers that completed a graceful drain.
+    pub drains: u64,
+    /// `worker_joined` events in the trace.
+    pub joined_events: u64,
+    /// `worker_draining` events in the trace.
+    pub draining_events: u64,
+    /// `worker_left` events in the trace.
+    pub left_events: u64,
+    /// Fraction of post-join completions executed by joiner slots.
+    pub joiner_share: f64,
+    /// Wall-clock duration in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// The autoscaled open-loop scenario's row.
+#[derive(Debug, Clone)]
+pub struct AutoscaleRow {
+    /// Arrivals offered to the schedule.
+    pub tasks: u64,
+    /// Arrivals generated (admission counter).
+    pub generated: u64,
+    /// Arrivals admitted.
+    pub admitted: u64,
+    /// Arrivals shed at the intake.
+    pub shed: u64,
+    /// Arrivals dropped past their deadline.
+    pub deadline_dropped: u64,
+    /// Admitted tasks that completed.
+    pub completed: u64,
+    /// Workers admitted by the autoscaler.
+    pub scale_ups: u64,
+    /// Graceful drains initiated by the autoscaler.
+    pub scale_downs: u64,
+    /// Assignable workers at the start of the run.
+    pub initial_workers: u64,
+    /// Pool bound the autoscaler may grow to.
+    pub max_workers: u64,
+    /// Wall-clock duration in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Render the two scenario rows as the `BENCH_elastic.json` document.
+/// The output satisfies [`validate_elastic_report`] whenever the rows
+/// record a passing run.
+pub fn render_elastic_report(
+    rolling: &RollingRow,
+    autoscale: &AutoscaleRow,
+    quick: bool,
+    seed: u64,
+) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"seed\": {seed},\n",
+            "  \"quick\": {quick},\n",
+            "  \"rolling\": {{\n",
+            "    \"tasks\": {rt}, \"completed\": {rc}, \"deaths\": {rd},\n",
+            "    \"joins\": {rj}, \"drains\": {rdr},\n",
+            "    \"joined_events\": {je}, \"draining_events\": {de}, ",
+            "\"left_events\": {le},\n",
+            "    \"joiner_share\": {share:.4}, \"wall_ms\": {rw:.2}\n",
+            "  }},\n",
+            "  \"autoscale\": {{\n",
+            "    \"tasks\": {at}, \"generated\": {ag}, \"admitted\": {aa}, ",
+            "\"shed\": {ash}, \"deadline_dropped\": {add}, \"completed\": {ac},\n",
+            "    \"scale_ups\": {su}, \"scale_downs\": {sd}, ",
+            "\"initial_workers\": {iw}, \"max_workers\": {mw},\n",
+            "    \"wall_ms\": {aw:.2}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        seed = seed,
+        quick = quick,
+        rt = rolling.tasks,
+        rc = rolling.completed,
+        rd = rolling.deaths,
+        rj = rolling.joins,
+        rdr = rolling.drains,
+        je = rolling.joined_events,
+        de = rolling.draining_events,
+        le = rolling.left_events,
+        share = rolling.joiner_share,
+        rw = rolling.wall_ms,
+        at = autoscale.tasks,
+        ag = autoscale.generated,
+        aa = autoscale.admitted,
+        ash = autoscale.shed,
+        add = autoscale.deadline_dropped,
+        ac = autoscale.completed,
+        su = autoscale.scale_ups,
+        sd = autoscale.scale_downs,
+        iw = autoscale.initial_workers,
+        mw = autoscale.max_workers,
+        aw = autoscale.wall_ms,
+    )
+}
+
+fn require_u64(obj: &json::Value, key: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| format!("missing numeric '{key}'"))
+}
+
+/// Schema-validate a `BENCH_elastic.json` document: both scenario
+/// objects present with their numeric fields, rolling-restart
+/// conservation (`completed == tasks`, zero deaths, every join/drain
+/// mirrored by its trace event family), and autoscale admission
+/// conservation (`admitted + shed + deadline_dropped == generated`,
+/// completions bounded by admissions, at least one scale-up recorded —
+/// the gate exists to prove elasticity engaged).
+pub fn validate_elastic_report(text: &str) -> Result<(), String> {
+    let v = json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    v.get("seed")
+        .and_then(|s| s.as_u64())
+        .ok_or("missing numeric 'seed'")?;
+
+    let rolling = v.get("rolling").ok_or("missing 'rolling' object")?;
+    let ctx = |e: String| format!("rolling: {e}");
+    let tasks = require_u64(rolling, "tasks").map_err(ctx)?;
+    let completed = require_u64(rolling, "completed").map_err(ctx)?;
+    let deaths = require_u64(rolling, "deaths").map_err(ctx)?;
+    let joins = require_u64(rolling, "joins").map_err(ctx)?;
+    let drains = require_u64(rolling, "drains").map_err(ctx)?;
+    let joined = require_u64(rolling, "joined_events").map_err(ctx)?;
+    let draining = require_u64(rolling, "draining_events").map_err(ctx)?;
+    let left = require_u64(rolling, "left_events").map_err(ctx)?;
+    if completed != tasks {
+        return Err(format!("rolling: lost work ({completed} of {tasks} done)"));
+    }
+    if deaths != 0 {
+        return Err(format!(
+            "rolling: {deaths} death(s) — drains must be graceful"
+        ));
+    }
+    if joined != joins {
+        return Err(format!(
+            "rolling: {joins} join(s) but {joined} worker_joined event(s)"
+        ));
+    }
+    if draining != drains || left != drains {
+        return Err(format!(
+            "rolling: {drains} drain(s) but {draining} worker_draining / {left} worker_left event(s)"
+        ));
+    }
+    rolling
+        .get("joiner_share")
+        .and_then(|s| s.as_f64())
+        .filter(|s| (0.0..=1.0).contains(s))
+        .ok_or("rolling: 'joiner_share' missing or outside [0, 1]")?;
+
+    let auto = v.get("autoscale").ok_or("missing 'autoscale' object")?;
+    let ctx = |e: String| format!("autoscale: {e}");
+    let generated = require_u64(auto, "generated").map_err(ctx)?;
+    let admitted = require_u64(auto, "admitted").map_err(ctx)?;
+    let shed = require_u64(auto, "shed").map_err(ctx)?;
+    let dropped = require_u64(auto, "deadline_dropped").map_err(ctx)?;
+    let completed = require_u64(auto, "completed").map_err(ctx)?;
+    let ups = require_u64(auto, "scale_ups").map_err(ctx)?;
+    require_u64(auto, "scale_downs").map_err(ctx)?;
+    if admitted + shed + dropped != generated {
+        return Err(format!(
+            "autoscale: conservation broken: {admitted} + {shed} + {dropped} != {generated}"
+        ));
+    }
+    if completed > admitted {
+        return Err(format!(
+            "autoscale: completed {completed} > admitted {admitted}"
+        ));
+    }
+    if ups == 0 {
+        return Err("autoscale: the saturating schedule triggered no scale-up".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> (RollingRow, AutoscaleRow) {
+        (
+            RollingRow {
+                tasks: 400,
+                completed: 400,
+                deaths: 0,
+                joins: 2,
+                drains: 2,
+                joined_events: 2,
+                draining_events: 2,
+                left_events: 2,
+                joiner_share: 0.41,
+                wall_ms: 120.5,
+            },
+            AutoscaleRow {
+                tasks: 3_000,
+                generated: 3_000,
+                admitted: 2_900,
+                shed: 100,
+                deadline_dropped: 0,
+                completed: 2_900,
+                scale_ups: 3,
+                scale_downs: 1,
+                initial_workers: 1,
+                max_workers: 4,
+                wall_ms: 800.0,
+            },
+        )
+    }
+
+    #[test]
+    fn report_renders_and_validates() {
+        let (rolling, auto) = rows();
+        let text = render_elastic_report(&rolling, &auto, true, 42);
+        validate_elastic_report(&text).expect("schema-valid report");
+    }
+
+    #[test]
+    fn validation_rejects_lost_work_and_unmirrored_churn() {
+        let (rolling, auto) = rows();
+        let good = render_elastic_report(&rolling, &auto, true, 42);
+
+        let lost = good.replace("\"completed\": 400", "\"completed\": 399");
+        assert!(validate_elastic_report(&lost).is_err(), "loss gate");
+
+        let died = good.replace("\"deaths\": 0", "\"deaths\": 1");
+        assert!(validate_elastic_report(&died).is_err(), "death gate");
+
+        let silent = good.replace("\"joined_events\": 2", "\"joined_events\": 1");
+        assert!(validate_elastic_report(&silent).is_err(), "trace-trio gate");
+
+        let leaky = good.replace("\"admitted\": 2900", "\"admitted\": 2800");
+        assert!(
+            validate_elastic_report(&leaky).is_err(),
+            "conservation gate"
+        );
+
+        let inert = good.replace("\"scale_ups\": 3", "\"scale_ups\": 0");
+        assert!(validate_elastic_report(&inert).is_err(), "elasticity gate");
+    }
+}

@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod elastic;
 pub mod experiments;
 pub mod graph;
 pub mod load;

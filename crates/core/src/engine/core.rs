@@ -108,6 +108,10 @@ struct WorkerState {
     /// Cleared by [`Engine::worker_died`]; a dead slot never pumps,
     /// dispatches, or wakes again.
     alive: bool,
+    /// Set by [`Engine::drain_worker`]: the slot stops pumping demand and
+    /// is never dispatched again, but keeps processing its in-flight work
+    /// until [`Engine::worker_left`] retires it (Draining → Gone).
+    draining: bool,
     /// Degradation estimate in `(0, 1]`: decayed multiplicatively per
     /// transient failure, recovered additively per success. Scales the
     /// slot's effective demand and its kind's ready-queue weights.
@@ -248,6 +252,7 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
             busy: false,
             rr_cursor: node,
             alive: true,
+            draining: false,
             health: 1.0,
             util: UtilizationTracker::new(),
             req_trace: Vec::new(),
@@ -459,12 +464,19 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
         }
         match buffer {
             Some(buffer) => {
-                if !self.nodes[node].workers.iter().any(|w| w.alive) {
-                    // The reply outlived every worker on the node: no slot
-                    // will ever consume the ready queue, so hand the buffer
-                    // back to the node's reader where surviving nodes'
-                    // demand can reach it.
+                if !self.nodes[node]
+                    .workers
+                    .iter()
+                    .any(|w| w.alive && !w.draining)
+                {
+                    // The reply outlived every assignable worker on the
+                    // node (all dead or draining): no slot will ever
+                    // consume the ready queue, so settle the requester's
+                    // window slot and hand the buffer back to the node's
+                    // reader where surviving demand can reach it.
+                    self.nodes[node].workers[worker].window.release_slot();
                     self.reassign_to_reader(node, buffer, d);
+                    self.maybe_release_drained(node, worker);
                     return;
                 }
                 self.rec.record(
@@ -486,6 +498,7 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
                 // issued. Release the window slot and retry elsewhere.
                 self.nodes[node].workers[worker].window.release_slot();
                 self.pump_requests(node, worker, d);
+                self.maybe_release_drained(node, worker);
             }
         }
     }
@@ -606,7 +619,11 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
             let w = &mut self.nodes[node].workers[worker];
             w.health = (w.health * self.cfg.recovery.health_decay).max(f64::MIN_POSITIVE);
         }
-        if self.nodes[node].workers.iter().any(|w| w.alive) {
+        if self.nodes[node]
+            .workers
+            .iter()
+            .any(|w| w.alive && !w.draining)
+        {
             let w = self.effective_weights(node, &buffer);
             self.nodes[node].ready.insert(buffer, w, None);
             self.dispatch(node, d);
@@ -648,7 +665,10 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
         );
         self.rec
             .counter_add("workers_died", &[("device", kind_label(dev.kind))], 1);
-        let node_alive = self.nodes[node].workers.iter().any(|w| w.alive);
+        let node_alive = self.nodes[node]
+            .workers
+            .iter()
+            .any(|w| w.alive && !w.draining);
         let mut stranded = inflight;
         if !node_alive {
             // No survivor on the node: its ready queue is unreachable too.
@@ -678,15 +698,145 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
         }
     }
 
+    /// One-line liveness diagnostic for a node — queue depths plus every
+    /// slot's alive/draining/busy/outstanding/starved state. Drivers embed
+    /// it in deadline errors so a stalled run reports *where* the missing
+    /// work sits instead of just that it never finished.
+    pub fn debug_node_state(&self, node: usize) -> String {
+        let n = &self.nodes[node];
+        let workers: Vec<String> = n
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                format!(
+                    "w{i}[alive={} drain={} busy={} out={} starved={} target={}]",
+                    w.alive,
+                    w.draining,
+                    w.busy,
+                    w.window.outstanding(),
+                    w.window.is_starved(),
+                    w.window.target()
+                )
+            })
+            .collect();
+        format!(
+            "reader={} ready={} {}",
+            n.reader.len(),
+            n.ready.len(),
+            workers.join(" ")
+        )
+    }
+
     /// Is the worker slot still alive?
     pub fn worker_alive(&self, node: usize, worker: usize) -> bool {
         self.nodes[node].workers[worker].alive
+    }
+
+    /// Is the worker slot draining (alive but no longer assignable)?
+    pub fn worker_draining(&self, node: usize, worker: usize) -> bool {
+        self.nodes[node].workers[worker].draining
+    }
+
+    /// Worker slots that can still be assigned work: alive and not
+    /// draining. The autoscaler sizes the pool against this count.
+    pub fn active_worker_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.workers.iter())
+            .filter(|w| w.alive && !w.draining)
+            .count()
     }
 
     /// The worker slot's current health estimate (1.0 = pristine, 0.0 =
     /// dead).
     pub fn worker_health(&self, node: usize, worker: usize) -> f64 {
         self.nodes[node].workers[worker].health
+    }
+
+    /// A worker slot joined a live run (elastic membership): added exactly
+    /// like a static [`Engine::add_worker`], stamped with the
+    /// `worker_joined` trace event, then pumped for demand immediately.
+    ///
+    /// Warm-up: the joiner starts with a freshly initialized request
+    /// window — target 1 under DQAA — so a cold worker ramps its demand up
+    /// from one request as real latencies arrive instead of stampeding the
+    /// readers; DDWRR/DBSA weights come from the run's shared
+    /// [`WeightProvider`], so a joiner of an already-profiled device class
+    /// inherits the estimator's bootstrap profiles at full fidelity.
+    pub fn join_worker<D: Transport + Executor>(
+        &mut self,
+        node: usize,
+        device: DeviceId,
+        d: &mut D,
+    ) -> usize {
+        let worker = self.add_worker(node, device);
+        let target = self.nodes[node].workers[worker].window.target();
+        self.rec.record(
+            self.clock.now().as_nanos(),
+            DeviceRef::device(device),
+            EventKind::WorkerJoined {
+                window: target as u32,
+            },
+        );
+        self.rec
+            .counter_add("workers_joined", &[("device", kind_label(device.kind))], 1);
+        self.pump_requests(node, worker, d);
+        self.dispatch(node, d);
+        worker
+    }
+
+    /// Begin a graceful drain of `worker` (Active → Draining): the slot
+    /// stops pumping demand and is never dispatched again, but its
+    /// in-flight requests and running batch finish normally (bounded by
+    /// the recovery timeout path when enabled). Once the last outstanding
+    /// item settles the slot is released with a `worker_left` event; an
+    /// already-idle slot with no outstanding requests releases
+    /// immediately. Draining a dead or already-draining slot is a no-op.
+    pub fn drain_worker(&mut self, node: usize, worker: usize) {
+        let (dev, outstanding) = {
+            let w = &mut self.nodes[node].workers[worker];
+            if !w.alive || w.draining {
+                return;
+            }
+            w.draining = true;
+            (w.device, w.window.outstanding())
+        };
+        self.rec.record(
+            self.clock.now().as_nanos(),
+            DeviceRef::device(dev),
+            EventKind::WorkerDraining {
+                outstanding: outstanding as u32,
+            },
+        );
+        self.rec
+            .counter_add("workers_draining", &[("device", kind_label(dev.kind))], 1);
+        self.maybe_release_drained(node, worker);
+    }
+
+    /// The Draining → Gone transition: retire a draining slot once it is
+    /// idle with no outstanding requests. Called after every event that
+    /// can settle the slot's last in-flight item.
+    fn maybe_release_drained(&mut self, node: usize, worker: usize) {
+        let now = self.clock.now();
+        let dev = {
+            let w = &mut self.nodes[node].workers[worker];
+            if !w.draining || !w.alive || w.busy || w.window.outstanding() > 0 {
+                return;
+            }
+            w.alive = false;
+            w.busy = true; // never dispatchable again
+            w.health = 0.0;
+            w.util.set_idle(now);
+            w.device
+        };
+        self.rec.record(
+            now.as_nanos(),
+            DeviceRef::device(dev),
+            EventKind::WorkerLeft,
+        );
+        self.rec
+            .counter_add("workers_left", &[("device", kind_label(dev.kind))], 1);
     }
 
     /// The driver's timer fired for `req_id` on `worker`. If the reply
@@ -710,6 +860,14 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
         let Some(sent) = self.nodes[node].workers[worker].window.take_sent(req_id) else {
             return; // reply won the race
         };
+        if self.nodes[node].workers[worker].draining {
+            // A draining slot never re-pumps: give the window slot back so
+            // the drain can complete. The requested data is not lost — a
+            // reader only hands a buffer out when the reply is delivered.
+            self.nodes[node].workers[worker].window.release_slot();
+            self.maybe_release_drained(node, worker);
+            return;
+        }
         let kind = self.nodes[node].workers[worker].device.kind;
         self.rec
             .counter_add("request_timeouts", &[("device", kind_label(kind))], 1);
@@ -788,11 +946,13 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
         }
         self.pump_requests(node, worker, d);
         self.dispatch(node, d);
+        self.maybe_release_drained(node, worker);
     }
 
     /// Hand ready buffers to every idle worker of `node`, GPUs first, each
     /// batched up to the executor's limit. Emits `Dispatch` + `Start` per
-    /// buffer and marks the slot busy before launching.
+    /// buffer and marks the slot busy before launching. Draining slots are
+    /// never assigned.
     pub fn dispatch<D: Transport + Executor>(&mut self, node: usize, d: &mut D) {
         let kinds: Vec<DeviceKind> = self.nodes[node]
             .workers
@@ -800,7 +960,7 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
             .map(|w| w.device.kind)
             .collect();
         for wi in select::dispatch_order(&kinds) {
-            if self.nodes[node].workers[wi].busy {
+            if self.nodes[node].workers[wi].busy || self.nodes[node].workers[wi].draining {
                 continue;
             }
             if self.nodes[node].ready.is_empty() {
@@ -860,8 +1020,9 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
             let owner = owner as usize;
             if owner < self.nodes[node].workers.len() {
                 self.nodes[node].workers[owner].window.release_slot();
+                self.pump_requests(node, owner, d);
+                self.maybe_release_drained(node, owner);
             }
-            self.pump_requests(node, owner, d);
         }
         Some(buffer)
     }
@@ -908,7 +1069,7 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
         let recovery = self.cfg.recovery;
         loop {
             let w = &self.nodes[node].workers[worker];
-            if !w.alive {
+            if !w.alive || w.draining {
                 return;
             }
             if w.window.outstanding() >= w.effective_target(&recovery).min(self.cfg.max_window) {
@@ -946,7 +1107,7 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
                 ns.workers
                     .iter()
                     .enumerate()
-                    .filter(|(_, w)| w.window.is_starved() && w.alive)
+                    .filter(|(_, w)| w.window.is_starved() && w.alive && !w.draining)
                     .map(move |(i, _)| (n, i))
             })
             .collect();

@@ -19,6 +19,7 @@ use anthill_simkit::SimTime;
 use crate::buffer::DataBuffer;
 use crate::faults::RecoveryConfig;
 use crate::graph::{DataflowGraph, RoutingCursors};
+use crate::membership::{MemberAction, MembershipSchedule};
 use crate::obs::Recorder;
 use crate::policy::Policy;
 use crate::weights::WeightProvider;
@@ -108,6 +109,32 @@ impl Executor for InstantDriver {
     }
 }
 
+/// Apply every scheduled membership action whose completion threshold has
+/// been reached. Joins derive the new device index from the node's current
+/// same-kind worker count (mirroring how drivers enumerate static
+/// topologies); drains go straight to [`Engine::drain_worker`], which
+/// releases an already-idle worker immediately.
+fn apply_membership<W: WeightProvider>(
+    engine: &mut Engine<VirtualClock, W>,
+    schedule: &mut MembershipSchedule,
+    drv: &mut InstantDriver,
+) {
+    while let Some(action) = schedule.pop_due(engine.total_done()) {
+        match action {
+            MemberAction::Join { node, kind } => {
+                let index = engine
+                    .worker_refs()
+                    .into_iter()
+                    .filter(|w| w.node == node && w.device.kind == kind)
+                    .count();
+                let device = DeviceId { node, kind, index };
+                engine.join_worker(node, device, drv);
+            }
+            MemberAction::Drain { node, worker } => engine.drain_worker(node, worker),
+        }
+    }
+}
+
 /// Run `sources` through one engine node of `devices` to completion.
 ///
 /// `handle` is invoked once per dispatched buffer (with the device class
@@ -118,6 +145,33 @@ pub fn run<W, F>(
     devices: &[DeviceId],
     sources: Vec<DataBuffer>,
     weights: W,
+    handle: F,
+) -> SequentialOutcome
+where
+    W: WeightProvider,
+    F: FnMut(DeviceKind, &DataBuffer) -> Emission,
+{
+    run_elastic(
+        cfg,
+        devices,
+        sources,
+        weights,
+        MembershipSchedule::none(),
+        handle,
+    )
+}
+
+/// [`run`] with a membership schedule: scheduled joins and drains fire as
+/// the run's completion count crosses each action's threshold, exercising
+/// the engine's elastic-membership path on the reference backend. The
+/// schedule must leave at least one assignable worker at all times or the
+/// run stalls with sources unread.
+pub fn run_elastic<W, F>(
+    cfg: SequentialConfig,
+    devices: &[DeviceId],
+    sources: Vec<DataBuffer>,
+    weights: W,
+    mut schedule: MembershipSchedule,
     mut handle: F,
 ) -> SequentialOutcome
 where
@@ -150,6 +204,8 @@ where
     for w in engine.worker_refs() {
         engine.data_arrived(w.node, w.worker, u64::MAX, None, &mut drv);
     }
+    // Zero-threshold actions fire before the first completion.
+    apply_membership(&mut engine, &mut schedule, &mut drv);
 
     let mut dispatch_order = Vec::new();
     let mut tick = 0u64;
@@ -173,6 +229,7 @@ where
                     DeviceKind::Gpu => buffer.shape.gpu_kernel,
                 };
                 engine.task_finished(worker.node, worker.worker, &buffer, proc);
+                apply_membership(&mut engine, &mut schedule, &mut drv);
                 for r in emission.recirculate {
                     engine.recirculate(node, r, &mut drv);
                 }
@@ -233,6 +290,32 @@ pub fn run_graph<W, F>(
     devices: &[Vec<DeviceId>],
     seeds: Vec<(usize, DataBuffer)>,
     weights: W,
+    handle: F,
+) -> GraphOutcome
+where
+    W: WeightProvider,
+    F: FnMut(usize, DeviceKind, &DataBuffer) -> GraphEmission,
+{
+    run_graph_elastic(
+        cfg,
+        graph,
+        devices,
+        seeds,
+        weights,
+        MembershipSchedule::none(),
+        handle,
+    )
+}
+
+/// [`run_graph`] with a membership schedule; a scheduled `Join`'s node is
+/// the filter id the worker joins. See [`run_elastic`] for semantics.
+pub fn run_graph_elastic<W, F>(
+    cfg: SequentialConfig,
+    graph: &DataflowGraph,
+    devices: &[Vec<DeviceId>],
+    seeds: Vec<(usize, DataBuffer)>,
+    weights: W,
+    mut schedule: MembershipSchedule,
     mut handle: F,
 ) -> GraphOutcome
 where
@@ -278,6 +361,7 @@ where
     for w in engine.worker_refs() {
         engine.data_arrived(w.node, w.worker, u64::MAX, None, &mut drv);
     }
+    apply_membership(&mut engine, &mut schedule, &mut drv);
 
     let mut cursors = RoutingCursors::new(graph);
     let mut dispatch_order = Vec::new();
@@ -304,6 +388,7 @@ where
                     DeviceKind::Gpu => buffer.shape.gpu_kernel,
                 };
                 engine.task_finished(worker.node, worker.worker, &buffer, proc);
+                apply_membership(&mut engine, &mut schedule, &mut drv);
                 for b in emission.feedback {
                     match graph.feedback_edge(filter) {
                         Some(ei) => {

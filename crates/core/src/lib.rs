@@ -16,6 +16,7 @@
 //! | §5.3.2 DBSA (sender-side selection) | [`dbsa`] |
 //! | §5.2–5.3 as one backend-agnostic scheduling core | [`engine`] |
 //! | §2 filter DAGs with labeled streams | [`graph`] |
+//! | beyond the paper: elastic worker membership | [`membership`] |
 //!
 //! ## One engine, many drivers
 //!
@@ -68,6 +69,7 @@ pub mod engine;
 pub mod faults;
 pub mod graph;
 pub mod local;
+pub mod membership;
 pub mod net;
 pub mod obs;
 pub mod policy;

@@ -1211,6 +1211,29 @@ impl Pipeline {
         sources: Vec<LocalTask>,
         weights: &W,
     ) -> (Vec<LocalTask>, LocalReport) {
+        self.run_deterministic_elastic(
+            sources,
+            weights,
+            crate::membership::MembershipSchedule::none(),
+        )
+    }
+
+    /// [`run_deterministic`](Pipeline::run_deterministic) with a
+    /// membership schedule: scheduled joins and drains fire as the run's
+    /// completion count crosses each action's threshold (a `Join`'s node
+    /// is the stage index; its device index continues the stage's
+    /// same-kind numbering). This is the native backend's elastic entry
+    /// point — the free-running threaded [`run`](Pipeline::run) keeps a
+    /// static worker set, while deterministic runs replay the same
+    /// join/drain script the DES and sequential backends execute, so
+    /// elasticity is cross-backend comparable. The schedule must keep at
+    /// least one assignable worker per stage or the run stalls.
+    pub fn run_deterministic_elastic<W: WeightProvider>(
+        &self,
+        sources: Vec<LocalTask>,
+        weights: &W,
+        schedule: crate::membership::MembershipSchedule,
+    ) -> (Vec<LocalTask>, LocalReport) {
         assert!(!self.stages.is_empty(), "pipeline has no stages");
         let started = Instant::now();
         let graph = match &self.graph {
@@ -1261,7 +1284,7 @@ impl Pipeline {
             seeds.push((0, t.buffer));
         }
         let stages = &self.stages;
-        let outcome = sequential::run_graph(
+        let outcome = sequential::run_graph_elastic(
             SequentialConfig::new(Policy {
                 kind: self.policy,
                 request_size: self.request_window,
@@ -1270,6 +1293,7 @@ impl Pipeline {
             &devices,
             seeds,
             weights,
+            schedule,
             |filter, kind, buffer| {
                 let payload = payloads
                     .remove(&buffer.id.0)

@@ -27,8 +27,9 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::io::{self, Read};
-use std::net::{Shutdown, TcpStream};
-use std::sync::mpsc;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 use anthill_hetsim::{DeviceId, DeviceKind};
@@ -41,6 +42,7 @@ use crate::engine::{
     Offer, Transport, VirtualClock, WallClock, WorkerRef,
 };
 use crate::faults::{ConnectionDropSpec, RecoveryConfig};
+use crate::membership::{Autoscaler, ScaleAction, WorkerPool};
 use crate::obs::{DeviceRef, EventKind, Recorder};
 use crate::policy::Policy;
 use crate::weights::WeightProvider;
@@ -807,6 +809,9 @@ enum Pump {
     Frame(usize, Frame),
     /// The worker's connection reached EOF or failed.
     Closed(usize),
+    /// A freshly accepted connection from the elastic listener, first
+    /// frame not yet read (a valid peer sends `Join` immediately).
+    Incoming(TcpStream),
 }
 
 /// Concurrent driver: frames go out immediately; timeouts live in a heap
@@ -879,11 +884,123 @@ struct ConcurrentRig<W: WeightProvider> {
     node: usize,
     drv: ConcurrentDriver,
     rx: mpsc::Receiver<Pump>,
+    /// Retained sender so reader threads for workers that join *mid-run*
+    /// can feed the same channel (the run ends by deadline/quiescence,
+    /// never by channel disconnect).
+    tx: mpsc::Sender<Pump>,
     readers: Vec<std::thread::JoinHandle<()>>,
     dead: Vec<bool>,
     deaths: u32,
     last_seen: Vec<Instant>,
     pending_procs: Vec<Vec<SimDuration>>,
+}
+
+/// Start the reader thread for one connection's read half, feeding the
+/// shared [`Pump`] channel. `dec` is the connection's handshake decoder:
+/// a handshake read can buffer bytes past its own reply (a coalesced
+/// heartbeat, or the front half of one), so the reader must continue
+/// from that decoder state — a fresh decoder would drop the buffered
+/// frames and desynchronize on any partial one.
+fn spawn_reader(
+    slot: usize,
+    mut stream: TcpStream,
+    tx: mpsc::Sender<Pump>,
+    mut dec: FrameDecoder,
+) -> std::thread::JoinHandle<()> {
+    stream.set_read_timeout(None).ok();
+    std::thread::Builder::new()
+        .name(format!("anthill-net-rx-{slot}"))
+        .spawn(move || {
+            let mut chunk = [0u8; 64 * 1024];
+            // Flush frames the handshake already buffered whole.
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(f)) => {
+                        if tx.send(Pump::Frame(slot, f)).is_err() {
+                            return;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        let _ = tx.send(Pump::Closed(slot));
+                        return;
+                    }
+                }
+            }
+            loop {
+                match stream.read(&mut chunk) {
+                    Ok(0) => {
+                        let _ = tx.send(Pump::Closed(slot));
+                        return;
+                    }
+                    Ok(n) => {
+                        dec.feed(&chunk[..n]);
+                        loop {
+                            match dec.next_frame() {
+                                Ok(Some(f)) => {
+                                    if tx.send(Pump::Frame(slot, f)).is_err() {
+                                        return;
+                                    }
+                                }
+                                Ok(None) => break,
+                                Err(_) => {
+                                    let _ = tx.send(Pump::Closed(slot));
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        let _ = tx.send(Pump::Closed(slot));
+                        return;
+                    }
+                }
+            }
+        })
+        .expect("spawn net reader thread")
+}
+
+/// Accept elastic joiners in the background, handing raw connections to
+/// the main loop via the [`Pump`] channel. Polls so the `stop` flag can
+/// end the thread at run teardown.
+fn spawn_acceptor(
+    listener: TcpListener,
+    tx: mpsc::Sender<Pump>,
+    stop: Arc<AtomicBool>,
+) -> io::Result<std::thread::JoinHandle<()>> {
+    listener.set_nonblocking(true)?;
+    std::thread::Builder::new()
+        .name("anthill-net-accept".into())
+        .spawn(move || loop {
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false).ok();
+                    if tx.send(Pump::Incoming(stream)).is_err() {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => return,
+            }
+        })
+        .map_err(io::Error::other)
+}
+
+/// Answer an unknown or unwanted peer with a typed [`Frame::JoinRejected`]
+/// before closing, so the remote side sees the reason instead of a silent
+/// hangup.
+fn reject_peer(stream: &mut TcpStream, reason: &str) {
+    use std::io::Write as _;
+    let _ = stream.write_all(&encode_frame(&Frame::JoinRejected {
+        reason: reason.to_string(),
+    }));
+    let _ = stream.shutdown(Shutdown::Both);
 }
 
 /// Establish every connection, perform the handshake, and start one
@@ -931,49 +1048,12 @@ fn concurrent_setup<W: WeightProvider>(
 
     let (tx, rx) = mpsc::channel::<Pump>();
     let mut readers = Vec::new();
-    for (slot, mut stream) in read_halves.into_iter().enumerate() {
-        stream.set_read_timeout(None).ok();
-        let tx = tx.clone();
-        let handle = std::thread::Builder::new()
-            .name(format!("anthill-net-rx-{slot}"))
-            .spawn(move || {
-                let mut dec = FrameDecoder::new();
-                let mut chunk = [0u8; 64 * 1024];
-                loop {
-                    match stream.read(&mut chunk) {
-                        Ok(0) => {
-                            let _ = tx.send(Pump::Closed(slot));
-                            return;
-                        }
-                        Ok(n) => {
-                            dec.feed(&chunk[..n]);
-                            loop {
-                                match dec.next_frame() {
-                                    Ok(Some(f)) => {
-                                        if tx.send(Pump::Frame(slot, f)).is_err() {
-                                            return;
-                                        }
-                                    }
-                                    Ok(None) => break,
-                                    Err(_) => {
-                                        let _ = tx.send(Pump::Closed(slot));
-                                        return;
-                                    }
-                                }
-                            }
-                        }
-                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                        Err(_) => {
-                            let _ = tx.send(Pump::Closed(slot));
-                            return;
-                        }
-                    }
-                }
-            })
-            .expect("spawn net reader thread");
-        readers.push(handle);
+    for (slot, stream) in read_halves.into_iter().enumerate() {
+        // Continue from the handshake's decoder state so frames (or frame
+        // fragments) buffered behind the Hello echo are not lost.
+        let dec = std::mem::replace(&mut drv.slots[slot].dec, FrameDecoder::new());
+        readers.push(spawn_reader(slot, stream, tx.clone(), dec));
     }
-    drop(tx);
 
     let n_slots = drv.slots.len();
     let mut rig = ConcurrentRig {
@@ -982,6 +1062,7 @@ fn concurrent_setup<W: WeightProvider>(
         node,
         drv,
         rx,
+        tx,
         readers,
         dead: vec![false; n_slots],
         deaths: 0,
@@ -1063,6 +1144,142 @@ impl<W: WeightProvider> ConcurrentRig<W> {
                 self.kill(slot);
             }
         }
+    }
+
+    /// Install an established connection as a brand-new worker slot: grow
+    /// every per-slot table, start its reader thread, and register the
+    /// slot with the engine (`worker_joined` event, DQAA warm-up window,
+    /// immediate request pump).
+    fn install_slot(&mut self, io_slot: SlotIo, device: DeviceId) -> io::Result<usize> {
+        let slot = self.drv.slots.len();
+        let mut io_slot = io_slot;
+        let read_half = io_slot.stream.try_clone()?;
+        // The join/Hello handshake may have buffered bytes past its reply;
+        // the reader thread continues from that decoder state.
+        let dec = std::mem::replace(&mut io_slot.dec, FrameDecoder::new());
+        self.drv.slots.push(io_slot);
+        self.drv.inflight.push(Vec::new());
+        self.dead.push(false);
+        self.last_seen.push(Instant::now());
+        self.pending_procs.push(Vec::new());
+        self.readers
+            .push(spawn_reader(slot, read_half, self.tx.clone(), dec));
+        let joined = self.engine.join_worker(self.node, device, &mut self.drv);
+        debug_assert_eq!(joined, slot, "engine slot must mirror the io slot");
+        Ok(slot)
+    }
+
+    /// First-contact protocol on an accepted connection: a valid `Join`
+    /// admits the peer as a new worker slot (the `JoinAck` carries its
+    /// slot id); anything else — wrong node, wrong first frame, garbage —
+    /// is answered with a typed [`Frame::JoinRejected`] before the socket
+    /// closes, never a silent drop.
+    fn handle_incoming(
+        &mut self,
+        stream: TcpStream,
+        drops: &[ConnectionDropSpec],
+    ) -> io::Result<usize> {
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .ok();
+        stream.set_nodelay(true).ok();
+        let mut first = SlotIo::new(stream, None);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        match first.read_frame(deadline) {
+            Ok(Frame::Join { node: 0, kind }) => {
+                let slot = self.drv.slots.len();
+                first.write(&Frame::JoinAck {
+                    node: self.node as u32,
+                    slot: slot as u32,
+                });
+                if !first.open {
+                    return Err(io::Error::new(
+                        io::ErrorKind::BrokenPipe,
+                        "joiner hung up before JoinAck",
+                    ));
+                }
+                first.sever_after = sever_for(drops, self.node, slot);
+                let device = DeviceId {
+                    node: self.node,
+                    kind,
+                    index: slot,
+                };
+                self.install_slot(first, device)
+            }
+            Ok(Frame::Join { node, .. }) => {
+                reject_peer(&mut first.stream, &format!("unknown node {node}"));
+                Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("join for unknown node {node}"),
+                ))
+            }
+            Ok(_) => {
+                reject_peer(
+                    &mut first.stream,
+                    "expected Join as the first frame of a dynamic connection",
+                );
+                Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "unexpected first frame on a dynamic connection",
+                ))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Admit a pool-supplied, pre-connected worker (autoscaler grow path):
+    /// run the `Hello` handshake inline, then install the slot.
+    fn admit_conn(
+        &mut self,
+        conn: NetWorkerConn,
+        drops: &[ConnectionDropSpec],
+    ) -> io::Result<usize> {
+        let slot = self.drv.slots.len();
+        conn.stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .ok();
+        conn.stream.set_nodelay(true).ok();
+        let mut io_slot = SlotIo::new(conn.stream, sever_for(drops, self.node, slot));
+        let hello = Frame::Hello {
+            node: self.node as u32,
+            slot: slot as u32,
+        };
+        io_slot.write(&hello);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        match io_slot.read_frame(deadline) {
+            Ok(echo) if echo == hello => {}
+            _ => {
+                let _ = io_slot.stream.shutdown(Shutdown::Both);
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "grown worker failed the Hello handshake",
+                ));
+            }
+        }
+        self.install_slot(io_slot, conn.device)
+    }
+
+    /// Gracefully retire slots whose drain has completed: the engine has
+    /// already recorded `worker_left`, so the socket gets a `Shutdown`
+    /// and the slot is closed without touching the death/recovery path.
+    /// Returns how many drains finished on this call.
+    fn reap_drained(&mut self) -> u32 {
+        let mut released = 0;
+        for slot in 0..self.dead.len() {
+            if !self.dead[slot]
+                && self.engine.worker_draining(self.node, slot)
+                && !self.engine.worker_alive(self.node, slot)
+            {
+                self.dead[slot] = true;
+                released += 1;
+                if self.drv.slots[slot].open {
+                    self.drv.slots[slot].write(&Frame::Shutdown);
+                    let _ = self.drv.slots[slot].stream.shutdown(Shutdown::Write);
+                    self.drv.slots[slot].open = false;
+                }
+            }
+        }
+        released
     }
 
     /// Handle one `Complete` frame: retire the in-flight entry, re-stamp
@@ -1163,10 +1380,11 @@ pub fn run_concurrent<W: WeightProvider>(
             return Err(io::Error::new(
                 io::ErrorKind::TimedOut,
                 format!(
-                    "net run deadline exceeded: {}/{} buffers done, {} worker(s) dead",
+                    "net run deadline exceeded: {}/{} buffers done, {} worker(s) dead; {}",
                     rig.engine.total_done(),
                     expected,
-                    rig.deaths
+                    rig.deaths,
+                    rig.engine.debug_node_state(rig.node),
                 ),
             ));
         }
@@ -1228,6 +1446,15 @@ pub fn run_concurrent<W: WeightProvider>(
                         let procs = std::mem::take(&mut rig.pending_procs[slot]);
                         rig.engine.worker_idle(0, slot, &procs, &mut rig.drv);
                     }
+                    // A `Join` on an already-established slot is a typed
+                    // rejection, not silence: the peer learns it must open
+                    // a fresh connection against an elastic run instead.
+                    Frame::Join { .. } => {
+                        rig.drv.slots[slot].write(&Frame::JoinRejected {
+                            reason: "slot already joined; dynamic joins need a fresh connection"
+                                .to_string(),
+                        });
+                    }
                     // Heartbeats already refreshed `last_seen`; the rest
                     // are protocol noise a healthy worker never sends.
                     Frame::Heartbeat { .. }
@@ -1236,6 +1463,189 @@ pub fn run_concurrent<W: WeightProvider>(
                     | Frame::Deliver { .. }
                     | Frame::DeliverAt { .. }
                     | Frame::CompleteAt { .. }
+                    | Frame::JoinAck { .. }
+                    | Frame::JoinRejected { .. }
+                    | Frame::Shutdown => {}
+                }
+            }
+            // No acceptor runs in this mode; an incoming connection can
+            // only mean a stray peer — reject it with the typed frame.
+            Pump::Incoming(mut stream) => {
+                reject_peer(&mut stream, "this run does not accept dynamic joins");
+            }
+        }
+        rig.reap_failed_writes();
+    }
+
+    Ok(rig.finish(dispatch_order))
+}
+
+// -------------------------------------------------------------- elastic
+
+/// A scheduled graceful drain for [`run_concurrent_elastic`]: once
+/// `after_completions` buffers have finished, worker `slot` stops
+/// receiving assignments, finishes its in-flight requests (bounded by
+/// the recovery timeout path), and leaves with a `worker_left` event.
+#[derive(Debug, Clone, Copy)]
+pub struct DrainAt {
+    /// Completion count that triggers the drain.
+    pub after_completions: u64,
+    /// Worker slot to drain.
+    pub slot: usize,
+}
+
+/// Result of [`run_concurrent_elastic`].
+#[derive(Debug, Clone)]
+pub struct ElasticOutcome {
+    /// The usual run outcome (assignment counts, completion order,
+    /// deaths — graceful leaves are *not* deaths).
+    pub outcome: NetOutcome,
+    /// Workers admitted mid-run via the `Join`/`JoinAck` handshake.
+    pub joins: u32,
+    /// Workers that completed a graceful drain.
+    pub drains: u32,
+}
+
+/// [`run_concurrent`] with elastic membership: `listener` accepts mid-run
+/// `Join` handshakes (each admitted joiner becomes a fresh engine slot
+/// with a cold DQAA window that warms up from 1, so it cannot stampede
+/// the queue), and `drains` scripts graceful departures keyed on the
+/// completion count. Invalid first frames on accepted connections are
+/// answered with a typed [`Frame::JoinRejected`]. The schedule must keep
+/// at least one worker assignable or the run aborts as fully dead.
+pub fn run_concurrent_elastic<W: WeightProvider>(
+    cfg: NetConfig,
+    listener: TcpListener,
+    drains: Vec<DrainAt>,
+    workers: Vec<NetWorkerConn>,
+    sources: Vec<DataBuffer>,
+    weights: W,
+) -> io::Result<ElasticOutcome> {
+    let hard_deadline = Instant::now() + cfg.deadline;
+    let mut rig = concurrent_setup(&cfg, workers, weights, hard_deadline)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    rig.readers
+        .push(spawn_acceptor(listener, rig.tx.clone(), Arc::clone(&stop))?);
+    let mut drains = drains;
+    drains.sort_by_key(|d| d.after_completions);
+    let mut next_drain = 0usize;
+    let mut joins = 0u32;
+    let mut drained = 0u32;
+
+    let mut expected = sources.len() as u64;
+    for b in sources {
+        rig.engine.seed_reader(rig.node, b);
+    }
+    rig.kick_live_workers();
+    let rec = cfg.recorder.clone();
+    let mut dispatch_order = Vec::new();
+
+    while rig.engine.total_done() < expected {
+        if Instant::now() >= hard_deadline {
+            stop.store(true, Ordering::Relaxed);
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!(
+                    "elastic net run deadline exceeded: {}/{} buffers done, {} join(s), {} worker(s) dead; {}; inflight={:?} dead={:?}",
+                    rig.engine.total_done(),
+                    expected,
+                    joins,
+                    rig.deaths,
+                    rig.engine.debug_node_state(rig.node),
+                    rig.drv.inflight.iter().map(|v| v.len()).collect::<Vec<_>>(),
+                    rig.dead,
+                ),
+            ));
+        }
+        rig.fire_due_timers();
+        rig.check_heartbeats(cfg.heartbeat_timeout);
+        // Apply every drain whose completion threshold has been reached.
+        while next_drain < drains.len()
+            && rig.engine.total_done() >= drains[next_drain].after_completions
+        {
+            let slot = drains[next_drain].slot;
+            next_drain += 1;
+            if slot < rig.dead.len() && !rig.dead[slot] {
+                rig.engine.drain_worker(rig.node, slot);
+            }
+        }
+        drained += rig.reap_drained();
+        if rig.all_dead() {
+            stop.store(true, Ordering::Relaxed);
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                format!(
+                    "every worker died or drained with {}/{} buffers done",
+                    rig.engine.total_done(),
+                    expected
+                ),
+            ));
+        }
+        let wait = rig.wait_budget(Duration::from_millis(25));
+        let event = match rig.rx.recv_timeout(wait) {
+            Ok(ev) => ev,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                for slot in 0..rig.dead.len() {
+                    rig.kill(slot);
+                }
+                continue;
+            }
+        };
+        match event {
+            Pump::Closed(slot) => rig.kill(slot),
+            Pump::Incoming(stream) => {
+                if rig.handle_incoming(stream, &cfg.drops).is_ok() {
+                    joins += 1;
+                }
+            }
+            Pump::Frame(slot, frame) => {
+                rig.last_seen[slot] = Instant::now();
+                if rig.dead[slot] {
+                    continue; // a late frame from a retired slot
+                }
+                match frame {
+                    Frame::Request { reader, req_id } => {
+                        let kind = rig.engine.worker_device(0, slot).kind;
+                        let buffer = rig.engine.answer_request(reader as usize, kind);
+                        rig.engine
+                            .data_arrived(0, slot, req_id, buffer, &mut rig.drv);
+                    }
+                    Frame::Complete {
+                        buffer,
+                        proc_ns,
+                        span,
+                        recirculated,
+                    } => {
+                        let span_ns = span.end_ns.saturating_sub(span.start_ns);
+                        expected += rig.handle_complete(
+                            &rec,
+                            slot,
+                            buffer,
+                            proc_ns,
+                            span_ns,
+                            recirculated,
+                            &mut dispatch_order,
+                        );
+                    }
+                    Frame::BatchDone => {
+                        let procs = std::mem::take(&mut rig.pending_procs[slot]);
+                        rig.engine.worker_idle(0, slot, &procs, &mut rig.drv);
+                    }
+                    Frame::Join { .. } => {
+                        rig.drv.slots[slot].write(&Frame::JoinRejected {
+                            reason: "slot already joined; dynamic joins need a fresh connection"
+                                .to_string(),
+                        });
+                    }
+                    Frame::Heartbeat { .. }
+                    | Frame::Hello { .. }
+                    | Frame::Bye
+                    | Frame::Deliver { .. }
+                    | Frame::DeliverAt { .. }
+                    | Frame::CompleteAt { .. }
+                    | Frame::JoinAck { .. }
+                    | Frame::JoinRejected { .. }
                     | Frame::Shutdown => {}
                 }
             }
@@ -1243,7 +1653,13 @@ pub fn run_concurrent<W: WeightProvider>(
         rig.reap_failed_writes();
     }
 
-    Ok(rig.finish(dispatch_order))
+    stop.store(true, Ordering::Relaxed);
+    drained += rig.reap_drained();
+    Ok(ElasticOutcome {
+        outcome: rig.finish(dispatch_order),
+        joins,
+        drains: drained,
+    })
 }
 
 // ------------------------------------------------------------ open loop
@@ -1291,6 +1707,24 @@ pub struct NetLoadReport {
     pub completed: u64,
     /// Queue-depth time series on the `sample_every` cadence.
     pub queue_depth: Vec<NetQueueSample>,
+    /// Workers admitted by the autoscaler (0 without autoscaling).
+    pub scale_ups: u64,
+    /// Graceful drains initiated by the autoscaler (0 without
+    /// autoscaling).
+    pub scale_downs: u64,
+}
+
+/// Autoscaling hookup for [`run_concurrent_load_autoscaled`]: the policy
+/// decides from DQAA's own congestion signals (the sampled reader-queue
+/// depth plus intake backlog, and the most recent end-to-end completion
+/// latency); the pool supplies pre-connected workers on `Grow`, and
+/// `Shrink` gracefully drains the highest assignable slot.
+pub struct ElasticLoad<'a> {
+    /// The watermark policy, consulted once per queue-depth sample.
+    pub autoscaler: Autoscaler,
+    /// Supplier of new worker connections; `None` means the pool is
+    /// exhausted and the grow decision is dropped.
+    pub pool: &'a mut dyn WorkerPool<Worker = NetWorkerConn>,
 }
 
 /// Open-loop variant of [`run_concurrent`]: instead of seeding every
@@ -1323,6 +1757,62 @@ pub fn run_concurrent_load<W: WeightProvider>(
     weights: W,
     on_complete: &mut dyn FnMut(NetTaskTiming),
 ) -> io::Result<NetLoadReport> {
+    run_concurrent_load_inner(
+        cfg,
+        admission,
+        workers,
+        arrivals,
+        make_task,
+        sample_every,
+        weights,
+        on_complete,
+        None,
+    )
+}
+
+/// [`run_concurrent_load`] with the pool autoscaled at run time: once per
+/// queue-depth sample the [`Autoscaler`] inspects the congestion signals
+/// and either admits a pool-supplied worker (Hello handshake + engine
+/// join with a warm-up window) or gracefully drains one, never below the
+/// policy's `min_workers`. Scale activity is reported in the
+/// [`NetLoadReport`]'s `scale_ups`/`scale_downs`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_concurrent_load_autoscaled<W: WeightProvider>(
+    cfg: NetConfig,
+    admission: AdmissionConfig,
+    workers: Vec<NetWorkerConn>,
+    arrivals: &[u64],
+    make_task: &mut dyn FnMut(u64, u64) -> DataBuffer,
+    sample_every: Duration,
+    weights: W,
+    on_complete: &mut dyn FnMut(NetTaskTiming),
+    elastic: ElasticLoad<'_>,
+) -> io::Result<NetLoadReport> {
+    run_concurrent_load_inner(
+        cfg,
+        admission,
+        workers,
+        arrivals,
+        make_task,
+        sample_every,
+        weights,
+        on_complete,
+        Some(elastic),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_concurrent_load_inner<W: WeightProvider>(
+    cfg: NetConfig,
+    admission: AdmissionConfig,
+    workers: Vec<NetWorkerConn>,
+    arrivals: &[u64],
+    make_task: &mut dyn FnMut(u64, u64) -> DataBuffer,
+    sample_every: Duration,
+    weights: W,
+    on_complete: &mut dyn FnMut(NetTaskTiming),
+    mut elastic: Option<ElasticLoad<'_>>,
+) -> io::Result<NetLoadReport> {
     let hard_deadline = Instant::now() + cfg.deadline;
     let mut rig = concurrent_setup(&cfg, workers, weights, hard_deadline)?;
     let mut ctl: AdmissionController<DataBuffer> = AdmissionController::new(
@@ -1346,6 +1836,11 @@ pub fn run_concurrent_load<W: WeightProvider>(
     let mut next = 0usize;
     let mut expected = 0u64;
     let mut completed = 0u64;
+    // Autoscaler state: the most recent completion's e2e latency is the
+    // policy's latency signal; scale counts feed the report.
+    let mut last_e2e: Option<u64> = None;
+    let mut scale_ups = 0u64;
+    let mut scale_downs = 0u64;
 
     loop {
         if next >= arrivals.len()
@@ -1359,12 +1854,13 @@ pub fn run_concurrent_load<W: WeightProvider>(
             return Err(io::Error::new(
                 io::ErrorKind::TimedOut,
                 format!(
-                    "net load run deadline exceeded: {}/{} arrivals injected, {}/{} done, {} worker(s) dead",
+                    "net load run deadline exceeded: {}/{} arrivals injected, {}/{} done, {} worker(s) dead; {}",
                     next,
                     arrivals.len(),
                     rig.engine.total_done(),
                     expected,
-                    rig.deaths
+                    rig.deaths,
+                    rig.engine.debug_node_state(rig.node),
                 ),
             ));
         }
@@ -1436,17 +1932,47 @@ pub fn run_concurrent_load<W: WeightProvider>(
             }
         }
 
-        // Queue-depth sample on its cadence.
+        // Queue-depth sample on its cadence; the autoscaler rides the
+        // same cadence so its decisions are a pure function of the
+        // sampled congestion signals.
         let now_ns = rig.wall.now().as_nanos();
         if now_ns >= next_sample_ns {
+            let ready = rig.engine.reader_len(rig.node) as u64;
+            let intake = ctl.queued() as u64;
             samples.push(NetQueueSample {
                 t_ns: now_ns,
-                ready: rig.engine.reader_len(rig.node) as u64,
-                intake: ctl.queued() as u64,
+                ready,
+                intake,
                 inflight: ctl.inflight() as u64,
             });
             next_sample_ns = now_ns + sample_every.as_nanos() as u64;
+            if let Some(el) = elastic.as_mut() {
+                let depth = (ready + intake) as usize;
+                let active = rig.engine.active_worker_count();
+                match el.autoscaler.decide(now_ns, depth, last_e2e, active) {
+                    Some(ScaleAction::Grow) => {
+                        if let Some(conn) = el.pool.grow() {
+                            if rig.admit_conn(conn, &cfg.drops).is_ok() {
+                                scale_ups += 1;
+                            }
+                        }
+                    }
+                    Some(ScaleAction::Shrink) => {
+                        let victim = (0..rig.dead.len()).rev().find(|&s| {
+                            !rig.dead[s]
+                                && rig.engine.worker_alive(rig.node, s)
+                                && !rig.engine.worker_draining(rig.node, s)
+                        });
+                        if let Some(slot) = victim {
+                            rig.engine.drain_worker(rig.node, slot);
+                            scale_downs += 1;
+                        }
+                    }
+                    None => {}
+                }
+            }
         }
+        rig.reap_drained();
 
         // Wait for the next frame, bounded by the next timer, the next
         // scheduled arrival, and the sample cadence.
@@ -1506,6 +2032,7 @@ pub fn run_concurrent_load<W: WeightProvider>(
                             let e2e_ns = finished_ns.saturating_sub(arrival);
                             let service_ns = span_ns.min(e2e_ns);
                             completed += 1;
+                            last_e2e = Some(e2e_ns);
                             on_complete(NetTaskTiming {
                                 buffer: id,
                                 queue_ns: e2e_ns - service_ns,
@@ -1519,14 +2046,27 @@ pub fn run_concurrent_load<W: WeightProvider>(
                         let procs = std::mem::take(&mut rig.pending_procs[slot]);
                         rig.engine.worker_idle(0, slot, &procs, &mut rig.drv);
                     }
+                    Frame::Join { .. } => {
+                        rig.drv.slots[slot].write(&Frame::JoinRejected {
+                            reason: "slot already joined; dynamic joins need a fresh connection"
+                                .to_string(),
+                        });
+                    }
                     Frame::Heartbeat { .. }
                     | Frame::Hello { .. }
                     | Frame::Bye
                     | Frame::Deliver { .. }
                     | Frame::DeliverAt { .. }
                     | Frame::CompleteAt { .. }
+                    | Frame::JoinAck { .. }
+                    | Frame::JoinRejected { .. }
                     | Frame::Shutdown => {}
                 }
+            }
+            // The load harness scales through its worker pool, not the
+            // wire; a stray incoming connection gets the typed rejection.
+            Pump::Incoming(mut stream) => {
+                reject_peer(&mut stream, "this run does not accept dynamic joins");
             }
         }
         rig.reap_failed_writes();
@@ -1539,5 +2079,7 @@ pub fn run_concurrent_load<W: WeightProvider>(
         admission,
         completed,
         queue_depth: samples,
+        scale_ups,
+        scale_downs,
     })
 }

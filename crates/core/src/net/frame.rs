@@ -149,6 +149,30 @@ pub enum Frame {
         /// Follow-up buffers the handler recirculated.
         recirculated: Vec<DataBuffer>,
     },
+    /// Worker → coordinator, first frame of a *mid-run* connection: ask to
+    /// join the live pool on `node` as a device of `kind` (elastic
+    /// membership; connection-time slots use [`Frame::Hello`] instead).
+    Join {
+        /// Engine node index the joiner wants to host on.
+        node: u32,
+        /// Device class the joiner schedules for.
+        kind: DeviceKind,
+    },
+    /// Coordinator → worker: the join was accepted and this is the
+    /// assigned slot. The worker then speaks the normal protocol.
+    JoinAck {
+        /// Engine node index the slot lives on.
+        node: u32,
+        /// Worker slot index within the node.
+        slot: u32,
+    },
+    /// Coordinator → peer: the connection attempt was refused (bad first
+    /// frame, pool full, draining coordinator). A typed rejection instead
+    /// of a silent drop, so the peer can tell "refused" from "crashed".
+    JoinRejected {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
 }
 
 impl Frame {
@@ -164,11 +188,14 @@ impl Frame {
             Frame::Bye => 8,
             Frame::DeliverAt { .. } => 9,
             Frame::CompleteAt { .. } => 10,
+            Frame::Join { .. } => 11,
+            Frame::JoinAck { .. } => 12,
+            Frame::JoinRejected { .. } => 13,
         }
     }
 }
 
-const MAX_TAG: u8 = 10;
+const MAX_TAG: u8 = 13;
 
 // ---------------------------------------------------------------- encode
 
@@ -274,6 +301,18 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             put_u64(&mut payload, span.start_ns);
             put_u64(&mut payload, span.end_ns);
             put_buffers(&mut payload, recirculated);
+        }
+        Frame::Join { node, kind } => {
+            put_u32(&mut payload, *node);
+            payload.push(kind_byte(*kind));
+        }
+        Frame::JoinAck { node, slot } => {
+            put_u32(&mut payload, *node);
+            put_u32(&mut payload, *slot);
+        }
+        Frame::JoinRejected { reason } => {
+            put_u32(&mut payload, reason.len() as u32);
+            payload.extend_from_slice(reason.as_bytes());
         }
     }
     assert!(payload.len() as u64 <= MAX_FRAME as u64, "frame too large");
@@ -428,6 +467,22 @@ fn decode_payload(tag: u8, bytes: &[u8]) -> Result<Frame, FrameError> {
             },
             recirculated: r.buffers()?,
         },
+        11 => Frame::Join {
+            node: r.u32()?,
+            kind: r.kind()?,
+        },
+        12 => Frame::JoinAck {
+            node: r.u32()?,
+            slot: r.u32()?,
+        },
+        13 => {
+            let len = r.u32()? as usize;
+            let raw = r.take(len)?;
+            let reason = std::str::from_utf8(raw)
+                .map_err(|_| FrameError::BadPayload("rejection reason not UTF-8"))?
+                .to_owned();
+            Frame::JoinRejected { reason }
+        }
         t => return Err(FrameError::BadTag(t)),
     };
     r.finish()?;
@@ -561,6 +616,14 @@ mod tests {
                 },
                 recirculated: vec![],
             },
+            Frame::Join {
+                node: 1,
+                kind: DeviceKind::Gpu,
+            },
+            Frame::JoinAck { node: 1, slot: 4 },
+            Frame::JoinRejected {
+                reason: "pool is full".to_owned(),
+            },
         ]
     }
 
@@ -652,6 +715,40 @@ mod tests {
         assert_eq!(
             dec.next_frame(),
             Err(FrameError::BadPayload("trailing bytes after payload"))
+        );
+    }
+
+    #[test]
+    fn membership_tags_validate_their_payloads() {
+        // The first tag past MAX_TAG rejects at the header.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&[MAGIC, 14, 0, 0, 0, 0]);
+        assert_eq!(dec.next_frame(), Err(FrameError::BadTag(14)));
+        // A rejection reason must be UTF-8.
+        let mut bytes = encode_frame(&Frame::JoinRejected {
+            reason: "no".to_owned(),
+        });
+        let n = bytes.len();
+        bytes[n - 2] = 0xFE;
+        bytes[n - 1] = 0xFF;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameError::BadPayload("rejection reason not UTF-8"))
+        );
+        // A Join with an unknown device kind is rejected.
+        let mut bytes = encode_frame(&Frame::Join {
+            node: 0,
+            kind: DeviceKind::Cpu,
+        });
+        let n = bytes.len();
+        bytes[n - 1] = 9;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&bytes);
+        assert_eq!(
+            dec.next_frame(),
+            Err(FrameError::BadPayload("unknown device kind"))
         );
     }
 

@@ -38,12 +38,16 @@ pub mod frame;
 pub mod worker;
 
 pub use driver::{
-    run_concurrent, run_concurrent_load, run_deterministic, run_graph_deterministic,
-    run_graph_deterministic_with, NetConfig, NetGraphOutcome, NetLoadReport, NetOutcome,
-    NetQueueSample, NetTaskTiming, NetWorkerConn,
+    run_concurrent, run_concurrent_elastic, run_concurrent_load, run_concurrent_load_autoscaled,
+    run_deterministic, run_graph_deterministic, run_graph_deterministic_with, DrainAt, ElasticLoad,
+    ElasticOutcome, NetConfig, NetGraphOutcome, NetLoadReport, NetOutcome, NetQueueSample,
+    NetTaskTiming, NetWorkerConn,
 };
 pub use frame::{encode_frame, Frame, FrameDecoder, FrameError, WireSpan};
-pub use worker::{connect_and_run, run_worker, spawn_worker_thread, Behavior};
+pub use worker::{
+    connect_and_run, join_and_run, join_handshake, run_worker, run_worker_primed,
+    spawn_joining_worker_thread, spawn_worker_thread, Behavior,
+};
 
 use std::io;
 use std::net::{TcpListener, TcpStream};

@@ -104,13 +104,25 @@ fn send(stream: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
 /// Serve the worker loop on an established connection until `Shutdown`
 /// arrives or the coordinator hangs up. Returns the number of buffers
 /// executed.
-pub fn run_worker(mut stream: TcpStream, behavior: Behavior) -> std::io::Result<u64> {
+pub fn run_worker(stream: TcpStream, behavior: Behavior) -> std::io::Result<u64> {
+    run_worker_primed(stream, behavior, FrameDecoder::new())
+}
+
+/// [`run_worker`] with a pre-primed decoder. A handshake that read past
+/// its own reply (TCP delivers whatever the coordinator has written —
+/// `JoinAck`, the join pump's `Request`s, even an immediate `Deliver`
+/// can arrive coalesced in one segment) hands its decoder here so no
+/// buffered frame is lost between the handshake and the serve loop.
+pub fn run_worker_primed(
+    mut stream: TcpStream,
+    behavior: Behavior,
+    mut dec: FrameDecoder,
+) -> std::io::Result<u64> {
     stream.set_nodelay(true).ok();
     stream
         .set_read_timeout(Some(Duration::from_millis(200)))
         .ok();
     let epoch = Instant::now();
-    let mut dec = FrameDecoder::new();
     let mut chunk = [0u8; 64 * 1024];
     let mut executed = 0u64;
     let mut heartbeat_seq = 0u64;
@@ -171,11 +183,16 @@ pub fn run_worker(mut stream: TcpStream, behavior: Behavior) -> std::io::Result<
                     send(&mut stream, &Frame::Bye).ok();
                     return Ok(executed);
                 }
+                // A late JoinAck (the join path answers it before handing
+                // the stream to this loop) is harmless; tolerate it.
+                Frame::JoinAck { .. } => {}
                 // Coordinator never sends these; tolerate them.
                 Frame::Complete { .. }
                 | Frame::CompleteAt { .. }
                 | Frame::BatchDone
                 | Frame::Heartbeat { .. }
+                | Frame::Join { .. }
+                | Frame::JoinRejected { .. }
                 | Frame::Bye => {}
             }
         }
@@ -200,6 +217,104 @@ pub fn run_worker(mut stream: TcpStream, behavior: Behavior) -> std::io::Result<
 pub fn connect_and_run(addr: &str, behavior: Behavior) -> std::io::Result<u64> {
     let stream = TcpStream::connect(addr)?;
     run_worker(stream, behavior)
+}
+
+/// Mid-run join handshake, worker side: send `Join { node, kind }` as the
+/// connection's very first frame and await the coordinator's verdict.
+/// Returns the assigned `(node, slot)` on `JoinAck`; a typed
+/// `JoinRejected` maps to [`std::io::ErrorKind::ConnectionRefused`] with
+/// the coordinator's reason as the message, so callers can tell "refused"
+/// from "crashed".
+///
+/// `dec` is the connection's frame decoder and MUST be carried into the
+/// serve loop afterwards (see [`run_worker_primed`]): the coordinator
+/// pumps demand the instant it installs the slot, so the read that
+/// returns `JoinAck` routinely also returns the first `Request`s — and,
+/// when the ready queue is non-empty at join time, a `Deliver`. A
+/// handshake with a private decoder would silently eat those frames,
+/// stranding the delivered buffer forever (the coordinator retries
+/// requests, but never re-sends a dispatched batch to a live slot).
+pub fn join_handshake(
+    stream: &mut TcpStream,
+    node: usize,
+    kind: DeviceKind,
+    dec: &mut FrameDecoder,
+) -> std::io::Result<(u32, u32)> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    send(
+        stream,
+        &Frame::Join {
+            node: node as u32,
+            kind,
+        },
+    )?;
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(frame) = dec
+            .next_frame()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?
+        {
+            match frame {
+                Frame::JoinAck { node, slot } => {
+                    stream.set_read_timeout(None).ok();
+                    return Ok((node, slot));
+                }
+                Frame::JoinRejected { reason } => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionRefused,
+                        reason,
+                    ));
+                }
+                other => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unexpected reply to Join: {other:?}"),
+                    ));
+                }
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "coordinator hung up during join",
+                ));
+            }
+            Ok(n) => dec.feed(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Connect to `addr`, complete the [`join_handshake`], then serve
+/// [`run_worker`] — the elastic entry point of the hidden `worker`
+/// subcommand (`--join node:kind`).
+pub fn join_and_run(
+    addr: &str,
+    node: usize,
+    kind: DeviceKind,
+    behavior: Behavior,
+) -> std::io::Result<u64> {
+    let mut stream = TcpStream::connect(addr)?;
+    let mut dec = FrameDecoder::new();
+    join_handshake(&mut stream, node, kind, &mut dec)?;
+    run_worker_primed(stream, behavior, dec)
+}
+
+/// Spawn an in-process thread that joins the live run at `addr` and then
+/// serves `behavior` — the loopback counterpart of [`join_and_run`].
+pub fn spawn_joining_worker_thread(
+    addr: String,
+    node: usize,
+    kind: DeviceKind,
+    behavior: Behavior,
+) -> std::thread::JoinHandle<std::io::Result<u64>> {
+    std::thread::Builder::new()
+        .name("anthill-net-joiner".into())
+        .spawn(move || join_and_run(&addr, node, kind, behavior))
+        .expect("spawn joining worker thread")
 }
 
 /// Spawn an in-process worker thread serving `behavior` over `stream`.
@@ -256,5 +371,74 @@ mod tests {
         assert_eq!(next.len(), 1);
         assert_eq!(next[0].level, 1);
         assert!(behavior.apply(&next[0]).is_empty());
+    }
+
+    /// Regression: the join handshake's read can pull coalesced frames —
+    /// the join pump's `Request`s, even a `Deliver` — in the same segment
+    /// as the `JoinAck`. The serve loop must consume the handshake's
+    /// decoder, not start fresh, or those frames vanish and the delivered
+    /// buffer strands in flight forever (observed as a rolling-restart
+    /// stall at n-1/n completions).
+    #[test]
+    fn primed_decoder_frames_are_served_before_any_socket_read() {
+        use anthill_estimator::TaskParams;
+        use anthill_hetsim::TaskShape;
+        use anthill_simkit::SimDuration;
+        use std::net::TcpListener;
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+
+        let buffer = DataBuffer {
+            id: crate::buffer::BufferId(7),
+            params: TaskParams::default(),
+            shape: TaskShape {
+                cpu: SimDuration::from_micros(5),
+                gpu_kernel: SimDuration::ZERO,
+                bytes_in: 0,
+                bytes_out: 0,
+            },
+            level: 0,
+            task: 7,
+        };
+        // Everything the worker will ever see arrives pre-buffered in the
+        // handshake decoder; the socket itself carries nothing.
+        let mut dec = FrameDecoder::new();
+        dec.feed(&encode_frame(&Frame::Request {
+            reader: 0,
+            req_id: 3,
+        }));
+        dec.feed(&encode_frame(&Frame::Deliver {
+            kind: DeviceKind::Cpu,
+            buffers: vec![buffer],
+        }));
+        dec.feed(&encode_frame(&Frame::Shutdown));
+
+        let worker = std::thread::spawn(move || run_worker_primed(server, Behavior::Identity, dec));
+
+        let mut reply = FrameDecoder::new();
+        let mut chunk = [0u8; 4096];
+        let mut got = Vec::new();
+        let mut stream = client;
+        while got.len() < 4 {
+            if let Some(f) = reply.next_frame().expect("valid reply stream") {
+                got.push(f);
+                continue;
+            }
+            let n = std::io::Read::read(&mut stream, &mut chunk).expect("read");
+            assert!(n > 0, "worker hung up before draining primed frames");
+            reply.feed(&chunk[..n]);
+        }
+        assert!(matches!(got[0], Frame::Request { req_id: 3, .. }));
+        assert!(
+            matches!(&got[1], Frame::Complete { buffer, .. } if buffer.id.0 == 7),
+            "the primed Deliver must be executed, got {:?}",
+            got[1]
+        );
+        assert!(matches!(got[2], Frame::BatchDone));
+        assert!(matches!(got[3], Frame::Bye));
+        assert_eq!(worker.join().expect("join").expect("serve ok"), 1);
     }
 }

@@ -9,6 +9,7 @@
 //! | `Transfer` | `X` complete slice (`H2D`/`D2H`) |
 //! | `DqaaWindow`, `Streams` | `C` counter |
 //! | `Enqueue`, `Dispatch`, `DbsaSelect` | `i` instant |
+//! | `WorkerJoined`, `WorkerDraining`, `WorkerLeft` | `i` instant (process-scoped) |
 //! | process/thread names | `M` metadata |
 //!
 //! `pid` is the node (sim) or stage (local); `tid` is derived from the
@@ -209,6 +210,39 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
                     ev.ts_ns,
                     &ev.origin,
                     &format!(",\"s\":\"t\",\"args\":{{\"buffer\":{buffer}}}"),
+                );
+            }
+            // Membership transitions are process-scoped instants like
+            // `worker died`: they mark the pool changing shape, not work
+            // on a particular buffer.
+            EventKind::WorkerJoined { window } => {
+                push_event(
+                    &mut out,
+                    "worker joined",
+                    'i',
+                    ev.ts_ns,
+                    &ev.origin,
+                    &format!(",\"s\":\"p\",\"args\":{{\"window\":{window}}}"),
+                );
+            }
+            EventKind::WorkerDraining { outstanding } => {
+                push_event(
+                    &mut out,
+                    "worker draining",
+                    'i',
+                    ev.ts_ns,
+                    &ev.origin,
+                    &format!(",\"s\":\"p\",\"args\":{{\"outstanding\":{outstanding}}}"),
+                );
+            }
+            EventKind::WorkerLeft => {
+                push_event(
+                    &mut out,
+                    "worker left",
+                    'i',
+                    ev.ts_ns,
+                    &ev.origin,
+                    ",\"s\":\"p\",\"args\":{}",
                 );
             }
             // Remote worker spans are re-stamped to the coordinator clock,

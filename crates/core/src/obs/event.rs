@@ -157,6 +157,23 @@ pub enum EventKind {
         /// Resolution level.
         level: u8,
     },
+    /// The originating worker slot joined a live run (elastic membership).
+    /// The slot starts cold: its request window warms up from `window`
+    /// under DQAA instead of stampeding the readers.
+    WorkerJoined {
+        /// Initial target request window the joiner warms up from.
+        window: u32,
+    },
+    /// The originating worker slot began a graceful drain: it stops
+    /// pumping demand and dispatching, but its in-flight requests and
+    /// running batch are allowed to finish.
+    WorkerDraining {
+        /// Requests still outstanding at drain start.
+        outstanding: u32,
+    },
+    /// A draining worker slot finished its last in-flight work and was
+    /// released from the pool (membership phase Gone).
+    WorkerLeft,
     /// A remote worker process began executing a buffer (net backend).
     /// The coordinator re-stamps the worker-reported span onto its own
     /// clock at `Complete` receipt, so remote events sort deterministically
@@ -230,6 +247,9 @@ impl EventKind {
             EventKind::TaskRetried { .. } => "task_retried",
             EventKind::WorkerDied { .. } => "worker_died",
             EventKind::TaskReassigned { .. } => "task_reassigned",
+            EventKind::WorkerJoined { .. } => "worker_joined",
+            EventKind::WorkerDraining { .. } => "worker_draining",
+            EventKind::WorkerLeft => "worker_left",
             EventKind::RemoteStart { .. } => "remote_start",
             EventKind::RemoteFinish { .. } => "remote_finish",
             EventKind::EdgeEnqueued { .. } => "edge_enqueued",
@@ -322,6 +342,9 @@ mod tests {
                 level: 0,
             }
             .name(),
+            EventKind::WorkerJoined { window: 1 }.name(),
+            EventKind::WorkerDraining { outstanding: 2 }.name(),
+            EventKind::WorkerLeft.name(),
             EventKind::RemoteStart {
                 buffer: 1,
                 level: 0,
@@ -370,6 +393,9 @@ mod tests {
                 "task_retried",
                 "worker_died",
                 "task_reassigned",
+                "worker_joined",
+                "worker_draining",
+                "worker_left",
                 "remote_start",
                 "remote_finish",
                 "edge_enqueued",

@@ -82,6 +82,13 @@ fn write_event(out: &mut String, ev: &TraceEvent) {
         EventKind::WorkerDied { inflight } => {
             out.push_str(&format!(",\"inflight\":{inflight}"));
         }
+        EventKind::WorkerJoined { window } => {
+            out.push_str(&format!(",\"window\":{window}"));
+        }
+        EventKind::WorkerDraining { outstanding } => {
+            out.push_str(&format!(",\"outstanding\":{outstanding}"));
+        }
+        EventKind::WorkerLeft => {}
         EventKind::TaskReassigned { buffer, level }
         | EventKind::RemoteStart { buffer, level }
         | EventKind::TaskAdmitted { buffer, level }
@@ -231,6 +238,13 @@ fn parse_event(v: &Value) -> Result<TraceEvent, String> {
             buffer: field_u64(v, "buffer")?,
             level: field_u64(v, "level")? as u8,
         },
+        "worker_joined" => EventKind::WorkerJoined {
+            window: field_u64(v, "window")? as u32,
+        },
+        "worker_draining" => EventKind::WorkerDraining {
+            outstanding: field_u64(v, "outstanding")? as u32,
+        },
+        "worker_left" => EventKind::WorkerLeft,
         "remote_start" => EventKind::RemoteStart {
             buffer: field_u64(v, "buffer")?,
             level: field_u64(v, "level")? as u8,
@@ -359,6 +373,21 @@ mod tests {
                 },
             },
             TraceEvent {
+                ts_ns: 96,
+                origin: cpu,
+                kind: EventKind::WorkerJoined { window: 1 },
+            },
+            TraceEvent {
+                ts_ns: 97,
+                origin: cpu,
+                kind: EventKind::WorkerDraining { outstanding: 2 },
+            },
+            TraceEvent {
+                ts_ns: 98,
+                origin: cpu,
+                kind: EventKind::WorkerLeft,
+            },
+            TraceEvent {
                 ts_ns: 100,
                 origin: gpu,
                 kind: EventKind::RemoteStart {
@@ -423,7 +452,7 @@ mod tests {
     #[test]
     fn every_line_is_valid_json_with_required_fields() {
         let text = to_jsonl(&sample_events());
-        assert_eq!(text.lines().count(), 17);
+        assert_eq!(text.lines().count(), 20);
         for line in text.lines() {
             let v = json::parse(line).expect("valid JSON line");
             assert!(v.get("ts").and_then(Value::as_u64).is_some(), "{line}");
@@ -460,6 +489,6 @@ mod tests {
     #[test]
     fn blank_lines_are_skipped() {
         let text = format!("\n{}\n", to_jsonl(&sample_events()));
-        assert_eq!(parse_jsonl(&text).unwrap().len(), 17);
+        assert_eq!(parse_jsonl(&text).unwrap().len(), 20);
     }
 }

@@ -29,6 +29,7 @@ use crate::buffer::DataBuffer;
 use crate::engine::core::{Executor, Transport, WorkerRef};
 use crate::engine::{Engine as SchedEngine, EngineConfig, VirtualClock};
 use crate::faults::{FaultConfig, FaultInjector, MessageFate};
+use crate::membership::{MemberAction, MembershipSchedule};
 use crate::obs::{DeviceRef, EventKind, Recorder};
 use crate::policy::Policy;
 use crate::sim::report::SimReport;
@@ -77,6 +78,13 @@ pub struct SimConfig {
     /// [`crate::faults::RecoveryConfig::enabled`], or lost demand is never
     /// re-pumped and the run cannot drain.
     pub faults: FaultConfig,
+    /// Scheduled membership actions ([`crate::membership`]); empty by
+    /// default. Joins and drains fire as the run's completion count
+    /// crosses each action's threshold (so a threshold of 0 fires right
+    /// after the first completion here — the DES applies membership only
+    /// at completion events). The schedule must keep at least one
+    /// assignable worker at all times or the run stalls.
+    pub membership: MembershipSchedule,
 }
 
 impl SimConfig {
@@ -96,6 +104,7 @@ impl SimConfig {
             cpu_speed: Vec::new(),
             recorder: Recorder::disabled(),
             faults: FaultConfig::none(),
+            membership: MembershipSchedule::none(),
         }
     }
 }
@@ -345,8 +354,68 @@ struct NbiaWorld {
     clock: VirtualClock,
     drv: DriverState,
     workload: WorkloadSpec,
+    /// Completion-keyed join/drain schedule, drained as the run advances.
+    membership: MembershipSchedule,
+    /// GPU timing parameters, kept for slots created by mid-run joins.
+    gpu: GpuParams,
     finals_done: u64,
     finish: SimTime,
+}
+
+impl NbiaWorld {
+    /// Apply every membership action due at the current completion count.
+    /// A join grows the execution table *before* telling the engine (the
+    /// join pump may dispatch to the new slot immediately); a drain goes
+    /// through the engine, which stops assignment and releases the slot
+    /// once its in-flight work settles.
+    fn apply_membership(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        while let Some(action) = self.membership.pop_due(self.engine.total_done()) {
+            match action {
+                MemberAction::Join { node, kind } => {
+                    let index = self
+                        .engine
+                        .worker_refs()
+                        .into_iter()
+                        .filter(|w| w.node == node && w.device.kind == kind)
+                        .count();
+                    let device = DeviceId { node, kind, index };
+                    match kind {
+                        DeviceKind::Cpu => {
+                            self.drv.exec[node].push(WorkerExec::new(None));
+                            let mut d = SimDriver {
+                                now,
+                                drv: &mut self.drv,
+                                sched,
+                            };
+                            self.engine.join_worker(node, device, &mut d);
+                        }
+                        DeviceKind::Gpu => {
+                            let ctl = AdaptiveStreams::new(
+                                self.gpu
+                                    .max_concurrent_events(self.workload.high_shape().footprint()),
+                            );
+                            let streams = ctl.concurrent_events();
+                            self.drv.exec[node].push(WorkerExec::new(Some((
+                                GpuEngines::new(self.gpu.clone()),
+                                ctl,
+                            ))));
+                            let mut d = SimDriver {
+                                now,
+                                drv: &mut self.drv,
+                                sched,
+                            };
+                            let wi = self.engine.join_worker(node, device, &mut d);
+                            // The join pump ran with a zero reserve; DQAA
+                            // folds the stream reserve in from the next
+                            // window recomputation on.
+                            self.engine.set_batch_reserve(node, wi, streams);
+                        }
+                    }
+                }
+                MemberAction::Drain { node, worker } => self.engine.drain_worker(node, worker),
+            }
+        }
+    }
 }
 
 impl World for NbiaWorld {
@@ -449,6 +518,7 @@ impl World for NbiaWorld {
                     return;
                 }
                 self.engine.task_finished(node, thread, &buffer, proc_time);
+                self.apply_membership(now, sched);
                 if buffer.level == 0 && self.workload.is_recalc(buffer.task) {
                     // Classifier rejected the low-resolution result: loop
                     // the tile back to its owning reader at the next
@@ -676,6 +746,8 @@ pub fn run_nbia(cfg: &SimConfig, workload: &WorkloadSpec) -> SimReport {
             injector: FaultInjector::new(&cfg.faults),
         },
         workload: workload.clone(),
+        membership: cfg.membership.clone(),
+        gpu: cfg.gpu.clone(),
         finals_done: 0,
         finish: SimTime::ZERO,
     };

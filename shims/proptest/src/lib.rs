@@ -141,6 +141,7 @@ tuple_strategy! {
     (A: 0, B: 1)
     (A: 0, B: 1, C: 2)
     (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
 }
 
 /// Size specification for collection strategies: an exact length or a

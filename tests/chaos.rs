@@ -23,6 +23,15 @@
 //!    middle of a shed-policy load run; admission must keep conserving
 //!    with no double-counted completions, and the rendered SLO report
 //!    must still validate against the `BENCH_load.json` schema.
+//! 6. **Rolling restart** — the elastic-membership acceptance scenario
+//!    (DESIGN.md §14): every initial worker of a live TCP run is retired
+//!    exactly once through a graceful drain while a replacement joins
+//!    mid-run via the `Join`/`JoinAck` handshake. Zero task loss, zero
+//!    deaths, the `worker_joined`/`worker_draining`/`worker_left` trio in
+//!    the trace, and the DDWRR assignment share measurably shifting
+//!    toward the joiners within one request window of the join. A
+//!    deterministic companion replays a join/drain script on the
+//!    three-filter pipeline and checks the per-edge tallies conserve.
 
 mod common;
 
@@ -31,7 +40,8 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use common::{
-    at_millis, cpu_workers, emulated_cpu_workers, oracle, pick_policy, pipeline3, policies, task,
+    at_millis, cpu_workers, emulated_cpu_workers, loopback_workers, oracle, pick_policy, pipeline3,
+    policies, task,
 };
 
 use anthill_repro::core::buffer::DataBuffer;
@@ -39,7 +49,11 @@ use anthill_repro::core::faults::{FaultConfig, FaultProb, RecoveryConfig, Worker
 use anthill_repro::core::local::{
     Emitter, ExecMode, LocalDeathSpec, LocalFaults, LocalFilter, LocalTask, Pipeline, WorkerSpec,
 };
-use anthill_repro::core::net::{run_concurrent, NetConfig, NetWorkerConn};
+use anthill_repro::core::membership::{MemberAction, MembershipSchedule, ScheduledAction};
+use anthill_repro::core::net::{
+    run_concurrent, run_concurrent_elastic, spawn_joining_worker_thread, Behavior, DrainAt,
+    NetConfig, NetWorkerConn,
+};
 use anthill_repro::core::obs::{jsonl, EventKind, Recorder};
 use anthill_repro::core::policy::Policy;
 use anthill_repro::core::sim::{run_nbia, SimConfig, SimReport, WorkloadSpec};
@@ -567,4 +581,217 @@ fn killed_worker_mid_load_run_keeps_the_slo_report_schema_valid() {
     let text = jsonl::to_jsonl(&events);
     let parsed = jsonl::parse_jsonl(&text).expect("schema-valid trace");
     assert_eq!(parsed, events, "trace round-trip mismatch");
+}
+
+/// The rolling-restart acceptance scenario: a live concurrent TCP run
+/// starts with two CPU workers; two replacement workers join mid-run via
+/// the dynamic `Join`/`JoinAck` handshake, and the drain schedule then
+/// retires each *initial* worker exactly once. No task may be lost, a
+/// graceful leave is not a death, the trace must carry one
+/// `worker_joined` per joiner and a `worker_draining`/`worker_left` pair
+/// per retiree, no drained slot may be dispatched to after its drain
+/// begins, and DDWRR must shift assignment share toward a joiner within
+/// one request window of its join.
+#[test]
+fn rolling_restart_drains_and_rejoins_every_worker_with_zero_loss() {
+    use anthill_repro::core::obs::DeviceRef;
+
+    const TASKS: u64 = 400;
+    /// DDWRR's static per-worker request window for this run.
+    const WINDOW: usize = 8;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("listener addr").to_string();
+    // The initial pool: two in-process CPU workers on ordinary
+    // pre-connected sockets (slots 0 and 1).
+    let workers = loopback_workers(&[DeviceKind::Cpu, DeviceKind::Cpu], Behavior::Identity);
+    // The replacements connect immediately; the coordinator's acceptor
+    // admits them from the listener backlog once the run is live, so both
+    // joins land within the first few scheduler iterations.
+    let joiners: Vec<_> = (0..2)
+        .map(|_| spawn_joining_worker_thread(addr.clone(), 0, DeviceKind::Cpu, Behavior::Identity))
+        .collect();
+    // Retire each initial worker exactly once, staggered so the pool
+    // rolls: [0,1] -> [0,1,2,3] -> [1,2,3] -> [2,3].
+    let drains = vec![
+        DrainAt {
+            after_completions: 120,
+            slot: 0,
+        },
+        DrainAt {
+            after_completions: 240,
+            slot: 1,
+        },
+    ];
+
+    let recorder = Recorder::enabled();
+    let mut cfg = NetConfig::new(Policy::ddwrr(WINDOW));
+    cfg.recovery = RecoveryConfig::standard();
+    cfg.recorder = recorder.clone();
+    let sources: Vec<DataBuffer> = (0..TASKS).map(|id| task(id).buffer).collect();
+
+    let out = run_concurrent_elastic(cfg, listener, drains, workers, sources, oracle())
+        .expect("elastic net run");
+    for j in joiners {
+        let served = j
+            .join()
+            .expect("joiner thread")
+            .expect("joiner exits cleanly on Shutdown");
+        assert!(
+            served > 0,
+            "every joiner must have served at least one task"
+        );
+    }
+
+    assert_eq!(
+        out.outcome.total, TASKS,
+        "zero task loss across the restart"
+    );
+    assert_eq!(out.outcome.deaths, 0, "graceful leaves are not deaths");
+    assert_eq!(out.joins, 2, "both replacements were admitted");
+    assert_eq!(out.drains, 2, "both initial workers were released");
+
+    let events = recorder.events();
+    let joined: Vec<DeviceRef> = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::WorkerJoined { .. }))
+        .map(|e| e.origin)
+        .collect();
+    assert_eq!(joined.len(), 2, "one worker_joined per admitted joiner");
+    // Dynamic slots continue the io-slot numbering after the initial pool.
+    assert_eq!(joined[0].node, 0);
+    assert!(joined.iter().all(|o| o.index >= 2));
+    let draining: Vec<DeviceRef> = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::WorkerDraining { .. }))
+        .map(|e| e.origin)
+        .collect();
+    let left = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::WorkerLeft))
+        .count();
+    assert_eq!(
+        draining,
+        vec![
+            DeviceRef {
+                node: 0,
+                kind: Some(DeviceKind::Cpu),
+                index: 0
+            },
+            DeviceRef {
+                node: 0,
+                kind: Some(DeviceKind::Cpu),
+                index: 1
+            },
+        ],
+        "each initial worker drains exactly once, in schedule order"
+    );
+    assert_eq!(left, 2, "each drained worker must be gracefully released");
+
+    // A drained slot receives zero dispatches after its drain begins.
+    for (i, e) in events.iter().enumerate() {
+        if !matches!(e.kind, EventKind::WorkerDraining { .. }) {
+            continue;
+        }
+        let later = events[i + 1..]
+            .iter()
+            .filter(|l| l.origin == e.origin && matches!(l.kind, EventKind::Dispatch { .. }))
+            .count();
+        assert_eq!(later, 0, "slot {} dispatched to after draining", e.origin);
+    }
+
+    // The join must shift DDWRR's assignment share toward the new worker
+    // within one request window: among the first WINDOW * pool dispatches
+    // after the first worker_joined event, the joiner appears.
+    let join_pos = events
+        .iter()
+        .position(|e| matches!(e.kind, EventKind::WorkerJoined { .. }))
+        .expect("worker_joined in trace");
+    let joiner = events[join_pos].origin;
+    let horizon = WINDOW * 4; // one full window turn of the grown pool
+    let dispatches: Vec<DeviceRef> = events[join_pos..]
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Dispatch { .. }))
+        .map(|e| e.origin)
+        .take(horizon)
+        .collect();
+    assert!(
+        dispatches.contains(&joiner),
+        "the joiner must win dispatches within one request window of \
+         joining; first {horizon} post-join dispatches: {dispatches:?}"
+    );
+    // And the shift is a real share, not a one-off: the joiners together
+    // absorb a measurable fraction of all post-join completions.
+    let joiner_done = events[join_pos..]
+        .iter()
+        .filter(|e| e.origin.index >= 2 && matches!(e.kind, EventKind::Finish { .. }))
+        .count() as u64;
+    assert!(
+        joiner_done >= TASKS / 10,
+        "joiners must absorb a measurable share of the remaining work, got {joiner_done}"
+    );
+}
+
+/// Deterministic companion to the rolling restart: the same join/drain
+/// choreography replayed as a completion-keyed script on the
+/// three-filter pipeline (native deterministic executor). Stage 1 gains
+/// a joiner and then drains one original slot; every payload still
+/// crosses all three filters exactly once and the per-edge tallies
+/// conserve — membership churn may not leak or duplicate a single edge
+/// delivery.
+#[test]
+fn elastic_pipeline3_restart_conserves_every_edge_tally() {
+    use anthill_repro::core::policy::PolicyKind;
+
+    const TASKS: u64 = 120;
+    let schedule = MembershipSchedule::new(vec![
+        ScheduledAction {
+            after_completions: 40,
+            action: MemberAction::Join {
+                node: 1,
+                kind: DeviceKind::Cpu,
+            },
+        },
+        ScheduledAction {
+            after_completions: 50,
+            action: MemberAction::Join {
+                node: 2,
+                kind: DeviceKind::Cpu,
+            },
+        },
+        ScheduledAction {
+            after_completions: 90,
+            action: MemberAction::Drain { node: 1, worker: 0 },
+        },
+        ScheduledAction {
+            after_completions: 120,
+            action: MemberAction::Drain { node: 2, worker: 0 },
+        },
+    ]);
+    let mut p = Pipeline::new(PolicyKind::DdWrr).with_graph(pipeline3());
+    p.add_stage(Arc::new(Tag), cpu_workers(1));
+    p.add_stage(Arc::new(Tag), cpu_workers(2));
+    p.add_stage(Arc::new(Tag), cpu_workers(2));
+
+    let sources = (0..TASKS).map(task).collect();
+    let (out, report) = p.run_deterministic_elastic(sources, &oracle(), schedule);
+
+    assert_eq!(out.len() as u64, TASKS);
+    assert_eq!(
+        report.total(),
+        3 * TASKS,
+        "one completion per task per filter"
+    );
+    let mut values: Vec<u64> = out
+        .into_iter()
+        .map(|t| *t.payload.downcast::<u64>().unwrap())
+        .collect();
+    values.sort_unstable();
+    assert_eq!(
+        values,
+        (0..TASKS).map(|i| i + 3_000).collect::<Vec<_>>(),
+        "each task crossed all three filters exactly once"
+    );
+    assert_eq!(report.edge_delivered[&0], TASKS, "stage0 -> stage1 edge");
+    assert_eq!(report.edge_delivered[&1], TASKS, "stage1 -> stage2 edge");
 }

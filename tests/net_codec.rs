@@ -90,7 +90,7 @@ fn arb_buffers(rng: &mut TestRng, max: u64) -> Vec<DataBuffer> {
 }
 
 fn arb_frame(rng: &mut TestRng) -> Frame {
-    match rng.below(8) {
+    match rng.below(11) {
         0 => Frame::Hello {
             node: rng.below(1 << 16) as u32,
             slot: rng.below(1 << 16) as u32,
@@ -117,7 +117,18 @@ fn arb_frame(rng: &mut TestRng) -> Frame {
             seq: rng.next_u64(),
         },
         6 => Frame::Shutdown,
-        _ => Frame::Bye,
+        7 => Frame::Bye,
+        8 => Frame::Join {
+            node: rng.below(1 << 16) as u32,
+            kind: arb_kind(rng),
+        },
+        9 => Frame::JoinAck {
+            node: rng.below(1 << 16) as u32,
+            slot: rng.below(1 << 16) as u32,
+        },
+        _ => Frame::JoinRejected {
+            reason: arb_string(rng),
+        },
     }
 }
 
@@ -194,9 +205,9 @@ proptest! {
             }
             b
         };
-        // Tag 0 and anything above MAX_TAG (10, the graph CompleteAt
-        // frame) are outside the protocol.
-        let bad_tag = [0u8, 11, 0xFF][rng.below(3) as usize];
+        // Tag 0 and anything above MAX_TAG (13, the membership
+        // JoinRejected frame) are outside the protocol.
+        let bad_tag = [0u8, 14, 0xFF][rng.below(3) as usize];
         let oversize = anthill_repro::core::net::frame::MAX_FRAME + 1 + rng.below(1 << 20) as u32;
 
         let corrupt_header = |header: [u8; 6], want: FrameError| {

@@ -31,6 +31,7 @@ use common::{
 use anthill_repro::core::engine::sequential::{run_graph, GraphEmission, SequentialConfig};
 use anthill_repro::core::graph::DataflowGraph;
 use anthill_repro::core::local::{Emitter, LocalFilter, LocalTask, Pipeline};
+use anthill_repro::core::membership::{MemberAction, MembershipSchedule, ScheduledAction};
 use anthill_repro::core::net::{run_deterministic, run_graph_deterministic, Behavior, NetConfig};
 use anthill_repro::core::policy::Policy;
 use anthill_repro::core::sim::{run_graph_sim, run_nbia, GraphSimConfig, SimConfig, WorkloadSpec};
@@ -386,6 +387,136 @@ fn single_filter_graph_is_invisible_on_the_native_backend() {
         assert_eq!(flat_report.handled, graph_report.handled, "{policy:?}");
         let ids = |out: &[LocalTask]| out.iter().map(|t| t.buffer.id.0).collect::<Vec<_>>();
         assert_eq!(ids(&flat_out), ids(&graph_out), "{policy:?}: output order");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Elastic membership parity: a scripted join/drain schedule replayed on
+// the sequential reference driver, the DES, and the native deterministic
+// executor must land identical per-device assignment counts.
+// ---------------------------------------------------------------------
+
+/// The scripted membership scenario: a CPU joins a third of the way in,
+/// a GPU joins at the halfway mark, and the *original* CPU drains once
+/// the joiners are warm. Thresholds are completion counts, so every
+/// deterministic backend replays the script at the same causal point.
+fn elastic_script() -> MembershipSchedule {
+    MembershipSchedule::new(vec![
+        ScheduledAction {
+            after_completions: 40,
+            action: MemberAction::Join {
+                node: 0,
+                kind: DeviceKind::Cpu,
+            },
+        },
+        ScheduledAction {
+            after_completions: 60,
+            action: MemberAction::Join {
+                node: 0,
+                kind: DeviceKind::Gpu,
+            },
+        },
+        ScheduledAction {
+            after_completions: 80,
+            action: MemberAction::Drain { node: 0, worker: 0 },
+        },
+    ])
+}
+
+/// Sequential reference driver under the elastic script.
+fn seq_elastic_counts(policy: Policy) -> HashMap<DeviceKind, u64> {
+    use anthill_repro::core::engine::sequential::{run_elastic, Emission};
+    let w = neutral_workload();
+    let sources = (0..TILES).map(|t| w.low_buffer(t)).collect();
+    let devices = [
+        DeviceId {
+            node: 0,
+            kind: DeviceKind::Cpu,
+            index: 0,
+        },
+        DeviceId {
+            node: 0,
+            kind: DeviceKind::Gpu,
+            index: 0,
+        },
+    ];
+    let out = run_elastic(
+        SequentialConfig::new(policy),
+        &devices,
+        sources,
+        neutral_oracle(),
+        elastic_script(),
+        |_, _| Emission::default(),
+    );
+    assert_eq!(out.total, TILES);
+    let mut counts = HashMap::new();
+    for (&(kind, _level), &n) in &out.assigned {
+        *counts.entry(kind).or_insert(0) += n;
+    }
+    counts
+}
+
+/// DES backend under the elastic script ([`des_counts`] plus membership).
+fn des_elastic_counts(policy: Policy) -> HashMap<DeviceKind, u64> {
+    let w = neutral_workload();
+    let mut cfg = SimConfig::new(
+        ClusterSpec::new(vec![NodeSpec {
+            cpu_cores: 1,
+            gpus: 1,
+        }]),
+        policy,
+    );
+    cfg.gpu = neutral_gpu();
+    cfg.async_transfers = false;
+    cfg.use_estimator = false;
+    cfg.membership = elastic_script();
+    let report = run_nbia(&cfg, &w);
+    assert_eq!(report.total_tasks, TILES);
+    let mut counts = HashMap::new();
+    for (&(kind, _level), &n) in &report.tasks_by {
+        *counts.entry(kind).or_insert(0) += n;
+    }
+    counts
+}
+
+/// Native deterministic executor under the elastic script.
+fn native_elastic_counts(policy: Policy) -> HashMap<DeviceKind, u64> {
+    let w = neutral_workload();
+    let sources: Vec<LocalTask> = (0..TILES)
+        .map(|t| LocalTask::new(w.low_buffer(t), ()))
+        .collect();
+    let mut p = Pipeline::new(policy.kind).with_request_window(policy.request_size);
+    p.add_stage(Arc::new(Identity), cpu_gpu_workers());
+    let weights = OracleWeights::new(neutral_gpu(), false);
+    let (out, report) = p.run_deterministic_elastic(sources, &weights, elastic_script());
+    assert_eq!(out.len() as u64, TILES);
+    let mut counts = HashMap::new();
+    for (&(_stage, kind, _level), &n) in &report.handled {
+        *counts.entry(kind).or_insert(0) += n;
+    }
+    counts
+}
+
+/// The membership tentpole's parity acceptance: the scripted join/drain
+/// schedule must produce identical per-device assignment counts on the
+/// sequential, DES, and native backends, for every policy — elasticity
+/// is an engine feature, not a backend feature.
+#[test]
+fn elastic_script_assignments_match_across_backends() {
+    for policy in [Policy::ddfcfs(4), Policy::ddwrr(4), Policy::odds()] {
+        let seq = seq_elastic_counts(policy);
+        let des = des_elastic_counts(policy);
+        let native = native_elastic_counts(policy);
+        assert_eq!(
+            seq, des,
+            "{policy:?}: sequential and DES elastic runs assigned devices differently"
+        );
+        assert_eq!(
+            seq, native,
+            "{policy:?}: sequential and native elastic runs assigned devices differently"
+        );
+        let total: u64 = seq.values().sum();
+        assert_eq!(total, TILES, "{policy:?}: tasks lost or duplicated");
     }
 }
 
