@@ -41,4 +41,5 @@ pub mod elastic;
 pub mod experiments;
 pub mod graph;
 pub mod load;
+pub mod netbench;
 pub mod viz;

@@ -1,0 +1,370 @@
+//! `BENCH_net.json`: the event-loop coordinator's throughput report
+//! schema (DESIGN.md §15).
+//!
+//! The `repro netbench` gate measures two things and renders one
+//! document:
+//!
+//! * **ab** — the frames/sec A/B: the identical loopback workload runs
+//!   once through the retained thread-per-socket coordinator
+//!   (`NetPath::Threads`) and once through the readiness-based event
+//!   loop (`NetPath::EventLoop`). The frame count comes from the event
+//!   loop's wire counters (the protocol traffic is the same workload on
+//!   both paths), so `speedup` is exactly the wall-clock ratio, and
+//!   `alloc_per_frame` is the write path's pool-miss rate — the
+//!   zero-copy claim in one number.
+//! * **scale** — the fan-in proof: one event-loop coordinator
+//!   completing a run over 1000 in-process loopback workers (128 under
+//!   `--quick`), zero deaths, nothing lost.
+//!
+//! [`validate_netbench_report`] is the schema gate CI runs against the
+//! written file: structural presence, throughput arithmetic that agrees
+//! with itself, the recorded speedup clearing the recorded gate, an
+//! amortized allocation rate below one buffer per frame, and full-size
+//! scale evidence on non-`--quick` documents.
+
+use anthill::obs::json;
+
+/// One coordinator path's measurement in the A/B section.
+#[derive(Debug, Clone, Copy)]
+pub struct PathSample {
+    /// Wall-clock duration of the run, milliseconds.
+    pub wall_ms: f64,
+    /// Wire frames (both directions) divided by the wall clock.
+    pub frames_per_sec: f64,
+}
+
+/// The A/B section: same workload, both coordinator paths.
+#[derive(Debug, Clone)]
+pub struct AbRow {
+    /// Loopback workers per run.
+    pub workers: u64,
+    /// Source buffers per run.
+    pub tasks: u64,
+    /// Total wire frames (tx + rx) measured on the event-loop run.
+    pub frames: u64,
+    /// Thread-per-socket baseline.
+    pub threads: PathSample,
+    /// Readiness-based event loop.
+    pub eventloop: PathSample,
+    /// `eventloop.frames_per_sec / threads.frames_per_sec`.
+    pub speedup: f64,
+    /// Event-loop frames accepted into write queues.
+    pub tx_frames: u64,
+    /// Event-loop frames decoded off the read side.
+    pub rx_frames: u64,
+    /// Event-loop bytes the kernel accepted.
+    pub tx_bytes: u64,
+    /// Event-loop bytes read.
+    pub rx_bytes: u64,
+    /// `writev` calls that moved bytes (coalescing evidence:
+    /// `tx_frames / flushes` is the average frames per syscall).
+    pub flushes: u64,
+    /// Write-path buffer allocations per transmitted frame
+    /// (`pool_misses / tx_frames`).
+    pub alloc_per_frame: f64,
+}
+
+/// The 1000-worker fan-in section (event loop only).
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Loopback workers connected to the one coordinator.
+    pub workers: u64,
+    /// Source buffers offered.
+    pub tasks: u64,
+    /// Buffers completed (must equal `tasks`).
+    pub completed: u64,
+    /// Worker deaths (must be zero).
+    pub deaths: u64,
+    /// Wall-clock duration, milliseconds.
+    pub wall_ms: f64,
+    /// Wire frames per second over the whole run.
+    pub frames_per_sec: f64,
+    /// Write-path buffer allocations per transmitted frame.
+    pub alloc_per_frame: f64,
+}
+
+/// Render the two sections as the `BENCH_net.json` document. The output
+/// satisfies [`validate_netbench_report`] whenever the rows record a
+/// passing run.
+pub fn render_netbench_report(
+    ab: &AbRow,
+    scale: &ScaleRow,
+    quick: bool,
+    bind_cores: bool,
+    min_speedup: f64,
+    seed: u64,
+) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "  \"seed\": {seed},\n",
+            "  \"quick\": {quick},\n",
+            "  \"bind_cores\": {bind},\n",
+            "  \"min_speedup_gate\": {gate:.2},\n",
+            "  \"ab\": {{\n",
+            "    \"workers\": {aw}, \"tasks\": {at}, \"frames\": {af},\n",
+            "    \"threads\": {{\"wall_ms\": {tw:.2}, \"frames_per_sec\": {tf:.1}}},\n",
+            "    \"eventloop\": {{\"wall_ms\": {ew:.2}, \"frames_per_sec\": {ef:.1}}},\n",
+            "    \"speedup\": {sp:.4},\n",
+            "    \"tx_frames\": {txf}, \"rx_frames\": {rxf}, ",
+            "\"tx_bytes\": {txb}, \"rx_bytes\": {rxb}, \"flushes\": {fl},\n",
+            "    \"alloc_per_frame\": {apf:.6}\n",
+            "  }},\n",
+            "  \"scale\": {{\n",
+            "    \"workers\": {sw}, \"tasks\": {st}, \"completed\": {sc}, ",
+            "\"deaths\": {sd},\n",
+            "    \"wall_ms\": {swall:.2}, \"frames_per_sec\": {sf:.1}, ",
+            "\"alloc_per_frame\": {sapf:.6}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        seed = seed,
+        quick = quick,
+        bind = bind_cores,
+        gate = min_speedup,
+        aw = ab.workers,
+        at = ab.tasks,
+        af = ab.frames,
+        tw = ab.threads.wall_ms,
+        tf = ab.threads.frames_per_sec,
+        ew = ab.eventloop.wall_ms,
+        ef = ab.eventloop.frames_per_sec,
+        sp = ab.speedup,
+        txf = ab.tx_frames,
+        rxf = ab.rx_frames,
+        txb = ab.tx_bytes,
+        rxb = ab.rx_bytes,
+        fl = ab.flushes,
+        apf = ab.alloc_per_frame,
+        sw = scale.workers,
+        st = scale.tasks,
+        sc = scale.completed,
+        sd = scale.deaths,
+        swall = scale.wall_ms,
+        sf = scale.frames_per_sec,
+        sapf = scale.alloc_per_frame,
+    )
+}
+
+fn require_u64(obj: &json::Value, key: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| format!("missing numeric '{key}'"))
+}
+
+fn require_f64(obj: &json::Value, key: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(|v| v.as_f64())
+        .filter(|x| x.is_finite())
+        .ok_or_else(|| format!("missing finite numeric '{key}'"))
+}
+
+fn require_path(obj: &json::Value, key: &str) -> Result<(f64, f64), String> {
+    let p = obj
+        .get(key)
+        .ok_or_else(|| format!("missing '{key}' object"))?;
+    let wall = require_f64(p, "wall_ms").map_err(|e| format!("{key}: {e}"))?;
+    let fps = require_f64(p, "frames_per_sec").map_err(|e| format!("{key}: {e}"))?;
+    if wall <= 0.0 || fps <= 0.0 {
+        return Err(format!(
+            "{key}: wall_ms and frames_per_sec must be positive"
+        ));
+    }
+    Ok((wall, fps))
+}
+
+/// Full-size scale bar: the acceptance run must prove the 1000-worker
+/// loopback fan-in (`--quick` shrinks it for CI wall-clock budgets).
+pub const SCALE_WORKERS_FULL: u64 = 1000;
+
+/// Schema-validate a `BENCH_net.json` document. Beyond structural
+/// presence this enforces the gate's meaning: the recorded speedup
+/// clears the recorded `min_speedup_gate`, the two throughput numbers
+/// agree with the shared frame count (the A/B measured the same
+/// workload), the write path amortizes to under one allocation per
+/// frame, the scale run lost nothing and killed nobody, and a
+/// non-`--quick` document proves the full 1000-worker fan-in.
+pub fn validate_netbench_report(text: &str) -> Result<(), String> {
+    let v = json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    v.get("seed")
+        .and_then(|s| s.as_u64())
+        .ok_or("missing numeric 'seed'")?;
+    let quick = v
+        .get("quick")
+        .and_then(|q| q.as_bool())
+        .ok_or("missing boolean 'quick'")?;
+    v.get("bind_cores")
+        .and_then(|b| b.as_bool())
+        .ok_or("missing boolean 'bind_cores'")?;
+    let gate = require_f64(&v, "min_speedup_gate")?;
+
+    let ab = v.get("ab").ok_or("missing 'ab' object")?;
+    let ctx = |e: String| format!("ab: {e}");
+    let workers = require_u64(ab, "workers").map_err(ctx)?;
+    let tasks = require_u64(ab, "tasks").map_err(ctx)?;
+    let frames = require_u64(ab, "frames").map_err(ctx)?;
+    if workers == 0 || tasks == 0 || frames == 0 {
+        return Err("ab: empty workload".to_string());
+    }
+    let (t_wall, t_fps) = require_path(ab, "threads").map_err(ctx)?;
+    let (e_wall, e_fps) = require_path(ab, "eventloop").map_err(ctx)?;
+    let speedup = require_f64(ab, "speedup").map_err(ctx)?;
+    // Both paths ran the same frame stream, so fps must be the shared
+    // count over each path's own wall clock (2% slack for rounding).
+    let consistent = |fps: f64, wall_ms: f64| {
+        let expect = frames as f64 / (wall_ms / 1e3);
+        (fps - expect).abs() <= expect * 0.02
+    };
+    if !consistent(t_fps, t_wall) || !consistent(e_fps, e_wall) {
+        return Err("ab: frames_per_sec disagrees with frames / wall_ms".to_string());
+    }
+    if (speedup - e_fps / t_fps).abs() > speedup * 0.02 {
+        return Err("ab: 'speedup' is not eventloop fps over threads fps".to_string());
+    }
+    if speedup < gate {
+        return Err(format!(
+            "ab: speedup {speedup:.2}x below the recorded {gate:.2}x gate"
+        ));
+    }
+    let tx_frames = require_u64(ab, "tx_frames").map_err(ctx)?;
+    let rx_frames = require_u64(ab, "rx_frames").map_err(ctx)?;
+    if tx_frames + rx_frames != frames {
+        return Err("ab: tx_frames + rx_frames != frames".to_string());
+    }
+    require_u64(ab, "tx_bytes").map_err(ctx)?;
+    require_u64(ab, "rx_bytes").map_err(ctx)?;
+    let flushes = require_u64(ab, "flushes").map_err(ctx)?;
+    if flushes == 0 || flushes > tx_frames {
+        return Err(format!(
+            "ab: {flushes} flushes for {tx_frames} tx frames — coalescing evidence missing"
+        ));
+    }
+    let apf = require_f64(ab, "alloc_per_frame").map_err(ctx)?;
+    if !(0.0..=1.0).contains(&apf) {
+        return Err(format!(
+            "ab: alloc_per_frame {apf} outside [0, 1] — the pool is not amortizing"
+        ));
+    }
+
+    let scale = v.get("scale").ok_or("missing 'scale' object")?;
+    let ctx = |e: String| format!("scale: {e}");
+    let s_workers = require_u64(scale, "workers").map_err(ctx)?;
+    let s_tasks = require_u64(scale, "tasks").map_err(ctx)?;
+    let s_completed = require_u64(scale, "completed").map_err(ctx)?;
+    let s_deaths = require_u64(scale, "deaths").map_err(ctx)?;
+    require_f64(scale, "wall_ms").map_err(ctx)?;
+    require_f64(scale, "frames_per_sec").map_err(ctx)?;
+    let s_apf = require_f64(scale, "alloc_per_frame").map_err(ctx)?;
+    if s_completed != s_tasks {
+        return Err(format!(
+            "scale: lost work ({s_completed} of {s_tasks} done)"
+        ));
+    }
+    if s_deaths != 0 {
+        return Err(format!("scale: {s_deaths} worker death(s)"));
+    }
+    if !(0.0..=1.0).contains(&s_apf) {
+        return Err(format!("scale: alloc_per_frame {s_apf} outside [0, 1]"));
+    }
+    if !quick && s_workers < SCALE_WORKERS_FULL {
+        return Err(format!(
+            "scale: full run proves only {s_workers} workers (need {SCALE_WORKERS_FULL})"
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> (AbRow, ScaleRow) {
+        (
+            AbRow {
+                workers: 64,
+                tasks: 24_000,
+                frames: 100_000,
+                threads: PathSample {
+                    wall_ms: 4_000.0,
+                    frames_per_sec: 25_000.0,
+                },
+                eventloop: PathSample {
+                    wall_ms: 1_000.0,
+                    frames_per_sec: 100_000.0,
+                },
+                speedup: 4.0,
+                tx_frames: 52_000,
+                rx_frames: 48_000,
+                tx_bytes: 3_000_000,
+                rx_bytes: 2_800_000,
+                flushes: 9_000,
+                alloc_per_frame: 0.002,
+            },
+            ScaleRow {
+                workers: 1000,
+                tasks: 3_000,
+                completed: 3_000,
+                deaths: 0,
+                wall_ms: 2_500.0,
+                frames_per_sec: 40_000.0,
+                alloc_per_frame: 0.01,
+            },
+        )
+    }
+
+    #[test]
+    fn report_renders_and_validates() {
+        let (ab, scale) = rows();
+        let text = render_netbench_report(&ab, &scale, false, false, 2.0, 42);
+        validate_netbench_report(&text).expect("schema-valid report");
+    }
+
+    #[test]
+    fn validation_rejects_regressions_and_broken_arithmetic() {
+        let (ab, scale) = rows();
+        let good = render_netbench_report(&ab, &scale, false, false, 2.0, 42);
+
+        let slow = good.replace("\"speedup\": 4.0000", "\"speedup\": 1.5000");
+        assert!(
+            validate_netbench_report(&slow).is_err(),
+            "speedup gate (and fps consistency)"
+        );
+
+        let cooked = good.replace(
+            "\"threads\": {\"wall_ms\": 4000.00, \"frames_per_sec\": 25000.0}",
+            "\"threads\": {\"wall_ms\": 4000.00, \"frames_per_sec\": 50000.0}",
+        );
+        assert!(
+            validate_netbench_report(&cooked).is_err(),
+            "fps must equal frames / wall"
+        );
+
+        let leaky = good.replace(
+            "\"alloc_per_frame\": 0.002000",
+            "\"alloc_per_frame\": 1.500000",
+        );
+        assert!(validate_netbench_report(&leaky).is_err(), "alloc gate");
+
+        let lost = good.replace("\"completed\": 3000", "\"completed\": 2999");
+        assert!(validate_netbench_report(&lost).is_err(), "loss gate");
+
+        let died = good.replace("\"deaths\": 0", "\"deaths\": 1");
+        assert!(validate_netbench_report(&died).is_err(), "death gate");
+
+        let small = good.replace("\"workers\": 1000", "\"workers\": 500");
+        assert!(
+            validate_netbench_report(&small).is_err(),
+            "full runs must prove 1000 workers"
+        );
+    }
+
+    #[test]
+    fn quick_documents_may_shrink_the_scale_run() {
+        let (ab, mut scale) = rows();
+        scale.workers = 128;
+        scale.tasks = 512;
+        scale.completed = 512;
+        let text = render_netbench_report(&ab, &scale, true, true, 2.0, 42);
+        validate_netbench_report(&text).expect("quick scale shrink is legal");
+    }
+}

@@ -147,6 +147,9 @@ struct NodeState {
     /// sorts at the receiver — DDWRR/ODDS).
     ready: SharedQueue,
     workers: Vec<WorkerState>,
+    /// Cached GPU-first dispatch visit order ([`select::dispatch_order`]
+    /// over the slot kinds), rebuilt whenever the worker count changes.
+    dispatch_order: Vec<usize>,
     /// Which readers this node's workers may request from. `None` (the
     /// default) means *all* nodes — the single-filter n×m stream, whose
     /// round-robin arithmetic is kept bit-identical to the pre-graph
@@ -226,6 +229,7 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
             reader: SharedQueue::new(),
             ready: SharedQueue::new(),
             workers: Vec::new(),
+            dispatch_order: Vec::new(),
             scope: None,
         });
         self.nodes.len() - 1
@@ -953,13 +957,25 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
     /// batched up to the executor's limit. Emits `Dispatch` + `Start` per
     /// buffer and marks the slot busy before launching. Draining slots are
     /// never assigned.
+    ///
+    /// The GPU-first visit order is a pure function of the slot kinds, so
+    /// it is cached on the node and rebuilt only when a worker joins —
+    /// dispatch runs on every completion, and recomputing the order was an
+    /// O(workers) sort + two allocations per event at high fan-in.
     pub fn dispatch<D: Transport + Executor>(&mut self, node: usize, d: &mut D) {
-        let kinds: Vec<DeviceKind> = self.nodes[node]
-            .workers
-            .iter()
-            .map(|w| w.device.kind)
-            .collect();
-        for wi in select::dispatch_order(&kinds) {
+        if self.nodes[node].ready.is_empty() {
+            return;
+        }
+        if self.nodes[node].dispatch_order.len() != self.nodes[node].workers.len() {
+            let kinds: Vec<DeviceKind> = self.nodes[node]
+                .workers
+                .iter()
+                .map(|w| w.device.kind)
+                .collect();
+            self.nodes[node].dispatch_order = select::dispatch_order(&kinds);
+        }
+        let order = std::mem::take(&mut self.nodes[node].dispatch_order);
+        for &wi in &order {
             if self.nodes[node].workers[wi].busy || self.nodes[node].workers[wi].draining {
                 continue;
             }
@@ -1003,6 +1019,10 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
             w.util.set_busy(now);
             d.launch(wref, batch);
         }
+        // A reentrant dispatch (an executor completing inline) rebuilds
+        // its own copy from the kinds; last writer wins with identical
+        // content either way.
+        self.nodes[node].dispatch_order = order;
     }
 
     /// Pop one ready buffer for a device of `kind` per the receiver-side

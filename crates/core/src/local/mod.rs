@@ -366,6 +366,7 @@ pub struct Pipeline {
     request_window: usize,
     faults: Option<LocalFaults>,
     hot_path: HotPath,
+    bind_cores: bool,
 }
 
 impl Pipeline {
@@ -380,6 +381,7 @@ impl Pipeline {
             request_window: 4,
             faults: None,
             hot_path: HotPath::Sharded,
+            bind_cores: false,
         }
     }
 
@@ -415,6 +417,18 @@ impl Pipeline {
     /// tally aggregation differ.
     pub fn with_hot_path(mut self, hot_path: HotPath) -> Pipeline {
         self.hot_path = hot_path;
+        self
+    }
+
+    /// Pin each worker thread to a core, round-robin in spawn order
+    /// (stage-major, configuration order within a stage), via
+    /// [`anthill_poller::bind_to_core`]. A no-op on platforms without
+    /// thread affinity — workers run unpinned and the run is otherwise
+    /// identical. Scheduling behaviour never depends on this flag; it
+    /// only steadies benchmark numbers by stopping the OS from migrating
+    /// hot workers between cores mid-run.
+    pub fn with_bind_cores(mut self, bind_cores: bool) -> Pipeline {
+        self.bind_cores = bind_cores;
         self
     }
 
@@ -823,6 +837,7 @@ impl Pipeline {
                     }
                 });
             }
+            let mut worker_seq: usize = 0;
             for (si, stage) in self.stages.iter().enumerate() {
                 let mut kind_counts: HashMap<DeviceKind, usize> = HashMap::new();
                 for spec in &stage.workers {
@@ -860,7 +875,12 @@ impl Pipeline {
                         &format!("local-faults-{si}-{:?}-{}", spec.kind, origin.index),
                     );
                     let mut handled_n: u64 = 0;
+                    let pin_core = self.bind_cores.then_some(worker_seq);
+                    worker_seq += 1;
                     scope.spawn(move || {
+                        if let Some(core) = pin_core {
+                            anthill_poller::bind_to_core(core);
+                        }
                         let device_label = match spec.kind {
                             DeviceKind::Cpu => "cpu",
                             DeviceKind::Gpu => "gpu",

@@ -47,8 +47,28 @@ use crate::obs::{DeviceRef, EventKind, Recorder};
 use crate::policy::Policy;
 use crate::weights::WeightProvider;
 
-use super::frame::{encode_frame, Frame, FrameDecoder, FrameError};
+use super::conn::WireStats;
+use super::eventloop::{Pump, Reactor};
+use super::frame::{
+    encode_deliver_at_into, encode_deliver_into, encode_frame, encode_frame_into, Frame,
+    FrameDecoder, FrameError,
+};
 use super::worker::modeled_proc_ns;
+
+/// Which concurrent coordinator implementation to run (A/B knob, like the
+/// native pipeline's `HotPath`). Lockstep [`run_deterministic`] ignores
+/// this: it keeps its blocking path so bit-identical parity with the
+/// sequential reference is untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetPath {
+    /// The retained baseline: one blocking reader thread per socket
+    /// feeding an mpsc channel, blocking per-frame writes.
+    Threads,
+    /// The readiness-based event loop: non-blocking sockets multiplexed
+    /// by the [`anthill_poller`] shim on the coordinator thread, vectored
+    /// writes with frame coalescing, pooled encode buffers.
+    EventLoop,
+}
 
 /// One established coordinator↔worker connection and the device identity
 /// its slot schedules for. The caller owns connection establishment
@@ -88,11 +108,15 @@ pub struct NetConfig {
     /// bound; 1 matches the sequential reference driver and is required
     /// for cross-backend parity).
     pub batch_limit: usize,
+    /// Concurrent coordinator implementation (see [`NetPath`]); ignored
+    /// by the lockstep modes.
+    pub path: NetPath,
 }
 
 impl NetConfig {
     /// Defaults: the given policy, a 256-wide window cap, recovery off,
-    /// no recording, no severs, a 60 s deadline, batch limit 1.
+    /// no recording, no severs, a 60 s deadline, batch limit 1, the
+    /// event-loop coordinator.
     pub fn new(policy: Policy) -> NetConfig {
         NetConfig {
             policy,
@@ -103,6 +127,15 @@ impl NetConfig {
             deadline: Duration::from_secs(60),
             heartbeat_timeout: None,
             batch_limit: 1,
+            path: NetPath::EventLoop,
+        }
+    }
+
+    /// Same defaults with an explicit concurrent coordinator path.
+    pub fn with_path(policy: Policy, path: NetPath) -> NetConfig {
+        NetConfig {
+            path,
+            ..NetConfig::new(policy)
         }
     }
 }
@@ -118,6 +151,10 @@ pub struct NetOutcome {
     pub total: u64,
     /// Worker slots that died during the run (sever, EOF, silence).
     pub deaths: u32,
+    /// Wire-level counters. Populated by the event-loop coordinator;
+    /// zeroed on the threaded baseline and the lockstep modes, which do
+    /// not track per-connection counters.
+    pub wire: WireStats,
 }
 
 fn proto_err(e: FrameError) -> io::Error {
@@ -128,6 +165,9 @@ fn proto_err(e: FrameError) -> io::Error {
 struct SlotIo {
     stream: TcpStream,
     dec: FrameDecoder,
+    /// Reused encode buffer: frames are serialized here and written out,
+    /// so the blocking path allocates once per slot, not once per frame.
+    scratch: Vec<u8>,
     /// Frames successfully written to this slot.
     frames_sent: u64,
     /// Sever the connection once `frames_sent` reaches this.
@@ -142,33 +182,71 @@ impl SlotIo {
         SlotIo {
             stream,
             dec: FrameDecoder::new(),
+            scratch: Vec::new(),
             frames_sent: 0,
             sever_after,
             open: true,
         }
     }
 
-    /// Write one frame, applying the sever schedule. Failures close the
-    /// slot instead of propagating: the engine learns about the death via
-    /// the reap path, exactly as it would for a real crashed peer.
-    fn write(&mut self, frame: &Frame) {
+    /// Apply the sever schedule; returns false if the slot just severed
+    /// (or was already closed) and the write must not happen.
+    fn pre_write(&mut self) -> bool {
         if !self.open {
-            return;
+            return false;
         }
         if let Some(limit) = self.sever_after {
             if self.frames_sent >= limit {
                 let _ = self.stream.shutdown(Shutdown::Both);
                 self.open = false;
-                return;
+                return false;
             }
         }
+        true
+    }
+
+    /// Write the frame serialized in `scratch`. Failures close the slot
+    /// instead of propagating: the engine learns about the death via the
+    /// reap path, exactly as it would for a real crashed peer.
+    fn write_scratch(&mut self) {
         use std::io::Write as _;
-        if self.stream.write_all(&encode_frame(frame)).is_err() {
+        if self.stream.write_all(&self.scratch).is_err() {
             let _ = self.stream.shutdown(Shutdown::Both);
             self.open = false;
         } else {
             self.frames_sent += 1;
         }
+    }
+
+    /// Write one frame, applying the sever schedule.
+    fn write(&mut self, frame: &Frame) {
+        if !self.pre_write() {
+            return;
+        }
+        self.scratch.clear();
+        encode_frame_into(&mut self.scratch, frame);
+        self.write_scratch();
+    }
+
+    /// Write a `Deliver` frame encoded straight from the shared
+    /// `Arc<DataBuffer>`s the inflight table keeps — no payload clone.
+    fn write_deliver(&mut self, kind: DeviceKind, buffers: &[Arc<DataBuffer>]) {
+        if !self.pre_write() {
+            return;
+        }
+        self.scratch.clear();
+        encode_deliver_into(&mut self.scratch, kind, buffers);
+        self.write_scratch();
+    }
+
+    /// Graph-mode counterpart of [`SlotIo::write_deliver`].
+    fn write_deliver_at(&mut self, filter: u32, kind: DeviceKind, buffers: &[Arc<DataBuffer>]) {
+        if !self.pre_write() {
+            return;
+        }
+        self.scratch.clear();
+        encode_deliver_at_into(&mut self.scratch, filter, kind, buffers);
+        self.write_scratch();
     }
 
     /// Blocking-read the next non-heartbeat frame, bounded by `deadline`.
@@ -202,6 +280,15 @@ impl SlotIo {
             }
         }
     }
+}
+
+/// Re-home an inflight table for `Engine::worker_died`: the driver holds
+/// the only strong reference once the wire copy is gone, so this is a
+/// move, not a payload clone, on the common path.
+fn unwrap_inflight(bufs: Vec<Arc<DataBuffer>>) -> Vec<DataBuffer> {
+    bufs.into_iter()
+        .map(|a| Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone()))
+        .collect()
 }
 
 fn sever_for(drops: &[ConnectionDropSpec], node: usize, worker: usize) -> Option<u64> {
@@ -244,7 +331,7 @@ enum Msg {
     },
     Exec {
         worker: WorkerRef,
-        buffer: DataBuffer,
+        buffer: Arc<DataBuffer>,
     },
 }
 
@@ -253,7 +340,7 @@ enum Msg {
 struct LockstepDriver {
     inbox: VecDeque<Msg>,
     slots: Vec<SlotIo>,
-    inflight: Vec<Vec<DataBuffer>>,
+    inflight: Vec<Vec<Arc<DataBuffer>>>,
     dead: Vec<bool>,
 }
 
@@ -278,11 +365,13 @@ impl Executor for LockstepDriver {
 
     fn launch(&mut self, worker: WorkerRef, batch: Vec<DataBuffer>) {
         for buffer in batch {
-            self.slots[worker.worker].write(&Frame::Deliver {
-                kind: worker.device.kind,
-                buffers: vec![buffer.clone()],
-            });
-            self.inflight[worker.worker].push(buffer.clone());
+            // One shared allocation serves the wire encode, the inflight
+            // table, and the inbox — the old path cloned the payload
+            // twice per delivery.
+            let buffer = Arc::new(buffer);
+            self.slots[worker.worker]
+                .write_deliver(worker.device.kind, std::slice::from_ref(&buffer));
+            self.inflight[worker.worker].push(Arc::clone(&buffer));
             self.inbox.push_back(Msg::Exec { worker, buffer });
         }
     }
@@ -298,7 +387,7 @@ fn reap<C: Clock, W: WeightProvider>(
         if !drv.slots[slot].open && !drv.dead[slot] {
             drv.dead[slot] = true;
             *deaths += 1;
-            let inflight = std::mem::take(&mut drv.inflight[slot]);
+            let inflight = unwrap_inflight(std::mem::take(&mut drv.inflight[slot]));
             engine.worker_died(0, slot, inflight, drv);
         }
     }
@@ -416,7 +505,8 @@ pub fn run_deterministic<W: WeightProvider>(
                         // shape, identical to what the worker reports) so the
                         // engine's DQAA/accounting inputs match the other
                         // backends bit-for-bit.
-                        let proc = SimDuration(modeled_proc_ns(&buffer, worker.device.kind));
+                        let proc =
+                            SimDuration(modeled_proc_ns(buffer.as_ref(), worker.device.kind));
                         let ts = clock.now().as_nanos();
                         let dev = DeviceRef::device(worker.device);
                         rec.record(
@@ -457,6 +547,7 @@ pub fn run_deterministic<W: WeightProvider>(
         dispatch_order,
         total: engine.total_done(),
         deaths,
+        wire: WireStats::default(),
     })
 }
 
@@ -495,7 +586,7 @@ pub struct NetGraphOutcome {
 struct GraphLockstepDriver {
     inbox: VecDeque<Msg>,
     slots: Vec<Vec<SlotIo>>,
-    inflight: Vec<Vec<Vec<DataBuffer>>>,
+    inflight: Vec<Vec<Vec<Arc<DataBuffer>>>>,
     dead: Vec<Vec<bool>>,
 }
 
@@ -520,12 +611,13 @@ impl Executor for GraphLockstepDriver {
 
     fn launch(&mut self, worker: WorkerRef, batch: Vec<DataBuffer>) {
         for buffer in batch {
-            self.slots[worker.node][worker.worker].write(&Frame::DeliverAt {
-                filter: worker.node as u32,
-                kind: worker.device.kind,
-                buffers: vec![buffer.clone()],
-            });
-            self.inflight[worker.node][worker.worker].push(buffer.clone());
+            let buffer = Arc::new(buffer);
+            self.slots[worker.node][worker.worker].write_deliver_at(
+                worker.node as u32,
+                worker.device.kind,
+                std::slice::from_ref(&buffer),
+            );
+            self.inflight[worker.node][worker.worker].push(Arc::clone(&buffer));
             self.inbox.push_back(Msg::Exec { worker, buffer });
         }
     }
@@ -543,7 +635,7 @@ fn reap_graph<C: Clock, W: WeightProvider>(
             if !drv.slots[node][slot].open && !drv.dead[node][slot] {
                 drv.dead[node][slot] = true;
                 *deaths += 1;
-                let inflight = std::mem::take(&mut drv.inflight[node][slot]);
+                let inflight = unwrap_inflight(std::mem::take(&mut drv.inflight[node][slot]));
                 engine.worker_died(node, slot, inflight, drv);
             }
         }
@@ -722,7 +814,8 @@ pub fn run_graph_deterministic_with<W: WeightProvider>(
                         // Charge the modeled time, as in the single-filter
                         // lockstep driver, so DQAA inputs match the other
                         // backends bit-for-bit.
-                        let proc = SimDuration(modeled_proc_ns(&buffer, worker.device.kind));
+                        let proc =
+                            SimDuration(modeled_proc_ns(buffer.as_ref(), worker.device.kind));
                         let ts = clock.now().as_nanos();
                         let dev = DeviceRef::device(worker.device);
                         rec.record(
@@ -804,21 +897,82 @@ pub fn run_graph_deterministic_with<W: WeightProvider>(
 
 // ----------------------------------------------------------- concurrent
 
-enum Pump {
-    /// A decoded frame from a worker's reader thread.
-    Frame(usize, Frame),
-    /// The worker's connection reached EOF or failed.
-    Closed(usize),
-    /// A freshly accepted connection from the elastic listener, first
-    /// frame not yet read (a valid peer sends `Join` immediately).
-    Incoming(TcpStream),
+/// The concurrent coordinator's socket layer, selected by
+/// [`NetConfig::path`]: blocking per-slot writes with reader threads, or
+/// the non-blocking [`Reactor`]. Everything above this enum — run loops,
+/// timers, heartbeats, membership, reaps — is shared between the paths.
+// One NetIo exists per rig, so the Reactor-vs-Vec size gap is a
+// non-issue — boxing would only add a pointer hop to the hot path.
+#[allow(clippy::large_enum_variant)]
+enum NetIo {
+    Threads(Vec<SlotIo>),
+    Event(Reactor),
+}
+
+impl NetIo {
+    fn len(&self) -> usize {
+        match self {
+            NetIo::Threads(slots) => slots.len(),
+            NetIo::Event(r) => r.len(),
+        }
+    }
+
+    /// Is the slot's write side still usable?
+    fn open(&self, slot: usize) -> bool {
+        match self {
+            NetIo::Threads(slots) => slots[slot].open,
+            NetIo::Event(r) => r.open(slot),
+        }
+    }
+
+    fn write_frame(&mut self, slot: usize, frame: &Frame) {
+        match self {
+            NetIo::Threads(slots) => slots[slot].write(frame),
+            NetIo::Event(r) => r.send(slot, frame),
+        }
+    }
+
+    fn write_deliver(&mut self, slot: usize, kind: DeviceKind, buffers: &[Arc<DataBuffer>]) {
+        match self {
+            NetIo::Threads(slots) => slots[slot].write_deliver(kind, buffers),
+            NetIo::Event(r) => r.send_deliver(slot, kind, buffers),
+        }
+    }
+
+    /// Tear a slot down in both directions (kill/sever path).
+    fn sever(&mut self, slot: usize) {
+        match self {
+            NetIo::Threads(slots) => {
+                if slots[slot].open {
+                    let _ = slots[slot].stream.shutdown(Shutdown::Both);
+                    slots[slot].open = false;
+                }
+            }
+            NetIo::Event(r) => r.sever(slot),
+        }
+    }
+
+    /// Graceful half-close for a drained slot: `Shutdown` frame, then
+    /// close the write side.
+    fn graceful_close(&mut self, slot: usize) {
+        match self {
+            NetIo::Threads(slots) => {
+                if slots[slot].open {
+                    slots[slot].write(&Frame::Shutdown);
+                    let _ = slots[slot].stream.shutdown(Shutdown::Write);
+                    slots[slot].open = false;
+                }
+            }
+            NetIo::Event(r) => r.graceful_close(slot),
+        }
+    }
 }
 
 /// Concurrent driver: frames go out immediately; timeouts live in a heap
 /// keyed by wall-clock fire time.
 struct ConcurrentDriver {
-    slots: Vec<SlotIo>,
-    inflight: Vec<Vec<DataBuffer>>,
+    net: NetIo,
+    inflight: Vec<Vec<Arc<DataBuffer>>>,
     /// `(fire_ns, slot, req_id)` min-heap on the shared wall clock.
     timers: BinaryHeap<Reverse<(u64, usize, u64)>>,
     batch_limit: usize,
@@ -826,10 +980,13 @@ struct ConcurrentDriver {
 
 impl Transport for ConcurrentDriver {
     fn send_request(&mut self, from: WorkerRef, reader: usize, req_id: u64) {
-        self.slots[from.worker].write(&Frame::Request {
-            reader: reader as u32,
-            req_id,
-        });
+        self.net.write_frame(
+            from.worker,
+            &Frame::Request {
+                reader: reader as u32,
+                req_id,
+            },
+        );
     }
 
     fn schedule_timeout(&mut self, worker: WorkerRef, req_id: u64, fire_at: SimTime) {
@@ -844,11 +1001,12 @@ impl Executor for ConcurrentDriver {
     }
 
     fn launch(&mut self, worker: WorkerRef, batch: Vec<DataBuffer>) {
-        self.inflight[worker.worker].extend(batch.iter().cloned());
-        self.slots[worker.worker].write(&Frame::Deliver {
-            kind: worker.device.kind,
-            buffers: batch,
-        });
+        // The wire frame and the inflight table share one allocation per
+        // buffer (the old path cloned the payload for each).
+        let batch: Vec<Arc<DataBuffer>> = batch.into_iter().map(Arc::new).collect();
+        self.net
+            .write_deliver(worker.worker, worker.device.kind, &batch);
+        self.inflight[worker.worker].extend(batch);
     }
 }
 
@@ -864,11 +1022,8 @@ fn kill_slot<C: Clock, W: WeightProvider>(
     }
     dead[slot] = true;
     *deaths += 1;
-    if drv.slots[slot].open {
-        let _ = drv.slots[slot].stream.shutdown(Shutdown::Both);
-        drv.slots[slot].open = false;
-    }
-    let inflight = std::mem::take(&mut drv.inflight[slot]);
+    drv.net.sever(slot);
+    let inflight = unwrap_inflight(std::mem::take(&mut drv.inflight[slot]));
     engine.worker_died(0, slot, inflight, drv);
 }
 
@@ -878,22 +1033,43 @@ fn kill_slot<C: Clock, W: WeightProvider>(
 /// event loops ([`run_concurrent`], [`run_concurrent_load`]) differ only
 /// in where work comes from (seeded up front vs. an arrival schedule
 /// gated by admission control).
+/// Where [`Pump`] events come from. On the threaded path, reader threads
+/// and the acceptor feed an mpsc channel; on the event-loop path the
+/// reactor inside [`NetIo::Event`] produces them directly and this holds
+/// only the acceptor-less marker.
+enum PumpSource {
+    Threads {
+        rx: mpsc::Receiver<Pump>,
+        /// Retained sender so reader threads for workers that join
+        /// *mid-run* can feed the same channel (the run ends by
+        /// deadline/quiescence, never by channel disconnect).
+        tx: mpsc::Sender<Pump>,
+        readers: Vec<std::thread::JoinHandle<()>>,
+    },
+    Event,
+}
+
 struct ConcurrentRig<W: WeightProvider> {
     wall: WallClock,
     engine: Engine<WallClock, W>,
     node: usize,
     drv: ConcurrentDriver,
-    rx: mpsc::Receiver<Pump>,
-    /// Retained sender so reader threads for workers that join *mid-run*
-    /// can feed the same channel (the run ends by deadline/quiescence,
-    /// never by channel disconnect).
-    tx: mpsc::Sender<Pump>,
-    readers: Vec<std::thread::JoinHandle<()>>,
+    pump: PumpSource,
     dead: Vec<bool>,
     deaths: u32,
     last_seen: Vec<Instant>,
     pending_procs: Vec<Vec<SimDuration>>,
+    /// Events handled since the last failed-write sweep; the sweep is
+    /// O(slots) so it runs every [`REAP_EVERY`] events instead of every
+    /// event (and on every pump timeout, so a quiet run still reaps
+    /// within one wait budget).
+    events_since_reap: u32,
 }
+
+/// Failed-write sweep cadence, in pumped events. Bounds detection latency
+/// to a sub-millisecond burst under load while keeping the per-event cost
+/// of the sweep amortized O(1).
+const REAP_EVERY: u32 = 64;
 
 /// Start the reader thread for one connection's read half, feeding the
 /// shared [`Pump`] channel. `dec` is the connection's handshake decoder:
@@ -1026,51 +1202,76 @@ fn concurrent_setup<W: WeightProvider>(
         cfg.recorder.clone(),
     );
     let node = engine.add_node();
-    let mut drv = ConcurrentDriver {
-        slots: Vec::with_capacity(workers.len()),
-        inflight: vec![Vec::new(); workers.len()],
-        timers: BinaryHeap::new(),
-        batch_limit: cfg.batch_limit.max(1),
-    };
+    // The Hello handshake always runs on blocking sockets; the slots are
+    // then handed to the configured pump (reader threads or the reactor),
+    // each continuing from its handshake decoder state so frames (or
+    // frame fragments) buffered behind the Hello echo are not lost.
+    let mut slots: Vec<SlotIo> = Vec::with_capacity(workers.len());
     let mut read_halves = Vec::with_capacity(workers.len());
+    let threads = cfg.path == NetPath::Threads;
     for (i, conn) in workers.into_iter().enumerate() {
         engine.add_worker(node, conn.device);
         conn.stream
             .set_read_timeout(Some(Duration::from_millis(50)))
             .ok();
         conn.stream.set_nodelay(true).ok();
-        read_halves.push(conn.stream.try_clone()?);
-        drv.slots
-            .push(SlotIo::new(conn.stream, sever_for(&cfg.drops, node, i)));
+        if threads {
+            read_halves.push(conn.stream.try_clone()?);
+        }
+        slots.push(SlotIo::new(conn.stream, sever_for(&cfg.drops, node, i)));
     }
-    assert!(!drv.slots.is_empty(), "no worker connections configured");
-    handshake(&mut drv.slots, hard_deadline);
+    assert!(!slots.is_empty(), "no worker connections configured");
+    handshake(&mut slots, hard_deadline);
 
-    let (tx, rx) = mpsc::channel::<Pump>();
-    let mut readers = Vec::new();
-    for (slot, stream) in read_halves.into_iter().enumerate() {
-        // Continue from the handshake's decoder state so frames (or frame
-        // fragments) buffered behind the Hello echo are not lost.
-        let dec = std::mem::replace(&mut drv.slots[slot].dec, FrameDecoder::new());
-        readers.push(spawn_reader(slot, stream, tx.clone(), dec));
-    }
+    let n_slots = slots.len();
+    let (net, pump) = if threads {
+        let (tx, rx) = mpsc::channel::<Pump>();
+        let mut readers = Vec::new();
+        for (slot, stream) in read_halves.into_iter().enumerate() {
+            let dec = std::mem::replace(&mut slots[slot].dec, FrameDecoder::new());
+            readers.push(spawn_reader(slot, stream, tx.clone(), dec));
+        }
+        (
+            NetIo::Threads(slots),
+            PumpSource::Threads { rx, tx, readers },
+        )
+    } else {
+        let mut reactor = Reactor::new()?;
+        for io_slot in slots {
+            let open = io_slot.open;
+            let slot = reactor.register(
+                io_slot.stream,
+                io_slot.dec,
+                io_slot.sever_after,
+                io_slot.frames_sent,
+            )?;
+            if !open {
+                reactor.sever(slot);
+            }
+        }
+        (NetIo::Event(reactor), PumpSource::Event)
+    };
+    let drv = ConcurrentDriver {
+        net,
+        inflight: vec![Vec::new(); n_slots],
+        timers: BinaryHeap::new(),
+        batch_limit: cfg.batch_limit.max(1),
+    };
 
-    let n_slots = drv.slots.len();
     let mut rig = ConcurrentRig {
         wall,
         engine,
         node,
         drv,
-        rx,
-        tx,
-        readers,
+        pump,
         dead: vec![false; n_slots],
         deaths: 0,
         last_seen: vec![Instant::now(); n_slots],
         pending_procs: vec![Vec::new(); n_slots],
+        events_since_reap: 0,
     };
     for slot in 0..n_slots {
-        if !rig.drv.slots[slot].open {
+        if !rig.drv.net.open(slot) {
             rig.kill(slot);
         }
     }
@@ -1139,11 +1340,74 @@ impl<W: WeightProvider> ConcurrentRig<W> {
 
     /// Retire slots whose writes failed inside the engine callbacks.
     fn reap_failed_writes(&mut self) {
+        self.events_since_reap = 0;
         for slot in 0..self.dead.len() {
-            if !self.drv.slots[slot].open && !self.dead[slot] {
+            if !self.drv.net.open(slot) && !self.dead[slot] {
                 self.kill(slot);
             }
         }
+    }
+
+    /// Per-event reap hook: the full sweep only every [`REAP_EVERY`]
+    /// events — scanning every slot after every frame was O(slots) per
+    /// event, a real cost at 1000-worker fan-in.
+    fn maybe_reap_failed_writes(&mut self) {
+        self.events_since_reap += 1;
+        if self.events_since_reap >= REAP_EVERY {
+            self.reap_failed_writes();
+        }
+    }
+
+    /// Fetch the next [`Pump`] event from whichever pump is configured,
+    /// waiting at most `wait`. `None` is a timeout — the caller loops. A
+    /// disconnected threaded channel (all readers gone) kills every slot,
+    /// exactly as the inline handling used to.
+    fn next_event(&mut self, wait: Duration) -> Option<Pump> {
+        enum Fetched {
+            Ev(Pump),
+            Timeout,
+            Disconnected,
+        }
+        let fetched = match &mut self.pump {
+            PumpSource::Threads { rx, .. } => match rx.recv_timeout(wait) {
+                Ok(ev) => Fetched::Ev(ev),
+                Err(mpsc::RecvTimeoutError::Timeout) => Fetched::Timeout,
+                Err(mpsc::RecvTimeoutError::Disconnected) => Fetched::Disconnected,
+            },
+            PumpSource::Event => match &mut self.drv.net {
+                NetIo::Event(r) => r.pump(wait).map(Fetched::Ev).unwrap_or(Fetched::Timeout),
+                NetIo::Threads(_) => unreachable!("event pump requires the reactor net path"),
+            },
+        };
+        match fetched {
+            Fetched::Ev(ev) => Some(ev),
+            Fetched::Timeout => None,
+            Fetched::Disconnected => {
+                for slot in 0..self.dead.len() {
+                    self.kill(slot);
+                }
+                None
+            }
+        }
+    }
+
+    /// Start accepting elastic joiners: a background acceptor thread on
+    /// the threaded path, a poller registration on the event loop. The
+    /// returned flag stops the acceptor thread at teardown (always
+    /// returned so teardown code is path-independent; the event loop
+    /// ignores it).
+    fn attach_listener(&mut self, listener: TcpListener) -> io::Result<Arc<AtomicBool>> {
+        let stop = Arc::new(AtomicBool::new(false));
+        match (&mut self.pump, &mut self.drv.net) {
+            (PumpSource::Threads { tx, readers, .. }, _) => {
+                readers.push(spawn_acceptor(listener, tx.clone(), Arc::clone(&stop))?);
+            }
+            (PumpSource::Event, NetIo::Event(r)) => r.attach_listener(listener)?,
+            (PumpSource::Event, NetIo::Threads(_)) => {
+                unreachable!("event pump requires the reactor net path")
+            }
+        }
+        Ok(stop)
     }
 
     /// Install an established connection as a brand-new worker slot: grow
@@ -1151,19 +1415,33 @@ impl<W: WeightProvider> ConcurrentRig<W> {
     /// slot with the engine (`worker_joined` event, DQAA warm-up window,
     /// immediate request pump).
     fn install_slot(&mut self, io_slot: SlotIo, device: DeviceId) -> io::Result<usize> {
-        let slot = self.drv.slots.len();
+        let slot = self.drv.net.len();
         let mut io_slot = io_slot;
-        let read_half = io_slot.stream.try_clone()?;
         // The join/Hello handshake may have buffered bytes past its reply;
-        // the reader thread continues from that decoder state.
-        let dec = std::mem::replace(&mut io_slot.dec, FrameDecoder::new());
-        self.drv.slots.push(io_slot);
+        // the pump (reader thread or reactor) continues from that decoder
+        // state.
+        match (&mut self.pump, &mut self.drv.net) {
+            (PumpSource::Threads { tx, readers, .. }, NetIo::Threads(slots)) => {
+                let read_half = io_slot.stream.try_clone()?;
+                let dec = std::mem::replace(&mut io_slot.dec, FrameDecoder::new());
+                slots.push(io_slot);
+                readers.push(spawn_reader(slot, read_half, tx.clone(), dec));
+            }
+            (PumpSource::Event, NetIo::Event(r)) => {
+                let registered = r.register(
+                    io_slot.stream,
+                    io_slot.dec,
+                    io_slot.sever_after,
+                    io_slot.frames_sent,
+                )?;
+                debug_assert_eq!(registered, slot, "reactor slot must mirror the rig slot");
+            }
+            _ => unreachable!("pump source and net path always match"),
+        }
         self.drv.inflight.push(Vec::new());
         self.dead.push(false);
         self.last_seen.push(Instant::now());
         self.pending_procs.push(Vec::new());
-        self.readers
-            .push(spawn_reader(slot, read_half, self.tx.clone(), dec));
         let joined = self.engine.join_worker(self.node, device, &mut self.drv);
         debug_assert_eq!(joined, slot, "engine slot must mirror the io slot");
         Ok(slot)
@@ -1187,7 +1465,7 @@ impl<W: WeightProvider> ConcurrentRig<W> {
         let deadline = Instant::now() + Duration::from_secs(2);
         match first.read_frame(deadline) {
             Ok(Frame::Join { node: 0, kind }) => {
-                let slot = self.drv.slots.len();
+                let slot = self.drv.net.len();
                 first.write(&Frame::JoinAck {
                     node: self.node as u32,
                     slot: slot as u32,
@@ -1234,7 +1512,7 @@ impl<W: WeightProvider> ConcurrentRig<W> {
         conn: NetWorkerConn,
         drops: &[ConnectionDropSpec],
     ) -> io::Result<usize> {
-        let slot = self.drv.slots.len();
+        let slot = self.drv.net.len();
         conn.stream
             .set_read_timeout(Some(Duration::from_millis(50)))
             .ok();
@@ -1272,11 +1550,7 @@ impl<W: WeightProvider> ConcurrentRig<W> {
             {
                 self.dead[slot] = true;
                 released += 1;
-                if self.drv.slots[slot].open {
-                    self.drv.slots[slot].write(&Frame::Shutdown);
-                    let _ = self.drv.slots[slot].stream.shutdown(Shutdown::Write);
-                    self.drv.slots[slot].open = false;
-                }
+                self.drv.net.graceful_close(slot);
             }
         }
         released
@@ -1329,27 +1603,37 @@ impl<W: WeightProvider> ConcurrentRig<W> {
         n
     }
 
-    /// Shut down live slots, stop the readers, and produce the outcome.
+    /// Shut down live slots, stop the pump, and produce the outcome.
     fn finish(mut self, dispatch_order: Vec<(DeviceKind, u64)>) -> NetOutcome {
-        shutdown_slots(&mut self.drv.slots);
+        let mut wire = WireStats::default();
+        match &mut self.drv.net {
+            NetIo::Threads(slots) => shutdown_slots(slots),
+            NetIo::Event(r) => {
+                r.shutdown_all();
+                wire = r.stats();
+            }
+        }
         let ConcurrentRig {
             engine,
             drv,
-            rx,
-            readers,
+            pump,
             deaths,
             ..
         } = self;
         drop(drv);
-        drop(rx);
-        for handle in readers {
-            let _ = handle.join();
+        if let PumpSource::Threads { rx, tx, readers } = pump {
+            drop(rx);
+            drop(tx);
+            for handle in readers {
+                let _ = handle.join();
+            }
         }
         NetOutcome {
             assigned: engine.tasks_by().clone(),
             dispatch_order,
             total: engine.total_done(),
             deaths,
+            wire,
         }
     }
 }
@@ -1401,15 +1685,9 @@ pub fn run_concurrent<W: WeightProvider>(
             ));
         }
         let wait = rig.wait_budget(Duration::from_millis(25));
-        let event = match rig.rx.recv_timeout(wait) {
-            Ok(ev) => ev,
-            Err(mpsc::RecvTimeoutError::Timeout) => continue,
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                for slot in 0..rig.dead.len() {
-                    rig.kill(slot);
-                }
-                continue;
-            }
+        let Some(event) = rig.next_event(wait) else {
+            rig.reap_failed_writes();
+            continue;
         };
         match event {
             Pump::Closed(slot) => rig.kill(slot),
@@ -1450,10 +1728,14 @@ pub fn run_concurrent<W: WeightProvider>(
                     // rejection, not silence: the peer learns it must open
                     // a fresh connection against an elastic run instead.
                     Frame::Join { .. } => {
-                        rig.drv.slots[slot].write(&Frame::JoinRejected {
-                            reason: "slot already joined; dynamic joins need a fresh connection"
-                                .to_string(),
-                        });
+                        rig.drv.net.write_frame(
+                            slot,
+                            &Frame::JoinRejected {
+                                reason:
+                                    "slot already joined; dynamic joins need a fresh connection"
+                                        .to_string(),
+                            },
+                        );
                     }
                     // Heartbeats already refreshed `last_seen`; the rest
                     // are protocol noise a healthy worker never sends.
@@ -1474,7 +1756,7 @@ pub fn run_concurrent<W: WeightProvider>(
                 reject_peer(&mut stream, "this run does not accept dynamic joins");
             }
         }
-        rig.reap_failed_writes();
+        rig.maybe_reap_failed_writes();
     }
 
     Ok(rig.finish(dispatch_order))
@@ -1523,9 +1805,7 @@ pub fn run_concurrent_elastic<W: WeightProvider>(
 ) -> io::Result<ElasticOutcome> {
     let hard_deadline = Instant::now() + cfg.deadline;
     let mut rig = concurrent_setup(&cfg, workers, weights, hard_deadline)?;
-    let stop = Arc::new(AtomicBool::new(false));
-    rig.readers
-        .push(spawn_acceptor(listener, rig.tx.clone(), Arc::clone(&stop))?);
+    let stop = rig.attach_listener(listener)?;
     let mut drains = drains;
     drains.sort_by_key(|d| d.after_completions);
     let mut next_drain = 0usize;
@@ -1582,15 +1862,9 @@ pub fn run_concurrent_elastic<W: WeightProvider>(
             ));
         }
         let wait = rig.wait_budget(Duration::from_millis(25));
-        let event = match rig.rx.recv_timeout(wait) {
-            Ok(ev) => ev,
-            Err(mpsc::RecvTimeoutError::Timeout) => continue,
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                for slot in 0..rig.dead.len() {
-                    rig.kill(slot);
-                }
-                continue;
-            }
+        let Some(event) = rig.next_event(wait) else {
+            rig.reap_failed_writes();
+            continue;
         };
         match event {
             Pump::Closed(slot) => rig.kill(slot),
@@ -1633,10 +1907,14 @@ pub fn run_concurrent_elastic<W: WeightProvider>(
                         rig.engine.worker_idle(0, slot, &procs, &mut rig.drv);
                     }
                     Frame::Join { .. } => {
-                        rig.drv.slots[slot].write(&Frame::JoinRejected {
-                            reason: "slot already joined; dynamic joins need a fresh connection"
-                                .to_string(),
-                        });
+                        rig.drv.net.write_frame(
+                            slot,
+                            &Frame::JoinRejected {
+                                reason:
+                                    "slot already joined; dynamic joins need a fresh connection"
+                                        .to_string(),
+                            },
+                        );
                     }
                     Frame::Heartbeat { .. }
                     | Frame::Hello { .. }
@@ -1650,7 +1928,7 @@ pub fn run_concurrent_elastic<W: WeightProvider>(
                 }
             }
         }
-        rig.reap_failed_writes();
+        rig.maybe_reap_failed_writes();
     }
 
     stop.store(true, Ordering::Relaxed);
@@ -1983,15 +2261,9 @@ fn run_concurrent_load_inner<W: WeightProvider>(
                 wait = wait.min(until);
             }
         }
-        let event = match rig.rx.recv_timeout(wait) {
-            Ok(ev) => ev,
-            Err(mpsc::RecvTimeoutError::Timeout) => continue,
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                for slot in 0..rig.dead.len() {
-                    rig.kill(slot);
-                }
-                continue;
-            }
+        let Some(event) = rig.next_event(wait) else {
+            rig.reap_failed_writes();
+            continue;
         };
         match event {
             Pump::Closed(slot) => rig.kill(slot),
@@ -2047,10 +2319,14 @@ fn run_concurrent_load_inner<W: WeightProvider>(
                         rig.engine.worker_idle(0, slot, &procs, &mut rig.drv);
                     }
                     Frame::Join { .. } => {
-                        rig.drv.slots[slot].write(&Frame::JoinRejected {
-                            reason: "slot already joined; dynamic joins need a fresh connection"
-                                .to_string(),
-                        });
+                        rig.drv.net.write_frame(
+                            slot,
+                            &Frame::JoinRejected {
+                                reason:
+                                    "slot already joined; dynamic joins need a fresh connection"
+                                        .to_string(),
+                            },
+                        );
                     }
                     Frame::Heartbeat { .. }
                     | Frame::Hello { .. }
@@ -2069,7 +2345,7 @@ fn run_concurrent_load_inner<W: WeightProvider>(
                 reject_peer(&mut stream, "this run does not accept dynamic joins");
             }
         }
-        rig.reap_failed_writes();
+        rig.maybe_reap_failed_writes();
     }
 
     let admission = ctl.counters();

@@ -249,21 +249,44 @@ fn kind_byte(k: DeviceKind) -> u8 {
     }
 }
 
-/// Serialize one frame, header included.
-pub fn encode_frame(frame: &Frame) -> Vec<u8> {
-    let mut payload = Vec::new();
+/// Open a frame in `out`: write the header with a zero length placeholder
+/// and return the offset where the payload begins, so [`close_header`]
+/// can backpatch the real length. Encoding straight into the destination
+/// buffer avoids the per-frame payload `Vec` the original codec paid.
+fn open_header(out: &mut Vec<u8>, tag: u8) -> usize {
+    out.push(MAGIC);
+    out.push(tag);
+    put_u32(out, 0);
+    out.len()
+}
+
+/// Backpatch the payload length of the frame opened at `payload_start`.
+fn close_header(out: &mut [u8], payload_start: usize) {
+    let len = out.len() - payload_start;
+    assert!(len as u64 <= MAX_FRAME as u64, "frame too large");
+    out[payload_start - 4..payload_start].copy_from_slice(&(len as u32).to_le_bytes());
+}
+
+/// Serialize one frame, header included, appending to `out`.
+///
+/// This is the allocation-free core of the codec: nothing is allocated
+/// beyond growth of `out` itself, so a caller that reuses one scratch (or
+/// pooled) buffer amortizes the allocation across every frame it sends.
+/// [`encode_frame`] is the convenience wrapper that pays a fresh `Vec`.
+pub fn encode_frame_into(out: &mut Vec<u8>, frame: &Frame) {
+    let start = open_header(out, frame.tag());
     match frame {
         Frame::Hello { node, slot } => {
-            put_u32(&mut payload, *node);
-            put_u32(&mut payload, *slot);
+            put_u32(out, *node);
+            put_u32(out, *slot);
         }
         Frame::Request { reader, req_id } => {
-            put_u32(&mut payload, *reader);
-            put_u64(&mut payload, *req_id);
+            put_u32(out, *reader);
+            put_u64(out, *req_id);
         }
         Frame::Deliver { kind, buffers } => {
-            payload.push(kind_byte(*kind));
-            put_buffers(&mut payload, buffers);
+            out.push(kind_byte(*kind));
+            put_buffers(out, buffers);
         }
         Frame::Complete {
             buffer,
@@ -271,22 +294,22 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             span,
             recirculated,
         } => {
-            put_buffer(&mut payload, buffer);
-            put_u64(&mut payload, *proc_ns);
-            put_u64(&mut payload, span.start_ns);
-            put_u64(&mut payload, span.end_ns);
-            put_buffers(&mut payload, recirculated);
+            put_buffer(out, buffer);
+            put_u64(out, *proc_ns);
+            put_u64(out, span.start_ns);
+            put_u64(out, span.end_ns);
+            put_buffers(out, recirculated);
         }
         Frame::BatchDone | Frame::Shutdown | Frame::Bye => {}
-        Frame::Heartbeat { seq } => put_u64(&mut payload, *seq),
+        Frame::Heartbeat { seq } => put_u64(out, *seq),
         Frame::DeliverAt {
             filter,
             kind,
             buffers,
         } => {
-            put_u32(&mut payload, *filter);
-            payload.push(kind_byte(*kind));
-            put_buffers(&mut payload, buffers);
+            put_u32(out, *filter);
+            out.push(kind_byte(*kind));
+            put_buffers(out, buffers);
         }
         Frame::CompleteAt {
             filter,
@@ -295,33 +318,124 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             span,
             recirculated,
         } => {
-            put_u32(&mut payload, *filter);
-            put_buffer(&mut payload, buffer);
-            put_u64(&mut payload, *proc_ns);
-            put_u64(&mut payload, span.start_ns);
-            put_u64(&mut payload, span.end_ns);
-            put_buffers(&mut payload, recirculated);
+            put_u32(out, *filter);
+            put_buffer(out, buffer);
+            put_u64(out, *proc_ns);
+            put_u64(out, span.start_ns);
+            put_u64(out, span.end_ns);
+            put_buffers(out, recirculated);
         }
         Frame::Join { node, kind } => {
-            put_u32(&mut payload, *node);
-            payload.push(kind_byte(*kind));
+            put_u32(out, *node);
+            out.push(kind_byte(*kind));
         }
         Frame::JoinAck { node, slot } => {
-            put_u32(&mut payload, *node);
-            put_u32(&mut payload, *slot);
+            put_u32(out, *node);
+            put_u32(out, *slot);
         }
         Frame::JoinRejected { reason } => {
-            put_u32(&mut payload, reason.len() as u32);
-            payload.extend_from_slice(reason.as_bytes());
+            put_u32(out, reason.len() as u32);
+            out.extend_from_slice(reason.as_bytes());
         }
     }
-    assert!(payload.len() as u64 <= MAX_FRAME as u64, "frame too large");
-    let mut out = Vec::with_capacity(payload.len() + 6);
-    out.push(MAGIC);
-    out.push(frame.tag());
-    put_u32(&mut out, payload.len() as u32);
-    out.extend_from_slice(&payload);
+    close_header(out, start);
+}
+
+/// Serialize one frame, header included.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_frame_into(&mut out, frame);
     out
+}
+
+/// Encode a `Deliver` frame directly from borrowed buffers — the hot
+/// dispatch path. Generic over [`Borrow`](std::borrow::Borrow) so drivers
+/// whose inflight tables hold `Arc<DataBuffer>` encode from the same
+/// allocation they retain, with zero payload clones.
+pub fn encode_deliver_into<B: std::borrow::Borrow<DataBuffer>>(
+    out: &mut Vec<u8>,
+    kind: DeviceKind,
+    buffers: &[B],
+) {
+    let start = open_header(out, 3);
+    out.push(kind_byte(kind));
+    put_u32(out, buffers.len() as u32);
+    for b in buffers {
+        put_buffer(out, b.borrow());
+    }
+    close_header(out, start);
+}
+
+/// Encode a `DeliverAt` frame directly from borrowed buffers (graph-mode
+/// counterpart of [`encode_deliver_into`]).
+pub fn encode_deliver_at_into<B: std::borrow::Borrow<DataBuffer>>(
+    out: &mut Vec<u8>,
+    filter: u32,
+    kind: DeviceKind,
+    buffers: &[B],
+) {
+    let start = open_header(out, 9);
+    put_u32(out, filter);
+    out.push(kind_byte(kind));
+    put_u32(out, buffers.len() as u32);
+    for b in buffers {
+        put_buffer(out, b.borrow());
+    }
+    close_header(out, start);
+}
+
+/// A bounded free list of encode buffers.
+///
+/// The event loop encodes every outbound frame into a pooled `Vec<u8>`
+/// and returns the vector once the socket has drained it, so a steady
+/// run allocates a handful of buffers total instead of one per frame.
+/// `hits`/`misses` feed the `allocs_per_frame` metric in `BENCH_net.json`.
+#[derive(Debug, Default)]
+pub struct BufPool {
+    free: Vec<Vec<u8>>,
+    /// Buffers served from the free list.
+    pub hits: u64,
+    /// Buffers that had to be freshly allocated.
+    pub misses: u64,
+}
+
+impl BufPool {
+    /// Retain at most this many idle buffers.
+    const MAX_FREE: usize = 64;
+    /// Shrink buffers that ballooned past this before retaining them.
+    const MAX_RETAINED_CAPACITY: usize = 256 * 1024;
+
+    /// An empty pool.
+    pub fn new() -> BufPool {
+        BufPool::default()
+    }
+
+    /// Take a cleared buffer, reusing a previously returned allocation
+    /// when one is idle.
+    pub fn get(&mut self) -> Vec<u8> {
+        match self.free.pop() {
+            Some(mut b) => {
+                b.clear();
+                self.hits += 1;
+                b
+            }
+            None => {
+                self.misses += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Return a drained buffer to the free list.
+    pub fn put(&mut self, mut buf: Vec<u8>) {
+        if self.free.len() >= Self::MAX_FREE {
+            return;
+        }
+        if buf.capacity() > Self::MAX_RETAINED_CAPACITY {
+            buf.shrink_to(Self::MAX_RETAINED_CAPACITY);
+        }
+        self.free.push(buf);
+    }
 }
 
 // ---------------------------------------------------------------- decode

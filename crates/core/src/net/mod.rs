@@ -33,17 +33,23 @@
 //! clock as `remote_start`/`remote_finish` events, so `obs` exporters see
 //! one merged, deterministically ordered stream.
 
+pub mod conn;
 pub mod driver;
+pub mod eventloop;
 pub mod frame;
 pub mod worker;
 
+pub use conn::{Conn, RawIo, ReadStatus, WireStats};
 pub use driver::{
     run_concurrent, run_concurrent_elastic, run_concurrent_load, run_concurrent_load_autoscaled,
     run_deterministic, run_graph_deterministic, run_graph_deterministic_with, DrainAt, ElasticLoad,
-    ElasticOutcome, NetConfig, NetGraphOutcome, NetLoadReport, NetOutcome, NetQueueSample,
+    ElasticOutcome, NetConfig, NetGraphOutcome, NetLoadReport, NetOutcome, NetPath, NetQueueSample,
     NetTaskTiming, NetWorkerConn,
 };
-pub use frame::{encode_frame, Frame, FrameDecoder, FrameError, WireSpan};
+pub use frame::{
+    encode_deliver_at_into, encode_deliver_into, encode_frame, encode_frame_into, BufPool, Frame,
+    FrameDecoder, FrameError, WireSpan,
+};
 pub use worker::{
     connect_and_run, join_and_run, join_handshake, run_worker, run_worker_primed,
     spawn_joining_worker_thread, spawn_worker_thread, Behavior,

@@ -27,7 +27,7 @@ use anthill_hetsim::DeviceKind;
 
 use crate::buffer::DataBuffer;
 
-use super::frame::{encode_frame, Frame, FrameDecoder, WireSpan};
+use super::frame::{encode_frame, encode_frame_into, Frame, FrameDecoder, WireSpan};
 
 /// What a worker does with each delivered buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +97,16 @@ pub fn modeled_proc_ns(buffer: &DataBuffer, kind: DeviceKind) -> u64 {
     }
 }
 
+/// Encode `frame` into the caller's scratch buffer and write it out; the
+/// scratch is reused across the serve loop so steady-state sends do not
+/// allocate.
+fn send_with(stream: &mut TcpStream, frame: &Frame, scratch: &mut Vec<u8>) -> std::io::Result<()> {
+    scratch.clear();
+    encode_frame_into(scratch, frame);
+    stream.write_all(scratch)
+}
+
+/// One-shot send for paths without a long-lived scratch (handshakes).
 fn send(stream: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
     stream.write_all(&encode_frame(frame))
 }
@@ -124,34 +134,41 @@ pub fn run_worker_primed(
         .ok();
     let epoch = Instant::now();
     let mut chunk = [0u8; 64 * 1024];
+    let mut scratch = Vec::new();
     let mut executed = 0u64;
     let mut heartbeat_seq = 0u64;
     loop {
         // Drain every complete frame already buffered before reading more.
+        // Replies accumulate in `scratch` and flush as ONE write per
+        // wakeup: a read that delivered a Request and a Deliver coalesced
+        // answers with the echo, the batch's Completes, and BatchDone in a
+        // single TCP segment — one coordinator wakeup instead of one per
+        // reply frame.
+        scratch.clear();
         while let Some(frame) = dec
             .next_frame()
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?
         {
             match frame {
-                Frame::Hello { .. } => send(&mut stream, &frame)?,
-                Frame::Request { .. } => send(&mut stream, &frame)?,
+                Frame::Hello { .. } => encode_frame_into(&mut scratch, &frame),
+                Frame::Request { .. } => encode_frame_into(&mut scratch, &frame),
                 Frame::Deliver { kind, buffers } => {
                     for buffer in buffers {
                         let start_ns = epoch.elapsed().as_nanos() as u64;
                         let recirculated = behavior.apply(&buffer);
                         let end_ns = epoch.elapsed().as_nanos() as u64;
                         executed += 1;
-                        send(
-                            &mut stream,
+                        encode_frame_into(
+                            &mut scratch,
                             &Frame::Complete {
                                 proc_ns: modeled_proc_ns(&buffer, kind),
                                 buffer,
                                 span: WireSpan { start_ns, end_ns },
                                 recirculated,
                             },
-                        )?;
+                        );
                     }
-                    send(&mut stream, &Frame::BatchDone)?;
+                    encode_frame_into(&mut scratch, &Frame::BatchDone);
                 }
                 Frame::DeliverAt {
                     filter,
@@ -166,8 +183,8 @@ pub fn run_worker_primed(
                         let recirculated = behavior.apply(&buffer);
                         let end_ns = epoch.elapsed().as_nanos() as u64;
                         executed += 1;
-                        send(
-                            &mut stream,
+                        encode_frame_into(
+                            &mut scratch,
                             &Frame::CompleteAt {
                                 filter,
                                 proc_ns: modeled_proc_ns(&buffer, kind),
@@ -175,12 +192,13 @@ pub fn run_worker_primed(
                                 span: WireSpan { start_ns, end_ns },
                                 recirculated,
                             },
-                        )?;
+                        );
                     }
-                    send(&mut stream, &Frame::BatchDone)?;
+                    encode_frame_into(&mut scratch, &Frame::BatchDone);
                 }
                 Frame::Shutdown => {
-                    send(&mut stream, &Frame::Bye).ok();
+                    encode_frame_into(&mut scratch, &Frame::Bye);
+                    stream.write_all(&scratch).ok();
                     return Ok(executed);
                 }
                 // A late JoinAck (the join path answers it before handing
@@ -196,6 +214,10 @@ pub fn run_worker_primed(
                 | Frame::Bye => {}
             }
         }
+        if !scratch.is_empty() {
+            stream.write_all(&scratch)?;
+            scratch.clear();
+        }
         match stream.read(&mut chunk) {
             Ok(0) => return Ok(executed), // coordinator hung up
             Ok(n) => dec.feed(&chunk[..n]),
@@ -204,7 +226,11 @@ pub fn run_worker_primed(
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
                 heartbeat_seq += 1;
-                send(&mut stream, &Frame::Heartbeat { seq: heartbeat_seq })?;
+                send_with(
+                    &mut stream,
+                    &Frame::Heartbeat { seq: heartbeat_seq },
+                    &mut scratch,
+                )?;
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),

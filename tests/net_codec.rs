@@ -14,10 +14,15 @@
 //! Set `NET_CODEC_HEAVY=1` to multiply the frames generated per case
 //! (the CI net job does); the default keeps the suite fast locally.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 
 use anthill_repro::core::buffer::{BufferId, DataBuffer};
-use anthill_repro::core::net::{encode_frame, Frame, FrameDecoder, FrameError, WireSpan};
+use anthill_repro::core::net::{
+    encode_deliver_at_into, encode_deliver_into, encode_frame, encode_frame_into, Frame,
+    FrameDecoder, FrameError, WireSpan,
+};
 use anthill_repro::estimator::{ParamValue, TaskParams};
 use anthill_repro::hetsim::{DeviceKind, TaskShape};
 use anthill_repro::simkit::SimDuration;
@@ -236,5 +241,76 @@ proptest! {
             [magic, 3, len[0], len[1], len[2], len[3]],
             FrameError::Oversize(oversize),
         );
+    }
+
+    /// `encode_frame_into` appended to one scratch buffer is byte-identical
+    /// to concatenated `encode_frame` calls, and the borrowed-buffer
+    /// `Deliver`/`DeliverAt` encoders produce the same bytes from
+    /// `Arc<DataBuffer>`s as the owned frame — the event loop's zero-copy
+    /// path cannot diverge from the wire format.
+    #[test]
+    fn encode_into_is_byte_identical(seed in 0u64..1 << 48) {
+        let mut rng = TestRng::new(seed);
+        let frames: Vec<Frame> = (0..frames_per_case()).map(|_| arb_frame(&mut rng)).collect();
+        let reference: Vec<u8> = frames.iter().flat_map(encode_frame).collect();
+        let mut scratch = Vec::new();
+        for f in &frames {
+            encode_frame_into(&mut scratch, f);
+        }
+        prop_assert_eq!(&scratch, &reference);
+
+        let kind = arb_kind(&mut rng);
+        let buffers = arb_buffers(&mut rng, 4);
+        let shared: Vec<Arc<DataBuffer>> = buffers.iter().cloned().map(Arc::new).collect();
+        let mut borrowed = Vec::new();
+        encode_deliver_into(&mut borrowed, kind, &shared);
+        prop_assert_eq!(
+            &borrowed,
+            &encode_frame(&Frame::Deliver { kind, buffers: buffers.clone() })
+        );
+        let filter = rng.below(1 << 16) as u32;
+        let mut borrowed_at = Vec::new();
+        encode_deliver_at_into(&mut borrowed_at, filter, kind, &shared);
+        prop_assert_eq!(
+            &borrowed_at,
+            &encode_frame(&Frame::DeliverAt { filter, kind, buffers })
+        );
+    }
+
+    /// Vectored-write reassembly: frames coalesced into a few queue
+    /// buffers (as the event loop's write queue does), then emitted in
+    /// iovec order chopped at arbitrary short-write boundaries, decode
+    /// back to the identical sequence.
+    #[test]
+    fn vectored_write_chunks_reassemble(seed in 0u64..1 << 48) {
+        let mut rng = TestRng::new(seed);
+        let frames: Vec<Frame> = (0..frames_per_case()).map(|_| arb_frame(&mut rng)).collect();
+
+        // Coalesce into iovec buffers: each frame appends to the current
+        // buffer, sometimes starting a fresh one (random batch edges).
+        let mut iovecs: Vec<Vec<u8>> = vec![Vec::new()];
+        for f in &frames {
+            if rng.below(3) == 0 && !iovecs.last().unwrap().is_empty() {
+                iovecs.push(Vec::new());
+            }
+            encode_frame_into(iovecs.last_mut().unwrap(), f);
+        }
+
+        // A short write can stop anywhere, including mid-header and
+        // mid-iovec; the receiver just sees the byte stream.
+        let mut dec = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        for buf in &iovecs {
+            let mut rest = buf.as_slice();
+            while !rest.is_empty() {
+                let n = (rng.below(61) as usize + 1).min(rest.len());
+                let (head, tail) = rest.split_at(n);
+                dec.feed(head);
+                decoded.extend(drain(&mut dec));
+                rest = tail;
+            }
+        }
+        prop_assert_eq!(&decoded, &frames);
+        prop_assert_eq!(dec.pending(), 0);
     }
 }
