@@ -631,6 +631,8 @@ pub mod graph {
             PolicyKind::DdFcfs => Policy::ddfcfs(8),
             PolicyKind::DdWrr => Policy::ddwrr(8),
             PolicyKind::Odds => Policy::odds(),
+            PolicyKind::Affinity => Policy::affinity(8),
+            PolicyKind::Bandit => Policy::bandit(8),
         }
     }
 

@@ -101,6 +101,19 @@
 //! JSONL schema. Writes and schema-validates `BENCH_graph.json`; with
 //! `--trace <dir>`, per-run traces land there too.
 //!
+//! `repro policies [--quick] [--trace <dir>]` is the learned-policy CI
+//! gate: DDWRR, AFFINITY and BANDIT run head-to-head on the paper's two
+//! base cases plus a stale-profile scenario whose phase-one estimator
+//! benchmark is noisy enough to invert the tile-resolution device
+//! ordering. Fails (exit 1) unless every learned run stays within 5% of
+//! DDWRR on the well-calibrated scenarios, at least one learned policy
+//! beats DDWRR outright on a heterogeneous scenario (the stale profile
+//! among them), the learned traces actually contain
+//! `policy_decision`/`profile_updated` events while the classic runs
+//! stay inert, and every trace round-trips the JSONL schema. Writes and
+//! schema-validates `BENCH_policies.json`; with `--trace <dir>`, per-run
+//! traces land there too.
+//!
 //! `repro worker <addr> [identity|recirc:N|busy:N]` (hidden) turns the
 //! process into a net-backend worker connected to `<addr>` — the form the
 //! net gate and the chaos tests spawn.
@@ -309,6 +322,7 @@ fn main() {
         "load",
         "elastic",
         "graph",
+        "policies",
         "all",
     ];
     if !known.contains(&what) {
@@ -360,6 +374,10 @@ fn main() {
     }
     if what == "graph" {
         graph_gate(quick, trace_path.as_deref());
+        return;
+    }
+    if what == "policies" {
+        policies_gate(quick, trace_path.as_deref());
         return;
     }
     if faults_spec.is_some() {
@@ -1785,6 +1803,86 @@ fn graph_gate(quick: bool, trace_dir: Option<&str>) {
         Ok(()) => println!("wrote BENCH_graph.json ({} runs)", rows.len()),
         Err(e) => {
             eprintln!("graph: failed to write BENCH_graph.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Learned-policy CI gate: DDWRR vs AFFINITY vs BANDIT on the paper's
+/// base cases plus the stale-profile recovery scenario, with the verdicts
+/// (paper tolerance, heterogeneous win, stale-profile win, learner
+/// engagement) enforced by the `BENCH_policies.json` schema validator.
+/// Every run's trace must round-trip the JSONL schema; with `--trace`,
+/// per-run traces land in the directory. Exits nonzero on any failure.
+fn policies_gate(quick: bool, trace_dir: Option<&str>) {
+    header(
+        "Policies: learned scheduling (online estimator, affinity, bandit) vs DDWRR",
+        "CI gate — Table 5 extension; online profile recovery of a stale phase-one benchmark",
+    );
+    println!(
+        "{:<14} {:<9} {:>12} {:>8} {:>8} {:>8} {:>9} {:>9} {:>10}",
+        "scenario",
+        "policy",
+        "makespan(ms)",
+        "cpu",
+        "gpu",
+        "decide",
+        "profile",
+        "events",
+        "vs ddwrr"
+    );
+    let fail = |label: &str, why: &str| -> ! {
+        eprintln!("policies {label}: {why}");
+        std::process::exit(1);
+    };
+    let rows = anthill_bench::policies::head_to_head_traced(quick, |row, events| {
+        let label = format!("{}/{}", row.scenario, row.policy);
+        let text = jsonl::to_jsonl(events);
+        match jsonl::parse_jsonl(&text) {
+            Ok(parsed) if parsed == events => {}
+            Ok(parsed) => fail(
+                &label,
+                &format!(
+                    "trace round-trip mismatch ({} events in, {} out)",
+                    events.len(),
+                    parsed.len()
+                ),
+            ),
+            Err(e) => fail(&label, &format!("trace does not round-trip: {e}")),
+        }
+        if let Some(dir) = trace_dir {
+            let path = format!(
+                "{}/policies-{}-{}.trace.jsonl",
+                dir.trim_end_matches('/'),
+                row.scenario,
+                row.policy.to_ascii_lowercase()
+            );
+            if let Err(e) = std::fs::write(&path, &text) {
+                fail(&label, &format!("failed to write {path}: {e}"));
+            }
+        }
+        println!(
+            "{:<14} {:<9} {:>12.1} {:>8} {:>8} {:>8} {:>9} {:>9} {:>+9.2}%",
+            row.scenario,
+            row.policy,
+            row.makespan_ms,
+            row.tasks_cpu,
+            row.tasks_gpu,
+            row.decisions,
+            row.profile_updates,
+            events.len(),
+            row.vs_ddwrr_pct
+        );
+    });
+    let text = anthill_bench::policies::render_policies_report(&rows, quick);
+    if let Err(e) = anthill_bench::policies::validate_policies_report(&text) {
+        eprintln!("policies: BENCH_policies.json failed its gate verdicts: {e}");
+        std::process::exit(1);
+    }
+    match std::fs::write("BENCH_policies.json", &text) {
+        Ok(()) => println!("wrote BENCH_policies.json ({} runs)", rows.len()),
+        Err(e) => {
+            eprintln!("policies: failed to write BENCH_policies.json: {e}");
             std::process::exit(1);
         }
     }

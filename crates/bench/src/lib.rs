@@ -42,4 +42,5 @@ pub mod experiments;
 pub mod graph;
 pub mod load;
 pub mod netbench;
+pub mod policies;
 pub mod viz;

@@ -28,7 +28,7 @@ use crate::faults::RecoveryConfig;
 use crate::obs::{DeviceRef, EventKind, Recorder};
 use crate::policy::Policy;
 use crate::queue::SharedQueue;
-use crate::weights::WeightProvider;
+use crate::weights::{DecisionCtx, WeightProvider};
 
 use super::clock::Clock;
 use super::select;
@@ -491,7 +491,7 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
                         level: buffer.level,
                     },
                 );
-                let w = self.effective_weights(node, &buffer);
+                let w = self.decided_weights(node, &buffer);
                 self.nodes[node]
                     .ready
                     .insert(buffer, w, Some(worker as u64));
@@ -514,7 +514,13 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
     /// recovery off or no degradation the weights are bit-identical to the
     /// unscaled ones (the chaos parity tests rely on this).
     fn effective_weights(&self, node: usize, buffer: &DataBuffer) -> [f64; 2] {
-        let mut w = select::weights_for(&self.weights, buffer);
+        let w = select::weights_for(&self.weights, buffer);
+        self.health_scaled(node, w)
+    }
+
+    /// Apply the recovery health scaling of [`Engine::effective_weights`]
+    /// to an already-computed weight pair.
+    fn health_scaled(&self, node: usize, mut w: [f64; 2]) -> [f64; 2] {
         if !self.cfg.recovery.enabled {
             return w;
         }
@@ -531,6 +537,46 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
             }
         }
         w
+    }
+
+    /// Ready-queue weights routed through the learner when a learned
+    /// policy is active: builds a [`DecisionCtx`] from the node's current
+    /// queue depth and busy-worker count, asks the provider to decide,
+    /// records the `policy_decision` event, and health-scales the decided
+    /// weights exactly as [`Engine::effective_weights`] would. Classic
+    /// policies (and providers that return `None`) fall through to the
+    /// static path untouched, so their traces and weights stay
+    /// bit-identical to a build without learned policies.
+    fn decided_weights(&self, node: usize, buffer: &DataBuffer) -> [f64; 2] {
+        if !self.cfg.policy.kind.learned() {
+            return self.effective_weights(node, buffer);
+        }
+        let ctx = DecisionCtx {
+            node,
+            queue_depth: self.nodes[node].ready.len() as u64,
+            inflight: self.nodes[node]
+                .workers
+                .iter()
+                .filter(|w| w.alive && w.busy)
+                .count() as u64,
+        };
+        match self.weights.decide(buffer, &ctx) {
+            Some(dec) => {
+                self.rec.record(
+                    self.clock.now().as_nanos(),
+                    DeviceRef::node_scope(node),
+                    EventKind::PolicyDecision {
+                        buffer: buffer.id.0,
+                        arm: dec.arm,
+                        explore: dec.explore as u8,
+                        cpu_ppm: (dec.weights[0] * 1e6) as u64,
+                        gpu_ppm: (dec.weights[1] * 1e6) as u64,
+                    },
+                );
+                self.health_scaled(node, dec.weights)
+            }
+            None => self.effective_weights(node, buffer),
+        }
     }
 
     /// Re-home a buffer whose owning slot (or whole node) died: back into
@@ -565,15 +611,31 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
     ) {
         let w = &self.nodes[node].workers[worker];
         let kind = w.device.kind;
+        let device = w.device;
         self.rec.record(
             self.clock.now().as_nanos(),
-            DeviceRef::device(w.device),
+            DeviceRef::device(device),
             EventKind::Finish {
                 buffer: buffer.id.0,
                 level: buffer.level,
                 proc_ns: proc_time.as_nanos(),
             },
         );
+        if let Some(up) = self
+            .weights
+            .observe(buffer, node, worker, kind, proc_time.as_secs_f64())
+        {
+            self.rec.record(
+                self.clock.now().as_nanos(),
+                DeviceRef::device(device),
+                EventKind::ProfileUpdated {
+                    buffer: buffer.id.0,
+                    key: up.key,
+                    count: up.count,
+                    mean_ns: up.mean_ns,
+                },
+            );
+        }
         self.rec
             .counter_add("tasks_finished", &[("device", kind_label(kind))], 1);
         *self.tasks_by.entry((kind, buffer.level)).or_insert(0) += 1;
@@ -628,7 +690,7 @@ impl<C: Clock, W: WeightProvider> Engine<C, W> {
             .iter()
             .any(|w| w.alive && !w.draining)
         {
-            let w = self.effective_weights(node, &buffer);
+            let w = self.decided_weights(node, &buffer);
             self.nodes[node].ready.insert(buffer, w, None);
             self.dispatch(node, d);
         } else {

@@ -315,6 +315,41 @@ pub fn to_chrome_trace(events: &[TraceEvent]) -> String {
                     ),
                 );
             }
+            EventKind::ProfileUpdated {
+                buffer,
+                key,
+                count,
+                mean_ns,
+            } => {
+                push_event(
+                    &mut out,
+                    "profile update",
+                    'i',
+                    ev.ts_ns,
+                    &ev.origin,
+                    &format!(
+                        ",\"s\":\"t\",\"args\":{{\"buffer\":{buffer},\"key\":{key},\"count\":{count},\"mean_ns\":{mean_ns}}}"
+                    ),
+                );
+            }
+            EventKind::PolicyDecision {
+                buffer,
+                arm,
+                explore,
+                cpu_ppm,
+                gpu_ppm,
+            } => {
+                push_event(
+                    &mut out,
+                    "policy decision",
+                    'i',
+                    ev.ts_ns,
+                    &ev.origin,
+                    &format!(
+                        ",\"s\":\"t\",\"args\":{{\"buffer\":{buffer},\"arm\":\"{arm}\",\"explore\":{explore},\"cpu_ppm\":{cpu_ppm},\"gpu_ppm\":{gpu_ppm}}}"
+                    ),
+                );
+            }
         }
     }
 

@@ -230,6 +230,32 @@ pub enum EventKind {
         /// Time the task spent queued before expiry, in nanoseconds.
         waited_ns: u64,
     },
+    /// An online weight provider folded the originating worker's observed
+    /// service-time span into its `(device, shape)` profile cell.
+    ProfileUpdated {
+        /// Buffer id whose span was observed.
+        buffer: u64,
+        /// Stable shape key of the updated profile cell.
+        key: u64,
+        /// Observation count of the cell after the update.
+        count: u64,
+        /// Updated EWMA mean of the cell, in nanoseconds.
+        mean_ns: u64,
+    },
+    /// A learned policy (AFFINITY/BANDIT) rendered a device-assignment
+    /// verdict for a buffer entering the ready queue.
+    PolicyDecision {
+        /// Buffer id the decision is for.
+        buffer: u64,
+        /// Chosen device arm.
+        arm: DeviceKind,
+        /// 1 when the epsilon floor forced exploration, else 0.
+        explore: u8,
+        /// CPU weight the buffer was inserted with, parts-per-million.
+        cpu_ppm: u64,
+        /// GPU weight the buffer was inserted with, parts-per-million.
+        gpu_ppm: u64,
+    },
 }
 
 impl EventKind {
@@ -256,6 +282,8 @@ impl EventKind {
             EventKind::TaskAdmitted { .. } => "task_admitted",
             EventKind::TaskShed { .. } => "task_shed",
             EventKind::TaskDeadlineDropped { .. } => "task_deadline_dropped",
+            EventKind::ProfileUpdated { .. } => "profile_updated",
+            EventKind::PolicyDecision { .. } => "policy_decision",
         }
     }
 }
@@ -378,6 +406,21 @@ mod tests {
                 waited_ns: 4,
             }
             .name(),
+            EventKind::ProfileUpdated {
+                buffer: 1,
+                key: 2,
+                count: 3,
+                mean_ns: 4,
+            }
+            .name(),
+            EventKind::PolicyDecision {
+                buffer: 1,
+                arm: DeviceKind::Gpu,
+                explore: 0,
+                cpu_ppm: 1_000_000,
+                gpu_ppm: 4_000_000,
+            }
+            .name(),
         ];
         assert_eq!(
             names,
@@ -401,7 +444,9 @@ mod tests {
                 "edge_enqueued",
                 "task_admitted",
                 "task_shed",
-                "task_deadline_dropped"
+                "task_deadline_dropped",
+                "profile_updated",
+                "policy_decision"
             ]
         );
     }

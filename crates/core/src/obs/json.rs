@@ -18,8 +18,10 @@ pub enum Value {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// A number with no fraction or exponent.
-    Int(i64),
+    /// A number with no fraction or exponent. `i128` so the full `u64`
+    /// range (e.g. 64-bit shape-key hashes) and the full `i64` range both
+    /// round-trip exactly.
+    Int(i128),
     /// Any other number.
     Float(f64),
     /// A string.
@@ -288,7 +290,7 @@ impl Parser<'_> {
                 .map(Value::Float)
                 .map_err(|e| format!("bad number '{text}': {e}"))
         } else {
-            text.parse::<i64>()
+            text.parse::<i128>()
                 .map(Value::Int)
                 .map_err(|e| format!("bad number '{text}': {e}"))
         }
@@ -323,6 +325,13 @@ mod tests {
     fn big_integers_keep_precision() {
         let v = parse("{\"ns\":9007199254740995}").unwrap();
         assert_eq!(v.get("ns").unwrap().as_u64(), Some(9_007_199_254_740_995));
+        // The full u64 range round-trips (64-bit shape-key hashes exceed
+        // i64::MAX about half the time).
+        let v = parse("{\"key\":16706619345353492501}").unwrap();
+        assert_eq!(
+            v.get("key").unwrap().as_u64(),
+            Some(16_706_619_345_353_492_501)
+        );
     }
 
     #[test]

@@ -122,6 +122,28 @@ fn write_event(out: &mut String, ev: &TraceEvent) {
                 ",\"edge\":{edge},\"buffer\":{buffer},\"level\":{level}"
             ));
         }
+        EventKind::ProfileUpdated {
+            buffer,
+            key,
+            count,
+            mean_ns,
+        } => {
+            out.push_str(&format!(
+                ",\"buffer\":{buffer},\"key\":{key},\"count\":{count},\"mean_ns\":{mean_ns}"
+            ));
+        }
+        EventKind::PolicyDecision {
+            buffer,
+            arm,
+            explore,
+            cpu_ppm,
+            gpu_ppm,
+        } => {
+            out.push_str(&format!(
+                ",\"buffer\":{buffer},\"arm\":\"{}\",\"explore\":{explore},\"cpu_ppm\":{cpu_ppm},\"gpu_ppm\":{gpu_ppm}",
+                kind_token(arm)
+            ));
+        }
     }
     out.push('}');
 }
@@ -271,6 +293,19 @@ fn parse_event(v: &Value) -> Result<TraceEvent, String> {
             edge: field_u64(v, "edge")? as u32,
             buffer: field_u64(v, "buffer")?,
             level: field_u64(v, "level")? as u8,
+        },
+        "profile_updated" => EventKind::ProfileUpdated {
+            buffer: field_u64(v, "buffer")?,
+            key: field_u64(v, "key")?,
+            count: field_u64(v, "count")?,
+            mean_ns: field_u64(v, "mean_ns")?,
+        },
+        "policy_decision" => EventKind::PolicyDecision {
+            buffer: field_u64(v, "buffer")?,
+            arm: parse_kind_token(field_str(v, "arm")?)?,
+            explore: field_u64(v, "explore")? as u8,
+            cpu_ppm: field_u64(v, "cpu_ppm")?,
+            gpu_ppm: field_u64(v, "gpu_ppm")?,
         },
         other => return Err(format!("unknown event kind '{other}'")),
     };
@@ -438,6 +473,27 @@ mod tests {
                     level: 0,
                 },
             },
+            TraceEvent {
+                ts_ns: 150,
+                origin: gpu,
+                kind: EventKind::ProfileUpdated {
+                    buffer: 15,
+                    key: 0xfeed_beef,
+                    count: 4,
+                    mean_ns: 812_000,
+                },
+            },
+            TraceEvent {
+                ts_ns: 160,
+                origin: node,
+                kind: EventKind::PolicyDecision {
+                    buffer: 16,
+                    arm: DeviceKind::Gpu,
+                    explore: 1,
+                    cpu_ppm: 250_000,
+                    gpu_ppm: 16_000_000,
+                },
+            },
         ]
     }
 
@@ -452,7 +508,7 @@ mod tests {
     #[test]
     fn every_line_is_valid_json_with_required_fields() {
         let text = to_jsonl(&sample_events());
-        assert_eq!(text.lines().count(), 20);
+        assert_eq!(text.lines().count(), 22);
         for line in text.lines() {
             let v = json::parse(line).expect("valid JSON line");
             assert!(v.get("ts").and_then(Value::as_u64).is_some(), "{line}");
@@ -489,6 +545,6 @@ mod tests {
     #[test]
     fn blank_lines_are_skipped() {
         let text = format!("\n{}\n", to_jsonl(&sample_events()));
-        assert_eq!(parse_jsonl(&text).unwrap().len(), 20);
+        assert_eq!(parse_jsonl(&text).unwrap().len(), 22);
     }
 }

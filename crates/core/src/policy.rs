@@ -12,9 +12,21 @@
 //! consumption on the receiver; ODDS moves selection to the sender (DBSA)
 //! and adapts each worker's outstanding-request window at run time (DQAA).
 //!
+//! Beyond the paper's three heuristics, two *learned* policies reuse the
+//! same demand-driven machinery (receiver sorted by weight, static
+//! request windows) but derive their weights from run-time observations
+//! instead of a static profile — see [`learned`]:
+//!
+//! | Policy   | Receiver queue           | Weight source                        |
+//! |----------|--------------------------|--------------------------------------|
+//! | AFFINITY | sorted by learned weight | online profile − data-locality bonus |
+//! | BANDIT   | sorted by learned weight | per-device LinUCB-lite contextual bandit |
+//!
 //! This module only *describes* the policies. They are *applied* in
 //! exactly one place — the backend-agnostic scheduling engine
 //! ([`crate::engine`]), which every executor drives.
+
+pub mod learned;
 
 /// Which scheduling policy a run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +37,12 @@ pub enum PolicyKind {
     DdWrr,
     /// On-demand dynamic selective stream.
     Odds,
+    /// Learned affinity-aware policy: online service-time profile with a
+    /// data-locality bonus (XKaapi-style score = predicted − affinity).
+    Affinity,
+    /// Learned contextual-bandit device assigner (LinUCB-lite with a
+    /// deterministic epsilon floor).
+    Bandit,
 }
 
 impl PolicyKind {
@@ -43,12 +61,21 @@ impl PolicyKind {
         matches!(self, PolicyKind::Odds)
     }
 
-    /// Display name as used in the paper.
+    /// Is this one of the learned policies (weights derived from run-time
+    /// observations via [`learned::LearnedWeights`])?
+    pub fn learned(self) -> bool {
+        matches!(self, PolicyKind::Affinity | PolicyKind::Bandit)
+    }
+
+    /// Display name as used in the paper (learned extensions follow the
+    /// same upper-case convention).
     pub fn name(self) -> &'static str {
         match self {
             PolicyKind::DdFcfs => "DDFCFS",
             PolicyKind::DdWrr => "DDWRR",
             PolicyKind::Odds => "ODDS",
+            PolicyKind::Affinity => "AFFINITY",
+            PolicyKind::Bandit => "BANDIT",
         }
     }
 }
@@ -93,6 +120,22 @@ impl Policy {
             request_size: 1,
         }
     }
+
+    /// Learned affinity-aware policy with a static request window.
+    pub fn affinity(request_size: usize) -> Policy {
+        Policy {
+            kind: PolicyKind::Affinity,
+            request_size: request_size.max(1),
+        }
+    }
+
+    /// Learned contextual-bandit policy with a static request window.
+    pub fn bandit(request_size: usize) -> Policy {
+        Policy {
+            kind: PolicyKind::Bandit,
+            request_size: request_size.max(1),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +155,19 @@ mod tests {
         assert!(PolicyKind::Odds.receiver_sorted());
         assert!(PolicyKind::Odds.sender_selects());
         assert!(PolicyKind::Odds.dynamic_requests());
+
+        // The learned policies are demand-driven DDWRR-shaped consumers:
+        // receiver sorted by (learned) weight, static request windows,
+        // sender FIFO.
+        for kind in [PolicyKind::Affinity, PolicyKind::Bandit] {
+            assert!(kind.receiver_sorted());
+            assert!(!kind.sender_selects());
+            assert!(!kind.dynamic_requests());
+            assert!(kind.learned());
+        }
+        for kind in [PolicyKind::DdFcfs, PolicyKind::DdWrr, PolicyKind::Odds] {
+            assert!(!kind.learned());
+        }
     }
 
     #[test]
@@ -119,6 +175,8 @@ mod tests {
         assert_eq!(Policy::ddfcfs(0).request_size, 1);
         assert_eq!(Policy::ddwrr(16).request_size, 16);
         assert_eq!(Policy::odds().request_size, 1);
+        assert_eq!(Policy::affinity(0).request_size, 1);
+        assert_eq!(Policy::bandit(24).request_size, 24);
     }
 
     #[test]
@@ -126,5 +184,7 @@ mod tests {
         assert_eq!(PolicyKind::DdFcfs.to_string(), "DDFCFS");
         assert_eq!(PolicyKind::DdWrr.to_string(), "DDWRR");
         assert_eq!(PolicyKind::Odds.to_string(), "ODDS");
+        assert_eq!(PolicyKind::Affinity.to_string(), "AFFINITY");
+        assert_eq!(PolicyKind::Bandit.to_string(), "BANDIT");
     }
 }

@@ -31,6 +31,7 @@ use crate::engine::{Engine as SchedEngine, EngineConfig, VirtualClock};
 use crate::faults::{FaultConfig, FaultInjector, MessageFate};
 use crate::membership::{MemberAction, MembershipSchedule};
 use crate::obs::{DeviceRef, EventKind, Recorder};
+use crate::policy::learned::{LearnedConfig, LearnedWeights};
 use crate::policy::Policy;
 use crate::sim::report::SimReport;
 use crate::sim::workload::WorkloadSpec;
@@ -55,7 +56,12 @@ pub struct SimConfig {
     pub gpu_only: bool,
     /// Weight buffers with the kNN estimator (vs the oracle cost model).
     pub use_estimator: bool,
-    /// Root RNG seed (estimator profile noise).
+    /// Lognormal sigma of the phase-one estimator benchmark noise. The
+    /// default 0.08 matches the paper's measurement jitter; larger values
+    /// model a stale or badly calibrated profile that online learning
+    /// (AFFINITY/BANDIT) can correct at run time.
+    pub estimator_noise: f64,
+    /// Root RNG seed (estimator profile noise, learned-policy hashing).
     pub seed: u64,
     /// GPU timing parameters.
     pub gpu: GpuParams,
@@ -96,6 +102,7 @@ impl SimConfig {
             async_transfers: true,
             gpu_only: false,
             use_estimator: true,
+            estimator_noise: 0.08,
             seed: 0x5EED,
             gpu: GpuParams::geforce_8800gt(),
             net: NetParams::gigabit_ethernet(),
@@ -649,8 +656,10 @@ fn build_estimator(cfg: &SimConfig, workload: &WorkloadSpec) -> EstimatorWeights
                     ..workload.low_buffer(0)
                 }
             };
-            let cpu = oracle.predict_time(&buf, DeviceKind::Cpu) * rng.lognormal_noise(0.08);
-            let gpu = oracle.predict_time(&buf, DeviceKind::Gpu) * rng.lognormal_noise(0.08);
+            let cpu = oracle.predict_time(&buf, DeviceKind::Cpu)
+                * rng.lognormal_noise(cfg.estimator_noise);
+            let gpu = oracle.predict_time(&buf, DeviceKind::Gpu)
+                * rng.lognormal_noise(cfg.estimator_noise);
             profile.add_cpu_gpu(buf.params.clone(), cpu, gpu);
             count += 1;
         }
@@ -660,10 +669,19 @@ fn build_estimator(cfg: &SimConfig, workload: &WorkloadSpec) -> EstimatorWeights
 
 /// Run the NBIA workload on the configured cluster; returns measurements.
 pub fn run_nbia(cfg: &SimConfig, workload: &WorkloadSpec) -> SimReport {
-    let weights: Box<dyn WeightProvider> = if cfg.use_estimator {
+    let base: Box<dyn WeightProvider> = if cfg.use_estimator {
         Box::new(build_estimator(cfg, workload))
     } else {
         Box::new(OracleWeights::new(cfg.gpu.clone(), cfg.async_transfers))
+    };
+    let weights: Box<dyn WeightProvider> = if cfg.policy.kind.learned() {
+        Box::new(LearnedWeights::new(
+            cfg.policy.kind,
+            base,
+            LearnedConfig::standard(cfg.seed),
+        ))
+    } else {
+        base
     };
 
     let clock = VirtualClock::new();

@@ -10,13 +10,72 @@
 //! estimator error tolerance is high (paper Sections 4–5.2).
 
 use crate::buffer::DataBuffer;
-use anthill_estimator::{DeviceClass, KnnEstimator};
+use anthill_estimator::{fnv1a64, DeviceClass, KnnEstimator, OnlineProfile};
 use anthill_hetsim::{CopyMode, DeviceKind, GpuParams};
+
+/// Engine state visible to a learned provider at decision time — the
+/// contextual features of [`WeightProvider::decide`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DecisionCtx {
+    /// Node whose ready queue the buffer is entering.
+    pub node: usize,
+    /// Ready-queue depth at that node before this insertion.
+    pub queue_depth: u64,
+    /// Busy (in-flight) workers at that node.
+    pub inflight: u64,
+}
+
+/// A learned provider's verdict for one buffer: the weights to insert it
+/// with, plus what the learner chose (for the `policy_decision` trace).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Per-device weights in `DeviceKind::ALL` order.
+    pub weights: [f64; 2],
+    /// The device class the learner would assign this buffer to.
+    pub arm: DeviceKind,
+    /// True when the epsilon floor forced an exploration step.
+    pub explore: bool,
+}
+
+/// Result of folding one observed service-time span into an online
+/// profile (the `profile_updated` trace payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileUpdate {
+    /// Stable shape key of the updated `(device, shape)` cell.
+    pub key: u64,
+    /// Observation count of that cell after the update.
+    pub count: u64,
+    /// Updated EWMA mean, nanoseconds.
+    pub mean_ns: u64,
+}
 
 /// Provides per-device weights for data buffers.
 pub trait WeightProvider {
     /// Predicted execution time of `buf` on a device of `kind`, seconds.
     fn predict_time(&self, buf: &DataBuffer, kind: DeviceKind) -> f64;
+
+    /// Feed one observed service-time span back to the provider: `buf`
+    /// finished on `(node, worker)` (a device of `kind`) after `secs`.
+    /// Online providers fold the span into their profile and return the
+    /// update; static providers (the default) ignore it.
+    fn observe(
+        &self,
+        _buf: &DataBuffer,
+        _node: usize,
+        _worker: usize,
+        _kind: DeviceKind,
+        _secs: f64,
+    ) -> Option<ProfileUpdate> {
+        None
+    }
+
+    /// Learned decision for `buf` given engine context: weights plus the
+    /// chosen device arm. Providers that only rank statically (the
+    /// default) return `None` and the engine falls back to
+    /// [`weights_pair`](WeightProvider::weights_pair).
+    fn decide(&self, _buf: &DataBuffer, _ctx: &DecisionCtx) -> Option<Decision> {
+        None
+    }
 
     /// Scheduling weight of `buf` for `kind`: predicted advantage over the
     /// best alternative device class (higher = more suited).
@@ -50,7 +109,7 @@ pub trait WeightProvider {
 /// whose own predicted time is `own` against its (only) alternative
 /// `other` — the two-device-class specialization of the general
 /// `best_other / own` rule in [`WeightProvider::weight`].
-fn pair_weight(own: f64, other: f64) -> f64 {
+pub(crate) fn pair_weight(own: f64, other: f64) -> f64 {
     if other.is_finite() {
         other / own.max(1e-12)
     } else {
@@ -70,6 +129,21 @@ impl<W: WeightProvider + ?Sized> WeightProvider for &W {
     fn weights_pair(&self, buf: &DataBuffer) -> [f64; 2] {
         (**self).weights_pair(buf)
     }
+
+    fn observe(
+        &self,
+        buf: &DataBuffer,
+        node: usize,
+        worker: usize,
+        kind: DeviceKind,
+        secs: f64,
+    ) -> Option<ProfileUpdate> {
+        (**self).observe(buf, node, worker, kind, secs)
+    }
+
+    fn decide(&self, buf: &DataBuffer, ctx: &DecisionCtx) -> Option<Decision> {
+        (**self).decide(buf, ctx)
+    }
 }
 
 impl<W: WeightProvider + ?Sized> WeightProvider for Box<W> {
@@ -83,6 +157,21 @@ impl<W: WeightProvider + ?Sized> WeightProvider for Box<W> {
 
     fn weights_pair(&self, buf: &DataBuffer) -> [f64; 2] {
         (**self).weights_pair(buf)
+    }
+
+    fn observe(
+        &self,
+        buf: &DataBuffer,
+        node: usize,
+        worker: usize,
+        kind: DeviceKind,
+        secs: f64,
+    ) -> Option<ProfileUpdate> {
+        (**self).observe(buf, node, worker, kind, secs)
+    }
+
+    fn decide(&self, buf: &DataBuffer, ctx: &DecisionCtx) -> Option<Decision> {
+        (**self).decide(buf, ctx)
     }
 }
 
@@ -141,21 +230,53 @@ impl WeightProvider for OracleWeights {
 /// queried on the buffer's input parameters, with a bounded O(1) memo
 /// cache since replicated dataflows see many tasks with identical
 /// parameters.
+///
+/// With [`EstimatorWeights::with_online`] the provider additionally keeps
+/// an [`OnlineProfile`] fed by [`observe`](WeightProvider::observe)d
+/// service-time spans; once a `(device, shape)` cell has at least
+/// `min_obs` observations its EWMA mean replaces the static kNN
+/// prediction. Every online update *invalidates the memo entry* for that
+/// shape — a stale cached pair must never outlive a `profile_updated`.
 pub struct EstimatorWeights {
     est: KnnEstimator,
     cache: parking_lot::Mutex<std::collections::HashMap<Vec<u8>, [f64; 2]>>,
+    online: Option<parking_lot::Mutex<OnlineProfile>>,
+    min_obs: u64,
 }
 
 /// Cap on memoized parameter keys (a replicated dataflow reuses a handful
 /// of distinct shapes; the cap only guards pathological workloads).
 const CACHE_CAP: usize = 4096;
 
+/// Online observations of a cell before its EWMA mean overrides the
+/// static kNN prediction.
+pub const ONLINE_MIN_OBS: u64 = 3;
+
 impl EstimatorWeights {
-    /// Wrap a fitted estimator.
+    /// Wrap a fitted estimator (static: observed spans are ignored).
     pub fn new(est: KnnEstimator) -> EstimatorWeights {
         EstimatorWeights {
             est,
             cache: parking_lot::Mutex::new(std::collections::HashMap::new()),
+            online: None,
+            min_obs: ONLINE_MIN_OBS,
+        }
+    }
+
+    /// Wrap a fitted estimator with an online correction profile: spans
+    /// fed through [`observe`](WeightProvider::observe) override the
+    /// static prediction per `(device, shape)` once `min_obs` spans of
+    /// that cell have been seen.
+    pub fn with_online(
+        est: KnnEstimator,
+        profile: OnlineProfile,
+        min_obs: u64,
+    ) -> EstimatorWeights {
+        EstimatorWeights {
+            est,
+            cache: parking_lot::Mutex::new(std::collections::HashMap::new()),
+            online: Some(parking_lot::Mutex::new(profile)),
+            min_obs: min_obs.max(1),
         }
     }
 
@@ -169,6 +290,35 @@ impl EstimatorWeights {
     fn key(buf: &DataBuffer) -> Vec<u8> {
         // Cheap structural key over the parameters.
         format!("{:?}", buf.params).into_bytes()
+    }
+
+    /// Stable shape key of a buffer — the cell key the online profile and
+    /// the `profile_updated` trace use.
+    pub fn shape_key(buf: &DataBuffer) -> u64 {
+        fnv1a64(&Self::key(buf))
+    }
+
+    fn predicted_times(&self, buf: &DataBuffer, key: &[u8]) -> [f64; 2] {
+        let mut cpu = self
+            .est
+            .predict_time(DeviceClass::CPU, &buf.params)
+            .unwrap_or(f64::INFINITY);
+        let mut gpu = self
+            .est
+            .predict_time(DeviceClass::GPU, &buf.params)
+            .unwrap_or(f64::INFINITY);
+        if let Some(online) = &self.online {
+            let shape = fnv1a64(key);
+            let online = online.lock();
+            for (class, t) in [(DeviceClass::CPU, &mut cpu), (DeviceClass::GPU, &mut gpu)] {
+                if online.count(class, shape) >= self.min_obs {
+                    if let Some(mean) = online.mean(class, shape) {
+                        *t = mean;
+                    }
+                }
+            }
+        }
+        [cpu, gpu]
     }
 }
 
@@ -185,20 +335,39 @@ impl WeightProvider for EstimatorWeights {
                 return times[slot];
             }
         }
-        let cpu = self
-            .est
-            .predict_time(DeviceClass::CPU, &buf.params)
-            .unwrap_or(f64::INFINITY);
-        let gpu = self
-            .est
-            .predict_time(Self::class_of(DeviceKind::Gpu), &buf.params)
-            .unwrap_or(f64::INFINITY);
-        let times = [cpu, gpu];
+        let times = self.predicted_times(buf, &key);
         let mut cache = self.cache.lock();
         if cache.len() < CACHE_CAP {
             cache.insert(key, times);
         }
         times[slot]
+    }
+
+    fn observe(
+        &self,
+        buf: &DataBuffer,
+        _node: usize,
+        _worker: usize,
+        kind: DeviceKind,
+        secs: f64,
+    ) -> Option<ProfileUpdate> {
+        let online = self.online.as_ref()?;
+        let key = Self::key(buf);
+        let shape = fnv1a64(&key);
+        let class = Self::class_of(kind);
+        let (count, mean) = {
+            let mut online = online.lock();
+            let count = online.observe(class, shape, secs);
+            (count, online.mean(class, shape).unwrap_or(secs))
+        };
+        // The invalidation fix: the memoized pair for this shape is now
+        // stale — drop it so the next prediction recomputes.
+        self.cache.lock().remove(&key);
+        Some(ProfileUpdate {
+            key: shape,
+            count,
+            mean_ns: (mean * 1e9).round() as u64,
+        })
     }
 }
 
@@ -297,5 +466,64 @@ mod tests {
         let w1 = est.weight(&large, DeviceKind::Gpu);
         let w2 = est.weight(&large, DeviceKind::Gpu);
         assert_eq!(w1, w2);
+    }
+
+    fn trained_estimator() -> KnnEstimator {
+        let oracle = OracleWeights::new(GpuParams::geforce_8800gt(), false);
+        let mut profile = ProfileStore::new("nbia");
+        for side in [32u32, 64, 128, 256, 512] {
+            let b = tile_buffer(side);
+            profile.add_cpu_gpu(
+                b.params.clone(),
+                oracle.predict_time(&b, DeviceKind::Cpu),
+                oracle.predict_time(&b, DeviceKind::Gpu),
+            );
+        }
+        KnnEstimator::fit(profile, 1)
+    }
+
+    /// Regression: an online profile update must bust the memo cache —
+    /// a stale cached weight is never served after `profile_updated`.
+    #[test]
+    fn online_update_busts_the_memo_cache() {
+        let est = EstimatorWeights::with_online(trained_estimator(), OnlineProfile::default(), 3);
+        let b = tile_buffer(128);
+        // Prime the memo cache with the static kNN prediction.
+        let stale_cpu = est.predict_time(&b, DeviceKind::Cpu);
+        assert_eq!(est.predict_time(&b, DeviceKind::Cpu), stale_cpu);
+        // Observe spans wildly different from the static profile.
+        let observed = stale_cpu * 10.0;
+        for i in 0..3 {
+            let up = est
+                .observe(&b, 0, 0, DeviceKind::Cpu, observed)
+                .expect("online estimator folds spans");
+            assert_eq!(up.count, i + 1);
+            assert_eq!(up.key, EstimatorWeights::shape_key(&b));
+        }
+        // The cached pair must not be served: the prediction now follows
+        // the online EWMA (seeded at `observed`, so exactly `observed`).
+        let fresh = est.predict_time(&b, DeviceKind::Cpu);
+        assert!(
+            (fresh - observed).abs() < 1e-12,
+            "stale cache served: fresh={fresh} stale={stale_cpu} observed={observed}"
+        );
+        // The untouched GPU side still follows the static profile.
+        let gpu_static = EstimatorWeights::new(trained_estimator());
+        assert_eq!(
+            est.predict_time(&b, DeviceKind::Gpu),
+            gpu_static.predict_time(&b, DeviceKind::Gpu)
+        );
+    }
+
+    /// A static (PR-2 shaped) estimator ignores observed spans entirely.
+    #[test]
+    fn static_estimator_ignores_observed_spans() {
+        let est = EstimatorWeights::new(trained_estimator());
+        let b = tile_buffer(128);
+        let before = est.predict_time(&b, DeviceKind::Cpu);
+        assert!(est
+            .observe(&b, 0, 0, DeviceKind::Cpu, before * 10.0)
+            .is_none());
+        assert_eq!(est.predict_time(&b, DeviceKind::Cpu), before);
     }
 }

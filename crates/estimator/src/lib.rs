@@ -39,6 +39,7 @@ mod crossval;
 mod distance;
 mod knn;
 pub mod models;
+pub mod online;
 mod param;
 pub mod persist;
 mod profile;
@@ -46,5 +47,6 @@ mod profile;
 pub use crossval::{cross_validate, sweep_k, CrossValReport};
 pub use distance::Normalizer;
 pub use knn::{KnnEstimator, DEFAULT_K};
+pub use online::{fnv1a64, OnlineCell, OnlineProfile, ShapeKey};
 pub use param::{ParamValue, TaskParams};
 pub use profile::{DeviceClass, ProfileSample, ProfileStore};

@@ -54,7 +54,7 @@ use anthill_repro::core::net::{
     run_concurrent, run_concurrent_elastic, spawn_joining_worker_thread, Behavior, DrainAt,
     NetConfig, NetWorkerConn,
 };
-use anthill_repro::core::obs::{jsonl, EventKind, Recorder};
+use anthill_repro::core::obs::{jsonl, EventKind, Recorder, TraceEvent};
 use anthill_repro::core::policy::Policy;
 use anthill_repro::core::sim::{run_nbia, SimConfig, SimReport, WorkloadSpec};
 use anthill_repro::hetsim::{ClusterSpec, DeviceId, DeviceKind};
@@ -285,6 +285,69 @@ fn ddwrr_beats_ddfcfs_under_drop_plus_gpu_death() {
          (ddwrr {:?} vs ddfcfs {:?})",
         ddwrr.makespan,
         ddfcfs.makespan
+    );
+}
+
+/// The learned-policy chaos scenario (DESIGN.md §16): the same 20% drop
+/// plus mid-run GPU death, under the contextual bandit. The learner must
+/// not wedge the run: conservation holds, the online estimator stops
+/// crediting the dead worker the moment it dies (its `profile_updated`
+/// stream at that device ends at the death), the survivors keep feeding
+/// the profile, and the policy keeps rendering decisions on the
+/// health-decayed weights all the way to completion.
+#[test]
+fn bandit_estimator_stops_crediting_a_dead_gpu() {
+    let wl = WorkloadSpec {
+        tiles: 400,
+        ..WorkloadSpec::paper_base(0.2)
+    };
+    let recorder = Recorder::enabled();
+    let faults = FaultConfig {
+        drop: FaultProb::uniform(0.2),
+        deaths: vec![WorkerDeathSpec {
+            node: 0,
+            worker: 1, // homogeneous nodes are (cpu, gpu): worker 1 is the GPU
+            at: at_millis(100),
+        }],
+        recovery: RecoveryConfig::standard(),
+        seed: 42,
+        ..FaultConfig::none()
+    };
+    let mut cfg = faulty_sim(Policy::bandit(30), faults);
+    cfg.recorder = recorder.clone();
+    let report = run_nbia(&cfg, &wl);
+    assert_eq!(report.total_tasks, wl.total_buffers(), "conservation");
+
+    let events = recorder.events();
+    let death = events
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::WorkerDied { .. }))
+        .expect("the scheduled GPU death must surface in the trace");
+    let dead_dev = death.origin;
+    assert_eq!(dead_dev.kind, Some(DeviceKind::Gpu), "worker 1 is the GPU");
+
+    let updates_after = |dev_matches: &dyn Fn(&TraceEvent) -> bool| {
+        events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::ProfileUpdated { .. }))
+            .filter(|e| e.ts_ns > death.ts_ns)
+            .filter(|e| dev_matches(e))
+            .count()
+    };
+    assert_eq!(
+        updates_after(&|e| e.origin == dead_dev),
+        0,
+        "a dead worker must stop feeding the online profile"
+    );
+    assert!(
+        updates_after(&|e| e.origin != dead_dev) > 0,
+        "survivors must keep feeding the online profile after the death"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::PolicyDecision { .. }) && e.ts_ns > death.ts_ns),
+        "the bandit must keep deciding on health-decayed weights after the death"
     );
 }
 

@@ -33,12 +33,34 @@ use anthill_repro::core::graph::DataflowGraph;
 use anthill_repro::core::local::{Emitter, LocalFilter, LocalTask, Pipeline};
 use anthill_repro::core::membership::{MemberAction, MembershipSchedule, ScheduledAction};
 use anthill_repro::core::net::{run_deterministic, run_graph_deterministic, Behavior, NetConfig};
+use anthill_repro::core::policy::learned::{LearnedConfig, LearnedWeights};
 use anthill_repro::core::policy::Policy;
 use anthill_repro::core::sim::{run_graph_sim, run_nbia, GraphSimConfig, SimConfig, WorkloadSpec};
-use anthill_repro::core::weights::OracleWeights;
+use anthill_repro::core::weights::{OracleWeights, WeightProvider};
 use anthill_repro::hetsim::{ClusterSpec, DeviceId, DeviceKind, NodeSpec};
 
 const TILES: u64 = 120;
+
+/// The learner seed every backend must share for stateful-policy parity.
+/// [`des_counts`] goes through [`run_nbia`], which wraps the base provider
+/// itself using `SimConfig::new`'s default seed — so the explicit
+/// providers below must be built with the same one.
+const PARITY_SEED: u64 = 0x5EED;
+
+/// The provider a non-DES backend drives the engine with: the neutral
+/// oracle, wrapped in a learner for the learned policy kinds — mirroring
+/// exactly what [`run_nbia`] builds internally for [`des_counts`].
+fn parity_provider(policy: Policy) -> Box<dyn WeightProvider> {
+    if policy.kind.learned() {
+        Box::new(LearnedWeights::new(
+            policy.kind,
+            neutral_oracle(),
+            LearnedConfig::standard(PARITY_SEED),
+        ))
+    } else {
+        Box::new(neutral_oracle())
+    }
+}
 
 fn neutral_workload() -> WorkloadSpec {
     WorkloadSpec {
@@ -88,7 +110,7 @@ fn native_counts(policy: Policy) -> HashMap<DeviceKind, u64> {
         .collect();
     let mut p = Pipeline::new(policy.kind).with_request_window(policy.request_size);
     p.add_stage(Arc::new(Identity), cpu_gpu_workers());
-    let weights = OracleWeights::new(neutral_gpu(), false);
+    let weights = parity_provider(policy);
     let (out, report) = p.run_deterministic(sources, &weights);
     assert_eq!(out.len() as u64, TILES);
     let mut counts = HashMap::new();
@@ -106,8 +128,13 @@ fn net_counts(policy: Policy) -> HashMap<DeviceKind, u64> {
     let w = neutral_workload();
     let sources = (0..TILES).map(|t| w.low_buffer(t)).collect();
     let workers = loopback_workers(&[DeviceKind::Cpu, DeviceKind::Gpu], Behavior::Identity);
-    let out = run_deterministic(NetConfig::new(policy), workers, sources, neutral_oracle())
-        .expect("loopback net run");
+    let out = run_deterministic(
+        NetConfig::new(policy),
+        workers,
+        sources,
+        parity_provider(policy),
+    )
+    .expect("loopback net run");
     assert_eq!(out.total, TILES);
     let mut counts = HashMap::new();
     for (&(kind, _node), &n) in &out.assigned {
@@ -116,10 +143,47 @@ fn net_counts(policy: Policy) -> HashMap<DeviceKind, u64> {
     counts
 }
 
+/// Per-device assignment counts from the sequential reference executor.
+fn seq_counts(policy: Policy) -> HashMap<DeviceKind, u64> {
+    use anthill_repro::core::engine::sequential::{run, Emission};
+    let w = neutral_workload();
+    let sources = (0..TILES).map(|t| w.low_buffer(t)).collect();
+    let devices = [
+        DeviceId {
+            node: 0,
+            kind: DeviceKind::Cpu,
+            index: 0,
+        },
+        DeviceId {
+            node: 0,
+            kind: DeviceKind::Gpu,
+            index: 0,
+        },
+    ];
+    let out = run(
+        SequentialConfig::new(policy),
+        &devices,
+        sources,
+        parity_provider(policy),
+        |_, _| Emission::default(),
+    );
+    assert_eq!(out.total, TILES);
+    let mut counts = HashMap::new();
+    for (&(kind, _level), &n) in &out.assigned {
+        *counts.entry(kind).or_insert(0) += n;
+    }
+    counts
+}
+
 fn assert_parity(policy: Policy, name: &str) {
+    let seq = seq_counts(policy);
     let des = des_counts(policy);
     let native = native_counts(policy);
     let net = net_counts(policy);
+    assert_eq!(
+        seq, des,
+        "{name}: sequential and DES drivers assigned devices differently"
+    );
     assert_eq!(
         des, native,
         "{name}: DES and native drivers assigned devices differently"
@@ -147,9 +211,30 @@ fn odds_assignments_match_across_backends() {
     assert_parity(Policy::odds(), "ODDS");
 }
 
+/// The learned policies carry mutable state (online profile, residency
+/// map, bandit arms), so their parity is a stronger claim than the
+/// classics': every backend must drive the engine's `decide`/`observe`
+/// callbacks in the same order, or the learners diverge and the counts
+/// split.
+#[test]
+fn affinity_assignments_match_across_backends() {
+    assert_parity(Policy::affinity(4), "AFFINITY");
+}
+
+#[test]
+fn bandit_assignments_match_across_backends() {
+    assert_parity(Policy::bandit(4), "BANDIT");
+}
+
 #[test]
 fn parity_counts_are_reproducible() {
-    for policy in [Policy::ddfcfs(4), Policy::ddwrr(4), Policy::odds()] {
+    for policy in [
+        Policy::ddfcfs(4),
+        Policy::ddwrr(4),
+        Policy::odds(),
+        Policy::affinity(4),
+        Policy::bandit(4),
+    ] {
         assert_eq!(des_counts(policy), des_counts(policy));
         assert_eq!(native_counts(policy), native_counts(policy));
         assert_eq!(net_counts(policy), net_counts(policy));
@@ -222,7 +307,7 @@ fn seq_graph_counts(policy: Policy, graph: &DataflowGraph) -> GraphCounts {
         graph,
         &devices,
         graph_seeds(0),
-        neutral_oracle(),
+        parity_provider(policy),
         forward_all,
     );
     GraphCounts {
@@ -244,7 +329,7 @@ fn des_graph_counts(policy: Policy, graph: &DataflowGraph) -> GraphCounts {
         graph,
         &devices,
         graph_seeds(0),
-        Box::new(neutral_oracle()),
+        parity_provider(policy),
         forward_all,
     );
     GraphCounts {
@@ -265,7 +350,7 @@ fn native_graph_counts(policy: Policy, graph: &DataflowGraph) -> GraphCounts {
     let sources: Vec<LocalTask> = (0..GRAPH_TILES)
         .map(|t| LocalTask::new(neutral_buffer(t), ()))
         .collect();
-    let weights = OracleWeights::new(neutral_gpu(), false);
+    let weights = parity_provider(policy);
     let (out, report) = p.run_deterministic(sources, &weights);
     assert_eq!(
         out.len() as u64,
@@ -290,7 +375,7 @@ fn net_graph_counts(policy: Policy, graph: &DataflowGraph) -> GraphCounts {
         graph,
         workers,
         graph_seeds(0),
-        neutral_oracle(),
+        parity_provider(policy),
     )
     .expect("loopback graph net run");
     GraphCounts {
@@ -359,6 +444,26 @@ fn diamond_graph_parity_ddwrr() {
 #[test]
 fn diamond_graph_parity_odds() {
     assert_graph_parity(Policy::odds(), &diamond(), "diamond/ODDS", 3);
+}
+
+#[test]
+fn pipeline_graph_parity_affinity() {
+    assert_graph_parity(Policy::affinity(4), &pipeline3(), "pipeline3/AFFINITY", 3);
+}
+
+#[test]
+fn pipeline_graph_parity_bandit() {
+    assert_graph_parity(Policy::bandit(4), &pipeline3(), "pipeline3/BANDIT", 3);
+}
+
+#[test]
+fn diamond_graph_parity_affinity() {
+    assert_graph_parity(Policy::affinity(4), &diamond(), "diamond/AFFINITY", 3);
+}
+
+#[test]
+fn diamond_graph_parity_bandit() {
+    assert_graph_parity(Policy::bandit(4), &diamond(), "diamond/BANDIT", 3);
 }
 
 /// The degenerate one-filter graph is invisible: running the native
